@@ -1,0 +1,145 @@
+// dmvcc-bench regenerates the paper's evaluation: every figure and table of
+// §V. Each experiment prints the measured series next to a provenance note.
+//
+//	dmvcc-bench -exp fig7a            # speedup vs threads, mainnet-mix traffic
+//	dmvcc-bench -exp fig7b            # speedup vs threads, high contention
+//	dmvcc-bench -exp fig8a            # throughput speedup, validator network
+//	dmvcc-bench -exp fig8b            # same, high contention
+//	dmvcc-bench -exp rq1              # Merkle-root equivalence sweep
+//	dmvcc-bench -exp aborts           # abort statistics (RQ2 text)
+//	dmvcc-bench -exp ablation         # early-write / commutativity ablation
+//	dmvcc-bench -exp all              # everything
+//
+// -blocks and -txs scale the workload; the defaults run in a few minutes on
+// a laptop.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dmvcc/internal/bench"
+	"dmvcc/internal/chainsim"
+	"dmvcc/internal/workload"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig7a|fig7b|fig8a|fig8b|rq1|aborts|ablation|all")
+	blocks := flag.Int("blocks", 3, "blocks per experiment")
+	txs := flag.Int("txs", 1000, "transactions per block (fig7/rq1/aborts/ablation)")
+	simTxs := flag.Int("simtxs", 10000, "transactions per block for the fig8 network simulation (the paper's RQ3 size)")
+	simBlocks := flag.Int("simblocks", 2, "blocks for the fig8 network simulation")
+	rq1Blocks := flag.Int("rq1blocks", 10, "blocks for the rq1 sweep")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	if err := run(*exp, *blocks, *txs, *simTxs, *simBlocks, *rq1Blocks, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "dmvcc-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, blocks, txs, simTxs, simBlocks, rq1Blocks int, seed int64) error {
+	low := workload.DefaultConfig()
+	low.TxPerBlock = txs
+	low.Seed = seed
+	high := low.HighContention()
+
+	runOne := func(name string) error {
+		start := time.Now()
+		defer func() { fmt.Printf("(%s took %v)\n\n", name, time.Since(start).Round(time.Millisecond)) }()
+		switch name {
+		case "fig7a":
+			fig, err := bench.SpeedupFigure("Fig. 7(a)",
+				"speedup over serial execution, mainnet-mix workload", bench.SpeedupConfig{
+					Workload: low, Blocks: blocks,
+				})
+			if err != nil {
+				return err
+			}
+			fmt.Print(fig.Render())
+			fmt.Println("paper: serial 1.00, dag 11.04, occ 13.86, dmvcc 21.35 at 32 threads")
+
+		case "fig7b":
+			fig, err := bench.SpeedupFigure("Fig. 7(b)",
+				"speedup over serial execution, high-contention workload (1% hot, 50% prob)",
+				bench.SpeedupConfig{Workload: high, Blocks: blocks})
+			if err != nil {
+				return err
+			}
+			fmt.Print(fig.Render())
+			fmt.Println("paper: serial 1.00, dag 3.05, occ 3.48, dmvcc 13.73 at 32 threads")
+
+		case "fig8a", "fig8b":
+			cfg := chainsim.DefaultConfig()
+			cfg.Blocks = simBlocks
+			cfg.Workload = low
+			title := "validator-network throughput speedup, mainnet mix"
+			paper := "paper: ~19.79x for dmvcc at 32 threads; dag/occ similar (low contention)"
+			if name == "fig8b" {
+				cfg.Workload = high
+				title = "validator-network throughput speedup, high contention"
+				paper = "paper: dmvcc sustains ~10k txs per 12s cycle with 8 threads; dag/occ finish ~60% of dmvcc's txs"
+			}
+			cfg.Workload.TxPerBlock = simTxs
+			fig, err := bench.Fig8("Fig. 8("+name[4:]+")", title, cfg, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Print(fig.Render())
+			fmt.Println(paper)
+
+		case "rq1":
+			res, err := bench.RunRQ1(bench.SpeedupConfig{Workload: low, Blocks: rq1Blocks})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("== RQ1: deterministic serializability ==\n")
+			fmt.Printf("blocks executed under serial and DMVCC on twin chains: %d (%d txs)\n",
+				res.Blocks, res.Txs)
+			fmt.Printf("Merkle-root matches: %d/%d\n", res.Matches, res.Blocks)
+			fmt.Println("paper: 121,210 blocks / 22,557,724 txs, all roots matched")
+
+		case "aborts":
+			stats, err := bench.MeasureAborts(bench.SpeedupConfig{Workload: high, Blocks: blocks})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("== RQ2 abort statistics (high contention) ==\n")
+			fmt.Printf("transactions: %d\n", stats.Txs)
+			fmt.Printf("dmvcc aborts: %d (%.2f%%)\n", stats.DMVCCAborts, stats.DMVCCRate())
+			fmt.Printf("occ re-executions: %d\n", stats.OCCAborts)
+			fmt.Printf("abort reduction vs occ: %.1f%%\n", stats.ReductionVsOCC())
+			fmt.Println("paper: dmvcc abort rate < 2%, 63% fewer aborts than occ")
+
+		case "ablation":
+			// The ICO-launch mix (the paper's RQ3 narrative): commutative
+			// counters dominate, so the feature toggles separate cleanly.
+			ico := high
+			ico.ERC20Frac, ico.DeFiFrac, ico.NFTFrac = 0.30, 0.15, 0.05 // remainder -> ICO/router
+			ico.OracleFrac = 0.20                                       // hot feed overwrites (pure ww)
+			fig, err := bench.AblationFigure(bench.SpeedupConfig{Workload: ico, Blocks: blocks})
+			if err != nil {
+				return err
+			}
+			fmt.Print(fig.Render())
+			fmt.Println("workload: ICO-launch mix (hot commutative counters dominate)")
+
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+
+	if exp == "all" {
+		for _, name := range []string{"rq1", "fig7a", "fig7b", "aborts", "ablation", "fig8a", "fig8b"} {
+			if err := runOne(name); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		}
+		return nil
+	}
+	return runOne(exp)
+}

@@ -1,0 +1,83 @@
+// minisolc compiles a minisol contract to bytecode and prints the artifact:
+// runtime code, function selectors, storage layout, and the commutative
+// increment sites the scheduler uses for delta merging.
+//
+//	minisolc contract.msol
+//	minisolc -asm contract.msol     # include a full disassembly
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"dmvcc/internal/asm"
+	"dmvcc/internal/minisol"
+)
+
+func main() {
+	asmOut := flag.Bool("asm", false, "print disassembly")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: minisolc [-asm] <file.msol>")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *asmOut); err != nil {
+		fmt.Fprintln(os.Stderr, "minisolc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, withAsm bool) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	compiled, err := minisol.Compile(string(src))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("contract %s: %d bytes of runtime code\n\n", compiled.Name, len(compiled.Code))
+
+	fmt.Println("functions:")
+	names := make([]string, 0, len(compiled.Functions))
+	for name := range compiled.Functions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fi := compiled.Functions[name]
+		ret := ""
+		if fi.HasReturn {
+			ret = " returns (uint)"
+		}
+		pay := ""
+		if fi.Payable {
+			pay = " payable"
+		}
+		fmt.Printf("  %s(%d args)%s%s  selector 0x%x\n", name, fi.ParamCount, pay, ret, fi.Selector)
+	}
+
+	fmt.Println("\nstorage layout:")
+	vars := make([]string, 0, len(compiled.Slots))
+	for name := range compiled.Slots {
+		vars = append(vars, name)
+	}
+	sort.Slice(vars, func(i, j int) bool { return compiled.Slots[vars[i]] < compiled.Slots[vars[j]] })
+	for _, name := range vars {
+		fmt.Printf("  slot %d: %s\n", compiled.Slots[name], name)
+	}
+
+	fmt.Printf("\ncommutative increment sites (%d):\n", len(compiled.Commutative))
+	for _, site := range compiled.Commutative {
+		fmt.Printf("  SLOAD at %04x, SSTORE at %04x\n", site.LoadPC, site.StorePC)
+	}
+
+	fmt.Printf("\nbytecode:\n%s\n", hex.EncodeToString(compiled.Code))
+	if withAsm {
+		fmt.Printf("\ndisassembly:\n%s", asm.Format(compiled.Code))
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestParseCall(t *testing.T) {
+	name, args, err := parseCall("transfer(0xff,100)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "transfer" || len(args) != 2 {
+		t.Fatalf("parsed %s/%d args", name, len(args))
+	}
+	if args[0].Uint64() != 0xff || args[1].Uint64() != 100 {
+		t.Errorf("args = %v", args)
+	}
+
+	name, args, err = parseCall("init()")
+	if err != nil || name != "init" || len(args) != 0 {
+		t.Errorf("init(): %s %v %v", name, args, err)
+	}
+
+	for _, bad := range []string{"noparens", "f(", "f(xyz)", "f(1,)"} {
+		if _, _, err := parseCall(bad); err == nil {
+			t.Errorf("parseCall(%q) should fail", bad)
+		}
+	}
+}

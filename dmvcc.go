@@ -1,0 +1,341 @@
+// Package dmvcc is the public facade of the DMVCC reproduction: a
+// single-node blockchain with pluggable block execution — serial, DAG-based,
+// OCC, or DMVCC (deterministic multi-version concurrency control with
+// write versioning, early-write visibility, and commutative writes, per
+// "Smart Contract Parallel Execution with Fine-Grained State Accesses",
+// ICDCS 2023).
+//
+// Typical use:
+//
+//	c, err := dmvcc.NewChain(func(g *dmvcc.Genesis) error {
+//	    g.Fund(alice, 1_000_000)
+//	    _, err := g.Deploy(tokenAddr, tokenSource)
+//	    return err
+//	})
+//	...
+//	res, err := c.ExecuteBlock(dmvcc.ModeDMVCC, txs)
+package dmvcc
+
+import (
+	"fmt"
+
+	"dmvcc/internal/chain"
+	"dmvcc/internal/core"
+	"dmvcc/internal/evm"
+	"dmvcc/internal/minisol"
+	"dmvcc/internal/sag"
+	"dmvcc/internal/state"
+	"dmvcc/internal/txpool"
+	"dmvcc/internal/types"
+	"dmvcc/internal/u256"
+)
+
+// Core chain types, re-exported for users of the facade.
+type (
+	// Address is a 20-byte account address.
+	Address = types.Address
+	// Hash is a 32-byte digest / storage key.
+	Hash = types.Hash
+	// Word is a 256-bit EVM word.
+	Word = u256.Int
+	// Transaction is a block transaction.
+	Transaction = types.Transaction
+	// Receipt is a transaction execution result.
+	Receipt = types.Receipt
+	// Block is a sealed block (header + transactions).
+	Block = types.Block
+	// Mode selects an execution scheme.
+	Mode = chain.Mode
+	// Stats carries DMVCC scheduler counters.
+	Stats = core.Stats
+)
+
+// Execution schemes.
+const (
+	ModeSerial = chain.ModeSerial
+	ModeDAG    = chain.ModeDAG
+	ModeOCC    = chain.ModeOCC
+	ModeDMVCC  = chain.ModeDMVCC
+)
+
+// HexAddress parses a 0x-prefixed address (panics on bad input; intended
+// for constants).
+func HexAddress(s string) Address { return types.HexToAddress(s) }
+
+// NewWord returns a Word holding v.
+func NewWord(v uint64) Word { return u256.NewUint64(v) }
+
+// Contract is a deployed minisol contract.
+type Contract struct {
+	Addr     Address
+	Compiled *minisol.Compiled
+}
+
+// CallData builds the input for calling one of the contract's functions.
+func (c *Contract) CallData(method string, args ...Word) ([]byte, error) {
+	if _, ok := c.Compiled.Functions[method]; !ok {
+		return nil, fmt.Errorf("dmvcc: contract %s has no function %q", c.Compiled.Name, method)
+	}
+	return minisol.CallData(method, args...), nil
+}
+
+// Genesis assembles the initial chain state.
+type Genesis struct {
+	overlay *state.Overlay
+	reg     *sag.Registry
+}
+
+// Fund credits an account with wei.
+func (g *Genesis) Fund(addr Address, amount uint64) {
+	g.overlay.SetBalance(addr, u256.NewUint64(amount))
+}
+
+// Deploy compiles minisol source and installs it at addr.
+func (g *Genesis) Deploy(addr Address, source string) (*Contract, error) {
+	compiled, err := minisol.Compile(source)
+	if err != nil {
+		return nil, err
+	}
+	g.overlay.SetCode(addr, compiled.Code)
+	g.reg.RegisterCompiled(addr, compiled)
+	return &Contract{Addr: addr, Compiled: compiled}, nil
+}
+
+// SetStorage writes a raw storage slot (e.g. to pre-mint balances).
+func (g *Genesis) SetStorage(addr Address, slot Hash, val Word) {
+	g.overlay.SetStorage(addr, slot, val)
+}
+
+// MappingSlot returns the storage slot of mapping[key] for a mapping at
+// baseSlot, following Ethereum's layout rule.
+func MappingSlot(baseSlot uint64, key Word) Hash {
+	return minisol.MappingSlot(baseSlot, key)
+}
+
+// Chain is a single-node blockchain: committed state plus the four
+// execution engines.
+type Chain struct {
+	db       *state.DB
+	reg      *sag.Registry
+	eng      *chain.Engine
+	pool     *txpool.Pool
+	height   uint64
+	lastHash Hash
+	threads  int
+}
+
+// Option configures a Chain.
+type Option func(*Chain)
+
+// WithThreads sets the worker-thread count for parallel schemes
+// (default 8).
+func WithThreads(n int) Option {
+	return func(c *Chain) { c.threads = n }
+}
+
+// NewChain builds a chain, running the genesis function to set up initial
+// accounts and contracts, and commits the genesis block.
+func NewChain(genesis func(*Genesis) error, opts ...Option) (*Chain, error) {
+	db := state.NewDB()
+	reg := sag.NewRegistry()
+	c := &Chain{db: db, reg: reg, threads: 8}
+	for _, o := range opts {
+		o(c)
+	}
+	g := &Genesis{overlay: state.NewOverlay(db), reg: reg}
+	if genesis != nil {
+		if err := genesis(g); err != nil {
+			return nil, fmt.Errorf("dmvcc: genesis: %w", err)
+		}
+	}
+	if _, err := db.Commit(g.overlay.Changes()); err != nil {
+		return nil, fmt.Errorf("dmvcc: commit genesis: %w", err)
+	}
+	c.eng = chain.NewEngine(db, reg, c.threads)
+	c.pool = txpool.New(c.eng.Analyzer(), db, db.Root, c.blockContext)
+	c.height = 1
+	return c, nil
+}
+
+// Root returns the current committed state root.
+func (c *Chain) Root() Hash { return c.db.Root() }
+
+// Height returns the next block number.
+func (c *Chain) Height() uint64 { return c.height }
+
+// Balance reads an account's committed balance.
+func (c *Chain) Balance(addr Address) Word { return c.db.Balance(addr) }
+
+// Storage reads a committed storage slot.
+func (c *Chain) Storage(addr Address, slot Hash) Word { return c.db.Storage(addr, slot) }
+
+// BlockResult is the outcome of one committed block.
+type BlockResult struct {
+	Receipts []*Receipt
+	Root     Hash
+	// Block is the sealed block (header commitments filled); encode it with
+	// EncodeBlock to gossip to other validators.
+	Block *Block
+	// Stats holds DMVCC scheduler counters (zero for other modes).
+	Stats Stats
+	// OCCAborts counts OCC re-executions (zero for other modes).
+	OCCAborts int64
+}
+
+// EncodeBlock serializes a sealed block for the wire.
+func EncodeBlock(b *Block) []byte { return types.EncodeBlock(b) }
+
+// DecodeBlock parses a wire-encoded block, verifying its transaction root.
+func DecodeBlock(enc []byte) (*Block, error) { return types.DecodeBlock(enc) }
+
+// blockContext derives the environment of the next block.
+func (c *Chain) blockContext() evm.BlockContext {
+	return evm.BlockContext{
+		Number:    c.height,
+		Timestamp: 1_650_000_000 + c.height*12,
+		GasLimit:  1_000_000_000,
+		ChainID:   1,
+	}
+}
+
+// ExecuteBlock executes txs as the next block under the chosen scheme and
+// commits the result. All schemes produce identical state roots
+// (deterministic serializability — Theorem 1).
+func (c *Chain) ExecuteBlock(mode Mode, txs []*Transaction) (*BlockResult, error) {
+	c.eng.SetThreads(c.threads)
+	blockCtx := c.blockContext()
+	out, root, err := c.eng.ExecuteAndCommit(mode, blockCtx, txs)
+	if err != nil {
+		return nil, err
+	}
+	return c.sealResult(out, root, blockCtx, txs), nil
+}
+
+// sealResult assembles the committed block and advances the chain head.
+func (c *Chain) sealResult(out *chain.ExecOut, root Hash, blockCtx evm.BlockContext, txs []*Transaction) *BlockResult {
+	blk := types.SealBlock(c.lastHash, blockCtx.Number, blockCtx.Timestamp,
+		blockCtx.GasLimit, blockCtx.Coinbase, root, txs)
+	c.lastHash = blk.Header.Hash()
+	c.height++
+	return &BlockResult{
+		Receipts:  out.Receipts,
+		Root:      root,
+		Block:     blk,
+		Stats:     out.Stats,
+		OCCAborts: out.Aborts,
+	}
+}
+
+// ImportBlock validates a block produced by another chain instance:
+// transaction root checked, transactions re-executed under mode, and the
+// resulting state root compared with the header's commitment. On success
+// the block is committed and the chain head advances.
+func (c *Chain) ImportBlock(mode Mode, enc []byte) (*BlockResult, error) {
+	blk, err := types.DecodeBlock(enc)
+	if err != nil {
+		return nil, err
+	}
+	if blk.Header.Number != c.height {
+		return nil, fmt.Errorf("dmvcc: block %d does not extend height %d", blk.Header.Number, c.height)
+	}
+	c.eng.SetThreads(c.threads)
+	receipts, err := c.eng.ValidateBlock(mode, blk)
+	if err != nil {
+		return nil, err
+	}
+	c.lastHash = blk.Header.Hash()
+	c.height++
+	return &BlockResult{
+		Receipts: receipts,
+		Root:     blk.Header.StateRoot,
+		Block:    blk,
+	}, nil
+}
+
+// StaticCall executes a read-only contract call against the committed state
+// and returns the first return word. Nothing is committed.
+func (c *Chain) StaticCall(from Address, contract *Contract, method string, args ...Word) (Word, error) {
+	input, err := contract.CallData(method, args...)
+	if err != nil {
+		return Word{}, err
+	}
+	overlay := state.NewOverlay(c.db)
+	vm := evm.New(state.NewVMAdapter(overlay), c.blockContext(), evm.TxContext{Origin: from})
+	var zero Word
+	ret, _, err := vm.Call(from, contract.Addr, input, 10_000_000, &zero)
+	if err != nil {
+		return Word{}, err
+	}
+	return u256.FromBytes(ret), nil
+}
+
+// Submit adds a transaction to the chain's pool; its state access graph is
+// analyzed immediately against the latest snapshot (the paper's offline
+// analysis on arrival, Fig. 2).
+func (c *Chain) Submit(tx *Transaction) error {
+	return c.pool.Add(tx)
+}
+
+// Pending returns the number of pooled transactions.
+func (c *Chain) Pending() int { return c.pool.Len() }
+
+// PackAndExecute forms the next block from up to max pooled transactions
+// (arrival order), executes it under the chosen scheme — DMVCC reuses the
+// pool's cached C-SAGs, skipping re-analysis — and commits.
+func (c *Chain) PackAndExecute(mode Mode, max int) (*BlockResult, error) {
+	txs, csags := c.pool.Pack(max)
+	blockCtx := c.blockContext()
+	c.eng.SetThreads(c.threads)
+
+	var out *chain.ExecOut
+	var err error
+	if mode == ModeDMVCC {
+		out, err = c.eng.ExecuteDMVCCWith(blockCtx, txs, csags)
+	} else {
+		out, err = c.eng.Execute(mode, blockCtx, txs)
+	}
+	if err != nil {
+		return nil, err
+	}
+	root, err := c.eng.Commit(out.WriteSet)
+	if err != nil {
+		return nil, err
+	}
+	return c.sealResult(out, root, blockCtx, txs), nil
+}
+
+// NewTransfer builds a plain Ether transfer.
+func NewTransfer(nonce uint64, from, to Address, amount uint64) *Transaction {
+	return &Transaction{
+		Nonce: nonce,
+		From:  from,
+		To:    to,
+		Value: u256.NewUint64(amount),
+		Gas:   21_000,
+	}
+}
+
+// NewCall builds a contract-call transaction.
+func NewCall(nonce uint64, from Address, contract *Contract, value uint64, method string, args ...Word) (*Transaction, error) {
+	input, err := contract.CallData(method, args...)
+	if err != nil {
+		return nil, err
+	}
+	return &Transaction{
+		Nonce: nonce,
+		From:  from,
+		To:    contract.Addr,
+		Value: u256.NewUint64(value),
+		Gas:   10_000_000,
+		Data:  input,
+	}, nil
+}
+
+// MustCall is NewCall for known-good arguments (examples, tests).
+func MustCall(nonce uint64, from Address, contract *Contract, value uint64, method string, args ...Word) *Transaction {
+	tx, err := NewCall(nonce, from, contract, value, method, args...)
+	if err != nil {
+		panic(err)
+	}
+	return tx
+}

@@ -1,0 +1,165 @@
+// DeFi swaps: constant-product AMM pools under realistic traffic. Swaps on
+// the same pool form an inherent read-modify-write chain on the reserves —
+// no scheduler can parallelize them — but swaps on different pools are
+// independent. The example shows how the speedup of every scheduler decays
+// as traffic concentrates onto fewer pools, and that DMVCC tracks the
+// theoretical bound (serial_work / critical_path) much closer than the
+// transaction-level schedulers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dmvcc/internal/chain"
+	"dmvcc/internal/minisol"
+	"dmvcc/internal/sag"
+	"dmvcc/internal/state"
+	"dmvcc/internal/types"
+	"dmvcc/internal/u256"
+
+	"dmvcc/internal/evm"
+)
+
+const ammSrc = `
+contract AMM {
+    uint reserve0;
+    uint reserve1;
+
+    function swap(uint amountIn, uint dir) public returns (uint) {
+        require(amountIn > 0);
+        uint r0 = reserve0;
+        uint r1 = reserve1;
+        require(r0 > 0);
+        require(r1 > 0);
+        uint acc = amountIn;
+        for (uint i = 0; i < 30; i++) {
+            acc = acc + (acc * 997) / 1000 - (acc * 996) / 1000;
+        }
+        uint out = 0;
+        uint k = r0 * r1;
+        if (dir == 0) {
+            uint n0 = r0 + amountIn;
+            out = r1 - k / n0;
+            require(out < r1);
+            reserve0 = n0;
+            reserve1 = r1 - out;
+        } else {
+            uint n1 = r1 + amountIn;
+            out = r0 - k / n1;
+            require(out < r0);
+            reserve1 = n1;
+            reserve0 = r0 - out;
+        }
+        return out;
+    }
+}
+`
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func trader(i int) types.Address {
+	var a types.Address
+	a[0] = 0x77
+	a[18], a[19] = byte(i>>8), byte(i)
+	return a
+}
+
+func poolAddr(i int) types.Address {
+	var a types.Address
+	a[0], a[1] = 0xc0, 0x02
+	a[19] = byte(i)
+	return a
+}
+
+func run() error {
+	const swaps = 400
+	blockCtx := evm.BlockContext{Number: 1, Timestamp: 1_650_000_000, GasLimit: 1_000_000_000, ChainID: 1}
+
+	fmt.Printf("AMM block: %d swaps spread over a varying number of pools\n\n", swaps)
+	fmt.Printf("%-8s %10s %10s %10s %10s %12s\n", "pools", "serial", "dag", "occ", "dmvcc", "chain-bound")
+
+	for _, pools := range []int{64, 16, 4, 1} {
+		build := func() (*state.DB, *sag.Registry, error) {
+			db := state.NewDB()
+			reg := sag.NewRegistry()
+			compiled, err := minisol.Compile(ammSrc)
+			if err != nil {
+				return nil, nil, err
+			}
+			o := state.NewOverlay(db)
+			for p := 0; p < pools; p++ {
+				o.SetCode(poolAddr(p), compiled.Code)
+				reg.RegisterCompiled(poolAddr(p), compiled)
+				o.SetStorage(poolAddr(p), types.HexToHash("0x00"), u256.NewUint64(50_000_000_000))
+				o.SetStorage(poolAddr(p), types.HexToHash("0x01"), u256.NewUint64(80_000_000_000))
+			}
+			for i := 0; i < swaps; i++ {
+				o.SetBalance(trader(i), u256.NewUint64(1_000_000))
+			}
+			if _, err := db.Commit(o.Changes()); err != nil {
+				return nil, nil, err
+			}
+			return db, reg, nil
+		}
+		makeTxs := func() []*types.Transaction {
+			txs := make([]*types.Transaction, swaps)
+			for i := range txs {
+				txs[i] = &types.Transaction{
+					From: trader(i),
+					To:   poolAddr(i % pools),
+					Gas:  5_000_000,
+					Data: minisol.CallData("swap",
+						u256.NewUint64(uint64(1000+i)), u256.NewUint64(uint64(i%2))),
+				}
+			}
+			return txs
+		}
+
+		speedups := map[chain.Mode]float64{}
+		var chainBound float64
+		var refRoot types.Hash
+		for _, mode := range chain.AllModes {
+			db, reg, err := build()
+			if err != nil {
+				return err
+			}
+			eng := chain.NewEngine(db, reg, 8)
+			out, root, err := eng.ExecuteAndCommit(mode, blockCtx, makeTxs())
+			if err != nil {
+				return fmt.Errorf("pools=%d %s: %w", pools, mode, err)
+			}
+			if refRoot.IsZero() {
+				refRoot = root
+			} else if root != refRoot {
+				return fmt.Errorf("pools=%d: %s diverged", pools, mode)
+			}
+			serial, _ := out.Makespan(chain.ModeSerial, 1)
+			span, err := out.Makespan(mode, 32)
+			if err != nil {
+				return err
+			}
+			speedups[mode] = float64(serial) / float64(span)
+			if mode == chain.ModeDMVCC {
+				// Theoretical bound: unlimited workers.
+				crit, err := out.Makespan(mode, 1_000_000)
+				if err != nil {
+					return err
+				}
+				chainBound = float64(serial) / float64(crit)
+			}
+		}
+		fmt.Printf("%-8d %9.1fx %9.1fx %9.1fx %9.1fx %11.1fx\n",
+			pools, speedups[chain.ModeSerial], speedups[chain.ModeDAG],
+			speedups[chain.ModeOCC], speedups[chain.ModeDMVCC], chainBound)
+	}
+
+	fmt.Println("\nwith one pool every scheduler degenerates to the reserve chain (the")
+	fmt.Println("inherent-parallelism limit); with many pools DMVCC approaches the")
+	fmt.Println("32-thread optimum while transaction-level scheduling lags behind.")
+	return nil
+}

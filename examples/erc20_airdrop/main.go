@@ -1,0 +1,143 @@
+// ERC20 airdrop: the paper's motivating token-distribution traffic. One
+// sender credits hundreds of distinct recipients; every credit also bumps
+// the recipient's balance slot and the sender's slot. Without commutative
+// writes and write versioning the sender slot serializes everything; DMVCC
+// schedules the block nearly embarrassingly parallel. The example executes
+// the same airdrop block under all four schedulers and reports the
+// virtual-time speedup each achieves at several thread counts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dmvcc"
+	"dmvcc/internal/chain"
+	"dmvcc/internal/evm"
+	"dmvcc/internal/minisol"
+	"dmvcc/internal/sag"
+	"dmvcc/internal/state"
+	"dmvcc/internal/types"
+	"dmvcc/internal/u256"
+)
+
+const tokenSrc = `
+contract Token {
+    mapping(address => uint) balances;
+    uint totalSupply;
+
+    function airdrop(address to, uint amount) public {
+        uint spin = 0;
+        for (uint i = 0; i < 40; i++) {
+            spin = spin + i * 3;
+        }
+        balances[to] += amount;
+        totalSupply += amount;
+    }
+
+    function balanceOf(address a) public view returns (uint) {
+        return balances[a];
+    }
+}
+`
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func user(i int) types.Address {
+	var a types.Address
+	a[0] = 0xee
+	a[18], a[19] = byte(i>>8), byte(i)
+	return a
+}
+
+func run() error {
+	const recipients = 400
+	tokenAddr := dmvcc.HexAddress("0xc000000000000000000000000000000000000001")
+	distributor := dmvcc.HexAddress("0xd157000000000000000000000000000000000001")
+
+	build := func() (*state.DB, *sag.Registry, error) {
+		db := state.NewDB()
+		reg := sag.NewRegistry()
+		compiled, err := minisol.Compile(tokenSrc)
+		if err != nil {
+			return nil, nil, err
+		}
+		o := state.NewOverlay(db)
+		o.SetCode(tokenAddr, compiled.Code)
+		reg.RegisterCompiled(tokenAddr, compiled)
+		o.SetBalance(distributor, u256.NewUint64(1_000_000_000))
+		if _, err := db.Commit(o.Changes()); err != nil {
+			return nil, nil, err
+		}
+		return db, reg, nil
+	}
+
+	// The airdrop block: every tx is sent by the distributor (a worst case
+	// for nonce chains) crediting a distinct recipient.
+	makeTxs := func() []*types.Transaction {
+		txs := make([]*types.Transaction, recipients)
+		for i := 0; i < recipients; i++ {
+			txs[i] = &types.Transaction{
+				Nonce: uint64(i),
+				From:  distributor,
+				To:    tokenAddr,
+				Gas:   5_000_000,
+				Data:  minisol.CallData("airdrop", user(i).Word(), u256.NewUint64(100)),
+			}
+		}
+		return txs
+	}
+
+	fmt.Printf("airdrop block: %d credits from one distributor\n\n", recipients)
+	fmt.Printf("%-8s", "threads")
+	threadCounts := []int{1, 4, 8, 16, 32}
+	for _, th := range threadCounts {
+		fmt.Printf("%8d", th)
+	}
+	fmt.Println()
+
+	var refRoot types.Hash
+	for _, mode := range chain.AllModes {
+		db, reg, err := build()
+		if err != nil {
+			return err
+		}
+		eng := chain.NewEngine(db, reg, 8)
+		blockCtx := evm.BlockContext{Number: 1, Timestamp: 1_650_000_000, GasLimit: 1_000_000_000, ChainID: 1}
+		txs := makeTxs()
+		out, root, err := eng.ExecuteAndCommit(mode, blockCtx, txs)
+		if err != nil {
+			return fmt.Errorf("%s: %w", mode, err)
+		}
+		if refRoot.IsZero() {
+			refRoot = root
+		} else if root != refRoot {
+			return fmt.Errorf("%s: root diverged", mode)
+		}
+		serial, err := out.Makespan(chain.ModeSerial, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s", mode)
+		for _, th := range threadCounts {
+			span, err := out.Makespan(mode, th)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%7.1fx", float64(serial)/float64(span))
+		}
+		if mode == chain.ModeDMVCC {
+			fmt.Printf("   deltas=%d aborts=%d", out.Stats.DeltaPublishes, out.Stats.Aborts)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n(speedup over serial; roots identical across all schedulers)")
+	fmt.Println("DMVCC turns the shared totalSupply counter and recipient credits")
+	fmt.Println("into commutative deltas, so the only chain left is the sender nonce —")
+	fmt.Println("which write versioning pipelines.")
+	return nil
+}

@@ -1,0 +1,177 @@
+// ICO contention: the paper's RQ3 narrative — "almost all transactions in
+// the recent blocks access the same ICO contract" when a coin offering
+// launches. Every buyer increments the shared `raised` counter and their own
+// contribution slot. The shared counter forces transaction-level schedulers
+// into a serial chain; DMVCC's commutative writes (ω̄ deltas) dissolve it.
+// The example also toggles DMVCC's features to show which one carries the
+// win (the ablation study).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dmvcc/internal/chain"
+	"dmvcc/internal/core"
+	"dmvcc/internal/evm"
+	"dmvcc/internal/minisol"
+	"dmvcc/internal/sag"
+	"dmvcc/internal/schedsim"
+	"dmvcc/internal/state"
+	"dmvcc/internal/types"
+	"dmvcc/internal/u256"
+)
+
+const icoSrc = `
+contract ICO {
+    uint raised;
+    mapping(address => uint) contributions;
+    mapping(address => uint) tokensOwed;
+
+    function buy() public payable {
+        require(msg.value > 0);
+        uint spin = 0;
+        for (uint i = 0; i < 30; i++) {
+            spin = spin + i * 5;
+        }
+        raised += msg.value;
+        contributions[msg.sender] += msg.value;
+        tokensOwed[msg.sender] += msg.value * 2;
+    }
+
+    function totalRaised() public view returns (uint) {
+        return raised;
+    }
+}
+`
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func buyer(i int) types.Address {
+	var a types.Address
+	a[0] = 0xbb
+	a[18], a[19] = byte(i>>8), byte(i)
+	return a
+}
+
+func run() error {
+	const buyers = 500
+	icoAddr := types.HexToAddress("0xc000000000000000000000000000000000000001")
+	blockCtx := evm.BlockContext{Number: 1, Timestamp: 1_650_000_000, GasLimit: 1_000_000_000, ChainID: 1}
+
+	build := func() (*state.DB, *sag.Registry, error) {
+		db := state.NewDB()
+		reg := sag.NewRegistry()
+		compiled, err := minisol.Compile(icoSrc)
+		if err != nil {
+			return nil, nil, err
+		}
+		o := state.NewOverlay(db)
+		o.SetCode(icoAddr, compiled.Code)
+		reg.RegisterCompiled(icoAddr, compiled)
+		for i := 0; i < buyers; i++ {
+			o.SetBalance(buyer(i), u256.NewUint64(1_000_000))
+		}
+		if _, err := db.Commit(o.Changes()); err != nil {
+			return nil, nil, err
+		}
+		return db, reg, nil
+	}
+	makeTxs := func() []*types.Transaction {
+		txs := make([]*types.Transaction, buyers)
+		for i := range txs {
+			txs[i] = &types.Transaction{
+				From:  buyer(i),
+				To:    icoAddr,
+				Value: u256.NewUint64(uint64(100 + i)),
+				Gas:   5_000_000,
+				Data:  minisol.CallData("buy"),
+			}
+		}
+		return txs
+	}
+
+	fmt.Printf("ICO launch block: %d buys of the same contract\n\n", buyers)
+	threads := []int{1, 8, 32}
+
+	// Part 1: the four schedulers.
+	fmt.Printf("%-10s", "scheme")
+	for _, th := range threads {
+		fmt.Printf("%8d", th)
+	}
+	fmt.Println("   (threads)")
+	var refRoot types.Hash
+	for _, mode := range chain.AllModes {
+		db, reg, err := build()
+		if err != nil {
+			return err
+		}
+		eng := chain.NewEngine(db, reg, 8)
+		out, root, err := eng.ExecuteAndCommit(mode, blockCtx, makeTxs())
+		if err != nil {
+			return fmt.Errorf("%s: %w", mode, err)
+		}
+		if refRoot.IsZero() {
+			refRoot = root
+		} else if root != refRoot {
+			return fmt.Errorf("%s diverged from serial root", mode)
+		}
+		serial, _ := out.Makespan(chain.ModeSerial, 1)
+		fmt.Printf("%-10s", mode)
+		for _, th := range threads {
+			span, err := out.Makespan(mode, th)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%7.1fx", float64(serial)/float64(span))
+		}
+		fmt.Println()
+	}
+
+	// Part 2: DMVCC ablation — which feature dissolves the counter chain?
+	fmt.Println("\nDMVCC feature ablation:")
+	variants := []struct {
+		label string
+		opts  core.Options
+	}{
+		{"full", core.Options{}},
+		{"no-comm", core.Options{DisableCommutative: true}},
+		{"no-early", core.Options{DisableEarlyWrite: true}},
+	}
+	for _, v := range variants {
+		db, reg, err := build()
+		if err != nil {
+			return err
+		}
+		an := sag.NewAnalyzer(reg)
+		txs := makeTxs()
+		csags, err := an.AnalyzeBlock(txs, db, blockCtx)
+		if err != nil {
+			return err
+		}
+		res, err := core.NewExecutorOpts(reg, 8, v.opts).ExecuteBlock(db, blockCtx, txs, csags)
+		if err != nil {
+			return err
+		}
+		if _, err := db.Commit(res.WriteSet); err != nil {
+			return err
+		}
+		if db.Root() != refRoot {
+			return fmt.Errorf("ablation %s diverged", v.label)
+		}
+		var serial uint64
+		for _, tr := range res.Traces {
+			serial += tr.Gas
+		}
+		span := schedsim.DMVCC(res.Traces, 32, res.WastedGas)
+		fmt.Printf("  %-9s %6.1fx at 32 threads (deltas=%d)\n",
+			v.label, float64(serial)/float64(span), res.Stats.DeltaPublishes)
+	}
+	fmt.Println("\ncommutative writes are what dissolve the shared `raised` counter;")
+	fmt.Println("all variants still commit the serial root (correctness is never traded).")
+	return nil
+}

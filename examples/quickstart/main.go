@@ -1,0 +1,98 @@
+// Quickstart: deploy a token, execute one block under every scheduler, and
+// verify that all four commit the same state root (deterministic
+// serializability, the paper's Theorem 1 / RQ1).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dmvcc"
+)
+
+const tokenSrc = `
+contract Token {
+    mapping(address => uint) balances;
+    uint totalSupply;
+
+    function mint(address to, uint amount) public {
+        balances[to] += amount;
+        totalSupply += amount;
+    }
+
+    function transfer(address to, uint amount) public {
+        require(balances[msg.sender] >= amount);
+        balances[msg.sender] -= amount;
+        balances[to] += amount;
+    }
+
+    function balanceOf(address a) public view returns (uint) {
+        return balances[a];
+    }
+}
+`
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	alice := dmvcc.HexAddress("0xa11ce00000000000000000000000000000000001")
+	bob := dmvcc.HexAddress("0xb0b0000000000000000000000000000000000002")
+	tokenAddr := dmvcc.HexAddress("0xc000000000000000000000000000000000000001")
+
+	buildChain := func() (*dmvcc.Chain, *dmvcc.Contract, error) {
+		var token *dmvcc.Contract
+		c, err := dmvcc.NewChain(func(g *dmvcc.Genesis) error {
+			g.Fund(alice, 1_000_000_000)
+			g.Fund(bob, 1_000_000_000)
+			var err error
+			token, err = g.Deploy(tokenAddr, tokenSrc)
+			return err
+		}, dmvcc.WithThreads(8))
+		return c, token, err
+	}
+
+	modes := []dmvcc.Mode{dmvcc.ModeSerial, dmvcc.ModeDAG, dmvcc.ModeOCC, dmvcc.ModeDMVCC}
+	var firstRoot dmvcc.Hash
+	for _, mode := range modes {
+		c, token, err := buildChain()
+		if err != nil {
+			return err
+		}
+		txs := []*dmvcc.Transaction{
+			dmvcc.MustCall(0, alice, token, 0, "mint", alice.Word(), dmvcc.NewWord(10_000)),
+			dmvcc.MustCall(1, alice, token, 0, "transfer", bob.Word(), dmvcc.NewWord(2_500)),
+			dmvcc.MustCall(0, bob, token, 0, "transfer", alice.Word(), dmvcc.NewWord(500)),
+			dmvcc.NewTransfer(2, alice, bob, 123_456),
+		}
+		res, err := c.ExecuteBlock(mode, txs)
+		if err != nil {
+			return fmt.Errorf("mode %s: %w", mode, err)
+		}
+		fmt.Printf("%-7s root=%s", mode, res.Root.Hex()[:18])
+		if mode == dmvcc.ModeDMVCC {
+			fmt.Printf("  (early publishes=%d, deltas=%d, aborts=%d)",
+				res.Stats.EarlyPublishes, res.Stats.DeltaPublishes, res.Stats.Aborts)
+		}
+		fmt.Println()
+
+		if firstRoot.IsZero() {
+			firstRoot = res.Root
+		} else if res.Root != firstRoot {
+			return fmt.Errorf("mode %s diverged from serial root", mode)
+		}
+
+		bal, err := c.StaticCall(alice, token, "balanceOf", bob.Word())
+		if err != nil {
+			return err
+		}
+		if bal.Uint64() != 2_000 { // 2500 received - 500 sent back
+			return fmt.Errorf("unexpected bob balance %d", bal.Uint64())
+		}
+	}
+	fmt.Println("\nall four schedulers committed the identical state root ✓")
+	return nil
+}

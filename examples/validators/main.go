@@ -1,0 +1,130 @@
+// Validators: the paper's deployment story end to end. A miner packs
+// pooled transactions (analyzed offline on arrival, Fig. 2) and seals a
+// block; a validator receives the encoded block over the wire, re-executes
+// it under DMVCC, and accepts it only if the state root matches — the same
+// Merkle-root oracle the paper uses for RQ1. Ten blocks of mixed traffic
+// are mined serially and imported in parallel, and the two chains must
+// never diverge.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"dmvcc"
+)
+
+const tokenSrc = `
+contract Token {
+    mapping(address => uint) balances;
+    uint totalSupply;
+
+    function mint(address to, uint amount) public {
+        balances[to] += amount;
+        totalSupply += amount;
+    }
+
+    function transfer(address to, uint amount) public {
+        require(balances[msg.sender] >= amount);
+        balances[msg.sender] -= amount;
+        balances[to] += amount;
+    }
+
+    function balanceOf(address a) public view returns (uint) {
+        return balances[a];
+    }
+}
+`
+
+func user(i int) dmvcc.Address {
+	var a dmvcc.Address
+	a[0] = 0xee
+	a[19] = byte(i)
+	return a
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func newNode() (*dmvcc.Chain, *dmvcc.Contract, error) {
+	tokenAddr := dmvcc.HexAddress("0xc000000000000000000000000000000000000001")
+	var token *dmvcc.Contract
+	c, err := dmvcc.NewChain(func(g *dmvcc.Genesis) error {
+		for i := 0; i < 32; i++ {
+			g.Fund(user(i), 1_000_000_000)
+			g.SetStorage(tokenAddr, dmvcc.MappingSlot(0, user(i).Word()), dmvcc.NewWord(100_000))
+		}
+		var err error
+		token, err = g.Deploy(tokenAddr, tokenSrc)
+		return err
+	}, dmvcc.WithThreads(8))
+	return c, token, err
+}
+
+func run() error {
+	miner, token, err := newNode()
+	if err != nil {
+		return err
+	}
+	validator, _, err := newNode()
+	if err != nil {
+		return err
+	}
+	if miner.Root() != validator.Root() {
+		return fmt.Errorf("genesis mismatch")
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	nonces := map[dmvcc.Address]uint64{}
+	nonce := func(a dmvcc.Address) uint64 { n := nonces[a]; nonces[a] = n + 1; return n }
+
+	for blockN := 0; blockN < 10; blockN++ {
+		// Clients submit transactions to the miner's pool; each is analyzed
+		// on arrival.
+		for i := 0; i < 50; i++ {
+			from := user(rng.Intn(32))
+			var tx *dmvcc.Transaction
+			if rng.Intn(4) == 0 {
+				tx = dmvcc.NewTransfer(nonce(from), from, user(rng.Intn(32)), uint64(1+rng.Intn(5000)))
+			} else {
+				tx = dmvcc.MustCall(nonce(from), from, token, 0, "transfer",
+					user(rng.Intn(32)).Word(), dmvcc.NewWord(uint64(1+rng.Intn(900))))
+			}
+			if err := miner.Submit(tx); err != nil {
+				return err
+			}
+		}
+
+		// The miner packs and executes with DMVCC (cached C-SAGs, no
+		// re-analysis), sealing the block.
+		mined, err := miner.PackAndExecute(dmvcc.ModeDMVCC, 50)
+		if err != nil {
+			return fmt.Errorf("mine block %d: %w", blockN, err)
+		}
+
+		// The validator imports the wire-encoded block, re-executing under
+		// DMVCC and checking the header's state root.
+		imported, err := validator.ImportBlock(dmvcc.ModeDMVCC, dmvcc.EncodeBlock(mined.Block))
+		if err != nil {
+			return fmt.Errorf("import block %d: %w", blockN, err)
+		}
+		ok := 0
+		for _, r := range imported.Receipts {
+			if r.Status.String() == "success" {
+				ok++
+			}
+		}
+		fmt.Printf("block %2d: %2d txs (%2d ok)  root %s  dmvcc(early=%d deltas=%d aborts=%d)\n",
+			blockN+1, len(imported.Receipts), ok, mined.Root.Hex()[:18],
+			mined.Stats.EarlyPublishes, mined.Stats.DeltaPublishes, mined.Stats.Aborts)
+		if miner.Root() != validator.Root() {
+			return fmt.Errorf("chains diverged at block %d", blockN)
+		}
+	}
+	fmt.Println("\nminer and validator stayed root-identical for 10 blocks ✓")
+	return nil
+}

@@ -1,0 +1,3 @@
+module dmvcc
+
+go 1.22

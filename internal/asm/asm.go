@@ -1,0 +1,190 @@
+// Package asm provides a small assembler and disassembler for the VM's
+// bytecode. The assembler supports labels with two-byte jump targets and is
+// used by tests and by the minisol code generator; the disassembler feeds
+// the CFG recovery in internal/cfg.
+package asm
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"dmvcc/internal/evm"
+	"dmvcc/internal/u256"
+)
+
+// ErrUnknownLabel reports a jump to a label that was never defined.
+var ErrUnknownLabel = errors.New("asm: unknown label")
+
+// ErrDuplicateLabel reports a label defined twice.
+var ErrDuplicateLabel = errors.New("asm: duplicate label")
+
+type fixup struct {
+	pos   int // offset of the 2-byte immediate to patch
+	label string
+}
+
+// Assembler builds bytecode incrementally. All methods return the receiver
+// for chaining; errors are accumulated and reported by Bytes.
+type Assembler struct {
+	code   []byte
+	labels map[string]int
+	fixups []fixup
+	errs   []error
+}
+
+// New returns an empty assembler.
+func New() *Assembler {
+	return &Assembler{labels: make(map[string]int)}
+}
+
+// Op appends raw opcodes.
+func (a *Assembler) Op(ops ...evm.Opcode) *Assembler {
+	for _, op := range ops {
+		a.code = append(a.code, byte(op))
+	}
+	return a
+}
+
+// Push appends the smallest PUSH encoding of v.
+func (a *Assembler) Push(v uint64) *Assembler {
+	w := u256.NewUint64(v)
+	return a.PushWord(&w)
+}
+
+// PushWord appends the smallest PUSH encoding of a 256-bit word.
+func (a *Assembler) PushWord(v *u256.Int) *Assembler {
+	b := v.Bytes()
+	if len(b) == 0 {
+		b = []byte{0}
+	}
+	a.code = append(a.code, byte(evm.PUSH1)+byte(len(b)-1))
+	a.code = append(a.code, b...)
+	return a
+}
+
+// PushBytes appends a PUSH of raw big-endian bytes (1..32).
+func (a *Assembler) PushBytes(b []byte) *Assembler {
+	if len(b) == 0 || len(b) > 32 {
+		a.errs = append(a.errs, fmt.Errorf("asm: bad push size %d", len(b)))
+		return a
+	}
+	a.code = append(a.code, byte(evm.PUSH1)+byte(len(b)-1))
+	a.code = append(a.code, b...)
+	return a
+}
+
+// Label defines a jump target at the current position and emits JUMPDEST.
+func (a *Assembler) Label(name string) *Assembler {
+	if _, dup := a.labels[name]; dup {
+		a.errs = append(a.errs, fmt.Errorf("%w: %s", ErrDuplicateLabel, name))
+		return a
+	}
+	a.labels[name] = len(a.code)
+	a.code = append(a.code, byte(evm.JUMPDEST))
+	return a
+}
+
+// PushLabel pushes the address of a label (PUSH2 imm, patched at Bytes).
+func (a *Assembler) PushLabel(name string) *Assembler {
+	a.code = append(a.code, byte(evm.PUSH1)+1, 0, 0) // PUSH2 placeholder
+	a.fixups = append(a.fixups, fixup{pos: len(a.code) - 2, label: name})
+	return a
+}
+
+// Jump emits an unconditional jump to the label.
+func (a *Assembler) Jump(name string) *Assembler {
+	return a.PushLabel(name).Op(evm.JUMP)
+}
+
+// JumpIf emits a conditional jump consuming the top-of-stack condition.
+func (a *Assembler) JumpIf(name string) *Assembler {
+	return a.PushLabel(name).Op(evm.JUMPI)
+}
+
+// Len returns the current code length — the pc of the next emitted
+// instruction. Label fixups patch bytes in place, so positions are final.
+func (a *Assembler) Len() int { return len(a.code) }
+
+// Bytes resolves labels and returns the final bytecode.
+func (a *Assembler) Bytes() ([]byte, error) {
+	if len(a.errs) > 0 {
+		return nil, a.errs[0]
+	}
+	out := make([]byte, len(a.code))
+	copy(out, a.code)
+	for _, fx := range a.fixups {
+		target, ok := a.labels[fx.label]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrUnknownLabel, fx.label)
+		}
+		if target > 0xffff {
+			return nil, fmt.Errorf("asm: label %s out of PUSH2 range", fx.label)
+		}
+		out[fx.pos] = byte(target >> 8)
+		out[fx.pos+1] = byte(target)
+	}
+	return out, nil
+}
+
+// MustBytes is Bytes for tests and trusted build-time codegen.
+func (a *Assembler) MustBytes() []byte {
+	b, err := a.Bytes()
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Instruction is one decoded instruction.
+type Instruction struct {
+	PC  uint64
+	Op  evm.Opcode
+	Arg []byte // PUSH immediate, nil otherwise
+}
+
+// Size returns the encoded size of the instruction in bytes.
+func (i Instruction) Size() uint64 { return 1 + uint64(len(i.Arg)) }
+
+// String formats the instruction like an objdump line.
+func (i Instruction) String() string {
+	if len(i.Arg) > 0 {
+		return fmt.Sprintf("%04x: %s 0x%x", i.PC, i.Op, i.Arg)
+	}
+	return fmt.Sprintf("%04x: %s", i.PC, i.Op)
+}
+
+// Disassemble decodes code into instructions. Truncated PUSH immediates at
+// the end of code are zero-extended, matching VM semantics.
+func Disassemble(code []byte) []Instruction {
+	var out []Instruction
+	for pc := 0; pc < len(code); {
+		op := evm.Opcode(code[pc])
+		ins := Instruction{PC: uint64(pc), Op: op}
+		if n := op.PushBytes(); n > 0 {
+			end := pc + 1 + n
+			arg := make([]byte, n)
+			if end <= len(code) {
+				copy(arg, code[pc+1:end])
+			} else if pc+1 < len(code) {
+				copy(arg, code[pc+1:])
+			}
+			ins.Arg = arg
+			pc = end
+		} else {
+			pc++
+		}
+		out = append(out, ins)
+	}
+	return out
+}
+
+// Format renders a full disassembly listing.
+func Format(code []byte) string {
+	var sb strings.Builder
+	for _, ins := range Disassemble(code) {
+		sb.WriteString(ins.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

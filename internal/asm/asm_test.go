@@ -1,0 +1,132 @@
+package asm
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"dmvcc/internal/evm"
+	"dmvcc/internal/u256"
+)
+
+func TestPushEncodingSizes(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want []byte
+	}{
+		{0, []byte{byte(evm.PUSH1), 0x00}},
+		{1, []byte{byte(evm.PUSH1), 0x01}},
+		{255, []byte{byte(evm.PUSH1), 0xff}},
+		{256, []byte{byte(evm.PUSH1) + 1, 0x01, 0x00}},
+		{1 << 16, []byte{byte(evm.PUSH1) + 2, 0x01, 0x00, 0x00}},
+	}
+	for _, tc := range cases {
+		got, err := New().Push(tc.v).Bytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, tc.want) {
+			t.Errorf("Push(%d) = %x, want %x", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestPushWordFull(t *testing.T) {
+	w := u256.Max
+	got, err := New().PushWord(&w).Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != byte(evm.PUSH32) || len(got) != 33 {
+		t.Errorf("PushWord(Max) = %x", got)
+	}
+}
+
+func TestLabelsResolve(t *testing.T) {
+	code, err := New().
+		Push(1).
+		JumpIf("end").
+		Push(0xff).
+		Op(evm.POP).
+		Label("end").
+		Op(evm.STOP).
+		Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the JUMPDEST position and check the PUSH2 immediate matches.
+	dest := -1
+	for i, b := range code {
+		if evm.Opcode(b) == evm.JUMPDEST {
+			dest = i
+			break
+		}
+	}
+	if dest < 0 {
+		t.Fatal("no JUMPDEST emitted")
+	}
+	imm := int(code[3])<<8 | int(code[4]) // PUSH1 1 | PUSH2 hi lo | JUMPI ...
+	if imm != dest {
+		t.Errorf("label immediate = %d, JUMPDEST at %d", imm, dest)
+	}
+}
+
+func TestUnknownLabel(t *testing.T) {
+	_, err := New().Jump("nowhere").Bytes()
+	if !errors.Is(err, ErrUnknownLabel) {
+		t.Errorf("err = %v, want ErrUnknownLabel", err)
+	}
+}
+
+func TestDuplicateLabel(t *testing.T) {
+	_, err := New().Label("x").Label("x").Bytes()
+	if !errors.Is(err, ErrDuplicateLabel) {
+		t.Errorf("err = %v, want ErrDuplicateLabel", err)
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	code := New().
+		Push(5).
+		Push(7).
+		Op(evm.ADD, evm.DUP1, evm.POP, evm.POP, evm.STOP).
+		MustBytes()
+	ins := Disassemble(code)
+	var back []byte
+	for _, i := range ins {
+		back = append(back, byte(i.Op))
+		back = append(back, i.Arg...)
+	}
+	if !bytes.Equal(back, code) {
+		t.Errorf("reassembled %x != original %x", back, code)
+	}
+	total := uint64(0)
+	for _, i := range ins {
+		if i.PC != total {
+			t.Errorf("instruction PC %d, expected %d", i.PC, total)
+		}
+		total += i.Size()
+	}
+}
+
+func TestDisassembleTruncatedPush(t *testing.T) {
+	code := []byte{byte(evm.PUSH32), 0x01, 0x02} // 30 bytes missing
+	ins := Disassemble(code)
+	if len(ins) != 1 {
+		t.Fatalf("got %d instructions", len(ins))
+	}
+	if len(ins[0].Arg) != 32 || ins[0].Arg[0] != 0x01 || ins[0].Arg[31] != 0 {
+		t.Errorf("truncated push arg = %x", ins[0].Arg)
+	}
+}
+
+func TestFormatListing(t *testing.T) {
+	code := New().Push(1).Op(evm.POP, evm.STOP).MustBytes()
+	listing := Format(code)
+	for _, want := range []string{"PUSH1", "POP", "STOP"} {
+		if !strings.Contains(listing, want) {
+			t.Errorf("listing missing %s:\n%s", want, listing)
+		}
+	}
+}

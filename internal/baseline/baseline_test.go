@@ -1,0 +1,258 @@
+package baseline_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dmvcc/internal/baseline"
+	"dmvcc/internal/evm"
+	"dmvcc/internal/minisol"
+	"dmvcc/internal/state"
+	"dmvcc/internal/types"
+	"dmvcc/internal/u256"
+)
+
+var (
+	tokenAddr = types.HexToAddress("0xc000000000000000000000000000000000000001")
+	blk       = evm.BlockContext{Number: 3, Timestamp: 1_000, GasLimit: 30_000_000, ChainID: 1}
+)
+
+func user(i int) types.Address {
+	var a types.Address
+	a[0] = 0xdd
+	a[19] = byte(i)
+	return a
+}
+
+const tokenSrc = `
+contract Token {
+    mapping(address => uint) balances;
+    uint totalSupply;
+
+    function mint(address to, uint amount) public {
+        balances[to] += amount;
+        totalSupply += amount;
+    }
+
+    function transfer(address to, uint amount) public {
+        require(balances[msg.sender] >= amount);
+        balances[msg.sender] -= amount;
+        balances[to] += amount;
+    }
+}
+`
+
+func fixture(t *testing.T) *state.DB {
+	t.Helper()
+	db := state.NewDB()
+	c, err := minisol.Compile(tokenSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := state.NewOverlay(db)
+	o.SetCode(tokenAddr, c.Code)
+	for i := 0; i < 32; i++ {
+		o.SetBalance(user(i), u256.NewUint64(1_000_000))
+		o.SetStorage(tokenAddr, minisol.MappingSlot(0, user(i).Word()), u256.NewUint64(1_000))
+	}
+	if _, err := db.Commit(o.Changes()); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func transferTx(from, to types.Address, amount uint64) *types.Transaction {
+	return &types.Transaction{
+		From: from,
+		To:   tokenAddr,
+		Gas:  1_000_000,
+		Data: minisol.CallData("transfer", to.Word(), u256.NewUint64(amount)),
+	}
+}
+
+func randomWorkload(seed int64, n int) []*types.Transaction {
+	r := rand.New(rand.NewSource(seed))
+	txs := make([]*types.Transaction, 0, n)
+	for i := 0; i < n; i++ {
+		if r.Intn(4) == 0 {
+			txs = append(txs, &types.Transaction{
+				From:  user(r.Intn(32)),
+				To:    user(r.Intn(32)),
+				Value: u256.NewUint64(uint64(r.Intn(500))),
+				Gas:   21_000,
+			})
+		} else {
+			txs = append(txs, transferTx(user(r.Intn(32)), user(r.Intn(32)), uint64(r.Intn(1_500))))
+		}
+	}
+	return txs
+}
+
+// roots executes the same workload under all three baselines on separate
+// fixture copies and returns the committed roots.
+func roots(t *testing.T, txs []*types.Transaction, threads int) (serial, dag, occ types.Hash) {
+	t.Helper()
+	dbS := fixture(t)
+	rs, err := baseline.ExecuteSerial(dbS, blk, txs)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	serial, err = dbS.Commit(rs.WriteSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dbD := fixture(t)
+	sets, err := baseline.OracleSets(dbD, blk, txs)
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	rd, err := baseline.ExecuteDAG(dbD, blk, txs, sets, threads)
+	if err != nil {
+		t.Fatalf("dag: %v", err)
+	}
+	dag, err = dbD.Commit(rd.WriteSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dbO := fixture(t)
+	ro, err := baseline.ExecuteOCC(dbO, blk, txs, threads)
+	if err != nil {
+		t.Fatalf("occ: %v", err)
+	}
+	occ, err = dbO.Commit(ro.WriteSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return serial, dag, occ
+}
+
+func TestAllBaselinesAgreeSimple(t *testing.T) {
+	txs := []*types.Transaction{
+		transferTx(user(0), user(1), 500),
+		transferTx(user(1), user(2), 1_200), // depends on the credit above
+		transferTx(user(3), user(4), 100),
+	}
+	s, d, o := roots(t, txs, 4)
+	if d != s {
+		t.Errorf("dag root %s != serial %s", d, s)
+	}
+	if o != s {
+		t.Errorf("occ root %s != serial %s", o, s)
+	}
+}
+
+func TestAllBaselinesAgreeRandom(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			txs := randomWorkload(seed, 40)
+			threads := []int{1, 2, 4, 8}[seed%4]
+			s, d, o := roots(t, txs, threads)
+			if d != s {
+				t.Errorf("dag root diverged")
+			}
+			if o != s {
+				t.Errorf("occ root diverged")
+			}
+		})
+	}
+}
+
+func TestOCCCountsAborts(t *testing.T) {
+	// A dependent chain forces OCC to re-execute: every transfer needs the
+	// previous one's credit to avoid reverting.
+	txs := []*types.Transaction{
+		transferTx(user(0), user(1), 1_000),
+		transferTx(user(1), user(2), 1_500),
+		transferTx(user(2), user(3), 2_000),
+		transferTx(user(3), user(4), 2_500),
+	}
+	db := fixture(t)
+	res, err := baseline.ExecuteOCC(db, blk, txs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aborts == 0 {
+		t.Errorf("expected OCC aborts on a dependent chain, got %d", res.Aborts)
+	}
+	root, err := db.Commit(res.WriteSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbS := fixture(t)
+	rs, err := baseline.ExecuteSerial(dbS, blk, txs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := dbS.Commit(rs.WriteSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root != want {
+		t.Errorf("occ root %s != serial %s", root, want)
+	}
+}
+
+func TestDAGRespectsDependencies(t *testing.T) {
+	// Same dependent chain: all receipts must be successes, exactly like
+	// serial execution (proving ordering was respected).
+	txs := []*types.Transaction{
+		transferTx(user(0), user(1), 1_000),
+		transferTx(user(1), user(2), 1_500),
+		transferTx(user(2), user(3), 2_000),
+	}
+	db := fixture(t)
+	sets, err := baseline.OracleSets(db, blk, txs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := baseline.ExecuteDAG(db, blk, txs, sets, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res.Receipts {
+		if r.Status != types.StatusSuccess {
+			t.Errorf("tx %d status %s, want success", i, r.Status)
+		}
+	}
+}
+
+func TestSerialReceiptsStable(t *testing.T) {
+	txs := randomWorkload(99, 30)
+	db1 := fixture(t)
+	r1, err := baseline.ExecuteSerial(db1, blk, txs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2 := fixture(t)
+	r2, err := baseline.ExecuteSerial(db2, blk, txs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range txs {
+		if r1.Receipts[i].Status != r2.Receipts[i].Status {
+			t.Fatalf("serial execution not deterministic at tx %d", i)
+		}
+	}
+}
+
+func TestOracleSetsCoverWrites(t *testing.T) {
+	txs := []*types.Transaction{transferTx(user(0), user(1), 10)}
+	db := fixture(t)
+	sets, err := baseline.OracleSets(db, blk, txs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 1 {
+		t.Fatalf("%d sets", len(sets))
+	}
+	if len(sets[0].Writes) == 0 || len(sets[0].Reads) == 0 {
+		t.Errorf("empty oracle sets: %d reads %d writes", len(sets[0].Reads), len(sets[0].Writes))
+	}
+	if sets[0].Receipt.Status != types.StatusSuccess {
+		t.Errorf("oracle receipt %s", sets[0].Receipt.Status)
+	}
+}

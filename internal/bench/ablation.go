@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"fmt"
+
+	"dmvcc/internal/chain"
+	"dmvcc/internal/chainsim"
+	"dmvcc/internal/core"
+	"dmvcc/internal/sag"
+	"dmvcc/internal/schedsim"
+	"dmvcc/internal/workload"
+)
+
+// ablationVariant names one feature combination.
+type ablationVariant struct {
+	label string
+	opts  core.Options
+}
+
+var ablationVariants = []ablationVariant{
+	{label: "full"},
+	{label: "no-early", opts: core.Options{DisableEarlyWrite: true}},
+	{label: "no-comm", opts: core.Options{DisableCommutative: true}},
+	{label: "no-ww", opts: core.Options{DisableWriteVersioning: true}},
+	{label: "none", opts: core.Options{
+		DisableEarlyWrite:      true,
+		DisableCommutative:     true,
+		DisableWriteVersioning: true,
+	}},
+}
+
+// AblationFigure measures DMVCC with its headline features toggled —
+// early-write visibility, commutative writes, and write versioning — the
+// design-choice study DESIGN.md calls out. Values are speedups over serial
+// execution.
+func AblationFigure(cfg SpeedupConfig) (*Figure, error) {
+	if len(cfg.Threads) == 0 {
+		cfg.Threads = DefaultThreads
+	}
+	source, err := workload.BuildWorld(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	type engineState struct {
+		world *workload.World
+		an    *sag.Analyzer
+	}
+	states := make([]engineState, len(ablationVariants))
+	for i := range ablationVariants {
+		w, err := workload.BuildWorld(cfg.Workload)
+		if err != nil {
+			return nil, err
+		}
+		states[i] = engineState{world: w, an: sag.NewAnalyzer(w.Registry)}
+	}
+
+	sums := make([][]float64, len(ablationVariants))
+	for i := range sums {
+		sums[i] = make([]float64, len(cfg.Threads))
+	}
+
+	for b := 0; b < cfg.Blocks; b++ {
+		blockCtx := source.BlockContext()
+		txs := source.NextBlock()
+		for vi, v := range ablationVariants {
+			st := states[vi]
+			csags, err := st.an.AnalyzeBlock(txs, st.world.DB, blockCtx)
+			if err != nil {
+				return nil, err
+			}
+			ex := core.NewExecutorOpts(st.world.Registry, 8, v.opts)
+			res, err := ex.ExecuteBlock(st.world.DB, blockCtx, txs, csags)
+			if err != nil {
+				return nil, fmt.Errorf("ablation %s block %d: %w", v.label, b, err)
+			}
+			if _, err := st.world.DB.Commit(res.WriteSet); err != nil {
+				return nil, err
+			}
+			var serialSpan uint64
+			for _, tr := range res.Traces {
+				serialSpan += tr.Gas
+			}
+			for ti, th := range cfg.Threads {
+				span := schedsim.DMVCC(res.Traces, th, res.WastedGas)
+				if span == 0 {
+					span = 1
+				}
+				sums[vi][ti] += float64(serialSpan) / float64(span)
+			}
+		}
+	}
+
+	fig := &Figure{Name: "ablation", Title: "DMVCC feature ablation (speedup over serial)"}
+	for vi, v := range ablationVariants {
+		s := Series{Label: v.label}
+		for ti, th := range cfg.Threads {
+			s.Points = append(s.Points, Point{Threads: th, Value: sums[vi][ti] / float64(cfg.Blocks)})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	fig.Notes = append(fig.Notes,
+		"no-early: writes visible only at transaction finish (no release points)",
+		"no-comm: blind increments handled as ordinary read-modify-writes",
+		"no-ww: write-write pairs conflict again (single-version item locks);",
+		"  near-identical to full because contracts write at the end of",
+		"  execution, so a statement-level ww lock serializes only the tail —",
+		"  ww conflicts hurt at transaction granularity (the DAG baseline)",
+	)
+	return fig, nil
+}
+
+// Fig8 reproduces the RQ3 throughput-speedup figure via the validator
+// network simulation.
+func Fig8(name, title string, cfg chainsim.Config, threads []int) (*Figure, error) {
+	if len(threads) == 0 {
+		threads = DefaultThreads
+	}
+	series, err := chainsim.ThroughputSpeedup(cfg, threads)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{Name: name, Title: title}
+	for _, m := range chain.AllModes {
+		s := Series{Label: m.String()}
+		for i, th := range threads {
+			s.Points = append(s.Points, Point{Threads: th, Value: series[m][i]})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	fig.Notes = append(fig.Notes,
+		fmt.Sprintf("%d validators, %v mean mining interval, %d-tx blocks, serial 10k-block calibrated to %.0fs",
+			cfg.Validators, cfg.MeanBlockInterval, cfg.Workload.TxPerBlock, cfg.SerialSecondsPer10k))
+	return fig, nil
+}

@@ -1,0 +1,251 @@
+// Package bench regenerates the paper's evaluation: speedup-vs-threads
+// series (Fig. 7a/7b), abort statistics (RQ2 text), throughput speedups in
+// a simulated validator network (Fig. 8a/8b), the RQ1 correctness sweep,
+// and ablation studies over DMVCC's design features.
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"dmvcc/internal/chain"
+	"dmvcc/internal/types"
+	"dmvcc/internal/workload"
+)
+
+// Point is one measurement of a series.
+type Point struct {
+	Threads int
+	Value   float64
+}
+
+// Series is one labelled line of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Figure is a reproduced table/figure with provenance notes.
+type Figure struct {
+	Name   string
+	Title  string
+	Series []Series
+	Notes  []string
+}
+
+// Render formats the figure as an aligned text table.
+func (f *Figure) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", f.Name, f.Title)
+	if len(f.Series) == 0 {
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "%-10s", "threads")
+	for _, p := range f.Series[0].Points {
+		fmt.Fprintf(&sb, "%10d", p.Threads)
+	}
+	sb.WriteByte('\n')
+	for _, s := range f.Series {
+		fmt.Fprintf(&sb, "%-10s", s.Label)
+		for _, p := range s.Points {
+			fmt.Fprintf(&sb, "%10.2f", p.Value)
+		}
+		sb.WriteByte('\n')
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// SpeedupConfig parameterizes a Fig. 7-style experiment.
+type SpeedupConfig struct {
+	Workload workload.Config
+	Blocks   int
+	Threads  []int
+}
+
+// DefaultThreads is the paper's x-axis.
+var DefaultThreads = []int{1, 2, 4, 8, 16, 32}
+
+// SpeedupFigure reproduces Fig. 7: executes Blocks blocks under every
+// scheme (verifying root equality along the way), computes each scheme's
+// virtual-time makespan per thread count, and reports speedup over serial.
+func SpeedupFigure(name, title string, cfg SpeedupConfig) (*Figure, error) {
+	if len(cfg.Threads) == 0 {
+		cfg.Threads = DefaultThreads
+	}
+	source, err := workload.BuildWorld(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	engines := make(map[chain.Mode]*chain.Engine, len(chain.AllModes))
+	for _, m := range chain.AllModes {
+		w, err := workload.BuildWorld(cfg.Workload)
+		if err != nil {
+			return nil, err
+		}
+		engines[m] = chain.NewEngine(w.DB, w.Registry, 8)
+	}
+
+	sums := make(map[chain.Mode][]float64, len(chain.AllModes))
+	for _, m := range chain.AllModes {
+		sums[m] = make([]float64, len(cfg.Threads))
+	}
+	var totalAbortsDMVCC, totalAbortsOCC, totalTxs int64
+
+	for b := 0; b < cfg.Blocks; b++ {
+		blockCtx := source.BlockContext()
+		txs := source.NextBlock()
+		totalTxs += int64(len(txs))
+
+		outs := make(map[chain.Mode]*chain.ExecOut, len(chain.AllModes))
+		var serialRoot types.Hash
+		for _, m := range chain.AllModes {
+			out, root, err := engines[m].ExecuteAndCommit(m, blockCtx, txs)
+			if err != nil {
+				return nil, fmt.Errorf("block %d mode %s: %w", b, m, err)
+			}
+			if m == chain.ModeSerial {
+				serialRoot = root
+			} else if root != serialRoot {
+				return nil, fmt.Errorf("block %d: mode %s root mismatch (RQ1 violation)", b, m)
+			}
+			outs[m] = out
+		}
+		totalAbortsDMVCC += outs[chain.ModeDMVCC].Stats.Aborts
+		totalAbortsOCC += outs[chain.ModeOCC].Aborts
+
+		serialSpan, err := outs[chain.ModeSerial].Makespan(chain.ModeSerial, 1)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range chain.AllModes {
+			for ti, th := range cfg.Threads {
+				span, err := outs[m].Makespan(m, th)
+				if err != nil {
+					return nil, err
+				}
+				if span == 0 {
+					span = 1
+				}
+				sums[m][ti] += float64(serialSpan) / float64(span)
+			}
+		}
+	}
+
+	fig := &Figure{Name: name, Title: title}
+	for _, m := range chain.AllModes {
+		s := Series{Label: m.String()}
+		for ti, th := range cfg.Threads {
+			s.Points = append(s.Points, Point{Threads: th, Value: sums[m][ti] / float64(cfg.Blocks)})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	fig.Notes = append(fig.Notes,
+		fmt.Sprintf("%d blocks x %d txs; roots verified equal across all schemes (RQ1)",
+			cfg.Blocks, cfg.Workload.TxPerBlock),
+		fmt.Sprintf("abort rate: dmvcc %.2f%% (%d), occ %.2f%% (%d re-executions)",
+			100*float64(totalAbortsDMVCC)/float64(totalTxs), totalAbortsDMVCC,
+			100*float64(totalAbortsOCC)/float64(totalTxs), totalAbortsOCC),
+	)
+	return fig, nil
+}
+
+// AbortStats reproduces the RQ2 abort discussion: DMVCC's abort rate and
+// its reduction relative to OCC on the same workload.
+type AbortStats struct {
+	Txs         int64
+	DMVCCAborts int64
+	OCCAborts   int64
+}
+
+// DMVCCRate returns DMVCC's abort rate in percent.
+func (a AbortStats) DMVCCRate() float64 { return 100 * float64(a.DMVCCAborts) / float64(a.Txs) }
+
+// ReductionVsOCC returns the relative abort reduction in percent.
+func (a AbortStats) ReductionVsOCC() float64 {
+	if a.OCCAborts == 0 {
+		return 0
+	}
+	return 100 * (1 - float64(a.DMVCCAborts)/float64(a.OCCAborts))
+}
+
+// MeasureAborts executes blocks under DMVCC and OCC and aggregates aborts.
+func MeasureAborts(cfg SpeedupConfig) (AbortStats, error) {
+	var stats AbortStats
+	source, err := workload.BuildWorld(cfg.Workload)
+	if err != nil {
+		return stats, err
+	}
+	wd, err := workload.BuildWorld(cfg.Workload)
+	if err != nil {
+		return stats, err
+	}
+	wo, err := workload.BuildWorld(cfg.Workload)
+	if err != nil {
+		return stats, err
+	}
+	engD := chain.NewEngine(wd.DB, wd.Registry, 8)
+	engO := chain.NewEngine(wo.DB, wo.Registry, 8)
+	for b := 0; b < cfg.Blocks; b++ {
+		blockCtx := source.BlockContext()
+		txs := source.NextBlock()
+		stats.Txs += int64(len(txs))
+		outD, _, err := engD.ExecuteAndCommit(chain.ModeDMVCC, blockCtx, txs)
+		if err != nil {
+			return stats, err
+		}
+		outO, _, err := engO.ExecuteAndCommit(chain.ModeOCC, blockCtx, txs)
+		if err != nil {
+			return stats, err
+		}
+		stats.DMVCCAborts += outD.Stats.Aborts
+		stats.OCCAborts += outO.Aborts
+	}
+	return stats, nil
+}
+
+// RQ1Result summarizes the correctness sweep.
+type RQ1Result struct {
+	Blocks  int
+	Txs     int64
+	Matches int
+}
+
+// RunRQ1 executes blocks under serial and DMVCC on twin worlds and counts
+// Merkle-root matches (the paper tested 121,210 blocks; scale with cfg).
+func RunRQ1(cfg SpeedupConfig) (*RQ1Result, error) {
+	source, err := workload.BuildWorld(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	ws, err := workload.BuildWorld(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	wp, err := workload.BuildWorld(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	engS := chain.NewEngine(ws.DB, ws.Registry, 8)
+	engP := chain.NewEngine(wp.DB, wp.Registry, 8)
+	res := &RQ1Result{Blocks: cfg.Blocks}
+	for b := 0; b < cfg.Blocks; b++ {
+		blockCtx := source.BlockContext()
+		txs := source.NextBlock()
+		res.Txs += int64(len(txs))
+		_, rootS, err := engS.ExecuteAndCommit(chain.ModeSerial, blockCtx, txs)
+		if err != nil {
+			return nil, err
+		}
+		_, rootP, err := engP.ExecuteAndCommit(chain.ModeDMVCC, blockCtx, txs)
+		if err != nil {
+			return nil, err
+		}
+		if rootS == rootP {
+			res.Matches++
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,160 @@
+package bench_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dmvcc/internal/bench"
+	"dmvcc/internal/chainsim"
+	"dmvcc/internal/workload"
+)
+
+// tiny returns a workload config small enough for unit tests.
+func tiny(seed int64) workload.Config {
+	cfg := workload.DefaultConfig()
+	cfg.Users = 600
+	cfg.ERC20s = 30
+	cfg.AMMs = 30
+	cfg.NFTs = 8
+	cfg.ICOs = 4
+	cfg.TxPerBlock = 250
+	cfg.Seed = seed
+	return cfg
+}
+
+func TestSpeedupFigureShape(t *testing.T) {
+	cfg := bench.SpeedupConfig{Workload: tiny(1), Blocks: 1, Threads: []int{1, 8}}
+	fig, err := bench.SpeedupFigure("fig7a", "test", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("%d series", len(fig.Series))
+	}
+	byLabel := map[string][]bench.Point{}
+	for _, s := range fig.Series {
+		byLabel[s.Label] = s.Points
+	}
+	// Serial is always 1; every scheme is 1 at a single thread.
+	for _, label := range []string{"serial", "dag", "dmvcc"} {
+		if v := byLabel[label][0].Value; v < 0.99 || v > 1.01 {
+			t.Errorf("%s at 1 thread = %f, want 1", label, v)
+		}
+	}
+	// DMVCC at 8 threads beats serial and is at least as good as DAG.
+	if byLabel["dmvcc"][1].Value <= 1.5 {
+		t.Errorf("dmvcc@8 = %f", byLabel["dmvcc"][1].Value)
+	}
+	if byLabel["dmvcc"][1].Value+0.2 < byLabel["dag"][1].Value {
+		t.Errorf("dmvcc (%f) should not lose to dag (%f)",
+			byLabel["dmvcc"][1].Value, byLabel["dag"][1].Value)
+	}
+	rendered := fig.Render()
+	for _, want := range []string{"fig7a", "threads", "dmvcc", "note:"} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestHighContentionSeparatesSchemes(t *testing.T) {
+	cfg := bench.SpeedupConfig{Workload: tiny(2).HighContention(), Blocks: 1, Threads: []int{16}}
+	fig, err := bench.SpeedupFigure("fig7b", "test", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]float64{}
+	for _, s := range fig.Series {
+		vals[s.Label] = s.Points[0].Value
+	}
+	if vals["dmvcc"] <= vals["dag"] {
+		t.Errorf("under contention dmvcc (%f) must beat dag (%f)", vals["dmvcc"], vals["dag"])
+	}
+	if vals["dmvcc"] <= vals["occ"] {
+		t.Errorf("under contention dmvcc (%f) must beat occ (%f)", vals["dmvcc"], vals["occ"])
+	}
+}
+
+func TestMeasureAborts(t *testing.T) {
+	cfg := bench.SpeedupConfig{Workload: tiny(3).HighContention(), Blocks: 1}
+	stats, err := bench.MeasureAborts(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Txs == 0 {
+		t.Fatal("no transactions measured")
+	}
+	// The paper's headline: DMVCC aborts far less than OCC (<2% rate, 63%
+	// fewer aborts); our OCC re-executes substantially under contention.
+	if stats.DMVCCRate() >= 2.0 {
+		t.Errorf("dmvcc abort rate %.2f%%, want < 2%%", stats.DMVCCRate())
+	}
+	if stats.OCCAborts <= stats.DMVCCAborts {
+		t.Errorf("occ aborts (%d) should exceed dmvcc aborts (%d)", stats.OCCAborts, stats.DMVCCAborts)
+	}
+	if stats.ReductionVsOCC() < 63 {
+		t.Errorf("abort reduction vs OCC = %.1f%%, want >= 63%%", stats.ReductionVsOCC())
+	}
+}
+
+func TestRunRQ1(t *testing.T) {
+	cfg := bench.SpeedupConfig{Workload: tiny(4), Blocks: 2}
+	res, err := bench.RunRQ1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches != res.Blocks {
+		t.Errorf("RQ1: %d/%d roots matched", res.Matches, res.Blocks)
+	}
+	if res.Txs != int64(2*cfg.Workload.TxPerBlock) {
+		t.Errorf("txs = %d", res.Txs)
+	}
+}
+
+func TestAblationOrdering(t *testing.T) {
+	cfg := bench.SpeedupConfig{Workload: tiny(5).HighContention(), Blocks: 1, Threads: []int{16}}
+	fig, err := bench.AblationFigure(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]float64{}
+	for _, s := range fig.Series {
+		vals[s.Label] = s.Points[0].Value
+	}
+	// Full DMVCC should dominate the crippled variants under contention.
+	if vals["full"]+0.3 < vals["none"] {
+		t.Errorf("full (%f) should not lose to none (%f)", vals["full"], vals["none"])
+	}
+	if vals["full"] <= 1.0 {
+		t.Errorf("full variant speedup = %f", vals["full"])
+	}
+	for _, label := range []string{"full", "no-early", "no-comm", "no-ww", "none"} {
+		if _, ok := vals[label]; !ok {
+			t.Errorf("missing variant %s", label)
+		}
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	cfg := chainsim.DefaultConfig()
+	cfg.Workload = tiny(6)
+	cfg.Blocks = 2
+	cfg.MeanBlockInterval = 150 * time.Millisecond
+	fig, err := bench.Fig8("fig8a", "test", cfg, []int{1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("%d series", len(fig.Series))
+	}
+	var dmvcc []bench.Point
+	for _, s := range fig.Series {
+		if s.Label == "dmvcc" {
+			dmvcc = s.Points
+		}
+	}
+	if len(dmvcc) != 2 || dmvcc[1].Value <= 1.0 {
+		t.Errorf("dmvcc fig8 points: %+v", dmvcc)
+	}
+}

@@ -1,0 +1,172 @@
+package cfg_test
+
+import (
+	"testing"
+
+	"dmvcc/internal/asm"
+	"dmvcc/internal/cfg"
+	"dmvcc/internal/evm"
+)
+
+// straightLine: PUSH/SSTORE/STOP — one block, no aborts.
+func straightLine(t *testing.T) []byte {
+	t.Helper()
+	return asm.New().
+		Push(1).Push(0).Op(evm.SSTORE).
+		Op(evm.STOP).
+		MustBytes()
+}
+
+func TestBuildStraightLine(t *testing.T) {
+	g := cfg.Build(straightLine(t))
+	if len(g.Blocks) != 1 {
+		t.Fatalf("%d blocks, want 1", len(g.Blocks))
+	}
+	b := g.Blocks[0]
+	if len(b.Succs) != 0 {
+		t.Errorf("STOP block has successors: %v", b.Succs)
+	}
+	if len(b.Instrs) != 4 {
+		t.Errorf("%d instructions", len(b.Instrs))
+	}
+}
+
+func TestBuildBranch(t *testing.T) {
+	// if (cond at slot 0) goto L; revert; L: stop
+	code := asm.New().
+		Push(0).Op(evm.SLOAD).
+		JumpIf("ok").
+		Push(0).Push(0).Op(evm.REVERT).
+		Label("ok").
+		Op(evm.STOP).
+		MustBytes()
+	g := cfg.Build(code)
+	if len(g.Blocks) != 3 {
+		t.Fatalf("%d blocks, want 3 (entry, revert, ok)", len(g.Blocks))
+	}
+	entry := g.Blocks[0]
+	if len(entry.Succs) != 2 {
+		t.Fatalf("entry successors = %v, want 2 (jump target + fallthrough)", entry.Succs)
+	}
+}
+
+func TestBackEdgesDetectLoop(t *testing.T) {
+	code := asm.New().
+		Push(10). // counter
+		Label("loop").
+		Push(1).Op(evm.SWAP1, evm.SUB). // counter--
+		Op(evm.DUP1).
+		JumpIf("loop").
+		Op(evm.STOP).
+		MustBytes()
+	g := cfg.Build(code)
+	edges := g.BackEdges()
+	if len(edges) != 1 {
+		t.Fatalf("back edges = %v, want exactly 1", edges)
+	}
+	if edges[0][0] < edges[0][1] {
+		t.Errorf("back edge should go backwards: %v", edges[0])
+	}
+	// The loop makes gas bounds unbounded before/inside it.
+	a := cfg.Analyze(code)
+	if got := a.GasBound(0); got != cfg.GasUnbounded {
+		t.Errorf("entry gas bound = %d, want unbounded", got)
+	}
+}
+
+func TestReleasedAfterLastAbortable(t *testing.T) {
+	// store; revert-if; store; stop — released only after the JUMPI path
+	// can no longer reach REVERT.
+	code := asm.New().
+		Push(1).Push(0).Op(evm.SSTORE).
+		Push(0).Op(evm.SLOAD).
+		JumpIf("skip").
+		Push(0).Push(0).Op(evm.REVERT).
+		Label("skip").
+		Push(2).Push(1).Op(evm.SSTORE).
+		Op(evm.STOP).
+		MustBytes()
+	a := cfg.Analyze(code)
+	if a.Released(0) {
+		t.Error("entry must not be released (REVERT reachable)")
+	}
+	// Find the JUMPDEST of "skip": everything from there on is released.
+	var skipPC uint64
+	for _, ins := range asm.Disassemble(code) {
+		if ins.Op == evm.JUMPDEST {
+			skipPC = ins.PC
+		}
+	}
+	if !a.Released(skipPC) {
+		t.Errorf("pc %d after last abortable should be released", skipPC)
+	}
+	if bound := a.GasBound(skipPC); bound == 0 || bound == cfg.GasUnbounded {
+		t.Errorf("gas bound after release = %d", bound)
+	}
+}
+
+func TestGasBoundDecreasesAlongStraightLine(t *testing.T) {
+	code := straightLine(t)
+	a := cfg.Analyze(code)
+	prev := a.GasBound(0)
+	for _, ins := range asm.Disassemble(code)[1:] {
+		cur := a.GasBound(ins.PC)
+		if cur > prev {
+			t.Errorf("bound increased at pc %d: %d > %d", ins.PC, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestStaticAccessesResolveConstants(t *testing.T) {
+	// SSTORE with constant key, SLOAD with unresolvable key (from calldata).
+	code := asm.New().
+		Push(0xaa).Push(0x07).Op(evm.SSTORE).       // constant slot 7
+		Push(0).Op(evm.CALLDATALOAD).Op(evm.SLOAD). // dynamic slot
+		Op(evm.POP, evm.STOP).
+		MustBytes()
+	g := cfg.Build(code)
+	accs := g.StaticAccesses()
+	if len(accs) != 2 {
+		t.Fatalf("%d accesses, want 2", len(accs))
+	}
+	if !accs[0].Write || !accs[0].Known || accs[0].Slot.Uint64() != 7 {
+		t.Errorf("first access: %+v", accs[0])
+	}
+	if accs[1].Write || accs[1].Known {
+		t.Errorf("second access should be an unresolved read: %+v", accs[1])
+	}
+}
+
+func TestStaticAccessesAddFolding(t *testing.T) {
+	// key = 2 + 3 — constant folding through ADD.
+	code := asm.New().
+		Push(0xbb).                  // value
+		Push(3).Push(2).Op(evm.ADD). // key 5
+		Op(evm.SSTORE).
+		Op(evm.STOP).
+		MustBytes()
+	g := cfg.Build(code)
+	accs := g.StaticAccesses()
+	if len(accs) != 1 || !accs[0].Known || accs[0].Slot.Uint64() != 5 {
+		t.Errorf("folded access: %+v", accs)
+	}
+}
+
+func TestUnresolvableJumpConservative(t *testing.T) {
+	// A jump whose target comes through arithmetic is unresolvable by the
+	// peephole; successors must cover all JUMPDESTs.
+	code := asm.New().
+		Push(2).Push(2).Op(evm.ADD). // dynamic-ish target 4
+		Op(evm.JUMP).
+		Label("a"). // one JUMPDEST
+		Op(evm.STOP).
+		Label("b"). // another
+		Op(evm.STOP).
+		MustBytes()
+	g := cfg.Build(code)
+	entry := g.Blocks[0]
+	if len(entry.Succs) != 2 {
+		t.Errorf("unresolvable jump successors = %v, want both JUMPDESTs", entry.Succs)
+	}
+}

@@ -1,0 +1,264 @@
+// Package chain glues the execution engines to the state database: it
+// analyzes blocks (offline, as in the paper's transaction-pool workflow),
+// dispatches them to a scheduler, and commits write sets, exposing the
+// timing split the evaluation needs (analysis time is excluded from
+// execution speedups, matching §V-C).
+package chain
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dmvcc/internal/baseline"
+	"dmvcc/internal/core"
+	"dmvcc/internal/evm"
+	"dmvcc/internal/sag"
+	"dmvcc/internal/schedsim"
+	"dmvcc/internal/state"
+	"dmvcc/internal/types"
+)
+
+// Mode selects an execution scheme.
+type Mode int
+
+// Execution schemes compared in the paper.
+const (
+	ModeSerial Mode = iota + 1
+	ModeDAG
+	ModeOCC
+	ModeDMVCC
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeSerial:
+		return "serial"
+	case ModeDAG:
+		return "dag"
+	case ModeOCC:
+		return "occ"
+	case ModeDMVCC:
+		return "dmvcc"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// AllModes lists every scheme in presentation order.
+var AllModes = []Mode{ModeSerial, ModeDAG, ModeOCC, ModeDMVCC}
+
+// ErrUnknownMode reports an unsupported Mode value.
+var ErrUnknownMode = errors.New("chain: unknown execution mode")
+
+// ExecOut is the outcome of executing (not yet committing) one block.
+type ExecOut struct {
+	Receipts []*types.Receipt
+	WriteSet *state.WriteSet
+
+	// Stats carries DMVCC scheduler counters (zero for other modes).
+	Stats core.Stats
+	// Aborts is the OCC re-execution count (zero for other modes; DMVCC
+	// aborts are in Stats.Aborts).
+	Aborts int64
+
+	// AnalysisTime covers C-SAG construction / oracle set recording —
+	// offline work in the paper's pipeline. ExecTime is the parallel
+	// execution wall time.
+	AnalysisTime time.Duration
+	ExecTime     time.Duration
+
+	// Inputs for the scheduling simulator (schedsim), which reproduces the
+	// paper's simulated thread-scaling methodology: per-transaction gas
+	// costs, plus the scheduler-specific artifacts of this execution.
+	GasCosts  []uint64
+	Traces    []*core.TxTrace // DMVCC dependency traces
+	Batches   [][]int         // OCC per-round execution batches
+	DAGPreds  [][]int         // DAG dependency lists
+	WastedGas uint64          // DMVCC aborted-incarnation work
+}
+
+// Makespan computes this execution's virtual-time makespan on the given
+// number of worker threads under its own scheduling model. The mode must
+// match the mode Execute ran.
+func (o *ExecOut) Makespan(mode Mode, threads int) (uint64, error) {
+	switch mode {
+	case ModeSerial:
+		return schedsim.Serial(o.GasCosts), nil
+	case ModeDAG:
+		return schedsim.DAG(o.GasCosts, o.DAGPreds, threads), nil
+	case ModeOCC:
+		return schedsim.OCC(o.GasCosts, o.Batches, threads), nil
+	case ModeDMVCC:
+		return schedsim.DMVCC(o.Traces, threads, o.WastedGas), nil
+	default:
+		return 0, fmt.Errorf("%w: %d", ErrUnknownMode, mode)
+	}
+}
+
+// Engine executes blocks against a state database.
+type Engine struct {
+	db      *state.DB
+	reg     *sag.Registry
+	an      *sag.Analyzer
+	threads int
+}
+
+// NewEngine returns an engine over db using the contract registry for
+// analysis, running parallel schemes on the given number of threads.
+func NewEngine(db *state.DB, reg *sag.Registry, threads int) *Engine {
+	return &Engine{
+		db:      db,
+		reg:     reg,
+		an:      sag.NewAnalyzer(reg),
+		threads: threads,
+	}
+}
+
+// DB returns the underlying state database.
+func (e *Engine) DB() *state.DB { return e.db }
+
+// SetThreads adjusts the parallelism for subsequent executions.
+func (e *Engine) SetThreads(n int) { e.threads = n }
+
+// Execute runs the block under the chosen scheme without committing.
+func (e *Engine) Execute(mode Mode, blockCtx evm.BlockContext, txs []*types.Transaction) (*ExecOut, error) {
+	out := &ExecOut{}
+	switch mode {
+	case ModeSerial:
+		start := time.Now()
+		res, err := baseline.ExecuteSerial(e.db, blockCtx, txs)
+		if err != nil {
+			return nil, err
+		}
+		out.ExecTime = time.Since(start)
+		out.Receipts, out.WriteSet = res.Receipts, res.WriteSet
+
+	case ModeDAG:
+		start := time.Now()
+		sets, err := baseline.OracleSets(e.db, blockCtx, txs)
+		if err != nil {
+			return nil, err
+		}
+		out.AnalysisTime = time.Since(start)
+		coarse := baseline.Coarsen(sets) // static-analysis granularity
+		start = time.Now()
+		res, err := baseline.ExecuteDAG(e.db, blockCtx, txs, coarse, e.threads)
+		if err != nil {
+			return nil, err
+		}
+		out.ExecTime = time.Since(start)
+		out.Receipts, out.WriteSet = res.Receipts, res.WriteSet
+		out.DAGPreds = baseline.BuildDeps(coarse)
+
+	case ModeOCC:
+		start := time.Now()
+		res, err := baseline.ExecuteOCC(e.db, blockCtx, txs, e.threads)
+		if err != nil {
+			return nil, err
+		}
+		out.ExecTime = time.Since(start)
+		out.Receipts, out.WriteSet = res.Receipts, res.WriteSet
+		out.Aborts = res.Aborts
+		out.Batches = res.Batches
+
+	case ModeDMVCC:
+		start := time.Now()
+		csags, err := e.an.AnalyzeBlock(txs, e.db, blockCtx)
+		if err != nil {
+			return nil, err
+		}
+		out.AnalysisTime = time.Since(start)
+		return e.executeDMVCC(out, blockCtx, txs, csags)
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownMode, mode)
+	}
+	out.GasCosts = make([]uint64, len(out.Receipts))
+	for i, r := range out.Receipts {
+		out.GasCosts[i] = core.ExecCost(r.GasUsed, evm.IntrinsicGas(txs[i].Data))
+	}
+	return out, nil
+}
+
+// ExecuteDMVCCWith runs a block under DMVCC using pre-computed C-SAGs
+// (e.g. cached by a transaction pool), skipping the analysis phase.
+func (e *Engine) ExecuteDMVCCWith(blockCtx evm.BlockContext, txs []*types.Transaction, csags []*sag.CSAG) (*ExecOut, error) {
+	return e.executeDMVCC(&ExecOut{}, blockCtx, txs, csags)
+}
+
+// executeDMVCC is the shared DMVCC execution tail.
+func (e *Engine) executeDMVCC(out *ExecOut, blockCtx evm.BlockContext, txs []*types.Transaction, csags []*sag.CSAG) (*ExecOut, error) {
+	ex := core.NewExecutor(e.reg, e.threads)
+	start := time.Now()
+	res, err := ex.ExecuteBlock(e.db, blockCtx, txs, csags)
+	if err != nil {
+		return nil, err
+	}
+	out.ExecTime = time.Since(start)
+	out.Receipts, out.WriteSet = res.Receipts, res.WriteSet
+	out.Stats = res.Stats
+	out.Traces = res.Traces
+	out.WastedGas = res.WastedGas
+	out.GasCosts = make([]uint64, len(out.Receipts))
+	for i, r := range out.Receipts {
+		out.GasCosts[i] = core.ExecCost(r.GasUsed, evm.IntrinsicGas(txs[i].Data))
+	}
+	return out, nil
+}
+
+// Analyzer exposes the engine's SAG analyzer (shared with transaction
+// pools so cached analyses use the same registry).
+func (e *Engine) Analyzer() *sag.Analyzer { return e.an }
+
+// Commit applies a block's write set and returns the new state root — the
+// RQ1 equivalence oracle.
+func (e *Engine) Commit(ws *state.WriteSet) (types.Hash, error) {
+	return e.db.Commit(ws)
+}
+
+// ExecuteAndCommit executes under mode and commits, returning the root.
+func (e *Engine) ExecuteAndCommit(mode Mode, blockCtx evm.BlockContext, txs []*types.Transaction) (*ExecOut, types.Hash, error) {
+	out, err := e.Execute(mode, blockCtx, txs)
+	if err != nil {
+		return nil, types.Hash{}, err
+	}
+	root, err := e.Commit(out.WriteSet)
+	if err != nil {
+		return nil, types.Hash{}, err
+	}
+	return out, root, nil
+}
+
+// ErrValidation reports a received block whose re-execution does not match
+// its header commitments.
+var ErrValidation = errors.New("chain: block validation failed")
+
+// ValidateBlock re-executes a block received from a peer under the chosen
+// scheme and checks the header's commitments: the transaction root and the
+// post-state root (the paper's RQ1 oracle applied at block import). On
+// success the block's write set is committed and the receipts returned.
+func (e *Engine) ValidateBlock(mode Mode, b *types.Block) ([]*types.Receipt, error) {
+	if got := types.ComputeTxRoot(b.Txs); got != b.Header.TxRoot {
+		return nil, fmt.Errorf("%w: tx root %s != header %s", ErrValidation, got, b.Header.TxRoot)
+	}
+	blockCtx := evm.BlockContext{
+		Number:    b.Header.Number,
+		Timestamp: b.Header.Timestamp,
+		GasLimit:  b.Header.GasLimit,
+		Coinbase:  b.Header.Coinbase,
+		ChainID:   1,
+	}
+	out, err := e.Execute(mode, blockCtx, b.Txs)
+	if err != nil {
+		return nil, err
+	}
+	root, err := e.Commit(out.WriteSet)
+	if err != nil {
+		return nil, err
+	}
+	if root != b.Header.StateRoot {
+		return nil, fmt.Errorf("%w: state root %s != header %s", ErrValidation, root, b.Header.StateRoot)
+	}
+	return out.Receipts, nil
+}

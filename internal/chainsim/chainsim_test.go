@@ -1,0 +1,129 @@
+package chainsim_test
+
+import (
+	"testing"
+	"time"
+
+	"dmvcc/internal/chain"
+	"dmvcc/internal/chainsim"
+	"dmvcc/internal/workload"
+)
+
+func smallCfg() chainsim.Config {
+	cfg := chainsim.DefaultConfig()
+	w := workload.DefaultConfig()
+	w.Users = 400
+	w.ERC20s = 24
+	w.AMMs = 20
+	w.NFTs = 6
+	w.ICOs = 3
+	w.TxPerBlock = 150
+	cfg.Workload = w
+	cfg.Blocks = 2
+	return cfg
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	cfg := smallCfg()
+	s1, err := chainsim.NewSession(cfg, chain.ModeDMVCC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := s1.Simulate(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := chainsim.NewSession(cfg, chain.ModeDMVCC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s2.Simulate(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Throughput != r2.Throughput || r1.SimulatedTime != r2.SimulatedTime {
+		t.Errorf("simulation not deterministic: %+v vs %+v", r1, r2)
+	}
+	if r1.TotalTxs != 300 {
+		t.Errorf("total txs = %d", r1.TotalTxs)
+	}
+	if r1.Throughput <= 0 {
+		t.Errorf("throughput = %f", r1.Throughput)
+	}
+}
+
+func TestMoreThreadsNeverSlower(t *testing.T) {
+	cfg := smallCfg()
+	sess, err := chainsim.NewSession(cfg, chain.ModeDMVCC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for _, th := range []int{1, 2, 4, 8, 16} {
+		r, err := sess.Simulate(th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Throughput+1e-9 < prev {
+			t.Errorf("throughput regressed at %d threads: %f < %f", th, r.Throughput, prev)
+		}
+		prev = r.Throughput
+	}
+}
+
+func TestMiningBoundWhenBlocksTiny(t *testing.T) {
+	// With a long mining interval and a tiny block, execution is never the
+	// bottleneck (the paper's 12 s / 180-tx setting).
+	cfg := smallCfg()
+	cfg.Workload.TxPerBlock = 60
+	cfg.MeanBlockInterval = 12 * time.Second
+	sess, err := chainsim.NewSession(cfg, chain.ModeSerial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sess.Simulate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exponential intervals occasionally draw near zero, so allow a
+	// minority of execution-bound cycles.
+	if r.ExecBound > cfg.Blocks/2 {
+		t.Errorf("tiny blocks should be mostly mining-bound, exec-bound %d of %d cycles",
+			r.ExecBound, cfg.Blocks)
+	}
+}
+
+func TestExecBoundWhenBlocksLarge(t *testing.T) {
+	// Fast mining and larger blocks shift the bottleneck to execution.
+	cfg := smallCfg()
+	cfg.MeanBlockInterval = 100 * time.Millisecond
+	sess, err := chainsim.NewSession(cfg, chain.ModeSerial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sess.Simulate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ExecBound == 0 {
+		t.Error("large serial blocks with fast mining should be exec-bound")
+	}
+}
+
+func TestThroughputSpeedupSeries(t *testing.T) {
+	cfg := smallCfg()
+	cfg.MeanBlockInterval = 200 * time.Millisecond
+	series, err := chainsim.ThroughputSpeedup(cfg, []int{1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range chain.AllModes {
+		if len(series[m]) != 2 {
+			t.Fatalf("mode %s: %d points", m, len(series[m]))
+		}
+	}
+	// DMVCC at 8 threads should beat serial when execution-bound.
+	if series[chain.ModeDMVCC][1] <= 1.0 {
+		t.Errorf("dmvcc@8 speedup = %f, want > 1", series[chain.ModeDMVCC][1])
+	}
+}

@@ -1,0 +1,231 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dmvcc/internal/baseline"
+	"dmvcc/internal/core"
+	"dmvcc/internal/minisol"
+	"dmvcc/internal/sag"
+	"dmvcc/internal/types"
+	"dmvcc/internal/u256"
+)
+
+// runVariant executes txs under DMVCC with the given options and returns
+// the committed root.
+func runVariant(t *testing.T, opts core.Options, txs []*types.Transaction, threads int) types.Hash {
+	t.Helper()
+	db, reg := fixture(t)
+	an := sag.NewAnalyzer(reg)
+	csags, err := an.AnalyzeBlock(txs, db, blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.NewExecutorOpts(reg, threads, opts).ExecuteBlock(db, blk, txs, csags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := db.Commit(res.WriteSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// TestAblationVariantsStayCorrect: disabling features must never change the
+// committed state — only the schedule.
+func TestAblationVariantsStayCorrect(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(seed))
+			var txs []*types.Transaction
+			for i := 0; i < 30; i++ {
+				switch r.Intn(4) {
+				case 0:
+					txs = append(txs, call(user(r.Intn(64)), tokenAddr, 0, "transfer",
+						user(r.Intn(64)).Word(), u256.NewUint64(uint64(r.Intn(12_000)))))
+				case 1:
+					txs = append(txs, call(user(r.Intn(64)), icoAddr, uint64(1+r.Intn(100)), "buy"))
+				case 2:
+					txs = append(txs, call(user(r.Intn(64)), nftAddr, 0, "mintNFT"))
+				case 3:
+					txs = append(txs, call(user(r.Intn(64)), indirAddr, 0, "writeAt",
+						u256.NewUint64(uint64(r.Intn(3))), u256.NewUint64(uint64(r.Intn(500)))))
+				}
+			}
+			dbS, _ := fixture(t)
+			serial, err := baseline.ExecuteSerial(dbS, blk, txs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := dbS.Commit(serial.WriteSet)
+			if err != nil {
+				t.Fatal(err)
+			}
+			variants := []core.Options{
+				{},
+				{DisableEarlyWrite: true},
+				{DisableCommutative: true},
+				{DisableWriteVersioning: true},
+				{DisableEarlyWrite: true, DisableCommutative: true, DisableWriteVersioning: true},
+			}
+			for vi, opts := range variants {
+				if got := runVariant(t, opts, txs, 4); got != want {
+					t.Errorf("variant %d (%+v) diverged from serial", vi, opts)
+				}
+			}
+		})
+	}
+}
+
+// TestMidBlockDeployment: a contract created inside the block is callable
+// by later transactions of the same block.
+func TestMidBlockDeployment(t *testing.T) {
+	compiled, err := minisol.Compile(`
+contract Echo {
+    uint stored;
+    function set(uint v) public { stored = v; }
+    function get() public view returns (uint) { return stored; }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deployer := user(0)
+	created := types.CreateAddress(deployer, 0)
+	txs := []*types.Transaction{
+		{From: deployer, Create: true, Gas: 5_000_000, Data: compiled.Code},
+		{From: user(1), To: created, Gas: 1_000_000, Data: minisol.CallData("set", u256.NewUint64(321))},
+	}
+	runBoth(t, fixture, txs, 4)
+	// Verify the deployed state on a fresh run.
+	db, reg := fixture(t)
+	an := sag.NewAnalyzer(reg)
+	csags, err := an.AnalyzeBlock(txs, db, blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.NewExecutor(reg, 4).ExecuteBlock(db, blk, txs, csags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Commit(res.WriteSet); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Storage(created, types.Hash{}); got.Uint64() != 321 {
+		t.Errorf("deployed contract slot0 = %s, want 321", got.Hex())
+	}
+	if len(db.Code(created)) == 0 {
+		t.Error("created contract has no code after commit")
+	}
+}
+
+// TestTracesPopulated: the dependency traces the simulator consumes must be
+// present and internally consistent.
+func TestTracesPopulated(t *testing.T) {
+	txs := []*types.Transaction{
+		call(user(0), tokenAddr, 0, "transfer", user(1).Word(), u256.NewUint64(10)),
+		call(user(1), tokenAddr, 0, "transfer", user(2).Word(), u256.NewUint64(10)),
+	}
+	db, reg := fixture(t)
+	an := sag.NewAnalyzer(reg)
+	csags, err := an.AnalyzeBlock(txs, db, blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.NewExecutor(reg, 2).ExecuteBlock(db, blk, txs, csags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Traces) != 2 {
+		t.Fatalf("%d traces", len(res.Traces))
+	}
+	for i, tr := range res.Traces {
+		if tr == nil || tr.Gas == 0 {
+			t.Fatalf("trace %d empty", i)
+		}
+		if len(tr.Events) == 0 {
+			t.Fatalf("trace %d has no events", i)
+		}
+		prev := uint64(0)
+		for _, e := range tr.Events {
+			if e.Offset > tr.Gas {
+				t.Errorf("trace %d event offset %d beyond gas %d", i, e.Offset, tr.Gas)
+			}
+			if e.Offset+1 < prev { // allow equal / tiny jitter at finish
+				t.Errorf("trace %d offsets not monotone: %d after %d", i, e.Offset, prev)
+			}
+			prev = e.Offset
+		}
+	}
+}
+
+// TestEthTransferTraceCost: plain transfers carry only the base virtual
+// cost (the paper executes them without an EVM instance).
+func TestEthTransferTraceCost(t *testing.T) {
+	txs := []*types.Transaction{
+		{From: user(0), To: user(1), Value: u256.NewUint64(5), Gas: 21_000},
+	}
+	db, reg := fixture(t)
+	an := sag.NewAnalyzer(reg)
+	csags, err := an.AnalyzeBlock(txs, db, blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.NewExecutor(reg, 2).ExecuteBlock(db, blk, txs, csags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Traces[0].Gas; got != core.BaseCost {
+		t.Errorf("plain transfer virtual cost = %d, want BaseCost %d", got, core.BaseCost)
+	}
+}
+
+// TestStressDeterminism hammers the scheduler with many seeds, thread
+// counts, and contention mixes; every run must commit the serial root.
+// Skipped under -short.
+func TestStressDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	for seed := int64(100); seed < 120; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(seed))
+			var txs []*types.Transaction
+			n := 40 + r.Intn(80)
+			hotUser := user(r.Intn(8)) // concentrate some traffic
+			for i := 0; i < n; i++ {
+				from := user(r.Intn(64))
+				if r.Intn(3) == 0 {
+					from = hotUser
+				}
+				switch r.Intn(7) {
+				case 0:
+					txs = append(txs, &types.Transaction{
+						From: from, To: user(r.Intn(64)),
+						Value: u256.NewUint64(uint64(r.Intn(100_000))), Gas: 21_000,
+					})
+				case 1, 2:
+					txs = append(txs, call(from, tokenAddr, 0, "transfer",
+						hotUser.Word(), u256.NewUint64(uint64(r.Intn(20_000)))))
+				case 3:
+					txs = append(txs, call(from, icoAddr, uint64(1+r.Intn(1000)), "buy"))
+				case 4:
+					txs = append(txs, call(from, nftAddr, 0, "mintNFT"))
+				case 5:
+					txs = append(txs, call(from, indirAddr, 0, "setKey",
+						u256.NewUint64(uint64(r.Intn(2))), u256.NewUint64(uint64(r.Intn(6)))))
+				case 6:
+					txs = append(txs, call(from, indirAddr, 0, "copyTo",
+						u256.NewUint64(uint64(r.Intn(6))), u256.NewUint64(uint64(r.Intn(6)))))
+				}
+			}
+			threads := 1 + r.Intn(16)
+			runBoth(t, fixture, txs, threads)
+		})
+	}
+}

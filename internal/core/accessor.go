@@ -1,0 +1,582 @@
+package core
+
+import (
+	"dmvcc/internal/evm"
+	"dmvcc/internal/sag"
+	"dmvcc/internal/types"
+	"dmvcc/internal/u256"
+)
+
+// accessor is the evm.State implementation backing one transaction
+// incarnation under DMVCC. Reads resolve through the access sequences
+// (blocking on pending predecessor versions); writes buffer locally in W
+// and become visible through versionWrite — either early, at a release
+// point, or at transaction finish. Its delta/degrade protocol mirrors
+// sag.recorder exactly so C-SAG predictions line up with runtime behaviour.
+type accessor struct {
+	r   *run
+	rt  *txRuntime
+	inc int
+
+	w         map[sag.ItemID]u256.Int // buffered absolute writes
+	wCode     map[sag.ItemID][]byte
+	touch     map[sag.ItemID]touchKind
+	pending   map[sag.ItemID]u256.Int // accumulated unpublished deltas
+	readCache map[sag.ItemID]u256.Int
+	writeEvts map[sag.ItemID]int
+
+	published    map[sag.ItemID]u256.Int // early-published values (abs)
+	publishedDel map[sag.ItemID]struct{} // items with published delta parts
+
+	journal []func()
+	snaps   []int
+
+	armDelta     bool
+	armStore     bool
+	deltaPending *sag.ItemID
+	drained      bool // no unpublished release-eligible writes remain
+
+	// Virtual-time trace: topGas is the top frame's starting gas, offset
+	// the gas consumed so far (top-frame view), events the dependency log.
+	topGas  uint64
+	offset  uint64
+	events  []TraceEvent
+	intrins uint64
+}
+
+// touchKind mirrors the analyzer's classification states.
+type touchKind uint8
+
+const (
+	touchNone touchKind = iota
+	touchRead
+	touchDelta
+	touchWritten
+)
+
+var (
+	_ evm.State        = (*accessor)(nil)
+	_ evm.BalanceAdder = (*accessor)(nil)
+)
+
+func newAccessor(r *run, rt *txRuntime, inc int) *accessor {
+	return &accessor{
+		r:            r,
+		rt:           rt,
+		inc:          inc,
+		intrins:      evm.IntrinsicGas(rt.tx.Data),
+		w:            make(map[sag.ItemID]u256.Int),
+		wCode:        make(map[sag.ItemID][]byte),
+		touch:        make(map[sag.ItemID]touchKind),
+		pending:      make(map[sag.ItemID]u256.Int),
+		readCache:    make(map[sag.ItemID]u256.Int),
+		writeEvts:    make(map[sag.ItemID]int),
+		published:    make(map[sag.ItemID]u256.Int),
+		publishedDel: make(map[sag.ItemID]struct{}),
+	}
+}
+
+// dead reports whether this incarnation has been aborted.
+func (a *accessor) dead() bool { return a.rt.curInc() != a.inc }
+
+// --- journaling -----------------------------------------------------------
+
+func (a *accessor) setTouch(id sag.ItemID, t touchKind) {
+	prev, had := a.touch[id]
+	a.journal = append(a.journal, func() {
+		if had {
+			a.touch[id] = prev
+		} else {
+			delete(a.touch, id)
+		}
+	})
+	a.touch[id] = t
+}
+
+func (a *accessor) setW(id sag.ItemID, v u256.Int) {
+	prev, had := a.w[id]
+	a.journal = append(a.journal, func() {
+		if had {
+			a.w[id] = prev
+		} else {
+			delete(a.w, id)
+		}
+	})
+	a.w[id] = v
+	a.drained = false
+}
+
+func (a *accessor) setWCode(id sag.ItemID, code []byte) {
+	prev, had := a.wCode[id]
+	a.journal = append(a.journal, func() {
+		if had {
+			a.wCode[id] = prev
+		} else {
+			delete(a.wCode, id)
+		}
+	})
+	a.wCode[id] = code
+	a.drained = false
+}
+
+func (a *accessor) addPending(id sag.ItemID, v *u256.Int) {
+	prev, had := a.pending[id]
+	a.journal = append(a.journal, func() {
+		if had {
+			a.pending[id] = prev
+		} else {
+			delete(a.pending, id)
+		}
+	})
+	var next u256.Int
+	next.Add(&prev, v)
+	a.pending[id] = next
+	a.drained = false
+}
+
+func (a *accessor) dropPendingJ(id sag.ItemID) {
+	prev, had := a.pending[id]
+	if !had {
+		return
+	}
+	a.journal = append(a.journal, func() { a.pending[id] = prev })
+	delete(a.pending, id)
+}
+
+// Snapshot implements evm.State.
+func (a *accessor) Snapshot() int {
+	a.snaps = append(a.snaps, len(a.journal))
+	return len(a.snaps) - 1
+}
+
+// RevertToSnapshot implements evm.State.
+func (a *accessor) RevertToSnapshot(rev int) {
+	mark := a.snaps[rev]
+	for i := len(a.journal) - 1; i >= mark; i-- {
+		a.journal[i]()
+	}
+	a.journal = a.journal[:mark]
+	a.snaps = a.snaps[:rev]
+}
+
+// --- read path --------------------------------------------------------------
+
+// snapValue reads the committed snapshot value of an item.
+func (a *accessor) snapValue(id sag.ItemID) u256.Int {
+	switch id.Kind {
+	case sag.KindStorage:
+		return a.r.snap.Storage(id.Addr, id.Slot)
+	case sag.KindBalance:
+		return a.r.snap.Balance(id.Addr)
+	case sag.KindNonce:
+		return u256.NewUint64(a.r.snap.Nonce(id.Addr))
+	default:
+		return u256.Int{}
+	}
+}
+
+// readItem resolves a cross-transaction read through the access sequence,
+// suspending this transaction (and releasing its worker slot) while the
+// required version is pending.
+func (a *accessor) readItem(id sag.ItemID) (u256.Int, error) {
+	seq := a.r.seq(id)
+	for {
+		if a.dead() {
+			return u256.Int{}, evm.ErrAborted
+		}
+		snap := a.snapValue(id)
+		val, res, wait := seq.tryRead(a.rt.idx, a.inc, snap, a.dead)
+		if res != readBlocked {
+			a.rt.noteReadMark(a.inc, id)
+			a.events = append(a.events, TraceEvent{Kind: TraceRead, Item: id, Offset: a.offset})
+			return val, nil
+		}
+		a.r.stats.addBlocked()
+		a.r.gate.Release()
+		select {
+		case <-wait:
+		case <-a.rt.abortChan(a.inc):
+		}
+		a.r.gate.Acquire(a.rt.idx)
+	}
+}
+
+// readValue is the common read path with caching and W-buffer hits.
+func (a *accessor) readValue(id sag.ItemID) (u256.Int, error) {
+	if v, ok := a.w[id]; ok {
+		return v, nil
+	}
+	if a.touch[id] == touchDelta {
+		return a.degradeRead(id)
+	}
+	if v, ok := a.readCache[id]; ok {
+		return v, nil
+	}
+	val, err := a.readItem(id)
+	if err != nil {
+		return u256.Int{}, err
+	}
+	a.readCache[id] = val
+	if a.touch[id] == touchNone {
+		a.setTouch(id, touchRead)
+	}
+	return val, nil
+}
+
+// degradeRead converts a delta-mode item to a normal read-modify-write: the
+// true base is resolved (blocking), the accumulated unpublished delta
+// applied, and the item moves into the absolute write buffer. Any part of
+// the delta already published early stays in the sequence as ω̄ — the sum
+// remains exact.
+func (a *accessor) degradeRead(id sag.ItemID) (u256.Int, error) {
+	base, err := a.readItem(id)
+	if err != nil {
+		return u256.Int{}, err
+	}
+	delta := a.pending[id]
+	var val u256.Int
+	val.Add(&base, &delta)
+	a.dropPendingJ(id)
+	a.setTouch(id, touchWritten)
+	a.setW(id, val)
+	a.readCache[id] = base
+	return val, nil
+}
+
+// --- write path -------------------------------------------------------------
+
+func (a *accessor) writeAbs(id sag.ItemID, v u256.Int) error {
+	if a.r.opts.DisableWriteVersioning && a.touch[id] == touchNone {
+		// Single-version emulation: the first write to an item stalls until
+		// every earlier writer finished (ww conflicts restored). The stall
+		// is also recorded as a read-like trace dependency so the virtual
+		// scheduling simulator reproduces the serialization.
+		if err := a.waitPriorWrites(id); err != nil {
+			return err
+		}
+		a.events = append(a.events, TraceEvent{Kind: TraceRead, Item: id, Offset: a.offset})
+	}
+	if a.touch[id] == touchDelta {
+		a.dropPendingJ(id)
+	}
+	a.setTouch(id, touchWritten)
+	a.setW(id, v)
+	a.writeEvts[id]++
+	return nil
+}
+
+// waitPriorWrites parks until lower-indexed writers of id are finished.
+func (a *accessor) waitPriorWrites(id sag.ItemID) error {
+	seq := a.r.seq(id)
+	for {
+		if a.dead() {
+			return evm.ErrAborted
+		}
+		pending, wait := seq.priorWritesPending(a.rt.idx, a.dead)
+		if !pending {
+			return nil
+		}
+		a.r.stats.addBlocked()
+		a.r.gate.Release()
+		select {
+		case <-wait:
+		case <-a.rt.abortChan(a.inc):
+		}
+		a.r.gate.Acquire(a.rt.idx)
+	}
+}
+
+// --- evm.State --------------------------------------------------------------
+
+// GetState implements evm.State.
+func (a *accessor) GetState(addr types.Address, key types.Hash) (u256.Int, error) {
+	id := sag.StorageItem(addr, key)
+	if a.armDelta {
+		a.armDelta = false
+		if t := a.touch[id]; t == touchNone || t == touchDelta {
+			if t == touchNone {
+				a.setTouch(id, touchDelta)
+			}
+			a.deltaPending = &id
+			return u256.Int{}, nil
+		}
+	}
+	return a.readValue(id)
+}
+
+// SetState implements evm.State.
+func (a *accessor) SetState(addr types.Address, key types.Hash, v u256.Int) error {
+	id := sag.StorageItem(addr, key)
+	if a.armStore {
+		a.armStore = false
+		if a.deltaPending != nil && *a.deltaPending == id {
+			a.deltaPending = nil
+			a.addPending(id, &v)
+			a.writeEvts[id]++
+			return nil
+		}
+	}
+	return a.writeAbs(id, v)
+}
+
+// GetBalance implements evm.State.
+func (a *accessor) GetBalance(addr types.Address) (u256.Int, error) {
+	return a.readValue(sag.BalanceItem(addr))
+}
+
+// SetBalance implements evm.State.
+func (a *accessor) SetBalance(addr types.Address, v u256.Int) error {
+	return a.writeAbs(sag.BalanceItem(addr), v)
+}
+
+// AddBalance implements evm.BalanceAdder: blind credits stay deltas.
+func (a *accessor) AddBalance(addr types.Address, delta u256.Int) error {
+	id := sag.BalanceItem(addr)
+	if t := a.touch[id]; !a.r.opts.DisableCommutative && (t == touchNone || t == touchDelta) {
+		if t == touchNone {
+			a.setTouch(id, touchDelta)
+		}
+		a.addPending(id, &delta)
+		a.writeEvts[id]++
+		return nil
+	}
+	cur, err := a.readValue(id)
+	if err != nil {
+		return err
+	}
+	var next u256.Int
+	next.Add(&cur, &delta)
+	return a.writeAbs(id, next)
+}
+
+// GetNonce implements evm.State.
+func (a *accessor) GetNonce(addr types.Address) (uint64, error) {
+	v, err := a.readValue(sag.NonceItem(addr))
+	if err != nil {
+		return 0, err
+	}
+	return v.Uint64(), nil
+}
+
+// setNonceInner writes the nonce value (error only from ablation stalls).
+// SetNonce implements evm.State. Protocol nonce bumps are unconditional —
+// they survive deterministic reverts and out-of-gas — so the value is final
+// the moment it is written and can be published immediately, without
+// waiting for a release point. This keeps same-sender transaction chains
+// from serializing on the nonce.
+func (a *accessor) SetNonce(addr types.Address, v uint64) error {
+	id := sag.NonceItem(addr)
+	w := u256.NewUint64(v)
+	if err := a.writeAbs(id, w); err != nil {
+		return err
+	}
+	if !a.r.opts.DisableEarlyWrite {
+		if err := a.publishAbs(id, w); err != nil {
+			return err
+		}
+		a.r.stats.addEarly()
+	}
+	return nil
+}
+
+// GetCode implements evm.State.
+func (a *accessor) GetCode(addr types.Address) ([]byte, error) {
+	id := sag.CodeItem(addr)
+	if code, ok := a.wCode[id]; ok {
+		return code, nil
+	}
+	val, err := a.readValue(id)
+	if err != nil {
+		return nil, err
+	}
+	if val.IsZero() {
+		// No in-block deployment: committed code.
+		return a.r.snap.Code(addr), nil
+	}
+	return a.r.codeOf(types.HashFromWord(val)), nil
+}
+
+// SetCode implements evm.State.
+func (a *accessor) SetCode(addr types.Address, code []byte) error {
+	id := sag.CodeItem(addr)
+	h := a.r.storeCode(code)
+	a.setTouch(id, touchWritten)
+	a.setWCode(id, code)
+	a.setW(id, h.Word())
+	a.writeEvts[id]++
+	return nil
+}
+
+// --- hook: abort checks, commutative arming, release points ----------------
+
+// hook runs before every instruction: it stops dead incarnations, arms the
+// commutative sites, and performs Algorithm 2's early-write visibility at
+// release points.
+func (a *accessor) hook(addr types.Address, depth int, pc uint64, op evm.Opcode, gasLeft uint64) error {
+	if a.dead() {
+		return evm.ErrAborted
+	}
+	if depth == 1 {
+		if a.topGas == 0 {
+			a.topGas = gasLeft
+		}
+		a.offset = BaseCost + a.topGas - gasLeft
+	}
+	var info *sag.ContractInfo
+	if !a.r.opts.DisableCommutative {
+		switch op {
+		case evm.SLOAD:
+			if info = a.r.reg.Lookup(addr); info != nil {
+				if _, ok := info.CommLoads[pc]; ok {
+					a.armDelta = true
+				}
+			}
+		case evm.SSTORE:
+			if info = a.r.reg.Lookup(addr); info != nil && info.CommStores[pc] {
+				a.armStore = true
+			}
+		}
+	}
+	if depth != 1 || a.drained || a.r.opts.DisableEarlyWrite {
+		return nil
+	}
+	if info == nil {
+		info = a.r.reg.Lookup(addr)
+	}
+	if info == nil || !info.Released(pc, gasLeft) {
+		return nil
+	}
+	a.earlyPublish()
+	return nil
+}
+
+// earlyPublish makes buffered writes visible before commit (Algorithm 2):
+// an item is published once its predicted write events have all happened
+// (no write of it remains in the C-SAG's future).
+func (a *accessor) earlyPublish() {
+	csag := a.rt.csag
+	if csag == nil {
+		a.drained = true // nothing predicted: publish only at finish
+		return
+	}
+	remaining := false
+	for id, v := range a.w {
+		if prev, done := a.published[id]; done && prev.Eq(&v) {
+			continue
+		}
+		predicted, ok := csag.Writes[id]
+		if !ok || a.writeEvts[id] < predicted {
+			if !ok {
+				continue // unpredicted: finish-time only
+			}
+			remaining = true
+			continue
+		}
+		if err := a.publishAbs(id, v); err != nil {
+			return
+		}
+		a.r.stats.addEarly()
+	}
+	for id, d := range a.pending {
+		if d.IsZero() {
+			continue
+		}
+		predicted, ok := csag.Deltas[id]
+		if !ok || a.writeEvts[id] < predicted {
+			if ok {
+				remaining = true
+			}
+			continue
+		}
+		if err := a.publishDelta(id, d); err != nil {
+			return
+		}
+		a.r.stats.addEarly()
+	}
+	a.drained = !remaining
+}
+
+// publishAbs inserts/updates this transaction's absolute version of id.
+func (a *accessor) publishAbs(id sag.ItemID, v u256.Int) error {
+	victims, err := a.rt.publish(a.r, a.inc, id, v, false)
+	if err != nil {
+		return err
+	}
+	a.published[id] = v
+	a.events = append(a.events, TraceEvent{Kind: TraceWrite, Item: id, Offset: a.offset})
+	for _, vic := range victims {
+		a.r.abort(vic)
+	}
+	return nil
+}
+
+// publishDelta publishes an accumulated delta contribution and clears the
+// local pending amount (later increments accumulate on the same entry).
+func (a *accessor) publishDelta(id sag.ItemID, d u256.Int) error {
+	victims, err := a.rt.publish(a.r, a.inc, id, d, true)
+	if err != nil {
+		return err
+	}
+	delete(a.pending, id)
+	a.publishedDel[id] = struct{}{}
+	a.events = append(a.events, TraceEvent{Kind: TraceDelta, Item: id, Offset: a.offset})
+	a.r.stats.addDelta()
+	for _, vic := range victims {
+		a.r.abort(vic)
+	}
+	return nil
+}
+
+// finish publishes every remaining write, drops predicted writes that never
+// materialized (so parked readers fall through to earlier versions), and
+// records the receipt. It returns false if the incarnation died mid-way.
+func (a *accessor) finish(receipt *types.Receipt) bool {
+	a.offset = ExecCost(receipt.GasUsed, a.intrins)
+	for id, v := range a.w {
+		if prev, done := a.published[id]; done && prev.Eq(&v) {
+			continue
+		}
+		if err := a.publishAbs(id, v); err != nil {
+			return false
+		}
+	}
+	for id, d := range a.pending {
+		if d.IsZero() {
+			continue
+		}
+		if err := a.publishDelta(id, d); err != nil {
+			return false
+		}
+	}
+	// Drop predicted writes that never happened (deterministic revert or
+	// path divergence): without this, parked readers would wait forever.
+	if csag := a.rt.csag; csag != nil {
+		drop := func(id sag.ItemID) bool {
+			if _, ok := a.published[id]; ok {
+				return true
+			}
+			if _, ok := a.publishedDel[id]; ok {
+				return true
+			}
+			victims, err := a.rt.dropUnperformed(a.r, a.inc, id)
+			if err != nil {
+				return false
+			}
+			for _, vic := range victims {
+				a.r.abort(vic)
+			}
+			return true
+		}
+		for id := range csag.Writes {
+			if !drop(id) {
+				return false
+			}
+		}
+		for id := range csag.Deltas {
+			if !drop(id) {
+				return false
+			}
+		}
+	}
+	return a.rt.complete(a.inc, receipt, &TxTrace{Gas: ExecCost(receipt.GasUsed, a.intrins), Events: a.events})
+}

@@ -1,0 +1,538 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dmvcc/internal/baseline"
+	"dmvcc/internal/core"
+	"dmvcc/internal/evm"
+	"dmvcc/internal/minisol"
+	"dmvcc/internal/sag"
+	"dmvcc/internal/state"
+	"dmvcc/internal/types"
+	"dmvcc/internal/u256"
+)
+
+var (
+	tokenAddr = types.HexToAddress("0xc000000000000000000000000000000000000001")
+	indirAddr = types.HexToAddress("0xc000000000000000000000000000000000000002")
+	nftAddr   = types.HexToAddress("0xc000000000000000000000000000000000000003")
+	icoAddr   = types.HexToAddress("0xc000000000000000000000000000000000000004")
+	blk       = evm.BlockContext{Number: 9, Timestamp: 5_000, GasLimit: 30_000_000, ChainID: 1}
+)
+
+func user(i int) types.Address {
+	var a types.Address
+	a[0] = 0xee
+	a[18] = byte(i >> 8)
+	a[19] = byte(i)
+	return a
+}
+
+const tokenSrc = `
+contract Token {
+    mapping(address => uint) balances;
+    uint totalSupply;
+
+    function mint(address to, uint amount) public {
+        balances[to] += amount;
+        totalSupply += amount;
+    }
+
+    function transfer(address to, uint amount) public {
+        require(balances[msg.sender] >= amount);
+        balances[msg.sender] -= amount;
+        balances[to] += amount;
+    }
+
+    function balanceOf(address a) public view returns (uint) {
+        return balances[a];
+    }
+}
+`
+
+const indirectSrc = `
+contract Indirect {
+    mapping(uint => uint) keyOf;
+    mapping(uint => uint) data;
+
+    function setKey(uint k, uint nk) public {
+        keyOf[k] = nk;
+    }
+
+    function writeAt(uint k, uint v) public {
+        data[keyOf[k]] = v;
+    }
+
+    function copyTo(uint i, uint j) public {
+        data[j] = data[i];
+    }
+
+    function read(uint i) public view returns (uint) {
+        return data[i];
+    }
+}
+`
+
+const nftSrc = `
+contract NFT {
+    uint nextId;
+    mapping(uint => address) ownerOf;
+    mapping(address => uint) count;
+
+    function mintNFT() public returns (uint) {
+        uint id = nextId;
+        nextId = id + 1;
+        ownerOf[id] = msg.sender;
+        count[msg.sender] += 1;
+        return id;
+    }
+}
+`
+
+const icoSrc = `
+contract ICO {
+    uint raised;
+    mapping(address => uint) contributions;
+
+    function buy() public payable {
+        require(msg.value > 0);
+        raised += msg.value;
+        contributions[msg.sender] += msg.value;
+    }
+}
+`
+
+// fixture builds a deterministic pre-state: contracts deployed, users
+// funded with ether and tokens, state committed.
+func fixture(t *testing.T) (*state.DB, *sag.Registry) {
+	t.Helper()
+	db := state.NewDB()
+	reg := sag.NewRegistry()
+	o := state.NewOverlay(db)
+	deploy := func(addr types.Address, src string) {
+		c, err := minisol.Compile(src)
+		if err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		o.SetCode(addr, c.Code)
+		reg.RegisterCompiled(addr, c)
+	}
+	deploy(tokenAddr, tokenSrc)
+	deploy(indirAddr, indirectSrc)
+	deploy(nftAddr, nftSrc)
+	deploy(icoAddr, icoSrc)
+	balSlot := uint64(0) // Token.balances
+	for i := 0; i < 64; i++ {
+		u := user(i)
+		o.SetBalance(u, u256.NewUint64(1_000_000_000))
+		o.SetStorage(tokenAddr, minisol.MappingSlot(balSlot, u.Word()), u256.NewUint64(10_000))
+	}
+	if _, err := db.Commit(o.Changes()); err != nil {
+		t.Fatal(err)
+	}
+	return db, reg
+}
+
+func call(from types.Address, to types.Address, value uint64, method string, args ...u256.Int) *types.Transaction {
+	return &types.Transaction{
+		From:  from,
+		To:    to,
+		Value: u256.NewUint64(value),
+		Gas:   2_000_000,
+		Data:  minisol.CallData(method, args...),
+	}
+}
+
+// runBoth executes txs serially on one copy of the fixture and with DMVCC
+// on another, compares receipts and committed roots, and returns the DMVCC
+// stats.
+func runBoth(t *testing.T, build func(*testing.T) (*state.DB, *sag.Registry), txs []*types.Transaction, threads int) core.Stats {
+	t.Helper()
+	dbSerial, _ := build(t)
+	serial, err := baseline.ExecuteSerial(dbSerial, blk, txs)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	rootSerial, err := dbSerial.Commit(serial.WriteSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dbPar, reg := build(t)
+	an := sag.NewAnalyzer(reg)
+	csags, err := an.AnalyzeBlock(txs, dbPar, blk)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	ex := core.NewExecutor(reg, threads)
+	res, err := ex.ExecuteBlock(dbPar, blk, txs, csags)
+	if err != nil {
+		t.Fatalf("dmvcc: %v", err)
+	}
+	rootPar, err := dbPar.Commit(res.WriteSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rootPar != rootSerial {
+		for i := range txs {
+			t.Logf("tx %d: serial=%s dmvcc=%s", i, serial.Receipts[i].Status, res.Receipts[i].Status)
+		}
+		t.Fatalf("state roots diverge: dmvcc %s != serial %s (stats %+v)", rootPar, rootSerial, res.Stats)
+	}
+	for i := range txs {
+		if serial.Receipts[i].Status != res.Receipts[i].Status {
+			t.Errorf("tx %d status: serial %s, dmvcc %s", i, serial.Receipts[i].Status, res.Receipts[i].Status)
+		}
+		if serial.Receipts[i].GasUsed != res.Receipts[i].GasUsed {
+			t.Errorf("tx %d gas: serial %d, dmvcc %d", i, serial.Receipts[i].GasUsed, res.Receipts[i].GasUsed)
+		}
+	}
+	return res.Stats
+}
+
+func TestEmptyBlock(t *testing.T) {
+	db, reg := fixture(t)
+	ex := core.NewExecutor(reg, 4)
+	res, err := ex.ExecuteBlock(db, blk, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Receipts) != 0 || res.WriteSet.Len() != 0 {
+		t.Errorf("empty block produced output: %+v", res)
+	}
+}
+
+func TestSingleTransfer(t *testing.T) {
+	txs := []*types.Transaction{call(user(0), tokenAddr, 0, "transfer", user(1).Word(), u256.NewUint64(100))}
+	stats := runBoth(t, fixture, txs, 4)
+	if stats.Executions != 1 {
+		t.Errorf("executions = %d, want 1", stats.Executions)
+	}
+	if stats.Aborts != 0 {
+		t.Errorf("aborts = %d, want 0", stats.Aborts)
+	}
+}
+
+func TestDependentChain(t *testing.T) {
+	// user0 -> user1 -> user2 -> user3, amounts exceeding initial balances
+	// so each hop depends on the previous credit.
+	txs := []*types.Transaction{
+		call(user(0), tokenAddr, 0, "transfer", user(1).Word(), u256.NewUint64(9_000)),
+		call(user(1), tokenAddr, 0, "transfer", user(2).Word(), u256.NewUint64(15_000)),
+		call(user(2), tokenAddr, 0, "transfer", user(3).Word(), u256.NewUint64(20_000)),
+		call(user(3), tokenAddr, 0, "transfer", user(4).Word(), u256.NewUint64(25_000)),
+	}
+	runBoth(t, fixture, txs, 4)
+}
+
+func TestIndependentParallel(t *testing.T) {
+	var txs []*types.Transaction
+	for i := 0; i < 32; i += 2 {
+		txs = append(txs, call(user(i), tokenAddr, 0, "transfer", user(i+1).Word(), u256.NewUint64(50)))
+	}
+	stats := runBoth(t, fixture, txs, 8)
+	if stats.Aborts != 0 {
+		t.Errorf("independent txs aborted: %+v", stats)
+	}
+}
+
+func TestCommutativeICO(t *testing.T) {
+	// Everyone buys into the ICO: raised += is a shared counter that would
+	// serialize everything without commutative writes.
+	var txs []*types.Transaction
+	for i := 0; i < 24; i++ {
+		txs = append(txs, call(user(i), icoAddr, 1000+uint64(i), "buy"))
+	}
+	stats := runBoth(t, fixture, txs, 8)
+	if stats.DeltaPublishes == 0 {
+		t.Errorf("expected delta publishes for ICO counters: %+v", stats)
+	}
+	if stats.Aborts != 0 {
+		t.Errorf("commutative ICO buys should not abort: %+v", stats)
+	}
+}
+
+func TestNFTMintChainEarlyVisibility(t *testing.T) {
+	// nextId is a read-write chain: every mint depends on the previous one.
+	var txs []*types.Transaction
+	for i := 0; i < 16; i++ {
+		txs = append(txs, call(user(i), nftAddr, 0, "mintNFT"))
+	}
+	stats := runBoth(t, fixture, txs, 8)
+	if stats.EarlyPublishes == 0 {
+		t.Errorf("expected early publishes on the mint chain: %+v", stats)
+	}
+}
+
+func TestStaleAnalysisAbortsAndRecovers(t *testing.T) {
+	// tx0 redirects keyOf[1] from 0 to 7; tx1's C-SAG (computed against the
+	// snapshot) predicts a write to data[0], but at runtime writes data[7];
+	// tx2 reads data[7] early (no predicted conflict) and must be aborted
+	// and re-executed when tx1's unpredicted write appears (Fig. 5).
+	txs := []*types.Transaction{
+		call(user(0), indirAddr, 0, "setKey", u256.NewUint64(1), u256.NewUint64(7)),
+		call(user(1), indirAddr, 0, "writeAt", u256.NewUint64(1), u256.NewUint64(99)),
+		call(user(2), indirAddr, 0, "copyTo", u256.NewUint64(7), u256.NewUint64(5)),
+	}
+	stats := runBoth(t, fixture, txs, 4)
+	if stats.Aborts == 0 {
+		t.Logf("warning: expected at least one abort, got %+v (timing dependent)", stats)
+	}
+	// Verify the final value via a fresh read on a re-built fixture.
+	db, reg := fixture(t)
+	an := sag.NewAnalyzer(reg)
+	csags, err := an.AnalyzeBlock(txs, db, blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.NewExecutor(reg, 4).ExecuteBlock(db, blk, txs, csags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Commit(res.WriteSet); err != nil {
+		t.Fatal(err)
+	}
+	dataSlot := minisol.MappingSlot(1, u256.NewUint64(5)) // Indirect.data
+	if got := db.Storage(indirAddr, dataSlot); got.Uint64() != 99 {
+		t.Errorf("data[5] = %s, want 99", got.Hex())
+	}
+}
+
+func TestRevertReleasesWaiters(t *testing.T) {
+	// tx0's transfer reverts (insufficient funds): its predicted write to
+	// user1's slot never happens; tx1 depends on that slot and must not
+	// hang waiting for it.
+	txs := []*types.Transaction{
+		call(user(0), tokenAddr, 0, "transfer", user(1).Word(), u256.NewUint64(999_999)), // reverts
+		call(user(1), tokenAddr, 0, "transfer", user(2).Word(), u256.NewUint64(10_000)),  // uses full balance
+	}
+	runBoth(t, fixture, txs, 2)
+}
+
+func TestMissingCSAGFallback(t *testing.T) {
+	// Drop some C-SAGs entirely: the scheduler must fall back to dynamic
+	// handling (the paper's missing-SAG path) and stay correct.
+	txs := []*types.Transaction{
+		call(user(0), tokenAddr, 0, "transfer", user(1).Word(), u256.NewUint64(9_000)),
+		call(user(1), tokenAddr, 0, "transfer", user(2).Word(), u256.NewUint64(15_000)),
+		call(user(2), tokenAddr, 0, "transfer", user(3).Word(), u256.NewUint64(20_000)),
+	}
+	dbSerial, _ := fixture(t)
+	serial, err := baseline.ExecuteSerial(dbSerial, blk, txs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootSerial, err := dbSerial.Commit(serial.WriteSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, reg := fixture(t)
+	an := sag.NewAnalyzer(reg)
+	csags, err := an.AnalyzeBlock(txs, db, blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csags[1] = nil // missing SAG for the middle transaction
+	res, err := core.NewExecutor(reg, 4).ExecuteBlock(db, blk, txs, csags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := db.Commit(res.WriteSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root != rootSerial {
+		t.Errorf("missing-CSAG run diverged: %s != %s", root, rootSerial)
+	}
+}
+
+func TestPlainTransfersAndCalls(t *testing.T) {
+	var txs []*types.Transaction
+	for i := 0; i < 10; i++ {
+		txs = append(txs, &types.Transaction{
+			From:  user(i),
+			To:    user(i + 20),
+			Value: u256.NewUint64(uint64(1000 + i)),
+			Gas:   21_000,
+		})
+		txs = append(txs, call(user(i+32), tokenAddr, 0, "transfer", user(i).Word(), u256.NewUint64(5)))
+	}
+	runBoth(t, fixture, txs, 8)
+}
+
+// TestRandomizedDeterminism is the core property test: random workloads at
+// random thread counts must always commit the serial root.
+func TestRandomizedDeterminism(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(seed))
+			var txs []*types.Transaction
+			n := 20 + r.Intn(40)
+			for i := 0; i < n; i++ {
+				from := user(r.Intn(64))
+				switch r.Intn(6) {
+				case 0: // plain transfer
+					txs = append(txs, &types.Transaction{
+						From:  from,
+						To:    user(r.Intn(64)),
+						Value: u256.NewUint64(uint64(r.Intn(10_000))),
+						Gas:   21_000,
+					})
+				case 1, 2: // token transfer, sometimes overdrafting
+					txs = append(txs, call(from, tokenAddr, 0, "transfer",
+						user(r.Intn(64)).Word(), u256.NewUint64(uint64(r.Intn(15_000)))))
+				case 3: // ICO buy
+					txs = append(txs, call(from, icoAddr, uint64(1+r.Intn(500)), "buy"))
+				case 4: // NFT mint
+					txs = append(txs, call(from, nftAddr, 0, "mintNFT"))
+				case 5: // indirect writes, occasionally re-keyed
+					if r.Intn(3) == 0 {
+						txs = append(txs, call(from, indirAddr, 0, "setKey",
+							u256.NewUint64(uint64(r.Intn(4))), u256.NewUint64(uint64(r.Intn(8)))))
+					} else {
+						txs = append(txs, call(from, indirAddr, 0, "writeAt",
+							u256.NewUint64(uint64(r.Intn(4))), u256.NewUint64(uint64(r.Intn(1000)))))
+					}
+				}
+			}
+			threads := []int{1, 2, 4, 8}[r.Intn(4)]
+			runBoth(t, fixture, txs, threads)
+		})
+	}
+}
+
+func TestStatsExecutionsCount(t *testing.T) {
+	txs := []*types.Transaction{
+		call(user(0), tokenAddr, 0, "transfer", user(1).Word(), u256.NewUint64(1)),
+		call(user(2), tokenAddr, 0, "transfer", user(3).Word(), u256.NewUint64(1)),
+	}
+	stats := runBoth(t, fixture, txs, 2)
+	if stats.Executions < 2 {
+		t.Errorf("executions = %d, want >= 2", stats.Executions)
+	}
+	if stats.Executions != 2+stats.Aborts {
+		t.Errorf("executions %d != 2 + aborts %d", stats.Executions, stats.Aborts)
+	}
+}
+
+// TestCascadingAbortChain builds the worst case of Algorithm 4: an
+// unpredicted write invalidates a reader whose own early-published write
+// was already consumed by a third transaction, which in turn fed a fourth.
+// The cascade must abort and re-execute the whole chain and still commit
+// the serial root.
+func TestCascadingAbortChain(t *testing.T) {
+	txs := []*types.Transaction{
+		// t0 redirects keyOf[1] from 0 to 5.
+		call(user(0), indirAddr, 0, "setKey", u256.NewUint64(1), u256.NewUint64(5)),
+		// t1 writes data[keyOf[1]]: predicted data[0], actually data[5].
+		call(user(1), indirAddr, 0, "writeAt", u256.NewUint64(1), u256.NewUint64(42)),
+		// t2 copies data[5] -> data[6]: its read of data[5] resolves from
+		// the snapshot (no predicted writer) and is later invalidated.
+		call(user(2), indirAddr, 0, "copyTo", u256.NewUint64(5), u256.NewUint64(6)),
+		// t3 copies data[6] -> data[7]: feeds on t2's early-published write.
+		call(user(3), indirAddr, 0, "copyTo", u256.NewUint64(6), u256.NewUint64(7)),
+	}
+	var sawCascade bool
+	for attempt := 0; attempt < 20 && !sawCascade; attempt++ {
+		stats := runBoth(t, fixture, txs, 4)
+		if stats.Aborts >= 2 {
+			sawCascade = true
+		}
+	}
+	if !sawCascade {
+		t.Log("note: cascade did not trigger in 20 runs (timing dependent); correctness held throughout")
+	}
+	// Deterministic final state: the 42 propagates down the copy chain.
+	db, reg := fixture(t)
+	an := sag.NewAnalyzer(reg)
+	csags, err := an.AnalyzeBlock(txs, db, blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.NewExecutor(reg, 4).ExecuteBlock(db, blk, txs, csags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Commit(res.WriteSet); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range map[uint64]uint64{5: 42, 6: 42, 7: 42} {
+		slot := minisol.MappingSlot(1, u256.NewUint64(i))
+		if got := db.Storage(indirAddr, slot); got.Uint64() != want {
+			t.Errorf("data[%d] = %s, want %d", i, got.Hex(), want)
+		}
+	}
+}
+
+// TestNonZeroGasPrices exercises fee settlement under the scheduler: the
+// upfront gas purchase (sender debit), the refund, and the coinbase credit
+// (a commutative delta shared by every transaction in the block).
+func TestNonZeroGasPrices(t *testing.T) {
+	coinbase := types.HexToAddress("0xc01bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb")
+	feeBlk := blk
+	feeBlk.Coinbase = coinbase
+
+	var txs []*types.Transaction
+	for i := 0; i < 12; i++ {
+		tx := call(user(i), tokenAddr, 0, "transfer", user(i+20).Word(), u256.NewUint64(25))
+		tx.GasPrice = u256.NewUint64(uint64(1 + i%3))
+		txs = append(txs, tx)
+	}
+	// Plain transfers with fees too.
+	for i := 12; i < 16; i++ {
+		tx := &types.Transaction{
+			From:     user(i),
+			To:       user(i + 20),
+			Value:    u256.NewUint64(500),
+			Gas:      21_000,
+			GasPrice: u256.NewUint64(2),
+		}
+		txs = append(txs, tx)
+	}
+
+	dbSerial, _ := fixture(t)
+	serial, err := baseline.ExecuteSerial(dbSerial, feeBlk, txs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootSerial, err := dbSerial.Commit(serial.WriteSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dbPar, reg := fixture(t)
+	an := sag.NewAnalyzer(reg)
+	csags, err := an.AnalyzeBlock(txs, dbPar, feeBlk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.NewExecutor(reg, 8).ExecuteBlock(dbPar, feeBlk, txs, csags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootPar, err := dbPar.Commit(res.WriteSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rootPar != rootSerial {
+		t.Fatalf("fee-paying block diverged: %s != %s (stats %+v)", rootPar, rootSerial, res.Stats)
+	}
+	// The coinbase collected every fee exactly once.
+	var wantFees uint64
+	for i, r := range serial.Receipts {
+		wantFees += r.GasUsed * txs[i].GasPrice.Uint64()
+	}
+	if got := dbPar.Balance(coinbase); got.Uint64() != wantFees {
+		t.Errorf("coinbase = %d, want %d", got.Uint64(), wantFees)
+	}
+	// Coinbase credits from distinct txs must be commutative deltas, not a
+	// serializing chain.
+	if res.Stats.DeltaPublishes == 0 {
+		t.Error("expected coinbase fee deltas")
+	}
+}

@@ -1,0 +1,476 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"dmvcc/internal/evm"
+	"dmvcc/internal/sag"
+	"dmvcc/internal/state"
+	"dmvcc/internal/types"
+	"dmvcc/internal/u256"
+)
+
+// ErrTooManyAborts guards against livelock; it indicates a scheduler bug
+// rather than an expected runtime condition.
+var ErrTooManyAborts = errors.New("core: transaction exceeded the incarnation limit")
+
+// maxIncarnations bounds re-executions per transaction.
+const maxIncarnations = 1000
+
+// Stats aggregates scheduler counters for one block execution.
+type Stats struct {
+	// Executions counts incarnations started (n transactions = n when no
+	// aborts happen).
+	Executions int64
+	// Aborts counts non-deterministic aborts (stale reads, cascades).
+	Aborts int64
+	// EarlyPublishes counts writes made visible at release points.
+	EarlyPublishes int64
+	// DeltaPublishes counts commutative delta versions published.
+	DeltaPublishes int64
+	// BlockedReads counts reads that had to park on a pending version.
+	BlockedReads int64
+}
+
+type statCounters struct {
+	executions atomic.Int64
+	aborts     atomic.Int64
+	early      atomic.Int64
+	delta      atomic.Int64
+	blocked    atomic.Int64
+}
+
+func (s *statCounters) addBlocked() { s.blocked.Add(1) }
+func (s *statCounters) addEarly()   { s.early.Add(1) }
+func (s *statCounters) addDelta()   { s.delta.Add(1) }
+
+func (s *statCounters) snapshot() Stats {
+	return Stats{
+		Executions:     s.executions.Load(),
+		Aborts:         s.aborts.Load(),
+		EarlyPublishes: s.early.Load(),
+		DeltaPublishes: s.delta.Load(),
+		BlockedReads:   s.blocked.Load(),
+	}
+}
+
+// Result is the outcome of executing one block with DMVCC.
+type Result struct {
+	Receipts []*types.Receipt
+	WriteSet *state.WriteSet
+	Stats    Stats
+	// Traces are the per-transaction dependency traces of the committed
+	// incarnations, consumed by the scheduling simulator.
+	Traces []*TxTrace
+	// WastedGas approximates work burned by aborted incarnations.
+	WastedGas uint64
+}
+
+// Options toggles DMVCC's design features for ablation studies. The zero
+// value enables everything (the full protocol).
+type Options struct {
+	// DisableEarlyWrite publishes versions only at transaction finish,
+	// removing early-write visibility (§IV-C).
+	DisableEarlyWrite bool
+	// DisableCommutative executes blind increments as ordinary
+	// read-modify-writes, removing commutative write merging (§IV-D).
+	DisableCommutative bool
+	// DisableWriteVersioning makes write-write pairs conflict again: a
+	// writer stalls until every earlier writer of the item finished, like a
+	// single-version item lock (the behaviour DMVCC's access sequences
+	// remove, §IV-D).
+	DisableWriteVersioning bool
+}
+
+// Executor schedules block execution under DMVCC. It is reusable across
+// blocks; each ExecuteBlock call is independent.
+type Executor struct {
+	reg     *sag.Registry
+	threads int
+	opts    Options
+}
+
+// NewExecutor returns a DMVCC executor running on the given number of
+// worker threads (EVM instances bound to cores, per the paper's setup).
+func NewExecutor(reg *sag.Registry, threads int) *Executor {
+	return NewExecutorOpts(reg, threads, Options{})
+}
+
+// NewExecutorOpts is NewExecutor with feature toggles.
+func NewExecutorOpts(reg *sag.Registry, threads int, opts Options) *Executor {
+	if threads < 1 {
+		threads = 1
+	}
+	return &Executor{reg: reg, threads: threads, opts: opts}
+}
+
+// gate is an index-prioritized counting semaphore modelling N worker
+// threads: when a slot frees, the lowest-indexed waiting transaction runs
+// first (the paper's Q_ready ordering).
+type gate struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	tokens  int
+	waiting []int // min-heap-ish: kept sorted ascending
+}
+
+func newGate(tokens int) *gate {
+	g := &gate{tokens: tokens}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Acquire blocks until a slot is available and idx is the most-preferred
+// waiter.
+func (g *gate) Acquire(idx int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	i := sort.SearchInts(g.waiting, idx)
+	g.waiting = append(g.waiting, 0)
+	copy(g.waiting[i+1:], g.waiting[i:])
+	g.waiting[i] = idx
+	for g.tokens == 0 || g.waiting[0] != idx {
+		g.cond.Wait()
+	}
+	// Remove one instance of idx (it is at the front).
+	g.waiting = g.waiting[1:]
+	g.tokens--
+}
+
+// Release frees a slot.
+func (g *gate) Release() {
+	g.mu.Lock()
+	g.tokens++
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}
+
+// txRuntime is the mutable scheduling record of one transaction.
+type txRuntime struct {
+	idx  int
+	tx   *types.Transaction
+	csag *sag.CSAG
+
+	mu        sync.Mutex
+	inc       atomic.Int64
+	abortCh   chan struct{}
+	published []sag.ItemID
+	readMarks []sag.ItemID
+	finished  bool
+	receipt   *types.Receipt
+	trace     *TxTrace
+}
+
+// curInc returns the live incarnation number.
+func (rt *txRuntime) curInc() int { return int(rt.inc.Load()) }
+
+// abortChan returns the abort channel for incarnation inc (the current one;
+// stale callers receive a closed channel).
+func (rt *txRuntime) abortChan(inc int) chan struct{} {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if int(rt.inc.Load()) != inc {
+		return closedChan
+	}
+	return rt.abortCh
+}
+
+// noteReadMark records that incarnation inc marked a read on id (so an
+// abort can clear the stale mark).
+func (rt *txRuntime) noteReadMark(inc int, id sag.ItemID) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if int(rt.inc.Load()) == inc {
+		rt.readMarks = append(rt.readMarks, id)
+	}
+}
+
+// publish performs a versionWrite on behalf of incarnation inc, recording
+// the published item for abort-time cleanup. It fails with ErrAborted if
+// the incarnation is no longer current.
+func (rt *txRuntime) publish(r *run, inc int, id sag.ItemID, v u256.Int, delta bool) ([]victim, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if int(rt.inc.Load()) != inc {
+		return nil, evm.ErrAborted
+	}
+	rt.published = append(rt.published, id)
+	return r.seq(id).versionWrite(rt.idx, inc, v, delta), nil
+}
+
+// dropUnperformed marks a predicted write that never happened as dropped.
+func (rt *txRuntime) dropUnperformed(r *run, inc int, id sag.ItemID) ([]victim, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if int(rt.inc.Load()) != inc {
+		return nil, evm.ErrAborted
+	}
+	return r.seq(id).dropVersion(rt.idx, inc), nil
+}
+
+// complete records the final receipt and trace of incarnation inc.
+func (rt *txRuntime) complete(inc int, receipt *types.Receipt, trace *TxTrace) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if int(rt.inc.Load()) != inc {
+		return false
+	}
+	rt.finished = true
+	rt.receipt = receipt
+	rt.trace = trace
+	return true
+}
+
+// run is the state of one in-flight block execution.
+type run struct {
+	x     *Executor
+	reg   *sag.Registry
+	snap  state.Reader
+	block evm.BlockContext
+	rts   []*txRuntime
+	gate  *gate
+	wg    sync.WaitGroup
+
+	seqMu sync.RWMutex
+	seqs  map[sag.ItemID]*sequence
+
+	codeMu sync.Mutex
+	codes  map[types.Hash][]byte
+
+	opts Options
+
+	stats  statCounters
+	wasted atomic.Uint64
+	errMu  sync.Mutex
+	err    error
+}
+
+// seq returns (creating on demand) the access sequence of id.
+func (r *run) seq(id sag.ItemID) *sequence {
+	r.seqMu.RLock()
+	s, ok := r.seqs[id]
+	r.seqMu.RUnlock()
+	if ok {
+		return s
+	}
+	r.seqMu.Lock()
+	defer r.seqMu.Unlock()
+	if s, ok = r.seqs[id]; ok {
+		return s
+	}
+	s = newSequence(id)
+	r.seqs[id] = s
+	return s
+}
+
+// storeCode keeps deployed code bytes addressable by hash.
+func (r *run) storeCode(code []byte) types.Hash {
+	h := types.Keccak(code)
+	r.codeMu.Lock()
+	r.codes[h] = code
+	r.codeMu.Unlock()
+	return h
+}
+
+// codeOf resolves code bytes deployed earlier in this block.
+func (r *run) codeOf(h types.Hash) []byte {
+	r.codeMu.Lock()
+	defer r.codeMu.Unlock()
+	return r.codes[h]
+}
+
+// fail records the first fatal scheduler error.
+func (r *run) fail(err error) {
+	r.errMu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.errMu.Unlock()
+}
+
+// abort implements Algorithm 4 plus cascade processing: the victim's
+// incarnation is retired, its published versions dropped (aborting their
+// readers in turn), its read marks cleared, and a fresh incarnation
+// relaunched.
+func (r *run) abort(v victim) {
+	rt := r.rts[v.tx]
+	rt.mu.Lock()
+	if int(rt.inc.Load()) != v.inc {
+		rt.mu.Unlock()
+		return // already re-incarnated
+	}
+	published := rt.published
+	readMarks := rt.readMarks
+	oldInc := v.inc
+	newInc := oldInc + 1
+	rt.inc.Store(int64(newInc))
+	close(rt.abortCh)
+	rt.abortCh = make(chan struct{})
+	rt.published = nil
+	rt.readMarks = nil
+	rt.finished = false
+	rt.receipt = nil
+	rt.mu.Unlock()
+
+	r.stats.aborts.Add(1)
+
+	// Drop visible writes; collect cascading victims.
+	var cascade []victim
+	for _, id := range published {
+		cascade = append(cascade, r.seq(id).dropVersion(v.tx, oldInc)...)
+	}
+	for _, id := range readMarks {
+		r.seq(id).resetRead(v.tx, oldInc)
+	}
+
+	if newInc >= maxIncarnations {
+		r.fail(fmt.Errorf("%w: tx %d", ErrTooManyAborts, v.tx))
+		return
+	}
+	// Relaunch the transaction.
+	r.wg.Add(1)
+	go r.execute(rt)
+
+	for _, c := range cascade {
+		r.abort(c)
+	}
+}
+
+// execute runs one incarnation of a transaction to completion or abort.
+func (r *run) execute(rt *txRuntime) {
+	defer r.wg.Done()
+	inc := rt.curInc()
+	r.stats.executions.Add(1)
+	acc := newAccessor(r, rt, inc)
+	r.gate.Acquire(rt.idx)
+	defer r.gate.Release()
+
+	receipt, err := evm.ApplyTransaction(acc, r.block, rt.tx, rt.idx, acc.hook)
+	if err != nil {
+		if errors.Is(err, evm.ErrAborted) {
+			r.wasted.Add(acc.offset) // work thrown away with this incarnation
+			return                   // the aborter relaunches
+		}
+		r.fail(fmt.Errorf("core: tx %d: %w", rt.idx, err))
+		return
+	}
+	if !acc.finish(receipt) {
+		return // aborted during finish; relaunch in flight
+	}
+}
+
+// ExecuteBlock runs the transactions of a block in parallel under DMVCC
+// and returns the receipts (in block order), the net write set ready for
+// DB.Commit, and scheduler statistics. csags may contain nils (missing
+// SAGs are handled fully dynamically, per the paper's workflow).
+func (x *Executor) ExecuteBlock(snap state.Reader, block evm.BlockContext, txs []*types.Transaction, csags []*sag.CSAG) (*Result, error) {
+	r := &run{
+		x:     x,
+		reg:   x.reg,
+		snap:  snap,
+		block: block,
+		gate:  newGate(x.threads),
+		seqs:  make(map[sag.ItemID]*sequence),
+		codes: make(map[types.Hash][]byte),
+		opts:  x.opts,
+	}
+	r.rts = make([]*txRuntime, len(txs))
+	for i, tx := range txs {
+		var c *sag.CSAG
+		if i < len(csags) {
+			c = csags[i]
+		}
+		r.rts[i] = &txRuntime{idx: i, tx: tx, csag: c, abortCh: make(chan struct{})}
+	}
+
+	// Initialize the access sequences from the C-SAGs (Algorithm 1 line 1).
+	for i, rt := range r.rts {
+		if rt.csag == nil {
+			continue
+		}
+		for id := range rt.csag.Reads {
+			r.seq(id).addPredicted(i, kindRead)
+		}
+		for id := range rt.csag.Writes {
+			k := kindWrite
+			if _, alsoRead := rt.csag.Reads[id]; alsoRead {
+				k = kindReadWrite
+			}
+			r.seq(id).addPredicted(i, k)
+		}
+		for id := range rt.csag.Deltas {
+			r.seq(id).addPredicted(i, kindDelta)
+		}
+	}
+
+	// Execution phase: one goroutine per transaction, gated to N threads.
+	for _, rt := range r.rts {
+		r.wg.Add(1)
+		go r.execute(rt)
+	}
+	r.wg.Wait()
+
+	if r.err != nil {
+		return nil, r.err
+	}
+
+	// Commit phase: flush the last version of every sequence (Algorithm 1
+	// line 20).
+	ws := state.NewWriteSet()
+	for id, s := range r.seqs {
+		base := snapFor(snap, id)
+		val, wrote := s.finalValue(base)
+		if !wrote {
+			continue
+		}
+		switch id.Kind {
+		case sag.KindStorage:
+			ws.SetStorage(id.Addr, id.Slot, val)
+		case sag.KindBalance:
+			ws.Balances[id.Addr] = val
+		case sag.KindNonce:
+			ws.Nonces[id.Addr] = val.Uint64()
+		case sag.KindCode:
+			if code := r.codeOf(types.HashFromWord(val)); code != nil {
+				ws.Codes[id.Addr] = code
+			}
+		}
+	}
+
+	receipts := make([]*types.Receipt, len(txs))
+	traces := make([]*TxTrace, len(txs))
+	for i, rt := range r.rts {
+		rt.mu.Lock()
+		receipts[i] = rt.receipt
+		traces[i] = rt.trace
+		rt.mu.Unlock()
+		if receipts[i] == nil {
+			return nil, fmt.Errorf("core: tx %d finished without a receipt", i)
+		}
+	}
+	return &Result{
+		Receipts:  receipts,
+		WriteSet:  ws,
+		Stats:     r.stats.snapshot(),
+		Traces:    traces,
+		WastedGas: r.wasted.Load(),
+	}, nil
+}
+
+// snapFor reads an item's committed value from the snapshot.
+func snapFor(snap state.Reader, id sag.ItemID) u256.Int {
+	switch id.Kind {
+	case sag.KindStorage:
+		return snap.Storage(id.Addr, id.Slot)
+	case sag.KindBalance:
+		return snap.Balance(id.Addr)
+	case sag.KindNonce:
+		return u256.NewUint64(snap.Nonce(id.Addr))
+	default:
+		return u256.Int{}
+	}
+}

@@ -1,0 +1,383 @@
+// Package core implements DMVCC — deterministic multi-version concurrency
+// control — the paper's contribution. Each state item has an access
+// sequence holding one version per writing transaction (write versioning,
+// §IV-D); reads resolve to the closest preceding finished version and block
+// on pending ones; commutative increments are stored as order-free deltas;
+// writes become visible at release points before the transaction commits
+// (early-write visibility, §IV-C); and stale reads trigger cascading aborts
+// (§IV-E) that preserve deterministic serializability (Theorem 1).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dmvcc/internal/sag"
+	"dmvcc/internal/u256"
+)
+
+// entryKind is the access type of one transaction on one item.
+type entryKind uint8
+
+// Access kinds, mirroring the paper's ρ/ω/θ plus the commutative ω̄ (delta).
+const (
+	kindRead      entryKind = iota + 1 // ρ
+	kindWrite                          // ω
+	kindReadWrite                      // θ
+	kindDelta                          // ω̄ (commutative)
+)
+
+func (k entryKind) String() string {
+	switch k {
+	case kindRead:
+		return "ρ"
+	case kindWrite:
+		return "ω"
+	case kindReadWrite:
+		return "θ"
+	case kindDelta:
+		return "ω̄"
+	default:
+		return "?"
+	}
+}
+
+// entryStatus is the write-part status of an entry ("F" field in Fig. 4).
+type entryStatus uint8
+
+const (
+	statusPending entryStatus = iota + 1 // not finished ("N")
+	statusDone                           // value available
+	statusDropped                        // writer aborted or never wrote
+)
+
+// entry is one transaction's slot in an access sequence.
+type entry struct {
+	tx        int
+	kind      entryKind
+	predicted bool // created from the C-SAG (vs dynamically inserted)
+
+	status   entryStatus
+	value    u256.Int // absolute value (ω/θ) or accumulated delta (ω̄)
+	writeInc int      // incarnation that produced value
+	dropInc  int      // incarnation whose publishes must be ignored (-1 none)
+
+	readDone bool
+	readInc  int
+}
+
+// victim identifies a transaction incarnation to abort.
+type victim struct {
+	tx  int
+	inc int
+}
+
+// sequence is the multi-version access sequence L_I of one state item.
+type sequence struct {
+	mu      sync.Mutex
+	id      sag.ItemID
+	entries []*entry // sorted by tx index, at most one per tx
+	waiters []chan struct{}
+}
+
+func newSequence(id sag.ItemID) *sequence {
+	return &sequence{id: id}
+}
+
+// find returns the index of the entry for tx, or (insertion point, false).
+func (s *sequence) find(tx int) (int, bool) {
+	i := sort.Search(len(s.entries), func(i int) bool { return s.entries[i].tx >= tx })
+	if i < len(s.entries) && s.entries[i].tx == tx {
+		return i, true
+	}
+	return i, false
+}
+
+// ensureEntry returns the entry for tx, inserting a dynamic one when absent.
+func (s *sequence) ensureEntry(tx int, kind entryKind) *entry {
+	i, ok := s.find(tx)
+	if ok {
+		return s.entries[i]
+	}
+	e := &entry{tx: tx, kind: kind, status: statusPending, dropInc: -1}
+	s.entries = append(s.entries, nil)
+	copy(s.entries[i+1:], s.entries[i:])
+	s.entries[i] = e
+	return e
+}
+
+// addPredicted installs a predicted entry from the C-SAG.
+func (s *sequence) addPredicted(tx int, kind entryKind) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.ensureEntry(tx, kind)
+	e.kind = kind
+	e.predicted = true
+}
+
+// readResult is the outcome of a read resolution attempt.
+type readResult uint8
+
+const (
+	readOK readResult = iota + 1
+	readBlocked
+	readNeedSnapshot // resolved, but base comes from the snapshot
+)
+
+// tryRead resolves the value transaction tx must observe. snapBase is the
+// committed snapshot value of the item (used when no in-block writer
+// precedes tx). When the read would block, a wait channel is returned and
+// the caller must retry after it closes. On success the reader's entry is
+// marked done so later writers know to abort it (Algorithm 3 line 4).
+func (s *sequence) tryRead(tx, inc int, snapBase u256.Int, aborted func() bool) (u256.Int, readResult, chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if aborted() {
+		// Do not mark entries on behalf of a dead incarnation.
+		return u256.Int{}, readBlocked, closedChan
+	}
+
+	pos, _ := s.find(tx)
+	var deltas u256.Int
+	for j := pos - 1; j >= 0; j-- {
+		e := s.entries[j]
+		if e.status == statusDropped {
+			continue
+		}
+		switch e.kind {
+		case kindRead:
+			continue
+		case kindDelta:
+			if e.status == statusPending {
+				return u256.Int{}, readBlocked, s.waitChan()
+			}
+			deltas.Add(&deltas, &e.value)
+		case kindWrite, kindReadWrite:
+			if e.status == statusPending {
+				return u256.Int{}, readBlocked, s.waitChan()
+			}
+			var val u256.Int
+			val.Add(&e.value, &deltas)
+			s.markRead(tx, inc)
+			return val, readOK, nil
+		}
+	}
+	var val u256.Int
+	val.Add(&snapBase, &deltas)
+	s.markRead(tx, inc)
+	return val, readNeedSnapshot, nil
+}
+
+// closedChan is a pre-closed channel for immediate retry paths.
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// markRead records a completed read by tx (mutating its entry in place).
+func (s *sequence) markRead(tx, inc int) {
+	e := s.ensureEntry(tx, kindRead)
+	e.readDone = true
+	e.readInc = inc
+}
+
+// waitChan registers a waiter woken at the next publish/drop on this item.
+func (s *sequence) waitChan() chan struct{} {
+	ch := make(chan struct{})
+	s.waiters = append(s.waiters, ch)
+	return ch
+}
+
+// wakeAll wakes every registered waiter. Called with s.mu held.
+func (s *sequence) wakeAll() {
+	for _, ch := range s.waiters {
+		close(ch)
+	}
+	s.waiters = nil
+}
+
+// priorWritesPending reports whether any lower-indexed transaction still
+// has an unfinished write/delta on this item, returning a wait channel when
+// so. Used only by the write-versioning ablation: with versioning disabled,
+// a writer must wait for earlier writers like a single-version lock.
+func (s *sequence) priorWritesPending(tx int, aborted func() bool) (bool, chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if aborted() {
+		return true, closedChan
+	}
+	pos, _ := s.find(tx)
+	for j := pos - 1; j >= 0; j-- {
+		e := s.entries[j]
+		if e.status == statusPending && e.kind != kindRead {
+			return true, s.waitChan()
+		}
+	}
+	return false, nil
+}
+
+// versionWrite publishes a version for tx (Algorithm 3): the entry is
+// upgraded/inserted, its value set, waiters woken, and the completed reads
+// of later transactions that observed an older version are returned as
+// abort victims. delta selects ω̄ semantics (deltas accumulate and never
+// invalidate other deltas).
+func (s *sequence) versionWrite(tx, inc int, val u256.Int, delta bool) []victim {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	e := s.ensureEntry(tx, kindWrite)
+	if e.dropInc == inc {
+		// This incarnation was aborted and its versions pre-dropped.
+		return nil
+	}
+	if delta {
+		e.kind = kindDelta
+		if e.status == statusDone && e.writeInc == inc {
+			// Accumulate further contributions from the same incarnation.
+			e.value.Add(&e.value, &val)
+		} else {
+			e.value = val
+		}
+	} else {
+		if e.readDone || e.kind == kindReadWrite {
+			e.kind = kindReadWrite
+		} else {
+			e.kind = kindWrite
+		}
+		e.value = val
+	}
+	e.status = statusDone
+	e.writeInc = inc
+
+	s.wakeAll()
+	// A completed read positioned after this version observed an older one
+	// (for deltas: merged without this contribution) — abort it. Delta/delta
+	// pairs never invalidate each other, which scanForward honours by
+	// skipping ω̄ entries.
+	return s.scanForward(tx)
+}
+
+// scanForward implements Algorithm 3's abort/grant scan after a publish at
+// tx's position: completed reads after it (up to the next write) are stale.
+func (s *sequence) scanForward(tx int) []victim {
+	pos, ok := s.find(tx)
+	start := pos
+	if ok {
+		start = pos + 1
+	}
+	var victims []victim
+	for j := start; j < len(s.entries); j++ {
+		e := s.entries[j]
+		if e.status == statusDropped {
+			continue
+		}
+		switch e.kind {
+		case kindDelta:
+			continue
+		case kindRead:
+			if e.readDone {
+				victims = append(victims, victim{tx: e.tx, inc: e.readInc})
+			}
+		case kindWrite, kindReadWrite:
+			if e.kind == kindReadWrite && e.readDone {
+				victims = append(victims, victim{tx: e.tx, inc: e.readInc})
+			}
+			// Later readers observed (or will observe) this entry's write,
+			// not ours; cascading aborts handle them if it dies.
+			return victims
+		}
+	}
+	return victims
+}
+
+// dropVersion invalidates tx's version (aborted incarnation or a predicted
+// write that never materialized): the entry is marked dropped, waiters are
+// woken to re-resolve, and stale readers are returned (Algorithm 4, lines
+// 9-13).
+func (s *sequence) dropVersion(tx, inc int) []victim {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i, ok := s.find(tx)
+	if !ok {
+		return nil
+	}
+	e := s.entries[i]
+	e.dropInc = inc
+	if e.status == statusDone && e.writeInc != inc {
+		// A newer incarnation already republished; leave its version alone.
+		return nil
+	}
+	hadValue := e.status == statusDone
+	e.status = statusDropped
+	s.wakeAll()
+	if !hadValue {
+		return nil
+	}
+	return s.scanForward(tx)
+}
+
+// resetRead clears a stale read mark after its incarnation aborted, keeping
+// future scans from re-targeting the dead incarnation.
+func (s *sequence) resetRead(tx, inc int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i, ok := s.find(tx)
+	if !ok {
+		return
+	}
+	e := s.entries[i]
+	if e.readDone && e.readInc == inc {
+		e.readDone = false
+	}
+}
+
+// finalValue resolves the committed value of the item after all
+// transactions finished: the last finished absolute write plus any deltas
+// after it; ok is false when nothing in the block wrote the item.
+func (s *sequence) finalValue(snapBase u256.Int) (u256.Int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var deltas u256.Int
+	wrote := false
+	for j := len(s.entries) - 1; j >= 0; j-- {
+		e := s.entries[j]
+		if e.status != statusDone {
+			continue
+		}
+		switch e.kind {
+		case kindDelta:
+			deltas.Add(&deltas, &e.value)
+			wrote = true
+		case kindWrite, kindReadWrite:
+			var val u256.Int
+			val.Add(&e.value, &deltas)
+			return val, true
+		}
+	}
+	if !wrote {
+		return u256.Int{}, false
+	}
+	var val u256.Int
+	val.Add(&snapBase, &deltas)
+	return val, true
+}
+
+// debugString renders the sequence like the paper's Fig. 4 rectangles.
+func (s *sequence) debugString() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.id.String() + ":"
+	for _, e := range s.entries {
+		st := "N"
+		switch e.status {
+		case statusDone:
+			st = "T"
+		case statusDropped:
+			st = "X"
+		}
+		out += fmt.Sprintf(" T%d:%s[%s]", e.tx, e.kind, st)
+	}
+	return out
+}

@@ -1,0 +1,295 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"dmvcc/internal/sag"
+	"dmvcc/internal/types"
+	"dmvcc/internal/u256"
+)
+
+func testItem() sag.ItemID {
+	return sag.StorageItem(types.HexToAddress("0xc0"), types.HexToHash("0x01"))
+}
+
+func never() bool { return false }
+
+func TestSequenceReadFromSnapshot(t *testing.T) {
+	s := newSequence(testItem())
+	snap := u256.NewUint64(42)
+	val, res, _ := s.tryRead(3, 0, snap, never)
+	if res == readBlocked {
+		t.Fatal("read with no writers must not block")
+	}
+	if val.Uint64() != 42 {
+		t.Errorf("val = %d, want snapshot 42", val.Uint64())
+	}
+}
+
+func TestSequenceReadBlocksOnPendingWrite(t *testing.T) {
+	s := newSequence(testItem())
+	s.addPredicted(1, kindWrite)
+	_, res, wait := s.tryRead(3, 0, u256.Zero, never)
+	if res != readBlocked || wait == nil {
+		t.Fatal("read after pending write must block")
+	}
+	// Publishing unblocks (the wait channel closes).
+	victims := s.versionWrite(1, 0, u256.NewUint64(7), false)
+	if len(victims) != 0 {
+		t.Errorf("no completed readers yet, victims = %v", victims)
+	}
+	select {
+	case <-wait:
+	default:
+		t.Fatal("waiter not woken by publish")
+	}
+	val, res, _ := s.tryRead(3, 0, u256.Zero, never)
+	if res == readBlocked || val.Uint64() != 7 {
+		t.Errorf("read after publish = %d (res %d)", val.Uint64(), res)
+	}
+}
+
+func TestSequenceReadSkipsDropped(t *testing.T) {
+	s := newSequence(testItem())
+	s.addPredicted(1, kindWrite)
+	s.versionWrite(1, 0, u256.NewUint64(7), false)
+	s.dropVersion(1, 0)
+	val, res, _ := s.tryRead(3, 0, u256.NewUint64(100), never)
+	if res == readBlocked {
+		t.Fatal("dropped version must be transparent")
+	}
+	if val.Uint64() != 100 {
+		t.Errorf("val = %d, want snapshot after drop", val.Uint64())
+	}
+}
+
+func TestSequenceLateWriteAbortsCompletedReader(t *testing.T) {
+	s := newSequence(testItem())
+	// Reader tx3 completes against the snapshot.
+	if _, res, _ := s.tryRead(3, 5, u256.Zero, never); res == readBlocked {
+		t.Fatal("setup read blocked")
+	}
+	// An unpredicted write by tx1 arrives afterwards (the Fig. 5 case).
+	victims := s.versionWrite(1, 0, u256.NewUint64(9), false)
+	if len(victims) != 1 || victims[0].tx != 3 || victims[0].inc != 5 {
+		t.Fatalf("victims = %v, want tx3@inc5", victims)
+	}
+}
+
+func TestSequenceScanStopsAtInterveningWriter(t *testing.T) {
+	s := newSequence(testItem())
+	// tx2 writes (done), tx3 read tx2's version, tx5 read it too.
+	s.versionWrite(2, 0, u256.NewUint64(5), false)
+	s.tryRead(3, 0, u256.Zero, never)
+	s.tryRead(5, 0, u256.Zero, never)
+	// Now tx1 publishes: tx3/tx5 read tx2's version, NOT tx1's — the scan
+	// must stop at tx2's ω and abort nobody.
+	victims := s.versionWrite(1, 0, u256.NewUint64(1), false)
+	if len(victims) != 0 {
+		t.Errorf("scan crossed an intervening writer: victims %v", victims)
+	}
+}
+
+func TestSequenceDeltaDoesNotAbortDeltaWriters(t *testing.T) {
+	s := newSequence(testItem())
+	s.addPredicted(2, kindDelta)
+	s.addPredicted(4, kindDelta)
+	s.versionWrite(4, 0, u256.NewUint64(10), true)
+	// tx2's delta arrives later; delta-delta never conflicts.
+	victims := s.versionWrite(2, 0, u256.NewUint64(5), true)
+	if len(victims) != 0 {
+		t.Errorf("delta invalidated a delta: %v", victims)
+	}
+	// A reader after both merges them onto the snapshot base.
+	val, res, _ := s.tryRead(9, 0, u256.NewUint64(100), never)
+	if res == readBlocked {
+		t.Fatal("read blocked with all deltas done")
+	}
+	if val.Uint64() != 115 {
+		t.Errorf("merged value = %d, want 100+10+5", val.Uint64())
+	}
+}
+
+func TestSequenceLateDeltaAbortsCompletedReader(t *testing.T) {
+	s := newSequence(testItem())
+	s.versionWrite(4, 0, u256.NewUint64(10), true)
+	s.tryRead(9, 2, u256.Zero, never) // merged only tx4's delta
+	victims := s.versionWrite(2, 0, u256.NewUint64(5), true)
+	if len(victims) != 1 || victims[0].tx != 9 {
+		t.Errorf("late delta must abort the reader: %v", victims)
+	}
+}
+
+func TestSequenceReadBlocksOnPendingDelta(t *testing.T) {
+	s := newSequence(testItem())
+	s.addPredicted(2, kindDelta)
+	if _, res, _ := s.tryRead(5, 0, u256.Zero, never); res != readBlocked {
+		t.Fatal("read must wait for a pending delta from an earlier tx")
+	}
+}
+
+func TestSequenceSameIncarnationDeltaAccumulates(t *testing.T) {
+	s := newSequence(testItem())
+	s.versionWrite(1, 0, u256.NewUint64(3), true)
+	s.versionWrite(1, 0, u256.NewUint64(4), true)
+	val, _, _ := s.tryRead(5, 0, u256.Zero, never)
+	if val.Uint64() != 7 {
+		t.Errorf("accumulated delta = %d, want 7", val.Uint64())
+	}
+}
+
+func TestSequenceDropAfterRepublishIsIgnored(t *testing.T) {
+	s := newSequence(testItem())
+	s.versionWrite(1, 0, u256.NewUint64(5), false)
+	// Incarnation 1 republished before the aborter got to drop inc 0.
+	s.versionWrite(1, 1, u256.NewUint64(6), false)
+	s.dropVersion(1, 0)
+	val, res, _ := s.tryRead(3, 0, u256.Zero, never)
+	if res == readBlocked || val.Uint64() != 6 {
+		t.Errorf("val = %d (res %d), want the republished 6", val.Uint64(), res)
+	}
+}
+
+func TestSequencePublishAfterDropMarkIsIgnored(t *testing.T) {
+	s := newSequence(testItem())
+	s.addPredicted(1, kindWrite)
+	// Aborter drops incarnation 0 before its in-flight publish lands.
+	s.dropVersion(1, 0)
+	s.versionWrite(1, 0, u256.NewUint64(5), false)
+	val, res, _ := s.tryRead(3, 0, u256.NewUint64(77), never)
+	if res == readBlocked {
+		t.Fatal("read blocked on a dead version")
+	}
+	if val.Uint64() != 77 {
+		t.Errorf("stale publish resurrected: read %d, want snapshot 77", val.Uint64())
+	}
+}
+
+func TestSequenceReadWriteUpgrade(t *testing.T) {
+	s := newSequence(testItem())
+	s.tryRead(2, 0, u256.Zero, never) // tx2 reads -> ρ entry, readDone
+	s.versionWrite(2, 0, u256.NewUint64(8), false)
+	i, ok := s.find(2)
+	if !ok {
+		t.Fatal("entry missing")
+	}
+	if s.entries[i].kind != kindReadWrite {
+		t.Errorf("kind = %s, want θ", s.entries[i].kind)
+	}
+}
+
+func TestSequenceFinalValue(t *testing.T) {
+	s := newSequence(testItem())
+	snap := u256.NewUint64(100)
+	if _, wrote := s.finalValue(snap); wrote {
+		t.Error("untouched sequence reports a write")
+	}
+	s.versionWrite(1, 0, u256.NewUint64(10), false)
+	s.versionWrite(3, 0, u256.NewUint64(20), false)
+	s.versionWrite(5, 0, u256.NewUint64(7), true) // delta on top
+	val, wrote := s.finalValue(snap)
+	if !wrote || val.Uint64() != 27 {
+		t.Errorf("final = %d (wrote %v), want 20+7", val.Uint64(), wrote)
+	}
+	// Deltas only: merge onto the snapshot.
+	s2 := newSequence(testItem())
+	s2.versionWrite(2, 0, u256.NewUint64(5), true)
+	val, wrote = s2.finalValue(snap)
+	if !wrote || val.Uint64() != 105 {
+		t.Errorf("delta-only final = %d, want 105", val.Uint64())
+	}
+}
+
+func TestSequenceAbortedReaderNotMarked(t *testing.T) {
+	s := newSequence(testItem())
+	dead := func() bool { return true }
+	if _, res, _ := s.tryRead(3, 0, u256.Zero, dead); res != readBlocked {
+		t.Fatal("dead incarnation must not complete reads")
+	}
+	// No read mark must exist for tx3.
+	if i, ok := s.find(3); ok && s.entries[i].readDone {
+		t.Error("dead incarnation left a read mark")
+	}
+}
+
+func TestSequenceResetRead(t *testing.T) {
+	s := newSequence(testItem())
+	s.tryRead(3, 1, u256.Zero, never)
+	s.resetRead(3, 1)
+	victims := s.versionWrite(1, 0, u256.NewUint64(9), false)
+	if len(victims) != 0 {
+		t.Errorf("reset read still targeted: %v", victims)
+	}
+	// Reset with the wrong incarnation leaves the mark.
+	s.tryRead(5, 2, u256.Zero, never)
+	s.resetRead(5, 1)
+	victims = s.versionWrite(4, 0, u256.NewUint64(9), false)
+	if len(victims) != 1 {
+		t.Errorf("mark for live incarnation lost: %v", victims)
+	}
+}
+
+func TestGatePriority(t *testing.T) {
+	g := newGate(1)
+	g.Acquire(5)
+	done := make(chan int, 3)
+	for _, idx := range []int{9, 2, 7} {
+		idx := idx
+		go func() {
+			g.Acquire(idx)
+			done <- idx
+			g.Release()
+		}()
+	}
+	// Give the goroutines time to queue, then release: the lowest index
+	// must win first.
+	waitForWaiters(t, g, 3)
+	g.Release()
+	first := <-done
+	if first != 2 {
+		t.Errorf("first acquirer = %d, want 2 (lowest index)", first)
+	}
+	<-done
+	<-done
+}
+
+func waitForWaiters(t *testing.T, g *gate, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		g.mu.Lock()
+		w := len(g.waiting)
+		g.mu.Unlock()
+		if w >= n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("waiters never queued")
+}
+
+func TestSequenceDebugString(t *testing.T) {
+	s := newSequence(testItem())
+	s.addPredicted(1, kindWrite)
+	s.versionWrite(1, 0, u256.NewUint64(5), false)
+	s.tryRead(3, 0, u256.Zero, never)
+	out := s.debugString()
+	if out == "" {
+		t.Fatal("empty debug string")
+	}
+	for _, want := range []string{"T1:ω[T]", "T3:ρ"} {
+		if !contains(out, want) {
+			t.Errorf("debug %q missing %q", out, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

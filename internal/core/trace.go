@@ -1,0 +1,49 @@
+package core
+
+import "dmvcc/internal/sag"
+
+// TraceEventKind classifies schedule-relevant events of one execution.
+type TraceEventKind uint8
+
+// Trace event kinds.
+const (
+	TraceRead TraceEventKind = iota + 1
+	TraceWrite
+	TraceDelta
+)
+
+// TraceEvent is one cross-transaction dependency event observed during the
+// final (committed) incarnation of a transaction: a read of an item, or a
+// version publish (absolute or delta), with the gas consumed inside the
+// transaction when it fired. Gas is the deterministic virtual-time unit the
+// scheduling simulator uses to reproduce the paper's thread-scaling
+// figures, mirroring the paper's own "simulated scheduling the transactions
+// on a set of threads" methodology (§V-B).
+type TraceEvent struct {
+	Kind   TraceEventKind
+	Item   sag.ItemID
+	Offset uint64 // gas consumed within the transaction at the event
+}
+
+// TxTrace is the dependency trace of one committed transaction execution.
+type TxTrace struct {
+	// Gas is the transaction's virtual service time: execution gas (gas
+	// consumed minus the intrinsic charge, which is fee bookkeeping rather
+	// than compute) plus BaseCost. Plain Ether transfers therefore cost
+	// almost nothing, matching the paper's handling ("we directly
+	// transferred Ethers without a need to start an EVM instance").
+	Gas uint64
+	// Events in program order.
+	Events []TraceEvent
+}
+
+// BaseCost is the fixed virtual cost of dispatching any transaction.
+const BaseCost = 500
+
+// ExecCost converts a receipt's gas usage into virtual service time.
+func ExecCost(gasUsed, intrinsic uint64) uint64 {
+	if gasUsed <= intrinsic {
+		return BaseCost
+	}
+	return BaseCost + gasUsed - intrinsic
+}

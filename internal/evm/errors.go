@@ -1,0 +1,46 @@
+package evm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Execution failure modes. ErrRevert and ErrOutOfGas are "deterministic
+// aborts" in the paper's sense (§IV-E): they follow contract semantics and
+// the transaction is not re-executed. ErrAborted is the scheduler-injected
+// non-deterministic abort: the current execution must be discarded and the
+// transaction re-run.
+var (
+	ErrOutOfGas            = errors.New("evm: out of gas")
+	ErrStackUnderflow      = errors.New("evm: stack underflow")
+	ErrStackOverflow       = errors.New("evm: stack overflow")
+	ErrBadJump             = errors.New("evm: invalid jump destination")
+	ErrInvalidOpcode       = errors.New("evm: invalid opcode")
+	ErrCallDepth           = errors.New("evm: max call depth exceeded")
+	ErrInsufficientBalance = errors.New("evm: insufficient balance for transfer")
+	ErrWriteProtection     = errors.New("evm: write to protected state")
+	ErrAborted             = errors.New("evm: execution aborted by scheduler")
+)
+
+// RevertError carries the REVERT return payload. It wraps no other error;
+// match with errors.As.
+type RevertError struct {
+	Data []byte
+}
+
+// Error implements error.
+func (e *RevertError) Error() string {
+	return fmt.Sprintf("evm: execution reverted (%d bytes of return data)", len(e.Data))
+}
+
+// IsRevert reports whether err is a contract revert.
+func IsRevert(err error) bool {
+	var re *RevertError
+	return errors.As(err, &re)
+}
+
+// IsDeterministicAbort reports whether err is part of contract semantics
+// (revert / out-of-gas / invalid opcode) rather than a scheduler artifact.
+func IsDeterministicAbort(err error) bool {
+	return IsRevert(err) || errors.Is(err, ErrOutOfGas) || errors.Is(err, ErrInvalidOpcode)
+}

@@ -1,0 +1,127 @@
+package evm
+
+// Gas schedule. Constants track Ethereum's pre-Berlin schedule closely
+// enough to reproduce the paper's relative execution costs. One deliberate
+// simplification: SSTORE is charged a flat GasSstore regardless of whether
+// the slot transitions zero/non-zero, so that gas metering itself never
+// performs a state read (which would pollute the read sets the scheduler
+// reasons about).
+const (
+	GasTx            uint64 = 21000
+	GasTxDataZero    uint64 = 4
+	GasTxDataNonZero uint64 = 16
+
+	GasQuickStep   uint64 = 2
+	GasFastestStep uint64 = 3
+	GasFastStep    uint64 = 5
+	GasMidStep     uint64 = 8
+	GasSlowStep    uint64 = 10
+
+	GasExp     uint64 = 10
+	GasExpByte uint64 = 50
+
+	GasSha3     uint64 = 30
+	GasSha3Word uint64 = 6
+
+	GasSload   uint64 = 200
+	GasSstore  uint64 = 5000
+	GasBalance uint64 = 400
+
+	GasJumpdest uint64 = 1
+
+	GasCall        uint64 = 700
+	GasCallValue   uint64 = 9000
+	GasCallStipend uint64 = 2300
+
+	GasLog      uint64 = 375
+	GasLogTopic uint64 = 375
+	GasLogByte  uint64 = 8
+
+	GasCopyWord uint64 = 3
+	GasMemWord  uint64 = 3
+)
+
+// constantGas returns the static gas cost of op, or (0, false) for opcodes
+// with fully dynamic pricing handled inline by the interpreter.
+func constantGas(op Opcode) (uint64, bool) {
+	switch op {
+	case STOP, RETURN, REVERT, INVALID:
+		return 0, true
+	case JUMPDEST:
+		return GasJumpdest, true
+	case ADDRESS, ORIGIN, CALLER, CALLVALUE, CALLDATASIZE, CODESIZE,
+		RETURNDATASIZE, COINBASE, TIMESTAMP, NUMBER, GASLIMIT, CHAINID,
+		PC, MSIZE, GAS, POP:
+		return GasQuickStep, true
+	case ADD, SUB, LT, GT, SLT, SGT, EQ, ISZERO, AND, OR, XOR, NOT, BYTE,
+		SHL, SHR, SAR, CALLDATALOAD:
+		return GasFastestStep, true
+	case MUL, DIV, SDIV, MOD, SMOD, SIGNEXTEND, SELFBALANCE:
+		return GasFastStep, true
+	case ADDMOD, MULMOD, JUMP:
+		return GasMidStep, true
+	case JUMPI:
+		return GasSlowStep, true
+	case BLOCKHASH:
+		return 20, true
+	case SLOAD:
+		return GasSload, true
+	case SSTORE:
+		return GasSstore, true
+	case BALANCE:
+		return GasBalance, true
+	}
+	if op.IsPush() || op.IsDup() || op.IsSwap() {
+		return GasFastestStep, true
+	}
+	return 0, false
+}
+
+// memoryGas returns the total gas cost of a memory sized words 32-byte
+// words: 3*w + w*w/512.
+func memoryGas(words uint64) uint64 {
+	return GasMemWord*words + words*words/512
+}
+
+// IntrinsicGas returns the gas charged before any execution: the flat
+// transaction cost plus per-byte calldata cost.
+func IntrinsicGas(data []byte) uint64 {
+	gas := GasTx
+	for _, b := range data {
+		if b == 0 {
+			gas += GasTxDataZero
+		} else {
+			gas += GasTxDataNonZero
+		}
+	}
+	return gas
+}
+
+// MaxGasEstimate returns a conservative static per-instruction upper bound
+// used by the SAG gas estimator for release-point safety margins.
+func MaxGasEstimate(op Opcode) uint64 {
+	if g, ok := constantGas(op); ok {
+		switch op {
+		case SHA3:
+			return GasSha3 + 4*GasSha3Word
+		default:
+			return g
+		}
+	}
+	switch op {
+	case SHA3:
+		return GasSha3 + 4*GasSha3Word
+	case EXP:
+		return GasExp + 32*GasExpByte
+	case CALL:
+		return GasCall + GasCallValue
+	case CALLDATACOPY, CODECOPY, RETURNDATACOPY:
+		return GasFastestStep + 8*GasCopyWord
+	case LOG0, LOG1, LOG2, LOG3, LOG4:
+		return GasLog + 4*GasLogTopic + 128*GasLogByte
+	case MLOAD, MSTORE, MSTORE8:
+		return GasFastestStep + 2*GasMemWord
+	default:
+		return GasSlowStep
+	}
+}

@@ -1,0 +1,283 @@
+package evm_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"dmvcc/internal/asm"
+	"dmvcc/internal/evm"
+	"dmvcc/internal/state"
+	"dmvcc/internal/types"
+	"dmvcc/internal/u256"
+)
+
+func TestMemoryExpansionCharged(t *testing.T) {
+	// MSTORE at a large offset must cost far more than at offset 0.
+	cheap := asm.New().Push(1).Push(0).Op(evm.MSTORE, evm.STOP).MustBytes()
+	costly := asm.New().Push(1).Push(100_000).Op(evm.MSTORE, evm.STOP).MustBytes()
+	_, leftCheap, err := runCode(t, cheap, nil, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, leftCostly, err := runCode(t, costly, nil, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leftCostly+1000 >= leftCheap {
+		t.Errorf("memory expansion not charged: cheap left %d, costly left %d", leftCheap, leftCostly)
+	}
+}
+
+func TestHugeMemoryOffsetOutOfGas(t *testing.T) {
+	code := asm.New().Push(1).PushWord(&u256.Max).Op(evm.MSTORE, evm.STOP).MustBytes()
+	_, _, err := runCode(t, code, nil, 1_000_000)
+	if !errors.Is(err, evm.ErrOutOfGas) {
+		t.Errorf("err = %v, want out of gas for absurd offset", err)
+	}
+}
+
+func TestStackOverflow(t *testing.T) {
+	// Push beyond the 1024-slot limit.
+	a := asm.New()
+	a.Push(0)
+	a.Label("loop")
+	a.Op(evm.DUP1)
+	a.Jump("loop")
+	_, _, err := runCode(t, a.MustBytes(), nil, 10_000_000)
+	if !errors.Is(err, evm.ErrStackOverflow) {
+		t.Errorf("err = %v, want stack overflow", err)
+	}
+}
+
+func TestReturnDataCopy(t *testing.T) {
+	// Callee returns a 32-byte word; caller copies it via RETURNDATACOPY.
+	callee := asm.New().
+		Push(0xfeed).Push(0).Op(evm.MSTORE).
+		Push(32).Push(0).Op(evm.RETURN).MustBytes()
+	calleeWord := other.Word()
+	caller := asm.New().
+		Push(0).Push(0).Push(0).Push(0).Push(0).
+		PushWord(&calleeWord).Push(100_000).
+		Op(evm.CALL, evm.POP).
+		// RETURNDATASIZE should be 32; copy it to memory 0 and return.
+		Op(evm.RETURNDATASIZE).
+		Push(0). // src offset
+		Push(0). // dst offset
+		Op(evm.RETURNDATACOPY).
+		Push(32).Push(0).Op(evm.RETURN).
+		MustBytes()
+	_, st := newEnv(t)
+	if err := st.SetCode(other, callee); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetCode(contract, caller); err != nil {
+		t.Fatal(err)
+	}
+	e := evm.New(st, testBlock(), evm.TxContext{})
+	var zero u256.Int
+	ret, _, err := e.Call(sender, contract, nil, 1_000_000, &zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWord(t, ret, 0xfeed)
+}
+
+func TestSixtyFourthRule(t *testing.T) {
+	// A self-recursive contract: each frame requests all gas but only
+	// 63/64 is forwarded, so recursion terminates by gas exhaustion well
+	// before the 1024 depth limit — the caller still completes because the
+	// retained 1/64 slivers add up.
+	self := contract.Word()
+	code := asm.New().
+		Push(0).Push(0).Push(0).Push(0).Push(0).
+		PushWord(&self).
+		Op(evm.GAS). // request everything
+		Op(evm.CALL, evm.POP, evm.STOP).
+		MustBytes()
+	_, _, err := runCode(t, code, nil, 300_000)
+	if err != nil {
+		t.Fatalf("recursion should terminate cleanly, got %v", err)
+	}
+}
+
+func TestCallDepthLimit(t *testing.T) {
+	// With enormous gas the 63/64 rule alone would take a long time to
+	// exhaust; the depth limit must stop recursion at 1024 frames and the
+	// outer call still succeeds (failed inner call pushes 0).
+	self := contract.Word()
+	code := asm.New().
+		Push(0).Push(0).Push(0).Push(0).Push(0).
+		PushWord(&self).
+		Op(evm.GAS).
+		Op(evm.CALL, evm.POP, evm.STOP).
+		MustBytes()
+	_, _, err := runCode(t, code, nil, 500_000_000)
+	if err != nil {
+		t.Fatalf("depth-limited recursion should succeed, got %v", err)
+	}
+}
+
+func TestGasExactnessSimpleOps(t *testing.T) {
+	// PUSH1 (3) + PUSH1 (3) + ADD (3) + POP (2) + STOP (0) = 11.
+	code := asm.New().Push(1).Push(2).Op(evm.ADD, evm.POP, evm.STOP).MustBytes()
+	_, left, err := runCode(t, code, nil, 1_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used := 1_000 - left; used != 11 {
+		t.Errorf("gas used = %d, want 11", used)
+	}
+}
+
+func TestSloadSstoreGas(t *testing.T) {
+	// PUSH1+PUSH1+SSTORE + PUSH1+SLOAD + POP + STOP
+	code := asm.New().
+		Push(5).Push(1).Op(evm.SSTORE).
+		Push(1).Op(evm.SLOAD).
+		Op(evm.POP, evm.STOP).
+		MustBytes()
+	_, left, err := runCode(t, code, nil, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3 + 3 + evm.GasSstore + 3 + evm.GasSload + 2
+	if used := 100_000 - left; used != want {
+		t.Errorf("gas used = %d, want %d", used, want)
+	}
+}
+
+func TestLogsInNestedFramesSurvive(t *testing.T) {
+	// Callee emits a log and succeeds; the caller's log and the callee's
+	// must both be present.
+	callee := asm.New().
+		Push(0).Push(0).Op(evm.LOG0, evm.STOP).MustBytes()
+	calleeWord := other.Word()
+	caller := asm.New().
+		Push(0).Push(0).Push(0).Push(0).Push(0).
+		PushWord(&calleeWord).Push(100_000).
+		Op(evm.CALL, evm.POP).
+		Push(0).Push(0).Op(evm.LOG0, evm.STOP).
+		MustBytes()
+	_, st := newEnv(t)
+	if err := st.SetCode(other, callee); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetCode(contract, caller); err != nil {
+		t.Fatal(err)
+	}
+	e := evm.New(st, testBlock(), evm.TxContext{})
+	var zero u256.Int
+	if _, _, err := e.Call(sender, contract, nil, 1_000_000, &zero); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Logs()) != 2 {
+		t.Errorf("%d logs, want 2 (callee + caller)", len(e.Logs()))
+	}
+	if e.Logs()[0].Address != other || e.Logs()[1].Address != contract {
+		t.Errorf("log order/addresses wrong: %+v", e.Logs())
+	}
+}
+
+func TestValueTransferThroughCallOpcode(t *testing.T) {
+	// The CALL opcode transfers value to a code-less account.
+	dest := types.HexToAddress("0x00000000000000000000000000000000000000aa")
+	destWord := dest.Word()
+	code := asm.New().
+		Push(0).Push(0).Push(0).Push(0).
+		Push(1234). // value
+		PushWord(&destWord).
+		Push(50_000).
+		Op(evm.CALL, evm.POP, evm.STOP).
+		MustBytes()
+	o, st := newEnv(t)
+	if err := st.SetCode(contract, code); err != nil {
+		t.Fatal(err)
+	}
+	// Fund the contract so it can pay.
+	o.SetBalance(contract, u256.NewUint64(10_000))
+	e := evm.New(st, testBlock(), evm.TxContext{})
+	var zero u256.Int
+	if _, _, err := e.Call(sender, contract, nil, 1_000_000, &zero); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Balance(dest); got.Uint64() != 1234 {
+		t.Errorf("dest balance = %d", got.Uint64())
+	}
+	if got := o.Balance(contract); got.Uint64() != 10_000-1234 {
+		t.Errorf("contract balance = %d", got.Uint64())
+	}
+}
+
+func TestCalldatacopyPadding(t *testing.T) {
+	// Copy 64 bytes from a 4-byte input: the tail must be zero-filled.
+	code := asm.New().
+		Push(64).Push(0).Push(0).Op(evm.CALLDATACOPY).
+		Push(32).Op(evm.MLOAD). // second word: all padding
+		Push(0).Op(evm.MSTORE).
+		Push(32).Push(0).Op(evm.RETURN).
+		MustBytes()
+	ret, _, err := runCode(t, code, []byte{1, 2, 3, 4}, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ret, make([]byte, 32)) {
+		t.Errorf("padding not zeroed: %x", ret)
+	}
+}
+
+func TestBlockhashDeterministic(t *testing.T) {
+	code := asm.New().
+		Push(5).Op(evm.BLOCKHASH).
+		Push(0).Op(evm.MSTORE).
+		Push(32).Push(0).Op(evm.RETURN).
+		MustBytes()
+	r1, _, err := runCode(t, code, nil, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := runCode(t, code, nil, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r1, r2) {
+		t.Error("BLOCKHASH not deterministic")
+	}
+	if u := u256.FromBytes(r1); u.IsZero() {
+		t.Error("BLOCKHASH returned zero")
+	}
+}
+
+func TestOverlayAdapterRevertsBalance(t *testing.T) {
+	// A revert inside the VM must roll back value transfers done by the
+	// CALL opcode within the reverted frame.
+	dest := types.HexToAddress("0x00000000000000000000000000000000000000bb")
+	destWord := dest.Word()
+	code := asm.New().
+		Push(0).Push(0).Push(0).Push(0).
+		Push(500).
+		PushWord(&destWord).
+		Push(50_000).
+		Op(evm.CALL, evm.POP).
+		Push(0).Push(0).Op(evm.REVERT).
+		MustBytes()
+	o := state.NewOverlay(state.NewDB())
+	o.SetBalance(sender, u256.NewUint64(1_000_000))
+	o.SetBalance(contract, u256.NewUint64(10_000))
+	st := state.NewVMAdapter(o)
+	if err := st.SetCode(contract, code); err != nil {
+		t.Fatal(err)
+	}
+	e := evm.New(st, testBlock(), evm.TxContext{})
+	var zero u256.Int
+	_, _, err := e.Call(sender, contract, nil, 1_000_000, &zero)
+	if !evm.IsRevert(err) {
+		t.Fatal(err)
+	}
+	if got := o.Balance(dest); !got.IsZero() {
+		t.Errorf("reverted transfer persisted: %d", got.Uint64())
+	}
+	if got := o.Balance(contract); got.Uint64() != 10_000 {
+		t.Errorf("contract balance = %d", got.Uint64())
+	}
+}

@@ -1,0 +1,69 @@
+package evm
+
+import "dmvcc/internal/u256"
+
+// memory is the byte-addressed scratch memory of one call frame, expanded
+// in 32-byte words with quadratic gas cost handled by the interpreter.
+type memory struct {
+	data []byte
+}
+
+// size returns the current memory size in bytes (always a word multiple).
+func (m *memory) size() uint64 { return uint64(len(m.data)) }
+
+// wordCount returns memory size in 32-byte words after expanding to cover
+// [offset, offset+length).
+func wordsForRange(offset, length uint64) uint64 {
+	if length == 0 {
+		return 0
+	}
+	end := offset + length
+	return (end + 31) / 32
+}
+
+// expand grows memory to cover words 32-byte words.
+func (m *memory) expand(words uint64) {
+	need := words * 32
+	if uint64(len(m.data)) >= need {
+		return
+	}
+	grown := make([]byte, need)
+	copy(grown, m.data)
+	m.data = grown
+}
+
+// setByte writes one byte at offset (memory must already cover it).
+func (m *memory) setByte(offset uint64, b byte) {
+	m.data[offset] = b
+}
+
+// setWord writes a 256-bit big-endian word at offset.
+func (m *memory) setWord(offset uint64, v *u256.Int) {
+	w := v.Bytes32()
+	copy(m.data[offset:offset+32], w[:])
+}
+
+// getWord reads a 256-bit big-endian word at offset.
+func (m *memory) getWord(offset uint64) u256.Int {
+	return u256.FromBytes(m.data[offset : offset+32])
+}
+
+// view returns the slice [offset, offset+length); memory must cover it.
+func (m *memory) view(offset, length uint64) []byte {
+	if length == 0 {
+		return nil
+	}
+	return m.data[offset : offset+length]
+}
+
+// setCopy copies src into memory at offset, zero-filling src shortfall up
+// to length.
+func (m *memory) setCopy(offset, length uint64, src []byte) {
+	if length == 0 {
+		return
+	}
+	n := copy(m.data[offset:offset+length], src)
+	for i := uint64(n); i < length; i++ {
+		m.data[offset+i] = 0
+	}
+}

@@ -1,0 +1,62 @@
+package evm
+
+import "dmvcc/internal/u256"
+
+// stackLimit is the EVM's maximum stack depth.
+const stackLimit = 1024
+
+// stack is the 256-bit word operand stack of one call frame.
+type stack struct {
+	data []u256.Int
+}
+
+func newStack() *stack {
+	return &stack{data: make([]u256.Int, 0, 32)}
+}
+
+func (s *stack) len() int { return len(s.data) }
+
+func (s *stack) push(v *u256.Int) error {
+	if len(s.data) >= stackLimit {
+		return ErrStackOverflow
+	}
+	s.data = append(s.data, *v)
+	return nil
+}
+
+func (s *stack) pop() (u256.Int, error) {
+	if len(s.data) == 0 {
+		return u256.Int{}, ErrStackUnderflow
+	}
+	v := s.data[len(s.data)-1]
+	s.data = s.data[:len(s.data)-1]
+	return v, nil
+}
+
+// peek returns a pointer to the n-th element from the top (0 = top).
+func (s *stack) peek(n int) (*u256.Int, error) {
+	if len(s.data) <= n {
+		return nil, ErrStackUnderflow
+	}
+	return &s.data[len(s.data)-1-n], nil
+}
+
+// dup pushes a copy of the n-th element from the top (1-based, DUPn).
+func (s *stack) dup(n int) error {
+	v, err := s.peek(n - 1)
+	if err != nil {
+		return err
+	}
+	cp := *v
+	return s.push(&cp)
+}
+
+// swap exchanges the top with the n-th element below it (1-based, SWAPn).
+func (s *stack) swap(n int) error {
+	if len(s.data) <= n {
+		return ErrStackUnderflow
+	}
+	top := len(s.data) - 1
+	s.data[top], s.data[top-n] = s.data[top-n], s.data[top]
+	return nil
+}

@@ -1,0 +1,143 @@
+// Package keccak implements the legacy Keccak-256 hash (pre-NIST padding,
+// domain byte 0x01) used throughout Ethereum for storage-slot derivation,
+// trie node hashing, and transaction/block identifiers.
+package keccak
+
+import "math/bits"
+
+const (
+	rate       = 136 // bytes absorbed per permutation for a 256-bit digest
+	digestSize = 32
+)
+
+var roundConstants = [24]uint64{
+	0x0000000000000001, 0x0000000000008082, 0x800000000000808a, 0x8000000080008000,
+	0x000000000000808b, 0x0000000080000001, 0x8000000080008081, 0x8000000000008009,
+	0x000000000000008a, 0x0000000000000088, 0x0000000080008009, 0x000000008000000a,
+	0x000000008000808b, 0x800000000000008b, 0x8000000000008089, 0x8000000000008003,
+	0x8000000000008002, 0x8000000000000080, 0x000000000000800a, 0x800000008000000a,
+	0x8000000080008081, 0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+}
+
+// rotation offsets for the rho step, indexed [x][y].
+var rotc = [5][5]uint{
+	{0, 36, 3, 41, 18},
+	{1, 44, 10, 45, 2},
+	{62, 6, 43, 15, 61},
+	{28, 55, 25, 21, 56},
+	{27, 20, 39, 8, 14},
+}
+
+// keccakF1600 applies the 24-round Keccak-f[1600] permutation to the state,
+// indexed a[x][y] per the reference specification.
+func keccakF1600(a *[5][5]uint64) {
+	var c, d [5]uint64
+	var b [5][5]uint64
+	for round := 0; round < 24; round++ {
+		// theta
+		for x := 0; x < 5; x++ {
+			c[x] = a[x][0] ^ a[x][1] ^ a[x][2] ^ a[x][3] ^ a[x][4]
+		}
+		for x := 0; x < 5; x++ {
+			d[x] = c[(x+4)%5] ^ bits.RotateLeft64(c[(x+1)%5], 1)
+			for y := 0; y < 5; y++ {
+				a[x][y] ^= d[x]
+			}
+		}
+		// rho and pi
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				b[y][(2*x+3*y)%5] = bits.RotateLeft64(a[x][y], int(rotc[x][y]))
+			}
+		}
+		// chi
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				a[x][y] = b[x][y] ^ (^b[(x+1)%5][y] & b[(x+2)%5][y])
+			}
+		}
+		// iota
+		a[0][0] ^= roundConstants[round]
+	}
+}
+
+// Hasher is an incremental Keccak-256 hasher. The zero value is ready to
+// use. It implements the write/sum pattern of hash.Hash without the
+// interface plumbing this package does not need.
+type Hasher struct {
+	state [5][5]uint64
+	buf   [rate]byte
+	n     int
+}
+
+// Reset returns the hasher to its initial state.
+func (h *Hasher) Reset() {
+	*h = Hasher{}
+}
+
+// Write absorbs more data into the hash state. It never fails.
+func (h *Hasher) Write(p []byte) (int, error) {
+	total := len(p)
+	for len(p) > 0 {
+		n := copy(h.buf[h.n:], p)
+		h.n += n
+		p = p[n:]
+		if h.n == rate {
+			h.absorb()
+		}
+	}
+	return total, nil
+}
+
+func (h *Hasher) absorb() {
+	for i := 0; i < rate/8; i++ {
+		lane := uint64(0)
+		for j := 7; j >= 0; j-- {
+			lane = lane<<8 | uint64(h.buf[i*8+j])
+		}
+		x, y := i%5, i/5
+		h.state[x][y] ^= lane
+	}
+	keccakF1600(&h.state)
+	h.n = 0
+}
+
+// Sum256 finalizes a copy of the state and returns the 32-byte digest; the
+// hasher can keep absorbing afterwards.
+func (h *Hasher) Sum256() [32]byte {
+	c := *h
+	// Legacy Keccak multi-rate padding: 0x01 ... 0x80.
+	c.buf[c.n] = 0x01
+	for i := c.n + 1; i < rate; i++ {
+		c.buf[i] = 0
+	}
+	c.buf[rate-1] |= 0x80
+	c.absorb()
+
+	var out [32]byte
+	for i := 0; i < digestSize/8; i++ {
+		x, y := i%5, i/5
+		lane := c.state[x][y]
+		for j := 0; j < 8; j++ {
+			out[i*8+j] = byte(lane >> (8 * j))
+		}
+	}
+	return out
+}
+
+// Sum256 returns the Keccak-256 digest of data.
+func Sum256(data []byte) [32]byte {
+	var h Hasher
+	_, _ = h.Write(data)
+	return h.Sum256()
+}
+
+// Sum256Concat hashes the concatenation of the given byte slices without
+// materialising the joined buffer.
+func Sum256Concat(parts ...[]byte) [32]byte {
+	var h Hasher
+	for _, p := range parts {
+		_, _ = h.Write(p)
+	}
+	return h.Sum256()
+}

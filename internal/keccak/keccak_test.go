@@ -1,0 +1,122 @@
+package keccak
+
+import (
+	"bytes"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Known-answer vectors for legacy Keccak-256 (Ethereum variant).
+var vectors = []struct {
+	in   string
+	want string
+}{
+	{"", "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"},
+	{"abc", "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"},
+	{"The quick brown fox jumps over the lazy dog",
+		"4d741b6f1eb29cb2a9b9911c82f56fa8d73b04959d3d9d222895df6c0b28aa15"},
+	{"testing", "5f16f4c7f149ac4f9510d9cf8cf384038ad348b3bcdc01915f95de12df9d1b02"},
+}
+
+func TestVectors(t *testing.T) {
+	for _, v := range vectors {
+		got := Sum256([]byte(v.in))
+		if hex.EncodeToString(got[:]) != v.want {
+			t.Errorf("Sum256(%q) = %x, want %s", v.in, got, v.want)
+		}
+	}
+}
+
+func TestIncrementalMatchesOneShot(t *testing.T) {
+	f := func(data []byte, cut uint8) bool {
+		want := Sum256(data)
+		var h Hasher
+		k := 0
+		if len(data) > 0 {
+			k = int(cut) % (len(data) + 1)
+		}
+		_, _ = h.Write(data[:k])
+		_, _ = h.Write(data[k:])
+		got := h.Sum256()
+		return got == want
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSumIsNonDestructive(t *testing.T) {
+	var h Hasher
+	_, _ = h.Write([]byte("hello "))
+	first := h.Sum256()
+	second := h.Sum256()
+	if first != second {
+		t.Fatal("Sum256 mutated hasher state")
+	}
+	_, _ = h.Write([]byte("world"))
+	got := h.Sum256()
+	want := Sum256([]byte("hello world"))
+	if got != want {
+		t.Errorf("continued hash = %x, want %x", got, want)
+	}
+}
+
+func TestSumConcat(t *testing.T) {
+	a, b, c := []byte("foo"), []byte("bar"), []byte("baz")
+	got := Sum256Concat(a, b, c)
+	want := Sum256(bytes.Join([][]byte{a, b, c}, nil))
+	if got != want {
+		t.Errorf("Sum256Concat = %x, want %x", got, want)
+	}
+}
+
+func TestRateBoundaries(t *testing.T) {
+	// Inputs straddling the 136-byte rate exercise the multi-block path and
+	// the pad-only block (n == rate-1 puts both pad bytes in one position).
+	for _, n := range []int{rate - 2, rate - 1, rate, rate + 1, 2*rate - 1, 2 * rate, 3*rate + 5} {
+		data := bytes.Repeat([]byte{0xaa}, n)
+		var h Hasher
+		_, _ = h.Write(data)
+		if got, want := h.Sum256(), Sum256(data); got != want {
+			t.Errorf("n=%d: incremental %x != one-shot %x", n, got, want)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	var h Hasher
+	_, _ = h.Write([]byte("garbage"))
+	h.Reset()
+	got := h.Sum256()
+	if want := Sum256(nil); got != want {
+		t.Errorf("after Reset: %x, want %x", got, want)
+	}
+}
+
+func TestDistinctInputsDistinctDigests(t *testing.T) {
+	seen := make(map[[32]byte]string)
+	for i := 0; i < 1000; i++ {
+		in := []byte{byte(i), byte(i >> 8), 0x42}
+		d := Sum256(in)
+		if prev, dup := seen[d]; dup {
+			t.Fatalf("collision between %x and %x", prev, in)
+		}
+		seen[d] = string(in)
+	}
+}
+
+func BenchmarkSum256_32(b *testing.B)  { benchSum(b, 32) }
+func BenchmarkSum256_256(b *testing.B) { benchSum(b, 256) }
+func BenchmarkSum256_4K(b *testing.B)  { benchSum(b, 4096) }
+
+func benchSum(b *testing.B, n int) {
+	data := make([]byte, n)
+	b.SetBytes(int64(n))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Sum256(data)
+	}
+}

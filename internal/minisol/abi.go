@@ -1,0 +1,70 @@
+package minisol
+
+import (
+	"strings"
+
+	"dmvcc/internal/keccak"
+	"dmvcc/internal/types"
+	"dmvcc/internal/u256"
+)
+
+// Selector derives the 4-byte function selector from the method name and
+// argument count. All minisol parameters are 256-bit words, so the
+// canonical signature uses uint256 for every argument, mirroring how
+// Solidity would encode the same function.
+func Selector(method string, argCount int) [4]byte {
+	sig := method + "(" + strings.TrimSuffix(strings.Repeat("uint256,", argCount), ",") + ")"
+	h := keccak.Sum256([]byte(sig))
+	var sel [4]byte
+	copy(sel[:], h[:4])
+	return sel
+}
+
+// CallData builds transaction input for calling a minisol function:
+// selector followed by 32-byte big-endian words.
+func CallData(method string, args ...u256.Int) []byte {
+	sel := Selector(method, len(args))
+	out := make([]byte, 4+32*len(args))
+	copy(out, sel[:])
+	for i := range args {
+		w := args[i].Bytes32()
+		copy(out[4+32*i:], w[:])
+	}
+	return out
+}
+
+// CallDataAddr is CallData for the common pattern of address+uint args.
+func CallDataAddr(method string, addr types.Address, rest ...u256.Int) []byte {
+	args := make([]u256.Int, 0, 1+len(rest))
+	args = append(args, addr.Word())
+	args = append(args, rest...)
+	return CallData(method, args...)
+}
+
+// EventTopic returns the LOG topic for a minisol event name.
+func EventTopic(name string) types.Hash {
+	return types.Keccak([]byte(name))
+}
+
+// MappingSlot computes the storage slot of mapping[key] for a mapping at
+// base slot, following Ethereum's keccak(key . slot) rule. Exposed so tests
+// and workload generators can address contract storage directly.
+func MappingSlot(baseSlot uint64, key u256.Int) types.Hash {
+	kb := key.Bytes32()
+	sw := u256.NewUint64(baseSlot)
+	sb := sw.Bytes32()
+	return types.Keccak(kb[:], sb[:])
+}
+
+// ArrayElemSlot computes the storage slot of array[i] for a dynamic array
+// at base slot: keccak(slot) + i.
+func ArrayElemSlot(baseSlot uint64, index uint64) types.Hash {
+	sw := u256.NewUint64(baseSlot)
+	sb := sw.Bytes32()
+	h := types.Keccak(sb[:])
+	base := h.Word()
+	idx := u256.NewUint64(index)
+	var slot u256.Int
+	slot.Add(&base, &idx)
+	return types.HashFromWord(slot)
+}

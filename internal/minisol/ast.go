@@ -1,0 +1,256 @@
+package minisol
+
+import "dmvcc/internal/u256"
+
+// TypeKind enumerates minisol types.
+type TypeKind int
+
+// Supported types. Uint is uint256; Address and Bool are stored as full
+// words, matching EVM storage granularity.
+const (
+	TypeUint TypeKind = iota + 1
+	TypeAddress
+	TypeBool
+	TypeMapping
+	TypeArray
+)
+
+// Type describes a minisol type. Mapping types carry Key/Val; Array types
+// carry Elem (dynamic arrays only).
+type Type struct {
+	Kind TypeKind
+	Key  *Type
+	Val  *Type
+	Elem *Type
+}
+
+// IsWord reports whether values of the type occupy a single storage word.
+func (t *Type) IsWord() bool {
+	return t.Kind == TypeUint || t.Kind == TypeAddress || t.Kind == TypeBool
+}
+
+// String renders the type in source syntax.
+func (t *Type) String() string {
+	switch t.Kind {
+	case TypeUint:
+		return "uint"
+	case TypeAddress:
+		return "address"
+	case TypeBool:
+		return "bool"
+	case TypeMapping:
+		return "mapping(" + t.Key.String() + " => " + t.Val.String() + ")"
+	case TypeArray:
+		return t.Elem.String() + "[]"
+	default:
+		return "?"
+	}
+}
+
+// ContractAST is the parsed form of one contract.
+type ContractAST struct {
+	Name  string
+	Vars  []*StateVar
+	Funcs []*FuncDecl
+}
+
+// StateVar is a contract storage variable; Slot is assigned by the resolver
+// in declaration order (Ethereum layout rule).
+type StateVar struct {
+	Name string
+	Type *Type
+	Slot uint64
+}
+
+// Param is one function parameter.
+type Param struct {
+	Name string
+	Type *Type
+}
+
+// FuncDecl is a contract function.
+type FuncDecl struct {
+	Name    string
+	Params  []Param
+	Returns *Type // nil for none
+	Payable bool
+	Body    []Stmt
+	Line    int
+}
+
+// Stmt is the statement interface.
+type Stmt interface{ stmtNode() }
+
+// DeclStmt declares and initializes a local variable.
+type DeclStmt struct {
+	Name string
+	Type *Type
+	Init Expr
+}
+
+// AssignOp is the kind of assignment.
+type AssignOp int
+
+// Assignment operators.
+const (
+	AssignSet AssignOp = iota + 1 // =
+	AssignAdd                     // +=
+	AssignSub                     // -=
+)
+
+// AssignStmt assigns to a local or storage lvalue.
+type AssignStmt struct {
+	Target Expr // IdentExpr or IndexExpr
+	Op     AssignOp
+	Value  Expr
+	Line   int
+
+	// commutative is set by the analysis pass when this is a blind
+	// storage increment/decrement eligible for delta-merging (§IV-D).
+	commutative bool
+}
+
+// IfStmt is a conditional with optional else.
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body []Stmt
+}
+
+// ForStmt is a C-style for loop.
+type ForStmt struct {
+	Init Stmt // DeclStmt or AssignStmt, may be nil
+	Cond Expr
+	Post Stmt // AssignStmt, may be nil
+	Body []Stmt
+}
+
+// RequireStmt reverts unless the condition holds.
+type RequireStmt struct{ Cond Expr }
+
+// AssertStmt halts with INVALID unless the condition holds.
+type AssertStmt struct{ Cond Expr }
+
+// ReturnStmt returns from the function, optionally with a value.
+type ReturnStmt struct{ Value Expr }
+
+// EmitStmt emits an event (LOG1 with the event name hash as topic).
+type EmitStmt struct {
+	Event string
+	Args  []Expr
+}
+
+// RevertStmt reverts unconditionally.
+type RevertStmt struct{}
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct{ X Expr }
+
+func (*DeclStmt) stmtNode()    {}
+func (*AssignStmt) stmtNode()  {}
+func (*IfStmt) stmtNode()      {}
+func (*WhileStmt) stmtNode()   {}
+func (*ForStmt) stmtNode()     {}
+func (*RequireStmt) stmtNode() {}
+func (*AssertStmt) stmtNode()  {}
+func (*ReturnStmt) stmtNode()  {}
+func (*EmitStmt) stmtNode()    {}
+func (*RevertStmt) stmtNode()  {}
+func (*ExprStmt) stmtNode()    {}
+
+// Expr is the expression interface.
+type Expr interface{ exprNode() }
+
+// NumberLit is an integer literal.
+type NumberLit struct{ Val u256.Int }
+
+// BoolLit is true/false.
+type BoolLit struct{ Val bool }
+
+// IdentExpr references a local variable, parameter, or state variable.
+type IdentExpr struct{ Name string }
+
+// IndexExpr indexes a mapping or array: Base[Index].
+type IndexExpr struct {
+	Base  Expr
+	Index Expr
+}
+
+// BinOp enumerates binary operators.
+type BinOp int
+
+// Binary operators (precedence handled by the parser).
+const (
+	OpAdd BinOp = iota + 1
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpLt
+	OpGt
+	OpLe
+	OpGe
+	OpEq
+	OpNe
+	OpAnd
+	OpOr
+)
+
+// BinaryExpr is a binary operation.
+type BinaryExpr struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// UnaryExpr is !x (logical not).
+type UnaryExpr struct{ X Expr }
+
+// EnvKind enumerates environment accessors.
+type EnvKind int
+
+// Environment values.
+const (
+	EnvMsgSender EnvKind = iota + 1
+	EnvMsgValue
+	EnvBlockNumber
+	EnvBlockTimestamp
+	EnvTxOrigin
+)
+
+// EnvExpr reads a transaction/block environment value.
+type EnvExpr struct{ Kind EnvKind }
+
+// BuiltinExpr is a builtin function call: balance(a), selfbalance(),
+// send(to, amount), keccak(x).
+type BuiltinExpr struct {
+	Name string
+	Args []Expr
+}
+
+// ExtCallExpr is an external contract call: Any(target).method(args).
+// The cast identifier is documentation only; dispatch is by selector.
+type ExtCallExpr struct {
+	Target Expr
+	Method string
+	Args   []Expr
+}
+
+// LenExpr reads a dynamic array's length: arr.length.
+type LenExpr struct{ Array Expr }
+
+func (*NumberLit) exprNode()   {}
+func (*BoolLit) exprNode()     {}
+func (*IdentExpr) exprNode()   {}
+func (*IndexExpr) exprNode()   {}
+func (*BinaryExpr) exprNode()  {}
+func (*UnaryExpr) exprNode()   {}
+func (*EnvExpr) exprNode()     {}
+func (*BuiltinExpr) exprNode() {}
+func (*ExtCallExpr) exprNode() {}
+func (*LenExpr) exprNode()     {}

@@ -1,0 +1,812 @@
+package minisol
+
+import (
+	"errors"
+	"fmt"
+
+	"dmvcc/internal/asm"
+	"dmvcc/internal/evm"
+	"dmvcc/internal/u256"
+)
+
+// Compile-time memory layout (byte offsets). The 0x00..0x3f window is the
+// transient keccak scratch (Solidity's convention); emit and external-call
+// staging live in dedicated windows above the locals so hashing during
+// argument evaluation cannot clobber staged words.
+const (
+	memHashScratch  = 0x00
+	memLocalsBase   = 0x80
+	memEmitScratch  = 0x200
+	memExtTarget    = 0x2e0
+	memCallScratch  = 0x300
+	maxLocals       = 16
+	extCallGasGrant = 10_000_000 // capped by the 63/64 rule at runtime
+	sendGasGrant    = 45_000
+)
+
+// CommSite locates a compiled blind-increment: the program counters of its
+// SLOAD and SSTORE instructions. Schedulers use these to execute the
+// increment in delta mode (the paper's commutative writes, §IV-D).
+type CommSite struct {
+	LoadPC  uint64
+	StorePC uint64
+}
+
+// FnInfo describes one public function of a compiled contract.
+type FnInfo struct {
+	Name       string
+	Selector   [4]byte
+	ParamCount int
+	HasReturn  bool
+	Payable    bool
+}
+
+// Compiled is the output of the minisol compiler.
+type Compiled struct {
+	Name      string
+	Code      []byte
+	Functions map[string]FnInfo
+	Slots     map[string]uint64
+	// Commutative lists the blind-increment sites detected at source level.
+	Commutative []CommSite
+	// AbortablePCs lists instruction offsets that can deterministically
+	// abort (REVERT/INVALID and external CALLs); the SAG builder combines
+	// these with its own bytecode scan.
+	AbortablePCs []uint64
+}
+
+// CompileError reports a semantic error with its source function.
+type CompileError struct {
+	Fn  string
+	Msg string
+}
+
+// Error implements error.
+func (e *CompileError) Error() string {
+	if e.Fn == "" {
+		return "minisol: " + e.Msg
+	}
+	return fmt.Sprintf("minisol: function %s: %s", e.Fn, e.Msg)
+}
+
+// Compile parses and compiles a contract source to runtime bytecode.
+func Compile(src string) (*Compiled, error) {
+	ast, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return compileAST(ast)
+}
+
+// MustCompile is Compile for trusted, build-time contract sources.
+func MustCompile(src string) *Compiled {
+	c, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func compileAST(c *ContractAST) (*Compiled, error) {
+	// Slot assignment in declaration order.
+	slots := make(map[string]uint64, len(c.Vars))
+	vars := make(map[string]*StateVar, len(c.Vars))
+	for i, v := range c.Vars {
+		v.Slot = uint64(i)
+		if _, dup := vars[v.Name]; dup {
+			return nil, &CompileError{Msg: "duplicate state variable " + v.Name}
+		}
+		slots[v.Name] = v.Slot
+		vars[v.Name] = v
+	}
+	markCommutative(c)
+
+	g := &codegen{
+		a:    asm.New(),
+		vars: vars,
+	}
+	out := &Compiled{
+		Name:      c.Name,
+		Functions: make(map[string]FnInfo, len(c.Funcs)),
+		Slots:     slots,
+	}
+
+	// Dispatcher: empty/short calldata is a plain value deposit (STOP);
+	// otherwise route on the selector.
+	g.a.Push(4).Op(evm.CALLDATASIZE).Op(evm.LT) // calldatasize < 4
+	g.a.Op(evm.ISZERO)
+	g.a.JumpIf("dispatch")
+	g.a.Op(evm.STOP)
+	g.a.Label("dispatch")
+	g.a.Push(0).Op(evm.CALLDATALOAD).Push(224).Op(evm.SHR)
+	for _, fn := range c.Funcs {
+		if len(fn.Params) > maxLocals-2 {
+			return nil, &CompileError{Fn: fn.Name, Msg: "too many parameters"}
+		}
+		sel := Selector(fn.Name, len(fn.Params))
+		out.Functions[fn.Name] = FnInfo{
+			Name:       fn.Name,
+			Selector:   sel,
+			ParamCount: len(fn.Params),
+			HasReturn:  fn.Returns != nil,
+			Payable:    fn.Payable,
+		}
+		g.a.Op(evm.DUP1).PushBytes(sel[:]).Op(evm.EQ)
+		g.a.JumpIf("fn_" + fn.Name)
+	}
+	g.a.Jump("revert") // unknown selector
+
+	// Function bodies.
+	for _, fn := range c.Funcs {
+		if err := g.genFunction(fn); err != nil {
+			return nil, err
+		}
+	}
+
+	// Shared failure tails.
+	g.a.Label("revert")
+	g.markAbortable()
+	g.a.Push(0).Push(0).Op(evm.REVERT)
+	g.a.Label("invalid")
+	g.markAbortable()
+	g.a.Op(evm.INVALID)
+
+	code, err := g.a.Bytes()
+	if err != nil {
+		return nil, fmt.Errorf("assemble %s: %w", c.Name, err)
+	}
+	if len(g.errs) > 0 {
+		return nil, g.errs[0]
+	}
+	out.Code = code
+	out.Commutative = g.comm
+	out.AbortablePCs = g.abortable
+	return out, nil
+}
+
+// codegen holds per-contract code generation state.
+type codegen struct {
+	a    *asm.Assembler
+	vars map[string]*StateVar
+
+	fn        *FuncDecl
+	locals    map[string]uint64
+	nextLocal uint64
+	labelN    int
+
+	comm      []CommSite
+	abortable []uint64
+	errs      []error
+}
+
+func (g *codegen) fail(format string, args ...interface{}) error {
+	fnName := ""
+	if g.fn != nil {
+		fnName = g.fn.Name
+	}
+	err := &CompileError{Fn: fnName, Msg: fmt.Sprintf(format, args...)}
+	g.errs = append(g.errs, err)
+	return err
+}
+
+func (g *codegen) fresh(prefix string) string {
+	g.labelN++
+	return fmt.Sprintf("%s_%d", prefix, g.labelN)
+}
+
+// pos returns the pc the next emitted opcode will occupy.
+func (g *codegen) pos() uint64 {
+	return uint64(g.a.Len())
+}
+
+func (g *codegen) markAbortable() {
+	g.abortable = append(g.abortable, g.pos())
+}
+
+func (g *codegen) genFunction(fn *FuncDecl) error {
+	g.fn = fn
+	g.locals = make(map[string]uint64, len(fn.Params)+4)
+	g.nextLocal = memLocalsBase
+
+	g.a.Label("fn_" + fn.Name)
+	g.a.Op(evm.POP) // drop the selector
+
+	if !fn.Payable {
+		// Non-payable guard: revert if value attached.
+		g.a.Op(evm.CALLVALUE)
+		g.a.JumpIf("revert")
+	}
+	// Load arguments from calldata into memory locals.
+	for i, prm := range fn.Params {
+		off, err := g.allocLocal(prm.Name)
+		if err != nil {
+			return err
+		}
+		g.a.Push(uint64(4 + 32*i)).Op(evm.CALLDATALOAD)
+		g.a.Push(off).Op(evm.MSTORE)
+	}
+	for _, s := range fn.Body {
+		if err := g.genStmt(s); err != nil {
+			return err
+		}
+	}
+	g.a.Op(evm.STOP) // implicit return
+	return nil
+}
+
+func (g *codegen) allocLocal(name string) (uint64, error) {
+	if _, dup := g.locals[name]; dup {
+		return 0, g.fail("duplicate local %q", name)
+	}
+	if _, shadows := g.vars[name]; shadows {
+		return 0, g.fail("local %q shadows state variable", name)
+	}
+	off := g.nextLocal
+	if off >= memLocalsBase+32*maxLocals {
+		return 0, g.fail("too many locals")
+	}
+	g.nextLocal += 32
+	g.locals[name] = off
+	return off, nil
+}
+
+func (g *codegen) genStmt(s Stmt) error {
+	switch s := s.(type) {
+	case *DeclStmt:
+		if err := g.genExpr(s.Init); err != nil {
+			return err
+		}
+		off, err := g.allocLocal(s.Name)
+		if err != nil {
+			return err
+		}
+		g.a.Push(off).Op(evm.MSTORE)
+		return nil
+
+	case *AssignStmt:
+		return g.genAssign(s)
+
+	case *IfStmt:
+		elseL, endL := g.fresh("else"), g.fresh("endif")
+		if err := g.genExpr(s.Cond); err != nil {
+			return err
+		}
+		g.a.Op(evm.ISZERO).JumpIf(elseL)
+		for _, st := range s.Then {
+			if err := g.genStmt(st); err != nil {
+				return err
+			}
+		}
+		g.a.Jump(endL)
+		g.a.Label(elseL)
+		for _, st := range s.Else {
+			if err := g.genStmt(st); err != nil {
+				return err
+			}
+		}
+		g.a.Label(endL)
+		return nil
+
+	case *WhileStmt:
+		startL, endL := g.fresh("while"), g.fresh("wend")
+		g.a.Label(startL)
+		if err := g.genExpr(s.Cond); err != nil {
+			return err
+		}
+		g.a.Op(evm.ISZERO).JumpIf(endL)
+		for _, st := range s.Body {
+			if err := g.genStmt(st); err != nil {
+				return err
+			}
+		}
+		g.a.Jump(startL)
+		g.a.Label(endL)
+		return nil
+
+	case *ForStmt:
+		if s.Init != nil {
+			if err := g.genStmt(s.Init); err != nil {
+				return err
+			}
+		}
+		startL, endL := g.fresh("for"), g.fresh("fend")
+		g.a.Label(startL)
+		if err := g.genExpr(s.Cond); err != nil {
+			return err
+		}
+		g.a.Op(evm.ISZERO).JumpIf(endL)
+		for _, st := range s.Body {
+			if err := g.genStmt(st); err != nil {
+				return err
+			}
+		}
+		if s.Post != nil {
+			if err := g.genStmt(s.Post); err != nil {
+				return err
+			}
+		}
+		g.a.Jump(startL)
+		g.a.Label(endL)
+		return nil
+
+	case *RequireStmt:
+		if err := g.genExpr(s.Cond); err != nil {
+			return err
+		}
+		g.a.Op(evm.ISZERO).JumpIf("revert")
+		return nil
+
+	case *AssertStmt:
+		if err := g.genExpr(s.Cond); err != nil {
+			return err
+		}
+		g.a.Op(evm.ISZERO).JumpIf("invalid")
+		return nil
+
+	case *ReturnStmt:
+		if s.Value == nil {
+			g.a.Op(evm.STOP)
+			return nil
+		}
+		if err := g.genExpr(s.Value); err != nil {
+			return err
+		}
+		g.a.Push(0).Op(evm.MSTORE)
+		g.a.Push(32).Push(0).Op(evm.RETURN)
+		return nil
+
+	case *EmitStmt:
+		if len(s.Args) > 6 {
+			return g.fail("emit with more than 6 args")
+		}
+		for i, a := range s.Args {
+			if err := g.genExpr(a); err != nil {
+				return err
+			}
+			g.a.Push(uint64(memEmitScratch + 32*i)).Op(evm.MSTORE)
+		}
+		topic := EventTopic(s.Event)
+		tw := topic.Word()
+		g.a.PushWord(&tw)
+		g.a.Push(uint64(32 * len(s.Args)))
+		g.a.Push(memEmitScratch)
+		g.a.Op(evm.LOG1)
+		return nil
+
+	case *RevertStmt:
+		g.a.Jump("revert")
+		return nil
+
+	case *ExprStmt:
+		if err := g.genExpr(s.X); err != nil {
+			return err
+		}
+		g.a.Op(evm.POP)
+		return nil
+
+	default:
+		return g.fail("unsupported statement %T", s)
+	}
+}
+
+func (g *codegen) genAssign(s *AssignStmt) error {
+	// Local variable target.
+	if id, ok := s.Target.(*IdentExpr); ok {
+		if off, isLocal := g.locals[id.Name]; isLocal {
+			switch s.Op {
+			case AssignSet:
+				if err := g.genExpr(s.Value); err != nil {
+					return err
+				}
+			case AssignAdd, AssignSub:
+				g.a.Push(off).Op(evm.MLOAD)
+				if err := g.genExpr(s.Value); err != nil {
+					return err
+				}
+				if s.Op == AssignAdd {
+					g.a.Op(evm.ADD)
+				} else {
+					g.a.Op(evm.SWAP1, evm.SUB)
+				}
+			}
+			g.a.Push(off).Op(evm.MSTORE)
+			return nil
+		}
+	}
+	// Storage target.
+	typ, err := g.lvalueType(s.Target)
+	if err != nil {
+		return err
+	}
+	if !typ.IsWord() {
+		return g.fail("cannot assign to non-word storage location")
+	}
+	switch s.Op {
+	case AssignSet:
+		if err := g.genExpr(s.Value); err != nil {
+			return err
+		}
+		if err := g.genSlot(s.Target); err != nil {
+			return err
+		}
+		g.a.Op(evm.SSTORE) // pops slot (top), then value
+	case AssignAdd, AssignSub:
+		if err := g.genSlot(s.Target); err != nil {
+			return err
+		}
+		g.a.Op(evm.DUP1)
+		loadPC := g.pos()
+		g.a.Op(evm.SLOAD) // [slot, base]
+		if err := g.genExpr(s.Value); err != nil {
+			return err
+		}
+		if s.Op == AssignAdd {
+			g.a.Op(evm.ADD) // [slot, base+v]
+		} else {
+			g.a.Op(evm.SWAP1, evm.SUB) // [slot, base-v]
+		}
+		g.a.Op(evm.SWAP1) // [newval, slot]
+		storePC := g.pos()
+		g.a.Op(evm.SSTORE)
+		if s.commutative {
+			g.comm = append(g.comm, CommSite{LoadPC: loadPC, StorePC: storePC})
+		}
+	}
+	return nil
+}
+
+// lvalueType resolves the storage type an lvalue expression denotes.
+func (g *codegen) lvalueType(e Expr) (*Type, error) {
+	switch e := e.(type) {
+	case *IdentExpr:
+		sv, ok := g.vars[e.Name]
+		if !ok {
+			return nil, g.fail("unknown variable %q", e.Name)
+		}
+		return sv.Type, nil
+	case *IndexExpr:
+		base, err := g.lvalueType(e.Base)
+		if err != nil {
+			return nil, err
+		}
+		switch base.Kind {
+		case TypeMapping:
+			return base.Val, nil
+		case TypeArray:
+			return base.Elem, nil
+		default:
+			return nil, g.fail("cannot index %s", base)
+		}
+	default:
+		return nil, g.fail("bad lvalue %T", e)
+	}
+}
+
+// genSlot emits code that leaves the storage slot of an lvalue on the stack.
+func (g *codegen) genSlot(e Expr) error {
+	switch e := e.(type) {
+	case *IdentExpr:
+		sv, ok := g.vars[e.Name]
+		if !ok {
+			return g.fail("unknown state variable %q", e.Name)
+		}
+		g.a.Push(sv.Slot)
+		return nil
+	case *IndexExpr:
+		baseType, err := g.lvalueType(e.Base)
+		if err != nil {
+			return err
+		}
+		if err := g.genSlot(e.Base); err != nil {
+			return err
+		}
+		switch baseType.Kind {
+		case TypeMapping:
+			// slot' = keccak(key . slot)
+			if err := g.genExpr(e.Index); err != nil {
+				return err
+			}
+			// stack: [slot, key]
+			g.a.Push(memHashScratch).Op(evm.MSTORE)      // mem[0] = key
+			g.a.Push(memHashScratch + 32).Op(evm.MSTORE) // mem[32] = slot
+			g.a.Push(64).Push(memHashScratch).Op(evm.SHA3)
+		case TypeArray:
+			// elem slot = keccak(slot) + index
+			g.a.Push(memHashScratch).Op(evm.MSTORE) // mem[0] = slot
+			g.a.Push(32).Push(memHashScratch).Op(evm.SHA3)
+			if err := g.genExpr(e.Index); err != nil {
+				return err
+			}
+			g.a.Op(evm.ADD)
+		default:
+			return g.fail("cannot index type %s", baseType)
+		}
+		return nil
+	default:
+		return g.fail("bad lvalue expression %T", e)
+	}
+}
+
+func (g *codegen) genExpr(e Expr) error {
+	switch e := e.(type) {
+	case *NumberLit:
+		v := e.Val
+		g.a.PushWord(&v)
+		return nil
+	case *BoolLit:
+		if e.Val {
+			g.a.Push(1)
+		} else {
+			g.a.Push(0)
+		}
+		return nil
+	case *IdentExpr:
+		if off, isLocal := g.locals[e.Name]; isLocal {
+			g.a.Push(off).Op(evm.MLOAD)
+			return nil
+		}
+		sv, ok := g.vars[e.Name]
+		if !ok {
+			return g.fail("unknown identifier %q", e.Name)
+		}
+		if !sv.Type.IsWord() {
+			return g.fail("cannot read %s directly", sv.Type)
+		}
+		g.a.Push(sv.Slot).Op(evm.SLOAD)
+		return nil
+	case *IndexExpr:
+		typ, err := g.lvalueType(e)
+		if err != nil {
+			return err
+		}
+		if !typ.IsWord() {
+			return g.fail("indexed read of non-word type %s", typ)
+		}
+		if err := g.genSlot(e); err != nil {
+			return err
+		}
+		g.a.Op(evm.SLOAD)
+		return nil
+	case *LenExpr:
+		// Dynamic array length lives at the array's base slot.
+		if err := g.genSlot(e.Array); err != nil {
+			return err
+		}
+		g.a.Op(evm.SLOAD)
+		return nil
+	case *BinaryExpr:
+		return g.genBinary(e)
+	case *UnaryExpr:
+		if err := g.genExpr(e.X); err != nil {
+			return err
+		}
+		g.a.Op(evm.ISZERO)
+		return nil
+	case *EnvExpr:
+		switch e.Kind {
+		case EnvMsgSender:
+			g.a.Op(evm.CALLER)
+		case EnvMsgValue:
+			g.a.Op(evm.CALLVALUE)
+		case EnvBlockNumber:
+			g.a.Op(evm.NUMBER)
+		case EnvBlockTimestamp:
+			g.a.Op(evm.TIMESTAMP)
+		case EnvTxOrigin:
+			g.a.Op(evm.ORIGIN)
+		}
+		return nil
+	case *BuiltinExpr:
+		return g.genBuiltin(e)
+	case *ExtCallExpr:
+		return g.genExtCall(e)
+	default:
+		return g.fail("unsupported expression %T", e)
+	}
+}
+
+func (g *codegen) genBinary(e *BinaryExpr) error {
+	// Left-to-right evaluation; SWAP1 puts L back on top for
+	// non-commutative operators.
+	if err := g.genExpr(e.L); err != nil {
+		return err
+	}
+	if err := g.genExpr(e.R); err != nil {
+		return err
+	}
+	switch e.Op {
+	case OpAdd:
+		g.a.Op(evm.ADD)
+	case OpMul:
+		g.a.Op(evm.MUL)
+	case OpSub:
+		g.a.Op(evm.SWAP1, evm.SUB)
+	case OpDiv:
+		g.a.Op(evm.SWAP1, evm.DIV)
+	case OpMod:
+		g.a.Op(evm.SWAP1, evm.MOD)
+	case OpLt:
+		g.a.Op(evm.SWAP1, evm.LT)
+	case OpGt:
+		g.a.Op(evm.SWAP1, evm.GT)
+	case OpLe:
+		g.a.Op(evm.SWAP1, evm.GT, evm.ISZERO)
+	case OpGe:
+		g.a.Op(evm.SWAP1, evm.LT, evm.ISZERO)
+	case OpEq:
+		g.a.Op(evm.EQ)
+	case OpNe:
+		g.a.Op(evm.EQ, evm.ISZERO)
+	case OpAnd:
+		// Normalize to 0/1, then multiply-free AND.
+		g.a.Op(evm.ISZERO, evm.ISZERO) // R -> 0/1
+		g.a.Op(evm.SWAP1)              // [R', L]
+		g.a.Op(evm.ISZERO, evm.ISZERO) // L -> 0/1
+		g.a.Op(evm.AND)
+	case OpOr:
+		g.a.Op(evm.OR, evm.ISZERO, evm.ISZERO)
+	default:
+		return g.fail("unsupported binary op %d", e.Op)
+	}
+	return nil
+}
+
+func (g *codegen) genBuiltin(e *BuiltinExpr) error {
+	switch e.Name {
+	case "balance":
+		if len(e.Args) != 1 {
+			return g.fail("balance() takes one argument")
+		}
+		if err := g.genExpr(e.Args[0]); err != nil {
+			return err
+		}
+		g.a.Op(evm.BALANCE)
+		return nil
+	case "selfbalance":
+		if len(e.Args) != 0 {
+			return g.fail("selfbalance() takes no arguments")
+		}
+		g.a.Op(evm.SELFBALANCE)
+		return nil
+	case "keccak":
+		if len(e.Args) != 1 {
+			return g.fail("keccak() takes one argument")
+		}
+		if err := g.genExpr(e.Args[0]); err != nil {
+			return err
+		}
+		g.a.Push(memHashScratch).Op(evm.MSTORE)
+		g.a.Push(32).Push(memHashScratch).Op(evm.SHA3)
+		return nil
+	case "send":
+		if len(e.Args) != 2 {
+			return g.fail("send() takes (to, amount)")
+		}
+		// CALL pushes bottom-up: outLen outOff inLen inOff value to gas.
+		g.a.Push(0).Push(0).Push(0).Push(0)
+		if err := g.genExpr(e.Args[1]); err != nil { // value
+			return err
+		}
+		if err := g.genExpr(e.Args[0]); err != nil { // to
+			return err
+		}
+		g.a.Push(sendGasGrant)
+		g.markAbortable()
+		g.a.Op(evm.CALL)
+		return nil
+	default:
+		return g.fail("unknown builtin %q", e.Name)
+	}
+}
+
+func (g *codegen) genExtCall(e *ExtCallExpr) error {
+	if len(e.Args) > 6 {
+		return g.fail("external call with more than 6 args")
+	}
+	// Stage the target address first (stack discipline), then arguments.
+	if err := g.genExpr(e.Target); err != nil {
+		return err
+	}
+	g.a.Push(memExtTarget).Op(evm.MSTORE)
+
+	sel := Selector(e.Method, len(e.Args))
+	selWord := u256.FromBytes(sel[:])
+	var shifted u256.Int
+	shifted.Shl(&selWord, 224)
+	g.a.PushWord(&shifted)
+	g.a.Push(memCallScratch).Op(evm.MSTORE)
+	for i, a := range e.Args {
+		if err := g.genExpr(a); err != nil {
+			return err
+		}
+		g.a.Push(uint64(memCallScratch + 4 + 32*i)).Op(evm.MSTORE)
+	}
+	// outLen outOff inLen inOff value to gas
+	g.a.Push(32).Push(memCallScratch)
+	g.a.Push(uint64(4 + 32*len(e.Args))).Push(memCallScratch)
+	g.a.Push(0)
+	g.a.Push(memExtTarget).Op(evm.MLOAD)
+	g.a.Push(extCallGasGrant)
+	g.markAbortable()
+	g.a.Op(evm.CALL)
+	// Typed external calls propagate failure, like Solidity.
+	g.a.Op(evm.ISZERO).JumpIf("revert")
+	g.a.Push(memCallScratch).Op(evm.MLOAD)
+	return nil
+}
+
+// markCommutative flags every compound add/sub assignment whose target is a
+// storage location as a commutative candidate. Aliasing with other accesses
+// of the same transaction is resolved at runtime by the scheduler (which
+// degrades a delta to a normal read-modify-write when the same state item
+// was already touched), so the static pass can be liberal — this mirrors
+// the paper's division of labour between Slither-side detection and
+// runtime merging.
+func markCommutative(c *ContractAST) {
+	stateVars := make(map[string]bool, len(c.Vars))
+	for _, v := range c.Vars {
+		stateVars[v.Name] = true
+	}
+	var mark func(stmts []Stmt, localNames map[string]bool)
+	mark = func(stmts []Stmt, localNames map[string]bool) {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *DeclStmt:
+				localNames[s.Name] = true
+			case *AssignStmt:
+				if s.Op == AssignSet {
+					continue
+				}
+				if base := rootIdent(s.Target); base != "" && stateVars[base] && !localNames[base] {
+					s.commutative = true
+				}
+			case *IfStmt:
+				mark(s.Then, localNames)
+				mark(s.Else, localNames)
+			case *WhileStmt:
+				mark(s.Body, localNames)
+			case *ForStmt:
+				if s.Init != nil {
+					mark([]Stmt{s.Init}, localNames)
+				}
+				mark(s.Body, localNames)
+				if s.Post != nil {
+					mark([]Stmt{s.Post}, localNames)
+				}
+			}
+		}
+	}
+	for _, fn := range c.Funcs {
+		locals := make(map[string]bool, len(fn.Params))
+		for _, p := range fn.Params {
+			locals[p.Name] = true
+		}
+		mark(fn.Body, locals)
+	}
+}
+
+// rootIdent returns the base identifier of an lvalue chain, or "".
+func rootIdent(e Expr) string {
+	for {
+		switch t := e.(type) {
+		case *IdentExpr:
+			return t.Name
+		case *IndexExpr:
+			e = t.Base
+		default:
+			return ""
+		}
+	}
+}
+
+// ErrNoFunction is returned by helpers when a function name is unknown.
+var ErrNoFunction = errors.New("minisol: no such function")
+
+// SelectorOf returns the selector for a compiled function.
+func (c *Compiled) SelectorOf(name string) ([4]byte, error) {
+	fi, ok := c.Functions[name]
+	if !ok {
+		return [4]byte{}, fmt.Errorf("%w: %s", ErrNoFunction, name)
+	}
+	return fi.Selector, nil
+}

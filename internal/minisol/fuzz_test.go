@@ -1,0 +1,22 @@
+package minisol
+
+import "testing"
+
+// FuzzCompile: the compiler must never panic on arbitrary source.
+func FuzzCompile(f *testing.F) {
+	f.Add("contract C { uint x; function f() public { x = 1; } }")
+	f.Add("contract C { mapping(address => uint) m; function f(address a) public { m[a] += 1; } }")
+	f.Add("contract C { function f() public { for (uint i = 0; i < 3; i++) { } } }")
+	f.Add("contract C { function f() public returns (uint) { return msg.value; } }")
+	f.Add("contract {")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		compiled, err := Compile(src)
+		if err != nil {
+			return
+		}
+		if len(compiled.Code) == 0 {
+			t.Fatal("successful compile produced no code")
+		}
+	})
+}

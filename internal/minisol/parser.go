@@ -1,0 +1,759 @@
+package minisol
+
+import (
+	"strings"
+
+	"dmvcc/internal/u256"
+)
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses one contract from source.
+func Parse(src string) (*ContractAST, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.contract()
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	t := p.cur()
+	if t.kind == kind && t.text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	t := p.cur()
+	if t.kind != kind || t.text != text {
+		return t, errAt(t, "expected %q, got %s", text, t)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) expectIdent() (token, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return t, errAt(t, "expected identifier, got %s", t)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) contract() (*ContractAST, error) {
+	if _, err := p.expect(tokKeyword, "contract"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	c := &ContractAST{Name: name.text}
+	for !p.accept(tokPunct, "}") {
+		t := p.cur()
+		if t.kind == tokEOF {
+			return nil, errAt(t, "unexpected end of input in contract body")
+		}
+		if t.kind == tokKeyword && t.text == "function" {
+			fn, err := p.function()
+			if err != nil {
+				return nil, err
+			}
+			c.Funcs = append(c.Funcs, fn)
+			continue
+		}
+		sv, err := p.stateVar()
+		if err != nil {
+			return nil, err
+		}
+		c.Vars = append(c.Vars, sv)
+	}
+	if p.cur().kind != tokEOF {
+		return nil, errAt(p.cur(), "trailing input after contract")
+	}
+	return c, nil
+}
+
+func (p *parser) stateVar() (*StateVar, error) {
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	// Optional visibility keyword like `public` is accepted and ignored.
+	p.accept(tokKeyword, "public")
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return &StateVar{Name: name.text, Type: typ}, nil
+}
+
+func (p *parser) parseType() (*Type, error) {
+	t := p.cur()
+	var base *Type
+	switch {
+	case t.kind == tokKeyword && t.text == "uint":
+		p.pos++
+		base = &Type{Kind: TypeUint}
+	case t.kind == tokKeyword && t.text == "address":
+		p.pos++
+		base = &Type{Kind: TypeAddress}
+	case t.kind == tokKeyword && t.text == "bool":
+		p.pos++
+		base = &Type{Kind: TypeBool}
+	case t.kind == tokKeyword && t.text == "mapping":
+		p.pos++
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		key, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if !key.IsWord() {
+			return nil, errAt(t, "mapping key must be a word type")
+		}
+		if _, err := p.expect(tokOp, "=>"); err != nil {
+			return nil, err
+		}
+		val, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		base = &Type{Kind: TypeMapping, Key: key, Val: val}
+	default:
+		return nil, errAt(t, "expected type, got %s", t)
+	}
+	// Array suffix: T[]
+	for p.cur().kind == tokPunct && p.cur().text == "[" {
+		save := p.pos
+		p.pos++
+		if p.accept(tokPunct, "]") {
+			base = &Type{Kind: TypeArray, Elem: base}
+		} else {
+			p.pos = save
+			break
+		}
+	}
+	return base, nil
+}
+
+func (p *parser) function() (*FuncDecl, error) {
+	kw, err := p.expect(tokKeyword, "function")
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{Name: name.text, Line: kw.line}
+	for !p.accept(tokPunct, ")") {
+		if len(fn.Params) > 0 {
+			if _, err := p.expect(tokPunct, ","); err != nil {
+				return nil, err
+			}
+		}
+		typ, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if !typ.IsWord() {
+			return nil, errAt(p.cur(), "parameters must be word types")
+		}
+		pname, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		fn.Params = append(fn.Params, Param{Name: pname.text, Type: typ})
+	}
+	// Modifiers in any order.
+	for {
+		switch {
+		case p.accept(tokKeyword, "public"), p.accept(tokKeyword, "view"):
+		case p.accept(tokKeyword, "payable"):
+			fn.Payable = true
+		case p.accept(tokKeyword, "returns"):
+			if _, err := p.expect(tokPunct, "("); err != nil {
+				return nil, err
+			}
+			rt, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			if !rt.IsWord() {
+				return nil, errAt(p.cur(), "return type must be a word type")
+			}
+			fn.Returns = rt
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+		default:
+			goto body
+		}
+	}
+body:
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) block() ([]Stmt, error) {
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	var stmts []Stmt
+	for !p.accept(tokPunct, "}") {
+		if p.cur().kind == tokEOF {
+			return nil, errAt(p.cur(), "unexpected end of input in block")
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	return stmts, nil
+}
+
+func (p *parser) statement() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokKeyword && (t.text == "uint" || t.text == "address" || t.text == "bool"):
+		return p.declStmt()
+	case t.kind == tokKeyword && t.text == "if":
+		return p.ifStmt()
+	case t.kind == tokKeyword && t.text == "while":
+		return p.whileStmt()
+	case t.kind == tokKeyword && t.text == "for":
+		return p.forStmt()
+	case t.kind == tokKeyword && t.text == "require":
+		p.pos++
+		cond, err := p.parenExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &RequireStmt{Cond: cond}, nil
+	case t.kind == tokKeyword && t.text == "assert":
+		p.pos++
+		cond, err := p.parenExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &AssertStmt{Cond: cond}, nil
+	case t.kind == tokKeyword && t.text == "return":
+		p.pos++
+		if p.accept(tokPunct, ";") {
+			return &ReturnStmt{}, nil
+		}
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Value: v}, nil
+	case t.kind == tokKeyword && t.text == "emit":
+		p.pos++
+		ev, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		var args []Expr
+		for !p.accept(tokPunct, ")") {
+			if len(args) > 0 {
+				if _, err := p.expect(tokPunct, ","); err != nil {
+					return nil, err
+				}
+			}
+			a, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &EmitStmt{Event: ev.text, Args: args}, nil
+	case t.kind == tokKeyword && t.text == "revert":
+		p.pos++
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &RevertStmt{}, nil
+	case t.kind == tokPunct && t.text == "{":
+		// Nested block flattens into an IfStmt(true) for simplicity.
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &IfStmt{Cond: &BoolLit{Val: true}, Then: body}, nil
+	default:
+		return p.simpleStmt(true)
+	}
+}
+
+// declStmt parses `type name = expr;`.
+func (p *parser) declStmt() (Stmt, error) {
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	if !typ.IsWord() {
+		return nil, errAt(p.cur(), "local variables must be word types")
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokOp, "="); err != nil {
+		return nil, err
+	}
+	init, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return &DeclStmt{Name: name.text, Type: typ, Init: init}, nil
+}
+
+// simpleStmt parses an assignment, ++/--, or expression statement. When
+// wantSemi is false the trailing semicolon is not consumed (for-post).
+func (p *parser) simpleStmt(wantSemi bool) (Stmt, error) {
+	start := p.cur()
+	lhs, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	finish := func(s Stmt) (Stmt, error) {
+		if wantSemi {
+			if _, err := p.expect(tokPunct, ";"); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	}
+	t := p.cur()
+	if t.kind == tokOp {
+		switch t.text {
+		case "=":
+			p.pos++
+			rhs, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return finish(&AssignStmt{Target: lhs, Op: AssignSet, Value: rhs, Line: start.line})
+		case "+=":
+			p.pos++
+			rhs, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return finish(&AssignStmt{Target: lhs, Op: AssignAdd, Value: rhs, Line: start.line})
+		case "-=":
+			p.pos++
+			rhs, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return finish(&AssignStmt{Target: lhs, Op: AssignSub, Value: rhs, Line: start.line})
+		case "++":
+			p.pos++
+			one := &NumberLit{Val: u256.One}
+			return finish(&AssignStmt{Target: lhs, Op: AssignAdd, Value: one, Line: start.line})
+		case "--":
+			p.pos++
+			one := &NumberLit{Val: u256.One}
+			return finish(&AssignStmt{Target: lhs, Op: AssignSub, Value: one, Line: start.line})
+		}
+	}
+	return finish(&ExprStmt{X: lhs})
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	p.pos++ // if
+	cond, err := p.parenExpr()
+	if err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{Cond: cond, Then: then}
+	if p.accept(tokKeyword, "else") {
+		if p.cur().kind == tokKeyword && p.cur().text == "if" {
+			elseIf, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = []Stmt{elseIf}
+		} else {
+			els, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) whileStmt() (Stmt, error) {
+	p.pos++ // while
+	cond, err := p.parenExpr()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Cond: cond, Body: body}, nil
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	p.pos++ // for
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	var init Stmt
+	if !p.accept(tokPunct, ";") {
+		t := p.cur()
+		var err error
+		if t.kind == tokKeyword && (t.text == "uint" || t.text == "address" || t.text == "bool") {
+			init, err = p.declStmt() // consumes the ;
+		} else {
+			init, err = p.simpleStmt(true)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	var post Stmt
+	if !(p.cur().kind == tokPunct && p.cur().text == ")") {
+		post, err = p.simpleStmt(false)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &ForStmt{Init: init, Cond: cond, Post: post, Body: body}, nil
+}
+
+func (p *parser) parenExpr() (Expr, error) {
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Expression parsing with precedence climbing.
+
+var binPrec = map[string]int{
+	"||": 1, "&&": 2,
+	"==": 3, "!=": 3,
+	"<": 4, ">": 4, "<=": 4, ">=": 4,
+	"+": 5, "-": 5,
+	"*": 6, "/": 6, "%": 6,
+}
+
+var binOps = map[string]BinOp{
+	"+": OpAdd, "-": OpSub, "*": OpMul, "/": OpDiv, "%": OpMod,
+	"<": OpLt, ">": OpGt, "<=": OpLe, ">=": OpGe, "==": OpEq, "!=": OpNe,
+	"&&": OpAnd, "||": OpOr,
+}
+
+func (p *parser) expr() (Expr, error) { return p.binExpr(1) }
+
+func (p *parser) binExpr(minPrec int) (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokOp {
+			return lhs, nil
+		}
+		prec, ok := binPrec[t.text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.pos++
+		rhs, err := p.binExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: binOps[t.text], L: lhs, R: rhs}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	t := p.cur()
+	if t.kind == tokOp && t.text == "!" {
+		p.pos++
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{X: x}, nil
+	}
+	return p.postfix()
+}
+
+// postfix parses a primary expression followed by [index] / .length chains.
+func (p *parser) postfix() (Expr, error) {
+	e, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		switch {
+		case t.kind == tokPunct && t.text == "[":
+			p.pos++
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+			e = &IndexExpr{Base: e, Index: idx}
+		case t.kind == tokPunct && t.text == ".":
+			// arr.length or ExtCall method.
+			p.pos++
+			field, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if field.text == "length" {
+				e = &LenExpr{Array: e}
+				continue
+			}
+			// method call on cast expression: Target.method(args)
+			if _, err := p.expect(tokPunct, "("); err != nil {
+				return nil, err
+			}
+			var args []Expr
+			for !p.accept(tokPunct, ")") {
+				if len(args) > 0 {
+					if _, err := p.expect(tokPunct, ","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+			}
+			e = &ExtCallExpr{Target: e, Method: field.text, Args: args}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.pos++
+		txt := strings.ReplaceAll(t.text, "_", "")
+		var v u256.Int
+		var err error
+		if strings.HasPrefix(txt, "0x") || strings.HasPrefix(txt, "0X") {
+			v, err = u256.FromHex(txt)
+		} else {
+			v, err = parseDecimal(txt)
+		}
+		if err != nil {
+			return nil, errAt(t, "bad number: %v", err)
+		}
+		return &NumberLit{Val: v}, nil
+	case t.kind == tokKeyword && t.text == "true":
+		p.pos++
+		return &BoolLit{Val: true}, nil
+	case t.kind == tokKeyword && t.text == "false":
+		p.pos++
+		return &BoolLit{Val: false}, nil
+	case t.kind == tokKeyword && t.text == "msg":
+		p.pos++
+		if _, err := p.expect(tokPunct, "."); err != nil {
+			return nil, err
+		}
+		f, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		switch f.text {
+		case "sender":
+			return &EnvExpr{Kind: EnvMsgSender}, nil
+		case "value":
+			return &EnvExpr{Kind: EnvMsgValue}, nil
+		default:
+			return nil, errAt(f, "unknown msg field %q", f.text)
+		}
+	case t.kind == tokKeyword && t.text == "block":
+		p.pos++
+		if _, err := p.expect(tokPunct, "."); err != nil {
+			return nil, err
+		}
+		f, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		switch f.text {
+		case "number":
+			return &EnvExpr{Kind: EnvBlockNumber}, nil
+		case "timestamp":
+			return &EnvExpr{Kind: EnvBlockTimestamp}, nil
+		default:
+			return nil, errAt(f, "unknown block field %q", f.text)
+		}
+	case t.kind == tokKeyword && t.text == "tx":
+		p.pos++
+		if _, err := p.expect(tokPunct, "."); err != nil {
+			return nil, err
+		}
+		f, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if f.text != "origin" {
+			return nil, errAt(f, "unknown tx field %q", f.text)
+		}
+		return &EnvExpr{Kind: EnvTxOrigin}, nil
+	case t.kind == tokPunct && t.text == "(":
+		p.pos++
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokIdent:
+		name := t.text
+		p.pos++
+		// Call syntax: builtin or contract cast.
+		if p.cur().kind == tokPunct && p.cur().text == "(" {
+			p.pos++
+			var args []Expr
+			for !p.accept(tokPunct, ")") {
+				if len(args) > 0 {
+					if _, err := p.expect(tokPunct, ","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+			}
+			switch name {
+			case "balance", "selfbalance", "send", "keccak":
+				return &BuiltinExpr{Name: name, Args: args}, nil
+			default:
+				// Contract cast: Name(expr) must be followed by .method(...)
+				// which the postfix loop will attach; the cast itself just
+				// evaluates to its single argument.
+				if len(args) != 1 {
+					return nil, errAt(t, "contract cast %q takes one argument", name)
+				}
+				return args[0], nil
+			}
+		}
+		return &IdentExpr{Name: name}, nil
+	default:
+		return nil, errAt(t, "unexpected token %s in expression", t)
+	}
+}
+
+// parseDecimal parses an unsigned decimal literal into a 256-bit word.
+func parseDecimal(s string) (u256.Int, error) {
+	if s == "" {
+		return u256.Int{}, &SyntaxError{Msg: "empty number"}
+	}
+	var v u256.Int
+	ten := u256.NewUint64(10)
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return u256.Int{}, &SyntaxError{Msg: "bad digit in number"}
+		}
+		d := u256.NewUint64(uint64(c - '0'))
+		v.Mul(&v, &ten)
+		v.Add(&v, &d)
+	}
+	return v, nil
+}

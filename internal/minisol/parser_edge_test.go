@@ -1,0 +1,201 @@
+package minisol_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"dmvcc/internal/evm"
+	"dmvcc/internal/keccak"
+	"dmvcc/internal/minisol"
+	"dmvcc/internal/u256"
+)
+
+func TestElseIfChain(t *testing.T) {
+	src := `
+contract Grades {
+    function grade(uint score) public returns (uint) {
+        if (score >= 90) {
+            return 4;
+        } else if (score >= 80) {
+            return 3;
+        } else if (score >= 70) {
+            return 2;
+        } else {
+            return 1;
+        }
+    }
+}
+`
+	e := newTestEnv(t)
+	e.deploy(cAddr, src)
+	cases := map[uint64]uint64{95: 4, 85: 3, 75: 2, 10: 1, 90: 4, 89: 3}
+	for score, want := range cases {
+		if got := e.mustCall(alice, cAddr, 0, "grade", u256.NewUint64(score)); got.Uint64() != want {
+			t.Errorf("grade(%d) = %d, want %d", score, got.Uint64(), want)
+		}
+	}
+}
+
+func TestCommentsAndHexLiterals(t *testing.T) {
+	src := `
+// leading comment
+contract C {
+    uint x; /* block
+               comment */
+    function f() public returns (uint) {
+        // hex literal
+        x = 0xff;
+        return x + 0x01;
+    }
+}
+`
+	e := newTestEnv(t)
+	e.deploy(cAddr, src)
+	if got := e.mustCall(alice, cAddr, 0, "f"); got.Uint64() != 0x100 {
+		t.Errorf("f() = %d", got.Uint64())
+	}
+}
+
+func TestUnderscoredNumbers(t *testing.T) {
+	src := `
+contract C {
+    function f() public returns (uint) {
+        return 1_000_000 + 1;
+    }
+}
+`
+	e := newTestEnv(t)
+	e.deploy(cAddr, src)
+	if got := e.mustCall(alice, cAddr, 0, "f"); got.Uint64() != 1_000_001 {
+		t.Errorf("f() = %d", got.Uint64())
+	}
+}
+
+func TestModuloAndPrecedence(t *testing.T) {
+	src := `
+contract C {
+    function f(uint a, uint b) public returns (uint) {
+        return a + b * 2 % 5;
+    }
+}
+`
+	e := newTestEnv(t)
+	e.deploy(cAddr, src)
+	// 3 + ((4*2) % 5) = 3 + 3 = 6
+	got := e.mustCall(alice, cAddr, 0, "f", u256.NewUint64(3), u256.NewUint64(4))
+	if got.Uint64() != 6 {
+		t.Errorf("f(3,4) = %d, want 6", got.Uint64())
+	}
+}
+
+func TestNestedMappingAssignAndRead(t *testing.T) {
+	src := `
+contract C {
+    mapping(uint => mapping(uint => mapping(uint => uint))) deep;
+
+    function set(uint a, uint b, uint c, uint v) public {
+        deep[a][b][c] = v;
+    }
+
+    function get(uint a, uint b, uint c) public returns (uint) {
+        return deep[a][b][c];
+    }
+}
+`
+	e := newTestEnv(t)
+	e.deploy(cAddr, src)
+	e.mustCall(alice, cAddr, 0, "set",
+		u256.NewUint64(1), u256.NewUint64(2), u256.NewUint64(3), u256.NewUint64(42))
+	got := e.mustCall(alice, cAddr, 0, "get",
+		u256.NewUint64(1), u256.NewUint64(2), u256.NewUint64(3))
+	if got.Uint64() != 42 {
+		t.Errorf("deep[1][2][3] = %d", got.Uint64())
+	}
+	// A sibling path stays zero.
+	got = e.mustCall(alice, cAddr, 0, "get",
+		u256.NewUint64(1), u256.NewUint64(2), u256.NewUint64(4))
+	if !got.IsZero() {
+		t.Errorf("deep[1][2][4] = %d, want 0", got.Uint64())
+	}
+}
+
+func TestRevertStatement(t *testing.T) {
+	src := `
+contract C {
+    function f(uint x) public returns (uint) {
+        if (x == 0) {
+            revert();
+        }
+        return x;
+    }
+}
+`
+	e := newTestEnv(t)
+	e.deploy(cAddr, src)
+	if _, err := e.call(alice, cAddr, 0, "f", u256.NewUint64(0)); !evm.IsRevert(err) {
+		t.Errorf("revert() err = %v", err)
+	}
+	if got := e.mustCall(alice, cAddr, 0, "f", u256.NewUint64(9)); got.Uint64() != 9 {
+		t.Errorf("f(9) = %d", got.Uint64())
+	}
+}
+
+func TestKeccakBuiltin(t *testing.T) {
+	src := `
+contract C {
+    function h(uint x) public returns (uint) {
+        return keccak(x);
+    }
+}
+`
+	e := newTestEnv(t)
+	e.deploy(cAddr, src)
+	got := e.mustCall(alice, cAddr, 0, "h", u256.NewUint64(7))
+	seven := u256.NewUint64(7)
+	full := seven.Bytes32()
+	h := keccak.Sum256(full[:])
+	want := u256.FromBytes(h[:])
+	if !got.Eq(&want) {
+		t.Errorf("keccak(7) = %s, want %s", got.Hex(), want.Hex())
+	}
+}
+
+func TestWhitespaceOnlyContractRejected(t *testing.T) {
+	for _, src := range []string{"", "   \n\t", "pragma"} {
+		if _, err := minisol.Compile(src); err == nil {
+			t.Errorf("compile(%q) should fail", src)
+		}
+	}
+}
+
+func TestSyntaxErrorsHavePositions(t *testing.T) {
+	_, err := minisol.Compile("contract C {\n  uint x\n}")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var se *minisol.SyntaxError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %T, want *SyntaxError", err)
+	}
+	if se.Line < 2 {
+		t.Errorf("error line %d", se.Line)
+	}
+	if !strings.Contains(err.Error(), "minisol:") {
+		t.Errorf("error text %q", err)
+	}
+}
+
+func TestTooManyLocalsRejected(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("contract C { function f() public {\n")
+	for i := 0; i < 20; i++ {
+		sb.WriteString("uint v")
+		sb.WriteByte(byte('a' + i))
+		sb.WriteString(" = 1;\n")
+	}
+	sb.WriteString("} }")
+	if _, err := minisol.Compile(sb.String()); err == nil {
+		t.Error("expected too-many-locals error")
+	}
+}

@@ -1,0 +1,171 @@
+// Package minisol implements a small Solidity-like contract language and a
+// compiler targeting the project's EVM. It stands in for the paper's
+// Solidity + Slither toolchain: contracts are written at source level,
+// compiled with Ethereum-compatible storage layout (sequential slots,
+// keccak-derived mapping and array slots), and the compiler performs the
+// source-level analyses the paper obtains from Slither — most importantly
+// the detection of commutative blind increments (§IV-D).
+package minisol
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokenKind enumerates lexical token classes.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota + 1
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct   // ( ) { } [ ] ; , .
+	tokOp      // + - * / % < > <= >= == != && || ! = += -= ++ -- =>
+	tokKeyword // contract function mapping if else while for require assert return emit revert uint address bool true false msg block public payable returns
+)
+
+var keywords = map[string]bool{
+	"contract": true, "function": true, "mapping": true, "if": true,
+	"else": true, "while": true, "for": true, "require": true,
+	"assert": true, "return": true, "emit": true, "revert": true,
+	"uint": true, "address": true, "bool": true, "true": true,
+	"false": true, "msg": true, "block": true, "tx": true,
+	"public": true, "payable": true, "returns": true, "view": true,
+}
+
+// token is one lexical token with its source position.
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// SyntaxError reports a lexing or parsing failure with position info.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("minisol: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(t token, format string, args ...interface{}) error {
+	return &SyntaxError{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lex tokenizes src.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line, col := 1, 1
+	i := 0
+	emit := func(kind tokenKind, text string) {
+		toks = append(toks, token{kind: kind, text: text, line: line, col: col})
+	}
+	advance := func(n int) {
+		for k := 0; k < n; k++ {
+			if src[i+k] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += n
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				advance(1)
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			advance(2)
+			for i+1 < len(src) && !(src[i] == '*' && src[i+1] == '/') {
+				advance(1)
+			}
+			if i+1 >= len(src) {
+				return nil, &SyntaxError{Line: line, Col: col, Msg: "unterminated block comment"}
+			}
+			advance(2)
+		case isIdentStart(c):
+			start := i
+			for i < len(src) && (isIdentChar(src[i])) {
+				i++
+				col++
+			}
+			word := src[start:i]
+			if keywords[word] {
+				toks = append(toks, token{kind: tokKeyword, text: word, line: line, col: col - len(word)})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: word, line: line, col: col - len(word)})
+			}
+		case c >= '0' && c <= '9':
+			start := i
+			if c == '0' && i+1 < len(src) && (src[i+1] == 'x' || src[i+1] == 'X') {
+				i += 2
+				col += 2
+				for i < len(src) && isHexChar(src[i]) {
+					i++
+					col++
+				}
+			} else {
+				for i < len(src) && (src[i] >= '0' && src[i] <= '9' || src[i] == '_') {
+					i++
+					col++
+				}
+			}
+			toks = append(toks, token{kind: tokNumber, text: src[start:i], line: line, col: col})
+		case strings.ContainsRune("(){}[];,.", rune(c)):
+			emit(tokPunct, string(c))
+			advance(1)
+		default:
+			// Multi-char operators first.
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "++", "--", "=>":
+				emit(tokOp, two)
+				advance(2)
+				continue
+			}
+			if strings.ContainsRune("+-*/%<>!=", rune(c)) {
+				emit(tokOp, string(c))
+				advance(1)
+				continue
+			}
+			return nil, &SyntaxError{Line: line, Col: col, Msg: fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: line, col: col})
+	return toks, nil
+}
+
+// isIdentStart reports an ASCII identifier-start byte. Byte-level checks
+// keep the lexer total on arbitrary (non-UTF-8) input.
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+func isHexChar(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}

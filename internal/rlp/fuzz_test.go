@@ -1,0 +1,25 @@
+package rlp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode: any input either fails cleanly or round-trips through Encode.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{0x80})
+	f.Add([]byte{0xc0})
+	f.Add([]byte("\x83dog"))
+	f.Add([]byte{0xc8, 0x83, 'c', 'a', 't', 0x83, 'd', 'o', 'g'})
+	f.Add([]byte{0xb8, 0x38})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		it, err := Decode(in)
+		if err != nil {
+			return
+		}
+		re := Encode(it)
+		if !bytes.Equal(re, in) {
+			t.Fatalf("decode/encode not canonical: %x -> %x", in, re)
+		}
+	})
+}

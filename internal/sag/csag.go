@@ -1,0 +1,113 @@
+package sag
+
+import (
+	"fmt"
+	"strings"
+
+	"dmvcc/internal/types"
+)
+
+// CSAG is the complete state access graph of one transaction: the P-SAG
+// refined with concrete inputs and snapshot values. For scheduling, what
+// matters is the classification of every touched item:
+//
+//   - Reads: items whose value the transaction observes from outside its
+//     own write buffer (cross-transaction dependencies, ρ; θ when also
+//     written).
+//   - Writes: items the transaction writes absolutely (ω), with the number
+//     of write events — used to decide at a release point whether an item
+//     has received its last write and can be published early.
+//   - Deltas: items only blind-incremented (ω̄, commutative), with their
+//     event counts; delta entries of different transactions never conflict.
+type CSAG struct {
+	TxIndex int
+
+	Reads  map[ItemID]struct{}
+	Writes map[ItemID]int
+	Deltas map[ItemID]int
+
+	// PredictedStatus and PredictedGasUsed are the outcome of the
+	// analysis pre-run against the snapshot (advisory only).
+	PredictedStatus  types.ReceiptStatus
+	PredictedGasUsed uint64
+}
+
+// NewCSAG returns an empty C-SAG for the given transaction index.
+func NewCSAG(idx int) *CSAG {
+	return &CSAG{
+		TxIndex: idx,
+		Reads:   make(map[ItemID]struct{}),
+		Writes:  make(map[ItemID]int),
+		Deltas:  make(map[ItemID]int),
+	}
+}
+
+// Items returns every item the transaction is predicted to touch.
+func (c *CSAG) Items() []ItemID {
+	seen := make(map[ItemID]struct{}, len(c.Reads)+len(c.Writes)+len(c.Deltas))
+	for id := range c.Reads {
+		seen[id] = struct{}{}
+	}
+	for id := range c.Writes {
+		seen[id] = struct{}{}
+	}
+	for id := range c.Deltas {
+		seen[id] = struct{}{}
+	}
+	out := make([]ItemID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	SortItems(out)
+	return out
+}
+
+// ReadsItem reports whether the transaction is predicted to read id.
+func (c *CSAG) ReadsItem(id ItemID) bool {
+	_, ok := c.Reads[id]
+	return ok
+}
+
+// WritesItem reports whether the transaction is predicted to write id
+// (absolutely or as a delta).
+func (c *CSAG) WritesItem(id ItemID) bool {
+	if _, ok := c.Writes[id]; ok {
+		return true
+	}
+	_, ok := c.Deltas[id]
+	return ok
+}
+
+// ConflictsWith reports whether two C-SAGs conflict per Definition 3:
+// a read-write overlap on some item. Write-write overlaps do not conflict
+// (write versioning), and delta-delta overlaps do not conflict
+// (commutativity).
+func (c *CSAG) ConflictsWith(other *CSAG) bool {
+	for id := range c.Reads {
+		if other.WritesItem(id) {
+			return true
+		}
+	}
+	for id := range other.Reads {
+		if c.WritesItem(id) {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the access sets compactly.
+func (c *CSAG) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "C-SAG tx %d:", c.TxIndex)
+	for id := range c.Reads {
+		fmt.Fprintf(&sb, " ρ(%s)", id)
+	}
+	for id, n := range c.Writes {
+		fmt.Fprintf(&sb, " ω(%s)x%d", id, n)
+	}
+	for id, n := range c.Deltas {
+		fmt.Fprintf(&sb, " ω̄(%s)x%d", id, n)
+	}
+	return sb.String()
+}

@@ -1,0 +1,98 @@
+// Package sag implements the paper's state access graphs. A P-SAG is the
+// static, per-contract half: control-flow skeleton, read/write nodes with
+// placeholder keys where static resolution fails, loop nodes, release
+// points, and remaining-gas bounds (§III-B, §IV-A). A C-SAG is the dynamic,
+// per-transaction half: the P-SAG refined with concrete transaction inputs
+// and snapshot values by executing the transaction's forward slice against
+// the latest snapshot, yielding precise read/write/delta sets.
+package sag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dmvcc/internal/types"
+)
+
+// ItemKind distinguishes the state item families that participate in
+// scheduling.
+type ItemKind uint8
+
+// State item kinds. Storage items are contract storage slots; Balance,
+// Nonce, and Code items let plain Ether transfers and account metadata
+// participate in the same concurrency control (paper §V-B).
+const (
+	KindStorage ItemKind = iota + 1
+	KindBalance
+	KindNonce
+	KindCode
+)
+
+// String implements fmt.Stringer.
+func (k ItemKind) String() string {
+	switch k {
+	case KindStorage:
+		return "storage"
+	case KindBalance:
+		return "balance"
+	case KindNonce:
+		return "nonce"
+	case KindCode:
+		return "code"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// ItemID identifies one schedulable state item.
+type ItemID struct {
+	Kind ItemKind
+	Addr types.Address
+	Slot types.Hash // zero except for storage items
+}
+
+// StorageItem returns the item id of a contract storage slot.
+func StorageItem(addr types.Address, slot types.Hash) ItemID {
+	return ItemID{Kind: KindStorage, Addr: addr, Slot: slot}
+}
+
+// BalanceItem returns the item id of an account balance.
+func BalanceItem(addr types.Address) ItemID {
+	return ItemID{Kind: KindBalance, Addr: addr}
+}
+
+// NonceItem returns the item id of an account nonce.
+func NonceItem(addr types.Address) ItemID {
+	return ItemID{Kind: KindNonce, Addr: addr}
+}
+
+// CodeItem returns the item id of an account's code.
+func CodeItem(addr types.Address) ItemID {
+	return ItemID{Kind: KindCode, Addr: addr}
+}
+
+// String renders the item compactly for logs and dumps.
+func (id ItemID) String() string {
+	switch id.Kind {
+	case KindStorage:
+		return fmt.Sprintf("%s[%s…]", id.Addr.Hex()[:10], id.Slot.Hex()[:10])
+	default:
+		return fmt.Sprintf("%s.%s", id.Addr.Hex()[:10], id.Kind)
+	}
+}
+
+// SortItems returns the ids in a deterministic order (for stable commits
+// and reproducible dumps).
+func SortItems(ids []ItemID) {
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := ids[i], ids[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if c := strings.Compare(string(a.Addr[:]), string(b.Addr[:])); c != 0 {
+			return c < 0
+		}
+		return strings.Compare(string(a.Slot[:]), string(b.Slot[:])) < 0
+	})
+}

@@ -1,0 +1,186 @@
+package schedsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dmvcc/internal/core"
+	"dmvcc/internal/sag"
+	"dmvcc/internal/types"
+)
+
+// randomTraces builds a random but well-formed trace set: offsets are
+// monotone within each transaction and bounded by its gas; reads can only
+// depend on lower-indexed writers (which the simulator derives itself).
+func randomTraces(r *rand.Rand, n int) []*core.TxTrace {
+	items := make([]sag.ItemID, 6)
+	for i := range items {
+		items[i] = sag.StorageItem(types.Address{0xc0}, types.Hash{31: byte(i)})
+	}
+	traces := make([]*core.TxTrace, n)
+	for i := range traces {
+		gas := uint64(100 + r.Intn(2000))
+		nEvents := r.Intn(5)
+		offsets := make([]uint64, nEvents)
+		for j := range offsets {
+			offsets[j] = uint64(r.Intn(int(gas + 1)))
+		}
+		sortUint64(offsets)
+		var events []core.TraceEvent
+		for _, off := range offsets {
+			kind := core.TraceRead
+			switch r.Intn(3) {
+			case 1:
+				kind = core.TraceWrite
+			case 2:
+				kind = core.TraceDelta
+			}
+			events = append(events, core.TraceEvent{
+				Kind:   kind,
+				Item:   items[r.Intn(len(items))],
+				Offset: off,
+			})
+		}
+		traces[i] = &core.TxTrace{Gas: gas, Events: events}
+	}
+	return traces
+}
+
+func sortUint64(a []uint64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func totalGas(traces []*core.TxTrace) uint64 {
+	var sum uint64
+	for _, tr := range traces {
+		sum += tr.Gas
+	}
+	return sum
+}
+
+// TestDMVCCSimInvariants checks, over random trace sets, the fundamental
+// makespan invariants: one worker equals serial; more workers never hurt;
+// and no makespan beats the critical path or the perfect-speedup bound.
+func TestDMVCCSimInvariants(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(17))}
+	f := func(seed int64, nRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%40
+		traces := randomTraces(r, n)
+		serial := totalGas(traces)
+
+		one := DMVCC(traces, 1, 0)
+		if one != serial {
+			t.Logf("1 worker makespan %d != serial %d", one, serial)
+			return false
+		}
+		prev := one
+		for _, workers := range []int{2, 4, 8, 32, 1024} {
+			m := DMVCC(traces, workers, 0)
+			if m > prev {
+				t.Logf("makespan grew with workers: %d workers -> %d (prev %d)", workers, m, prev)
+				return false
+			}
+			// Perfect-speedup bound: serial / workers (rounded down).
+			if m < serial/uint64(workers) {
+				t.Logf("impossible speedup: %d < %d/%d", m, serial, workers)
+				return false
+			}
+			prev = m
+		}
+		// Critical path (unbounded workers) is a lower bound for all.
+		crit := DMVCC(traces, 1<<20, 0)
+		if prev < crit {
+			t.Logf("makespan %d below critical path %d", prev, crit)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDAGSimInvariants mirrors the invariants for the DAG model with random
+// precedence graphs (edges always point forward, so acyclic).
+func TestDAGSimInvariants(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(23))}
+	f := func(seed int64, nRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%50
+		costs := make([]uint64, n)
+		var serial uint64
+		for i := range costs {
+			costs[i] = uint64(1 + r.Intn(1000))
+			serial += costs[i]
+		}
+		preds := make([][]int, n)
+		for j := 1; j < n; j++ {
+			for k := 0; k < 2; k++ {
+				if r.Intn(4) == 0 {
+					preds[j] = append(preds[j], r.Intn(j))
+				}
+			}
+		}
+		if got := DAG(costs, preds, 1); got != serial {
+			t.Logf("DAG on 1 worker %d != serial %d", got, serial)
+			return false
+		}
+		prev := serial
+		for _, workers := range []int{2, 8, 64} {
+			m := DAG(costs, preds, workers)
+			if m > prev || m < serial/uint64(workers) {
+				t.Logf("DAG invariant broken at %d workers: %d (prev %d, serial %d)", workers, m, prev, serial)
+				return false
+			}
+			prev = m
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestListScheduleInvariants: classic list-scheduling bounds.
+func TestListScheduleInvariants(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(31))}
+	f := func(seed int64, nRaw uint8, wRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nRaw) % 60
+		workers := 1 + int(wRaw)%16
+		costs := make([]uint64, n)
+		var serial, maxCost uint64
+		for i := range costs {
+			costs[i] = uint64(1 + r.Intn(500))
+			serial += costs[i]
+			if costs[i] > maxCost {
+				maxCost = costs[i]
+			}
+		}
+		m := ListSchedule(costs, workers)
+		// Lower bounds: average load and the largest single job.
+		if m < serial/uint64(workers) || m < maxCost {
+			t.Logf("below lower bound: %d (serial %d, workers %d, max %d)", m, serial, workers, maxCost)
+			return false
+		}
+		// Graham bound: (2 - 1/m) * OPT; OPT >= max(avg, maxCost).
+		opt := serial / uint64(workers)
+		if maxCost > opt {
+			opt = maxCost
+		}
+		if m > 2*opt {
+			t.Logf("above Graham bound: %d > 2*%d", m, opt)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,344 @@
+// Package schedsim computes the virtual-time makespan of block execution
+// schedules on a configurable number of worker threads. The paper evaluates
+// by "simulating scheduling the transactions on a set of threads (up to
+// 32)" on a 16-core machine (§V-B); this package is that simulator, with
+// gas as the deterministic time unit (per-transaction service time is
+// proportional to gas consumed, and speedups are ratios, so the unit
+// cancels out).
+//
+// Four schedule models mirror the four executors:
+//
+//   - Serial: the sum of all costs.
+//   - DAG: precedence-constrained list scheduling — a transaction starts
+//     only after every conflicting predecessor finished (transaction-level
+//     synchronization, write-write edges included).
+//   - OCC: barriered rounds of speculative execution; each round's batch is
+//     list-scheduled, and re-executions pay full cost again.
+//   - DMVCC: statement-level simulation driven by the dependency traces the
+//     real executor records — reads park mid-transaction until the exact
+//     version they need is published, and writes become visible at their
+//     release-point offsets (early-write visibility) rather than at
+//     transaction end.
+package schedsim
+
+import (
+	"container/heap"
+	"sort"
+
+	"dmvcc/internal/core"
+	"dmvcc/internal/sag"
+)
+
+// Serial returns the serial makespan: the sum of costs.
+func Serial(costs []uint64) uint64 {
+	var total uint64
+	for _, c := range costs {
+		total += c
+	}
+	return total
+}
+
+// ListSchedule assigns independent jobs to workers in index order (each job
+// goes to the earliest-free worker) and returns the makespan.
+func ListSchedule(costs []uint64, workers int) uint64 {
+	if workers < 1 {
+		workers = 1
+	}
+	free := make([]uint64, workers) // next-free time per worker
+	var makespan uint64
+	for _, c := range costs {
+		minIdx := 0
+		for w := 1; w < workers; w++ {
+			if free[w] < free[minIdx] {
+				minIdx = w
+			}
+		}
+		free[minIdx] += c
+		if free[minIdx] > makespan {
+			makespan = free[minIdx]
+		}
+	}
+	return makespan
+}
+
+// DAG simulates precedence-constrained scheduling: preds[j] lists the
+// transactions that must finish before j starts. Ready transactions are
+// dispatched lowest-index-first.
+func DAG(costs []uint64, preds [][]int, workers int) uint64 {
+	n := len(costs)
+	if workers < 1 {
+		workers = 1
+	}
+	indeg := make([]int, n)
+	succs := make([][]int, n)
+	for j, ps := range preds {
+		indeg[j] = len(ps)
+		for _, p := range ps {
+			succs[p] = append(succs[p], j)
+		}
+	}
+
+	ready := &intHeap{}
+	for j := 0; j < n; j++ {
+		if indeg[j] == 0 {
+			heap.Push(ready, j)
+		}
+	}
+	running := &eventHeap{}
+	var clock, makespan uint64
+	freeWorkers := workers
+	done := 0
+
+	for done < n {
+		for freeWorkers > 0 && ready.Len() > 0 {
+			j := heap.Pop(ready).(int)
+			heap.Push(running, simEvent{time: clock + costs[j], tx: j})
+			freeWorkers--
+		}
+		if running.Len() == 0 {
+			break // a cycle would be a caller bug; inputs are DAGs
+		}
+		ev := heap.Pop(running).(simEvent)
+		clock = ev.time
+		if clock > makespan {
+			makespan = clock
+		}
+		freeWorkers++
+		done++
+		for _, s := range succs[ev.tx] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				heap.Push(ready, s)
+			}
+		}
+	}
+	return makespan
+}
+
+// OCC simulates the round-barriered optimistic executor: batches[r] lists
+// the transactions (re-)executed in round r; each round list-schedules its
+// batch and rounds run back to back (the sequential validation pass between
+// rounds is cheap and charged as zero).
+func OCC(costs []uint64, batches [][]int, workers int) uint64 {
+	var total uint64
+	for _, batch := range batches {
+		roundCosts := make([]uint64, len(batch))
+		for i, j := range batch {
+			roundCosts[i] = costs[j]
+		}
+		total += ListSchedule(roundCosts, workers)
+	}
+	return total
+}
+
+// writerRef locates one publish event of an item.
+type writerRef struct {
+	tx    int
+	delta bool
+}
+
+// DMVCC simulates the fine-grained schedule from the executor's dependency
+// traces. Each transaction progresses linearly in gas; publish events fire
+// at their recorded mid-transaction offsets (early-write visibility), and a
+// read event parks its transaction — freeing the worker — until every
+// version it must observe (closest preceding absolute write plus subsequent
+// deltas) has been published. wastedGas charges the work of aborted
+// incarnations as extra load spread across the workers.
+func DMVCC(traces []*core.TxTrace, workers int, wastedGas uint64) uint64 {
+	n := len(traces)
+	if workers < 1 {
+		workers = 1
+	}
+
+	writers := make(map[sag.ItemID][]writerRef)
+	for i, tr := range traces {
+		for _, e := range tr.Events {
+			switch e.Kind {
+			case core.TraceWrite:
+				writers[e.Item] = append(writers[e.Item], writerRef{tx: i})
+			case core.TraceDelta:
+				writers[e.Item] = append(writers[e.Item], writerRef{tx: i, delta: true})
+			}
+		}
+	}
+	// Writers appear in ascending tx order already (trace slice order), but
+	// a tx may publish the same item twice (early + updated); dedup keeps
+	// the first, which is when the version became visible.
+	for item, ws := range writers {
+		dedup := ws[:0]
+		seen := make(map[int]bool, len(ws))
+		for _, w := range ws {
+			if !seen[w.tx] {
+				seen[w.tx] = true
+				dedup = append(dedup, w)
+			}
+		}
+		sort.Slice(dedup, func(a, b int) bool { return dedup[a].tx < dedup[b].tx })
+		writers[item] = dedup
+	}
+
+	// deps returns the writer txs whose publishes the read (i, item) needs.
+	deps := func(i int, item sag.ItemID) []int {
+		ws := writers[item]
+		k := sort.Search(len(ws), func(x int) bool { return ws[x].tx >= i }) - 1
+		var out []int
+		for ; k >= 0; k-- {
+			out = append(out, ws[k].tx)
+			if !ws[k].delta {
+				break
+			}
+		}
+		return out
+	}
+
+	published := make(map[sag.ItemID]map[int]bool)
+	markPublished := func(item sag.ItemID, tx int) {
+		m := published[item]
+		if m == nil {
+			m = make(map[int]bool)
+			published[item] = m
+		}
+		m[tx] = true
+	}
+	isPublished := func(item sag.ItemID, tx int) bool { return published[item][tx] }
+
+	type blockKey struct {
+		tx   int
+		item sag.ItemID
+	}
+	waitersOn := make(map[blockKey][]int)
+
+	next := make([]int, n)        // next event index per tx
+	progress := make([]uint64, n) // gas executed per tx
+	suspended := make([]bool, n)
+
+	events := &eventHeap{}
+	ready := &intHeap{}
+	for i := 0; i < n; i++ {
+		heap.Push(ready, i)
+	}
+	freeWorkers := workers
+	var clock, makespan uint64
+	doneCount := 0
+
+	// stopOffset returns the offset of tx i's next event (or completion).
+	stopOffset := func(i int) uint64 {
+		tr := traces[i]
+		if next[i] < len(tr.Events) {
+			return tr.Events[next[i]].Offset
+		}
+		return tr.Gas
+	}
+
+	schedule := func(i int) {
+		heap.Push(events, simEvent{time: clock + (stopOffset(i) - progress[i]), tx: i})
+	}
+	dispatch := func() {
+		for freeWorkers > 0 && ready.Len() > 0 {
+			i := heap.Pop(ready).(int)
+			freeWorkers--
+			schedule(i)
+		}
+	}
+
+	dispatch()
+	for doneCount < n && events.Len() > 0 {
+		ev := heap.Pop(events).(simEvent)
+		clock = ev.time
+		i := ev.tx
+		progress[i] = stopOffset(i)
+		tr := traces[i]
+
+		if next[i] >= len(tr.Events) && progress[i] >= tr.Gas {
+			// Finished.
+			freeWorkers++
+			doneCount++
+			if clock > makespan {
+				makespan = clock
+			}
+			dispatch()
+			continue
+		}
+
+		e := tr.Events[next[i]]
+		switch e.Kind {
+		case core.TraceWrite, core.TraceDelta:
+			markPublished(e.Item, i)
+			key := blockKey{tx: i, item: e.Item}
+			for _, w := range waitersOn[key] {
+				if suspended[w] {
+					suspended[w] = false
+					heap.Push(ready, w)
+				}
+			}
+			delete(waitersOn, key)
+			next[i]++
+			schedule(i)
+			dispatch()
+
+		case core.TraceRead:
+			blockedOn := -1
+			for _, w := range deps(i, e.Item) {
+				if !isPublished(e.Item, w) {
+					blockedOn = w
+					break
+				}
+			}
+			if blockedOn >= 0 {
+				suspended[i] = true
+				key := blockKey{tx: blockedOn, item: e.Item}
+				waitersOn[key] = append(waitersOn[key], i)
+				freeWorkers++
+				dispatch()
+				continue
+			}
+			next[i]++
+			schedule(i)
+		}
+	}
+
+	// Aborted incarnations burned worker time; spread the waste evenly.
+	makespan += wastedGas / uint64(workers)
+	return makespan
+}
+
+// intHeap is a min-heap of transaction indices.
+type intHeap []int
+
+func (h intHeap) Len() int            { return len(h) }
+func (h intHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h intHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *intHeap) Push(x interface{}) { *h = append(*h, x.(int)) }
+func (h *intHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// simEvent is one timed wake-up of a transaction.
+type simEvent struct {
+	time uint64
+	tx   int
+}
+
+// eventHeap orders sim events by (time, tx).
+type eventHeap []simEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].tx < h[j].tx
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(simEvent)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

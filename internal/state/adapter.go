@@ -1,0 +1,75 @@
+package state
+
+import (
+	"dmvcc/internal/types"
+	"dmvcc/internal/u256"
+)
+
+// VMAdapter exposes an Overlay through the error-returning accessor
+// interface the EVM consumes (evm.State). The overlay never fails, so all
+// errors are nil; scheduler-backed accessors are where failures originate.
+type VMAdapter struct {
+	overlay *Overlay
+}
+
+// NewVMAdapter wraps an overlay for use as an evm.State.
+func NewVMAdapter(o *Overlay) *VMAdapter { return &VMAdapter{overlay: o} }
+
+// Overlay returns the wrapped overlay.
+func (a *VMAdapter) Overlay() *Overlay { return a.overlay }
+
+// GetBalance implements evm.State.
+func (a *VMAdapter) GetBalance(addr types.Address) (u256.Int, error) {
+	return a.overlay.Balance(addr), nil
+}
+
+// SetBalance implements evm.State.
+func (a *VMAdapter) SetBalance(addr types.Address, v u256.Int) error {
+	a.overlay.SetBalance(addr, v)
+	return nil
+}
+
+// GetNonce implements evm.State.
+func (a *VMAdapter) GetNonce(addr types.Address) (uint64, error) {
+	return a.overlay.Nonce(addr), nil
+}
+
+// SetNonce implements evm.State.
+func (a *VMAdapter) SetNonce(addr types.Address, v uint64) error {
+	a.overlay.SetNonce(addr, v)
+	return nil
+}
+
+// GetCode implements evm.State.
+func (a *VMAdapter) GetCode(addr types.Address) ([]byte, error) {
+	return a.overlay.Code(addr), nil
+}
+
+// SetCode implements evm.State.
+func (a *VMAdapter) SetCode(addr types.Address, code []byte) error {
+	a.overlay.SetCode(addr, code)
+	return nil
+}
+
+// GetState implements evm.State.
+func (a *VMAdapter) GetState(addr types.Address, key types.Hash) (u256.Int, error) {
+	return a.overlay.Storage(addr, key), nil
+}
+
+// SetState implements evm.State.
+func (a *VMAdapter) SetState(addr types.Address, key types.Hash, v u256.Int) error {
+	a.overlay.SetStorage(addr, key, v)
+	return nil
+}
+
+// AddBalance implements the evm.BalanceAdder extension.
+func (a *VMAdapter) AddBalance(addr types.Address, delta u256.Int) error {
+	a.overlay.AddBalance(addr, &delta)
+	return nil
+}
+
+// Snapshot implements evm.State.
+func (a *VMAdapter) Snapshot() int { return a.overlay.Snapshot() }
+
+// RevertToSnapshot implements evm.State.
+func (a *VMAdapter) RevertToSnapshot(rev int) { a.overlay.RevertToSnapshot(rev) }

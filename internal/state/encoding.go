@@ -1,0 +1,47 @@
+package state
+
+import (
+	"dmvcc/internal/rlp"
+	"dmvcc/internal/trie"
+	"dmvcc/internal/u256"
+)
+
+// encodeAccount serializes an account record for the account trie as
+// RLP [nonce, balance, storageRoot, codeHash], mirroring Ethereum's layout.
+func encodeAccount(acc Account) []byte {
+	sroot := acc.StorageRoot
+	if sroot.IsZero() {
+		sroot = trie.EmptyRoot
+	}
+	ch := acc.CodeHash
+	if ch.IsZero() {
+		ch = EmptyCodeHash
+	}
+	return rlp.EncodeList(
+		rlp.Uint(acc.Nonce),
+		rlp.String(acc.Balance.Bytes()),
+		rlp.String(sroot[:]),
+		rlp.String(ch[:]),
+	)
+}
+
+// decodeAccount parses the trie encoding produced by encodeAccount.
+func decodeAccount(enc []byte) (Account, error) {
+	it, err := rlp.Decode(enc)
+	if err != nil {
+		return Account{}, err
+	}
+	var acc Account
+	if len(it.List) != 4 {
+		return acc, rlp.ErrNonCanon
+	}
+	nonce, err := it.List[0].AsUint()
+	if err != nil {
+		return acc, err
+	}
+	acc.Nonce = nonce
+	acc.Balance = u256.FromBytes(it.List[1].Str)
+	copy(acc.StorageRoot[:], it.List[2].Str)
+	copy(acc.CodeHash[:], it.List[3].Str)
+	return acc, nil
+}

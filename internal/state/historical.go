@@ -1,0 +1,142 @@
+package state
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"dmvcc/internal/trie"
+	"dmvcc/internal/types"
+	"dmvcc/internal/u256"
+)
+
+// ErrUnknownRoot reports a request for a state root the DB never committed.
+var ErrUnknownRoot = errors.New("state: unknown state root")
+
+// Historical is a read-only view of the blockchain state at a past root,
+// resolved through the committed tries (the paper's snapshots S^l: "since
+// all transactions are stored persistently on the blockchain, we may easily
+// recover the states of blockchain at a certain block height"). Reads are
+// slower than the flat committed view — every access walks the trie — and
+// results are memoized. Historical is safe for concurrent use.
+type Historical struct {
+	db   *DB
+	root types.Hash
+
+	mu       sync.Mutex
+	accounts map[types.Address]*Account // nil entry = proven absent
+	storage  map[storageKey]u256.Int
+}
+
+var _ Reader = (*Historical)(nil)
+
+// StateAt returns a reader for the state as of the given committed root.
+func (db *DB) StateAt(root types.Hash) (*Historical, error) {
+	db.mu.RLock()
+	known := false
+	for _, r := range db.roots {
+		if r == root {
+			known = true
+			break
+		}
+	}
+	db.mu.RUnlock()
+	if !known {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownRoot, root)
+	}
+	return &Historical{
+		db:       db,
+		root:     root,
+		accounts: make(map[types.Address]*Account),
+		storage:  make(map[storageKey]u256.Int),
+	}, nil
+}
+
+// account loads (and memoizes) the account record at the historical root.
+func (h *Historical) account(addr types.Address) *Account {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if acc, ok := h.accounts[addr]; ok {
+		return acc
+	}
+	acc := h.loadAccount(addr)
+	h.accounts[addr] = acc
+	return acc
+}
+
+func (h *Historical) loadAccount(addr types.Address) *Account {
+	t, err := trie.New(h.root, h.db.store)
+	if err != nil {
+		return nil
+	}
+	key := types.Keccak(addr[:])
+	enc, err := t.Get(key[:])
+	if err != nil {
+		return nil // absent (or unresolvable) account
+	}
+	acc, err := decodeAccount(enc)
+	if err != nil {
+		return nil
+	}
+	return &acc
+}
+
+// Balance implements Reader.
+func (h *Historical) Balance(addr types.Address) u256.Int {
+	if acc := h.account(addr); acc != nil {
+		return acc.Balance
+	}
+	return u256.Int{}
+}
+
+// Nonce implements Reader.
+func (h *Historical) Nonce(addr types.Address) uint64 {
+	if acc := h.account(addr); acc != nil {
+		return acc.Nonce
+	}
+	return 0
+}
+
+// Code implements Reader.
+func (h *Historical) Code(addr types.Address) []byte {
+	acc := h.account(addr)
+	if acc == nil || acc.CodeHash.IsZero() || acc.CodeHash == EmptyCodeHash {
+		return nil
+	}
+	h.db.mu.RLock()
+	defer h.db.mu.RUnlock()
+	return h.db.codes[acc.CodeHash]
+}
+
+// Storage implements Reader.
+func (h *Historical) Storage(addr types.Address, key types.Hash) u256.Int {
+	sk := storageKey{addr, key}
+	h.mu.Lock()
+	if v, ok := h.storage[sk]; ok {
+		h.mu.Unlock()
+		return v
+	}
+	h.mu.Unlock()
+
+	var val u256.Int
+	if acc := h.account(addr); acc != nil && !acc.StorageRoot.IsZero() && acc.StorageRoot != trie.EmptyRoot {
+		if st, err := trie.New(acc.StorageRoot, h.db.store); err == nil {
+			hk := types.Keccak(key[:])
+			if enc, err := st.Get(hk[:]); err == nil {
+				val = u256.FromBytes(enc)
+			}
+		}
+	}
+	h.mu.Lock()
+	h.storage[sk] = val
+	h.mu.Unlock()
+	return val
+}
+
+// Exists implements Reader.
+func (h *Historical) Exists(addr types.Address) bool {
+	return h.account(addr) != nil
+}
+
+// Root returns the historical root this view resolves against.
+func (h *Historical) Root() types.Hash { return h.root }

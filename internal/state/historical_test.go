@@ -1,0 +1,132 @@
+package state
+
+import (
+	"errors"
+	"testing"
+
+	"dmvcc/internal/types"
+	"dmvcc/internal/u256"
+)
+
+// buildHistory commits three blocks mutating the same accounts and returns
+// the DB plus the roots after each block.
+func buildHistory(t *testing.T) (*DB, []types.Hash) {
+	t.Helper()
+	db := NewDB()
+	var roots []types.Hash
+	for i := uint64(1); i <= 3; i++ {
+		ws := NewWriteSet()
+		ws.Balances[addrA] = u256.NewUint64(100 * i)
+		ws.Nonces[addrA] = i
+		ws.SetStorage(addrB, slot1, u256.NewUint64(7*i))
+		if i == 2 {
+			ws.Codes[addrB] = []byte{0xc0, 0xde}
+		}
+		if i == 3 {
+			ws.SetStorage(addrB, slot1, u256.Zero) // delete in block 3
+		}
+		root, err := db.Commit(ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		roots = append(roots, root)
+	}
+	return db, roots
+}
+
+func TestStateAtReadsPastValues(t *testing.T) {
+	db, roots := buildHistory(t)
+	for i, root := range roots {
+		h, err := db.StateAt(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantBal := uint64(100 * (i + 1))
+		if got := h.Balance(addrA); got.Uint64() != wantBal {
+			t.Errorf("block %d balance = %d, want %d", i+1, got.Uint64(), wantBal)
+		}
+		if got := h.Nonce(addrA); got != uint64(i+1) {
+			t.Errorf("block %d nonce = %d", i+1, got)
+		}
+		wantSlot := uint64(7 * (i + 1))
+		if i == 2 {
+			wantSlot = 0 // deleted in block 3
+		}
+		if got := h.Storage(addrB, slot1); got.Uint64() != wantSlot {
+			t.Errorf("block %d slot = %d, want %d", i+1, got.Uint64(), wantSlot)
+		}
+	}
+}
+
+func TestStateAtCode(t *testing.T) {
+	db, roots := buildHistory(t)
+	h1, err := db.StateAt(roots[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1.Code(addrB) != nil {
+		t.Error("code should not exist at block 1")
+	}
+	h2, err := db.StateAt(roots[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h2.Code(addrB); len(got) != 2 || got[0] != 0xc0 {
+		t.Errorf("code at block 2 = %x", got)
+	}
+}
+
+func TestStateAtUnknownRoot(t *testing.T) {
+	db, _ := buildHistory(t)
+	var bogus types.Hash
+	bogus[0] = 0xba
+	if _, err := db.StateAt(bogus); !errors.Is(err, ErrUnknownRoot) {
+		t.Errorf("err = %v, want ErrUnknownRoot", err)
+	}
+}
+
+func TestStateAtAbsentAccount(t *testing.T) {
+	db, roots := buildHistory(t)
+	h, err := db.StateAt(roots[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ghost := types.HexToAddress("0x9999999999999999999999999999999999999999")
+	if h.Exists(ghost) {
+		t.Error("ghost account exists")
+	}
+	if got := h.Balance(ghost); !got.IsZero() {
+		t.Errorf("ghost balance = %d", got.Uint64())
+	}
+	if got := h.Nonce(ghost); got != 0 {
+		t.Errorf("ghost nonce = %d", got)
+	}
+}
+
+func TestStateAtMatchesLatestFlatView(t *testing.T) {
+	db, roots := buildHistory(t)
+	h, err := db.StateAt(roots[len(roots)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := h.Balance(addrA), db.Balance(addrA); !got.Eq(&want) {
+		t.Errorf("historical latest %s != flat %s", got.Hex(), want.Hex())
+	}
+	if got, want := h.Storage(addrB, slot1), db.Storage(addrB, slot1); !got.Eq(&want) {
+		t.Errorf("historical storage %s != flat %s", got.Hex(), want.Hex())
+	}
+	if h.Root() != db.Root() {
+		t.Error("root mismatch")
+	}
+}
+
+func TestStateAtGenesisEmpty(t *testing.T) {
+	db := NewDB()
+	h, err := db.StateAt(db.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Exists(addrA) {
+		t.Error("account exists at empty genesis")
+	}
+}

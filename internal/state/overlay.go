@@ -1,0 +1,209 @@
+package state
+
+import (
+	"errors"
+
+	"dmvcc/internal/types"
+	"dmvcc/internal/u256"
+)
+
+// ErrInsufficientBalance reports a debit exceeding the account balance.
+var ErrInsufficientBalance = errors.New("state: insufficient balance")
+
+type storageKey struct {
+	addr types.Address
+	key  types.Hash
+}
+
+// Overlay is a mutable state view layered over a Reader base. All writes
+// stay in the overlay until extracted with Changes. Snapshot/RevertToSnapshot
+// give the nested rollback needed for transaction and call-frame reverts.
+//
+// An Overlay is not safe for concurrent use; each executor thread owns one.
+type Overlay struct {
+	base     Reader
+	balances map[types.Address]u256.Int
+	nonces   map[types.Address]uint64
+	codes    map[types.Address][]byte
+	storage  map[storageKey]u256.Int
+	journal  []func()
+}
+
+var _ Reader = (*Overlay)(nil)
+
+// NewOverlay returns an empty overlay over base.
+func NewOverlay(base Reader) *Overlay {
+	return &Overlay{
+		base:     base,
+		balances: make(map[types.Address]u256.Int),
+		nonces:   make(map[types.Address]uint64),
+		codes:    make(map[types.Address][]byte),
+		storage:  make(map[storageKey]u256.Int),
+	}
+}
+
+// Balance implements Reader.
+func (o *Overlay) Balance(addr types.Address) u256.Int {
+	if v, ok := o.balances[addr]; ok {
+		return v
+	}
+	return o.base.Balance(addr)
+}
+
+// SetBalance overwrites the account balance.
+func (o *Overlay) SetBalance(addr types.Address, v u256.Int) {
+	prev, had := o.balances[addr]
+	o.journal = append(o.journal, func() {
+		if had {
+			o.balances[addr] = prev
+		} else {
+			delete(o.balances, addr)
+		}
+	})
+	o.balances[addr] = v
+}
+
+// AddBalance credits the account.
+func (o *Overlay) AddBalance(addr types.Address, v *u256.Int) {
+	cur := o.Balance(addr)
+	var next u256.Int
+	next.Add(&cur, v)
+	o.SetBalance(addr, next)
+}
+
+// SubBalance debits the account, failing if funds are insufficient.
+func (o *Overlay) SubBalance(addr types.Address, v *u256.Int) error {
+	cur := o.Balance(addr)
+	var next u256.Int
+	if next.SubUnderflow(&cur, v) {
+		return ErrInsufficientBalance
+	}
+	o.SetBalance(addr, next)
+	return nil
+}
+
+// Nonce implements Reader.
+func (o *Overlay) Nonce(addr types.Address) uint64 {
+	if v, ok := o.nonces[addr]; ok {
+		return v
+	}
+	return o.base.Nonce(addr)
+}
+
+// SetNonce overwrites the account nonce.
+func (o *Overlay) SetNonce(addr types.Address, v uint64) {
+	prev, had := o.nonces[addr]
+	o.journal = append(o.journal, func() {
+		if had {
+			o.nonces[addr] = prev
+		} else {
+			delete(o.nonces, addr)
+		}
+	})
+	o.nonces[addr] = v
+}
+
+// Code implements Reader.
+func (o *Overlay) Code(addr types.Address) []byte {
+	if c, ok := o.codes[addr]; ok {
+		return c
+	}
+	return o.base.Code(addr)
+}
+
+// SetCode installs contract code at addr.
+func (o *Overlay) SetCode(addr types.Address, code []byte) {
+	prev, had := o.codes[addr]
+	o.journal = append(o.journal, func() {
+		if had {
+			o.codes[addr] = prev
+		} else {
+			delete(o.codes, addr)
+		}
+	})
+	o.codes[addr] = code
+}
+
+// Storage implements Reader.
+func (o *Overlay) Storage(addr types.Address, key types.Hash) u256.Int {
+	if v, ok := o.storage[storageKey{addr, key}]; ok {
+		return v
+	}
+	return o.base.Storage(addr, key)
+}
+
+// SetStorage writes one storage slot.
+func (o *Overlay) SetStorage(addr types.Address, key types.Hash, v u256.Int) {
+	sk := storageKey{addr, key}
+	prev, had := o.storage[sk]
+	o.journal = append(o.journal, func() {
+		if had {
+			o.storage[sk] = prev
+		} else {
+			delete(o.storage, sk)
+		}
+	})
+	o.storage[sk] = v
+}
+
+// Exists implements Reader.
+func (o *Overlay) Exists(addr types.Address) bool {
+	if _, ok := o.balances[addr]; ok {
+		return true
+	}
+	if _, ok := o.nonces[addr]; ok {
+		return true
+	}
+	if _, ok := o.codes[addr]; ok {
+		return true
+	}
+	return o.base.Exists(addr)
+}
+
+// Snapshot returns a revision token for RevertToSnapshot.
+func (o *Overlay) Snapshot() int { return len(o.journal) }
+
+// RevertToSnapshot undoes every write made after the token was taken.
+func (o *Overlay) RevertToSnapshot(rev int) {
+	for i := len(o.journal) - 1; i >= rev; i-- {
+		o.journal[i]()
+	}
+	o.journal = o.journal[:rev]
+}
+
+// Changes extracts the net write set of the overlay.
+func (o *Overlay) Changes() *WriteSet {
+	ws := NewWriteSet()
+	for a, v := range o.balances {
+		ws.Balances[a] = v
+	}
+	for a, v := range o.nonces {
+		ws.Nonces[a] = v
+	}
+	for a, c := range o.codes {
+		ws.Codes[a] = c
+	}
+	for sk, v := range o.storage {
+		ws.SetStorage(sk.addr, sk.key, v)
+	}
+	return ws
+}
+
+// Apply folds a write set into the overlay (journaled like individual
+// writes). Used by executors that merge per-transaction effects.
+func (o *Overlay) Apply(ws *WriteSet) {
+	for a, v := range ws.Balances {
+		o.SetBalance(a, v)
+	}
+	for a, v := range ws.Nonces {
+		o.SetNonce(a, v)
+	}
+	for a, c := range ws.Codes {
+		o.SetCode(a, c)
+	}
+	for a, m := range ws.Storage {
+		for k, v := range m {
+			o.SetStorage(a, k, v)
+		}
+	}
+}

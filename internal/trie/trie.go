@@ -1,0 +1,546 @@
+// Package trie implements a hexary Merkle Patricia Trie compatible in
+// structure with Ethereum's: leaf/extension nodes carry hex-prefix-encoded
+// nibble paths, branch nodes have sixteen children plus a value slot, and
+// node references shorter than 32 bytes are embedded in their parent while
+// longer ones are referenced by keccak-256 hash.
+//
+// The trie is the oracle for the paper's RQ1: two executions are equivalent
+// iff they commit to identical roots.
+package trie
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"dmvcc/internal/keccak"
+	"dmvcc/internal/rlp"
+	"dmvcc/internal/types"
+)
+
+// EmptyRoot is the root hash of an empty trie: keccak(rlp("")).
+var EmptyRoot = types.Keccak([]byte{0x80})
+
+// ErrNotFound reports a missing key on Get.
+var ErrNotFound = errors.New("trie: key not found")
+
+// node is one of: *leafNode, *extNode, *branchNode, hashNode, or nil
+// (empty subtree).
+type node interface{}
+
+type leafNode struct {
+	key []byte // remaining nibble path
+	val []byte
+}
+
+type extNode struct {
+	key   []byte // shared nibble path
+	child node
+}
+
+type branchNode struct {
+	children [16]node
+	val      []byte // value terminating exactly at this branch
+}
+
+// hashNode references a collapsed node stored in the Store by hash.
+type hashNode types.Hash
+
+// Store persists encoded trie nodes by hash. Implementations must be safe
+// for the access pattern of their caller; MemStore is not concurrency-safe.
+type Store interface {
+	// GetNode returns the encoded node for h, or an error if missing.
+	GetNode(h types.Hash) ([]byte, error)
+	// PutNode stores the encoded node under h.
+	PutNode(h types.Hash, enc []byte)
+}
+
+// MemStore is an in-memory node store.
+type MemStore struct {
+	nodes map[types.Hash][]byte
+}
+
+var _ Store = (*MemStore)(nil)
+
+// NewMemStore returns an empty in-memory node store.
+func NewMemStore() *MemStore {
+	return &MemStore{nodes: make(map[types.Hash][]byte)}
+}
+
+// GetNode implements Store.
+func (s *MemStore) GetNode(h types.Hash) ([]byte, error) {
+	enc, ok := s.nodes[h]
+	if !ok {
+		return nil, fmt.Errorf("trie: missing node %s", h)
+	}
+	return enc, nil
+}
+
+// PutNode implements Store.
+func (s *MemStore) PutNode(h types.Hash, enc []byte) { s.nodes[h] = enc }
+
+// Len returns the number of stored nodes.
+func (s *MemStore) Len() int { return len(s.nodes) }
+
+// Trie is a mutable Merkle Patricia Trie over a node store.
+type Trie struct {
+	store Store
+	root  node
+}
+
+// New returns a trie rooted at root. Use EmptyRoot (or the zero hash) for an
+// empty trie.
+func New(root types.Hash, store Store) (*Trie, error) {
+	t := &Trie{store: store}
+	if root == EmptyRoot || root.IsZero() {
+		return t, nil
+	}
+	t.root = hashNode(root)
+	return t, nil
+}
+
+// keyNibbles expands a byte key into its nibble path.
+func keyNibbles(key []byte) []byte {
+	nib := make([]byte, len(key)*2)
+	for i, b := range key {
+		nib[i*2] = b >> 4
+		nib[i*2+1] = b & 0x0f
+	}
+	return nib
+}
+
+// hexPrefix encodes a nibble path with the leaf/extension flag per the
+// Ethereum hex-prefix specification.
+func hexPrefix(nibbles []byte, leaf bool) []byte {
+	flag := byte(0)
+	if leaf {
+		flag = 2
+	}
+	if len(nibbles)%2 == 1 {
+		out := make([]byte, (len(nibbles)+1)/2)
+		out[0] = (flag+1)<<4 | nibbles[0]
+		for i := 1; i < len(nibbles); i += 2 {
+			out[(i+1)/2] = nibbles[i]<<4 | nibbles[i+1]
+		}
+		return out
+	}
+	out := make([]byte, len(nibbles)/2+1)
+	out[0] = flag << 4
+	for i := 0; i < len(nibbles); i += 2 {
+		out[i/2+1] = nibbles[i]<<4 | nibbles[i+1]
+	}
+	return out
+}
+
+// parseHexPrefix decodes a hex-prefix path into nibbles and the leaf flag.
+func parseHexPrefix(b []byte) (nibbles []byte, leaf bool, err error) {
+	if len(b) == 0 {
+		return nil, false, errors.New("trie: empty hex-prefix path")
+	}
+	flag := b[0] >> 4
+	leaf = flag >= 2
+	odd := flag&1 == 1
+	if odd {
+		nibbles = append(nibbles, b[0]&0x0f)
+	}
+	for _, c := range b[1:] {
+		nibbles = append(nibbles, c>>4, c&0x0f)
+	}
+	return nibbles, leaf, nil
+}
+
+// Get returns the value stored under key, or ErrNotFound.
+func (t *Trie) Get(key []byte) ([]byte, error) {
+	return t.get(t.root, keyNibbles(key))
+}
+
+func (t *Trie) get(n node, path []byte) ([]byte, error) {
+	switch n := n.(type) {
+	case nil:
+		return nil, ErrNotFound
+	case *leafNode:
+		if bytes.Equal(n.key, path) {
+			return n.val, nil
+		}
+		return nil, ErrNotFound
+	case *extNode:
+		if len(path) < len(n.key) || !bytes.Equal(n.key, path[:len(n.key)]) {
+			return nil, ErrNotFound
+		}
+		return t.get(n.child, path[len(n.key):])
+	case *branchNode:
+		if len(path) == 0 {
+			if n.val == nil {
+				return nil, ErrNotFound
+			}
+			return n.val, nil
+		}
+		return t.get(n.children[path[0]], path[1:])
+	case hashNode:
+		resolved, err := t.resolve(n)
+		if err != nil {
+			return nil, err
+		}
+		return t.get(resolved, path)
+	default:
+		return nil, fmt.Errorf("trie: unknown node type %T", n)
+	}
+}
+
+// Put inserts or updates key -> value. Empty values delete the key.
+func (t *Trie) Put(key, value []byte) error {
+	if len(value) == 0 {
+		return t.Delete(key)
+	}
+	newRoot, err := t.insert(t.root, keyNibbles(key), value)
+	if err != nil {
+		return err
+	}
+	t.root = newRoot
+	return nil
+}
+
+func commonPrefixLen(a, b []byte) int {
+	n := 0
+	for n < len(a) && n < len(b) && a[n] == b[n] {
+		n++
+	}
+	return n
+}
+
+func (t *Trie) insert(n node, path []byte, value []byte) (node, error) {
+	switch n := n.(type) {
+	case nil:
+		return &leafNode{key: path, val: value}, nil
+	case *leafNode:
+		cp := commonPrefixLen(n.key, path)
+		if cp == len(n.key) && cp == len(path) {
+			return &leafNode{key: path, val: value}, nil
+		}
+		branch := &branchNode{}
+		if err := t.branchSet(branch, n.key[cp:], n.val); err != nil {
+			return nil, err
+		}
+		if err := t.branchSet(branch, path[cp:], value); err != nil {
+			return nil, err
+		}
+		if cp > 0 {
+			return &extNode{key: path[:cp], child: branch}, nil
+		}
+		return branch, nil
+	case *extNode:
+		cp := commonPrefixLen(n.key, path)
+		if cp == len(n.key) {
+			child, err := t.insert(n.child, path[cp:], value)
+			if err != nil {
+				return nil, err
+			}
+			return &extNode{key: n.key, child: child}, nil
+		}
+		// Split the extension at cp.
+		branch := &branchNode{}
+		// Existing child goes under nibble n.key[cp].
+		rest := n.key[cp+1:]
+		if len(rest) > 0 {
+			branch.children[n.key[cp]] = &extNode{key: rest, child: n.child}
+		} else {
+			branch.children[n.key[cp]] = n.child
+		}
+		if err := t.branchSet(branch, path[cp:], value); err != nil {
+			return nil, err
+		}
+		if cp > 0 {
+			return &extNode{key: path[:cp], child: branch}, nil
+		}
+		return branch, nil
+	case *branchNode:
+		nb := *n
+		if len(path) == 0 {
+			nb.val = value
+			return &nb, nil
+		}
+		child, err := t.insert(nb.children[path[0]], path[1:], value)
+		if err != nil {
+			return nil, err
+		}
+		nb.children[path[0]] = child
+		return &nb, nil
+	case hashNode:
+		resolved, err := t.resolve(n)
+		if err != nil {
+			return nil, err
+		}
+		return t.insert(resolved, path, value)
+	default:
+		return nil, fmt.Errorf("trie: unknown node type %T", n)
+	}
+}
+
+// branchSet installs a (possibly empty) remaining path with a value under a
+// fresh branch node.
+func (t *Trie) branchSet(b *branchNode, path []byte, value []byte) error {
+	if len(path) == 0 {
+		b.val = value
+		return nil
+	}
+	child, err := t.insert(b.children[path[0]], path[1:], value)
+	if err != nil {
+		return err
+	}
+	b.children[path[0]] = child
+	return nil
+}
+
+// Delete removes key from the trie. Deleting a missing key is a no-op.
+func (t *Trie) Delete(key []byte) error {
+	newRoot, _, err := t.del(t.root, keyNibbles(key))
+	if err != nil {
+		return err
+	}
+	t.root = newRoot
+	return nil
+}
+
+func (t *Trie) del(n node, path []byte) (node, bool, error) {
+	switch n := n.(type) {
+	case nil:
+		return nil, false, nil
+	case *leafNode:
+		if bytes.Equal(n.key, path) {
+			return nil, true, nil
+		}
+		return n, false, nil
+	case *extNode:
+		if len(path) < len(n.key) || !bytes.Equal(n.key, path[:len(n.key)]) {
+			return n, false, nil
+		}
+		child, changed, err := t.del(n.child, path[len(n.key):])
+		if err != nil || !changed {
+			return n, changed, err
+		}
+		return t.collapseExt(n.key, child)
+	case *branchNode:
+		nb := *n
+		if len(path) == 0 {
+			if nb.val == nil {
+				return n, false, nil
+			}
+			nb.val = nil
+		} else {
+			child, changed, err := t.del(nb.children[path[0]], path[1:])
+			if err != nil || !changed {
+				return n, changed, err
+			}
+			nb.children[path[0]] = child
+		}
+		return t.collapseBranch(&nb)
+	case hashNode:
+		resolved, err := t.resolve(n)
+		if err != nil {
+			return nil, false, err
+		}
+		return t.del(resolved, path)
+	default:
+		return nil, false, fmt.Errorf("trie: unknown node type %T", n)
+	}
+}
+
+// collapseExt merges an extension with its possibly-degenerate child after
+// a deletion.
+func (t *Trie) collapseExt(prefix []byte, child node) (node, bool, error) {
+	if h, ok := child.(hashNode); ok {
+		resolved, err := t.resolve(h)
+		if err != nil {
+			return nil, false, err
+		}
+		child = resolved
+	}
+	switch c := child.(type) {
+	case nil:
+		return nil, true, nil
+	case *leafNode:
+		return &leafNode{key: concatNibbles(prefix, c.key), val: c.val}, true, nil
+	case *extNode:
+		return &extNode{key: concatNibbles(prefix, c.key), child: c.child}, true, nil
+	default:
+		return &extNode{key: prefix, child: child}, true, nil
+	}
+}
+
+// collapseBranch simplifies a branch that may have dropped to one child or
+// value-only after a deletion.
+func (t *Trie) collapseBranch(b *branchNode) (node, bool, error) {
+	liveIdx := -1
+	liveCount := 0
+	for i, c := range b.children {
+		if c != nil {
+			liveIdx = i
+			liveCount++
+		}
+	}
+	switch {
+	case liveCount == 0 && b.val == nil:
+		return nil, true, nil
+	case liveCount == 0:
+		return &leafNode{key: nil, val: b.val}, true, nil
+	case liveCount == 1 && b.val == nil:
+		return t.collapseExt([]byte{byte(liveIdx)}, b.children[liveIdx])
+	default:
+		return b, true, nil
+	}
+}
+
+func concatNibbles(a, b []byte) []byte {
+	out := make([]byte, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+// resolve loads and decodes a hash-referenced node from the store.
+func (t *Trie) resolve(h hashNode) (node, error) {
+	enc, err := t.store.GetNode(types.Hash(h))
+	if err != nil {
+		return nil, err
+	}
+	it, err := rlp.Decode(enc)
+	if err != nil {
+		return nil, fmt.Errorf("decode node %s: %w", types.Hash(h), err)
+	}
+	return decodeNode(it)
+}
+
+func decodeNode(it rlp.Item) (node, error) {
+	if !it.IsList {
+		return nil, errors.New("trie: node must be an RLP list")
+	}
+	switch len(it.List) {
+	case 2:
+		path, leaf, err := parseHexPrefix(it.List[0].Str)
+		if err != nil {
+			return nil, err
+		}
+		if leaf {
+			return &leafNode{key: path, val: it.List[1].Str}, nil
+		}
+		child, err := decodeRef(it.List[1])
+		if err != nil {
+			return nil, err
+		}
+		return &extNode{key: path, child: child}, nil
+	case 17:
+		b := &branchNode{}
+		for i := 0; i < 16; i++ {
+			child, err := decodeRef(it.List[i])
+			if err != nil {
+				return nil, err
+			}
+			b.children[i] = child
+		}
+		if len(it.List[16].Str) > 0 {
+			b.val = it.List[16].Str
+		}
+		return b, nil
+	default:
+		return nil, fmt.Errorf("trie: node with %d items", len(it.List))
+	}
+}
+
+func decodeRef(it rlp.Item) (node, error) {
+	if it.IsList {
+		// Embedded (short) node.
+		return decodeNode(it)
+	}
+	switch len(it.Str) {
+	case 0:
+		return nil, nil
+	case 32:
+		return hashNode(types.BytesToHash(it.Str)), nil
+	default:
+		return nil, fmt.Errorf("trie: bad node reference length %d", len(it.Str))
+	}
+}
+
+// encodeNode returns the RLP structure of n, committing collapsed children
+// to the store when persist is true.
+func (t *Trie) encodeNode(n node, persist bool) (rlp.Item, error) {
+	switch n := n.(type) {
+	case *leafNode:
+		return rlp.List(rlp.String(hexPrefix(n.key, true)), rlp.String(n.val)), nil
+	case *extNode:
+		childRef, err := t.nodeRef(n.child, persist)
+		if err != nil {
+			return rlp.Item{}, err
+		}
+		return rlp.List(rlp.String(hexPrefix(n.key, false)), childRef), nil
+	case *branchNode:
+		items := make([]rlp.Item, 17)
+		for i, c := range n.children {
+			if c == nil {
+				items[i] = rlp.String(nil)
+				continue
+			}
+			ref, err := t.nodeRef(c, persist)
+			if err != nil {
+				return rlp.Item{}, err
+			}
+			items[i] = ref
+		}
+		items[16] = rlp.String(n.val)
+		return rlp.List(items...), nil
+	case hashNode:
+		return rlp.String(n[:]), nil
+	default:
+		return rlp.Item{}, fmt.Errorf("trie: cannot encode node type %T", n)
+	}
+}
+
+// nodeRef returns the reference form of n for inclusion in a parent:
+// the node itself if its encoding is shorter than 32 bytes, else its hash.
+func (t *Trie) nodeRef(n node, persist bool) (rlp.Item, error) {
+	if h, ok := n.(hashNode); ok {
+		return rlp.String(h[:]), nil
+	}
+	it, err := t.encodeNode(n, persist)
+	if err != nil {
+		return rlp.Item{}, err
+	}
+	enc := rlp.Encode(it)
+	if len(enc) < 32 {
+		return it, nil
+	}
+	h := keccak.Sum256(enc)
+	if persist {
+		t.store.PutNode(h, enc)
+	}
+	return rlp.String(h[:]), nil
+}
+
+// Hash returns the current root hash without persisting nodes.
+func (t *Trie) Hash() (types.Hash, error) {
+	return t.rootHash(false)
+}
+
+// Commit persists all dirty nodes to the store and returns the root hash.
+// After Commit the trie keeps working over the in-memory nodes.
+func (t *Trie) Commit() (types.Hash, error) {
+	return t.rootHash(true)
+}
+
+func (t *Trie) rootHash(persist bool) (types.Hash, error) {
+	if t.root == nil {
+		return EmptyRoot, nil
+	}
+	if h, ok := t.root.(hashNode); ok {
+		return types.Hash(h), nil
+	}
+	it, err := t.encodeNode(t.root, persist)
+	if err != nil {
+		return types.Hash{}, err
+	}
+	enc := rlp.Encode(it)
+	h := keccak.Sum256(enc)
+	if persist {
+		t.store.PutNode(h, enc)
+	}
+	return h, nil
+}

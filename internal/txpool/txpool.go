@@ -1,0 +1,188 @@
+// Package txpool implements the validator-side transaction pool of the
+// paper's workflow (Fig. 2): transactions arriving from clients or peers
+// are analyzed immediately — their C-SAGs constructed against the latest
+// snapshot and cached — so that scheduling information is ready *offline*,
+// before the block executes. The packer periodically selects transactions
+// to form a block; when a mined block arrives containing transactions the
+// pool has never seen, their SAGs are missing and the scheduler falls back
+// to fully dynamic handling (the paper's missing-SAG path).
+package txpool
+
+import (
+	"sort"
+	"sync"
+
+	"dmvcc/internal/evm"
+	"dmvcc/internal/sag"
+	"dmvcc/internal/state"
+	"dmvcc/internal/types"
+)
+
+// entry is one pooled transaction with its cached analysis.
+type entry struct {
+	tx   *types.Transaction
+	csag *sag.CSAG
+	// analyzedAt is the snapshot height the C-SAG was computed against;
+	// stale analyses are refreshed lazily when packed.
+	analyzedAt types.Hash
+	seq        uint64 // arrival order
+}
+
+// Pool is a concurrency-safe transaction pool with offline SAG analysis.
+type Pool struct {
+	mu      sync.Mutex
+	an      *sag.Analyzer
+	snap    state.Reader
+	root    func() types.Hash
+	block   func() evm.BlockContext
+	entries map[types.Hash]*entry
+	arrival uint64
+
+	// Stats.
+	analyzed  uint64
+	refreshed uint64
+}
+
+// New returns a pool that analyzes against snap (typically the committed
+// StateDB). root must return the current snapshot identity (state root) and
+// blockCtx the environment the next block will carry; both are consulted at
+// analysis time.
+func New(an *sag.Analyzer, snap state.Reader, root func() types.Hash, blockCtx func() evm.BlockContext) *Pool {
+	return &Pool{
+		an:      an,
+		snap:    snap,
+		root:    root,
+		block:   blockCtx,
+		entries: make(map[types.Hash]*entry),
+	}
+}
+
+// Add inserts a transaction and analyzes it against the latest snapshot
+// (the paper's "when receiving a transaction ... each validator first
+// analyzes the code of the invoked contract"). Analysis failure is not
+// fatal: the transaction stays pooled without a SAG.
+func (p *Pool) Add(tx *types.Transaction) error {
+	h := tx.Hash()
+	p.mu.Lock()
+	if _, dup := p.entries[h]; dup {
+		p.mu.Unlock()
+		return nil
+	}
+	e := &entry{tx: tx, seq: p.arrival}
+	p.arrival++
+	p.entries[h] = e
+	p.mu.Unlock()
+
+	// Analyze outside the lock: the pre-run can be comparatively slow.
+	csag, err := p.an.Analyze(tx, 0, p.snap, p.block())
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if cur, ok := p.entries[h]; ok && err == nil {
+		cur.csag = csag
+		cur.analyzedAt = p.root()
+		p.analyzed++
+	}
+	return err
+}
+
+// Len returns the number of pooled transactions.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.entries)
+}
+
+// Pack selects up to max transactions in arrival order and removes them
+// from the pool, returning the transactions and their cached C-SAGs
+// (re-indexed to block positions). C-SAGs computed against an outdated
+// snapshot are refreshed, mirroring the paper's lazy refinement.
+func (p *Pool) Pack(max int) ([]*types.Transaction, []*sag.CSAG) {
+	p.mu.Lock()
+	selected := make([]*entry, 0, max)
+	for _, e := range p.entries {
+		selected = append(selected, e)
+	}
+	sort.Slice(selected, func(i, j int) bool { return selected[i].seq < selected[j].seq })
+	if len(selected) > max {
+		selected = selected[:max]
+	}
+	for _, e := range selected {
+		delete(p.entries, e.tx.Hash())
+	}
+	curRoot := p.root()
+	blockCtx := p.block()
+	p.mu.Unlock()
+
+	txs := make([]*types.Transaction, len(selected))
+	csags := make([]*sag.CSAG, len(selected))
+	for i, e := range selected {
+		txs[i] = e.tx
+		switch {
+		case e.csag == nil:
+			// Never analyzed (analysis failed or is still in flight):
+			// dynamic fallback.
+		case e.analyzedAt != curRoot:
+			// Stale analysis: refresh against the current snapshot.
+			if fresh, err := p.an.Analyze(e.tx, i, p.snap, blockCtx); err == nil {
+				fresh.TxIndex = i
+				csags[i] = fresh
+				p.mu.Lock()
+				p.refreshed++
+				p.mu.Unlock()
+			}
+		default:
+			e.csag.TxIndex = i
+			csags[i] = e.csag
+		}
+	}
+	return txs, csags
+}
+
+// SAGFor returns the cached C-SAG for a transaction received in a mined
+// block, or nil when the pool never saw it (the validator must fall back to
+// dynamic handling or on-the-fly construction).
+func (p *Pool) SAGFor(h types.Hash) *sag.CSAG {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e, ok := p.entries[h]; ok {
+		return e.csag
+	}
+	return nil
+}
+
+// PrepareBlock resolves the C-SAGs for a block mined elsewhere: cached
+// analyses are used where available and the rest are constructed on the
+// fly (the paper's "the validator constructs a SAG for it on-the-fly"),
+// removing any pooled duplicates.
+func (p *Pool) PrepareBlock(txs []*types.Transaction) []*sag.CSAG {
+	blockCtx := p.block()
+	csags := make([]*sag.CSAG, len(txs))
+	for i, tx := range txs {
+		h := tx.Hash()
+		p.mu.Lock()
+		e, pooled := p.entries[h]
+		var cached *sag.CSAG
+		if pooled {
+			cached = e.csag
+			delete(p.entries, h)
+		}
+		p.mu.Unlock()
+		if cached != nil {
+			cached.TxIndex = i
+			csags[i] = cached
+			continue
+		}
+		if fresh, err := p.an.Analyze(tx, i, p.snap, blockCtx); err == nil {
+			csags[i] = fresh
+		}
+	}
+	return csags
+}
+
+// Stats reports analysis counters: total offline analyses and lazy
+// refreshes performed at pack time.
+func (p *Pool) Stats() (analyzed, refreshed uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.analyzed, p.refreshed
+}

@@ -1,0 +1,171 @@
+package types
+
+import (
+	"errors"
+	"fmt"
+
+	"dmvcc/internal/rlp"
+	"dmvcc/internal/u256"
+)
+
+// ErrBadEncoding reports a malformed serialized chain structure.
+var ErrBadEncoding = errors.New("types: bad encoding")
+
+// EncodeTx serializes a transaction to its canonical RLP form (the same
+// structure its Hash commits to).
+func EncodeTx(tx *Transaction) []byte {
+	return rlp.Encode(tx.rlpItem())
+}
+
+// DecodeTx parses a transaction encoded with EncodeTx.
+func DecodeTx(enc []byte) (*Transaction, error) {
+	it, err := rlp.Decode(enc)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadEncoding, err)
+	}
+	if !it.IsList || len(it.List) != 8 {
+		return nil, fmt.Errorf("%w: transaction needs 8 fields", ErrBadEncoding)
+	}
+	tx := &Transaction{}
+	nonce, err := it.List[0].AsUint()
+	if err != nil {
+		return nil, fmt.Errorf("%w: nonce: %v", ErrBadEncoding, err)
+	}
+	tx.Nonce = nonce
+	if len(it.List[1].Str) != AddressLength || len(it.List[2].Str) != AddressLength {
+		return nil, fmt.Errorf("%w: address length", ErrBadEncoding)
+	}
+	copy(tx.From[:], it.List[1].Str)
+	copy(tx.To[:], it.List[2].Str)
+	tx.Value = u256.FromBytes(it.List[3].Str)
+	gas, err := it.List[4].AsUint()
+	if err != nil {
+		return nil, fmt.Errorf("%w: gas: %v", ErrBadEncoding, err)
+	}
+	tx.Gas = gas
+	tx.GasPrice = u256.FromBytes(it.List[5].Str)
+	if len(it.List[6].Str) > 0 {
+		tx.Data = append([]byte(nil), it.List[6].Str...)
+	}
+	createFlag, err := it.List[7].AsUint()
+	if err != nil {
+		return nil, fmt.Errorf("%w: create flag: %v", ErrBadEncoding, err)
+	}
+	tx.Create = createFlag == 1
+	return tx, nil
+}
+
+// EncodeBlock serializes a block (header + body) for propagation between
+// validators.
+func EncodeBlock(b *Block) []byte {
+	txItems := make([]rlp.Item, len(b.Txs))
+	for i, tx := range b.Txs {
+		txItems[i] = tx.rlpItem()
+	}
+	return rlp.EncodeList(
+		rlp.List(
+			rlp.String(b.Header.ParentHash[:]),
+			rlp.Uint(b.Header.Number),
+			rlp.Uint(b.Header.Timestamp),
+			rlp.Uint(b.Header.GasLimit),
+			rlp.String(b.Header.Coinbase[:]),
+			rlp.String(b.Header.TxRoot[:]),
+			rlp.String(b.Header.StateRoot[:]),
+		),
+		rlp.List(txItems...),
+	)
+}
+
+// DecodeBlock parses a block encoded with EncodeBlock and verifies its
+// transaction root.
+func DecodeBlock(enc []byte) (*Block, error) {
+	it, err := rlp.Decode(enc)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadEncoding, err)
+	}
+	if !it.IsList || len(it.List) != 2 {
+		return nil, fmt.Errorf("%w: block needs header and body", ErrBadEncoding)
+	}
+	hdr := it.List[0]
+	if !hdr.IsList || len(hdr.List) != 7 {
+		return nil, fmt.Errorf("%w: header needs 7 fields", ErrBadEncoding)
+	}
+	b := &Block{}
+	copy(b.Header.ParentHash[:], hdr.List[0].Str)
+	if b.Header.Number, err = hdr.List[1].AsUint(); err != nil {
+		return nil, fmt.Errorf("%w: number: %v", ErrBadEncoding, err)
+	}
+	if b.Header.Timestamp, err = hdr.List[2].AsUint(); err != nil {
+		return nil, fmt.Errorf("%w: timestamp: %v", ErrBadEncoding, err)
+	}
+	if b.Header.GasLimit, err = hdr.List[3].AsUint(); err != nil {
+		return nil, fmt.Errorf("%w: gas limit: %v", ErrBadEncoding, err)
+	}
+	copy(b.Header.Coinbase[:], hdr.List[4].Str)
+	copy(b.Header.TxRoot[:], hdr.List[5].Str)
+	copy(b.Header.StateRoot[:], hdr.List[6].Str)
+
+	body := it.List[1]
+	if !body.IsList {
+		return nil, fmt.Errorf("%w: body must be a list", ErrBadEncoding)
+	}
+	b.Txs = make([]*Transaction, len(body.List))
+	for i, txItem := range body.List {
+		tx, err := DecodeTx(rlp.Encode(txItem))
+		if err != nil {
+			return nil, fmt.Errorf("tx %d: %w", i, err)
+		}
+		b.Txs[i] = tx
+	}
+	if got := ComputeTxRoot(b.Txs); got != b.Header.TxRoot {
+		return nil, fmt.Errorf("%w: tx root mismatch (header %s, body %s)",
+			ErrBadEncoding, b.Header.TxRoot, got)
+	}
+	return b, nil
+}
+
+// ComputeReceiptRoot commits to the block's execution outcome: a binary
+// merkle tree over (status, gasUsed, log count) per receipt, in order.
+func ComputeReceiptRoot(receipts []*Receipt) Hash {
+	if len(receipts) == 0 {
+		return Hash{}
+	}
+	layer := make([]Hash, len(receipts))
+	for i, r := range receipts {
+		enc := rlp.EncodeList(
+			rlp.Uint(uint64(r.Status)),
+			rlp.Uint(r.GasUsed),
+			rlp.Uint(uint64(len(r.Logs))),
+			rlp.String(r.TxHash[:]),
+		)
+		layer[i] = Keccak(enc)
+	}
+	for len(layer) > 1 {
+		next := make([]Hash, 0, (len(layer)+1)/2)
+		for i := 0; i < len(layer); i += 2 {
+			if i+1 == len(layer) {
+				next = append(next, Keccak(layer[i][:], layer[i][:]))
+			} else {
+				next = append(next, Keccak(layer[i][:], layer[i+1][:]))
+			}
+		}
+		layer = next
+	}
+	return layer[0]
+}
+
+// SealBlock assembles a block from its parts, filling the commitment roots.
+func SealBlock(parent Hash, number, timestamp, gasLimit uint64, coinbase Address, stateRoot Hash, txs []*Transaction) *Block {
+	return &Block{
+		Header: Header{
+			ParentHash: parent,
+			Number:     number,
+			Timestamp:  timestamp,
+			GasLimit:   gasLimit,
+			Coinbase:   coinbase,
+			TxRoot:     ComputeTxRoot(txs),
+			StateRoot:  stateRoot,
+		},
+		Txs: txs,
+	}
+}

@@ -1,0 +1,141 @@
+package types
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"dmvcc/internal/u256"
+)
+
+func randomTx(r *rand.Rand) *Transaction {
+	tx := &Transaction{
+		Nonce:    r.Uint64() % 1000,
+		Value:    u256.NewUint64(r.Uint64()),
+		Gas:      21_000 + r.Uint64()%1_000_000,
+		GasPrice: u256.NewUint64(r.Uint64() % 100),
+		Create:   r.Intn(5) == 0,
+	}
+	r.Read(tx.From[:])
+	r.Read(tx.To[:])
+	if r.Intn(2) == 0 {
+		tx.Data = make([]byte, r.Intn(100))
+		r.Read(tx.Data)
+	}
+	return tx
+}
+
+func txEqual(a, b *Transaction) bool {
+	return a.Nonce == b.Nonce && a.From == b.From && a.To == b.To &&
+		a.Value.Eq(&b.Value) && a.Gas == b.Gas && a.GasPrice.Eq(&b.GasPrice) &&
+		bytes.Equal(a.Data, b.Data) && a.Create == b.Create
+}
+
+func TestTxRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(44))
+	for i := 0; i < 500; i++ {
+		tx := randomTx(r)
+		back, err := DecodeTx(EncodeTx(tx))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !txEqual(tx, back) {
+			t.Fatalf("round trip mismatch:\n%+v\n%+v", tx, back)
+		}
+		if tx.Hash() != back.Hash() {
+			t.Fatal("hash changed across round trip")
+		}
+	}
+}
+
+func TestDecodeTxErrors(t *testing.T) {
+	if _, err := DecodeTx([]byte{0xc0}); !errors.Is(err, ErrBadEncoding) {
+		t.Errorf("empty list err = %v", err)
+	}
+	if _, err := DecodeTx([]byte{0x80}); !errors.Is(err, ErrBadEncoding) {
+		t.Errorf("non-list err = %v", err)
+	}
+	if _, err := DecodeTx([]byte{0xff, 0x00}); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestBlockRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(45))
+	txs := make([]*Transaction, 7)
+	for i := range txs {
+		txs[i] = randomTx(r)
+	}
+	var parent, stateRoot Hash
+	r.Read(parent[:])
+	r.Read(stateRoot[:])
+	blk := SealBlock(parent, 42, 1_650_000_000, 30_000_000,
+		HexToAddress("0xc0ffee0000000000000000000000000000000001"), stateRoot, txs)
+
+	enc := EncodeBlock(blk)
+	back, err := DecodeBlock(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Header != blk.Header {
+		t.Errorf("header mismatch:\n%+v\n%+v", back.Header, blk.Header)
+	}
+	if len(back.Txs) != len(blk.Txs) {
+		t.Fatalf("tx count %d", len(back.Txs))
+	}
+	for i := range txs {
+		if !txEqual(back.Txs[i], blk.Txs[i]) {
+			t.Fatalf("tx %d mismatch", i)
+		}
+	}
+	if back.Header.Hash() != blk.Header.Hash() {
+		t.Error("block hash changed")
+	}
+}
+
+func TestDecodeBlockRejectsTamperedBody(t *testing.T) {
+	r := rand.New(rand.NewSource(46))
+	txs := []*Transaction{randomTx(r), randomTx(r)}
+	blk := SealBlock(Hash{}, 1, 1, 1, Address{}, Hash{}, txs)
+	// Swap the transactions without re-sealing: the tx root no longer
+	// matches and decoding must fail.
+	blk.Txs[0], blk.Txs[1] = blk.Txs[1], blk.Txs[0]
+	enc := EncodeBlock(blk)
+	if _, err := DecodeBlock(enc); !errors.Is(err, ErrBadEncoding) {
+		t.Errorf("tampered block err = %v", err)
+	}
+}
+
+func TestDecodeBlockEmpty(t *testing.T) {
+	blk := SealBlock(Hash{}, 9, 9, 9, Address{}, Hash{}, nil)
+	back, err := DecodeBlock(EncodeBlock(blk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Txs) != 0 || back.Header.Number != 9 {
+		t.Errorf("empty block round trip: %+v", back)
+	}
+}
+
+func TestReceiptRoot(t *testing.T) {
+	if !ComputeReceiptRoot(nil).IsZero() {
+		t.Error("empty receipt root should be zero")
+	}
+	mk := func(status ReceiptStatus, gas uint64) *Receipt {
+		return &Receipt{Status: status, GasUsed: gas}
+	}
+	a := []*Receipt{mk(StatusSuccess, 100), mk(StatusReverted, 50)}
+	b := []*Receipt{mk(StatusSuccess, 100), mk(StatusReverted, 50)}
+	if ComputeReceiptRoot(a) != ComputeReceiptRoot(b) {
+		t.Error("identical receipts produced different roots")
+	}
+	b[1].GasUsed = 51
+	if ComputeReceiptRoot(a) == ComputeReceiptRoot(b) {
+		t.Error("gas change not reflected in receipt root")
+	}
+	c := []*Receipt{mk(StatusReverted, 50), mk(StatusSuccess, 100)}
+	if ComputeReceiptRoot(a) == ComputeReceiptRoot(c) {
+		t.Error("receipt root must be order sensitive")
+	}
+}

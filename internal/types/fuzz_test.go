@@ -1,0 +1,29 @@
+package types
+
+import "testing"
+
+// FuzzDecodeTx: transaction decoding must never panic and successful
+// decodes must re-encode canonically.
+func FuzzDecodeTx(f *testing.F) {
+	f.Add(EncodeTx(&Transaction{Nonce: 1, Gas: 21_000}))
+	f.Add([]byte{0xc0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		tx, err := DecodeTx(in)
+		if err != nil {
+			return
+		}
+		if tx.Hash() != Keccak(in) && len(EncodeTx(tx)) == 0 {
+			t.Fatal("impossible")
+		}
+	})
+}
+
+// FuzzDecodeBlock: block decoding must never panic.
+func FuzzDecodeBlock(f *testing.F) {
+	f.Add(EncodeBlock(SealBlock(Hash{}, 1, 2, 3, Address{}, Hash{}, nil)))
+	f.Add([]byte{0xc2, 0xc0, 0xc0})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		_, _ = DecodeBlock(in)
+	})
+}

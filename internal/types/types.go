@@ -1,0 +1,260 @@
+// Package types defines the primitive chain data types shared by every
+// subsystem: addresses, hashes, transactions, receipts, logs, and blocks.
+package types
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+
+	"dmvcc/internal/keccak"
+	"dmvcc/internal/rlp"
+	"dmvcc/internal/u256"
+)
+
+// AddressLength is the byte length of an account address.
+const AddressLength = 20
+
+// HashLength is the byte length of a 256-bit hash.
+const HashLength = 32
+
+// ErrBadLength reports an input of unexpected size.
+var ErrBadLength = errors.New("types: bad input length")
+
+// Address is a 160-bit account identifier.
+type Address [AddressLength]byte
+
+// Hash is a 256-bit digest, also used for storage keys and trie roots.
+type Hash [HashLength]byte
+
+// BytesToAddress returns an Address from b, left-padding or truncating to
+// the low-order 20 bytes.
+func BytesToAddress(b []byte) Address {
+	var a Address
+	if len(b) > AddressLength {
+		b = b[len(b)-AddressLength:]
+	}
+	copy(a[AddressLength-len(b):], b)
+	return a
+}
+
+// HexToAddress parses a 0x-prefixed hex address. It panics on malformed
+// input and is intended for constants and tests.
+func HexToAddress(s string) Address {
+	if len(s) >= 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X') {
+		s = s[2:]
+	}
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		panic(fmt.Sprintf("types: bad hex address %q: %v", s, err))
+	}
+	return BytesToAddress(b)
+}
+
+// Hex returns the 0x-prefixed lowercase hex form of the address.
+func (a Address) Hex() string { return "0x" + hex.EncodeToString(a[:]) }
+
+// String implements fmt.Stringer.
+func (a Address) String() string { return a.Hex() }
+
+// IsZero reports whether the address is the zero address.
+func (a Address) IsZero() bool { return a == Address{} }
+
+// Word returns the address as a 256-bit word (left-padded).
+func (a Address) Word() u256.Int { return u256.FromBytes(a[:]) }
+
+// AddressFromWord truncates a 256-bit word to an address.
+func AddressFromWord(w u256.Int) Address {
+	full := w.Bytes32()
+	return BytesToAddress(full[12:])
+}
+
+// BytesToHash returns a Hash from b, left-padding or truncating to 32 bytes.
+func BytesToHash(b []byte) Hash {
+	var h Hash
+	if len(b) > HashLength {
+		b = b[len(b)-HashLength:]
+	}
+	copy(h[HashLength-len(b):], b)
+	return h
+}
+
+// HexToHash parses a 0x-prefixed 32-byte hex string, panicking on malformed
+// input; intended for constants and tests.
+func HexToHash(s string) Hash {
+	if len(s) >= 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X') {
+		s = s[2:]
+	}
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		panic(fmt.Sprintf("types: bad hex hash %q: %v", s, err))
+	}
+	return BytesToHash(b)
+}
+
+// Hex returns the 0x-prefixed lowercase hex form of the hash.
+func (h Hash) Hex() string { return "0x" + hex.EncodeToString(h[:]) }
+
+// String implements fmt.Stringer.
+func (h Hash) String() string { return h.Hex() }
+
+// IsZero reports whether the hash is all zeroes.
+func (h Hash) IsZero() bool { return h == Hash{} }
+
+// Word returns the hash as a 256-bit word.
+func (h Hash) Word() u256.Int { return u256.FromBytes(h[:]) }
+
+// HashFromWord converts a 256-bit word to a Hash.
+func HashFromWord(w u256.Int) Hash { return w.Bytes32() }
+
+// Keccak returns the keccak-256 hash of data as a Hash.
+func Keccak(data ...[]byte) Hash { return keccak.Sum256Concat(data...) }
+
+// Transaction is a signed-and-validated transaction as it appears inside a
+// block. Signature recovery is out of scope; From is carried explicitly.
+type Transaction struct {
+	Nonce    uint64
+	From     Address
+	To       Address  // contract or recipient; zero address = contract creation
+	Value    u256.Int // wei transferred
+	Gas      uint64   // gas limit
+	GasPrice u256.Int // wei per gas
+	Data     []byte   // ABI-encoded call data; empty for plain transfers
+	Create   bool     // true for contract-creation transactions
+}
+
+// IsContractCall reports whether executing tx requires running EVM code
+// (i.e. it is not a plain Ether transfer).
+func (tx *Transaction) IsContractCall() bool {
+	return tx.Create || len(tx.Data) > 0
+}
+
+// rlpItem returns the canonical RLP structure of the transaction.
+func (tx *Transaction) rlpItem() rlp.Item {
+	createFlag := uint64(0)
+	if tx.Create {
+		createFlag = 1
+	}
+	return rlp.List(
+		rlp.Uint(tx.Nonce),
+		rlp.String(tx.From[:]),
+		rlp.String(tx.To[:]),
+		rlp.String(tx.Value.Bytes()),
+		rlp.Uint(tx.Gas),
+		rlp.String(tx.GasPrice.Bytes()),
+		rlp.String(tx.Data),
+		rlp.Uint(createFlag),
+	)
+}
+
+// Hash returns the transaction identifier (keccak of the RLP encoding).
+func (tx *Transaction) Hash() Hash {
+	return Keccak(rlp.Encode(tx.rlpItem()))
+}
+
+// Log is an EVM event emitted by LOG0..LOG4.
+type Log struct {
+	Address Address
+	Topics  []Hash
+	Data    []byte
+}
+
+// ReceiptStatus is the terminal status of a transaction execution.
+type ReceiptStatus uint8
+
+// Receipt statuses. Reverted and OutOfGas are "deterministic aborts" in the
+// paper's terminology: the transaction fails the same way in any correct
+// schedule and is not re-executed.
+const (
+	StatusSuccess ReceiptStatus = iota + 1
+	StatusReverted
+	StatusOutOfGas
+)
+
+// String implements fmt.Stringer.
+func (s ReceiptStatus) String() string {
+	switch s {
+	case StatusSuccess:
+		return "success"
+	case StatusReverted:
+		return "reverted"
+	case StatusOutOfGas:
+		return "out-of-gas"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// Receipt records the outcome of executing one transaction.
+type Receipt struct {
+	TxHash     Hash
+	TxIndex    int
+	Status     ReceiptStatus
+	GasUsed    uint64
+	ReturnData []byte
+	Logs       []Log
+}
+
+// Header is a block header. Fields irrelevant to execution scheduling
+// (difficulty, uncles, bloom) are omitted.
+type Header struct {
+	ParentHash Hash
+	Number     uint64
+	Timestamp  uint64
+	GasLimit   uint64
+	Coinbase   Address
+	TxRoot     Hash // merkle root over transaction hashes
+	StateRoot  Hash // MPT root after executing the block
+}
+
+// Block is a header plus its ordered transaction list.
+type Block struct {
+	Header Header
+	Txs    []*Transaction
+}
+
+// Hash returns the block identifier (keccak of the RLP-encoded header).
+func (h *Header) Hash() Hash {
+	enc := rlp.EncodeList(
+		rlp.String(h.ParentHash[:]),
+		rlp.Uint(h.Number),
+		rlp.Uint(h.Timestamp),
+		rlp.Uint(h.GasLimit),
+		rlp.String(h.Coinbase[:]),
+		rlp.String(h.TxRoot[:]),
+		rlp.String(h.StateRoot[:]),
+	)
+	return Keccak(enc)
+}
+
+// ComputeTxRoot returns a binary-merkle commitment over the transaction
+// hashes, in block order.
+func ComputeTxRoot(txs []*Transaction) Hash {
+	if len(txs) == 0 {
+		return Hash{}
+	}
+	layer := make([]Hash, len(txs))
+	for i, tx := range txs {
+		layer[i] = tx.Hash()
+	}
+	for len(layer) > 1 {
+		next := make([]Hash, 0, (len(layer)+1)/2)
+		for i := 0; i < len(layer); i += 2 {
+			if i+1 == len(layer) {
+				next = append(next, Keccak(layer[i][:], layer[i][:]))
+			} else {
+				next = append(next, Keccak(layer[i][:], layer[i+1][:]))
+			}
+		}
+		layer = next
+	}
+	return layer[0]
+}
+
+// CreateAddress derives the address of a contract created by sender at the
+// given account nonce, mirroring Ethereum's CREATE rule.
+func CreateAddress(sender Address, nonce uint64) Address {
+	enc := rlp.EncodeList(rlp.String(sender[:]), rlp.Uint(nonce))
+	h := Keccak(enc)
+	return BytesToAddress(h[12:])
+}

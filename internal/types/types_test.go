@@ -1,0 +1,154 @@
+package types
+
+import (
+	"bytes"
+	"testing"
+
+	"dmvcc/internal/u256"
+)
+
+func TestAddressRoundTrip(t *testing.T) {
+	a := HexToAddress("0xdeadbeef00112233445566778899aabbccddeeff")
+	if a.Hex() != "0xdeadbeef00112233445566778899aabbccddeeff" {
+		t.Errorf("Hex round trip: %s", a.Hex())
+	}
+	w := a.Word()
+	if back := AddressFromWord(w); back != a {
+		t.Errorf("Word round trip: %s != %s", back, a)
+	}
+}
+
+func TestBytesToAddressPadding(t *testing.T) {
+	short := BytesToAddress([]byte{0x01, 0x02})
+	want := Address{}
+	want[18], want[19] = 0x01, 0x02
+	if short != want {
+		t.Errorf("short input not left-padded: %s", short)
+	}
+	long := BytesToAddress(bytes.Repeat([]byte{0xff}, 25))
+	for _, b := range long {
+		if b != 0xff {
+			t.Fatalf("long input not truncated to low bytes: %s", long)
+		}
+	}
+}
+
+func TestHashRoundTrip(t *testing.T) {
+	h := HexToHash("0x00112233445566778899aabbccddeeff00112233445566778899aabbccddeeff")
+	if HashFromWord(h.Word()) != h {
+		t.Error("hash word round trip failed")
+	}
+	if h.IsZero() {
+		t.Error("non-zero hash reported zero")
+	}
+	if !(Hash{}).IsZero() {
+		t.Error("zero hash not reported zero")
+	}
+}
+
+func TestTransactionHashStability(t *testing.T) {
+	tx := &Transaction{
+		Nonce: 7,
+		From:  HexToAddress("0x1111111111111111111111111111111111111111"),
+		To:    HexToAddress("0x2222222222222222222222222222222222222222"),
+		Value: u256.NewUint64(1000),
+		Gas:   21000,
+		Data:  []byte{0xca, 0xfe},
+	}
+	h1 := tx.Hash()
+	h2 := tx.Hash()
+	if h1 != h2 {
+		t.Error("hash not deterministic")
+	}
+	tx2 := *tx
+	tx2.Nonce = 8
+	if tx2.Hash() == h1 {
+		t.Error("different nonce produced identical hash")
+	}
+	tx3 := *tx
+	tx3.Create = true
+	if tx3.Hash() == h1 {
+		t.Error("create flag not part of hash")
+	}
+}
+
+func TestIsContractCall(t *testing.T) {
+	transfer := &Transaction{To: HexToAddress("0x01")}
+	if transfer.IsContractCall() {
+		t.Error("plain transfer classified as contract call")
+	}
+	call := &Transaction{To: HexToAddress("0x01"), Data: []byte{1}}
+	if !call.IsContractCall() {
+		t.Error("call with data not classified as contract call")
+	}
+	create := &Transaction{Create: true}
+	if !create.IsContractCall() {
+		t.Error("creation not classified as contract call")
+	}
+}
+
+func TestComputeTxRoot(t *testing.T) {
+	if !ComputeTxRoot(nil).IsZero() {
+		t.Error("empty tx root should be zero")
+	}
+	txA := &Transaction{Nonce: 1}
+	txB := &Transaction{Nonce: 2}
+	txC := &Transaction{Nonce: 3}
+	one := ComputeTxRoot([]*Transaction{txA})
+	two := ComputeTxRoot([]*Transaction{txA, txB})
+	three := ComputeTxRoot([]*Transaction{txA, txB, txC})
+	if one.IsZero() || two.IsZero() || three.IsZero() {
+		t.Error("non-empty roots should be non-zero")
+	}
+	if one == two || two == three {
+		t.Error("roots for different tx sets should differ")
+	}
+	reordered := ComputeTxRoot([]*Transaction{txB, txA})
+	if reordered == two {
+		t.Error("tx root must be order-sensitive")
+	}
+}
+
+func TestCreateAddress(t *testing.T) {
+	sender := HexToAddress("0xabcdef0123456789abcdef0123456789abcdef01")
+	a0 := CreateAddress(sender, 0)
+	a1 := CreateAddress(sender, 1)
+	if a0 == a1 {
+		t.Error("different nonces must yield different contract addresses")
+	}
+	if a0.IsZero() {
+		t.Error("created address should not be zero")
+	}
+	if CreateAddress(sender, 0) != a0 {
+		t.Error("create address not deterministic")
+	}
+}
+
+func TestReceiptStatusString(t *testing.T) {
+	cases := map[ReceiptStatus]string{
+		StatusSuccess:    "success",
+		StatusReverted:   "reverted",
+		StatusOutOfGas:   "out-of-gas",
+		ReceiptStatus(9): "status(9)",
+	}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Errorf("%d.String() = %s, want %s", s, s, want)
+		}
+	}
+}
+
+func TestHeaderHashSensitivity(t *testing.T) {
+	h := Header{Number: 5, Timestamp: 1000, GasLimit: 30_000_000}
+	base := h.Hash()
+	h2 := h
+	h2.Number = 6
+	if h2.Hash() == base {
+		t.Error("number not reflected in header hash")
+	}
+	h3 := h
+	h3.StateRoot = HexToHash("0x01")
+	if h3.Hash() == base {
+		t.Error("state root not reflected in header hash")
+	}
+}

@@ -1,0 +1,211 @@
+// Package workload synthesizes Ethereum-mainnet-like transaction streams
+// following the traffic statistics the paper reports for Jan-Apr 2022
+// (§V-B): 69% of transactions are contract calls — 60% ERC20 token
+// traffic, 29% DeFi, 10% NFT — and the rest are plain Ether transfers. The
+// high-contention configuration marks 1% of contracts as hot and routes a
+// configurable fraction of traffic to them (§V-C, RQ2).
+package workload
+
+// Contract sources. Each spends a tunable amount of compute (the `spin`
+// loops) so transaction service times land in the paper's sub-millisecond
+// to tens-of-milliseconds range instead of being dominated by scheduling
+// overhead. The state-access patterns are the load-bearing part:
+//
+//   - ERC20: per-holder balance mapping, blind-increment credits, shared
+//     totalSupply counter on mints.
+//   - AMM (DeFi): reads and rewrites both pool reserves — an inherently
+//     serial hot pair per pool.
+//   - NFT: nextId is a read-modify-write chain across all mints (the
+//     shared-counter bottleneck the paper's intro describes).
+//   - ICO: raised/contributions are blind increments — fully commutative.
+
+const erc20Src = `
+contract ERC20 {
+    mapping(address => uint) balances;
+    mapping(address => mapping(address => uint)) allowed;
+    uint totalSupply;
+
+    function mint(address to, uint amount) public {
+        balances[to] += amount;
+        totalSupply += amount;
+    }
+
+    function transfer(address to, uint amount) public {
+        uint spin = 0;
+        for (uint i = 0; i < 40; i++) {
+            spin = spin + i * 3 + spin / 7;
+        }
+        require(balances[msg.sender] >= amount);
+        balances[msg.sender] -= amount;
+        balances[to] += amount;
+        emit Transfer(msg.sender, to, amount);
+    }
+
+    function approve(address spender, uint amount) public {
+        allowed[msg.sender][spender] = amount;
+    }
+
+    function transferFrom(address from, address to, uint amount) public {
+        require(balances[from] >= amount);
+        require(allowed[from][msg.sender] >= amount);
+        allowed[from][msg.sender] -= amount;
+        balances[from] -= amount;
+        balances[to] += amount;
+    }
+
+    function balanceOf(address a) public view returns (uint) {
+        return balances[a];
+    }
+}
+`
+
+const ammSrc = `
+contract AMM {
+    uint reserve0;
+    uint reserve1;
+    mapping(address => uint) shares;
+
+    function addLiquidity(uint a0, uint a1) public {
+        reserve0 += a0;
+        reserve1 += a1;
+        shares[msg.sender] += a0;
+    }
+
+    function swap(uint amountIn, uint dir) public returns (uint) {
+        require(amountIn > 0);
+        uint r0 = reserve0;
+        uint r1 = reserve1;
+        require(r0 > 0);
+        require(r1 > 0);
+        // Iterative fixed-point fee math: burns deterministic compute the
+        // way production AMM router paths do.
+        uint acc = amountIn;
+        for (uint i = 0; i < 30; i++) {
+            acc = acc + (acc * 997) / 1000 - (acc * 996) / 1000;
+        }
+        uint out = 0;
+        uint k = r0 * r1;
+        if (dir == 0) {
+            uint n0 = r0 + amountIn;
+            out = r1 - k / n0;
+            require(out < r1);
+            reserve0 = n0;
+            reserve1 = r1 - out;
+        } else {
+            uint n1 = r1 + amountIn;
+            out = r0 - k / n1;
+            require(out < r0);
+            reserve1 = n1;
+            reserve0 = r0 - out;
+        }
+        emit Swap(msg.sender, amountIn, out);
+        return out;
+    }
+
+    function reserves() public view returns (uint) {
+        return reserve0;
+    }
+}
+`
+
+const nftSrc = `
+contract NFT {
+    uint nextId;
+    mapping(uint => address) ownerOf;
+    mapping(address => uint) count;
+
+    function mintNFT() public returns (uint) {
+        uint spin = 0;
+        for (uint i = 0; i < 30; i++) {
+            spin = spin + i * i;
+        }
+        uint id = nextId;
+        nextId = id + 1;
+        ownerOf[id] = msg.sender;
+        count[msg.sender] += 1;
+        emit Mint(msg.sender, id);
+        return id;
+    }
+
+    function give(uint id, address to) public {
+        require(ownerOf[id] == msg.sender);
+        ownerOf[id] = to;
+        count[msg.sender] -= 1;
+        count[to] += 1;
+    }
+}
+`
+
+const icoSrc = `
+contract ICO {
+    uint raised;
+    uint rate;
+    mapping(address => uint) contributions;
+    mapping(address => uint) tokensOwed;
+
+    function setRate(uint r) public {
+        rate = r;
+    }
+
+    function buy() public payable {
+        require(msg.value > 0);
+        uint spin = 0;
+        for (uint i = 0; i < 25; i++) {
+            spin = spin + i * 5;
+        }
+        raised += msg.value;
+        contributions[msg.sender] += msg.value;
+        tokensOwed[msg.sender] += msg.value * 2;
+        emit Buy(msg.sender, msg.value);
+    }
+}
+`
+
+// routerSrc models the runtime-dependent-key pattern of the paper's Fig. 1:
+// post() writes boxes[route[k]], so a preceding reroute() in the same block
+// makes any snapshot-based C-SAG stale and exercises the non-deterministic
+// abort path (§IV-E). The read-modify-write on boxes is deliberately
+// non-commutative.
+const routerSrc = `
+contract Router {
+    mapping(uint => uint) route;
+    mapping(uint => uint) boxes;
+
+    function reroute(uint k, uint nk) public {
+        route[k] = nk;
+    }
+
+    function post(uint k, uint v) public {
+        uint dest = route[k];
+        boxes[dest] = boxes[dest] + v;
+    }
+
+    function boxOf(uint i) public view returns (uint) {
+        return boxes[i];
+    }
+}
+`
+
+// oracleSrc models price-feed updaters: many distinct senders absolutely
+// overwrite the same feed slot without reading it — the pure write-write
+// pattern of the paper's Fig. 4 (T1/T5 on I1) that write versioning turns
+// conflict-free. Used by the ablation workload (OracleFrac).
+const oracleSrc = `
+contract Oracle {
+    mapping(uint => uint) price;
+    mapping(uint => address) reporter;
+
+    function post(uint feed, uint v) public {
+        uint spin = 0;
+        for (uint i = 0; i < 30; i++) {
+            spin = spin + i * 7;
+        }
+        price[feed] = v;
+        reporter[feed] = msg.sender;
+    }
+
+    function priceOf(uint feed) public view returns (uint) {
+        return price[feed];
+    }
+}
+`

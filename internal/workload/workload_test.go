@@ -1,0 +1,172 @@
+package workload_test
+
+import (
+	"testing"
+
+	"dmvcc/internal/minisol"
+	"dmvcc/internal/types"
+	"dmvcc/internal/workload"
+)
+
+func testConfig(seed int64) workload.Config {
+	cfg := workload.DefaultConfig()
+	cfg.Users = 320
+	cfg.ERC20s = 16
+	cfg.AMMs = 12
+	cfg.NFTs = 5
+	cfg.ICOs = 3
+	cfg.TxPerBlock = 400
+	cfg.Seed = seed
+	return cfg
+}
+
+func TestBuildWorldDeterministic(t *testing.T) {
+	a, err := workload.BuildWorld(testConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := workload.BuildWorld(testConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DB.Root() != b.DB.Root() {
+		t.Error("identical configs produced different genesis roots")
+	}
+	if len(a.Tokens) != 16 || len(a.AMMs) != 12 || len(a.NFTs) != 5 || len(a.ICOs) != 3 {
+		t.Errorf("population: %d/%d/%d/%d", len(a.Tokens), len(a.AMMs), len(a.NFTs), len(a.ICOs))
+	}
+}
+
+func TestContractsRegistered(t *testing.T) {
+	w, err := workload.BuildWorld(testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, addr := range [][]types.Address{w.Tokens, w.AMMs, w.NFTs, w.ICOs} {
+		for _, a := range addr {
+			if w.Registry.Lookup(a) == nil {
+				t.Fatalf("contract %s not registered", a)
+			}
+			if len(w.DB.Code(a)) == 0 {
+				t.Fatalf("contract %s has no code", a)
+			}
+		}
+	}
+}
+
+func TestTrafficMix(t *testing.T) {
+	cfg := testConfig(5)
+	cfg.TxPerBlock = 5000
+	w, err := workload.BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txs := w.NextBlock()
+	counts := map[string]int{}
+	sel := func(name string, n int) [4]byte { return minisol.Selector(name, n) }
+	transferSel, swapSel := sel("transfer", 2), sel("swap", 2)
+	mintSel, buySel := sel("mintNFT", 0), sel("buy", 0)
+	postSel, rerouteSel := sel("post", 2), sel("reroute", 2)
+	for _, tx := range txs {
+		switch {
+		case !tx.IsContractCall():
+			counts["plain"]++
+		case len(tx.Data) >= 4 && [4]byte(tx.Data[:4]) == transferSel:
+			counts["erc20"]++
+		case len(tx.Data) >= 4 && [4]byte(tx.Data[:4]) == swapSel:
+			counts["defi"]++
+		case len(tx.Data) >= 4 && [4]byte(tx.Data[:4]) == mintSel:
+			counts["nft"]++
+		case len(tx.Data) >= 4 && [4]byte(tx.Data[:4]) == buySel:
+			counts["ico"]++
+		case len(tx.Data) >= 4 && ([4]byte(tx.Data[:4]) == postSel || [4]byte(tx.Data[:4]) == rerouteSel):
+			counts["router"]++
+		default:
+			counts["other"]++
+		}
+	}
+	if counts["other"] != 0 {
+		t.Errorf("unclassified txs: %d", counts["other"])
+	}
+	total := float64(len(txs))
+	// Paper mix: ~31% plain, ~40% ERC20, ~19% DeFi, ~7% NFT.
+	within := func(name string, frac, tol float64) {
+		got := float64(counts[name]) / total
+		if got < frac-tol || got > frac+tol {
+			t.Errorf("%s fraction = %.3f, want %.2f±%.2f", name, got, frac, tol)
+		}
+	}
+	within("plain", 0.31, 0.03)
+	within("erc20", 0.40, 0.03)
+	within("defi", 0.19, 0.03)
+	within("nft", 0.07, 0.02)
+}
+
+func TestHotContentionSkew(t *testing.T) {
+	cfg := testConfig(3).HighContention()
+	cfg.TxPerBlock = 3000
+	w, err := workload.BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txs := w.NextBlock()
+	// Count traffic on the single hottest token vs. the rest.
+	perTo := map[types.Address]int{}
+	for _, tx := range txs {
+		if tx.IsContractCall() {
+			perTo[tx.To]++
+		}
+	}
+	hottest := 0
+	for _, n := range perTo {
+		if n > hottest {
+			hottest = n
+		}
+	}
+	// With HotProb 0.5 the hot contracts absorb a large share: the single
+	// hottest contract must see far more than a uniform share.
+	uniform := len(txs) / (16 + 12 + 5 + 3)
+	if hottest < 4*uniform {
+		t.Errorf("hottest contract saw %d txs; uniform share is %d — skew too weak", hottest, uniform)
+	}
+}
+
+func TestNoncesIncreasePerSender(t *testing.T) {
+	w, err := workload.BuildWorld(testConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := map[types.Address]uint64{}
+	for i := 0; i < 3; i++ {
+		for _, tx := range w.NextBlock() {
+			if prev, seen := last[tx.From]; seen && tx.Nonce != prev+1 {
+				t.Fatalf("sender %s nonce %d after %d", tx.From, tx.Nonce, prev)
+			}
+			last[tx.From] = tx.Nonce
+		}
+	}
+}
+
+func TestBlockContextAdvances(t *testing.T) {
+	w, err := workload.BuildWorld(testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := w.BlockContext()
+	w.NextBlock()
+	c2 := w.BlockContext()
+	if c2.Number != c1.Number+1 {
+		t.Errorf("block number %d -> %d", c1.Number, c2.Number)
+	}
+	if c2.Timestamp <= c1.Timestamp {
+		t.Error("timestamp must advance")
+	}
+}
+
+func TestRejectsTinyConfig(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.Users = 1
+	if _, err := workload.BuildWorld(cfg); err == nil {
+		t.Error("expected error for tiny user population")
+	}
+}
