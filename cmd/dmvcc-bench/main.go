@@ -8,6 +8,7 @@
 //	dmvcc-bench -exp rq1              # Merkle-root equivalence sweep
 //	dmvcc-bench -exp aborts           # abort statistics (RQ2 text)
 //	dmvcc-bench -exp ablation         # early-write / commutativity ablation
+//	dmvcc-bench -exp pipeline         # block-pipeline analysis/exec overlap
 //	dmvcc-bench -exp all              # everything
 //
 // -blocks and -txs scale the workload; the defaults run in a few minutes on
@@ -26,7 +27,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig7a|fig7b|fig8a|fig8b|rq1|aborts|ablation|all")
+	exp := flag.String("exp", "all", "experiment: fig7a|fig7b|fig8a|fig8b|rq1|aborts|ablation|pipeline|all")
 	blocks := flag.Int("blocks", 3, "blocks per experiment")
 	txs := flag.Int("txs", 1000, "transactions per block (fig7/rq1/aborts/ablation)")
 	simTxs := flag.Int("simtxs", 10000, "transactions per block for the fig8 network simulation (the paper's RQ3 size)")
@@ -127,6 +128,14 @@ func run(exp string, blocks, txs, simTxs, simBlocks, rq1Blocks int, seed int64) 
 			fmt.Print(fig.Render())
 			fmt.Println("workload: ICO-launch mix (hot commutative counters dominate)")
 
+		case "pipeline":
+			rep, err := bench.MeasurePipeline(bench.SpeedupConfig{Workload: low, Blocks: max(blocks, 3)})
+			if err != nil {
+				return err
+			}
+			fmt.Print(rep.Render())
+			fmt.Println("pipeline: block N+1 analyzed while block N executes (Fig. 2 offline workflow)")
+
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -134,7 +143,7 @@ func run(exp string, blocks, txs, simTxs, simBlocks, rq1Blocks int, seed int64) 
 	}
 
 	if exp == "all" {
-		for _, name := range []string{"rq1", "fig7a", "fig7b", "aborts", "ablation", "fig8a", "fig8b"} {
+		for _, name := range []string{"rq1", "fig7a", "fig7b", "aborts", "ablation", "pipeline", "fig8a", "fig8b"} {
 			if err := runOne(name); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

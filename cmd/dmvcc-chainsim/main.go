@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"dmvcc/internal/chain"
@@ -19,7 +20,7 @@ import (
 )
 
 func main() {
-	mode := flag.String("mode", "dmvcc", "execution scheme: serial|dag|occ|dmvcc")
+	mode := flag.String("mode", "dmvcc", "execution scheme: "+modeList())
 	threads := flag.Int("threads", 32, "worker threads per validator")
 	txs := flag.Int("txs", 2000, "transactions per block")
 	blocks := flag.Int("blocks", 4, "blocks to simulate")
@@ -35,13 +36,20 @@ func main() {
 	}
 }
 
-func parseMode(s string) (chain.Mode, error) {
-	for _, m := range chain.AllModes {
-		if m.String() == s {
-			return m, nil
-		}
+// modeList names every registered scheduler for the usage string.
+func modeList() string {
+	names := make([]string, 0, 4)
+	for _, m := range chain.Modes() {
+		names = append(names, m.String())
 	}
-	return 0, fmt.Errorf("unknown mode %q", s)
+	return strings.Join(names, "|")
+}
+
+func parseMode(s string) (chain.Mode, error) {
+	if _, err := chain.SchedulerFor(chain.Mode(s)); err != nil {
+		return "", fmt.Errorf("unknown mode %q (have %s)", s, modeList())
+	}
+	return chain.Mode(s), nil
 }
 
 func run(modeName string, threads, txs, blocks, validators int, interval time.Duration, hot bool, seed int64) error {

@@ -44,19 +44,26 @@ type (
 	Receipt = types.Receipt
 	// Block is a sealed block (header + transactions).
 	Block = types.Block
-	// Mode selects an execution scheme.
+	// Mode selects an execution scheme by its registered name.
 	Mode = chain.Mode
 	// Stats carries DMVCC scheduler counters.
 	Stats = core.Stats
+	// PipelineStats reports the analysis/execution overlap of a pipelined
+	// multi-block execution.
+	PipelineStats = chain.PipelineStats
 )
 
-// Execution schemes.
+// Execution schemes registered by the chain package. Additional schedulers
+// registered via chain.RegisterScheduler are addressed by their name.
 const (
 	ModeSerial = chain.ModeSerial
 	ModeDAG    = chain.ModeDAG
 	ModeOCC    = chain.ModeOCC
 	ModeDMVCC  = chain.ModeDMVCC
 )
+
+// Modes lists every registered execution scheme in presentation order.
+func Modes() []Mode { return chain.Modes() }
 
 // HexAddress parses a 0x-prefixed address (panics on bad input; intended
 // for constants).
@@ -112,8 +119,8 @@ func MappingSlot(baseSlot uint64, key Word) Hash {
 	return minisol.MappingSlot(baseSlot, key)
 }
 
-// Chain is a single-node blockchain: committed state plus the four
-// execution engines.
+// Chain is a single-node blockchain: committed state plus every registered
+// execution engine.
 type Chain struct {
 	db       *state.DB
 	reg      *sag.Registry
@@ -122,6 +129,7 @@ type Chain struct {
 	height   uint64
 	lastHash Hash
 	threads  int
+	chainID  uint64
 }
 
 // Option configures a Chain.
@@ -133,12 +141,18 @@ func WithThreads(n int) Option {
 	return func(c *Chain) { c.threads = n }
 }
 
+// WithChainID sets the chain identifier carried in every block context and
+// used when validating imported blocks (default 1).
+func WithChainID(id uint64) Option {
+	return func(c *Chain) { c.chainID = id }
+}
+
 // NewChain builds a chain, running the genesis function to set up initial
 // accounts and contracts, and commits the genesis block.
 func NewChain(genesis func(*Genesis) error, opts ...Option) (*Chain, error) {
 	db := state.NewDB()
 	reg := sag.NewRegistry()
-	c := &Chain{db: db, reg: reg, threads: 8}
+	c := &Chain{db: db, reg: reg, threads: 8, chainID: 1}
 	for _, o := range opts {
 		o(c)
 	}
@@ -151,7 +165,7 @@ func NewChain(genesis func(*Genesis) error, opts ...Option) (*Chain, error) {
 	if _, err := db.Commit(g.overlay.Changes()); err != nil {
 		return nil, fmt.Errorf("dmvcc: commit genesis: %w", err)
 	}
-	c.eng = chain.NewEngine(db, reg, c.threads)
+	c.eng = chain.NewEngine(db, reg, c.threads, chain.WithChainID(c.chainID))
 	c.pool = txpool.New(c.eng.Analyzer(), db, db.Root, c.blockContext)
 	c.height = 1
 	return c, nil
@@ -188,14 +202,19 @@ func EncodeBlock(b *Block) []byte { return types.EncodeBlock(b) }
 // DecodeBlock parses a wire-encoded block, verifying its transaction root.
 func DecodeBlock(enc []byte) (*Block, error) { return types.DecodeBlock(enc) }
 
+// blockContextAt derives the environment of the block at a given height.
+func (c *Chain) blockContextAt(height uint64) evm.BlockContext {
+	return evm.BlockContext{
+		Number:    height,
+		Timestamp: 1_650_000_000 + height*12,
+		GasLimit:  1_000_000_000,
+		ChainID:   c.chainID,
+	}
+}
+
 // blockContext derives the environment of the next block.
 func (c *Chain) blockContext() evm.BlockContext {
-	return evm.BlockContext{
-		Number:    c.height,
-		Timestamp: 1_650_000_000 + c.height*12,
-		GasLimit:  1_000_000_000,
-		ChainID:   1,
-	}
+	return c.blockContextAt(c.height)
 }
 
 // ExecuteBlock executes txs as the next block under the chosen scheme and
@@ -280,20 +299,15 @@ func (c *Chain) Submit(tx *Transaction) error {
 func (c *Chain) Pending() int { return c.pool.Len() }
 
 // PackAndExecute forms the next block from up to max pooled transactions
-// (arrival order), executes it under the chosen scheme — DMVCC reuses the
-// pool's cached C-SAGs, skipping re-analysis — and commits.
+// (arrival order), executes it under the chosen scheme — analysis-aware
+// schedulers reuse the pool's cached C-SAGs, skipping re-analysis — and
+// commits.
 func (c *Chain) PackAndExecute(mode Mode, max int) (*BlockResult, error) {
 	txs, csags := c.pool.Pack(max)
 	blockCtx := c.blockContext()
 	c.eng.SetThreads(c.threads)
 
-	var out *chain.ExecOut
-	var err error
-	if mode == ModeDMVCC {
-		out, err = c.eng.ExecuteDMVCCWith(blockCtx, txs, csags)
-	} else {
-		out, err = c.eng.Execute(mode, blockCtx, txs)
-	}
+	out, err := c.eng.ExecuteWith(mode, blockCtx, txs, csags)
 	if err != nil {
 		return nil, err
 	}
@@ -302,6 +316,35 @@ func (c *Chain) PackAndExecute(mode Mode, max int) (*BlockResult, error) {
 		return nil, err
 	}
 	return c.sealResult(out, root, blockCtx, txs), nil
+}
+
+// PackAndExecutePipelined drains the pool into up to blocks blocks of up to
+// max transactions each and executes them as a pipeline: while block N
+// executes, block N+1's C-SAG analysis runs concurrently (reusing the
+// pool's cached analyses and refreshing stale ones off the critical path).
+// Results — receipts, roots, sealed blocks — are identical to calling
+// PackAndExecute once per block; the returned stats report how much
+// analysis time the overlap hid.
+func (c *Chain) PackAndExecutePipelined(mode Mode, max, blocks int) ([]*BlockResult, PipelineStats, error) {
+	c.eng.SetThreads(c.threads)
+	inputs := make([]chain.BlockInput, 0, blocks)
+	for i := 0; i < blocks; i++ {
+		blockCtx := c.blockContextAt(c.height + uint64(i))
+		txs, csags := c.pool.PackForBlock(blockCtx, max)
+		if len(txs) == 0 {
+			break
+		}
+		inputs = append(inputs, chain.BlockInput{Block: blockCtx, Txs: txs, CSAGs: csags})
+	}
+	res, err := c.eng.ExecutePipelined(mode, inputs)
+	if err != nil {
+		return nil, PipelineStats{}, err
+	}
+	results := make([]*BlockResult, len(inputs))
+	for i := range inputs {
+		results[i] = c.sealResult(res.Outs[i], res.Roots[i], inputs[i].Block, inputs[i].Txs)
+	}
+	return results, res.Stats, nil
 }
 
 // NewTransfer builds a plain Ether transfer.

@@ -195,6 +195,72 @@ func TestPoolPackAndExecute(t *testing.T) {
 	}
 }
 
+// TestPackAndExecutePipelined drains the same pool contents through the
+// pipelined path and the per-block PackAndExecute loop on twin chains; the
+// committed roots and heights must agree.
+func TestPackAndExecutePipelined(t *testing.T) {
+	mkTxs := func(token *dmvcc.Contract) []*dmvcc.Transaction {
+		return []*dmvcc.Transaction{
+			dmvcc.MustCall(0, alice, token, 0, "mint", alice.Word(), dmvcc.NewWord(1_000)),
+			dmvcc.MustCall(1, alice, token, 0, "transfer", bob.Word(), dmvcc.NewWord(100)),
+			dmvcc.MustCall(0, bob, token, 0, "transfer", alice.Word(), dmvcc.NewWord(40)),
+			dmvcc.NewTransfer(2, alice, bob, 7),
+			dmvcc.MustCall(3, alice, token, 0, "mint", bob.Word(), dmvcc.NewWord(500)),
+			dmvcc.MustCall(1, bob, token, 0, "transfer", alice.Word(), dmvcc.NewWord(250)),
+		}
+	}
+
+	seq, tokenSeq := newChain(t)
+	pipe, tokenPipe := newChain(t)
+	for _, tx := range mkTxs(tokenSeq) {
+		if err := seq.Submit(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tx := range mkTxs(tokenPipe) {
+		if err := pipe.Submit(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var seqRoots []dmvcc.Hash
+	for seq.Pending() > 0 {
+		res, err := seq.PackAndExecute(dmvcc.ModeDMVCC, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqRoots = append(seqRoots, res.Root)
+	}
+
+	results, stats, err := pipe.PackAndExecutePipelined(dmvcc.ModeDMVCC, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(seqRoots) {
+		t.Fatalf("pipelined %d blocks, sequential %d", len(results), len(seqRoots))
+	}
+	for i, res := range results {
+		if res.Root != seqRoots[i] {
+			t.Errorf("block %d: pipelined root %s != sequential %s", i, res.Root, seqRoots[i])
+		}
+		if res.Block == nil {
+			t.Errorf("block %d not sealed", i)
+		}
+	}
+	if pipe.Pending() != 0 {
+		t.Errorf("%d txs left in the pipelined pool", pipe.Pending())
+	}
+	if pipe.Height() != seq.Height() {
+		t.Errorf("heights diverged: %d vs %d", pipe.Height(), seq.Height())
+	}
+	if stats.Blocks != len(results) {
+		t.Errorf("stats report %d blocks, want %d", stats.Blocks, len(results))
+	}
+	if stats.Reused == 0 {
+		t.Error("no pool-cached analyses were reused")
+	}
+}
+
 func TestGossipBetweenChains(t *testing.T) {
 	// Two validators with identical genesis: one mines, the other imports
 	// the encoded block and must reach the same root under a different

@@ -123,7 +123,7 @@ func run() error {
 		speedups := map[chain.Mode]float64{}
 		var chainBound float64
 		var refRoot types.Hash
-		for _, mode := range chain.AllModes {
+		for _, mode := range chain.Modes() {
 			db, reg, err := build()
 			if err != nil {
 				return err

@@ -105,7 +105,7 @@ func run() error {
 	}
 	fmt.Println("   (threads)")
 	var refRoot types.Hash
-	for _, mode := range chain.AllModes {
+	for _, mode := range chain.Modes() {
 		db, reg, err := build()
 		if err != nil {
 			return err

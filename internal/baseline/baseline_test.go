@@ -6,8 +6,10 @@ import (
 	"testing"
 
 	"dmvcc/internal/baseline"
+	"dmvcc/internal/chain"
 	"dmvcc/internal/evm"
 	"dmvcc/internal/minisol"
+	"dmvcc/internal/sag"
 	"dmvcc/internal/state"
 	"dmvcc/internal/types"
 	"dmvcc/internal/u256"
@@ -60,6 +62,21 @@ func fixture(t *testing.T) *state.DB {
 		t.Fatal(err)
 	}
 	return db
+}
+
+// fixtureWithRegistry is fixture plus a contract registry with the token's
+// P-SAG, so analysis-aware schedulers (DMVCC) can run against the same
+// pre-state through the chain engine.
+func fixtureWithRegistry(t *testing.T) (*state.DB, *sag.Registry) {
+	t.Helper()
+	db := fixture(t)
+	c, err := minisol.Compile(tokenSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := sag.NewRegistry()
+	reg.RegisterCompiled(tokenAddr, c)
+	return db, reg
 }
 
 func transferTx(from, to types.Address, amount uint64) *types.Transaction {
@@ -156,6 +173,46 @@ func TestAllBaselinesAgreeRandom(t *testing.T) {
 			}
 			if o != s {
 				t.Errorf("occ root diverged")
+			}
+		})
+	}
+}
+
+// TestRegisteredSchedulersMatchSerial extends the baseline oracle to the
+// scheduler registry: every scheduler registered with the chain package —
+// including any added by a later build — must commit the serial root over
+// randomized workloads. New schedulers get this equivalence check for free.
+func TestRegisteredSchedulersMatchSerial(t *testing.T) {
+	modes := chain.Modes()
+	if len(modes) < 4 {
+		t.Fatalf("only %d registered schedulers: %v", len(modes), modes)
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			txs := randomWorkload(100+seed, 40)
+			threads := []int{2, 4, 8}[seed%3]
+			roots := make(map[chain.Mode]types.Hash, len(modes))
+			for _, m := range modes {
+				db, reg := fixtureWithRegistry(t)
+				eng := chain.NewEngine(db, reg, threads)
+				out, root, err := eng.ExecuteAndCommit(m, blk, txs)
+				if err != nil {
+					t.Fatalf("mode %s: %v", m, err)
+				}
+				if len(out.Receipts) != len(txs) {
+					t.Fatalf("mode %s: %d receipts for %d txs", m, len(out.Receipts), len(txs))
+				}
+				roots[m] = root
+			}
+			want, ok := roots[chain.ModeSerial]
+			if !ok {
+				t.Fatal("serial scheduler not registered")
+			}
+			for _, m := range modes {
+				if roots[m] != want {
+					t.Errorf("mode %s root %s != serial %s", m, roots[m], want)
+				}
 			}
 		})
 	}

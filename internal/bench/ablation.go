@@ -120,7 +120,7 @@ func Fig8(name, title string, cfg chainsim.Config, threads []int) (*Figure, erro
 		return nil, err
 	}
 	fig := &Figure{Name: name, Title: title}
-	for _, m := range chain.AllModes {
+	for _, m := range chain.Modes() {
 		s := Series{Label: m.String()}
 		for i, th := range threads {
 			s.Points = append(s.Points, Point{Threads: th, Value: series[m][i]})

@@ -79,8 +79,11 @@ func SpeedupFigure(name, title string, cfg SpeedupConfig) (*Figure, error) {
 	if err != nil {
 		return nil, err
 	}
-	engines := make(map[chain.Mode]*chain.Engine, len(chain.AllModes))
-	for _, m := range chain.AllModes {
+	// Every registered scheduler participates; serial (always registered
+	// first) anchors the root-equality oracle and the speedup denominator.
+	modes := chain.Modes()
+	engines := make(map[chain.Mode]*chain.Engine, len(modes))
+	for _, m := range modes {
 		w, err := workload.BuildWorld(cfg.Workload)
 		if err != nil {
 			return nil, err
@@ -88,8 +91,8 @@ func SpeedupFigure(name, title string, cfg SpeedupConfig) (*Figure, error) {
 		engines[m] = chain.NewEngine(w.DB, w.Registry, 8)
 	}
 
-	sums := make(map[chain.Mode][]float64, len(chain.AllModes))
-	for _, m := range chain.AllModes {
+	sums := make(map[chain.Mode][]float64, len(modes))
+	for _, m := range modes {
 		sums[m] = make([]float64, len(cfg.Threads))
 	}
 	var totalAbortsDMVCC, totalAbortsOCC, totalTxs int64
@@ -99,9 +102,9 @@ func SpeedupFigure(name, title string, cfg SpeedupConfig) (*Figure, error) {
 		txs := source.NextBlock()
 		totalTxs += int64(len(txs))
 
-		outs := make(map[chain.Mode]*chain.ExecOut, len(chain.AllModes))
+		outs := make(map[chain.Mode]*chain.ExecOut, len(modes))
 		var serialRoot types.Hash
-		for _, m := range chain.AllModes {
+		for _, m := range modes {
 			out, root, err := engines[m].ExecuteAndCommit(m, blockCtx, txs)
 			if err != nil {
 				return nil, fmt.Errorf("block %d mode %s: %w", b, m, err)
@@ -120,7 +123,7 @@ func SpeedupFigure(name, title string, cfg SpeedupConfig) (*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, m := range chain.AllModes {
+		for _, m := range modes {
 			for ti, th := range cfg.Threads {
 				span, err := outs[m].Makespan(m, th)
 				if err != nil {
@@ -135,7 +138,7 @@ func SpeedupFigure(name, title string, cfg SpeedupConfig) (*Figure, error) {
 	}
 
 	fig := &Figure{Name: name, Title: title}
-	for _, m := range chain.AllModes {
+	for _, m := range modes {
 		s := Series{Label: m.String()}
 		for ti, th := range cfg.Threads {
 			s.Points = append(s.Points, Point{Threads: th, Value: sums[m][ti] / float64(cfg.Blocks)})

@@ -1,8 +1,10 @@
 // Package chain glues the execution engines to the state database: it
 // analyzes blocks (offline, as in the paper's transaction-pool workflow),
-// dispatches them to a scheduler, and commits write sets, exposing the
-// timing split the evaluation needs (analysis time is excluded from
-// execution speedups, matching §V-C).
+// dispatches them to a registered Scheduler, and commits write sets,
+// exposing the timing split the evaluation needs (analysis time is excluded
+// from execution speedups, matching §V-C). Execution schemes are pluggable:
+// each scheduler registers itself under a Mode name and every consumer —
+// engine, benchmarks, network simulator, CLIs — iterates the registry.
 package chain
 
 import (
@@ -10,47 +12,12 @@ import (
 	"fmt"
 	"time"
 
-	"dmvcc/internal/baseline"
 	"dmvcc/internal/core"
 	"dmvcc/internal/evm"
 	"dmvcc/internal/sag"
-	"dmvcc/internal/schedsim"
 	"dmvcc/internal/state"
 	"dmvcc/internal/types"
 )
-
-// Mode selects an execution scheme.
-type Mode int
-
-// Execution schemes compared in the paper.
-const (
-	ModeSerial Mode = iota + 1
-	ModeDAG
-	ModeOCC
-	ModeDMVCC
-)
-
-// String implements fmt.Stringer.
-func (m Mode) String() string {
-	switch m {
-	case ModeSerial:
-		return "serial"
-	case ModeDAG:
-		return "dag"
-	case ModeOCC:
-		return "occ"
-	case ModeDMVCC:
-		return "dmvcc"
-	default:
-		return fmt.Sprintf("mode(%d)", int(m))
-	}
-}
-
-// AllModes lists every scheme in presentation order.
-var AllModes = []Mode{ModeSerial, ModeDAG, ModeOCC, ModeDMVCC}
-
-// ErrUnknownMode reports an unsupported Mode value.
-var ErrUnknownMode = errors.New("chain: unknown execution mode")
 
 // ExecOut is the outcome of executing (not yet committing) one block.
 type ExecOut struct {
@@ -80,21 +47,15 @@ type ExecOut struct {
 }
 
 // Makespan computes this execution's virtual-time makespan on the given
-// number of worker threads under its own scheduling model. The mode must
-// match the mode Execute ran.
+// number of worker threads under the named scheduler's scheduling model.
+// The mode must match the mode Execute ran (the serial mode works on any
+// output, as every scheduler records gas costs).
 func (o *ExecOut) Makespan(mode Mode, threads int) (uint64, error) {
-	switch mode {
-	case ModeSerial:
-		return schedsim.Serial(o.GasCosts), nil
-	case ModeDAG:
-		return schedsim.DAG(o.GasCosts, o.DAGPreds, threads), nil
-	case ModeOCC:
-		return schedsim.OCC(o.GasCosts, o.Batches, threads), nil
-	case ModeDMVCC:
-		return schedsim.DMVCC(o.Traces, threads, o.WastedGas), nil
-	default:
-		return 0, fmt.Errorf("%w: %d", ErrUnknownMode, mode)
+	s, err := SchedulerFor(mode)
+	if err != nil {
+		return 0, err
 	}
+	return s.Makespan(o, threads)
 }
 
 // Engine executes blocks against a state database.
@@ -103,108 +64,70 @@ type Engine struct {
 	reg     *sag.Registry
 	an      *sag.Analyzer
 	threads int
+	chainID uint64
+}
+
+// EngineOption configures an Engine.
+type EngineOption func(*Engine)
+
+// WithChainID sets the chain identifier the engine stamps into the block
+// context when re-executing received blocks (default 1).
+func WithChainID(id uint64) EngineOption {
+	return func(e *Engine) { e.chainID = id }
 }
 
 // NewEngine returns an engine over db using the contract registry for
 // analysis, running parallel schemes on the given number of threads.
-func NewEngine(db *state.DB, reg *sag.Registry, threads int) *Engine {
-	return &Engine{
+func NewEngine(db *state.DB, reg *sag.Registry, threads int, opts ...EngineOption) *Engine {
+	e := &Engine{
 		db:      db,
 		reg:     reg,
 		an:      sag.NewAnalyzer(reg),
 		threads: threads,
+		chainID: 1,
 	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
 }
 
 // DB returns the underlying state database.
 func (e *Engine) DB() *state.DB { return e.db }
 
+// ChainID returns the configured chain identifier.
+func (e *Engine) ChainID() uint64 { return e.chainID }
+
 // SetThreads adjusts the parallelism for subsequent executions.
 func (e *Engine) SetThreads(n int) { e.threads = n }
 
+// execContext assembles the scheduler input for one block.
+func (e *Engine) execContext(blockCtx evm.BlockContext, txs []*types.Transaction, csags []*sag.CSAG) ExecContext {
+	return ExecContext{
+		State:    e.db,
+		Registry: e.reg,
+		Analyzer: e.an,
+		Block:    blockCtx,
+		Txs:      txs,
+		Threads:  e.threads,
+		CSAGs:    csags,
+	}
+}
+
 // Execute runs the block under the chosen scheme without committing.
 func (e *Engine) Execute(mode Mode, blockCtx evm.BlockContext, txs []*types.Transaction) (*ExecOut, error) {
-	out := &ExecOut{}
-	switch mode {
-	case ModeSerial:
-		start := time.Now()
-		res, err := baseline.ExecuteSerial(e.db, blockCtx, txs)
-		if err != nil {
-			return nil, err
-		}
-		out.ExecTime = time.Since(start)
-		out.Receipts, out.WriteSet = res.Receipts, res.WriteSet
-
-	case ModeDAG:
-		start := time.Now()
-		sets, err := baseline.OracleSets(e.db, blockCtx, txs)
-		if err != nil {
-			return nil, err
-		}
-		out.AnalysisTime = time.Since(start)
-		coarse := baseline.Coarsen(sets) // static-analysis granularity
-		start = time.Now()
-		res, err := baseline.ExecuteDAG(e.db, blockCtx, txs, coarse, e.threads)
-		if err != nil {
-			return nil, err
-		}
-		out.ExecTime = time.Since(start)
-		out.Receipts, out.WriteSet = res.Receipts, res.WriteSet
-		out.DAGPreds = baseline.BuildDeps(coarse)
-
-	case ModeOCC:
-		start := time.Now()
-		res, err := baseline.ExecuteOCC(e.db, blockCtx, txs, e.threads)
-		if err != nil {
-			return nil, err
-		}
-		out.ExecTime = time.Since(start)
-		out.Receipts, out.WriteSet = res.Receipts, res.WriteSet
-		out.Aborts = res.Aborts
-		out.Batches = res.Batches
-
-	case ModeDMVCC:
-		start := time.Now()
-		csags, err := e.an.AnalyzeBlock(txs, e.db, blockCtx)
-		if err != nil {
-			return nil, err
-		}
-		out.AnalysisTime = time.Since(start)
-		return e.executeDMVCC(out, blockCtx, txs, csags)
-	default:
-		return nil, fmt.Errorf("%w: %d", ErrUnknownMode, mode)
-	}
-	out.GasCosts = make([]uint64, len(out.Receipts))
-	for i, r := range out.Receipts {
-		out.GasCosts[i] = core.ExecCost(r.GasUsed, evm.IntrinsicGas(txs[i].Data))
-	}
-	return out, nil
+	return e.ExecuteWith(mode, blockCtx, txs, nil)
 }
 
-// ExecuteDMVCCWith runs a block under DMVCC using pre-computed C-SAGs
-// (e.g. cached by a transaction pool), skipping the analysis phase.
-func (e *Engine) ExecuteDMVCCWith(blockCtx evm.BlockContext, txs []*types.Transaction, csags []*sag.CSAG) (*ExecOut, error) {
-	return e.executeDMVCC(&ExecOut{}, blockCtx, txs, csags)
-}
-
-// executeDMVCC is the shared DMVCC execution tail.
-func (e *Engine) executeDMVCC(out *ExecOut, blockCtx evm.BlockContext, txs []*types.Transaction, csags []*sag.CSAG) (*ExecOut, error) {
-	ex := core.NewExecutor(e.reg, e.threads)
-	start := time.Now()
-	res, err := ex.ExecuteBlock(e.db, blockCtx, txs, csags)
+// ExecuteWith is Execute with pre-computed C-SAGs (e.g. cached by a
+// transaction pool): analysis-aware schedulers skip the analysis phase,
+// the rest ignore them.
+func (e *Engine) ExecuteWith(mode Mode, blockCtx evm.BlockContext, txs []*types.Transaction, csags []*sag.CSAG) (*ExecOut, error) {
+	s, err := SchedulerFor(mode)
 	if err != nil {
 		return nil, err
 	}
-	out.ExecTime = time.Since(start)
-	out.Receipts, out.WriteSet = res.Receipts, res.WriteSet
-	out.Stats = res.Stats
-	out.Traces = res.Traces
-	out.WastedGas = res.WastedGas
-	out.GasCosts = make([]uint64, len(out.Receipts))
-	for i, r := range out.Receipts {
-		out.GasCosts[i] = core.ExecCost(r.GasUsed, evm.IntrinsicGas(txs[i].Data))
-	}
-	return out, nil
+	return s.Execute(e.execContext(blockCtx, txs, csags))
 }
 
 // Analyzer exposes the engine's SAG analyzer (shared with transaction
@@ -247,7 +170,7 @@ func (e *Engine) ValidateBlock(mode Mode, b *types.Block) ([]*types.Receipt, err
 		Timestamp: b.Header.Timestamp,
 		GasLimit:  b.Header.GasLimit,
 		Coinbase:  b.Header.Coinbase,
-		ChainID:   1,
+		ChainID:   e.chainID,
 	}
 	out, err := e.Execute(mode, blockCtx, b.Txs)
 	if err != nil {

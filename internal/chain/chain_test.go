@@ -39,8 +39,8 @@ func TestAllModesAgreeOnWorkload(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			engines := make(map[chain.Mode]*chain.Engine, len(chain.AllModes))
-			for _, m := range chain.AllModes {
+			engines := make(map[chain.Mode]*chain.Engine, len(chain.Modes()))
+			for _, m := range chain.Modes() {
 				w, err := workload.BuildWorld(cfg)
 				if err != nil {
 					t.Fatal(err)
@@ -54,8 +54,8 @@ func TestAllModesAgreeOnWorkload(t *testing.T) {
 			for blockN := 0; blockN < 3; blockN++ {
 				blockCtx := source.BlockContext()
 				txs := source.NextBlock()
-				roots := make(map[chain.Mode]types.Hash, len(chain.AllModes))
-				for _, m := range chain.AllModes {
+				roots := make(map[chain.Mode]types.Hash, len(chain.Modes()))
+				for _, m := range chain.Modes() {
 					out, root, err := engines[m].ExecuteAndCommit(m, blockCtx, txs)
 					if err != nil {
 						t.Fatalf("block %d mode %s: %v", blockN, m, err)
@@ -66,7 +66,7 @@ func TestAllModesAgreeOnWorkload(t *testing.T) {
 					roots[m] = root
 				}
 				want := roots[chain.ModeSerial]
-				for _, m := range chain.AllModes {
+				for _, m := range chain.Modes() {
 					if roots[m] != want {
 						t.Fatalf("block %d: mode %s root %s != serial %s", blockN, m, roots[m], want)
 					}
@@ -104,8 +104,11 @@ func TestUnknownMode(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng := chain.NewEngine(w.DB, w.Registry, 2)
-	if _, err := eng.Execute(chain.Mode(99), w.BlockContext(), nil); err == nil {
+	if _, err := eng.Execute(chain.Mode("no-such-scheduler"), w.BlockContext(), nil); err == nil {
 		t.Error("expected error for unknown mode")
+	}
+	if _, err := (&chain.ExecOut{}).Makespan(chain.Mode("no-such-scheduler"), 1); err == nil {
+		t.Error("expected Makespan error for unknown mode")
 	}
 }
 
@@ -217,7 +220,7 @@ func TestModesAgreeWithFees(t *testing.T) {
 		txs[i] = &cp
 	}
 	var want types.Hash
-	for _, m := range chain.AllModes {
+	for _, m := range chain.Modes() {
 		w, err := workload.BuildWorld(cfg)
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,212 @@
+package chain
+
+import (
+	"fmt"
+	"time"
+
+	"dmvcc/internal/evm"
+	"dmvcc/internal/sag"
+	"dmvcc/internal/types"
+)
+
+// BlockInput is one block of a pipelined run.
+type BlockInput struct {
+	// Block is the environment the block will carry.
+	Block evm.BlockContext
+	// Txs are the block's transactions in block order.
+	Txs []*types.Transaction
+	// CSAGs optionally seeds the analysis stage with cached analyses (a
+	// transaction pool's). Nil entries — transactions the pool never
+	// analyzed, or whose analysis went stale — are refreshed by the
+	// pipeline's offline stage, concurrently with the previous block's
+	// execution. A nil slice analyzes the whole block offline.
+	CSAGs []*sag.CSAG
+}
+
+// PipelineStats reports how much offline-analysis work the pipeline
+// performed and how much of it execution overlap hid.
+type PipelineStats struct {
+	// Blocks is the number of blocks executed.
+	Blocks int
+	// AnalysisWall is the summed wall time of the offline analysis stages.
+	AnalysisWall time.Duration
+	// ExecWall is the summed scheduler execution wall time.
+	ExecWall time.Duration
+	// Overlap is the portion of AnalysisWall hidden behind execution of the
+	// preceding block — the pipeline's win over the sequential
+	// analyze-execute-commit loop.
+	Overlap time.Duration
+	// Stall is the portion that was not hidden: time execution sat waiting
+	// for the next block's analysis to finish.
+	Stall time.Duration
+	// Reused counts transactions whose caller-provided (pool-cached)
+	// analysis was reused as-is; Analyzed counts transactions the pipeline
+	// analyzed or refreshed itself.
+	Reused   int
+	Analyzed int
+}
+
+// OverlapFraction returns the share of analysis wall time hidden behind
+// execution, in [0,1].
+func (s PipelineStats) OverlapFraction() float64 {
+	if s.AnalysisWall <= 0 {
+		return 0
+	}
+	return float64(s.Overlap) / float64(s.AnalysisWall)
+}
+
+// PipelineHooks injects observation points for tests. All hooks may be nil.
+// AnalysisStart(i) fires on the pipeline goroutine right before block i's
+// analysis stage launches (so, for i >= 1, strictly before ExecStart(i-1));
+// AnalysisDone(i) fires on the analysis goroutine when the stage completes.
+type PipelineHooks struct {
+	AnalysisStart func(block int)
+	AnalysisDone  func(block int)
+	ExecStart     func(block int)
+	ExecDone      func(block int)
+}
+
+// PipelineOut is the outcome of a pipelined multi-block execution.
+type PipelineOut struct {
+	// Outs are the per-block execution outcomes, in chain order.
+	Outs []*ExecOut
+	// Roots are the committed state roots after each block.
+	Roots []types.Hash
+	Stats PipelineStats
+}
+
+// blockAnalysis is the in-flight offline analysis of one block.
+type blockAnalysis struct {
+	csags []*sag.CSAG
+	dur   time.Duration
+	err   error
+	done  chan struct{}
+}
+
+// ExecutePipelined executes and commits a sequence of blocks under mode,
+// overlapping block N+1's C-SAG analysis with block N's execution: while a
+// block runs, the next block's analysis proceeds concurrently against the
+// still-committed pre-state (the paper's offline-analysis workflow, Fig. 2
+// — the prediction is one block stale by execution time, which the
+// scheduler's dynamic abort path absorbs). Committed roots are identical to
+// running ExecuteAndCommit per block. Schedulers without an offline
+// analysis stage degenerate to the sequential loop (zero overlap).
+func (e *Engine) ExecutePipelined(mode Mode, blocks []BlockInput) (*PipelineOut, error) {
+	return e.ExecutePipelinedHooked(mode, blocks, PipelineHooks{})
+}
+
+// ExecutePipelinedHooked is ExecutePipelined with observation hooks.
+func (e *Engine) ExecutePipelinedHooked(mode Mode, blocks []BlockInput, hooks PipelineHooks) (*PipelineOut, error) {
+	sched, err := SchedulerFor(mode)
+	if err != nil {
+		return nil, err
+	}
+	offline, canOverlap := sched.(OfflineAnalyzer)
+
+	res := &PipelineOut{
+		Outs:  make([]*ExecOut, len(blocks)),
+		Roots: make([]types.Hash, len(blocks)),
+		Stats: PipelineStats{Blocks: len(blocks)},
+	}
+
+	analyze := func(i int, a *blockAnalysis) {
+		defer close(a.done)
+		start := time.Now()
+		a.csags, a.err = offline.AnalyzeOffline(e.execContext(blocks[i].Block, blocks[i].Txs, blocks[i].CSAGs))
+		a.dur = time.Since(start)
+		if hooks.AnalysisDone != nil {
+			hooks.AnalysisDone(i)
+		}
+	}
+	launch := func(i int) *blockAnalysis {
+		a := &blockAnalysis{done: make(chan struct{})}
+		if hooks.AnalysisStart != nil {
+			hooks.AnalysisStart(i)
+		}
+		for _, c := range blocks[i].CSAGs {
+			if c != nil {
+				res.Stats.Reused++
+			}
+		}
+		res.Stats.Analyzed += len(blocks[i].Txs) - countNonNil(blocks[i].CSAGs)
+		return a
+	}
+
+	// Block 0's analysis has nothing to hide behind; run it synchronously.
+	var cur *blockAnalysis
+	if canOverlap && len(blocks) > 0 {
+		cur = launch(0)
+		analyze(0, cur)
+	}
+
+	for i := range blocks {
+		// Kick off the next block's analysis before this block executes;
+		// it reads the committed pre-state of block i, so it must be
+		// collected before commit below mutates the database.
+		var next *blockAnalysis
+		if canOverlap && i+1 < len(blocks) {
+			next = launch(i + 1)
+			go analyze(i+1, next)
+		}
+
+		csags := blocks[i].CSAGs
+		if cur != nil {
+			<-cur.done
+			if cur.err != nil {
+				return nil, fmt.Errorf("chain: pipeline analysis of block %d: %w", i, cur.err)
+			}
+			csags = cur.csags
+			res.Stats.AnalysisWall += cur.dur
+		}
+
+		if hooks.ExecStart != nil {
+			hooks.ExecStart(i)
+		}
+		execStart := time.Now()
+		out, err := sched.Execute(e.execContext(blocks[i].Block, blocks[i].Txs, csags))
+		if err != nil {
+			return nil, fmt.Errorf("chain: pipeline block %d: %w", i, err)
+		}
+		execDur := time.Since(execStart)
+		res.Stats.ExecWall += execDur
+		if hooks.ExecDone != nil {
+			hooks.ExecDone(i)
+		}
+		if cur != nil {
+			out.AnalysisTime = cur.dur
+		}
+
+		// Collect the overlapped analysis before committing: whatever of
+		// its duration we do not spend waiting here ran hidden behind this
+		// block's execution.
+		if next != nil {
+			waitStart := time.Now()
+			<-next.done
+			stall := time.Since(waitStart)
+			res.Stats.Stall += stall
+			if hidden := next.dur - stall; hidden > 0 {
+				res.Stats.Overlap += hidden
+			}
+		}
+
+		root, err := e.Commit(out.WriteSet)
+		if err != nil {
+			return nil, fmt.Errorf("chain: pipeline commit of block %d: %w", i, err)
+		}
+		res.Outs[i] = out
+		res.Roots[i] = root
+		cur = next
+	}
+	return res, nil
+}
+
+// countNonNil counts filled analysis slots.
+func countNonNil(csags []*sag.CSAG) int {
+	n := 0
+	for _, c := range csags {
+		if c != nil {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,185 @@
+package chain_test
+
+import (
+	"testing"
+	"time"
+
+	"dmvcc/internal/chain"
+	"dmvcc/internal/workload"
+)
+
+// pipelineInputs drains n blocks from a freshly built world.
+func pipelineInputs(t *testing.T, cfg workload.Config, n int) []chain.BlockInput {
+	t.Helper()
+	src, err := workload.BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([]chain.BlockInput, 0, n)
+	for i := 0; i < n; i++ {
+		blockCtx := src.BlockContext()
+		inputs = append(inputs, chain.BlockInput{Block: blockCtx, Txs: src.NextBlock()})
+	}
+	return inputs
+}
+
+// TestPipelinedMatchesSequential is satellite RQ1 for the pipeline: the
+// pipelined executor must commit exactly the roots the per-block
+// analyze-execute-commit loop commits, for an analysis-aware scheduler and
+// for one without an offline stage (the degenerate sequential path).
+func TestPipelinedMatchesSequential(t *testing.T) {
+	cfg := smallConfig(17)
+	cfg.TxPerBlock = 150
+	const nblocks = 4
+
+	for _, mode := range []chain.Mode{chain.ModeDMVCC, chain.ModeSerial} {
+		t.Run(mode.String(), func(t *testing.T) {
+			inputs := pipelineInputs(t, cfg, nblocks)
+
+			seq, err := workload.BuildWorld(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			engSeq := chain.NewEngine(seq.DB, seq.Registry, 8)
+			seqRoots := make([]string, len(inputs))
+			for i, in := range inputs {
+				_, root, err := engSeq.ExecuteAndCommit(mode, in.Block, in.Txs)
+				if err != nil {
+					t.Fatalf("sequential block %d: %v", i, err)
+				}
+				seqRoots[i] = root.String()
+			}
+
+			pipe, err := workload.BuildWorld(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			engPipe := chain.NewEngine(pipe.DB, pipe.Registry, 8)
+			res, err := engPipe.ExecutePipelined(mode, inputs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Roots) != nblocks || len(res.Outs) != nblocks {
+				t.Fatalf("pipelined %d roots / %d outs, want %d", len(res.Roots), len(res.Outs), nblocks)
+			}
+			for i, root := range res.Roots {
+				if root.String() != seqRoots[i] {
+					t.Errorf("block %d: pipelined root %s != sequential %s", i, root, seqRoots[i])
+				}
+				if got := len(res.Outs[i].Receipts); got != len(inputs[i].Txs) {
+					t.Errorf("block %d: %d receipts for %d txs", i, got, len(inputs[i].Txs))
+				}
+			}
+			if res.Stats.Blocks != nblocks {
+				t.Errorf("stats report %d blocks", res.Stats.Blocks)
+			}
+			if mode == chain.ModeSerial {
+				// No offline stage: nothing analyzed, nothing overlapped.
+				if res.Stats.AnalysisWall != 0 || res.Stats.Overlap != 0 {
+					t.Errorf("serial pipeline recorded analysis %v overlap %v",
+						res.Stats.AnalysisWall, res.Stats.Overlap)
+				}
+			} else {
+				if res.Stats.AnalysisWall == 0 {
+					t.Error("dmvcc pipeline recorded no analysis wall time")
+				}
+				if res.Stats.Analyzed == 0 {
+					t.Error("dmvcc pipeline analyzed no transactions")
+				}
+			}
+		})
+	}
+}
+
+// TestPipelineOverlapsAnalysisWithExecution proves the overlap itself: block
+// 1's analysis completes on its own goroutine only after observing that
+// block 0's execution has started. Under a sequential implementation —
+// analysis of block 1 finishing before execution of block 0 begins — the
+// AnalysisDone(1) hook would wait forever and the run would time out.
+func TestPipelineOverlapsAnalysisWithExecution(t *testing.T) {
+	cfg := smallConfig(31)
+	cfg.TxPerBlock = 120
+	inputs := pipelineInputs(t, cfg, 3)
+
+	w, err := workload.BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := chain.NewEngine(w.DB, w.Registry, 8)
+
+	execStarted := make(chan struct{})
+	overlapped := make(chan bool, 1)
+	hooks := chain.PipelineHooks{
+		ExecStart: func(block int) {
+			if block == 0 {
+				close(execStarted)
+			}
+		},
+		AnalysisDone: func(block int) {
+			if block != 1 {
+				return
+			}
+			select {
+			case <-execStarted:
+				overlapped <- true
+			case <-time.After(30 * time.Second):
+				overlapped <- false
+			}
+		},
+	}
+
+	res, err := eng.ExecutePipelinedHooked(chain.ModeDMVCC, inputs, hooks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ok := <-overlapped:
+		if !ok {
+			t.Fatal("analysis of block 1 completed without execution of block 0 having started")
+		}
+	default:
+		t.Fatal("AnalysisDone(1) never fired")
+	}
+	if res.Stats.Blocks != len(inputs) {
+		t.Errorf("stats report %d blocks, want %d", res.Stats.Blocks, len(inputs))
+	}
+}
+
+// TestPipelineEmptyAndSingleBlock exercises the pipeline's edges: zero
+// blocks (nothing to do) and one block (analysis with nothing to hide
+// behind).
+func TestPipelineEmptyAndSingleBlock(t *testing.T) {
+	cfg := smallConfig(23)
+	cfg.TxPerBlock = 60
+
+	w, err := workload.BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := chain.NewEngine(w.DB, w.Registry, 4)
+
+	res, err := eng.ExecutePipelined(chain.ModeDMVCC, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outs) != 0 || len(res.Roots) != 0 {
+		t.Fatalf("empty pipeline produced %d outs", len(res.Outs))
+	}
+
+	inputs := pipelineInputs(t, cfg, 1)
+	w2, err := workload.BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2 := chain.NewEngine(w2.DB, w2.Registry, 4)
+	res2, err := eng2.ExecutePipelined(chain.ModeDMVCC, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Roots) != 1 {
+		t.Fatalf("%d roots for a single block", len(res2.Roots))
+	}
+	if res2.Stats.Overlap != 0 {
+		t.Errorf("single block cannot overlap, recorded %v", res2.Stats.Overlap)
+	}
+}

@@ -1,0 +1,123 @@
+package chain
+
+import (
+	"errors"
+	"testing"
+
+	"dmvcc/internal/core"
+	"dmvcc/internal/evm"
+	"dmvcc/internal/types"
+)
+
+// fakeScheduler is a minimal drop-in scheduler for registry tests.
+type fakeScheduler struct{ name string }
+
+func (f fakeScheduler) Name() string                          { return f.name }
+func (f fakeScheduler) Execute(ExecContext) (*ExecOut, error) { return &ExecOut{}, nil }
+func (f fakeScheduler) Makespan(*ExecOut, int) (uint64, error) {
+	return 0, nil
+}
+
+func TestRegisterSchedulerRejectsBadNames(t *testing.T) {
+	if err := RegisterScheduler(1, fakeScheduler{name: ""}); err == nil {
+		t.Error("empty scheduler name accepted")
+	}
+
+	const name = "registry-test-dup"
+	if err := RegisterScheduler(1, fakeScheduler{name: name}); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { unregisterScheduler(Mode(name)) })
+	if err := RegisterScheduler(2, fakeScheduler{name: name}); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	// The built-in names are taken too.
+	if err := RegisterScheduler(1, fakeScheduler{name: string(ModeSerial)}); err == nil {
+		t.Error("shadowing a built-in scheduler accepted")
+	}
+}
+
+func TestSchedulerForUnknownMode(t *testing.T) {
+	_, err := SchedulerFor("registry-test-missing")
+	if err == nil {
+		t.Fatal("expected an error for an unregistered mode")
+	}
+	if !errors.Is(err, ErrUnknownMode) {
+		t.Errorf("error %v does not wrap ErrUnknownMode", err)
+	}
+}
+
+func TestModesListsBuiltinsInPaperOrder(t *testing.T) {
+	want := []Mode{ModeSerial, ModeDAG, ModeOCC, ModeDMVCC}
+	got := Modes()
+	if len(got) != len(want) {
+		t.Fatalf("Modes() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Modes() = %v, want %v", got, want)
+		}
+	}
+	for _, m := range got {
+		s, err := SchedulerFor(m)
+		if err != nil {
+			t.Fatalf("mode %s: %v", m, err)
+		}
+		if s.Name() != string(m) {
+			t.Errorf("mode %s resolves to scheduler named %q", m, s.Name())
+		}
+	}
+}
+
+// TestDropInScheduler registers a fifth scheduler and checks it surfaces
+// through the same registry every consumer iterates — the refactor's
+// extension point.
+func TestDropInScheduler(t *testing.T) {
+	fake := fakeScheduler{name: "registry-test-fake"}
+	MustRegisterScheduler(5, fake) // rank 5 sorts before serial's
+	t.Cleanup(func() { unregisterScheduler(Mode(fake.name)) })
+
+	modes := Modes()
+	if len(modes) != 5 || modes[0] != Mode(fake.name) {
+		t.Fatalf("Modes() = %v, want %q first among 5", modes, fake.name)
+	}
+	s, err := SchedulerFor(Mode(fake.name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != fake.name {
+		t.Errorf("resolved scheduler named %q", s.Name())
+	}
+}
+
+// TestGasCostsFor pins the shared cost model every scheduler's ExecOut is
+// assembled with: receipt gas net of the intrinsic charge, floored at the
+// dispatch base cost.
+func TestGasCostsFor(t *testing.T) {
+	data := []byte{0x01, 0x00, 0x02}
+	intrinsic := evm.IntrinsicGas(data)
+	txs := []*types.Transaction{
+		{Data: nil},
+		{Data: data},
+		{Data: data},
+	}
+	receipts := []*types.Receipt{
+		{GasUsed: evm.IntrinsicGas(nil)}, // plain transfer: no execution gas
+		{GasUsed: intrinsic + 1_234},     // contract call
+		{GasUsed: intrinsic - 1},         // used less than intrinsic: clamp
+	}
+	got := GasCostsFor(receipts, txs)
+	want := []uint64{core.BaseCost, core.BaseCost + 1_234, core.BaseCost}
+	if len(got) != len(want) {
+		t.Fatalf("%d costs for %d receipts", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("cost[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+
+	if out := GasCostsFor(nil, nil); len(out) != 0 {
+		t.Errorf("empty block produced %d costs", len(out))
+	}
+}

@@ -1,0 +1,44 @@
+package chain
+
+import (
+	"time"
+
+	"dmvcc/internal/baseline"
+	"dmvcc/internal/schedsim"
+)
+
+// dagScheduler runs the ParBlockchain-style DAG baseline (§V-B): oracle
+// access sets are recorded up front (the analysis phase), coarsened to the
+// static-analysis granularity, and transactions execute once all their
+// conflict predecessors finished.
+type dagScheduler struct{}
+
+func init() { MustRegisterScheduler(20, dagScheduler{}) }
+
+// Name implements Scheduler.
+func (dagScheduler) Name() string { return string(ModeDAG) }
+
+// Execute implements Scheduler.
+func (dagScheduler) Execute(ctx ExecContext) (*ExecOut, error) {
+	out := &ExecOut{}
+	start := time.Now()
+	sets, err := baseline.OracleSets(ctx.State, ctx.Block, ctx.Txs)
+	if err != nil {
+		return nil, err
+	}
+	out.AnalysisTime = time.Since(start)
+	coarse := baseline.Coarsen(sets) // static-analysis granularity
+	start = time.Now()
+	res, err := baseline.ExecuteDAG(ctx.State, ctx.Block, ctx.Txs, coarse, ctx.Threads)
+	if err != nil {
+		return nil, err
+	}
+	out.ExecTime = time.Since(start)
+	out.DAGPreds = baseline.BuildDeps(coarse)
+	return out.finish(res.Receipts, res.WriteSet, ctx.Txs), nil
+}
+
+// Makespan implements Scheduler.
+func (dagScheduler) Makespan(out *ExecOut, threads int) (uint64, error) {
+	return schedsim.DAG(out.GasCosts, out.DAGPreds, threads), nil
+}

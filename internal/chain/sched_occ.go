@@ -1,0 +1,37 @@
+package chain
+
+import (
+	"time"
+
+	"dmvcc/internal/baseline"
+	"dmvcc/internal/schedsim"
+)
+
+// occScheduler runs the optimistic concurrency control baseline (§II-B,
+// §V-B): speculative parallel execution, validation in block order, and
+// re-execution of transactions that read stale state.
+type occScheduler struct{}
+
+func init() { MustRegisterScheduler(30, occScheduler{}) }
+
+// Name implements Scheduler.
+func (occScheduler) Name() string { return string(ModeOCC) }
+
+// Execute implements Scheduler.
+func (occScheduler) Execute(ctx ExecContext) (*ExecOut, error) {
+	out := &ExecOut{}
+	start := time.Now()
+	res, err := baseline.ExecuteOCC(ctx.State, ctx.Block, ctx.Txs, ctx.Threads)
+	if err != nil {
+		return nil, err
+	}
+	out.ExecTime = time.Since(start)
+	out.Aborts = res.Aborts
+	out.Batches = res.Batches
+	return out.finish(res.Receipts, res.WriteSet, ctx.Txs), nil
+}
+
+// Makespan implements Scheduler.
+func (occScheduler) Makespan(out *ExecOut, threads int) (uint64, error) {
+	return schedsim.OCC(out.GasCosts, out.Batches, threads), nil
+}

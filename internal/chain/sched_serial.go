@@ -1,0 +1,36 @@
+package chain
+
+import (
+	"time"
+
+	"dmvcc/internal/baseline"
+	"dmvcc/internal/schedsim"
+)
+
+// serialScheduler executes transactions one after another — the reference
+// semantics every parallel schedule must reproduce and the speedup
+// baseline of the evaluation.
+type serialScheduler struct{}
+
+func init() { MustRegisterScheduler(10, serialScheduler{}) }
+
+// Name implements Scheduler.
+func (serialScheduler) Name() string { return string(ModeSerial) }
+
+// Execute implements Scheduler.
+func (serialScheduler) Execute(ctx ExecContext) (*ExecOut, error) {
+	out := &ExecOut{}
+	start := time.Now()
+	res, err := baseline.ExecuteSerial(ctx.State, ctx.Block, ctx.Txs)
+	if err != nil {
+		return nil, err
+	}
+	out.ExecTime = time.Since(start)
+	return out.finish(res.Receipts, res.WriteSet, ctx.Txs), nil
+}
+
+// Makespan implements Scheduler: the serial makespan is the plain sum of
+// costs, independent of the thread count.
+func (serialScheduler) Makespan(out *ExecOut, threads int) (uint64, error) {
+	return schedsim.Serial(out.GasCosts), nil
+}

@@ -162,8 +162,9 @@ func (s *Session) Simulate(threads int) (*Result, error) {
 	return res, nil
 }
 
-// ThroughputSpeedup runs the simulation for every mode and thread count and
-// reports throughput relative to serial execution — Fig. 8's y-axis.
+// ThroughputSpeedup runs the simulation for every registered scheduler and
+// thread count and reports throughput relative to serial execution —
+// Fig. 8's y-axis.
 func ThroughputSpeedup(cfg Config, threads []int) (map[chain.Mode][]float64, error) {
 	serialSess, err := NewSession(cfg, chain.ModeSerial)
 	if err != nil {
@@ -177,7 +178,10 @@ func ThroughputSpeedup(cfg Config, threads []int) (map[chain.Mode][]float64, err
 	for i := range threads {
 		out[chain.ModeSerial][i] = 1
 	}
-	for _, m := range []chain.Mode{chain.ModeDAG, chain.ModeOCC, chain.ModeDMVCC} {
+	for _, m := range chain.Modes() {
+		if m == chain.ModeSerial {
+			continue // the baseline above
+		}
 		sess, err := NewSession(cfg, m)
 		if err != nil {
 			return nil, err

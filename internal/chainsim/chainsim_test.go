@@ -117,7 +117,7 @@ func TestThroughputSpeedupSeries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, m := range chain.AllModes {
+	for _, m := range chain.Modes() {
 		if len(series[m]) != 2 {
 			t.Fatalf("mode %s: %d points", m, len(series[m]))
 		}

@@ -97,6 +97,22 @@ func (p *Pool) Len() int {
 // (re-indexed to block positions). C-SAGs computed against an outdated
 // snapshot are refreshed, mirroring the paper's lazy refinement.
 func (p *Pool) Pack(max int) ([]*types.Transaction, []*sag.CSAG) {
+	return p.pack(p.block(), max, true)
+}
+
+// PackForBlock is Pack with an explicit block context and deferred refresh,
+// for pipelined executors: a pipeline packs block N+1 while block N still
+// executes, so the pool's current-height context would be wrong, and stale
+// cached analyses come back as nil entries for the pipeline's offline
+// analysis stage to refresh concurrently with execution instead of
+// synchronously here.
+func (p *Pool) PackForBlock(blockCtx evm.BlockContext, max int) ([]*types.Transaction, []*sag.CSAG) {
+	return p.pack(blockCtx, max, false)
+}
+
+// pack implements Pack/PackForBlock: selection in arrival order, then
+// either synchronous stale-analysis refresh (refresh=true) or nil holes.
+func (p *Pool) pack(blockCtx evm.BlockContext, max int, refresh bool) ([]*types.Transaction, []*sag.CSAG) {
 	p.mu.Lock()
 	selected := make([]*entry, 0, max)
 	for _, e := range p.entries {
@@ -110,7 +126,6 @@ func (p *Pool) Pack(max int) ([]*types.Transaction, []*sag.CSAG) {
 		delete(p.entries, e.tx.Hash())
 	}
 	curRoot := p.root()
-	blockCtx := p.block()
 	p.mu.Unlock()
 
 	txs := make([]*types.Transaction, len(selected))
@@ -122,7 +137,11 @@ func (p *Pool) Pack(max int) ([]*types.Transaction, []*sag.CSAG) {
 			// Never analyzed (analysis failed or is still in flight):
 			// dynamic fallback.
 		case e.analyzedAt != curRoot:
-			// Stale analysis: refresh against the current snapshot.
+			// Stale analysis: refresh against the current snapshot, or
+			// leave the hole for the caller's offline stage.
+			if !refresh {
+				continue
+			}
 			if fresh, err := p.an.Analyze(e.tx, i, p.snap, blockCtx); err == nil {
 				fresh.TxIndex = i
 				csags[i] = fresh
