@@ -9,16 +9,22 @@
 //	dmvcc-bench -exp aborts           # abort statistics (RQ2 text)
 //	dmvcc-bench -exp ablation         # early-write / commutativity ablation
 //	dmvcc-bench -exp pipeline         # block-pipeline analysis/exec overlap
+//	dmvcc-bench -exp hotpath          # scheduler hot-path wall-clock baseline
 //	dmvcc-bench -exp all              # everything
 //
 // -blocks and -txs scale the workload; the defaults run in a few minutes on
-// a laptop.
+// a laptop. The hotpath experiment writes a machine-readable report
+// (-benchjson, default BENCH_hotpath.json) and can fold a previous run in
+// as the before-series (-baseline). -cpuprofile/-memprofile capture pprof
+// profiles of whichever experiment runs.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"dmvcc/internal/bench"
@@ -27,22 +33,66 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig7a|fig7b|fig8a|fig8b|rq1|aborts|ablation|pipeline|all")
+	exp := flag.String("exp", "all", "experiment: fig7a|fig7b|fig8a|fig8b|rq1|aborts|ablation|pipeline|hotpath|all")
 	blocks := flag.Int("blocks", 3, "blocks per experiment")
 	txs := flag.Int("txs", 1000, "transactions per block (fig7/rq1/aborts/ablation)")
 	simTxs := flag.Int("simtxs", 10000, "transactions per block for the fig8 network simulation (the paper's RQ3 size)")
 	simBlocks := flag.Int("simblocks", 2, "blocks for the fig8 network simulation")
 	rq1Blocks := flag.Int("rq1blocks", 10, "blocks for the rq1 sweep")
 	seed := flag.Int64("seed", 1, "workload seed")
+	hotTxs := flag.Int("hottxs", 1024, "transactions per block for the hotpath experiment")
+	hotRounds := flag.Int("hotrounds", 2, "timed re-executions per hotpath configuration")
+	benchJSON := flag.String("benchjson", "BENCH_hotpath.json", "output path for the hotpath report")
+	baselinePath := flag.String("baseline", "", "previous hotpath report whose numbers become the before-series")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
-	if err := run(*exp, *blocks, *txs, *simTxs, *simBlocks, *rq1Blocks, *seed); err != nil {
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dmvcc-bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "dmvcc-bench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	err := run(*exp, *blocks, *txs, *simTxs, *simBlocks, *rq1Blocks, *seed, hotpathArgs{
+		txs: *hotTxs, rounds: *hotRounds, jsonPath: *benchJSON, baseline: *baselinePath,
+	})
+
+	if *memProfile != "" {
+		f, ferr := os.Create(*memProfile)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "dmvcc-bench:", ferr)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if perr := pprof.WriteHeapProfile(f); perr != nil {
+			fmt.Fprintln(os.Stderr, "dmvcc-bench:", perr)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dmvcc-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, blocks, txs, simTxs, simBlocks, rq1Blocks int, seed int64) error {
+// hotpathArgs bundles the hotpath experiment's flags.
+type hotpathArgs struct {
+	txs, rounds        int
+	jsonPath, baseline string
+}
+
+func run(exp string, blocks, txs, simTxs, simBlocks, rq1Blocks int, seed int64, hot hotpathArgs) error {
 	low := workload.DefaultConfig()
 	low.TxPerBlock = txs
 	low.Seed = seed
@@ -135,6 +185,28 @@ func run(exp string, blocks, txs, simTxs, simBlocks, rq1Blocks int, seed int64) 
 			}
 			fmt.Print(rep.Render())
 			fmt.Println("pipeline: block N+1 analyzed while block N executes (Fig. 2 offline workflow)")
+
+		case "hotpath":
+			cfg := bench.DefaultHotpathConfig()
+			cfg.Txs = hot.txs
+			cfg.Rounds = hot.rounds
+			cfg.Seed = seed
+			rep, err := bench.RunHotpath(cfg)
+			if err != nil {
+				return err
+			}
+			if hot.baseline != "" {
+				if err := bench.MergeHotpathBaseline(rep, hot.baseline); err != nil {
+					return err
+				}
+			}
+			fmt.Print(rep.Render())
+			if hot.jsonPath != "" {
+				if err := rep.WriteJSON(hot.jsonPath); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", hot.jsonPath)
+			}
 
 		default:
 			return fmt.Errorf("unknown experiment %q", name)

@@ -1,0 +1,342 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"dmvcc/internal/baseline"
+	"dmvcc/internal/core"
+	"dmvcc/internal/sag"
+	"dmvcc/internal/state"
+	"dmvcc/internal/types"
+	"dmvcc/internal/workload"
+)
+
+// HotpathSchema identifies the BENCH_hotpath.json format. Bump on breaking
+// layout changes so downstream tooling can dispatch.
+const HotpathSchema = "dmvcc-bench/hotpath/v1"
+
+// HotpathConfig parameterizes the scheduler hot-path experiment.
+type HotpathConfig struct {
+	// Txs is the block size (the acceptance workload uses 1024).
+	Txs int
+	// Rounds is how many times each configuration re-executes the block
+	// inside one timed window (more rounds = less noise, more wall time).
+	Rounds int
+	// Threads are the worker counts to sweep.
+	Threads []int
+	// Seed fixes the workload.
+	Seed int64
+	// CommitWorkers is the parallelism for the parallel-commit comparison
+	// (0 = GOMAXPROCS).
+	CommitWorkers int
+}
+
+// DefaultHotpathConfig is the checked-in reference configuration. Commit
+// workers are fixed at 4 (not GOMAXPROCS) so the parallel storage-trie path
+// genuinely runs, and its RootMatch check means something, even on
+// single-core CI boxes.
+func DefaultHotpathConfig() HotpathConfig {
+	return HotpathConfig{Txs: 1024, Rounds: 2, Threads: []int{1, 4, 8, 16}, Seed: 1, CommitWorkers: 4}
+}
+
+// HotpathMeasure is one measured execution configuration. All per-tx values
+// average over Rounds x Txs transactions.
+type HotpathMeasure struct {
+	NsPerTx         float64 `json:"ns_per_tx"`
+	AllocsPerTx     float64 `json:"allocs_per_tx"`
+	BytesPerTx      float64 `json:"bytes_per_tx"`
+	Aborts          int64   `json:"aborts"`
+	BlockedReads    int64   `json:"blocked_reads"`
+	Executions      int64   `json:"executions"`
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+}
+
+// HotpathThread is the before/after pair at one thread count. Before is the
+// previous checked-in run (the trajectory); After is this run.
+type HotpathThread struct {
+	Threads int             `json:"threads"`
+	Before  *HotpathMeasure `json:"before,omitempty"`
+	After   HotpathMeasure  `json:"after"`
+}
+
+// HotpathCommit compares the serial and parallel DB.Commit on the block's
+// serial write set. Roots must match byte for byte.
+type HotpathCommit struct {
+	SerialNs   int64 `json:"serial_ns"`
+	ParallelNs int64 `json:"parallel_ns"`
+	Workers    int   `json:"workers"`
+	RootMatch  bool  `json:"root_match"`
+}
+
+// HotpathWorkload is one workload's full sweep.
+type HotpathWorkload struct {
+	Name          string          `json:"name"`
+	Txs           int             `json:"txs"`
+	Rounds        int             `json:"rounds"`
+	SerialNsPerTx float64         `json:"serial_ns_per_tx"`
+	Commit        HotpathCommit   `json:"commit"`
+	Threads       []HotpathThread `json:"threads"`
+}
+
+// HotpathReport is the machine-readable perf baseline persisted at the repo
+// root as BENCH_hotpath.json. Every later perf PR is measured against it.
+type HotpathReport struct {
+	Schema     string            `json:"schema"`
+	GoVersion  string            `json:"go_version"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Workloads  []HotpathWorkload `json:"workloads"`
+}
+
+// hotpathWorkloads returns the named workload configs of the sweep: the
+// paper's low-contention mainnet mix and the skewed high-contention setting.
+func hotpathWorkloads(cfg HotpathConfig) []struct {
+	name string
+	wl   workload.Config
+} {
+	low := workload.DefaultConfig()
+	low.TxPerBlock = cfg.Txs
+	low.Seed = cfg.Seed
+	high := low.HighContention()
+	return []struct {
+		name string
+		wl   workload.Config
+	}{
+		{fmt.Sprintf("mainnet-mix-%d", cfg.Txs), low},
+		{fmt.Sprintf("high-contention-%d", cfg.Txs), high},
+	}
+}
+
+// RunHotpath executes the hot-path sweep and returns the report (After
+// fields only; merge a previous run with MergeHotpathBaseline).
+func RunHotpath(cfg HotpathConfig) (*HotpathReport, error) {
+	if cfg.Txs <= 0 {
+		cfg.Txs = 1024
+	}
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 2
+	}
+	if len(cfg.Threads) == 0 {
+		cfg.Threads = []int{1, 4, 8, 16}
+	}
+	if cfg.CommitWorkers <= 0 {
+		cfg.CommitWorkers = runtime.GOMAXPROCS(0)
+	}
+
+	rep := &HotpathReport{
+		Schema:     HotpathSchema,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, w := range hotpathWorkloads(cfg) {
+		hw, err := runHotpathWorkload(w.name, w.wl, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("hotpath %s: %w", w.name, err)
+		}
+		rep.Workloads = append(rep.Workloads, *hw)
+	}
+	return rep, nil
+}
+
+// runHotpathWorkload measures serial, DMVCC-per-thread-count, and the
+// commit path for one workload. Execution never commits, so the same block
+// re-executes against the same genesis snapshot every round.
+func runHotpathWorkload(name string, wl workload.Config, cfg HotpathConfig) (*HotpathWorkload, error) {
+	world, err := workload.BuildWorld(wl)
+	if err != nil {
+		return nil, err
+	}
+	blockCtx := world.BlockContext()
+	txs := world.NextBlock()
+	an := sag.NewAnalyzer(world.Registry)
+	csags, err := an.AnalyzeBlock(txs, world.DB, blockCtx)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &HotpathWorkload{Name: name, Txs: len(txs), Rounds: cfg.Rounds}
+
+	// Serial reference (the speedup denominator).
+	serialRes, err := baseline.ExecuteSerial(world.DB, blockCtx, txs)
+	if err != nil {
+		return nil, err
+	}
+	serialNs, err := timeRounds(cfg.Rounds, func() error {
+		_, err := baseline.ExecuteSerial(world.DB, blockCtx, txs)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	totalTx := float64(cfg.Rounds * len(txs))
+	out.SerialNsPerTx = float64(serialNs) / totalTx
+
+	for _, th := range cfg.Threads {
+		ex := core.NewExecutor(world.Registry, th)
+		// Warmup round: page in code paths and steady-state the heap.
+		if _, err := ex.ExecuteBlock(world.DB, blockCtx, txs, csags); err != nil {
+			return nil, err
+		}
+		var stats core.Stats
+		runtime.GC()
+		var msBefore, msAfter runtime.MemStats
+		runtime.ReadMemStats(&msBefore)
+		start := time.Now()
+		for r := 0; r < cfg.Rounds; r++ {
+			res, err := ex.ExecuteBlock(world.DB, blockCtx, txs, csags)
+			if err != nil {
+				return nil, err
+			}
+			stats.Executions += res.Stats.Executions
+			stats.Aborts += res.Stats.Aborts
+			stats.BlockedReads += res.Stats.BlockedReads
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&msAfter)
+
+		m := HotpathMeasure{
+			NsPerTx:      float64(elapsed.Nanoseconds()) / totalTx,
+			AllocsPerTx:  float64(msAfter.Mallocs-msBefore.Mallocs) / totalTx,
+			BytesPerTx:   float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / totalTx,
+			Aborts:       stats.Aborts,
+			BlockedReads: stats.BlockedReads,
+			Executions:   stats.Executions,
+		}
+		if m.NsPerTx > 0 {
+			m.SpeedupVsSerial = out.SerialNsPerTx / m.NsPerTx
+		}
+		out.Threads = append(out.Threads, HotpathThread{Threads: th, After: m})
+	}
+
+	commit, err := measureCommit(wl, serialRes.WriteSet, cfg.CommitWorkers)
+	if err != nil {
+		return nil, err
+	}
+	out.Commit = *commit
+	return out, nil
+}
+
+// measureCommit times DB.Commit of the block's write set on twin worlds,
+// serial vs parallel, and verifies the roots are byte-identical.
+func measureCommit(wl workload.Config, ws *state.WriteSet, workers int) (*HotpathCommit, error) {
+	w1, err := workload.BuildWorld(wl)
+	if err != nil {
+		return nil, err
+	}
+	w2, err := workload.BuildWorld(wl)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	rootSerial, err := commitWith(w1, ws, 1)
+	if err != nil {
+		return nil, err
+	}
+	serialNs := time.Since(start).Nanoseconds()
+	start = time.Now()
+	rootParallel, err := commitWith(w2, ws, workers)
+	if err != nil {
+		return nil, err
+	}
+	parallelNs := time.Since(start).Nanoseconds()
+	return &HotpathCommit{
+		SerialNs:   serialNs,
+		ParallelNs: parallelNs,
+		Workers:    workers,
+		RootMatch:  rootSerial == rootParallel,
+	}, nil
+}
+
+// timeRounds runs fn Rounds times and returns the elapsed nanoseconds.
+func timeRounds(rounds int, fn func() error) (int64, error) {
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		if err := fn(); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start).Nanoseconds(), nil
+}
+
+// MergeHotpathBaseline loads a previous report from path and installs its
+// After measurements as the Before fields of rep (matched by workload name
+// and thread count), making rep the next point on the perf trajectory.
+// A missing file is not an error: the report simply has no Before points.
+func MergeHotpathBaseline(rep *HotpathReport, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	var prev HotpathReport
+	if err := json.Unmarshal(data, &prev); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	byKey := make(map[string]HotpathMeasure)
+	for _, w := range prev.Workloads {
+		for _, t := range w.Threads {
+			byKey[fmt.Sprintf("%s@%d", w.Name, t.Threads)] = t.After
+		}
+	}
+	for wi := range rep.Workloads {
+		w := &rep.Workloads[wi]
+		for ti := range w.Threads {
+			if m, ok := byKey[fmt.Sprintf("%s@%d", w.Name, w.Threads[ti].Threads)]; ok {
+				mm := m
+				w.Threads[ti].Before = &mm
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSON persists the report, pretty-printed for reviewable diffs.
+func (r *HotpathReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Render formats the report as a human-readable table.
+func (r *HotpathReport) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== hotpath: scheduler hot-path baseline (%s, %s/%s, GOMAXPROCS=%d) ==\n",
+		r.GoVersion, r.GOOS, r.GOARCH, r.GOMAXPROCS)
+	for _, w := range r.Workloads {
+		fmt.Fprintf(&sb, "-- %s: %d txs x %d rounds, serial %.0f ns/tx --\n",
+			w.Name, w.Txs, w.Rounds, w.SerialNsPerTx)
+		fmt.Fprintf(&sb, "%8s %14s %14s %12s %8s %10s %8s\n",
+			"threads", "ns/tx", "allocs/tx", "bytes/tx", "aborts", "blocked", "speedup")
+		for _, t := range w.Threads {
+			fmt.Fprintf(&sb, "%8d %14.0f %14.1f %12.0f %8d %10d %8.2f\n",
+				t.Threads, t.After.NsPerTx, t.After.AllocsPerTx, t.After.BytesPerTx,
+				t.After.Aborts, t.After.BlockedReads, t.After.SpeedupVsSerial)
+			if t.Before != nil {
+				fmt.Fprintf(&sb, "%8s %14.0f %14.1f %12.0f %8d %10d %8.2f\n",
+					"(before)", t.Before.NsPerTx, t.Before.AllocsPerTx, t.Before.BytesPerTx,
+					t.Before.Aborts, t.Before.BlockedReads, t.Before.SpeedupVsSerial)
+			}
+		}
+		fmt.Fprintf(&sb, "commit: serial %.2fms, parallel(%d) %.2fms, roots match: %v\n",
+			float64(w.Commit.SerialNs)/1e6, w.Commit.Workers,
+			float64(w.Commit.ParallelNs)/1e6, w.Commit.RootMatch)
+	}
+	return sb.String()
+}
+
+// commitWith commits ws into the world's DB with the given worker count.
+func commitWith(w *workload.World, ws *state.WriteSet, workers int) (types.Hash, error) {
+	return w.DB.CommitWith(ws, workers)
+}

@@ -28,7 +28,7 @@ type accessor struct {
 	published    map[sag.ItemID]u256.Int // early-published values (abs)
 	publishedDel map[sag.ItemID]struct{} // items with published delta parts
 
-	journal []func()
+	journal []undo
 	snaps   []int
 
 	armDelta     bool
@@ -59,20 +59,16 @@ var (
 	_ evm.BalanceAdder = (*accessor)(nil)
 )
 
+// newAccessor builds the state view of one incarnation. The item maps are
+// initialized lazily on first write — a plain transfer touches two or three
+// of them, so eager allocation of all eight dominated the per-incarnation
+// allocation count.
 func newAccessor(r *run, rt *txRuntime, inc int) *accessor {
 	return &accessor{
-		r:            r,
-		rt:           rt,
-		inc:          inc,
-		intrins:      evm.IntrinsicGas(rt.tx.Data),
-		w:            make(map[sag.ItemID]u256.Int),
-		wCode:        make(map[sag.ItemID][]byte),
-		touch:        make(map[sag.ItemID]touchKind),
-		pending:      make(map[sag.ItemID]u256.Int),
-		readCache:    make(map[sag.ItemID]u256.Int),
-		writeEvts:    make(map[sag.ItemID]int),
-		published:    make(map[sag.ItemID]u256.Int),
-		publishedDel: make(map[sag.ItemID]struct{}),
+		r:       r,
+		rt:      rt,
+		inc:     inc,
+		intrins: evm.IntrinsicGas(rt.tx.Data),
 	}
 }
 
@@ -81,53 +77,93 @@ func (a *accessor) dead() bool { return a.rt.curInc() != a.inc }
 
 // --- journaling -----------------------------------------------------------
 
-func (a *accessor) setTouch(id sag.ItemID, t touchKind) {
-	prev, had := a.touch[id]
-	a.journal = append(a.journal, func() {
-		if had {
-			a.touch[id] = prev
+// undoKind selects which accessor map an undo record restores.
+type undoKind uint8
+
+const (
+	undoTouch undoKind = iota + 1
+	undoW
+	undoWCode
+	undoPending
+)
+
+// undo is one typed entry of the revert journal. The previous closure-based
+// journal allocated a captured closure per mutation on the hottest write
+// path; typed records cost nothing beyond amortized slice growth.
+type undo struct {
+	kind undoKind
+	had  bool
+	tk   touchKind
+	id   sag.ItemID
+	val  u256.Int
+	code []byte
+}
+
+// revert undoes one journal record.
+func (a *accessor) revert(u *undo) {
+	switch u.kind {
+	case undoTouch:
+		if u.had {
+			a.touch[u.id] = u.tk
 		} else {
-			delete(a.touch, id)
+			delete(a.touch, u.id)
 		}
-	})
+	case undoW:
+		if u.had {
+			a.w[u.id] = u.val
+		} else {
+			delete(a.w, u.id)
+		}
+	case undoWCode:
+		if u.had {
+			a.wCode[u.id] = u.code
+		} else {
+			delete(a.wCode, u.id)
+		}
+	case undoPending:
+		if u.had {
+			a.pending[u.id] = u.val
+		} else {
+			delete(a.pending, u.id)
+		}
+	}
+}
+
+func (a *accessor) setTouch(id sag.ItemID, t touchKind) {
+	if a.touch == nil {
+		a.touch = make(map[sag.ItemID]touchKind)
+	}
+	prev, had := a.touch[id]
+	a.journal = append(a.journal, undo{kind: undoTouch, had: had, tk: prev, id: id})
 	a.touch[id] = t
 }
 
 func (a *accessor) setW(id sag.ItemID, v u256.Int) {
+	if a.w == nil {
+		a.w = make(map[sag.ItemID]u256.Int)
+	}
 	prev, had := a.w[id]
-	a.journal = append(a.journal, func() {
-		if had {
-			a.w[id] = prev
-		} else {
-			delete(a.w, id)
-		}
-	})
+	a.journal = append(a.journal, undo{kind: undoW, had: had, val: prev, id: id})
 	a.w[id] = v
 	a.drained = false
 }
 
 func (a *accessor) setWCode(id sag.ItemID, code []byte) {
+	if a.wCode == nil {
+		a.wCode = make(map[sag.ItemID][]byte)
+	}
 	prev, had := a.wCode[id]
-	a.journal = append(a.journal, func() {
-		if had {
-			a.wCode[id] = prev
-		} else {
-			delete(a.wCode, id)
-		}
-	})
+	a.journal = append(a.journal, undo{kind: undoWCode, had: had, code: prev, id: id})
 	a.wCode[id] = code
 	a.drained = false
 }
 
 func (a *accessor) addPending(id sag.ItemID, v *u256.Int) {
+	if a.pending == nil {
+		a.pending = make(map[sag.ItemID]u256.Int)
+	}
 	prev, had := a.pending[id]
-	a.journal = append(a.journal, func() {
-		if had {
-			a.pending[id] = prev
-		} else {
-			delete(a.pending, id)
-		}
-	})
+	a.journal = append(a.journal, undo{kind: undoPending, had: had, val: prev, id: id})
 	var next u256.Int
 	next.Add(&prev, v)
 	a.pending[id] = next
@@ -139,7 +175,7 @@ func (a *accessor) dropPendingJ(id sag.ItemID) {
 	if !had {
 		return
 	}
-	a.journal = append(a.journal, func() { a.pending[id] = prev })
+	a.journal = append(a.journal, undo{kind: undoPending, had: true, val: prev, id: id})
 	delete(a.pending, id)
 }
 
@@ -153,7 +189,7 @@ func (a *accessor) Snapshot() int {
 func (a *accessor) RevertToSnapshot(rev int) {
 	mark := a.snaps[rev]
 	for i := len(a.journal) - 1; i >= mark; i-- {
-		a.journal[i]()
+		a.revert(&a.journal[i])
 	}
 	a.journal = a.journal[:mark]
 	a.snaps = a.snaps[:rev]
@@ -176,28 +212,36 @@ func (a *accessor) snapValue(id sag.ItemID) u256.Int {
 }
 
 // readItem resolves a cross-transaction read through the access sequence,
-// suspending this transaction (and releasing its worker slot) while the
-// required version is pending.
+// suspending this transaction (and yielding its execution slot) while the
+// required version is pending. Re-attempts pass the previous waiter back so
+// the scan resumes from the entry it parked on instead of rescanning the
+// whole prefix.
 func (a *accessor) readItem(id sag.ItemID) (u256.Int, error) {
 	seq := a.r.seq(id)
+	var w *seqWaiter
 	for {
 		if a.dead() {
+			seq.cancelWaiter(w)
 			return u256.Int{}, evm.ErrAborted
 		}
 		snap := a.snapValue(id)
-		val, res, wait := seq.tryRead(a.rt.idx, a.inc, snap, a.dead)
+		val, res, next := seq.tryRead(a.rt.idx, a.inc, snap, a.dead, w)
+		if res == readAborted {
+			return u256.Int{}, evm.ErrAborted
+		}
 		if res != readBlocked {
 			a.rt.noteReadMark(a.inc, id)
 			a.events = append(a.events, TraceEvent{Kind: TraceRead, Item: id, Offset: a.offset})
 			return val, nil
 		}
+		w = next
 		a.r.stats.addBlocked()
-		a.r.gate.Release()
+		a.r.sched.yield()
 		select {
-		case <-wait:
+		case <-w.ch:
 		case <-a.rt.abortChan(a.inc):
 		}
-		a.r.gate.Acquire(a.rt.idx)
+		a.r.sched.reacquire(a.rt.idx)
 	}
 }
 
@@ -216,11 +260,27 @@ func (a *accessor) readValue(id sag.ItemID) (u256.Int, error) {
 	if err != nil {
 		return u256.Int{}, err
 	}
-	a.readCache[id] = val
+	a.cacheRead(id, val)
 	if a.touch[id] == touchNone {
 		a.setTouch(id, touchRead)
 	}
 	return val, nil
+}
+
+// cacheRead memoizes a resolved read (lazy map).
+func (a *accessor) cacheRead(id sag.ItemID, v u256.Int) {
+	if a.readCache == nil {
+		a.readCache = make(map[sag.ItemID]u256.Int)
+	}
+	a.readCache[id] = v
+}
+
+// bumpWriteEvt counts a write event against the C-SAG prediction (lazy map).
+func (a *accessor) bumpWriteEvt(id sag.ItemID) {
+	if a.writeEvts == nil {
+		a.writeEvts = make(map[sag.ItemID]int)
+	}
+	a.writeEvts[id]++
 }
 
 // degradeRead converts a delta-mode item to a normal read-modify-write: the
@@ -239,7 +299,7 @@ func (a *accessor) degradeRead(id sag.ItemID) (u256.Int, error) {
 	a.dropPendingJ(id)
 	a.setTouch(id, touchWritten)
 	a.setW(id, val)
-	a.readCache[id] = base
+	a.cacheRead(id, base)
 	return val, nil
 }
 
@@ -261,28 +321,34 @@ func (a *accessor) writeAbs(id sag.ItemID, v u256.Int) error {
 	}
 	a.setTouch(id, touchWritten)
 	a.setW(id, v)
-	a.writeEvts[id]++
+	a.bumpWriteEvt(id)
 	return nil
 }
 
 // waitPriorWrites parks until lower-indexed writers of id are finished.
 func (a *accessor) waitPriorWrites(id sag.ItemID) error {
 	seq := a.r.seq(id)
+	var w *seqWaiter
 	for {
 		if a.dead() {
+			seq.cancelWaiter(w)
 			return evm.ErrAborted
 		}
-		pending, wait := seq.priorWritesPending(a.rt.idx, a.dead)
+		pending, next := seq.priorWritesPending(a.rt.idx, a.dead, w)
 		if !pending {
 			return nil
 		}
+		if next == nil {
+			return evm.ErrAborted // incarnation retired while registering
+		}
+		w = next
 		a.r.stats.addBlocked()
-		a.r.gate.Release()
+		a.r.sched.yield()
 		select {
-		case <-wait:
+		case <-w.ch:
 		case <-a.rt.abortChan(a.inc):
 		}
-		a.r.gate.Acquire(a.rt.idx)
+		a.r.sched.reacquire(a.rt.idx)
 	}
 }
 
@@ -312,7 +378,7 @@ func (a *accessor) SetState(addr types.Address, key types.Hash, v u256.Int) erro
 		if a.deltaPending != nil && *a.deltaPending == id {
 			a.deltaPending = nil
 			a.addPending(id, &v)
-			a.writeEvts[id]++
+			a.bumpWriteEvt(id)
 			return nil
 		}
 	}
@@ -337,7 +403,7 @@ func (a *accessor) AddBalance(addr types.Address, delta u256.Int) error {
 			a.setTouch(id, touchDelta)
 		}
 		a.addPending(id, &delta)
-		a.writeEvts[id]++
+		a.bumpWriteEvt(id)
 		return nil
 	}
 	cur, err := a.readValue(id)
@@ -403,7 +469,7 @@ func (a *accessor) SetCode(addr types.Address, code []byte) error {
 	a.setTouch(id, touchWritten)
 	a.setWCode(id, code)
 	a.setW(id, h.Word())
-	a.writeEvts[id]++
+	a.bumpWriteEvt(id)
 	return nil
 }
 
@@ -502,6 +568,9 @@ func (a *accessor) publishAbs(id sag.ItemID, v u256.Int) error {
 	if err != nil {
 		return err
 	}
+	if a.published == nil {
+		a.published = make(map[sag.ItemID]u256.Int)
+	}
 	a.published[id] = v
 	a.events = append(a.events, TraceEvent{Kind: TraceWrite, Item: id, Offset: a.offset})
 	for _, vic := range victims {
@@ -518,6 +587,9 @@ func (a *accessor) publishDelta(id sag.ItemID, d u256.Int) error {
 		return err
 	}
 	delete(a.pending, id)
+	if a.publishedDel == nil {
+		a.publishedDel = make(map[sag.ItemID]struct{})
+	}
 	a.publishedDel[id] = struct{}{}
 	a.events = append(a.events, TraceEvent{Kind: TraceDelta, Item: id, Offset: a.offset})
 	a.r.stats.addDelta()

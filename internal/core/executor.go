@@ -3,7 +3,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -13,6 +12,13 @@ import (
 	"dmvcc/internal/types"
 	"dmvcc/internal/u256"
 )
+
+// closedChan is a pre-closed channel for stale-incarnation fast paths.
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
 
 // ErrTooManyAborts guards against livelock; it indicates a scheduler bug
 // rather than an expected runtime condition.
@@ -108,47 +114,6 @@ func NewExecutorOpts(reg *sag.Registry, threads int, opts Options) *Executor {
 	return &Executor{reg: reg, threads: threads, opts: opts}
 }
 
-// gate is an index-prioritized counting semaphore modelling N worker
-// threads: when a slot frees, the lowest-indexed waiting transaction runs
-// first (the paper's Q_ready ordering).
-type gate struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	tokens  int
-	waiting []int // min-heap-ish: kept sorted ascending
-}
-
-func newGate(tokens int) *gate {
-	g := &gate{tokens: tokens}
-	g.cond = sync.NewCond(&g.mu)
-	return g
-}
-
-// Acquire blocks until a slot is available and idx is the most-preferred
-// waiter.
-func (g *gate) Acquire(idx int) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	i := sort.SearchInts(g.waiting, idx)
-	g.waiting = append(g.waiting, 0)
-	copy(g.waiting[i+1:], g.waiting[i:])
-	g.waiting[i] = idx
-	for g.tokens == 0 || g.waiting[0] != idx {
-		g.cond.Wait()
-	}
-	// Remove one instance of idx (it is at the front).
-	g.waiting = g.waiting[1:]
-	g.tokens--
-}
-
-// Release frees a slot.
-func (g *gate) Release() {
-	g.mu.Lock()
-	g.tokens++
-	g.mu.Unlock()
-	g.cond.Broadcast()
-}
-
 // txRuntime is the mutable scheduling record of one transaction.
 type txRuntime struct {
 	idx  int
@@ -225,6 +190,32 @@ func (rt *txRuntime) complete(inc int, receipt *types.Receipt, trace *TxTrace) b
 	return true
 }
 
+// seqShardCount stripes the item→sequence index so concurrent accessors of
+// unrelated items never contend on one global lock. Must be a power of two.
+const seqShardCount = 64
+
+// seqShard is one stripe of the item→sequence map.
+type seqShard struct {
+	mu sync.RWMutex
+	m  map[sag.ItemID]*sequence
+}
+
+// shardIndex hashes an ItemID onto a shard (FNV-1a over the kind, the
+// address and the slot bytes that actually vary: storage slots are usually
+// small integers or hash outputs, so the tail bytes discriminate).
+func shardIndex(id sag.ItemID) uint32 {
+	h := uint32(2166136261)
+	h = (h ^ uint32(id.Kind)) * 16777619
+	for _, b := range id.Addr {
+		h = (h ^ uint32(b)) * 16777619
+	}
+	h = (h ^ uint32(id.Slot[0])) * 16777619
+	h = (h ^ uint32(id.Slot[15])) * 16777619
+	h = (h ^ uint32(id.Slot[30])) * 16777619
+	h = (h ^ uint32(id.Slot[31])) * 16777619
+	return h & (seqShardCount - 1)
+}
+
 // run is the state of one in-flight block execution.
 type run struct {
 	x     *Executor
@@ -232,11 +223,10 @@ type run struct {
 	snap  state.Reader
 	block evm.BlockContext
 	rts   []*txRuntime
-	gate  *gate
+	sched *pool
 	wg    sync.WaitGroup
 
-	seqMu sync.RWMutex
-	seqs  map[sag.ItemID]*sequence
+	shards [seqShardCount]seqShard
 
 	codeMu sync.Mutex
 	codes  map[types.Hash][]byte
@@ -251,20 +241,30 @@ type run struct {
 
 // seq returns (creating on demand) the access sequence of id.
 func (r *run) seq(id sag.ItemID) *sequence {
-	r.seqMu.RLock()
-	s, ok := r.seqs[id]
-	r.seqMu.RUnlock()
+	sh := &r.shards[shardIndex(id)]
+	sh.mu.RLock()
+	s, ok := sh.m[id]
+	sh.mu.RUnlock()
 	if ok {
 		return s
 	}
-	r.seqMu.Lock()
-	defer r.seqMu.Unlock()
-	if s, ok = r.seqs[id]; ok {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s, ok = sh.m[id]; ok {
 		return s
 	}
 	s = newSequence(id)
-	r.seqs[id] = s
+	sh.m[id] = s
 	return s
+}
+
+// forEachSeq visits every sequence (single-threaded commit phase only).
+func (r *run) forEachSeq(fn func(id sag.ItemID, s *sequence)) {
+	for i := range r.shards {
+		for id, s := range r.shards[i].m {
+			fn(id, s)
+		}
+	}
 }
 
 // storeCode keeps deployed code bytes addressable by hash.
@@ -292,62 +292,65 @@ func (r *run) fail(err error) {
 	r.errMu.Unlock()
 }
 
-// abort implements Algorithm 4 plus cascade processing: the victim's
-// incarnation is retired, its published versions dropped (aborting their
-// readers in turn), its read marks cleared, and a fresh incarnation
-// relaunched.
-func (r *run) abort(v victim) {
-	rt := r.rts[v.tx]
-	rt.mu.Lock()
-	if int(rt.inc.Load()) != v.inc {
+// abort implements Algorithm 4 plus cascade processing: each victim's
+// incarnation is retired, its published versions dropped (their stale
+// readers joining the worklist in turn), its read marks cleared, and a
+// fresh incarnation re-enqueued on the scheduler. The cascade is processed
+// iteratively off a worklist, so an arbitrarily deep dependency chain costs
+// constant goroutine stack.
+func (r *run) abort(first victim) {
+	work := []victim{first}
+	for len(work) > 0 {
+		v := work[len(work)-1]
+		work = work[:len(work)-1]
+
+		rt := r.rts[v.tx]
+		rt.mu.Lock()
+		if int(rt.inc.Load()) != v.inc {
+			rt.mu.Unlock()
+			continue // already re-incarnated
+		}
+		published := rt.published
+		readMarks := rt.readMarks
+		oldInc := v.inc
+		newInc := oldInc + 1
+		rt.inc.Store(int64(newInc))
+		close(rt.abortCh)
+		rt.abortCh = make(chan struct{})
+		rt.published = nil
+		rt.readMarks = nil
+		rt.finished = false
+		rt.receipt = nil
 		rt.mu.Unlock()
-		return // already re-incarnated
-	}
-	published := rt.published
-	readMarks := rt.readMarks
-	oldInc := v.inc
-	newInc := oldInc + 1
-	rt.inc.Store(int64(newInc))
-	close(rt.abortCh)
-	rt.abortCh = make(chan struct{})
-	rt.published = nil
-	rt.readMarks = nil
-	rt.finished = false
-	rt.receipt = nil
-	rt.mu.Unlock()
 
-	r.stats.aborts.Add(1)
+		r.stats.aborts.Add(1)
 
-	// Drop visible writes; collect cascading victims.
-	var cascade []victim
-	for _, id := range published {
-		cascade = append(cascade, r.seq(id).dropVersion(v.tx, oldInc)...)
-	}
-	for _, id := range readMarks {
-		r.seq(id).resetRead(v.tx, oldInc)
-	}
+		// Drop visible writes; push cascading victims onto the worklist.
+		for _, id := range published {
+			work = append(work, r.seq(id).dropVersion(v.tx, oldInc)...)
+		}
+		for _, id := range readMarks {
+			r.seq(id).resetRead(v.tx, oldInc)
+		}
 
-	if newInc >= maxIncarnations {
-		r.fail(fmt.Errorf("%w: tx %d", ErrTooManyAborts, v.tx))
-		return
-	}
-	// Relaunch the transaction.
-	r.wg.Add(1)
-	go r.execute(rt)
-
-	for _, c := range cascade {
-		r.abort(c)
+		if newInc >= maxIncarnations {
+			r.fail(fmt.Errorf("%w: tx %d", ErrTooManyAborts, v.tx))
+			continue
+		}
+		// Relaunch: re-enqueue on the worker pool (no goroutine spawn).
+		r.wg.Add(1)
+		r.sched.enqueue(v.tx)
 	}
 }
 
-// execute runs one incarnation of a transaction to completion or abort.
-func (r *run) execute(rt *txRuntime) {
+// runIncarnation runs one incarnation of a transaction to completion or
+// abort. Invoked by pool workers; the caller holds an execution slot for
+// the whole call (minus parked stretches, which yield it).
+func (r *run) runIncarnation(rt *txRuntime) {
 	defer r.wg.Done()
 	inc := rt.curInc()
 	r.stats.executions.Add(1)
 	acc := newAccessor(r, rt, inc)
-	r.gate.Acquire(rt.idx)
-	defer r.gate.Release()
 
 	receipt, err := evm.ApplyTransaction(acc, r.block, rt.tx, rt.idx, acc.hook)
 	if err != nil {
@@ -373,8 +376,6 @@ func (x *Executor) ExecuteBlock(snap state.Reader, block evm.BlockContext, txs [
 		reg:   x.reg,
 		snap:  snap,
 		block: block,
-		gate:  newGate(x.threads),
-		seqs:  make(map[sag.ItemID]*sequence),
 		codes: make(map[types.Hash][]byte),
 		opts:  x.opts,
 	}
@@ -387,7 +388,27 @@ func (x *Executor) ExecuteBlock(snap state.Reader, block evm.BlockContext, txs [
 		r.rts[i] = &txRuntime{idx: i, tx: tx, csag: c, abortCh: make(chan struct{})}
 	}
 
-	// Initialize the access sequences from the C-SAGs (Algorithm 1 line 1).
+	// Pre-size the sequence shards from the C-SAG predicted access counts
+	// (repeat items across transactions overestimate, which is fine), then
+	// initialize the access sequences (Algorithm 1 line 1).
+	var sizes [seqShardCount]int
+	for _, rt := range r.rts {
+		if rt.csag == nil {
+			continue
+		}
+		for id := range rt.csag.Reads {
+			sizes[shardIndex(id)]++
+		}
+		for id := range rt.csag.Writes {
+			sizes[shardIndex(id)]++
+		}
+		for id := range rt.csag.Deltas {
+			sizes[shardIndex(id)]++
+		}
+	}
+	for i := range r.shards {
+		r.shards[i].m = make(map[sag.ItemID]*sequence, sizes[i])
+	}
 	for i, rt := range r.rts {
 		if rt.csag == nil {
 			continue
@@ -407,12 +428,13 @@ func (x *Executor) ExecuteBlock(snap state.Reader, block evm.BlockContext, txs [
 		}
 	}
 
-	// Execution phase: one goroutine per transaction, gated to N threads.
-	for _, rt := range r.rts {
-		r.wg.Add(1)
-		go r.execute(rt)
-	}
+	// Execution phase: transactions flow index-ordered through a bounded
+	// worker pool (the paper's N EVM instances); aborts re-enqueue.
+	r.sched = newPool(x.threads, func(idx int) { r.runIncarnation(r.rts[idx]) })
+	r.wg.Add(len(txs))
+	r.sched.enqueueAll(len(txs))
 	r.wg.Wait()
+	r.sched.shutdown()
 
 	if r.err != nil {
 		return nil, r.err
@@ -421,11 +443,11 @@ func (x *Executor) ExecuteBlock(snap state.Reader, block evm.BlockContext, txs [
 	// Commit phase: flush the last version of every sequence (Algorithm 1
 	// line 20).
 	ws := state.NewWriteSet()
-	for id, s := range r.seqs {
+	r.forEachSeq(func(id sag.ItemID, s *sequence) {
 		base := snapFor(snap, id)
 		val, wrote := s.finalValue(base)
 		if !wrote {
-			continue
+			return
 		}
 		switch id.Kind {
 		case sag.KindStorage:
@@ -439,7 +461,7 @@ func (x *Executor) ExecuteBlock(snap state.Reader, block evm.BlockContext, txs [
 				ws.Codes[id.Addr] = code
 			}
 		}
-	}
+	})
 
 	receipts := make([]*types.Receipt, len(txs))
 	traces := make([]*TxTrace, len(txs))

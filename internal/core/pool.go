@@ -1,0 +1,198 @@
+package core
+
+import (
+	"container/heap"
+	"sync"
+)
+
+// intHeap is a min-heap of transaction indexes (the ready queue).
+type intHeap []int
+
+func (h intHeap) Len() int            { return len(h) }
+func (h intHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h intHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *intHeap) Push(x interface{}) { *h = append(*h, x.(int)) }
+func (h *intHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// resumer is a parked transaction goroutine waiting to re-acquire an
+// execution slot after its wait channel fired.
+type resumer struct {
+	idx int
+	ch  chan struct{}
+}
+
+// resumerHeap is a min-heap of resumers by transaction index.
+type resumerHeap []resumer
+
+func (h resumerHeap) Len() int            { return len(h) }
+func (h resumerHeap) Less(i, j int) bool  { return h[i].idx < h[j].idx }
+func (h resumerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resumerHeap) Push(x interface{}) { *h = append(*h, x.(resumer)) }
+func (h *resumerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// pool schedules transaction incarnations onto a bounded set of worker
+// goroutines. It replaces the per-transaction goroutine + gate semaphore:
+//
+//   - At most `threads` incarnations are runnable at once (the paper's N
+//     EVM instances).
+//   - Fresh incarnations wait in an index-ordered ready heap and are pulled
+//     by worker goroutines; aborts re-enqueue the transaction instead of
+//     spawning a new goroutine.
+//   - A transaction that must park on a pending version yields its slot;
+//     on wake-up it re-acquires one through the resumer heap. Both heaps
+//     compete on transaction index, so the lowest-indexed runnable
+//     transaction always gets the next free slot (Q_ready ordering), and
+//     every hand-off wakes exactly one goroutine — there is no broadcast.
+//   - Workers are spawned lazily: only when a slot and a ready task exist
+//     with no idle worker. Idle workers are reused LIFO and exit at
+//     shutdown, so a block of n transactions no longer costs n goroutine
+//     spawns.
+type pool struct {
+	mu      sync.Mutex
+	threads int
+	running int         // slots currently held by runnable incarnations
+	ready   intHeap     // fresh incarnations needing a worker
+	resume  resumerHeap // parked goroutines needing a slot back
+	idle    []chan int  // idle workers' hand-off channels (LIFO)
+	closed  bool
+	runFn   func(idx int)
+	spawned int64 // workers ever spawned (observability, tests)
+}
+
+// newPool returns a pool running incarnations via runFn on up to threads
+// concurrent slots.
+func newPool(threads int, runFn func(idx int)) *pool {
+	if threads < 1 {
+		threads = 1
+	}
+	return &pool{threads: threads, runFn: runFn}
+}
+
+// enqueue schedules a fresh incarnation of transaction idx.
+func (p *pool) enqueue(idx int) {
+	p.mu.Lock()
+	heap.Push(&p.ready, idx)
+	p.dispatchLocked()
+	p.mu.Unlock()
+}
+
+// enqueueAll schedules transactions 0..n-1 in one shot (block start).
+func (p *pool) enqueueAll(n int) {
+	p.mu.Lock()
+	p.ready = make(intHeap, 0, n)
+	for i := 0; i < n; i++ {
+		p.ready = append(p.ready, i) // ascending: already a valid min-heap
+	}
+	p.dispatchLocked()
+	p.mu.Unlock()
+}
+
+// yield releases the caller's slot before parking on a wait channel. The
+// caller must re-acquire with reacquire before touching shared state again.
+func (p *pool) yield() {
+	p.mu.Lock()
+	p.running--
+	p.dispatchLocked()
+	p.mu.Unlock()
+}
+
+// reacquire blocks until the caller (transaction idx) holds a slot again.
+// Lowest-index-first: the slot goes to the smallest index across parked
+// resumers and fresh ready tasks.
+func (p *pool) reacquire(idx int) {
+	p.mu.Lock()
+	if p.running < p.threads && len(p.ready) == 0 && len(p.resume) == 0 {
+		p.running++
+		p.mu.Unlock()
+		return
+	}
+	r := resumer{idx: idx, ch: make(chan struct{})}
+	heap.Push(&p.resume, r)
+	p.dispatchLocked()
+	p.mu.Unlock()
+	<-r.ch
+}
+
+// dispatchLocked hands free slots to the most-preferred waiters. Called
+// with p.mu held. Each hand-off wakes exactly one goroutine: a resumer via
+// its private channel, or one idle/new worker via its hand-off channel.
+func (p *pool) dispatchLocked() {
+	for p.running < p.threads {
+		hasTask := len(p.ready) > 0
+		hasRes := len(p.resume) > 0
+		switch {
+		case hasRes && (!hasTask || p.resume[0].idx <= p.ready[0]):
+			r := heap.Pop(&p.resume).(resumer)
+			p.running++
+			close(r.ch)
+		case hasTask:
+			idx := heap.Pop(&p.ready).(int)
+			p.running++
+			if n := len(p.idle); n > 0 {
+				ch := p.idle[n-1]
+				p.idle = p.idle[:n-1]
+				ch <- idx // buffered: never blocks under p.mu
+			} else {
+				p.spawned++
+				go p.worker(idx)
+			}
+		default:
+			return
+		}
+	}
+}
+
+// worker runs incarnations until the pool shuts down. It starts owning a
+// slot for idx; after each incarnation it releases the slot and parks on a
+// private hand-off channel until dispatch assigns the next task.
+func (p *pool) worker(idx int) {
+	for {
+		p.runFn(idx)
+		p.mu.Lock()
+		p.running--
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		ch := make(chan int, 1)
+		p.idle = append(p.idle, ch)
+		p.dispatchLocked()
+		p.mu.Unlock()
+		next, ok := <-ch
+		if !ok {
+			return
+		}
+		idx = next
+	}
+}
+
+// shutdown releases all idle workers. Call after every incarnation
+// completed (no tasks in flight).
+func (p *pool) shutdown() {
+	p.mu.Lock()
+	p.closed = true
+	for _, ch := range p.idle {
+		close(ch)
+	}
+	p.idle = nil
+	p.mu.Unlock()
+}
+
+// workersSpawned reports how many worker goroutines the pool ever created.
+func (p *pool) workersSpawned() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.spawned
+}

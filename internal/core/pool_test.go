@@ -1,0 +1,102 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPoolLowestIndexFirst: with one slot held by the first task, later
+// enqueues in scrambled order must be dispatched lowest-index-first.
+func TestPoolLowestIndexFirst(t *testing.T) {
+	var mu sync.Mutex
+	var order []int
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	var p *pool
+	p = newPool(1, func(idx int) {
+		if idx == 0 {
+			<-release // hold the only slot while the rest queue up
+		}
+		mu.Lock()
+		order = append(order, idx)
+		mu.Unlock()
+		wg.Done()
+	})
+	wg.Add(5)
+	p.enqueue(0)
+	for _, idx := range []int{9, 3, 7, 1} {
+		p.enqueue(idx)
+	}
+	close(release)
+	wg.Wait()
+	p.shutdown()
+
+	want := []int{0, 1, 3, 7, 9}
+	for i, idx := range want {
+		if order[i] != idx {
+			t.Fatalf("dispatch order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestPoolWorkerReuse: a pool never spawns more workers than its thread
+// count when tasks do not park — the per-transaction goroutine is gone.
+func TestPoolWorkerReuse(t *testing.T) {
+	var wg sync.WaitGroup
+	p := newPool(2, func(int) { wg.Done() })
+	wg.Add(64)
+	p.enqueueAll(64)
+	wg.Wait()
+	p.shutdown()
+	if n := p.workersSpawned(); n > 2 {
+		t.Errorf("spawned %d workers for 64 tasks on 2 threads, want <= 2", n)
+	}
+}
+
+// TestPoolResumePriority: parked transactions re-acquire the slot one at a
+// time, lowest index first — each hand-off wakes exactly one goroutine.
+func TestPoolResumePriority(t *testing.T) {
+	block := make(chan struct{})
+	p := newPool(1, func(int) { <-block })
+	p.enqueue(0) // occupies the only slot
+
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	for _, idx := range []int{8, 2, 5} {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			p.reacquire(idx)
+			mu.Lock()
+			order = append(order, idx)
+			mu.Unlock()
+			p.yield() // pass the slot on
+		}(idx)
+	}
+	// Wait for all three to park in the resumer heap before freeing the slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		p.mu.Lock()
+		n := len(p.resume)
+		p.mu.Unlock()
+		if n == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("resumers never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(block)
+	wg.Wait()
+	p.shutdown()
+
+	want := []int{2, 5, 8}
+	for i, idx := range want {
+		if order[i] != idx {
+			t.Fatalf("resume order = %v, want %v", order, want)
+		}
+	}
+}

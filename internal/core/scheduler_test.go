@@ -1,0 +1,80 @@
+package core_test
+
+import (
+	"testing"
+
+	"dmvcc/internal/core"
+	"dmvcc/internal/sag"
+	"dmvcc/internal/types"
+	"dmvcc/internal/u256"
+)
+
+// TestStatsExactSingleThread: with one execution slot the pool dispatches
+// strictly in index order, so execution is equivalent to serial — exactly n
+// incarnations, zero aborts, zero blocked reads. (The old gate semaphore
+// admitted goroutines racily and reported hundreds of blocked reads here.)
+func TestStatsExactSingleThread(t *testing.T) {
+	var txs []*types.Transaction
+	for i := 0; i < 24; i++ {
+		txs = append(txs, call(user(i), icoAddr, 1000+uint64(i), "buy"))
+		txs = append(txs, call(user(i), nftAddr, 0, "mintNFT"))
+	}
+	db, reg := fixture(t)
+	an := sag.NewAnalyzer(reg)
+	csags, err := an.AnalyzeBlock(txs, db, blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.NewExecutor(reg, 1).ExecuteBlock(db, blk, txs, csags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Executions != int64(len(txs)) {
+		t.Errorf("executions = %d, want %d", res.Stats.Executions, len(txs))
+	}
+	if res.Stats.Aborts != 0 {
+		t.Errorf("aborts = %d, want 0 at one thread", res.Stats.Aborts)
+	}
+	if res.Stats.BlockedReads != 0 {
+		t.Errorf("blocked reads = %d, want 0 at one thread", res.Stats.BlockedReads)
+	}
+}
+
+// TestStatsExecutionsAccountForAborts: every incarnation is either the
+// original or a relaunch after an abort — Executions == n + Aborts holds
+// exactly under the worker pool at any thread count.
+func TestStatsExecutionsAccountForAborts(t *testing.T) {
+	txs := []*types.Transaction{
+		call(user(0), indirAddr, 0, "setKey", u256.NewUint64(1), u256.NewUint64(5)),
+		call(user(1), indirAddr, 0, "writeAt", u256.NewUint64(1), u256.NewUint64(42)),
+		call(user(2), indirAddr, 0, "copyTo", u256.NewUint64(5), u256.NewUint64(6)),
+		call(user(3), indirAddr, 0, "copyTo", u256.NewUint64(6), u256.NewUint64(7)),
+		call(user(4), indirAddr, 0, "copyTo", u256.NewUint64(7), u256.NewUint64(8)),
+	}
+	for _, threads := range []int{2, 4, 8} {
+		stats := runBoth(t, fixture, txs, threads)
+		if stats.Executions != int64(len(txs))+stats.Aborts {
+			t.Errorf("threads=%d: executions %d != %d txs + %d aborts",
+				threads, stats.Executions, len(txs), stats.Aborts)
+		}
+	}
+}
+
+// TestDeepDependentChain commits the serial root on a long copy chain whose
+// head is invalidated by an unpredicted write: however deep the cascade
+// reaches at runtime, the worklist abort must recover the whole suffix.
+func TestDeepDependentChain(t *testing.T) {
+	txs := []*types.Transaction{
+		call(user(0), indirAddr, 0, "setKey", u256.NewUint64(1), u256.NewUint64(5)),
+		call(user(1), indirAddr, 0, "writeAt", u256.NewUint64(1), u256.NewUint64(42)),
+	}
+	const chain = 48
+	for i := 0; i < chain; i++ {
+		txs = append(txs, call(user(2+i%60), indirAddr, 0, "copyTo",
+			u256.NewUint64(uint64(5+i)), u256.NewUint64(uint64(6+i))))
+	}
+	stats := runBoth(t, fixture, txs, 16)
+	if stats.Executions != int64(len(txs))+stats.Aborts {
+		t.Errorf("executions %d != %d txs + %d aborts", stats.Executions, len(txs), stats.Aborts)
+	}
+}

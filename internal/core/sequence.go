@@ -73,12 +73,34 @@ type victim struct {
 	inc int
 }
 
+// seqWaiter is one parked transaction registered on a sequence. Wakeups are
+// targeted: a mutation of the entry at position t wakes only waiters whose
+// transaction sits after t (readerTx > t) — a publish at position k cannot
+// change what a reader at or before k observes, so those stay parked.
+//
+// The waiter also carries the reader's scan state so a woken reader can
+// resume from the entry it blocked on instead of rescanning the whole
+// prefix: blockedTx is the pending entry it parked on and deltas the ω̄
+// contributions already accumulated above it. The cached state is valid
+// only while the already-scanned suffix (blockedTx, readerTx) stays
+// untouched; a mutation inside that window sets stale and forces a full
+// rescan on resume.
+type seqWaiter struct {
+	readerTx  int
+	blockedTx int
+	deltas    u256.Int
+	resumable bool // read waiters resume; ablation write-stalls always rescan
+	ch        chan struct{}
+	woken     bool
+	stale     bool
+}
+
 // sequence is the multi-version access sequence L_I of one state item.
 type sequence struct {
 	mu      sync.Mutex
 	id      sag.ItemID
 	entries []*entry // sorted by tx index, at most one per tx
-	waiters []chan struct{}
+	waiters []*seqWaiter
 }
 
 func newSequence(id sag.ItemID) *sequence {
@@ -123,24 +145,43 @@ const (
 	readOK readResult = iota + 1
 	readBlocked
 	readNeedSnapshot // resolved, but base comes from the snapshot
+	readAborted      // the reading incarnation is already dead
 )
 
 // tryRead resolves the value transaction tx must observe. snapBase is the
 // committed snapshot value of the item (used when no in-block writer
-// precedes tx). When the read would block, a wait channel is returned and
-// the caller must retry after it closes. On success the reader's entry is
-// marked done so later writers know to abort it (Algorithm 3 line 4).
-func (s *sequence) tryRead(tx, inc int, snapBase u256.Int, aborted func() bool) (u256.Int, readResult, chan struct{}) {
+// precedes tx). When the read would block, a registered waiter is returned
+// and the caller must retry after its channel closes, passing the waiter
+// back as prev so the scan resumes from the entry it blocked on (unless a
+// mutation inside the already-scanned window marked it stale). On success
+// the reader's entry is marked done so later writers know to abort it
+// (Algorithm 3 line 4).
+func (s *sequence) tryRead(tx, inc int, snapBase u256.Int, aborted func() bool, prev *seqWaiter) (u256.Int, readResult, *seqWaiter) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if prev != nil {
+		s.removeWaiter(prev)
+	}
 	if aborted() {
 		// Do not mark entries on behalf of a dead incarnation.
-		return u256.Int{}, readBlocked, closedChan
+		return u256.Int{}, readAborted, nil
 	}
 
-	pos, _ := s.find(tx)
 	var deltas u256.Int
-	for j := pos - 1; j >= 0; j-- {
+	start := -1
+	if prev != nil && prev.resumable && !prev.stale {
+		// Resume where we parked: the cached deltas cover everything above
+		// the blocking entry, so re-examine it and continue downward.
+		if i, ok := s.find(prev.blockedTx); ok {
+			start = i
+			deltas = prev.deltas
+		}
+	}
+	if start < 0 {
+		pos, _ := s.find(tx)
+		start = pos - 1
+	}
+	for j := start; j >= 0; j-- {
 		e := s.entries[j]
 		if e.status == statusDropped {
 			continue
@@ -150,12 +191,12 @@ func (s *sequence) tryRead(tx, inc int, snapBase u256.Int, aborted func() bool) 
 			continue
 		case kindDelta:
 			if e.status == statusPending {
-				return u256.Int{}, readBlocked, s.waitChan()
+				return u256.Int{}, readBlocked, s.addWaiter(tx, e.tx, deltas, true, prev)
 			}
 			deltas.Add(&deltas, &e.value)
 		case kindWrite, kindReadWrite:
 			if e.status == statusPending {
-				return u256.Int{}, readBlocked, s.waitChan()
+				return u256.Int{}, readBlocked, s.addWaiter(tx, e.tx, deltas, true, prev)
 			}
 			var val u256.Int
 			val.Add(&e.value, &deltas)
@@ -169,13 +210,6 @@ func (s *sequence) tryRead(tx, inc int, snapBase u256.Int, aborted func() bool) 
 	return val, readNeedSnapshot, nil
 }
 
-// closedChan is a pre-closed channel for immediate retry paths.
-var closedChan = func() chan struct{} {
-	ch := make(chan struct{})
-	close(ch)
-	return ch
-}()
-
 // markRead records a completed read by tx (mutating its entry in place).
 func (s *sequence) markRead(tx, inc int) {
 	e := s.ensureEntry(tx, kindRead)
@@ -183,36 +217,92 @@ func (s *sequence) markRead(tx, inc int) {
 	e.readInc = inc
 }
 
-// waitChan registers a waiter woken at the next publish/drop on this item.
-func (s *sequence) waitChan() chan struct{} {
-	ch := make(chan struct{})
-	s.waiters = append(s.waiters, ch)
-	return ch
+// addWaiter registers (or re-registers) a waiter parked on the pending
+// entry at blockedTx. The prev waiter object is recycled when available to
+// keep repeat parks allocation-free. Called with s.mu held.
+func (s *sequence) addWaiter(readerTx, blockedTx int, deltas u256.Int, resumable bool, prev *seqWaiter) *seqWaiter {
+	w := prev
+	if w == nil {
+		w = &seqWaiter{}
+	}
+	w.readerTx = readerTx
+	w.blockedTx = blockedTx
+	w.deltas = deltas
+	w.resumable = resumable
+	w.ch = make(chan struct{})
+	w.woken = false
+	w.stale = false
+	s.waiters = append(s.waiters, w)
+	return w
 }
 
-// wakeAll wakes every registered waiter. Called with s.mu held.
-func (s *sequence) wakeAll() {
-	for _, ch := range s.waiters {
-		close(ch)
+// removeWaiter deregisters w. Called with s.mu held.
+func (s *sequence) removeWaiter(w *seqWaiter) {
+	for i, o := range s.waiters {
+		if o == w {
+			n := len(s.waiters) - 1
+			s.waiters[i] = s.waiters[n]
+			s.waiters[n] = nil
+			s.waiters = s.waiters[:n]
+			return
+		}
 	}
-	s.waiters = nil
+}
+
+// cancelWaiter deregisters w after its reader aborted instead of retrying.
+func (s *sequence) cancelWaiter(w *seqWaiter) {
+	if w == nil {
+		return
+	}
+	s.mu.Lock()
+	s.removeWaiter(w)
+	s.mu.Unlock()
+}
+
+// notify targets waiters after the entry at position t changed (publish or
+// drop). Only waiters whose blocked scan could observe the change are
+// woken: a reader parked on blockedTx with index readerTx stops scanning at
+// the first pending entry, so mutations strictly below blockedTx cannot
+// unblock it and mutations at or after readerTx cannot affect its value.
+// Mutations strictly inside (blockedTx, readerTx) additionally invalidate
+// the cached delta prefix. Waiters stay registered (flagged woken) until
+// the reader deregisters, so staleness accumulates across multiple
+// mutations. Called with s.mu held.
+func (s *sequence) notify(t int) {
+	for _, w := range s.waiters {
+		if t >= w.readerTx || t < w.blockedTx {
+			continue
+		}
+		if t > w.blockedTx {
+			w.stale = true
+		}
+		if !w.woken {
+			w.woken = true
+			close(w.ch)
+		}
+	}
 }
 
 // priorWritesPending reports whether any lower-indexed transaction still
-// has an unfinished write/delta on this item, returning a wait channel when
-// so. Used only by the write-versioning ablation: with versioning disabled,
-// a writer must wait for earlier writers like a single-version lock.
-func (s *sequence) priorWritesPending(tx int, aborted func() bool) (bool, chan struct{}) {
+// has an unfinished write/delta on this item, returning a registered
+// waiter when so. Used only by the write-versioning ablation: with
+// versioning disabled, a writer must wait for earlier writers like a
+// single-version lock. A (true, nil) return means the caller's incarnation
+// is already dead.
+func (s *sequence) priorWritesPending(tx int, aborted func() bool, prev *seqWaiter) (bool, *seqWaiter) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if prev != nil {
+		s.removeWaiter(prev)
+	}
 	if aborted() {
-		return true, closedChan
+		return true, nil
 	}
 	pos, _ := s.find(tx)
 	for j := pos - 1; j >= 0; j-- {
 		e := s.entries[j]
 		if e.status == statusPending && e.kind != kindRead {
-			return true, s.waitChan()
+			return true, s.addWaiter(tx, e.tx, u256.Int{}, false, prev)
 		}
 	}
 	return false, nil
@@ -251,7 +341,7 @@ func (s *sequence) versionWrite(tx, inc int, val u256.Int, delta bool) []victim 
 	e.status = statusDone
 	e.writeInc = inc
 
-	s.wakeAll()
+	s.notify(tx)
 	// A completed read positioned after this version observed an older one
 	// (for deltas: merged without this contribution) — abort it. Delta/delta
 	// pairs never invalidate each other, which scanForward honours by
@@ -311,7 +401,7 @@ func (s *sequence) dropVersion(tx, inc int) []victim {
 	}
 	hadValue := e.status == statusDone
 	e.status = statusDropped
-	s.wakeAll()
+	s.notify(tx)
 	if !hadValue {
 		return nil
 	}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"testing"
-	"time"
 
 	"dmvcc/internal/sag"
 	"dmvcc/internal/types"
@@ -18,7 +17,7 @@ func never() bool { return false }
 func TestSequenceReadFromSnapshot(t *testing.T) {
 	s := newSequence(testItem())
 	snap := u256.NewUint64(42)
-	val, res, _ := s.tryRead(3, 0, snap, never)
+	val, res, _ := s.tryRead(3, 0, snap, never, nil)
 	if res == readBlocked {
 		t.Fatal("read with no writers must not block")
 	}
@@ -30,9 +29,12 @@ func TestSequenceReadFromSnapshot(t *testing.T) {
 func TestSequenceReadBlocksOnPendingWrite(t *testing.T) {
 	s := newSequence(testItem())
 	s.addPredicted(1, kindWrite)
-	_, res, wait := s.tryRead(3, 0, u256.Zero, never)
-	if res != readBlocked || wait == nil {
+	_, res, w := s.tryRead(3, 0, u256.Zero, never, nil)
+	if res != readBlocked || w == nil {
 		t.Fatal("read after pending write must block")
+	}
+	if w.blockedTx != 1 {
+		t.Errorf("waiter parked on tx %d, want 1", w.blockedTx)
 	}
 	// Publishing unblocks (the wait channel closes).
 	victims := s.versionWrite(1, 0, u256.NewUint64(7), false)
@@ -40,11 +42,11 @@ func TestSequenceReadBlocksOnPendingWrite(t *testing.T) {
 		t.Errorf("no completed readers yet, victims = %v", victims)
 	}
 	select {
-	case <-wait:
+	case <-w.ch:
 	default:
 		t.Fatal("waiter not woken by publish")
 	}
-	val, res, _ := s.tryRead(3, 0, u256.Zero, never)
+	val, res, _ := s.tryRead(3, 0, u256.Zero, never, w)
 	if res == readBlocked || val.Uint64() != 7 {
 		t.Errorf("read after publish = %d (res %d)", val.Uint64(), res)
 	}
@@ -55,7 +57,7 @@ func TestSequenceReadSkipsDropped(t *testing.T) {
 	s.addPredicted(1, kindWrite)
 	s.versionWrite(1, 0, u256.NewUint64(7), false)
 	s.dropVersion(1, 0)
-	val, res, _ := s.tryRead(3, 0, u256.NewUint64(100), never)
+	val, res, _ := s.tryRead(3, 0, u256.NewUint64(100), never, nil)
 	if res == readBlocked {
 		t.Fatal("dropped version must be transparent")
 	}
@@ -67,7 +69,7 @@ func TestSequenceReadSkipsDropped(t *testing.T) {
 func TestSequenceLateWriteAbortsCompletedReader(t *testing.T) {
 	s := newSequence(testItem())
 	// Reader tx3 completes against the snapshot.
-	if _, res, _ := s.tryRead(3, 5, u256.Zero, never); res == readBlocked {
+	if _, res, _ := s.tryRead(3, 5, u256.Zero, never, nil); res == readBlocked {
 		t.Fatal("setup read blocked")
 	}
 	// An unpredicted write by tx1 arrives afterwards (the Fig. 5 case).
@@ -81,8 +83,8 @@ func TestSequenceScanStopsAtInterveningWriter(t *testing.T) {
 	s := newSequence(testItem())
 	// tx2 writes (done), tx3 read tx2's version, tx5 read it too.
 	s.versionWrite(2, 0, u256.NewUint64(5), false)
-	s.tryRead(3, 0, u256.Zero, never)
-	s.tryRead(5, 0, u256.Zero, never)
+	s.tryRead(3, 0, u256.Zero, never, nil)
+	s.tryRead(5, 0, u256.Zero, never, nil)
 	// Now tx1 publishes: tx3/tx5 read tx2's version, NOT tx1's — the scan
 	// must stop at tx2's ω and abort nobody.
 	victims := s.versionWrite(1, 0, u256.NewUint64(1), false)
@@ -102,7 +104,7 @@ func TestSequenceDeltaDoesNotAbortDeltaWriters(t *testing.T) {
 		t.Errorf("delta invalidated a delta: %v", victims)
 	}
 	// A reader after both merges them onto the snapshot base.
-	val, res, _ := s.tryRead(9, 0, u256.NewUint64(100), never)
+	val, res, _ := s.tryRead(9, 0, u256.NewUint64(100), never, nil)
 	if res == readBlocked {
 		t.Fatal("read blocked with all deltas done")
 	}
@@ -114,7 +116,7 @@ func TestSequenceDeltaDoesNotAbortDeltaWriters(t *testing.T) {
 func TestSequenceLateDeltaAbortsCompletedReader(t *testing.T) {
 	s := newSequence(testItem())
 	s.versionWrite(4, 0, u256.NewUint64(10), true)
-	s.tryRead(9, 2, u256.Zero, never) // merged only tx4's delta
+	s.tryRead(9, 2, u256.Zero, never, nil) // merged only tx4's delta
 	victims := s.versionWrite(2, 0, u256.NewUint64(5), true)
 	if len(victims) != 1 || victims[0].tx != 9 {
 		t.Errorf("late delta must abort the reader: %v", victims)
@@ -124,7 +126,7 @@ func TestSequenceLateDeltaAbortsCompletedReader(t *testing.T) {
 func TestSequenceReadBlocksOnPendingDelta(t *testing.T) {
 	s := newSequence(testItem())
 	s.addPredicted(2, kindDelta)
-	if _, res, _ := s.tryRead(5, 0, u256.Zero, never); res != readBlocked {
+	if _, res, _ := s.tryRead(5, 0, u256.Zero, never, nil); res != readBlocked {
 		t.Fatal("read must wait for a pending delta from an earlier tx")
 	}
 }
@@ -133,7 +135,7 @@ func TestSequenceSameIncarnationDeltaAccumulates(t *testing.T) {
 	s := newSequence(testItem())
 	s.versionWrite(1, 0, u256.NewUint64(3), true)
 	s.versionWrite(1, 0, u256.NewUint64(4), true)
-	val, _, _ := s.tryRead(5, 0, u256.Zero, never)
+	val, _, _ := s.tryRead(5, 0, u256.Zero, never, nil)
 	if val.Uint64() != 7 {
 		t.Errorf("accumulated delta = %d, want 7", val.Uint64())
 	}
@@ -145,7 +147,7 @@ func TestSequenceDropAfterRepublishIsIgnored(t *testing.T) {
 	// Incarnation 1 republished before the aborter got to drop inc 0.
 	s.versionWrite(1, 1, u256.NewUint64(6), false)
 	s.dropVersion(1, 0)
-	val, res, _ := s.tryRead(3, 0, u256.Zero, never)
+	val, res, _ := s.tryRead(3, 0, u256.Zero, never, nil)
 	if res == readBlocked || val.Uint64() != 6 {
 		t.Errorf("val = %d (res %d), want the republished 6", val.Uint64(), res)
 	}
@@ -157,7 +159,7 @@ func TestSequencePublishAfterDropMarkIsIgnored(t *testing.T) {
 	// Aborter drops incarnation 0 before its in-flight publish lands.
 	s.dropVersion(1, 0)
 	s.versionWrite(1, 0, u256.NewUint64(5), false)
-	val, res, _ := s.tryRead(3, 0, u256.NewUint64(77), never)
+	val, res, _ := s.tryRead(3, 0, u256.NewUint64(77), never, nil)
 	if res == readBlocked {
 		t.Fatal("read blocked on a dead version")
 	}
@@ -168,7 +170,7 @@ func TestSequencePublishAfterDropMarkIsIgnored(t *testing.T) {
 
 func TestSequenceReadWriteUpgrade(t *testing.T) {
 	s := newSequence(testItem())
-	s.tryRead(2, 0, u256.Zero, never) // tx2 reads -> ρ entry, readDone
+	s.tryRead(2, 0, u256.Zero, never, nil) // tx2 reads -> ρ entry, readDone
 	s.versionWrite(2, 0, u256.NewUint64(8), false)
 	i, ok := s.find(2)
 	if !ok {
@@ -204,7 +206,7 @@ func TestSequenceFinalValue(t *testing.T) {
 func TestSequenceAbortedReaderNotMarked(t *testing.T) {
 	s := newSequence(testItem())
 	dead := func() bool { return true }
-	if _, res, _ := s.tryRead(3, 0, u256.Zero, dead); res != readBlocked {
+	if _, res, _ := s.tryRead(3, 0, u256.Zero, dead, nil); res != readAborted {
 		t.Fatal("dead incarnation must not complete reads")
 	}
 	// No read mark must exist for tx3.
@@ -215,14 +217,14 @@ func TestSequenceAbortedReaderNotMarked(t *testing.T) {
 
 func TestSequenceResetRead(t *testing.T) {
 	s := newSequence(testItem())
-	s.tryRead(3, 1, u256.Zero, never)
+	s.tryRead(3, 1, u256.Zero, never, nil)
 	s.resetRead(3, 1)
 	victims := s.versionWrite(1, 0, u256.NewUint64(9), false)
 	if len(victims) != 0 {
 		t.Errorf("reset read still targeted: %v", victims)
 	}
 	// Reset with the wrong incarnation leaves the mark.
-	s.tryRead(5, 2, u256.Zero, never)
+	s.tryRead(5, 2, u256.Zero, never, nil)
 	s.resetRead(5, 1)
 	victims = s.versionWrite(4, 0, u256.NewUint64(9), false)
 	if len(victims) != 1 {
@@ -230,50 +232,95 @@ func TestSequenceResetRead(t *testing.T) {
 	}
 }
 
-func TestGatePriority(t *testing.T) {
-	g := newGate(1)
-	g.Acquire(5)
-	done := make(chan int, 3)
-	for _, idx := range []int{9, 2, 7} {
-		idx := idx
-		go func() {
-			g.Acquire(idx)
-			done <- idx
-			g.Release()
-		}()
+// TestSequenceTargetedWakeup checks that publishes wake only the waiters
+// whose reads they can affect: a waiter parked at a lower position than the
+// mutated entry stays asleep.
+func TestSequenceTargetedWakeup(t *testing.T) {
+	s := newSequence(testItem())
+	s.addPredicted(2, kindWrite)
+	s.addPredicted(6, kindWrite)
+	_, res, early := s.tryRead(4, 0, u256.Zero, never, nil) // parks on tx2
+	if res != readBlocked {
+		t.Fatal("reader 4 must block on tx2's pending write")
 	}
-	// Give the goroutines time to queue, then release: the lowest index
-	// must win first.
-	waitForWaiters(t, g, 3)
-	g.Release()
-	first := <-done
-	if first != 2 {
-		t.Errorf("first acquirer = %d, want 2 (lowest index)", first)
+	_, res, late := s.tryRead(9, 0, u256.Zero, never, nil) // parks on tx6
+	if res != readBlocked {
+		t.Fatal("reader 9 must block on tx6's pending write")
 	}
-	<-done
-	<-done
+	// tx6 publishes: only the reader positioned after tx6 may wake.
+	s.versionWrite(6, 0, u256.NewUint64(1), false)
+	select {
+	case <-early.ch:
+		t.Fatal("reader 4 woken by a publish at position 6 > 4")
+	default:
+	}
+	select {
+	case <-late.ch:
+	default:
+		t.Fatal("reader 9 not woken by the publish it waits behind")
+	}
+	// tx2 publishes: now the early reader wakes too.
+	s.versionWrite(2, 0, u256.NewUint64(2), false)
+	select {
+	case <-early.ch:
+	default:
+		t.Fatal("reader 4 not woken by tx2's publish")
+	}
 }
 
-func waitForWaiters(t *testing.T, g *gate, n int) {
-	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		g.mu.Lock()
-		w := len(g.waiting)
-		g.mu.Unlock()
-		if w >= n {
-			return
-		}
-		time.Sleep(time.Millisecond)
+// TestSequenceResumeCursor checks the park-position cache: a woken reader
+// resumes from the entry it blocked on, and a mutation inside the
+// already-scanned window invalidates the cache (stale) so the resumed scan
+// still observes it.
+func TestSequenceResumeCursor(t *testing.T) {
+	s := newSequence(testItem())
+	s.addPredicted(2, kindWrite)
+	s.versionWrite(5, 0, u256.NewUint64(50), true) // done delta above tx2
+	_, res, w := s.tryRead(9, 0, u256.Zero, never, nil)
+	if res != readBlocked || w.blockedTx != 2 {
+		t.Fatalf("reader must park on tx2 (got blocked=%d res=%d)", w.blockedTx, res)
 	}
-	t.Fatal("waiters never queued")
+	if w.deltas.Uint64() != 50 {
+		t.Errorf("cached deltas = %d, want 50 (tx5's done delta)", w.deltas.Uint64())
+	}
+	// A new delta lands inside the scanned window (2 < 7 < 9): stale.
+	s.versionWrite(7, 0, u256.NewUint64(7), true)
+	if !w.stale {
+		t.Error("mutation inside the scanned window must mark the waiter stale")
+	}
+	s.versionWrite(2, 0, u256.NewUint64(100), false)
+	val, res, _ := s.tryRead(9, 0, u256.Zero, never, w)
+	if res == readBlocked {
+		t.Fatal("read still blocked after all publishes")
+	}
+	if val.Uint64() != 157 {
+		t.Errorf("resumed read = %d, want 100+50+7", val.Uint64())
+	}
+}
+
+// TestSequenceResumeCursorFresh: when nothing touched the scanned window,
+// the resumed read reuses the cached deltas (no stale flag) and still
+// produces the exact value.
+func TestSequenceResumeCursorFresh(t *testing.T) {
+	s := newSequence(testItem())
+	s.addPredicted(2, kindWrite)
+	s.versionWrite(5, 0, u256.NewUint64(50), true)
+	_, _, w := s.tryRead(9, 0, u256.Zero, never, nil)
+	s.versionWrite(2, 0, u256.NewUint64(100), false)
+	if w.stale {
+		t.Error("publish at the park position must not mark the cache stale")
+	}
+	val, res, _ := s.tryRead(9, 0, u256.Zero, never, w)
+	if res == readBlocked || val.Uint64() != 150 {
+		t.Errorf("resumed read = %d (res %d), want 100+50", val.Uint64(), res)
+	}
 }
 
 func TestSequenceDebugString(t *testing.T) {
 	s := newSequence(testItem())
 	s.addPredicted(1, kindWrite)
 	s.versionWrite(1, 0, u256.NewUint64(5), false)
-	s.tryRead(3, 0, u256.Zero, never)
+	s.tryRead(3, 0, u256.Zero, never, nil)
 	out := s.debugString()
 	if out == "" {
 		t.Fatal("empty debug string")

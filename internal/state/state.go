@@ -7,8 +7,10 @@ package state
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"dmvcc/internal/trie"
 	"dmvcc/internal/types"
@@ -200,8 +202,27 @@ func accountTrieValue(acc Account) []byte {
 
 // Commit applies a write set atomically, updates the tries, records and
 // returns the new state root. The paper's "flush last write of every access
-// sequence to StateDB and make a new snapshot" step lands here.
+// sequence to StateDB and make a new snapshot" step lands here. Storage
+// tries of distinct accounts are independent, so their updates and subtree
+// hashes run on a bounded worker group; the account trie is then updated
+// serially in sorted address order, which keeps the root byte-identical to
+// a fully serial commit (see DESIGN.md, "Parallel commit determinism").
 func (db *DB) Commit(ws *WriteSet) (types.Hash, error) {
+	return db.CommitWith(ws, runtime.GOMAXPROCS(0))
+}
+
+// storageResult is the parallel phase's output for one account: the new
+// storage root and the flat-map updates to apply under db.mu.
+type storageResult struct {
+	root types.Hash
+	err  error
+}
+
+// CommitWith is Commit with an explicit worker count for the storage-trie
+// phase. workers <= 1 commits fully serially; any worker count produces
+// byte-identical roots and trie-store contents (nodes are content-addressed
+// and the account trie is always updated in sorted address order).
+func (db *DB) CommitWith(ws *WriteSet, workers int) (types.Hash, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 
@@ -228,6 +249,64 @@ func (db *DB) Commit(ws *WriteSet) (types.Hash, error) {
 		return lessAddr(order[i], order[j])
 	})
 
+	// Phase 1: update every touched storage trie and hash its new root.
+	// Tries and flat maps are pre-opened serially so workers only ever
+	// mutate per-account structures plus the (concurrency-safe) node store.
+	storageAddrs := make([]types.Address, 0, len(ws.Storage))
+	for _, addr := range order {
+		if _, ok := ws.Storage[addr]; !ok {
+			continue
+		}
+		if _, err := db.storageTrie(addr, db.accounts[addr].StorageRoot); err != nil {
+			return types.Hash{}, err
+		}
+		if db.storage[addr] == nil {
+			db.storage[addr] = make(map[types.Hash]u256.Int, len(ws.Storage[addr]))
+		}
+		storageAddrs = append(storageAddrs, addr)
+	}
+	results := make(map[types.Address]storageResult, len(storageAddrs))
+	if workers <= 1 || len(storageAddrs) < 2 {
+		for _, addr := range storageAddrs {
+			root, err := db.commitStorage(addr, ws.Storage[addr])
+			results[addr] = storageResult{root: root, err: err}
+		}
+	} else {
+		if workers > len(storageAddrs) {
+			workers = len(storageAddrs)
+		}
+		var (
+			wg   sync.WaitGroup
+			rmu  sync.Mutex
+			next atomic.Int64
+		)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := next.Add(1) - 1
+					if i >= int64(len(storageAddrs)) {
+						return
+					}
+					addr := storageAddrs[i]
+					root, err := db.commitStorage(addr, ws.Storage[addr])
+					rmu.Lock()
+					results[addr] = storageResult{root: root, err: err}
+					rmu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, addr := range storageAddrs {
+		if res := results[addr]; res.err != nil {
+			return types.Hash{}, res.err
+		}
+	}
+
+	// Phase 2 (serial, deterministic): fold account fields and the storage
+	// roots into the account trie in sorted address order.
 	for _, addr := range order {
 		acc := db.accounts[addr]
 		if v, ok := ws.Balances[addr]; ok {
@@ -241,41 +320,8 @@ func (db *DB) Commit(ws *WriteSet) (types.Hash, error) {
 			db.codes[h] = code
 			acc.CodeHash = h
 		}
-		if slots, ok := ws.Storage[addr]; ok {
-			st, err := db.storageTrie(addr, acc.StorageRoot)
-			if err != nil {
-				return types.Hash{}, err
-			}
-			flat := db.storage[addr]
-			if flat == nil {
-				flat = make(map[types.Hash]u256.Int, len(slots))
-				db.storage[addr] = flat
-			}
-			keys := make([]types.Hash, 0, len(slots))
-			for k := range slots {
-				keys = append(keys, k)
-			}
-			sort.Slice(keys, func(i, j int) bool { return lessHash(keys[i], keys[j]) })
-			for _, k := range keys {
-				v := slots[k]
-				hk := types.Keccak(k[:])
-				if v.IsZero() {
-					delete(flat, k)
-					if err := st.Delete(hk[:]); err != nil {
-						return types.Hash{}, fmt.Errorf("storage delete: %w", err)
-					}
-				} else {
-					flat[k] = v
-					if err := st.Put(hk[:], v.Bytes()); err != nil {
-						return types.Hash{}, fmt.Errorf("storage put: %w", err)
-					}
-				}
-			}
-			sroot, err := st.Commit()
-			if err != nil {
-				return types.Hash{}, fmt.Errorf("storage commit: %w", err)
-			}
-			acc.StorageRoot = sroot
+		if res, ok := results[addr]; ok {
+			acc.StorageRoot = res.root
 		}
 		db.accounts[addr] = acc
 
@@ -292,6 +338,40 @@ func (db *DB) Commit(ws *WriteSet) (types.Hash, error) {
 	db.root = root
 	db.roots = append(db.roots, root)
 	return root, nil
+}
+
+// commitStorage applies one account's slot writes to its (pre-opened)
+// storage trie and flat map and returns the committed subtree root. Callers
+// guarantee exclusive access to the account's trie and flat map; the shared
+// node store is concurrency-safe.
+func (db *DB) commitStorage(addr types.Address, slots map[types.Hash]u256.Int) (types.Hash, error) {
+	st := db.storageTries[addr]
+	flat := db.storage[addr]
+	keys := make([]types.Hash, 0, len(slots))
+	for k := range slots {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return lessHash(keys[i], keys[j]) })
+	for _, k := range keys {
+		v := slots[k]
+		hk := types.Keccak(k[:])
+		if v.IsZero() {
+			delete(flat, k)
+			if err := st.Delete(hk[:]); err != nil {
+				return types.Hash{}, fmt.Errorf("storage delete: %w", err)
+			}
+		} else {
+			flat[k] = v
+			if err := st.Put(hk[:], v.Bytes()); err != nil {
+				return types.Hash{}, fmt.Errorf("storage put: %w", err)
+			}
+		}
+	}
+	sroot, err := st.Commit()
+	if err != nil {
+		return types.Hash{}, fmt.Errorf("storage commit: %w", err)
+	}
+	return sroot, nil
 }
 
 // storageTrie returns (caching) the storage trie for addr at the given root.

@@ -345,3 +345,60 @@ func TestOverlayChangesCommitRoundTrip(t *testing.T) {
 		t.Errorf("code = %x", got)
 	}
 }
+
+// TestCommitWithParallelRootsMatch: committing the same write set with the
+// storage tries hashed serially and with a bounded worker group must
+// produce byte-identical roots — the account trie is always folded in
+// sorted address order, and the node store is content-addressed.
+func TestCommitWithParallelRootsMatch(t *testing.T) {
+	buildWS := func(rng *rand.Rand) *WriteSet {
+		ws := NewWriteSet()
+		for a := 0; a < 40; a++ {
+			var addr types.Address
+			addr[0] = 0xfa
+			addr[19] = byte(a)
+			ws.Balances[addr] = u256.NewUint64(uint64(rng.Intn(1_000_000)))
+			ws.Nonces[addr] = uint64(rng.Intn(50))
+			for s := 0; s < 25; s++ {
+				var slot types.Hash
+				slot[31] = byte(s)
+				slot[30] = byte(a)
+				// Some zero values exercise the delete path.
+				ws.SetStorage(addr, slot, u256.NewUint64(uint64(rng.Intn(5)*1000)))
+			}
+		}
+		return ws
+	}
+
+	for _, workers := range []int{2, 4, 8} {
+		rng := rand.New(rand.NewSource(99))
+		ws := buildWS(rng)
+		dbSerial := NewDB()
+		rootSerial, err := dbSerial.CommitWith(ws, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dbPar := NewDB()
+		rootPar, err := dbPar.CommitWith(ws, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rootPar != rootSerial {
+			t.Fatalf("workers=%d: parallel commit root %s != serial %s", workers, rootPar, rootSerial)
+		}
+		// Second block on top: incremental commit must also agree.
+		rng2 := rand.New(rand.NewSource(123))
+		ws2 := buildWS(rng2)
+		r2s, err := dbSerial.CommitWith(ws2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2p, err := dbPar.CommitWith(ws2, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r2p != r2s {
+			t.Fatalf("workers=%d: second-block roots diverge: %s != %s", workers, r2p, r2s)
+		}
+	}
+}

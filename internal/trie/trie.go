@@ -12,6 +12,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sync"
 
 	"dmvcc/internal/keccak"
 	"dmvcc/internal/rlp"
@@ -47,7 +48,11 @@ type branchNode struct {
 type hashNode types.Hash
 
 // Store persists encoded trie nodes by hash. Implementations must be safe
-// for the access pattern of their caller; MemStore is not concurrency-safe.
+// for concurrent use: the state database commits independent storage tries
+// from multiple goroutines against one shared store. Nodes are content-
+// addressed (hash == keccak(encoding)), so concurrent PutNode calls for the
+// same hash always carry identical bytes and any interleaving converges to
+// the same store contents.
 type Store interface {
 	// GetNode returns the encoded node for h, or an error if missing.
 	GetNode(h types.Hash) ([]byte, error)
@@ -55,8 +60,9 @@ type Store interface {
 	PutNode(h types.Hash, enc []byte)
 }
 
-// MemStore is an in-memory node store.
+// MemStore is an in-memory node store, safe for concurrent use.
 type MemStore struct {
+	mu    sync.RWMutex
 	nodes map[types.Hash][]byte
 }
 
@@ -69,7 +75,9 @@ func NewMemStore() *MemStore {
 
 // GetNode implements Store.
 func (s *MemStore) GetNode(h types.Hash) ([]byte, error) {
+	s.mu.RLock()
 	enc, ok := s.nodes[h]
+	s.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("trie: missing node %s", h)
 	}
@@ -77,10 +85,18 @@ func (s *MemStore) GetNode(h types.Hash) ([]byte, error) {
 }
 
 // PutNode implements Store.
-func (s *MemStore) PutNode(h types.Hash, enc []byte) { s.nodes[h] = enc }
+func (s *MemStore) PutNode(h types.Hash, enc []byte) {
+	s.mu.Lock()
+	s.nodes[h] = enc
+	s.mu.Unlock()
+}
 
 // Len returns the number of stored nodes.
-func (s *MemStore) Len() int { return len(s.nodes) }
+func (s *MemStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.nodes)
+}
 
 // Trie is a mutable Merkle Patricia Trie over a node store.
 type Trie struct {
