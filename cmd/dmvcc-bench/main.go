@@ -16,7 +16,10 @@
 // a laptop. The hotpath experiment writes a machine-readable report
 // (-benchjson, default BENCH_hotpath.json) and can fold a previous run in
 // as the before-series (-baseline). -cpuprofile/-memprofile capture pprof
-// profiles of whichever experiment runs.
+// profiles of whichever experiment runs. -trace out.json captures a
+// Chrome/Perfetto timeline of a telemetry-instrumented run (hotpath and
+// pipeline experiments) plus the per-block critical path; -obs :6060 serves
+// the live introspection endpoint while the experiments run.
 package main
 
 import (
@@ -29,6 +32,7 @@ import (
 
 	"dmvcc/internal/bench"
 	"dmvcc/internal/chainsim"
+	"dmvcc/internal/telemetry"
 	"dmvcc/internal/workload"
 )
 
@@ -46,7 +50,26 @@ func main() {
 	baselinePath := flag.String("baseline", "", "previous hotpath report whose numbers become the before-series")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
+	tracePath := flag.String("trace", "", "write a Chrome/Perfetto trace of a telemetry-instrumented run (hotpath and pipeline experiments) to this file")
+	obsAddr := flag.String("obs", "", "serve the live introspection endpoint (pprof, expvar, /metrics, /telemetry) on this address, e.g. :6060")
 	flag.Parse()
+
+	var tracer *telemetry.Tracer
+	var metrics *telemetry.Registry
+	if *tracePath != "" || *obsAddr != "" {
+		tracer = telemetry.NewTracer()
+		tracer.Enable()
+		metrics = telemetry.NewRegistry()
+	}
+	if *obsAddr != "" {
+		addr, stop, err := telemetry.Serve(*obsAddr, metrics, tracer)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dmvcc-bench:", err)
+			os.Exit(1)
+		}
+		defer stop()
+		fmt.Printf("observability endpoint on http://%s (pprof, /debug/vars, /metrics, /telemetry/block/<n>)\n", addr)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -64,7 +87,15 @@ func main() {
 
 	err := run(*exp, *blocks, *txs, *simTxs, *simBlocks, *rq1Blocks, *seed, hotpathArgs{
 		txs: *hotTxs, rounds: *hotRounds, jsonPath: *benchJSON, baseline: *baselinePath,
-	})
+	}, tracer, metrics)
+
+	if err == nil && *tracePath != "" {
+		if werr := writeTrace(*tracePath, tracer); werr != nil {
+			err = werr
+		} else {
+			fmt.Printf("wrote %s (load in https://ui.perfetto.dev or chrome://tracing)\n", *tracePath)
+		}
+	}
 
 	if *memProfile != "" {
 		f, ferr := os.Create(*memProfile)
@@ -92,7 +123,17 @@ type hotpathArgs struct {
 	jsonPath, baseline string
 }
 
-func run(exp string, blocks, txs, simTxs, simBlocks, rq1Blocks int, seed int64, hot hotpathArgs) error {
+// writeTrace exports the collected telemetry as Chrome trace-event JSON.
+func writeTrace(path string, tracer *telemetry.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tracer.Snapshot().ExportChrome(f)
+}
+
+func run(exp string, blocks, txs, simTxs, simBlocks, rq1Blocks int, seed int64, hot hotpathArgs, tracer *telemetry.Tracer, metrics *telemetry.Registry) error {
 	low := workload.DefaultConfig()
 	low.TxPerBlock = txs
 	low.Seed = seed
@@ -179,7 +220,7 @@ func run(exp string, blocks, txs, simTxs, simBlocks, rq1Blocks int, seed int64, 
 			fmt.Println("workload: ICO-launch mix (hot commutative counters dominate)")
 
 		case "pipeline":
-			rep, err := bench.MeasurePipeline(bench.SpeedupConfig{Workload: low, Blocks: max(blocks, 3)})
+			rep, err := bench.MeasurePipelineTraced(bench.SpeedupConfig{Workload: low, Blocks: max(blocks, 3)}, tracer, metrics)
 			if err != nil {
 				return err
 			}
@@ -206,6 +247,17 @@ func run(exp string, blocks, txs, simTxs, simBlocks, rq1Blocks int, seed int64, 
 					return err
 				}
 				fmt.Printf("wrote %s\n", hot.jsonPath)
+			}
+			if tracer != nil {
+				// Traced re-execution: one instrumented DMVCC block per
+				// workload, critical paths on stdout, timeline in -trace.
+				paths, err := bench.TraceHotpath(cfg, 8, tracer, metrics)
+				if err != nil {
+					return err
+				}
+				for _, cp := range paths {
+					fmt.Print(cp.Render())
+				}
 			}
 
 		default:

@@ -16,6 +16,7 @@ import (
 
 	"dmvcc/internal/chain"
 	"dmvcc/internal/chainsim"
+	"dmvcc/internal/telemetry"
 	"dmvcc/internal/workload"
 )
 
@@ -28,9 +29,25 @@ func main() {
 	interval := flag.Duration("interval", time.Second, "mean mining interval")
 	hot := flag.Bool("hot", false, "use the high-contention workload")
 	seed := flag.Int64("seed", 7, "simulation seed")
+	obsAddr := flag.String("obs", "", "serve the live introspection endpoint (pprof, expvar, /metrics, /telemetry) on this address, e.g. :6060")
 	flag.Parse()
 
-	if err := run(*mode, *threads, *txs, *blocks, *validators, *interval, *hot, *seed); err != nil {
+	var tracer *telemetry.Tracer
+	var metrics *telemetry.Registry
+	if *obsAddr != "" {
+		tracer = telemetry.NewTracer()
+		tracer.Enable()
+		metrics = telemetry.NewRegistry()
+		addr, stop, err := telemetry.Serve(*obsAddr, metrics, tracer)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dmvcc-chainsim:", err)
+			os.Exit(1)
+		}
+		defer stop()
+		fmt.Printf("observability endpoint on http://%s (pprof, /debug/vars, /metrics, /telemetry/block/<n>)\n", addr)
+	}
+
+	if err := run(*mode, *threads, *txs, *blocks, *validators, *interval, *hot, *seed, tracer, metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "dmvcc-chainsim:", err)
 		os.Exit(1)
 	}
@@ -52,7 +69,7 @@ func parseMode(s string) (chain.Mode, error) {
 	return chain.Mode(s), nil
 }
 
-func run(modeName string, threads, txs, blocks, validators int, interval time.Duration, hot bool, seed int64) error {
+func run(modeName string, threads, txs, blocks, validators int, interval time.Duration, hot bool, seed int64, tracer *telemetry.Tracer, metrics *telemetry.Registry) error {
 	mode, err := parseMode(modeName)
 	if err != nil {
 		return err
@@ -68,6 +85,8 @@ func run(modeName string, threads, txs, blocks, validators int, interval time.Du
 	}
 	w.TxPerBlock = txs
 	cfg.Workload = w
+	cfg.Tracer = tracer
+	cfg.Metrics = metrics
 
 	fmt.Printf("simulating %d validators, %d blocks x %d txs, %v mean mining interval, %s on %d threads\n",
 		validators, blocks, txs, interval, mode, threads)

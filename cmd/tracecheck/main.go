@@ -1,0 +1,79 @@
+// tracecheck validates a Chrome trace-event JSON file (as written by
+// dmvcc-bench -trace): it must parse, carry a non-empty traceEvents array
+// whose entries all have the required keys, and contain at least one
+// duration slice and one metadata event. Exits non-zero on any violation,
+// so CI can gate on the artifact being loadable.
+//
+//	tracecheck trace.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type traceFile struct {
+	TraceEvents []map[string]any `json:"traceEvents"`
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json>")
+		os.Exit(2)
+	}
+	if err := check(os.Args[1]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+}
+
+func check(path string) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var tf traceFile
+	if err := json.Unmarshal(blob, &tf); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		return fmt.Errorf("%s: empty traceEvents", path)
+	}
+
+	phases := map[string]int{}
+	workers := map[string]bool{}
+	for i, ev := range tf.TraceEvents {
+		ph, ok := ev["ph"].(string)
+		if !ok || ph == "" {
+			return fmt.Errorf("%s: event %d: missing ph", path, i)
+		}
+		phases[ph]++
+		for _, key := range []string{"pid", "tid", "ts"} {
+			if _, ok := ev[key].(float64); !ok {
+				return fmt.Errorf("%s: event %d (ph=%s): missing numeric %s", path, i, ph, key)
+			}
+		}
+		if ph == "X" {
+			if _, ok := ev["dur"].(float64); !ok {
+				return fmt.Errorf("%s: event %d: duration slice without dur", path, i)
+			}
+		}
+		if ph == "M" && ev["name"] == "thread_name" {
+			if args, ok := ev["args"].(map[string]any); ok {
+				if name, ok := args["name"].(string); ok {
+					workers[fmt.Sprintf("%v/%s", ev["pid"], name)] = true
+				}
+			}
+		}
+	}
+	if phases["X"] == 0 {
+		return fmt.Errorf("%s: no duration slices (ph=X)", path)
+	}
+	if phases["M"] == 0 {
+		return fmt.Errorf("%s: no metadata events (ph=M)", path)
+	}
+	fmt.Printf("%s: ok — %d events (%d slices, %d metadata, %d flow), %d named tracks\n",
+		path, len(tf.TraceEvents), phases["X"], phases["M"], phases["s"]+phases["f"], len(workers))
+	return nil
+}

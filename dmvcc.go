@@ -25,6 +25,7 @@ import (
 	"dmvcc/internal/minisol"
 	"dmvcc/internal/sag"
 	"dmvcc/internal/state"
+	"dmvcc/internal/telemetry"
 	"dmvcc/internal/txpool"
 	"dmvcc/internal/types"
 	"dmvcc/internal/u256"
@@ -51,7 +52,22 @@ type (
 	// PipelineStats reports the analysis/execution overlap of a pipelined
 	// multi-block execution.
 	PipelineStats = chain.PipelineStats
+	// Tracer collects scheduler lifecycle events for timeline export (see
+	// WithTracer and telemetry.NewTracer).
+	Tracer = telemetry.Tracer
+	// Metrics is a counters/gauges/histograms registry attached via
+	// WithMetrics.
+	Metrics = telemetry.Registry
+	// CriticalPath is the dependency chain bounding one block's makespan.
+	CriticalPath = telemetry.CriticalPath
 )
+
+// NewTracer returns a disabled telemetry tracer; call Enable on it and
+// attach it with WithTracer, then export via Snapshot().ExportChrome.
+func NewTracer() *Tracer { return telemetry.NewTracer() }
+
+// NewMetrics returns an empty metrics registry for WithMetrics.
+func NewMetrics() *Metrics { return telemetry.NewRegistry() }
 
 // Execution schemes registered by the chain package. Additional schedulers
 // registered via chain.RegisterScheduler are addressed by their name.
@@ -130,6 +146,8 @@ type Chain struct {
 	lastHash Hash
 	threads  int
 	chainID  uint64
+	tracer   *telemetry.Tracer
+	metrics  *telemetry.Registry
 }
 
 // Option configures a Chain.
@@ -145,6 +163,19 @@ func WithThreads(n int) Option {
 // used when validating imported blocks (default 1).
 func WithChainID(id uint64) Option {
 	return func(c *Chain) { c.chainID = id }
+}
+
+// WithTracer attaches a telemetry tracer: while enabled, it collects the
+// scheduler lifecycle events and pipeline-stage spans of every executed
+// block, exportable as a Chrome/Perfetto timeline.
+func WithTracer(tr *Tracer) Option {
+	return func(c *Chain) { c.tracer = tr }
+}
+
+// WithMetrics attaches a metrics registry accumulating per-mode latency
+// histograms, commit timings, and scheduler counters.
+func WithMetrics(m *Metrics) Option {
+	return func(c *Chain) { c.metrics = m }
 }
 
 // NewChain builds a chain, running the genesis function to set up initial
@@ -165,7 +196,8 @@ func NewChain(genesis func(*Genesis) error, opts ...Option) (*Chain, error) {
 	if _, err := db.Commit(g.overlay.Changes()); err != nil {
 		return nil, fmt.Errorf("dmvcc: commit genesis: %w", err)
 	}
-	c.eng = chain.NewEngine(db, reg, c.threads, chain.WithChainID(c.chainID))
+	c.eng = chain.NewEngine(db, reg, c.threads, chain.WithChainID(c.chainID),
+		chain.WithTracer(c.tracer), chain.WithMetrics(c.metrics))
 	c.pool = txpool.New(c.eng.Analyzer(), db, db.Root, c.blockContext)
 	c.height = 1
 	return c, nil

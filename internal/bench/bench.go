@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"dmvcc/internal/chain"
+	"dmvcc/internal/telemetry"
 	"dmvcc/internal/types"
 	"dmvcc/internal/workload"
 )
@@ -173,6 +174,15 @@ func (a AbortStats) ReductionVsOCC() float64 {
 	}
 	return 100 * (1 - float64(a.DMVCCAborts)/float64(a.OCCAborts))
 }
+
+// RecordMetrics implements telemetry.Source.
+func (a AbortStats) RecordMetrics(r *telemetry.Registry) {
+	r.Counter("bench.aborts.txs").Add(a.Txs)
+	r.Counter("bench.aborts.dmvcc").Add(a.DMVCCAborts)
+	r.Counter("bench.aborts.occ").Add(a.OCCAborts)
+}
+
+var _ telemetry.Source = AbortStats{}
 
 // MeasureAborts executes blocks under DMVCC and OCC and aggregates aborts.
 func MeasureAborts(cfg SpeedupConfig) (AbortStats, error) {

@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"fmt"
+
+	"dmvcc/internal/chain"
+	"dmvcc/internal/telemetry"
+	"dmvcc/internal/workload"
+)
+
+// TraceHotpath executes one DMVCC block per hotpath workload with telemetry
+// attached — block number i+1 carries workload i's events — and returns the
+// critical path of each traced block. The tracer must already be enabled by
+// the caller; the registry may be nil.
+func TraceHotpath(cfg HotpathConfig, threads int, tr *telemetry.Tracer, reg *telemetry.Registry) ([]*telemetry.CriticalPath, error) {
+	if cfg.Txs <= 0 {
+		cfg.Txs = 1024
+	}
+	var paths []*telemetry.CriticalPath
+	for i, w := range hotpathWorkloads(cfg) {
+		world, err := workload.BuildWorld(w.wl)
+		if err != nil {
+			return nil, fmt.Errorf("trace %s: %w", w.name, err)
+		}
+		eng := chain.NewEngine(world.DB, world.Registry, threads,
+			chain.WithTracer(tr), chain.WithMetrics(reg))
+		blockCtx := world.BlockContext()
+		blockCtx.Number = uint64(i + 1) // one trace process group per workload
+		txs := world.NextBlock()
+		out, err := eng.Execute(chain.ModeDMVCC, blockCtx, txs)
+		if err != nil {
+			return nil, fmt.Errorf("trace %s: %w", w.name, err)
+		}
+		if _, err := eng.Commit(out.WriteSet); err != nil {
+			return nil, fmt.Errorf("trace %s commit: %w", w.name, err)
+		}
+		paths = append(paths, tr.Snapshot().CriticalPath(int64(i+1)))
+	}
+	return paths, nil
+}

@@ -16,6 +16,7 @@ import (
 	"dmvcc/internal/evm"
 	"dmvcc/internal/sag"
 	"dmvcc/internal/state"
+	"dmvcc/internal/telemetry"
 	"dmvcc/internal/types"
 )
 
@@ -65,6 +66,8 @@ type Engine struct {
 	an      *sag.Analyzer
 	threads int
 	chainID uint64
+	tracer  *telemetry.Tracer
+	metrics *telemetry.Registry
 }
 
 // EngineOption configures an Engine.
@@ -74,6 +77,19 @@ type EngineOption func(*Engine)
 // context when re-executing received blocks (default 1).
 func WithChainID(id uint64) EngineOption {
 	return func(e *Engine) { e.chainID = id }
+}
+
+// WithTracer attaches a telemetry tracer: scheduler lifecycle events and
+// pipeline-stage spans of every execution are collected into it (while it is
+// enabled).
+func WithTracer(tr *telemetry.Tracer) EngineOption {
+	return func(e *Engine) { e.tracer = tr }
+}
+
+// WithMetrics attaches a metrics registry: per-mode latency histograms,
+// commit timings, and scheduler counters accumulate into it.
+func WithMetrics(m *telemetry.Registry) EngineOption {
+	return func(e *Engine) { e.metrics = m }
 }
 
 // NewEngine returns an engine over db using the contract registry for
@@ -101,6 +117,18 @@ func (e *Engine) ChainID() uint64 { return e.chainID }
 // SetThreads adjusts the parallelism for subsequent executions.
 func (e *Engine) SetThreads(n int) { e.threads = n }
 
+// SetTracer attaches (or detaches, with nil) the telemetry tracer.
+func (e *Engine) SetTracer(tr *telemetry.Tracer) { e.tracer = tr }
+
+// Tracer returns the attached telemetry tracer (nil when none).
+func (e *Engine) Tracer() *telemetry.Tracer { return e.tracer }
+
+// SetMetrics attaches (or detaches, with nil) the metrics registry.
+func (e *Engine) SetMetrics(m *telemetry.Registry) { e.metrics = m }
+
+// Metrics returns the attached metrics registry (nil when none).
+func (e *Engine) Metrics() *telemetry.Registry { return e.metrics }
+
 // execContext assembles the scheduler input for one block.
 func (e *Engine) execContext(blockCtx evm.BlockContext, txs []*types.Transaction, csags []*sag.CSAG) ExecContext {
 	return ExecContext{
@@ -111,6 +139,8 @@ func (e *Engine) execContext(blockCtx evm.BlockContext, txs []*types.Transaction
 		Txs:      txs,
 		Threads:  e.threads,
 		CSAGs:    csags,
+		Tracer:   e.tracer,
+		Metrics:  e.metrics,
 	}
 }
 
@@ -127,7 +157,43 @@ func (e *Engine) ExecuteWith(mode Mode, blockCtx evm.BlockContext, txs []*types.
 	if err != nil {
 		return nil, err
 	}
-	return s.Execute(e.execContext(blockCtx, txs, csags))
+	e.tracer.SetBlock(int64(blockCtx.Number))
+	start := time.Now()
+	out, err := s.Execute(e.execContext(blockCtx, txs, csags))
+	if err != nil {
+		return nil, err
+	}
+	if e.tracer.Enabled() {
+		e.tracer.RecordSpan(int64(blockCtx.Number), "execution",
+			fmt.Sprintf("%s block %d", mode, blockCtx.Number), start, time.Now())
+	}
+	e.observe(mode, out)
+	return out, nil
+}
+
+// observe records one execution outcome into the metrics registry: per-mode
+// block execution and analysis latency histograms, the per-transaction
+// virtual service-time distribution, and (for DMVCC) the scheduler counters.
+func (e *Engine) observe(mode Mode, out *ExecOut) {
+	if e.metrics == nil || out == nil {
+		return
+	}
+	m := string(mode)
+	e.metrics.Histogram("chain." + m + ".block_exec_ns").Observe(float64(out.ExecTime.Nanoseconds()))
+	if out.AnalysisTime > 0 {
+		e.metrics.Histogram("chain." + m + ".analysis_ns").Observe(float64(out.AnalysisTime.Nanoseconds()))
+	}
+	h := e.metrics.Histogram("chain." + m + ".tx_service_cost")
+	for _, c := range out.GasCosts {
+		h.Observe(float64(c))
+	}
+	if mode == ModeDMVCC {
+		out.Stats.RecordMetrics(e.metrics)
+		e.metrics.Counter("core.wasted_gas").Add(int64(out.WastedGas))
+	}
+	if out.Aborts > 0 {
+		e.metrics.Counter("chain." + m + ".aborts").Add(out.Aborts)
+	}
 }
 
 // Analyzer exposes the engine's SAG analyzer (shared with transaction
@@ -137,7 +203,18 @@ func (e *Engine) Analyzer() *sag.Analyzer { return e.an }
 // Commit applies a block's write set and returns the new state root — the
 // RQ1 equivalence oracle.
 func (e *Engine) Commit(ws *state.WriteSet) (types.Hash, error) {
-	return e.db.Commit(ws)
+	start := time.Now()
+	root, err := e.db.Commit(ws)
+	if err != nil {
+		return root, err
+	}
+	if e.metrics != nil {
+		e.metrics.Histogram("chain.commit_ns").Observe(float64(time.Since(start).Nanoseconds()))
+	}
+	if e.tracer.Enabled() {
+		e.tracer.RecordSpan(e.tracer.Block(), "commit", "commit", start, time.Now())
+	}
+	return root, nil
 }
 
 // ExecuteAndCommit executes under mode and commits, returning the root.

@@ -6,6 +6,7 @@ import (
 
 	"dmvcc/internal/evm"
 	"dmvcc/internal/sag"
+	"dmvcc/internal/telemetry"
 	"dmvcc/internal/types"
 )
 
@@ -47,13 +48,36 @@ type PipelineStats struct {
 }
 
 // OverlapFraction returns the share of analysis wall time hidden behind
-// execution, in [0,1].
+// execution, clamped to [0,1]. Timer jitter can make the summed overlap
+// nominally exceed the summed analysis wall; the clamp keeps the ratio a
+// valid fraction.
 func (s PipelineStats) OverlapFraction() float64 {
 	if s.AnalysisWall <= 0 {
 		return 0
 	}
-	return float64(s.Overlap) / float64(s.AnalysisWall)
+	f := float64(s.Overlap) / float64(s.AnalysisWall)
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
 }
+
+// RecordMetrics implements telemetry.Source: pipeline wall-time splits and
+// analysis reuse counters accumulate under the "pipeline." prefix.
+func (s PipelineStats) RecordMetrics(r *telemetry.Registry) {
+	r.Counter("pipeline.blocks").Add(int64(s.Blocks))
+	r.Counter("pipeline.analysis_wall_ns").Add(s.AnalysisWall.Nanoseconds())
+	r.Counter("pipeline.exec_wall_ns").Add(s.ExecWall.Nanoseconds())
+	r.Counter("pipeline.overlap_ns").Add(s.Overlap.Nanoseconds())
+	r.Counter("pipeline.stall_ns").Add(s.Stall.Nanoseconds())
+	r.Counter("pipeline.reused").Add(int64(s.Reused))
+	r.Counter("pipeline.analyzed").Add(int64(s.Analyzed))
+}
+
+var _ telemetry.Source = PipelineStats{}
 
 // PipelineHooks injects observation points for tests. All hooks may be nil.
 // AnalysisStart(i) fires on the pipeline goroutine right before block i's
@@ -114,6 +138,10 @@ func (e *Engine) ExecutePipelinedHooked(mode Mode, blocks []BlockInput, hooks Pi
 		start := time.Now()
 		a.csags, a.err = offline.AnalyzeOffline(e.execContext(blocks[i].Block, blocks[i].Txs, blocks[i].CSAGs))
 		a.dur = time.Since(start)
+		if e.tracer.Enabled() {
+			e.tracer.RecordSpan(int64(blocks[i].Block.Number), "analysis",
+				fmt.Sprintf("analyze block %d", blocks[i].Block.Number), start, time.Now())
+		}
 		if hooks.AnalysisDone != nil {
 			hooks.AnalysisDone(i)
 		}
@@ -162,6 +190,7 @@ func (e *Engine) ExecutePipelinedHooked(mode Mode, blocks []BlockInput, hooks Pi
 		if hooks.ExecStart != nil {
 			hooks.ExecStart(i)
 		}
+		e.tracer.SetBlock(int64(blocks[i].Block.Number))
 		execStart := time.Now()
 		out, err := sched.Execute(e.execContext(blocks[i].Block, blocks[i].Txs, csags))
 		if err != nil {
@@ -169,6 +198,11 @@ func (e *Engine) ExecutePipelinedHooked(mode Mode, blocks []BlockInput, hooks Pi
 		}
 		execDur := time.Since(execStart)
 		res.Stats.ExecWall += execDur
+		if e.tracer.Enabled() {
+			e.tracer.RecordSpan(int64(blocks[i].Block.Number), "execution",
+				fmt.Sprintf("%s block %d", mode, blocks[i].Block.Number), execStart, time.Now())
+		}
+		e.observe(mode, out)
 		if hooks.ExecDone != nil {
 			hooks.ExecDone(i)
 		}
@@ -196,6 +230,9 @@ func (e *Engine) ExecutePipelinedHooked(mode Mode, blocks []BlockInput, hooks Pi
 		res.Outs[i] = out
 		res.Roots[i] = root
 		cur = next
+	}
+	if e.metrics != nil {
+		res.Stats.RecordMetrics(e.metrics)
 	}
 	return res, nil
 }

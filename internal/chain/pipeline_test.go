@@ -5,6 +5,12 @@ import (
 	"time"
 
 	"dmvcc/internal/chain"
+	"dmvcc/internal/evm"
+	"dmvcc/internal/sag"
+	"dmvcc/internal/state"
+	"dmvcc/internal/txpool"
+	"dmvcc/internal/types"
+	"dmvcc/internal/u256"
 	"dmvcc/internal/workload"
 )
 
@@ -142,6 +148,127 @@ func TestPipelineOverlapsAnalysisWithExecution(t *testing.T) {
 	}
 	if res.Stats.Blocks != len(inputs) {
 		t.Errorf("stats report %d blocks, want %d", res.Stats.Blocks, len(inputs))
+	}
+}
+
+// TestOverlapFractionEdgeCases pins the fraction's domain: zero analysis
+// wall yields 0 (not NaN), overlap exceeding the analysis wall — timer
+// jitter across the two independent measurements — clamps to 1, and the
+// well-formed case is the plain ratio.
+func TestOverlapFractionEdgeCases(t *testing.T) {
+	cases := []struct {
+		name     string
+		analysis time.Duration
+		overlap  time.Duration
+		want     float64
+	}{
+		{"zero analysis wall", 0, 5 * time.Millisecond, 0},
+		{"zero everything", 0, 0, 0},
+		{"overlap exceeds analysis", 10 * time.Millisecond, 12 * time.Millisecond, 1},
+		{"full overlap", 10 * time.Millisecond, 10 * time.Millisecond, 1},
+		{"half hidden", 10 * time.Millisecond, 5 * time.Millisecond, 0.5},
+		{"negative overlap", 10 * time.Millisecond, -time.Millisecond, 0},
+	}
+	for _, tc := range cases {
+		s := chain.PipelineStats{AnalysisWall: tc.analysis, Overlap: tc.overlap}
+		got := s.OverlapFraction()
+		if got != tc.want {
+			t.Errorf("%s: OverlapFraction() = %v, want %v", tc.name, got, tc.want)
+		}
+		if got < 0 || got > 1 {
+			t.Errorf("%s: fraction %v outside [0,1]", tc.name, got)
+		}
+	}
+}
+
+// TestPipelineStaleAnalysisHoles drives the pool-to-pipeline seam: half the
+// pooled transactions are analyzed against a snapshot that a later commit
+// makes stale, so PackForBlock returns nil holes for exactly those entries.
+// The pipeline must count the cached half as Reused, refresh the holes
+// itself (Analyzed), and still commit the sequential root.
+func TestPipelineStaleAnalysisHoles(t *testing.T) {
+	cfg := smallConfig(41)
+	cfg.TxPerBlock = 120
+
+	// Two identical worlds: one packs through a pool and executes
+	// pipelined, the other executes the same block sequentially.
+	wPipe, err := workload.BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wSeq, err := workload.BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockCtx := wPipe.BlockContext()
+	txs := wPipe.NextBlock()
+	half := len(txs) / 2
+
+	pool := txpool.New(sag.NewAnalyzer(wPipe.Registry), wPipe.DB,
+		wPipe.DB.Root, func() evm.BlockContext { return blockCtx })
+	for _, tx := range txs[:half] {
+		if err := pool.Add(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// An unrelated commit moves the root: the first half's analyses are now
+	// stale. Mirror the mutation on the sequential world so pre-states stay
+	// identical.
+	staleify := func(db *state.DB) {
+		o := state.NewOverlay(db)
+		addr := types.HexToAddress("0xfeed000000000000000000000000000000000001")
+		o.SetBalance(addr, u256.NewUint64(1))
+		if _, err := db.Commit(o.Changes()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	staleify(wPipe.DB)
+	staleify(wSeq.DB)
+	for _, tx := range txs[half:] {
+		if err := pool.Add(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	packed, csags := pool.PackForBlock(blockCtx, len(txs))
+	if len(packed) != len(txs) {
+		t.Fatalf("packed %d of %d txs", len(packed), len(txs))
+	}
+	holes, cached := 0, 0
+	for _, c := range csags {
+		if c == nil {
+			holes++
+		} else {
+			cached++
+		}
+	}
+	if holes < half {
+		t.Fatalf("stale pack produced %d holes, want at least the stale half (%d)", holes, half)
+	}
+	if cached == 0 {
+		t.Fatal("no cached analyses survived; the reuse path is not exercised")
+	}
+
+	engPipe := chain.NewEngine(wPipe.DB, wPipe.Registry, 8)
+	res, err := engPipe.ExecutePipelined(chain.ModeDMVCC,
+		[]chain.BlockInput{{Block: blockCtx, Txs: packed, CSAGs: csags}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Reused != cached {
+		t.Errorf("stats.Reused = %d, want the %d cached analyses", res.Stats.Reused, cached)
+	}
+	if res.Stats.Analyzed != holes {
+		t.Errorf("stats.Analyzed = %d, want the %d holes", res.Stats.Analyzed, holes)
+	}
+
+	engSeq := chain.NewEngine(wSeq.DB, wSeq.Registry, 8)
+	_, seqRoot, err := engSeq.ExecuteAndCommit(chain.ModeDMVCC, blockCtx, packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Roots[0] != seqRoot {
+		t.Errorf("pipelined root %s != sequential %s despite stale holes", res.Roots[0], seqRoot)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"dmvcc/internal/evm"
 	"dmvcc/internal/sag"
 	"dmvcc/internal/state"
+	"dmvcc/internal/telemetry"
 	"dmvcc/internal/types"
 )
 
@@ -53,6 +54,12 @@ type ExecContext struct {
 	// fall back to fully dynamic handling. Schedulers that do not consume
 	// analyses ignore it.
 	CSAGs []*sag.CSAG
+	// Tracer, when non-nil and enabled, collects scheduler lifecycle events
+	// during execution. Schedulers without event instrumentation ignore it.
+	Tracer *telemetry.Tracer
+	// Metrics, when non-nil, receives the engine-level latency and counter
+	// observations of this execution.
+	Metrics *telemetry.Registry
 }
 
 // Scheduler is a pluggable block-execution engine. Implementations register

@@ -33,6 +33,7 @@ func (s dmvccScheduler) Execute(ctx ExecContext) (*ExecOut, error) {
 		out.AnalysisTime = time.Since(start)
 	}
 	ex := core.NewExecutor(ctx.Registry, ctx.Threads)
+	ex.SetTracer(ctx.Tracer)
 	start := time.Now()
 	res, err := ex.ExecuteBlock(ctx.State, ctx.Block, ctx.Txs, csags)
 	if err != nil {

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"dmvcc/internal/chain"
+	"dmvcc/internal/telemetry"
 	"dmvcc/internal/workload"
 )
 
@@ -37,6 +38,11 @@ type Config struct {
 	SerialSecondsPer10k float64
 	// Seed drives mining-interval and validator-jitter randomness.
 	Seed int64
+	// Tracer, when non-nil and enabled, collects the scheduler events of the
+	// really-executed blocks (one telemetry block per simulated block).
+	Tracer *telemetry.Tracer
+	// Metrics, when non-nil, accumulates the execution engine's metrics.
+	Metrics *telemetry.Registry
 }
 
 // DefaultConfig mirrors the paper's RQ3 setup with execution as the
@@ -92,7 +98,8 @@ func NewSession(cfg Config, mode chain.Mode) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng := chain.NewEngine(world.DB, world.Registry, 8)
+	eng := chain.NewEngine(world.DB, world.Registry, 8,
+		chain.WithTracer(cfg.Tracer), chain.WithMetrics(cfg.Metrics))
 	s := &Session{cfg: cfg, mode: mode}
 	for b := 0; b < cfg.Blocks; b++ {
 		blockCtx := world.BlockContext()

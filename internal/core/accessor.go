@@ -3,6 +3,7 @@ package core
 import (
 	"dmvcc/internal/evm"
 	"dmvcc/internal/sag"
+	"dmvcc/internal/telemetry"
 	"dmvcc/internal/types"
 	"dmvcc/internal/u256"
 )
@@ -42,6 +43,12 @@ type accessor struct {
 	offset  uint64
 	events  []TraceEvent
 	intrins uint64
+
+	// worker is the pool goroutine executing this incarnation (telemetry
+	// track id); inFinish flags finish-time publishes so the tracer can
+	// distinguish them from early-write visibility.
+	worker   int
+	inFinish bool
 }
 
 // touchKind mirrors the analyzer's classification states.
@@ -236,12 +243,18 @@ func (a *accessor) readItem(id sag.ItemID) (u256.Int, error) {
 		}
 		w = next
 		a.r.stats.addBlocked()
+		if tr := a.r.tracer; tr.Enabled() {
+			tr.Emit(telemetry.EvPark, a.rt.idx, a.inc, a.worker, id, w.blockedTx)
+		}
 		a.r.sched.yield()
 		select {
 		case <-w.ch:
 		case <-a.rt.abortChan(a.inc):
 		}
 		a.r.sched.reacquire(a.rt.idx)
+		if tr := a.r.tracer; tr.Enabled() {
+			tr.Emit(telemetry.EvResume, a.rt.idx, a.inc, a.worker, id, w.blockedTx)
+		}
 	}
 }
 
@@ -343,12 +356,18 @@ func (a *accessor) waitPriorWrites(id sag.ItemID) error {
 		}
 		w = next
 		a.r.stats.addBlocked()
+		if tr := a.r.tracer; tr.Enabled() {
+			tr.Emit(telemetry.EvPark, a.rt.idx, a.inc, a.worker, id, w.blockedTx)
+		}
 		a.r.sched.yield()
 		select {
 		case <-w.ch:
 		case <-a.rt.abortChan(a.inc):
 		}
 		a.r.sched.reacquire(a.rt.idx)
+		if tr := a.r.tracer; tr.Enabled() {
+			tr.Emit(telemetry.EvResume, a.rt.idx, a.inc, a.worker, id, w.blockedTx)
+		}
 	}
 }
 
@@ -573,8 +592,15 @@ func (a *accessor) publishAbs(id sag.ItemID, v u256.Int) error {
 	}
 	a.published[id] = v
 	a.events = append(a.events, TraceEvent{Kind: TraceWrite, Item: id, Offset: a.offset})
+	if tr := a.r.tracer; tr.Enabled() {
+		kind := telemetry.EvEarlyPublish
+		if a.inFinish {
+			kind = telemetry.EvPublish
+		}
+		tr.Emit(kind, a.rt.idx, a.inc, a.worker, id, -1)
+	}
 	for _, vic := range victims {
-		a.r.abort(vic)
+		a.r.abort(vic, a.rt.idx)
 	}
 	return nil
 }
@@ -593,8 +619,11 @@ func (a *accessor) publishDelta(id sag.ItemID, d u256.Int) error {
 	a.publishedDel[id] = struct{}{}
 	a.events = append(a.events, TraceEvent{Kind: TraceDelta, Item: id, Offset: a.offset})
 	a.r.stats.addDelta()
+	if tr := a.r.tracer; tr.Enabled() {
+		tr.Emit(telemetry.EvDeltaPublish, a.rt.idx, a.inc, a.worker, id, -1)
+	}
 	for _, vic := range victims {
-		a.r.abort(vic)
+		a.r.abort(vic, a.rt.idx)
 	}
 	return nil
 }
@@ -603,6 +632,7 @@ func (a *accessor) publishDelta(id sag.ItemID, d u256.Int) error {
 // materialized (so parked readers fall through to earlier versions), and
 // records the receipt. It returns false if the incarnation died mid-way.
 func (a *accessor) finish(receipt *types.Receipt) bool {
+	a.inFinish = true
 	a.offset = ExecCost(receipt.GasUsed, a.intrins)
 	for id, v := range a.w {
 		if prev, done := a.published[id]; done && prev.Eq(&v) {
@@ -635,7 +665,7 @@ func (a *accessor) finish(receipt *types.Receipt) bool {
 				return false
 			}
 			for _, vic := range victims {
-				a.r.abort(vic)
+				a.r.abort(vic, a.rt.idx)
 			}
 			return true
 		}

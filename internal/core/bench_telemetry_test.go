@@ -1,0 +1,64 @@
+package core_test
+
+import (
+	"testing"
+
+	"dmvcc/internal/core"
+	"dmvcc/internal/sag"
+	"dmvcc/internal/telemetry"
+	"dmvcc/internal/types"
+)
+
+// benchTxs builds the contended ICO/NFT mix used by the exactness tests, at
+// a size where scheduler overhead is measurable.
+func benchTxs() []*types.Transaction {
+	var txs []*types.Transaction
+	for i := 0; i < 48; i++ {
+		txs = append(txs, call(user(i%60), icoAddr, 1000+uint64(i), "buy"))
+		txs = append(txs, call(user(i%60), nftAddr, 0, "mintNFT"))
+	}
+	return txs
+}
+
+// benchExecute runs one block execution with the given tracer attached.
+func benchExecute(b *testing.B, tracer *telemetry.Tracer) {
+	b.Helper()
+	txs := benchTxs()
+	db, reg := fixture(b)
+	an := sag.NewAnalyzer(reg)
+	csags, err := an.AnalyzeBlock(txs, db, blk)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex := core.NewExecutor(reg, 8)
+	ex.SetTracer(tracer)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.ExecuteBlock(db, blk, txs, csags); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTelemetryNone is the baseline: no tracer attached, the Enabled()
+// guard is a nil check.
+func BenchmarkTelemetryNone(b *testing.B) {
+	benchExecute(b, nil)
+}
+
+// BenchmarkTelemetryDisabled attaches a tracer but leaves it disabled: every
+// emission site pays the atomic-flag load and nothing else. The contract
+// (package doc of internal/telemetry) is that this stays within 2% of
+// BenchmarkTelemetryNone.
+func BenchmarkTelemetryDisabled(b *testing.B) {
+	benchExecute(b, telemetry.NewTracer())
+}
+
+// BenchmarkTelemetryEnabled bounds the cost of full event collection, for
+// comparison (not part of the <2% contract).
+func BenchmarkTelemetryEnabled(b *testing.B) {
+	tr := telemetry.NewTracer()
+	tr.Enable()
+	b.Cleanup(func() { tr.Reset() })
+	benchExecute(b, tr)
+}

@@ -107,7 +107,7 @@ contract ICO {
 
 // fixture builds a deterministic pre-state: contracts deployed, users
 // funded with ether and tokens, state committed.
-func fixture(t *testing.T) (*state.DB, *sag.Registry) {
+func fixture(t testing.TB) (*state.DB, *sag.Registry) {
 	t.Helper()
 	db := state.NewDB()
 	reg := sag.NewRegistry()
@@ -149,7 +149,7 @@ func call(from types.Address, to types.Address, value uint64, method string, arg
 // runBoth executes txs serially on one copy of the fixture and with DMVCC
 // on another, compares receipts and committed roots, and returns the DMVCC
 // stats.
-func runBoth(t *testing.T, build func(*testing.T) (*state.DB, *sag.Registry), txs []*types.Transaction, threads int) core.Stats {
+func runBoth(t *testing.T, build func(testing.TB) (*state.DB, *sag.Registry), txs []*types.Transaction, threads int) core.Stats {
 	t.Helper()
 	dbSerial, _ := build(t)
 	serial, err := baseline.ExecuteSerial(dbSerial, blk, txs)

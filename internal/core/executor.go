@@ -9,6 +9,7 @@ import (
 	"dmvcc/internal/evm"
 	"dmvcc/internal/sag"
 	"dmvcc/internal/state"
+	"dmvcc/internal/telemetry"
 	"dmvcc/internal/types"
 	"dmvcc/internal/u256"
 )
@@ -40,7 +41,27 @@ type Stats struct {
 	DeltaPublishes int64
 	// BlockedReads counts reads that had to park on a pending version.
 	BlockedReads int64
+	// WakeEvents counts targeted wakeups delivered to parked waiters (the
+	// PR 2 replacement for broadcast wakeAll; each is one channel close).
+	WakeEvents int64
+	// Requeues counts aborted transactions re-enqueued on the worker pool
+	// for a fresh incarnation.
+	Requeues int64
 }
+
+// RecordMetrics implements telemetry.Source: counters under the "core."
+// prefix accumulate across blocks.
+func (s Stats) RecordMetrics(r *telemetry.Registry) {
+	r.Counter("core.executions").Add(s.Executions)
+	r.Counter("core.aborts").Add(s.Aborts)
+	r.Counter("core.early_publishes").Add(s.EarlyPublishes)
+	r.Counter("core.delta_publishes").Add(s.DeltaPublishes)
+	r.Counter("core.blocked_reads").Add(s.BlockedReads)
+	r.Counter("core.wake_events").Add(s.WakeEvents)
+	r.Counter("core.requeues").Add(s.Requeues)
+}
+
+var _ telemetry.Source = Stats{}
 
 type statCounters struct {
 	executions atomic.Int64
@@ -48,11 +69,14 @@ type statCounters struct {
 	early      atomic.Int64
 	delta      atomic.Int64
 	blocked    atomic.Int64
+	wakes      atomic.Int64
+	requeues   atomic.Int64
 }
 
 func (s *statCounters) addBlocked() { s.blocked.Add(1) }
 func (s *statCounters) addEarly()   { s.early.Add(1) }
 func (s *statCounters) addDelta()   { s.delta.Add(1) }
+func (s *statCounters) addWake()    { s.wakes.Add(1) }
 
 func (s *statCounters) snapshot() Stats {
 	return Stats{
@@ -61,6 +85,8 @@ func (s *statCounters) snapshot() Stats {
 		EarlyPublishes: s.early.Load(),
 		DeltaPublishes: s.delta.Load(),
 		BlockedReads:   s.blocked.Load(),
+		WakeEvents:     s.wakes.Load(),
+		Requeues:       s.requeues.Load(),
 	}
 }
 
@@ -72,7 +98,12 @@ type Result struct {
 	// Traces are the per-transaction dependency traces of the committed
 	// incarnations, consumed by the scheduling simulator.
 	Traces []*TxTrace
-	// WastedGas approximates work burned by aborted incarnations.
+	// WastedGas is the summed virtual service time (ExecCost units) of
+	// every aborted incarnation: the partial gas consumed up to the abort
+	// for incarnations killed mid-flight — never less than BaseCost per
+	// abort, since dispatching alone costs that — and the full execution
+	// cost for incarnations aborted after they completed. Invariant:
+	// WastedGas >= Stats.Aborts * BaseCost.
 	WastedGas uint64
 }
 
@@ -98,7 +129,13 @@ type Executor struct {
 	reg     *sag.Registry
 	threads int
 	opts    Options
+	tracer  *telemetry.Tracer
 }
+
+// SetTracer attaches a telemetry tracer to subsequent executions. A nil or
+// disabled tracer costs one predicted branch per potential event (see the
+// telemetry-disabled overhead benchmark).
+func (x *Executor) SetTracer(tr *telemetry.Tracer) { x.tracer = tr }
 
 // NewExecutor returns a DMVCC executor running on the given number of
 // worker threads (EVM instances bound to cores, per the paper's setup).
@@ -231,7 +268,8 @@ type run struct {
 	codeMu sync.Mutex
 	codes  map[types.Hash][]byte
 
-	opts Options
+	opts   Options
+	tracer *telemetry.Tracer
 
 	stats  statCounters
 	wasted atomic.Uint64
@@ -254,9 +292,14 @@ func (r *run) seq(id sag.ItemID) *sequence {
 		return s
 	}
 	s = newSequence(id)
+	s.onWake = r.noteWake
 	sh.m[id] = s
 	return s
 }
+
+// noteWake counts a targeted wakeup. Invoked under the sequence lock, so it
+// only bumps an atomic.
+func (r *run) noteWake(readerTx, blockedTx, mutTx int) { r.stats.addWake() }
 
 // forEachSeq visits every sequence (single-threaded commit phase only).
 func (r *run) forEachSeq(fn func(id sag.ItemID, s *sequence)) {
@@ -292,17 +335,27 @@ func (r *run) fail(err error) {
 	r.errMu.Unlock()
 }
 
+// abortWork is one worklist entry of a cascade: the victim incarnation and
+// the transaction whose publish (or own abort) invalidated it.
+type abortWork struct {
+	v     victim
+	cause int
+}
+
 // abort implements Algorithm 4 plus cascade processing: each victim's
 // incarnation is retired, its published versions dropped (their stale
 // readers joining the worklist in turn), its read marks cleared, and a
 // fresh incarnation re-enqueued on the scheduler. The cascade is processed
 // iteratively off a worklist, so an arbitrarily deep dependency chain costs
-// constant goroutine stack.
-func (r *run) abort(first victim) {
-	work := []victim{first}
+// constant goroutine stack. cause is the transaction whose publish
+// triggered the first victim; cascading victims are attributed to the
+// victim whose dropped versions they had read.
+func (r *run) abort(first victim, cause int) {
+	work := []abortWork{{v: first, cause: cause}}
 	for len(work) > 0 {
-		v := work[len(work)-1]
+		w := work[len(work)-1]
 		work = work[:len(work)-1]
+		v := w.v
 
 		rt := r.rts[v.tx]
 		rt.mu.Lock()
@@ -312,6 +365,8 @@ func (r *run) abort(first victim) {
 		}
 		published := rt.published
 		readMarks := rt.readMarks
+		finished := rt.finished
+		receipt := rt.receipt
 		oldInc := v.inc
 		newInc := oldInc + 1
 		rt.inc.Store(int64(newInc))
@@ -324,10 +379,21 @@ func (r *run) abort(first victim) {
 		rt.mu.Unlock()
 
 		r.stats.aborts.Add(1)
+		if finished && receipt != nil {
+			// The incarnation had fully executed; all of its work is wasted.
+			// (Incarnations killed mid-flight account their partial gas
+			// themselves when they observe the abort.)
+			r.wasted.Add(ExecCost(receipt.GasUsed, evm.IntrinsicGas(rt.tx.Data)))
+		}
+		if tr := r.tracer; tr.Enabled() {
+			tr.Emit(telemetry.EvAbort, v.tx, oldInc, -1, sag.ItemID{}, w.cause)
+		}
 
 		// Drop visible writes; push cascading victims onto the worklist.
 		for _, id := range published {
-			work = append(work, r.seq(id).dropVersion(v.tx, oldInc)...)
+			for _, cv := range r.seq(id).dropVersion(v.tx, oldInc) {
+				work = append(work, abortWork{v: cv, cause: v.tx})
+			}
 		}
 		for _, id := range readMarks {
 			r.seq(id).resetRead(v.tx, oldInc)
@@ -338,6 +404,7 @@ func (r *run) abort(first victim) {
 			continue
 		}
 		// Relaunch: re-enqueue on the worker pool (no goroutine spawn).
+		r.stats.requeues.Add(1)
 		r.wg.Add(1)
 		r.sched.enqueue(v.tx)
 	}
@@ -345,24 +412,45 @@ func (r *run) abort(first victim) {
 
 // runIncarnation runs one incarnation of a transaction to completion or
 // abort. Invoked by pool workers; the caller holds an execution slot for
-// the whole call (minus parked stretches, which yield it).
-func (r *run) runIncarnation(rt *txRuntime) {
+// the whole call (minus parked stretches, which yield it). worker is the
+// stable identity of the executing pool goroutine (telemetry track id).
+func (r *run) runIncarnation(rt *txRuntime, worker int) {
 	defer r.wg.Done()
 	inc := rt.curInc()
 	r.stats.executions.Add(1)
 	acc := newAccessor(r, rt, inc)
+	acc.worker = worker
+	if tr := r.tracer; tr.Enabled() {
+		tr.Emit(telemetry.EvDispatch, rt.idx, inc, worker, sag.ItemID{}, -1)
+	}
 
 	receipt, err := evm.ApplyTransaction(acc, r.block, rt.tx, rt.idx, acc.hook)
 	if err != nil {
 		if errors.Is(err, evm.ErrAborted) {
-			r.wasted.Add(acc.offset) // work thrown away with this incarnation
-			return                   // the aborter relaunches
+			// Work thrown away with this incarnation: the partial gas consumed
+			// up to the abort, floored at the dispatch cost.
+			w := acc.offset
+			if w < BaseCost {
+				w = BaseCost
+			}
+			r.wasted.Add(w)
+			return // the aborter relaunches
 		}
 		r.fail(fmt.Errorf("core: tx %d: %w", rt.idx, err))
 		return
 	}
 	if !acc.finish(receipt) {
-		return // aborted during finish; relaunch in flight
+		// Aborted during finish; relaunch in flight. The incarnation never
+		// reached complete(), so the abort path did not account its work.
+		w := acc.offset
+		if w < BaseCost {
+			w = BaseCost
+		}
+		r.wasted.Add(w)
+		return
+	}
+	if tr := r.tracer; tr.Enabled() {
+		tr.Emit(telemetry.EvCommit, rt.idx, inc, worker, sag.ItemID{}, -1)
 	}
 }
 
@@ -372,12 +460,13 @@ func (r *run) runIncarnation(rt *txRuntime) {
 // SAGs are handled fully dynamically, per the paper's workflow).
 func (x *Executor) ExecuteBlock(snap state.Reader, block evm.BlockContext, txs []*types.Transaction, csags []*sag.CSAG) (*Result, error) {
 	r := &run{
-		x:     x,
-		reg:   x.reg,
-		snap:  snap,
-		block: block,
-		codes: make(map[types.Hash][]byte),
-		opts:  x.opts,
+		x:      x,
+		reg:    x.reg,
+		snap:   snap,
+		block:  block,
+		codes:  make(map[types.Hash][]byte),
+		opts:   x.opts,
+		tracer: x.tracer,
 	}
 	r.rts = make([]*txRuntime, len(txs))
 	for i, tx := range txs {
@@ -430,7 +519,7 @@ func (x *Executor) ExecuteBlock(snap state.Reader, block evm.BlockContext, txs [
 
 	// Execution phase: transactions flow index-ordered through a bounded
 	// worker pool (the paper's N EVM instances); aborts re-enqueue.
-	r.sched = newPool(x.threads, func(idx int) { r.runIncarnation(r.rts[idx]) })
+	r.sched = newPool(x.threads, func(idx, worker int) { r.runIncarnation(r.rts[idx], worker) })
 	r.wg.Add(len(txs))
 	r.sched.enqueueAll(len(txs))
 	r.wg.Wait()

@@ -67,13 +67,14 @@ type pool struct {
 	resume  resumerHeap // parked goroutines needing a slot back
 	idle    []chan int  // idle workers' hand-off channels (LIFO)
 	closed  bool
-	runFn   func(idx int)
+	runFn   func(idx, worker int)
 	spawned int64 // workers ever spawned (observability, tests)
 }
 
 // newPool returns a pool running incarnations via runFn on up to threads
-// concurrent slots.
-func newPool(threads int, runFn func(idx int)) *pool {
+// concurrent slots. runFn receives the transaction index and the stable ID
+// of the worker goroutine executing it (telemetry timelines key on it).
+func newPool(threads int, runFn func(idx, worker int)) *pool {
 	if threads < 1 {
 		threads = 1
 	}
@@ -145,8 +146,9 @@ func (p *pool) dispatchLocked() {
 				p.idle = p.idle[:n-1]
 				ch <- idx // buffered: never blocks under p.mu
 			} else {
+				wid := int(p.spawned)
 				p.spawned++
-				go p.worker(idx)
+				go p.worker(idx, wid)
 			}
 		default:
 			return
@@ -156,10 +158,11 @@ func (p *pool) dispatchLocked() {
 
 // worker runs incarnations until the pool shuts down. It starts owning a
 // slot for idx; after each incarnation it releases the slot and parks on a
-// private hand-off channel until dispatch assigns the next task.
-func (p *pool) worker(idx int) {
+// private hand-off channel until dispatch assigns the next task. wid is the
+// worker's stable identity across reuses.
+func (p *pool) worker(idx, wid int) {
 	for {
-		p.runFn(idx)
+		p.runFn(idx, wid)
 		p.mu.Lock()
 		p.running--
 		if p.closed {

@@ -14,7 +14,7 @@ func TestPoolLowestIndexFirst(t *testing.T) {
 	release := make(chan struct{})
 	var wg sync.WaitGroup
 	var p *pool
-	p = newPool(1, func(idx int) {
+	p = newPool(1, func(idx, _ int) {
 		if idx == 0 {
 			<-release // hold the only slot while the rest queue up
 		}
@@ -44,7 +44,7 @@ func TestPoolLowestIndexFirst(t *testing.T) {
 // count when tasks do not park — the per-transaction goroutine is gone.
 func TestPoolWorkerReuse(t *testing.T) {
 	var wg sync.WaitGroup
-	p := newPool(2, func(int) { wg.Done() })
+	p := newPool(2, func(int, int) { wg.Done() })
 	wg.Add(64)
 	p.enqueueAll(64)
 	wg.Wait()
@@ -58,7 +58,7 @@ func TestPoolWorkerReuse(t *testing.T) {
 // time, lowest index first — each hand-off wakes exactly one goroutine.
 func TestPoolResumePriority(t *testing.T) {
 	block := make(chan struct{})
-	p := newPool(1, func(int) { <-block })
+	p := newPool(1, func(int, int) { <-block })
 	p.enqueue(0) // occupies the only slot
 
 	var mu sync.Mutex

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"runtime"
 	"testing"
 
 	"dmvcc/internal/core"
@@ -11,7 +12,8 @@ import (
 
 // TestStatsExactSingleThread: with one execution slot the pool dispatches
 // strictly in index order, so execution is equivalent to serial — exactly n
-// incarnations, zero aborts, zero blocked reads. (The old gate semaphore
+// incarnations, zero aborts, zero blocked reads, and (since nothing ever
+// parks or aborts) zero wake events and requeues. (The old gate semaphore
 // admitted goroutines racily and reported hundreds of blocked reads here.)
 func TestStatsExactSingleThread(t *testing.T) {
 	var txs []*types.Transaction
@@ -38,6 +40,15 @@ func TestStatsExactSingleThread(t *testing.T) {
 	if res.Stats.BlockedReads != 0 {
 		t.Errorf("blocked reads = %d, want 0 at one thread", res.Stats.BlockedReads)
 	}
+	if res.Stats.WakeEvents != 0 {
+		t.Errorf("wake events = %d, want 0 at one thread", res.Stats.WakeEvents)
+	}
+	if res.Stats.Requeues != 0 {
+		t.Errorf("requeues = %d, want 0 at one thread", res.Stats.Requeues)
+	}
+	if res.WastedGas != 0 {
+		t.Errorf("wasted gas = %d, want 0 without aborts", res.WastedGas)
+	}
 }
 
 // TestStatsExecutionsAccountForAborts: every incarnation is either the
@@ -57,7 +68,54 @@ func TestStatsExecutionsAccountForAborts(t *testing.T) {
 			t.Errorf("threads=%d: executions %d != %d txs + %d aborts",
 				threads, stats.Executions, len(txs), stats.Aborts)
 		}
+		// Every abort re-enqueues its victim exactly once.
+		if stats.Requeues != stats.Aborts {
+			t.Errorf("threads=%d: requeues %d != aborts %d",
+				threads, stats.Requeues, stats.Aborts)
+		}
 	}
+}
+
+// TestWastedGasAccountsAbortedIncarnations pins the WastedGas invariant:
+// every aborted incarnation contributes at least BaseCost of virtual
+// service time — partial progress of mid-flight kills plus the full cost of
+// finished-then-aborted runs. The workload is the unpredicted-write chain
+// from TestDeepDependentChain, which aborts when worker goroutines really
+// interleave; GOMAXPROCS is raised for the test's duration so single-CPU
+// runners still preempt mid-transaction, and a few attempts guard against a
+// lucky interleaving with zero aborts. (The deterministic accounting rules
+// are pinned separately by TestAbortWastedGasFinishedIncarnation.)
+func TestWastedGasAccountsAbortedIncarnations(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	txs := []*types.Transaction{
+		call(user(0), indirAddr, 0, "setKey", u256.NewUint64(1), u256.NewUint64(5)),
+		call(user(1), indirAddr, 0, "writeAt", u256.NewUint64(1), u256.NewUint64(42)),
+	}
+	for i := 0; i < 32; i++ {
+		txs = append(txs, call(user(2+i%60), indirAddr, 0, "copyTo",
+			u256.NewUint64(uint64(5+i)), u256.NewUint64(uint64(6+i))))
+	}
+	for attempt := 0; attempt < 20; attempt++ {
+		db, reg := fixture(t)
+		an := sag.NewAnalyzer(reg)
+		csags, err := an.AnalyzeBlock(txs, db, blk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.NewExecutor(reg, 16).ExecuteBlock(db, blk, txs, csags)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.Aborts == 0 {
+			continue // lucky schedule; retry for a contended one
+		}
+		if want := uint64(res.Stats.Aborts) * core.BaseCost; res.WastedGas < want {
+			t.Fatalf("wasted gas %d < %d aborts * BaseCost %d = %d",
+				res.WastedGas, res.Stats.Aborts, uint64(core.BaseCost), want)
+		}
+		return
+	}
+	t.Skip("no aborts observed in 20 attempts; cannot exercise WastedGas")
 }
 
 // TestDeepDependentChain commits the serial root on a long copy chain whose

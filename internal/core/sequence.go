@@ -101,6 +101,11 @@ type sequence struct {
 	id      sag.ItemID
 	entries []*entry // sorted by tx index, at most one per tx
 	waiters []*seqWaiter
+
+	// onWake, when set, observes each targeted wakeup delivered by notify:
+	// (readerTx, blockedTx, mutTx). Called with s.mu held — implementations
+	// must be non-blocking (atomic counter bumps only).
+	onWake func(readerTx, blockedTx, mutTx int)
 }
 
 func newSequence(id sag.ItemID) *sequence {
@@ -279,6 +284,9 @@ func (s *sequence) notify(t int) {
 		if !w.woken {
 			w.woken = true
 			close(w.ch)
+			if s.onWake != nil {
+				s.onWake(w.readerTx, w.blockedTx, t)
+			}
 		}
 	}
 }

@@ -268,6 +268,41 @@ func TestSequenceTargetedWakeup(t *testing.T) {
 	}
 }
 
+// TestSequenceOnWakeCallback checks the wake-notification hook: each woken
+// waiter fires onWake exactly once with the reader, the entry it parked on,
+// and the mutating transaction; waiters that stay asleep fire nothing.
+func TestSequenceOnWakeCallback(t *testing.T) {
+	type wake struct{ reader, blocked, mut int }
+	var wakes []wake
+	s := newSequence(testItem())
+	s.onWake = func(readerTx, blockedTx, mutTx int) {
+		wakes = append(wakes, wake{readerTx, blockedTx, mutTx})
+	}
+	s.addPredicted(2, kindWrite)
+	s.addPredicted(6, kindWrite)
+	if _, res, _ := s.tryRead(4, 0, u256.Zero, never, nil); res != readBlocked {
+		t.Fatal("reader 4 must block on tx2")
+	}
+	if _, res, _ := s.tryRead(9, 0, u256.Zero, never, nil); res != readBlocked {
+		t.Fatal("reader 9 must block on tx6")
+	}
+	// tx6's publish wakes only reader 9 (reader 4 parked earlier at tx2).
+	s.versionWrite(6, 0, u256.NewUint64(1), false)
+	if len(wakes) != 1 || wakes[0] != (wake{reader: 9, blocked: 6, mut: 6}) {
+		t.Fatalf("wakes after tx6 publish = %v, want exactly reader 9", wakes)
+	}
+	// tx2's publish wakes reader 4.
+	s.versionWrite(2, 0, u256.NewUint64(2), false)
+	if len(wakes) != 2 || wakes[1] != (wake{reader: 4, blocked: 2, mut: 2}) {
+		t.Fatalf("wakes after tx2 publish = %v, want reader 4 second", wakes)
+	}
+	// A re-publish with everyone already woken fires nothing new.
+	s.versionWrite(2, 1, u256.NewUint64(3), false)
+	if len(wakes) != 2 {
+		t.Fatalf("re-publish fired extra wakes: %v", wakes)
+	}
+}
+
 // TestSequenceResumeCursor checks the park-position cache: a woken reader
 // resumes from the entry it blocked on, and a mutation inside the
 // already-scanned window invalidates the cache (stale) so the resumed scan

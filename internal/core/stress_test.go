@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"dmvcc/internal/evm"
 	"dmvcc/internal/sag"
 	"dmvcc/internal/types"
 	"dmvcc/internal/u256"
@@ -82,6 +83,49 @@ func TestSequenceWaiterStress(t *testing.T) {
 	}
 }
 
+// TestAbortWastedGasFinishedIncarnation pins the WastedGas accounting of
+// the abort path: a finished incarnation caught by a cascade contributes
+// its full execution cost, an unfinished one contributes nothing here (its
+// own goroutine accounts the partial gas when it observes the abort).
+func TestAbortWastedGasFinishedIncarnation(t *testing.T) {
+	r := &run{}
+	for i := range r.shards {
+		r.shards[i].m = make(map[sag.ItemID]*sequence)
+	}
+	r.sched = newPool(1, func(int, int) { r.wg.Done() })
+	defer r.sched.shutdown()
+
+	item := testItem()
+	tx0 := &types.Transaction{Gas: 100_000}
+	tx1 := &types.Transaction{Gas: 100_000}
+	// tx0 published item but never finished; tx1 read the version and
+	// finished with a receipt.
+	r.rts = []*txRuntime{
+		{idx: 0, tx: tx0, abortCh: make(chan struct{}), published: []sag.ItemID{item}},
+		{idx: 1, tx: tx1, abortCh: make(chan struct{}), readMarks: []sag.ItemID{item},
+			finished: true, receipt: &types.Receipt{GasUsed: 60_000}},
+	}
+	s := r.seq(item)
+	s.versionWrite(0, 0, u256.NewUint64(1), false)
+	if _, res, _ := s.tryRead(1, 0, u256.Zero, never, nil); res == readBlocked {
+		t.Fatal("setup read blocked")
+	}
+
+	r.abort(victim{tx: 0, inc: 0}, -1)
+	r.wg.Wait()
+
+	if got := r.stats.aborts.Load(); got != 2 {
+		t.Fatalf("aborts = %d, want tx0 and the cascaded tx1", got)
+	}
+	want := ExecCost(60_000, evm.IntrinsicGas(tx1.Data))
+	if got := r.wasted.Load(); got != want {
+		t.Errorf("wasted = %d, want tx1's full cost %d (tx0 was mid-flight)", got, want)
+	}
+	if got := r.stats.requeues.Load(); got != 2 {
+		t.Errorf("requeues = %d, want 2", got)
+	}
+}
+
 // TestAbortCascadeIterativeDepth builds a synthetic dependency chain of
 // 50k transactions — each published one item that the next one read — and
 // aborts the head. The cascade must traverse the whole chain without stack
@@ -96,7 +140,7 @@ func TestAbortCascadeIterativeDepth(t *testing.T) {
 	for i := range r.shards {
 		r.shards[i].m = make(map[sag.ItemID]*sequence)
 	}
-	r.sched = newPool(1, func(int) { r.wg.Done() })
+	r.sched = newPool(1, func(int, int) { r.wg.Done() })
 
 	addr := types.HexToAddress("0xabcd")
 	item := func(i int) sag.ItemID {
@@ -122,7 +166,7 @@ func TestAbortCascadeIterativeDepth(t *testing.T) {
 		}
 	}
 
-	r.abort(victim{tx: 0, inc: 0})
+	r.abort(victim{tx: 0, inc: 0}, -1)
 	r.wg.Wait() // every relaunched incarnation ran through the pool
 	r.sched.shutdown()
 

@@ -1,0 +1,206 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"dmvcc/internal/sag"
+)
+
+// Chrome trace-event constants: pid layout and the flow-event category.
+// Pipeline-stage spans live in their own process so Perfetto renders the
+// analysis/execution overlap as a separate track group from the per-worker
+// scheduler timelines of each block.
+const (
+	pipelinePid = 1 // coarse spans: analysis / execution / commit tracks
+	blockPidMin = 100
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON array. Timestamps
+// and durations are microseconds (the format's unit).
+type chromeEvent struct {
+	Name string         `json:"name,omitempty"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int64          `json:"pid"`
+	Tid  int64          `json:"tid"`
+	ID   int64          `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the JSON-object trace container Perfetto and chrome://tracing
+// both accept.
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+func usec(ns int64) float64 { return float64(ns) / 1e3 }
+
+// blockPid maps a block number onto its scheduler process id.
+func blockPid(block int64) int64 { return blockPidMin + block }
+
+// itemLabel renders an item id for trace args (empty for the zero item).
+func itemLabel(id sag.ItemID) string {
+	if id.Kind == 0 {
+		return ""
+	}
+	return id.String()
+}
+
+// ExportChrome writes the trace as Chrome trace-event JSON. The layout:
+//
+//   - pid 1 "pipeline": one thread per coarse track (analysis, execution,
+//     commit) showing pipeline-stage overlap across blocks;
+//   - pid 100+n "block n scheduler": one thread per worker goroutine, with
+//     an "X" slice for every running stretch of a transaction incarnation
+//     (dispatch→park, resume→park/abort/commit), abort instants, and flow
+//     arrows from the publish that unblocked a parked reader to the
+//     reader's resume.
+func (tr *Trace) ExportChrome(w io.Writer) error {
+	out := chromeFile{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	add := func(ev chromeEvent) { out.TraceEvents = append(out.TraceEvents, ev) }
+	meta := func(pid, tid int64, kind, name string) {
+		add(chromeEvent{Name: kind, Ph: "M", Pid: pid, Tid: tid, Args: map[string]any{"name": name}})
+	}
+
+	// Coarse pipeline-stage spans.
+	if len(tr.Spans) > 0 {
+		meta(pipelinePid, 0, "process_name", "pipeline")
+		trackTids := map[string]int64{}
+		for _, s := range tr.Spans {
+			tid, ok := trackTids[s.Track]
+			if !ok {
+				tid = int64(len(trackTids))
+				trackTids[s.Track] = tid
+				meta(pipelinePid, tid, "thread_name", s.Track)
+			}
+			add(chromeEvent{
+				Name: s.Name, Ph: "X", TS: usec(s.Start), Dur: usec(s.End - s.Start),
+				Pid: pipelinePid, Tid: tid,
+				Args: map[string]any{"block": s.Block},
+			})
+		}
+	}
+
+	// Per-block scheduler timelines.
+	flowID := int64(0)
+	for _, block := range tr.Blocks() {
+		events := tr.BlockTrace(block).Events
+		if len(events) == 0 {
+			continue
+		}
+		pid := blockPid(block)
+		meta(pid, 0, "process_name", fmt.Sprintf("block %d scheduler", block))
+		workers := map[int]bool{}
+		for _, ev := range events {
+			if ev.Worker >= 0 && !workers[ev.Worker] {
+				workers[ev.Worker] = true
+				meta(pid, int64(ev.Worker), "thread_name", fmt.Sprintf("worker %d", ev.Worker))
+			}
+		}
+
+		// Reconstruct running slices per (tx, inc): a slice opens at
+		// dispatch or resume and closes at the next park, abort, or commit
+		// of the same incarnation.
+		type sliceKey struct{ tx, inc int }
+		open := map[sliceKey]Event{}
+		slice := func(from Event, endTS int64, state string) {
+			add(chromeEvent{
+				Name: fmt.Sprintf("tx%d#%d", from.Tx, from.Inc),
+				Ph:   "X", TS: usec(from.TS), Dur: usec(endTS - from.TS),
+				Pid: pid, Tid: int64(from.Worker),
+				Args: map[string]any{"tx": from.Tx, "inc": from.Inc, "end": state},
+			})
+		}
+		for _, ev := range events {
+			key := sliceKey{ev.Tx, ev.Inc}
+			switch ev.Kind {
+			case EvDispatch, EvResume:
+				open[key] = ev
+			case EvPark, EvAbort, EvCommit:
+				if from, ok := open[key]; ok {
+					slice(from, ev.TS, ev.Kind.String())
+					delete(open, key)
+				}
+			}
+		}
+		// Slices left open (aborted while parked, or truncated capture)
+		// close at their last observed event for a visible residue.
+		for key, from := range open {
+			last := from.TS
+			for _, ev := range events {
+				if ev.Tx == key.tx && ev.Inc == key.inc && ev.TS > last {
+					last = ev.TS
+				}
+			}
+			if last > from.TS {
+				slice(from, last, "truncated")
+			}
+		}
+
+		// Instants and flow arrows.
+		for _, ev := range events {
+			switch ev.Kind {
+			case EvAbort:
+				add(chromeEvent{
+					Name: fmt.Sprintf("abort tx%d#%d", ev.Tx, ev.Inc),
+					Ph:   "i", S: "t", TS: usec(ev.TS), Pid: pid, Tid: int64(ev.Worker),
+					Args: map[string]any{"cause_tx": ev.Other},
+				})
+			case EvResume:
+				// Arrow from the publish (or drop-at-abort) by the blocking
+				// writer that released this reader: the latest publish-like
+				// event by tx ev.Other on ev.Item at or before the resume.
+				var src *Event
+				for i := range events {
+					p := &events[i]
+					if p.Tx != ev.Other || p.TS > ev.TS {
+						continue
+					}
+					switch p.Kind {
+					case EvEarlyPublish, EvPublish, EvDeltaPublish, EvAbort:
+					default:
+						continue
+					}
+					if p.Kind != EvAbort && p.Item != ev.Item {
+						continue
+					}
+					if src == nil || p.TS > src.TS {
+						src = p
+					}
+				}
+				if src == nil {
+					continue
+				}
+				flowID++
+				args := map[string]any{"item": itemLabel(ev.Item)}
+				add(chromeEvent{
+					Name: "unblock", Cat: "dep", Ph: "s", ID: flowID,
+					TS: usec(src.TS), Pid: pid, Tid: int64(src.Worker), Args: args,
+				})
+				add(chromeEvent{
+					Name: "unblock", Cat: "dep", Ph: "f", BP: "e", ID: flowID,
+					TS: usec(ev.TS), Pid: pid, Tid: int64(ev.Worker), Args: args,
+				})
+			}
+		}
+	}
+
+	sort.SliceStable(out.TraceEvents, func(i, j int) bool {
+		a, b := out.TraceEvents[i], out.TraceEvents[j]
+		if (a.Ph == "M") != (b.Ph == "M") {
+			return a.Ph == "M" // metadata first
+		}
+		return a.TS < b.TS
+	})
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,212 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"dmvcc/internal/sag"
+)
+
+// syntheticTrace builds a two-worker block-1 schedule: tx0 dispatches on
+// worker 0, publishes the contended item, and commits; tx1 dispatches on
+// worker 1, parks on tx0's pending version, resumes after the publish, and
+// commits. Plus one pipeline-stage span.
+func syntheticTrace() *Tracer {
+	item := testItem()
+	tr := NewTracer()
+	tr.Enable()
+	tr.SetBlock(1)
+	emit := func(kind EventKind, tx, worker int, it sag.ItemID, other int) {
+		tr.Emit(kind, tx, 0, worker, it, other)
+	}
+	emit(EvDispatch, 0, 0, sag.ItemID{}, -1)
+	emit(EvDispatch, 1, 1, sag.ItemID{}, -1)
+	emit(EvPark, 1, 1, item, 0)
+	emit(EvEarlyPublish, 0, 0, item, -1)
+	emit(EvResume, 1, 1, item, 0)
+	emit(EvCommit, 0, 0, sag.ItemID{}, -1)
+	emit(EvCommit, 1, 1, sag.ItemID{}, -1)
+	start := time.Now()
+	tr.RecordSpan(1, "execution", "dmvcc block 1", start, start.Add(time.Millisecond))
+	return tr
+}
+
+func exportChrome(t *testing.T, tr *Tracer) chromeFile {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.Snapshot().ExportChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var cf chromeFile
+	if err := json.Unmarshal(buf.Bytes(), &cf); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	return cf
+}
+
+func TestExportChromeLayout(t *testing.T) {
+	cf := exportChrome(t, syntheticTrace())
+	if len(cf.TraceEvents) == 0 {
+		t.Fatal("empty traceEvents")
+	}
+
+	phases := map[string]int{}
+	workerTracks := map[int64]string{}
+	var slices, pipelineSlices int
+	for _, ev := range cf.TraceEvents {
+		phases[ev.Ph]++
+		if ev.Ph == "M" && ev.Name == "thread_name" && ev.Pid == blockPid(1) {
+			workerTracks[ev.Tid] = ev.Args["name"].(string)
+		}
+		if ev.Ph == "X" {
+			if ev.Pid == blockPid(1) {
+				slices++
+				if ev.Dur < 0 {
+					t.Fatalf("negative slice duration: %+v", ev)
+				}
+			}
+			if ev.Pid == pipelinePid {
+				pipelineSlices++
+			}
+		}
+	}
+	// One thread track per worker.
+	if len(workerTracks) != 2 || workerTracks[0] != "worker 0" || workerTracks[1] != "worker 1" {
+		t.Fatalf("worker tracks = %v, want workers 0 and 1", workerTracks)
+	}
+	// tx0 runs once; tx1 runs dispatch→park and resume→commit: 3 slices.
+	if slices != 3 {
+		t.Fatalf("scheduler slices = %d, want 3", slices)
+	}
+	if pipelineSlices != 1 {
+		t.Fatalf("pipeline slices = %d, want 1", pipelineSlices)
+	}
+	// The publish→resume dependency renders as one flow-arrow pair.
+	if phases["s"] != 1 || phases["f"] != 1 {
+		t.Fatalf("flow events s=%d f=%d, want one pair", phases["s"], phases["f"])
+	}
+	// Metadata sorts before all timed events.
+	sawTimed := false
+	for _, ev := range cf.TraceEvents {
+		if ev.Ph != "M" {
+			sawTimed = true
+		} else if sawTimed {
+			t.Fatal("metadata event after a timed event")
+		}
+	}
+}
+
+func TestExportChromeEmptyTrace(t *testing.T) {
+	tr := NewTracer()
+	var buf bytes.Buffer
+	if err := tr.Snapshot().ExportChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var cf chromeFile
+	if err := json.Unmarshal(buf.Bytes(), &cf); err != nil {
+		t.Fatal(err)
+	}
+	if len(cf.TraceEvents) != 0 {
+		t.Fatalf("empty trace produced %d events", len(cf.TraceEvents))
+	}
+}
+
+func TestExportChromeTruncatedSlice(t *testing.T) {
+	// A dispatch with a later park-only event but no closing commit/abort
+	// must still render a visible residue slice.
+	item := testItem()
+	tr := NewTracer()
+	tr.Enable()
+	tr.SetBlock(1)
+	tr.Emit(EvDispatch, 0, 0, 0, sag.ItemID{}, -1)
+	tr.Emit(EvEarlyPublish, 0, 0, 0, item, -1)
+	cf := exportChrome(t, tr)
+	found := false
+	for _, ev := range cf.TraceEvents {
+		if ev.Ph == "X" && ev.Args["end"] == "truncated" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no truncated residue slice for the open incarnation")
+	}
+}
+
+func TestCriticalPathSyntheticChain(t *testing.T) {
+	cp := syntheticTrace().Snapshot().CriticalPath(1)
+	if cp == nil {
+		t.Fatal("nil critical path for a trace with commits")
+	}
+	if cp.Block != 1 {
+		t.Fatalf("block = %d", cp.Block)
+	}
+	// tx1 committed last after waiting on tx0: the chain is tx0 → tx1.
+	if len(cp.Hops) != 2 {
+		t.Fatalf("hops = %+v, want 2", cp.Hops)
+	}
+	if cp.Hops[0].Tx != 0 || cp.Hops[1].Tx != 1 {
+		t.Fatalf("chain order = [%d %d], want [0 1]", cp.Hops[0].Tx, cp.Hops[1].Tx)
+	}
+	if cp.Hops[0].WaitNs != 0 {
+		t.Fatalf("chain root waited %dns, want 0", cp.Hops[0].WaitNs)
+	}
+	last := cp.Hops[1]
+	if last.WaitNs <= 0 || last.BlockedOn != 0 || last.Item == "" {
+		t.Fatalf("dependent hop = %+v, want positive wait on tx0's item", last)
+	}
+	if cp.MakespanNs <= 0 || cp.PathNs <= 0 {
+		t.Fatalf("makespan/path = %d/%d", cp.MakespanNs, cp.PathNs)
+	}
+	if cp.PathNs > cp.MakespanNs {
+		t.Fatalf("path %d exceeds makespan %d: chain span must not double-count overlapping waits", cp.PathNs, cp.MakespanNs)
+	}
+	if got := cp.Render(); got == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestCriticalPathNoCommits(t *testing.T) {
+	tr := NewTracer()
+	tr.Enable()
+	tr.SetBlock(1)
+	tr.Emit(EvDispatch, 0, 0, 0, sag.ItemID{}, -1)
+	if cp := tr.Snapshot().CriticalPath(1); cp != nil {
+		t.Fatalf("critical path without commits = %+v, want nil", cp)
+	}
+	// Render of a nil path must not panic.
+	var nilPath *CriticalPath
+	if nilPath.Render() == "" {
+		t.Fatal("nil render empty")
+	}
+}
+
+func TestCriticalPathCycleGuard(t *testing.T) {
+	// Mutual waits (possible with re-incarnations sharing tx numbers) must
+	// not loop the backward walk forever.
+	item := testItem()
+	tr := NewTracer()
+	tr.Enable()
+	tr.SetBlock(1)
+	tr.Emit(EvDispatch, 0, 0, 0, sag.ItemID{}, -1)
+	tr.Emit(EvDispatch, 1, 0, 1, sag.ItemID{}, -1)
+	tr.Emit(EvPark, 0, 0, 0, item, 1)
+	tr.Emit(EvPark, 1, 0, 1, item, 0)
+	tr.Emit(EvEarlyPublish, 0, 0, 0, item, -1)
+	tr.Emit(EvEarlyPublish, 1, 0, 1, item, -1)
+	tr.Emit(EvResume, 0, 0, 0, item, 1)
+	tr.Emit(EvResume, 1, 0, 1, item, 0)
+	tr.Emit(EvCommit, 0, 0, 0, sag.ItemID{}, -1)
+	tr.Emit(EvCommit, 1, 0, 1, sag.ItemID{}, -1)
+	done := make(chan *CriticalPath, 1)
+	go func() { done <- tr.Snapshot().CriticalPath(1) }()
+	select {
+	case cp := <-done:
+		if cp == nil || len(cp.Hops) == 0 {
+			t.Fatalf("cycle guard returned %+v", cp)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("critical-path walk did not terminate on a wait cycle")
+	}
+}

@@ -1,0 +1,131 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestRegistryCountersGauges(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Inc()
+	r.Counter("a").Add(4)
+	r.Gauge("g").Set(7)
+	r.Gauge("g").Set(3)
+	if got := r.Counter("a").Value(); got != 5 {
+		t.Fatalf("counter a = %d, want 5", got)
+	}
+	if got := r.Gauge("g").Value(); got != 3 {
+		t.Fatalf("gauge g = %d, want 3", got)
+	}
+	// Lookup must return the same instance, not a fresh zero.
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("counter lookup not stable")
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("shared").Inc()
+				r.Histogram("h").Observe(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 8000 {
+		t.Fatalf("shared counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h").Snapshot().Count; got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	h := newHistogram([]float64{10, 100, 1000})
+	for _, v := range []float64{1, 5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Min != 1 || s.Max != 5000 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if want := (1 + 5 + 50 + 500 + 5000) / 5.0; s.Mean != want {
+		t.Fatalf("mean = %v, want %v", s.Mean, want)
+	}
+	// Quantiles are bucket-upper-bound approximations.
+	if s.P50 != 100 {
+		t.Fatalf("p50 = %v, want 100", s.P50)
+	}
+	if s.P99 != s.Max {
+		t.Fatalf("p99 = %v, want overflow->max %v", s.P99, s.Max)
+	}
+	// Buckets are cumulative and end with the +Inf overflow.
+	last := s.Buckets[len(s.Buckets)-1]
+	if !math.IsInf(last.UpperBound, 1) || last.Count != 5 {
+		t.Fatalf("overflow bucket = %+v", last)
+	}
+	for i := 1; i < len(s.Buckets); i++ {
+		if s.Buckets[i].Count < s.Buckets[i-1].Count {
+			t.Fatal("bucket counts not cumulative")
+		}
+	}
+}
+
+func TestHistogramEmptySnapshot(t *testing.T) {
+	s := newHistogram(nil).Snapshot()
+	if s.Count != 0 || s.Min != 0 || s.Max != 0 || s.Mean != 0 || len(s.Buckets) != 0 {
+		t.Fatalf("empty histogram snapshot not zero: %+v", s)
+	}
+}
+
+func TestHistogramOverflowBucketMarshals(t *testing.T) {
+	h := newHistogram([]float64{10})
+	h.Observe(99) // lands in the +Inf overflow bucket
+	blob, err := json.Marshal(h.Snapshot())
+	if err != nil {
+		t.Fatalf("overflow bucket broke marshaling: %v", err)
+	}
+	var s HistogramSnapshot
+	if err := json.Unmarshal(blob, &s); err != nil {
+		t.Fatal(err)
+	}
+	last := s.Buckets[len(s.Buckets)-1]
+	if !math.IsInf(last.UpperBound, 1) || last.Count != 1 {
+		t.Fatalf("overflow bucket round-trip = %+v", last)
+	}
+}
+
+func TestRegistryJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("core.executions").Add(42)
+	r.Gauge("pool.workers").Set(8)
+	r.Histogram("chain.block_exec_ns").Observe(1500)
+
+	blob, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap RegistrySnapshot
+	if err := json.Unmarshal(blob, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["core.executions"] != 42 {
+		t.Fatalf("counters round-trip: %+v", snap.Counters)
+	}
+	if snap.Gauges["pool.workers"] != 8 {
+		t.Fatalf("gauges round-trip: %+v", snap.Gauges)
+	}
+	if h := snap.Histograms["chain.block_exec_ns"]; h.Count != 1 || h.Sum != 1500 {
+		t.Fatalf("histogram round-trip: %+v", h)
+	}
+}

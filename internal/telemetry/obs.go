@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// expvar.Publish panics on duplicate names and has no replace API, so the
+// published closure reads through this map: republishing a name rebinds it
+// to the new registry without touching expvar again.
+var (
+	expvarMu   sync.Mutex
+	expvarRegs = map[string]*Registry{}
+)
+
+// PublishExpvar exposes the registry's live snapshot under the given expvar
+// name (visible at /debug/vars). Republishing the same name rebinds it to
+// the new registry.
+func PublishExpvar(name string, reg *Registry) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if _, ok := expvarRegs[name]; !ok {
+		bound := name
+		expvar.Publish(name, expvar.Func(func() any {
+			expvarMu.Lock()
+			r := expvarRegs[bound]
+			expvarMu.Unlock()
+			if r == nil {
+				return nil
+			}
+			return r.Snapshot()
+		}))
+	}
+	expvarRegs[name] = reg
+}
+
+// Handler returns the introspection mux: net/http/pprof under
+// /debug/pprof/, expvar under /debug/vars, the metrics registry snapshot at
+// /metrics, per-block telemetry dumps at /telemetry/block/<n>, and the
+// block critical path at /telemetry/critpath/<n>. reg and tr may be nil;
+// the corresponding endpoints then report 404.
+func Handler(reg *Registry, tr *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(v)
+	}
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if reg == nil {
+			http.NotFound(w, r)
+			return
+		}
+		writeJSON(w, reg.Snapshot())
+	})
+
+	blockArg := func(r *http.Request, prefix string) (int64, error) {
+		s := strings.TrimPrefix(r.URL.Path, prefix)
+		return strconv.ParseInt(strings.Trim(s, "/"), 10, 64)
+	}
+
+	mux.HandleFunc("/telemetry/block/", func(w http.ResponseWriter, r *http.Request) {
+		if tr == nil {
+			http.NotFound(w, r)
+			return
+		}
+		n, err := blockArg(r, "/telemetry/block/")
+		if err != nil {
+			http.Error(w, "usage: /telemetry/block/<n>", http.StatusBadRequest)
+			return
+		}
+		bt := tr.Snapshot().BlockTrace(n)
+		if len(bt.Events) == 0 && len(bt.Spans) == 0 {
+			http.Error(w, fmt.Sprintf("no telemetry for block %d", n), http.StatusNotFound)
+			return
+		}
+		type jsonEvent struct {
+			TS     int64  `json:"ts_ns"`
+			Kind   string `json:"kind"`
+			Tx     int    `json:"tx"`
+			Inc    int    `json:"inc"`
+			Worker int    `json:"worker"`
+			Item   string `json:"item,omitempty"`
+			Other  int    `json:"other,omitempty"`
+		}
+		out := struct {
+			Block  int64       `json:"block"`
+			Events []jsonEvent `json:"events"`
+			Spans  []Span      `json:"spans,omitempty"`
+		}{Block: n, Events: make([]jsonEvent, 0, len(bt.Events)), Spans: bt.Spans}
+		for _, ev := range bt.Events {
+			out.Events = append(out.Events, jsonEvent{
+				TS: ev.TS, Kind: ev.Kind.String(), Tx: ev.Tx, Inc: ev.Inc,
+				Worker: ev.Worker, Item: itemLabel(ev.Item), Other: ev.Other,
+			})
+		}
+		writeJSON(w, out)
+	})
+
+	mux.HandleFunc("/telemetry/critpath/", func(w http.ResponseWriter, r *http.Request) {
+		if tr == nil {
+			http.NotFound(w, r)
+			return
+		}
+		n, err := blockArg(r, "/telemetry/critpath/")
+		if err != nil {
+			http.Error(w, "usage: /telemetry/critpath/<n>", http.StatusBadRequest)
+			return
+		}
+		cp := tr.Snapshot().CriticalPath(n)
+		if cp == nil {
+			http.Error(w, fmt.Sprintf("no committed transactions traced for block %d", n), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, cp)
+	})
+
+	return mux
+}
+
+// Serve starts the introspection endpoint on addr (e.g. ":6060") in a
+// background goroutine, publishes the registry under the "telemetry" expvar
+// name, and returns the bound address plus a shutdown function.
+func Serve(addr string, reg *Registry, tr *Tracer) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	if reg != nil {
+		PublishExpvar("telemetry", reg)
+	}
+	srv := &http.Server{Handler: Handler(reg, tr)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, []byte) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("core.executions").Add(9)
+	tr := syntheticTrace()
+	srv := httptest.NewServer(Handler(reg, tr))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: %d", code)
+	}
+	var snap RegistrySnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/metrics body: %v", err)
+	}
+	if snap.Counters["core.executions"] != 9 {
+		t.Fatalf("/metrics counters = %+v", snap.Counters)
+	}
+
+	code, body = get(t, srv, "/telemetry/block/1")
+	if code != http.StatusOK {
+		t.Fatalf("/telemetry/block/1: %d (%s)", code, body)
+	}
+	var dump struct {
+		Block  int64 `json:"block"`
+		Events []struct {
+			Kind string `json:"kind"`
+			Tx   int    `json:"tx"`
+		} `json:"events"`
+		Spans []Span `json:"spans"`
+	}
+	if err := json.Unmarshal(body, &dump); err != nil {
+		t.Fatal(err)
+	}
+	if dump.Block != 1 || len(dump.Events) != 7 || len(dump.Spans) != 1 {
+		t.Fatalf("block dump: block=%d events=%d spans=%d", dump.Block, len(dump.Events), len(dump.Spans))
+	}
+	if dump.Events[0].Kind != "dispatch" {
+		t.Fatalf("first event kind = %q", dump.Events[0].Kind)
+	}
+
+	code, body = get(t, srv, "/telemetry/critpath/1")
+	if code != http.StatusOK {
+		t.Fatalf("/telemetry/critpath/1: %d", code)
+	}
+	var cp CriticalPath
+	if err := json.Unmarshal(body, &cp); err != nil {
+		t.Fatal(err)
+	}
+	if len(cp.Hops) != 2 {
+		t.Fatalf("critpath hops = %d", len(cp.Hops))
+	}
+
+	if code, _ := get(t, srv, "/telemetry/block/99"); code != http.StatusNotFound {
+		t.Fatalf("unknown block: %d, want 404", code)
+	}
+	if code, _ := get(t, srv, "/telemetry/block/x"); code != http.StatusBadRequest {
+		t.Fatalf("bad block arg: %d, want 400", code)
+	}
+	if code, _ := get(t, srv, "/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/: %d", code)
+	}
+}
+
+func TestHandlerNilSources(t *testing.T) {
+	srv := httptest.NewServer(Handler(nil, nil))
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/telemetry/block/1", "/telemetry/critpath/1"} {
+		if code, _ := get(t, srv, path); code != http.StatusNotFound {
+			t.Fatalf("%s with nil sources: %d, want 404", path, code)
+		}
+	}
+}
+
+func TestPublishExpvarRebinds(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("n").Add(1)
+	b.Counter("n").Add(2)
+	PublishExpvar("test.rebind", a)
+	// Republishing the same name must rebind, not panic.
+	PublishExpvar("test.rebind", b)
+
+	srv := httptest.NewServer(Handler(nil, nil))
+	defer srv.Close()
+	code, body := get(t, srv, "/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars: %d", code)
+	}
+	if !strings.Contains(string(body), `"test.rebind"`) {
+		t.Fatal("/debug/vars missing published registry")
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatal(err)
+	}
+	var snap RegistrySnapshot
+	if err := json.Unmarshal(vars["test.rebind"], &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["n"] != 2 {
+		t.Fatalf("expvar shows counter %d, want rebind target's 2", snap.Counters["n"])
+	}
+}
+
+func TestServeLifecycle(t *testing.T) {
+	reg := NewRegistry()
+	addr, stop, err := Serve("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics via Serve: %d", resp.StatusCode)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}

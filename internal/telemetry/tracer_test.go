@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+
+	"dmvcc/internal/sag"
+	"dmvcc/internal/types"
+)
+
+func testItem() sag.ItemID {
+	return sag.StorageItem(types.HexToAddress("0xc000000000000000000000000000000000000001"), types.Hash{0x01})
+}
+
+func TestTracerNilReceiverSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	tr.SetBlock(3)
+	if tr.Block() != 0 {
+		t.Fatal("nil tracer has a block")
+	}
+	tr.Reset()
+	snap := tr.Snapshot()
+	if len(snap.Events) != 0 || len(snap.Spans) != 0 {
+		t.Fatal("nil tracer snapshot not empty")
+	}
+}
+
+func TestTracerDisabledDropsEvents(t *testing.T) {
+	tr := NewTracer()
+	if tr.Enabled() {
+		t.Fatal("fresh tracer should start disabled")
+	}
+	tr.Emit(EvDispatch, 0, 0, 0, sag.ItemID{}, -1)
+	tr.RecordSpan(1, "execution", "block 1", time.Now(), time.Now())
+	if snap := tr.Snapshot(); len(snap.Events) != 0 || len(snap.Spans) != 0 {
+		t.Fatalf("disabled tracer collected %d events, %d spans", len(snap.Events), len(snap.Spans))
+	}
+
+	tr.Enable()
+	tr.Emit(EvDispatch, 0, 0, 0, sag.ItemID{}, -1)
+	tr.Disable()
+	tr.Emit(EvCommit, 0, 0, 0, sag.ItemID{}, -1)
+	if got := len(tr.Snapshot().Events); got != 1 {
+		t.Fatalf("want exactly the enabled-window event, got %d", got)
+	}
+}
+
+func TestTracerBlockTaggingAndFilter(t *testing.T) {
+	tr := NewTracer()
+	tr.Enable()
+	tr.SetBlock(1)
+	tr.Emit(EvDispatch, 0, 0, 0, sag.ItemID{}, -1)
+	tr.Emit(EvCommit, 0, 0, 0, sag.ItemID{}, -1)
+	tr.SetBlock(2)
+	tr.Emit(EvDispatch, 1, 0, 0, sag.ItemID{}, -1)
+	tr.RecordSpan(2, "commit", "commit", time.Now(), time.Now())
+
+	snap := tr.Snapshot()
+	if blocks := snap.Blocks(); len(blocks) != 2 || blocks[0] != 1 || blocks[1] != 2 {
+		t.Fatalf("Blocks() = %v, want [1 2]", blocks)
+	}
+	b1 := snap.BlockTrace(1)
+	if len(b1.Events) != 2 || len(b1.Spans) != 0 {
+		t.Fatalf("block 1 trace: %d events, %d spans", len(b1.Events), len(b1.Spans))
+	}
+	b2 := snap.BlockTrace(2)
+	if len(b2.Events) != 1 || len(b2.Spans) != 1 {
+		t.Fatalf("block 2 trace: %d events, %d spans", len(b2.Events), len(b2.Spans))
+	}
+	for _, ev := range b1.Events {
+		if ev.Block != 1 {
+			t.Fatalf("event tagged block %d, want 1", ev.Block)
+		}
+	}
+
+	tr.Reset()
+	if snap := tr.Snapshot(); len(snap.Events) != 0 || len(snap.Spans) != 0 {
+		t.Fatal("Reset left data behind")
+	}
+	if !tr.Enabled() {
+		t.Fatal("Reset must not disable the tracer")
+	}
+}
+
+func TestTracerTimestampsMonotonic(t *testing.T) {
+	tr := NewTracer()
+	tr.Enable()
+	for i := 0; i < 10; i++ {
+		tr.Emit(EvDispatch, i, 0, 0, sag.ItemID{}, -1)
+	}
+	evs := tr.Snapshot().Events
+	for i := 1; i < len(evs); i++ {
+		if evs[i].TS < evs[i-1].TS {
+			t.Fatalf("timestamps went backwards: %d then %d", evs[i-1].TS, evs[i].TS)
+		}
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := []EventKind{EvDispatch, EvPark, EvResume, EvEarlyPublish, EvPublish,
+		EvDeltaPublish, EvAbort, EvCommit}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "unknown" || seen[s] {
+			t.Fatalf("kind %d has bad or duplicate name %q", k, s)
+		}
+		seen[s] = true
+	}
+	if EventKind(0).String() != "unknown" {
+		t.Fatal("zero kind should be unknown")
+	}
+}
