@@ -10,6 +10,7 @@
 //	dmvcc-bench -exp ablation         # early-write / commutativity ablation
 //	dmvcc-bench -exp pipeline         # block-pipeline analysis/exec overlap
 //	dmvcc-bench -exp hotpath          # scheduler hot-path wall-clock baseline
+//	dmvcc-bench -exp conflicts        # conflict forensics + C-SAG accuracy audit
 //	dmvcc-bench -exp all              # everything
 //
 // -blocks and -txs scale the workload; the defaults run in a few minutes on
@@ -19,10 +20,15 @@
 // profiles of whichever experiment runs. -trace out.json captures a
 // Chrome/Perfetto timeline of a telemetry-instrumented run (hotpath and
 // pipeline experiments) plus the per-block critical path; -obs :6060 serves
-// the live introspection endpoint while the experiments run.
+// the live introspection endpoint while the experiments run. The conflicts
+// experiment writes BENCH_conflicts.json (-conflictsjson) with per-block
+// post-mortems; -strict re-reads the written report and fails on any
+// unexplained abort or a mispredicted transaction in the deterministic
+// workload.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -37,7 +43,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig7a|fig7b|fig8a|fig8b|rq1|aborts|ablation|pipeline|hotpath|all")
+	exp := flag.String("exp", "all", "experiment: fig7a|fig7b|fig8a|fig8b|rq1|aborts|ablation|pipeline|hotpath|conflicts|all")
 	blocks := flag.Int("blocks", 3, "blocks per experiment")
 	txs := flag.Int("txs", 1000, "transactions per block (fig7/rq1/aborts/ablation)")
 	simTxs := flag.Int("simtxs", 10000, "transactions per block for the fig8 network simulation (the paper's RQ3 size)")
@@ -48,6 +54,10 @@ func main() {
 	hotRounds := flag.Int("hotrounds", 2, "timed re-executions per hotpath configuration")
 	benchJSON := flag.String("benchjson", "BENCH_hotpath.json", "output path for the hotpath report")
 	baselinePath := flag.String("baseline", "", "previous hotpath report whose numbers become the before-series")
+	conflictsJSON := flag.String("conflictsjson", "BENCH_conflicts.json", "output path for the conflicts report")
+	conflictsTxs := flag.Int("conflicttxs", 512, "transactions per block for the conflicts experiment")
+	conflictsPerTx := flag.Bool("pertx", false, "keep per-transaction audit rows in the conflicts report")
+	strict := flag.Bool("strict", false, "conflicts: re-read the written report and fail on unexplained aborts or deterministic-workload mispredictions")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	tracePath := flag.String("trace", "", "write a Chrome/Perfetto trace of a telemetry-instrumented run (hotpath and pipeline experiments) to this file")
@@ -56,19 +66,21 @@ func main() {
 
 	var tracer *telemetry.Tracer
 	var metrics *telemetry.Registry
+	var forensics *telemetry.Forensics
 	if *tracePath != "" || *obsAddr != "" {
 		tracer = telemetry.NewTracer()
 		tracer.Enable()
 		metrics = telemetry.NewRegistry()
 	}
 	if *obsAddr != "" {
-		addr, stop, err := telemetry.Serve(*obsAddr, metrics, tracer)
+		forensics = telemetry.NewForensics()
+		addr, stop, err := telemetry.Serve(*obsAddr, metrics, tracer, forensics)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dmvcc-bench:", err)
 			os.Exit(1)
 		}
 		defer stop()
-		fmt.Printf("observability endpoint on http://%s (pprof, /debug/vars, /metrics, /telemetry/block/<n>)\n", addr)
+		fmt.Printf("observability endpoint on http://%s (pprof, /debug/vars, /metrics, /telemetry/block/<n>, /telemetry/postmortem/<n>)\n", addr)
 	}
 
 	if *cpuProfile != "" {
@@ -87,6 +99,8 @@ func main() {
 
 	err := run(*exp, *blocks, *txs, *simTxs, *simBlocks, *rq1Blocks, *seed, hotpathArgs{
 		txs: *hotTxs, rounds: *hotRounds, jsonPath: *benchJSON, baseline: *baselinePath,
+	}, conflictsArgs{
+		txs: *conflictsTxs, jsonPath: *conflictsJSON, perTx: *conflictsPerTx, strict: *strict, fx: forensics,
 	}, tracer, metrics)
 
 	if err == nil && *tracePath != "" {
@@ -123,6 +137,33 @@ type hotpathArgs struct {
 	jsonPath, baseline string
 }
 
+// conflictsArgs bundles the conflicts experiment's flags.
+type conflictsArgs struct {
+	txs      int
+	jsonPath string
+	perTx    bool
+	strict   bool
+	fx       *telemetry.Forensics
+}
+
+// checkConflictsReport re-reads a written conflicts report from disk and
+// validates its invariants — the round-trip catches both forensic gaps and
+// serialization regressions.
+func checkConflictsReport(path string) error {
+	if path == "" {
+		return fmt.Errorf("-strict requires -conflictsjson")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep bench.ConflictsReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	return rep.Validate()
+}
+
 // writeTrace exports the collected telemetry as Chrome trace-event JSON.
 func writeTrace(path string, tracer *telemetry.Tracer) error {
 	f, err := os.Create(path)
@@ -133,7 +174,7 @@ func writeTrace(path string, tracer *telemetry.Tracer) error {
 	return tracer.Snapshot().ExportChrome(f)
 }
 
-func run(exp string, blocks, txs, simTxs, simBlocks, rq1Blocks int, seed int64, hot hotpathArgs, tracer *telemetry.Tracer, metrics *telemetry.Registry) error {
+func run(exp string, blocks, txs, simTxs, simBlocks, rq1Blocks int, seed int64, hot hotpathArgs, conf conflictsArgs, tracer *telemetry.Tracer, metrics *telemetry.Registry) error {
 	low := workload.DefaultConfig()
 	low.TxPerBlock = txs
 	low.Seed = seed
@@ -260,6 +301,30 @@ func run(exp string, blocks, txs, simTxs, simBlocks, rq1Blocks int, seed int64, 
 				}
 			}
 
+		case "conflicts":
+			cfg := bench.DefaultConflictsConfig()
+			cfg.Txs = conf.txs
+			cfg.Seed = seed
+			cfg.PerTx = conf.perTx
+			cfg.Forensics = conf.fx
+			rep, err := bench.RunConflicts(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(rep.Render())
+			if conf.jsonPath != "" {
+				if err := rep.WriteJSON(conf.jsonPath); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", conf.jsonPath)
+			}
+			if conf.strict {
+				if err := checkConflictsReport(conf.jsonPath); err != nil {
+					return fmt.Errorf("strict conflicts audit: %w", err)
+				}
+				fmt.Println("strict conflicts audit passed: every abort explained, deterministic workload fully predicted")
+			}
+
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -267,7 +332,7 @@ func run(exp string, blocks, txs, simTxs, simBlocks, rq1Blocks int, seed int64, 
 	}
 
 	if exp == "all" {
-		for _, name := range []string{"rq1", "fig7a", "fig7b", "aborts", "ablation", "pipeline", "fig8a", "fig8b"} {
+		for _, name := range []string{"rq1", "fig7a", "fig7b", "aborts", "ablation", "pipeline", "conflicts", "fig8a", "fig8b"} {
 			if err := runOne(name); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

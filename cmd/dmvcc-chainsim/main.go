@@ -30,24 +30,30 @@ func main() {
 	hot := flag.Bool("hot", false, "use the high-contention workload")
 	seed := flag.Int64("seed", 7, "simulation seed")
 	obsAddr := flag.String("obs", "", "serve the live introspection endpoint (pprof, expvar, /metrics, /telemetry) on this address, e.g. :6060")
+	postmortem := flag.Bool("postmortem", false, "print the conflict post-mortem of the most contended block (dmvcc only)")
 	flag.Parse()
 
 	var tracer *telemetry.Tracer
 	var metrics *telemetry.Registry
+	var forensics *telemetry.Forensics
+	if *obsAddr != "" || *postmortem {
+		forensics = telemetry.NewForensics()
+		forensics.Enable()
+	}
 	if *obsAddr != "" {
 		tracer = telemetry.NewTracer()
 		tracer.Enable()
 		metrics = telemetry.NewRegistry()
-		addr, stop, err := telemetry.Serve(*obsAddr, metrics, tracer)
+		addr, stop, err := telemetry.Serve(*obsAddr, metrics, tracer, forensics)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dmvcc-chainsim:", err)
 			os.Exit(1)
 		}
 		defer stop()
-		fmt.Printf("observability endpoint on http://%s (pprof, /debug/vars, /metrics, /telemetry/block/<n>)\n", addr)
+		fmt.Printf("observability endpoint on http://%s (pprof, /debug/vars, /metrics, /telemetry/block/<n>, /telemetry/postmortem/<n>)\n", addr)
 	}
 
-	if err := run(*mode, *threads, *txs, *blocks, *validators, *interval, *hot, *seed, tracer, metrics); err != nil {
+	if err := run(*mode, *threads, *txs, *blocks, *validators, *interval, *hot, *seed, tracer, metrics, forensics, *postmortem); err != nil {
 		fmt.Fprintln(os.Stderr, "dmvcc-chainsim:", err)
 		os.Exit(1)
 	}
@@ -69,7 +75,7 @@ func parseMode(s string) (chain.Mode, error) {
 	return chain.Mode(s), nil
 }
 
-func run(modeName string, threads, txs, blocks, validators int, interval time.Duration, hot bool, seed int64, tracer *telemetry.Tracer, metrics *telemetry.Registry) error {
+func run(modeName string, threads, txs, blocks, validators int, interval time.Duration, hot bool, seed int64, tracer *telemetry.Tracer, metrics *telemetry.Registry, forensics *telemetry.Forensics, dump bool) error {
 	mode, err := parseMode(modeName)
 	if err != nil {
 		return err
@@ -87,6 +93,7 @@ func run(modeName string, threads, txs, blocks, validators int, interval time.Du
 	cfg.Workload = w
 	cfg.Tracer = tracer
 	cfg.Metrics = metrics
+	cfg.Forensics = forensics
 
 	fmt.Printf("simulating %d validators, %d blocks x %d txs, %v mean mining interval, %s on %d threads\n",
 		validators, blocks, txs, interval, mode, threads)
@@ -104,5 +111,26 @@ func run(modeName string, threads, txs, blocks, validators int, interval time.Du
 	fmt.Printf("avg block execution:  %v\n", res.AvgExecTime.Round(time.Millisecond))
 	fmt.Printf("avg mining wait:      %v\n", res.AvgMiningWait.Round(time.Millisecond))
 	fmt.Printf("execution-bound:      %d of %d block cycles\n", res.ExecBound, blocks)
+
+	if pms := sess.PostMortems(); len(pms) > 0 {
+		var aborts, mispredicted int
+		var wasted uint64
+		worst := pms[0]
+		for _, pm := range pms {
+			aborts += pm.Aborts
+			wasted += pm.WastedGas
+			if pm.Audit != nil {
+				mispredicted += pm.Audit.MispredictedTxs
+			}
+			if pm.Aborts > worst.Aborts {
+				worst = pm
+			}
+		}
+		fmt.Printf("\nconflict forensics:   %d aborts, %d wasted gas, %d mispredicted txs across %d blocks\n",
+			aborts, wasted, mispredicted, len(pms))
+		if dump {
+			fmt.Printf("\nmost contended block:\n%s", worst.Render())
+		}
+	}
 	return nil
 }

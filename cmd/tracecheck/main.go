@@ -1,8 +1,11 @@
 // tracecheck validates a Chrome trace-event JSON file (as written by
 // dmvcc-bench -trace): it must parse, carry a non-empty traceEvents array
-// whose entries all have the required keys, and contain at least one
-// duration slice and one metadata event. Exits non-zero on any violation,
-// so CI can gate on the artifact being loadable.
+// whose entries all have the required keys, contain at least one duration
+// slice and one metadata event, and every flow arrow must pair up — each
+// flow id carries exactly one start (ph=s) and one finish (ph=f), with the
+// finish not preceding the start. Dangling or duplicated flows render as
+// arrows to nowhere in the viewer, so they fail the check. Exits non-zero
+// on any violation, so CI can gate on the artifact being loadable.
 //
 //	tracecheck trace.json
 package main
@@ -41,8 +44,14 @@ func check(path string) error {
 		return fmt.Errorf("%s: empty traceEvents", path)
 	}
 
+	type flowEnd struct {
+		count int
+		ts    float64
+	}
 	phases := map[string]int{}
 	workers := map[string]bool{}
+	flowStarts := map[float64]flowEnd{}
+	flowFinishes := map[float64]flowEnd{}
 	for i, ev := range tf.TraceEvents {
 		ph, ok := ev["ph"].(string)
 		if !ok || ph == "" {
@@ -59,6 +68,21 @@ func check(path string) error {
 				return fmt.Errorf("%s: event %d: duration slice without dur", path, i)
 			}
 		}
+		if ph == "s" || ph == "f" {
+			id, ok := ev["id"].(float64)
+			if !ok {
+				return fmt.Errorf("%s: event %d: flow %s without id", path, i, ph)
+			}
+			ts := ev["ts"].(float64)
+			ends := flowStarts
+			if ph == "f" {
+				ends = flowFinishes
+			}
+			e := ends[id]
+			e.count++
+			e.ts = ts
+			ends[id] = e
+		}
 		if ph == "M" && ev["name"] == "thread_name" {
 			if args, ok := ev["args"].(map[string]any); ok {
 				if name, ok := args["name"].(string); ok {
@@ -72,6 +96,23 @@ func check(path string) error {
 	}
 	if phases["M"] == 0 {
 		return fmt.Errorf("%s: no metadata events (ph=M)", path)
+	}
+	for id, s := range flowStarts {
+		f, ok := flowFinishes[id]
+		if !ok {
+			return fmt.Errorf("%s: flow %v: start without finish", path, id)
+		}
+		if s.count != 1 || f.count != 1 {
+			return fmt.Errorf("%s: flow %v: %d starts / %d finishes, want exactly one of each", path, id, s.count, f.count)
+		}
+		if f.ts < s.ts {
+			return fmt.Errorf("%s: flow %v: finish at %v precedes start at %v", path, id, f.ts, s.ts)
+		}
+	}
+	for id := range flowFinishes {
+		if _, ok := flowStarts[id]; !ok {
+			return fmt.Errorf("%s: flow %v: finish without start", path, id)
+		}
 	}
 	fmt.Printf("%s: ok — %d events (%d slices, %d metadata, %d flow), %d named tracks\n",
 		path, len(tf.TraceEvents), phases["X"], phases["M"], phases["s"]+phases["f"], len(workers))

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTrace writes a trace file and returns its path.
+func writeTrace(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const validEvents = `
+{"ph":"M","name":"thread_name","pid":1,"tid":1,"ts":0,"args":{"name":"w0"}},
+{"ph":"X","pid":1,"tid":1,"ts":10,"dur":5,"name":"tx0"}`
+
+func TestCheckValidFlows(t *testing.T) {
+	path := writeTrace(t, `{"traceEvents":[`+validEvents+`,
+		{"ph":"s","id":1,"pid":1,"tid":1,"ts":10,"name":"unblock","cat":"dep"},
+		{"ph":"f","id":1,"pid":1,"tid":2,"ts":20,"name":"unblock","cat":"dep","bp":"e"}
+	]}`)
+	if err := check(path); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+}
+
+func TestCheckDanglingFlowStart(t *testing.T) {
+	path := writeTrace(t, `{"traceEvents":[`+validEvents+`,
+		{"ph":"s","id":7,"pid":1,"tid":1,"ts":10,"name":"unblock","cat":"dep"}
+	]}`)
+	err := check(path)
+	if err == nil || !strings.Contains(err.Error(), "start without finish") {
+		t.Fatalf("dangling start not rejected: %v", err)
+	}
+}
+
+func TestCheckDanglingFlowFinish(t *testing.T) {
+	path := writeTrace(t, `{"traceEvents":[`+validEvents+`,
+		{"ph":"f","id":7,"pid":1,"tid":1,"ts":10,"name":"unblock","cat":"dep","bp":"e"}
+	]}`)
+	err := check(path)
+	if err == nil || !strings.Contains(err.Error(), "finish without start") {
+		t.Fatalf("dangling finish not rejected: %v", err)
+	}
+}
+
+func TestCheckDuplicateFlowStart(t *testing.T) {
+	path := writeTrace(t, `{"traceEvents":[`+validEvents+`,
+		{"ph":"s","id":3,"pid":1,"tid":1,"ts":10,"name":"unblock","cat":"dep"},
+		{"ph":"s","id":3,"pid":1,"tid":1,"ts":11,"name":"unblock","cat":"dep"},
+		{"ph":"f","id":3,"pid":1,"tid":2,"ts":20,"name":"unblock","cat":"dep","bp":"e"}
+	]}`)
+	err := check(path)
+	if err == nil || !strings.Contains(err.Error(), "want exactly one") {
+		t.Fatalf("duplicated start not rejected: %v", err)
+	}
+}
+
+func TestCheckFlowFinishBeforeStart(t *testing.T) {
+	path := writeTrace(t, `{"traceEvents":[`+validEvents+`,
+		{"ph":"s","id":4,"pid":1,"tid":1,"ts":30,"name":"unblock","cat":"dep"},
+		{"ph":"f","id":4,"pid":1,"tid":2,"ts":20,"name":"unblock","cat":"dep","bp":"e"}
+	]}`)
+	err := check(path)
+	if err == nil || !strings.Contains(err.Error(), "precedes start") {
+		t.Fatalf("backwards flow not rejected: %v", err)
+	}
+}
+
+func TestCheckFlowWithoutID(t *testing.T) {
+	path := writeTrace(t, `{"traceEvents":[`+validEvents+`,
+		{"ph":"s","pid":1,"tid":1,"ts":10,"name":"unblock","cat":"dep"}
+	]}`)
+	err := check(path)
+	if err == nil || !strings.Contains(err.Error(), "without id") {
+		t.Fatalf("id-less flow not rejected: %v", err)
+	}
+}

@@ -60,6 +60,13 @@ type (
 	Metrics = telemetry.Registry
 	// CriticalPath is the dependency chain bounding one block's makespan.
 	CriticalPath = telemetry.CriticalPath
+	// Forensics collects per-block conflict forensics — abort causes,
+	// cascade trees, hot-key contention profiles, and the C-SAG prediction
+	// audit — attached via WithForensics and read back with PostMortem.
+	Forensics = telemetry.Forensics
+	// PostMortem is the per-block conflict report assembled by a Forensics
+	// collector.
+	PostMortem = telemetry.PostMortem
 )
 
 // NewTracer returns a disabled telemetry tracer; call Enable on it and
@@ -68,6 +75,10 @@ func NewTracer() *Tracer { return telemetry.NewTracer() }
 
 // NewMetrics returns an empty metrics registry for WithMetrics.
 func NewMetrics() *Metrics { return telemetry.NewRegistry() }
+
+// NewForensics returns a disabled conflict-forensics collector; call Enable
+// on it and attach it with WithForensics.
+func NewForensics() *Forensics { return telemetry.NewForensics() }
 
 // Execution schemes registered by the chain package. Additional schedulers
 // registered via chain.RegisterScheduler are addressed by their name.
@@ -138,16 +149,17 @@ func MappingSlot(baseSlot uint64, key Word) Hash {
 // Chain is a single-node blockchain: committed state plus every registered
 // execution engine.
 type Chain struct {
-	db       *state.DB
-	reg      *sag.Registry
-	eng      *chain.Engine
-	pool     *txpool.Pool
-	height   uint64
-	lastHash Hash
-	threads  int
-	chainID  uint64
-	tracer   *telemetry.Tracer
-	metrics  *telemetry.Registry
+	db        *state.DB
+	reg       *sag.Registry
+	eng       *chain.Engine
+	pool      *txpool.Pool
+	height    uint64
+	lastHash  Hash
+	threads   int
+	chainID   uint64
+	tracer    *telemetry.Tracer
+	metrics   *telemetry.Registry
+	forensics *telemetry.Forensics
 }
 
 // Option configures a Chain.
@@ -178,6 +190,15 @@ func WithMetrics(m *Metrics) Option {
 	return func(c *Chain) { c.metrics = m }
 }
 
+// WithForensics attaches a conflict-forensics collector: while enabled, every
+// DMVCC abort is recorded with its structured cause, cascades are grouped
+// into trees, per-item contention is profiled, and each block's C-SAG
+// predictions are scored against the actual accesses. Read reports back with
+// (*Chain).PostMortem.
+func WithForensics(fx *Forensics) Option {
+	return func(c *Chain) { c.forensics = fx }
+}
+
 // NewChain builds a chain, running the genesis function to set up initial
 // accounts and contracts, and commits the genesis block.
 func NewChain(genesis func(*Genesis) error, opts ...Option) (*Chain, error) {
@@ -197,7 +218,8 @@ func NewChain(genesis func(*Genesis) error, opts ...Option) (*Chain, error) {
 		return nil, fmt.Errorf("dmvcc: commit genesis: %w", err)
 	}
 	c.eng = chain.NewEngine(db, reg, c.threads, chain.WithChainID(c.chainID),
-		chain.WithTracer(c.tracer), chain.WithMetrics(c.metrics))
+		chain.WithTracer(c.tracer), chain.WithMetrics(c.metrics),
+		chain.WithForensics(c.forensics))
 	c.pool = txpool.New(c.eng.Analyzer(), db, db.Root, c.blockContext)
 	c.height = 1
 	return c, nil
@@ -214,6 +236,16 @@ func (c *Chain) Balance(addr Address) Word { return c.db.Balance(addr) }
 
 // Storage reads a committed storage slot.
 func (c *Chain) Storage(addr Address, slot Hash) Word { return c.db.Storage(addr, slot) }
+
+// PostMortem returns the conflict post-mortem of a previously executed block,
+// or nil when no enabled forensics collector is attached (WithForensics) or
+// the block was not executed under DMVCC while it was enabled.
+func (c *Chain) PostMortem(number uint64) *PostMortem {
+	if !c.forensics.Enabled() {
+		return nil
+	}
+	return c.forensics.PostMortem(int64(number))
+}
 
 // BlockResult is the outcome of one committed block.
 type BlockResult struct {

@@ -305,3 +305,47 @@ func TestGossipBetweenChains(t *testing.T) {
 		t.Error("replayed block accepted")
 	}
 }
+
+// TestFacadeForensics attaches a forensics collector via the facade and reads
+// a block post-mortem back through (*Chain).PostMortem.
+func TestFacadeForensics(t *testing.T) {
+	fx := dmvcc.NewForensics()
+	fx.Enable()
+	var token *dmvcc.Contract
+	c, err := dmvcc.NewChain(func(g *dmvcc.Genesis) error {
+		g.Fund(alice, 1_000_000_000)
+		g.Fund(bob, 1_000_000_000)
+		var derr error
+		token, derr = g.Deploy(tAddr, tokenSrc)
+		// Pre-mint so the transfers do not depend on an in-block write: the
+		// snapshot-based C-SAG analysis then predicts them exactly.
+		g.SetStorage(tAddr, dmvcc.MappingSlot(0, alice.Word()), dmvcc.NewWord(1000))
+		return derr
+	}, dmvcc.WithThreads(4), dmvcc.WithForensics(fx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	txs := []*dmvcc.Transaction{
+		dmvcc.MustCall(0, alice, token, 0, "transfer", bob.Word(), dmvcc.NewWord(400)),
+		dmvcc.MustCall(1, alice, token, 0, "transfer", bob.Word(), dmvcc.NewWord(100)),
+	}
+	if _, err := c.ExecuteBlock(dmvcc.ModeDMVCC, txs); err != nil {
+		t.Fatal(err)
+	}
+	pm := c.PostMortem(1)
+	if pm == nil {
+		t.Fatal("no post-mortem for block 1")
+	}
+	if pm.Txs != 2 || pm.TotalItems == 0 {
+		t.Fatalf("post-mortem = %+v", pm)
+	}
+	if pm.Audit == nil || pm.Audit.MispredictedTxs != 0 {
+		t.Fatalf("audit = %+v, want a fully predicted block", pm.Audit)
+	}
+
+	// Without a collector the accessor reports nothing rather than panicking.
+	bare, _ := newChain(t)
+	if bare.PostMortem(1) != nil {
+		t.Fatal("collector-less chain produced a post-mortem")
+	}
+}

@@ -61,13 +61,14 @@ func (o *ExecOut) Makespan(mode Mode, threads int) (uint64, error) {
 
 // Engine executes blocks against a state database.
 type Engine struct {
-	db      *state.DB
-	reg     *sag.Registry
-	an      *sag.Analyzer
-	threads int
-	chainID uint64
-	tracer  *telemetry.Tracer
-	metrics *telemetry.Registry
+	db        *state.DB
+	reg       *sag.Registry
+	an        *sag.Analyzer
+	threads   int
+	chainID   uint64
+	tracer    *telemetry.Tracer
+	metrics   *telemetry.Registry
+	forensics *telemetry.Forensics
 }
 
 // EngineOption configures an Engine.
@@ -90,6 +91,13 @@ func WithTracer(tr *telemetry.Tracer) EngineOption {
 // commit timings, and scheduler counters accumulate into it.
 func WithMetrics(m *telemetry.Registry) EngineOption {
 	return func(e *Engine) { e.metrics = m }
+}
+
+// WithForensics attaches a conflict-forensics collector: DMVCC executions
+// record per-item contention profiles, structured abort records, and the
+// C-SAG accuracy audit of every block into it (while it is enabled).
+func WithForensics(fx *telemetry.Forensics) EngineOption {
+	return func(e *Engine) { e.forensics = fx }
 }
 
 // NewEngine returns an engine over db using the contract registry for
@@ -129,18 +137,25 @@ func (e *Engine) SetMetrics(m *telemetry.Registry) { e.metrics = m }
 // Metrics returns the attached metrics registry (nil when none).
 func (e *Engine) Metrics() *telemetry.Registry { return e.metrics }
 
+// SetForensics attaches (or detaches, with nil) the forensics collector.
+func (e *Engine) SetForensics(fx *telemetry.Forensics) { e.forensics = fx }
+
+// Forensics returns the attached forensics collector (nil when none).
+func (e *Engine) Forensics() *telemetry.Forensics { return e.forensics }
+
 // execContext assembles the scheduler input for one block.
 func (e *Engine) execContext(blockCtx evm.BlockContext, txs []*types.Transaction, csags []*sag.CSAG) ExecContext {
 	return ExecContext{
-		State:    e.db,
-		Registry: e.reg,
-		Analyzer: e.an,
-		Block:    blockCtx,
-		Txs:      txs,
-		Threads:  e.threads,
-		CSAGs:    csags,
-		Tracer:   e.tracer,
-		Metrics:  e.metrics,
+		State:     e.db,
+		Registry:  e.reg,
+		Analyzer:  e.an,
+		Block:     blockCtx,
+		Txs:       txs,
+		Threads:   e.threads,
+		CSAGs:     csags,
+		Tracer:    e.tracer,
+		Metrics:   e.metrics,
+		Forensics: e.forensics,
 	}
 }
 

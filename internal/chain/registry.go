@@ -60,6 +60,10 @@ type ExecContext struct {
 	// Metrics, when non-nil, receives the engine-level latency and counter
 	// observations of this execution.
 	Metrics *telemetry.Registry
+	// Forensics, when non-nil and enabled, collects per-item contention
+	// profiles, structured abort records, and the C-SAG accuracy audit.
+	// Only conflict-aware schedulers (DMVCC) feed it.
+	Forensics *telemetry.Forensics
 }
 
 // Scheduler is a pluggable block-execution engine. Implementations register

@@ -34,6 +34,7 @@ func (s dmvccScheduler) Execute(ctx ExecContext) (*ExecOut, error) {
 	}
 	ex := core.NewExecutor(ctx.Registry, ctx.Threads)
 	ex.SetTracer(ctx.Tracer)
+	ex.SetForensics(ctx.Forensics)
 	start := time.Now()
 	res, err := ex.ExecuteBlock(ctx.State, ctx.Block, ctx.Txs, csags)
 	if err != nil {

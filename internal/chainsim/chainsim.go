@@ -43,6 +43,9 @@ type Config struct {
 	Tracer *telemetry.Tracer
 	// Metrics, when non-nil, accumulates the execution engine's metrics.
 	Metrics *telemetry.Registry
+	// Forensics, when non-nil and enabled, collects conflict forensics and
+	// the C-SAG accuracy audit of the really-executed blocks (DMVCC only).
+	Forensics *telemetry.Forensics
 }
 
 // DefaultConfig mirrors the paper's RQ3 setup with execution as the
@@ -78,6 +81,7 @@ type blockArtifacts struct {
 	out        *chain.ExecOut
 	serialSpan uint64
 	txs        int
+	number     uint64
 }
 
 // Session holds the executed blocks of one mode so timelines for many
@@ -99,7 +103,8 @@ func NewSession(cfg Config, mode chain.Mode) (*Session, error) {
 		return nil, err
 	}
 	eng := chain.NewEngine(world.DB, world.Registry, 8,
-		chain.WithTracer(cfg.Tracer), chain.WithMetrics(cfg.Metrics))
+		chain.WithTracer(cfg.Tracer), chain.WithMetrics(cfg.Metrics),
+		chain.WithForensics(cfg.Forensics))
 	s := &Session{cfg: cfg, mode: mode}
 	for b := 0; b < cfg.Blocks; b++ {
 		blockCtx := world.BlockContext()
@@ -115,9 +120,26 @@ func NewSession(cfg Config, mode chain.Mode) (*Session, error) {
 		for _, c := range out.GasCosts {
 			serialSpan += c
 		}
-		s.arts = append(s.arts, blockArtifacts{out: out, serialSpan: serialSpan, txs: len(txs)})
+		s.arts = append(s.arts, blockArtifacts{out: out, serialSpan: serialSpan, txs: len(txs), number: blockCtx.Number})
 	}
 	return s, nil
+}
+
+// PostMortems returns the conflict post-mortems of the session's really
+// executed blocks, in execution order. Empty unless the session ran with an
+// enabled Forensics collector under a conflict-aware scheduler.
+func (s *Session) PostMortems() []*telemetry.PostMortem {
+	fx := s.cfg.Forensics
+	if !fx.Enabled() {
+		return nil
+	}
+	var pms []*telemetry.PostMortem
+	for _, art := range s.arts {
+		if pm := fx.PostMortem(int64(art.number)); pm != nil {
+			pms = append(pms, pm)
+		}
+	}
+	return pms
 }
 
 // Simulate runs the validator-network timeline for a thread count.

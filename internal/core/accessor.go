@@ -239,10 +239,16 @@ func (a *accessor) readItem(id sag.ItemID) (u256.Int, error) {
 		if res != readBlocked {
 			a.rt.noteReadMark(a.inc, id)
 			a.events = append(a.events, TraceEvent{Kind: TraceRead, Item: id, Offset: a.offset})
+			if fx := a.r.forensics; fx.Enabled() {
+				fx.RecordRead(id)
+			}
 			return val, nil
 		}
 		w = next
 		a.r.stats.addBlocked()
+		if fx := a.r.forensics; fx.Enabled() {
+			fx.RecordBlockedRead(id)
+		}
 		if tr := a.r.tracer; tr.Enabled() {
 			tr.Emit(telemetry.EvPark, a.rt.idx, a.inc, a.worker, id, w.blockedTx)
 		}
@@ -356,6 +362,9 @@ func (a *accessor) waitPriorWrites(id sag.ItemID) error {
 		}
 		w = next
 		a.r.stats.addBlocked()
+		if fx := a.r.forensics; fx.Enabled() {
+			fx.RecordBlockedRead(id)
+		}
 		if tr := a.r.tracer; tr.Enabled() {
 			tr.Emit(telemetry.EvPark, a.rt.idx, a.inc, a.worker, id, w.blockedTx)
 		}
@@ -592,6 +601,9 @@ func (a *accessor) publishAbs(id sag.ItemID, v u256.Int) error {
 	}
 	a.published[id] = v
 	a.events = append(a.events, TraceEvent{Kind: TraceWrite, Item: id, Offset: a.offset})
+	if fx := a.r.forensics; fx.Enabled() {
+		fx.RecordWrite(id, !a.inFinish)
+	}
 	if tr := a.r.tracer; tr.Enabled() {
 		kind := telemetry.EvEarlyPublish
 		if a.inFinish {
@@ -619,6 +631,9 @@ func (a *accessor) publishDelta(id sag.ItemID, d u256.Int) error {
 	a.publishedDel[id] = struct{}{}
 	a.events = append(a.events, TraceEvent{Kind: TraceDelta, Item: id, Offset: a.offset})
 	a.r.stats.addDelta()
+	if fx := a.r.forensics; fx.Enabled() {
+		fx.RecordDelta(id)
+	}
 	if tr := a.r.tracer; tr.Enabled() {
 		tr.Emit(telemetry.EvDeltaPublish, a.rt.idx, a.inc, a.worker, id, -1)
 	}

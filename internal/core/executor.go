@@ -126,16 +126,24 @@ type Options struct {
 // Executor schedules block execution under DMVCC. It is reusable across
 // blocks; each ExecuteBlock call is independent.
 type Executor struct {
-	reg     *sag.Registry
-	threads int
-	opts    Options
-	tracer  *telemetry.Tracer
+	reg       *sag.Registry
+	threads   int
+	opts      Options
+	tracer    *telemetry.Tracer
+	forensics *telemetry.Forensics
 }
 
 // SetTracer attaches a telemetry tracer to subsequent executions. A nil or
 // disabled tracer costs one predicted branch per potential event (see the
 // telemetry-disabled overhead benchmark).
 func (x *Executor) SetTracer(tr *telemetry.Tracer) { x.tracer = tr }
+
+// SetForensics attaches a conflict-forensics collector to subsequent
+// executions: per-item contention profiles, structured abort records, and
+// the end-of-block C-SAG accuracy audit. Follows the tracer's cost
+// discipline — nil or disabled collectors cost one atomic load per
+// potential record (pinned by the forensics-disabled overhead benchmark).
+func (x *Executor) SetForensics(fx *telemetry.Forensics) { x.forensics = fx }
 
 // NewExecutor returns a DMVCC executor running on the given number of
 // worker threads (EVM instances bound to cores, per the paper's setup).
@@ -268,8 +276,9 @@ type run struct {
 	codeMu sync.Mutex
 	codes  map[types.Hash][]byte
 
-	opts   Options
-	tracer *telemetry.Tracer
+	opts      Options
+	tracer    *telemetry.Tracer
+	forensics *telemetry.Forensics
 
 	stats  statCounters
 	wasted atomic.Uint64
@@ -335,11 +344,13 @@ func (r *run) fail(err error) {
 	r.errMu.Unlock()
 }
 
-// abortWork is one worklist entry of a cascade: the victim incarnation and
-// the transaction whose publish (or own abort) invalidated it.
+// abortWork is one worklist entry of a cascade: the victim incarnation, the
+// transaction whose publish (or own abort) invalidated it, and the parent
+// victim within the cascade tree (-1 for the root).
 type abortWork struct {
-	v     victim
-	cause int
+	v      victim
+	cause  int
+	parent int
 }
 
 // abort implements Algorithm 4 plus cascade processing: each victim's
@@ -351,7 +362,9 @@ type abortWork struct {
 // triggered the first victim; cascading victims are attributed to the
 // victim whose dropped versions they had read.
 func (r *run) abort(first victim, cause int) {
-	work := []abortWork{{v: first, cause: cause}}
+	work := []abortWork{{v: first, cause: cause, parent: -1}}
+	fx := r.forensics
+	cascade := -1 // forensic cascade id, allocated on the first real victim
 	for len(work) > 0 {
 		w := work[len(work)-1]
 		work = work[:len(work)-1]
@@ -379,20 +392,49 @@ func (r *run) abort(first victim, cause int) {
 		rt.mu.Unlock()
 
 		r.stats.aborts.Add(1)
+		var wasted uint64
 		if finished && receipt != nil {
 			// The incarnation had fully executed; all of its work is wasted.
 			// (Incarnations killed mid-flight account their partial gas
 			// themselves when they observe the abort.)
-			r.wasted.Add(ExecCost(receipt.GasUsed, evm.IntrinsicGas(rt.tx.Data)))
+			wasted = ExecCost(receipt.GasUsed, evm.IntrinsicGas(rt.tx.Data))
+			r.wasted.Add(wasted)
 		}
 		if tr := r.tracer; tr.Enabled() {
 			tr.Emit(telemetry.EvAbort, v.tx, oldInc, -1, sag.ItemID{}, w.cause)
+		}
+		if fx.Enabled() {
+			// One record per retired incarnation, emitted at the same site
+			// that bumps Stats.Aborts, so records always account for 100%
+			// of the counter. Roots are classified from the stale read's
+			// provenance; worklist descendants are cascade collateral.
+			if cascade < 0 {
+				cascade = fx.NextCascade()
+			}
+			class := telemetry.AbortCascade
+			if w.parent < 0 {
+				switch {
+				case !v.predicted:
+					class = telemetry.AbortUnpredictedWrite
+				case v.readSrc < 0:
+					class = telemetry.AbortSnapshotStale
+				default:
+					class = telemetry.AbortStaleVersion
+				}
+			}
+			fx.RecordAbort(telemetry.AbortRecord{
+				Tx: v.tx, Inc: oldInc,
+				Cascade: cascade, Parent: w.parent,
+				CauseTx: w.cause, WriterInc: v.writerInc,
+				Item: v.item, ReadSrcTx: v.readSrc,
+				Class: class, WastedGas: wasted,
+			})
 		}
 
 		// Drop visible writes; push cascading victims onto the worklist.
 		for _, id := range published {
 			for _, cv := range r.seq(id).dropVersion(v.tx, oldInc) {
-				work = append(work, abortWork{v: cv, cause: v.tx})
+				work = append(work, abortWork{v: cv, cause: v.tx, parent: v.tx})
 			}
 		}
 		for _, id := range readMarks {
@@ -434,6 +476,9 @@ func (r *run) runIncarnation(rt *txRuntime, worker int) {
 				w = BaseCost
 			}
 			r.wasted.Add(w)
+			if fx := r.forensics; fx.Enabled() {
+				fx.AttributeWasted(rt.idx, inc, w)
+			}
 			return // the aborter relaunches
 		}
 		r.fail(fmt.Errorf("core: tx %d: %w", rt.idx, err))
@@ -447,6 +492,9 @@ func (r *run) runIncarnation(rt *txRuntime, worker int) {
 			w = BaseCost
 		}
 		r.wasted.Add(w)
+		if fx := r.forensics; fx.Enabled() {
+			fx.AttributeWasted(rt.idx, inc, w)
+		}
 		return
 	}
 	if tr := r.tracer; tr.Enabled() {
@@ -460,13 +508,17 @@ func (r *run) runIncarnation(rt *txRuntime, worker int) {
 // SAGs are handled fully dynamically, per the paper's workflow).
 func (x *Executor) ExecuteBlock(snap state.Reader, block evm.BlockContext, txs []*types.Transaction, csags []*sag.CSAG) (*Result, error) {
 	r := &run{
-		x:      x,
-		reg:    x.reg,
-		snap:   snap,
-		block:  block,
-		codes:  make(map[types.Hash][]byte),
-		opts:   x.opts,
-		tracer: x.tracer,
+		x:         x,
+		reg:       x.reg,
+		snap:      snap,
+		block:     block,
+		codes:     make(map[types.Hash][]byte),
+		opts:      x.opts,
+		tracer:    x.tracer,
+		forensics: x.forensics,
+	}
+	if fx := x.forensics; fx.Enabled() {
+		fx.BeginBlock(int64(block.Number), len(txs))
 	}
 	r.rts = make([]*txRuntime, len(txs))
 	for i, tx := range txs {
@@ -562,6 +614,13 @@ func (x *Executor) ExecuteBlock(snap state.Reader, block evm.BlockContext, txs [
 		if receipts[i] == nil {
 			return nil, fmt.Errorf("core: tx %d finished without a receipt", i)
 		}
+	}
+	if fx := x.forensics; fx.Enabled() {
+		// Score the C-SAG predictions against the committed access logs and
+		// attach the audit to the block's forensics. Entirely off the hot
+		// path: both inputs already exist (predictions from the analysis,
+		// actual sets from the committed traces).
+		fx.CompleteBlock(int64(block.Number), auditPredictions(len(txs), csags), auditAccessLogs(traces, receipts))
 	}
 	return &Result{
 		Receipts:  receipts,

@@ -65,12 +65,23 @@ type entry struct {
 
 	readDone bool
 	readInc  int
+	// readSrcTx is the transaction whose version the completed read
+	// observed (-1 when it resolved from the committed snapshot). Forensics
+	// uses it to classify the abort when the read later goes stale.
+	readSrcTx int
 }
 
-// victim identifies a transaction incarnation to abort.
+// victim identifies a transaction incarnation to abort, carrying the
+// forensic context of the stale read: the item, the invalidating writer's
+// incarnation and predictedness, and the version the victim had observed.
 type victim struct {
 	tx  int
 	inc int
+
+	item      sag.ItemID
+	writerInc int
+	predicted bool // the invalidating entry came from the C-SAG
+	readSrc   int  // version the victim observed: writer tx, -1 = snapshot
 }
 
 // seqWaiter is one parked transaction registered on a sequence. Wakeups are
@@ -205,21 +216,23 @@ func (s *sequence) tryRead(tx, inc int, snapBase u256.Int, aborted func() bool, 
 			}
 			var val u256.Int
 			val.Add(&e.value, &deltas)
-			s.markRead(tx, inc)
+			s.markRead(tx, inc, e.tx)
 			return val, readOK, nil
 		}
 	}
 	var val u256.Int
 	val.Add(&snapBase, &deltas)
-	s.markRead(tx, inc)
+	s.markRead(tx, inc, -1)
 	return val, readNeedSnapshot, nil
 }
 
 // markRead records a completed read by tx (mutating its entry in place).
-func (s *sequence) markRead(tx, inc int) {
+// src is the transaction whose version was observed (-1 = snapshot).
+func (s *sequence) markRead(tx, inc, src int) {
 	e := s.ensureEntry(tx, kindRead)
 	e.readDone = true
 	e.readInc = inc
+	e.readSrcTx = src
 }
 
 // addWaiter registers (or re-registers) a waiter parked on the pending
@@ -354,16 +367,26 @@ func (s *sequence) versionWrite(tx, inc int, val u256.Int, delta bool) []victim 
 	// (for deltas: merged without this contribution) — abort it. Delta/delta
 	// pairs never invalidate each other, which scanForward honours by
 	// skipping ω̄ entries.
-	return s.scanForward(tx)
+	return s.scanForward(tx, inc, e.predicted)
 }
 
 // scanForward implements Algorithm 3's abort/grant scan after a publish at
 // tx's position: completed reads after it (up to the next write) are stale.
-func (s *sequence) scanForward(tx int) []victim {
+// writerInc and predicted describe the invalidating entry; each victim is
+// stamped with them plus the version its stale read had observed, giving
+// the abort path its forensic context.
+func (s *sequence) scanForward(tx, writerInc int, predicted bool) []victim {
 	pos, ok := s.find(tx)
 	start := pos
 	if ok {
 		start = pos + 1
+	}
+	stamp := func(e *entry) victim {
+		return victim{
+			tx: e.tx, inc: e.readInc,
+			item: s.id, writerInc: writerInc, predicted: predicted,
+			readSrc: e.readSrcTx,
+		}
 	}
 	var victims []victim
 	for j := start; j < len(s.entries); j++ {
@@ -376,11 +399,11 @@ func (s *sequence) scanForward(tx int) []victim {
 			continue
 		case kindRead:
 			if e.readDone {
-				victims = append(victims, victim{tx: e.tx, inc: e.readInc})
+				victims = append(victims, stamp(e))
 			}
 		case kindWrite, kindReadWrite:
 			if e.kind == kindReadWrite && e.readDone {
-				victims = append(victims, victim{tx: e.tx, inc: e.readInc})
+				victims = append(victims, stamp(e))
 			}
 			// Later readers observed (or will observe) this entry's write,
 			// not ours; cascading aborts handle them if it dies.
@@ -413,7 +436,7 @@ func (s *sequence) dropVersion(tx, inc int) []victim {
 	if !hadValue {
 		return nil
 	}
-	return s.scanForward(tx)
+	return s.scanForward(tx, inc, e.predicted)
 }
 
 // resetRead clears a stale read mark after its incarnation aborted, keeping

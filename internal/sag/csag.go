@@ -62,6 +62,45 @@ func (c *CSAG) Items() []ItemID {
 	return out
 }
 
+// ReadSet returns the predicted read items in deterministic order —
+// the diffable form of Reads, consumed by the accuracy auditor.
+func (c *CSAG) ReadSet() []ItemID {
+	return sortedSet(len(c.Reads), func(add func(ItemID)) {
+		for id := range c.Reads {
+			add(id)
+		}
+	})
+}
+
+// WriteSet returns the predicted absolute-write items in deterministic order.
+func (c *CSAG) WriteSet() []ItemID {
+	return sortedSet(len(c.Writes), func(add func(ItemID)) {
+		for id := range c.Writes {
+			add(id)
+		}
+	})
+}
+
+// DeltaSet returns the predicted commutative-delta items in deterministic order.
+func (c *CSAG) DeltaSet() []ItemID {
+	return sortedSet(len(c.Deltas), func(add func(ItemID)) {
+		for id := range c.Deltas {
+			add(id)
+		}
+	})
+}
+
+// sortedSet collects items from walk and sorts them.
+func sortedSet(n int, walk func(add func(ItemID))) []ItemID {
+	if n == 0 {
+		return nil
+	}
+	out := make([]ItemID, 0, n)
+	walk(func(id ItemID) { out = append(out, id) })
+	SortItems(out)
+	return out
+}
+
 // ReadsItem reports whether the transaction is predicted to read id.
 func (c *CSAG) ReadsItem(id ItemID) bool {
 	_, ok := c.Reads[id]

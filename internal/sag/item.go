@@ -82,6 +82,22 @@ func (id ItemID) String() string {
 	}
 }
 
+// Label renders the item unambiguously for forensic reports. Unlike String,
+// it keeps both ends of the address — deterministic test and workload
+// addresses differ only in their low bytes, which String's fixed-width
+// prefix drops, so distinct hot keys would collapse to one label.
+func (id ItemID) Label() string {
+	a := id.Addr.Hex()
+	short := a[:6] + "…" + a[len(a)-6:]
+	switch id.Kind {
+	case KindStorage:
+		s := id.Slot.Hex()
+		return fmt.Sprintf("%s[%s…%s]", short, s[:6], s[len(s)-4:])
+	default:
+		return fmt.Sprintf("%s.%s", short, id.Kind)
+	}
+}
+
 // SortItems returns the ids in a deterministic order (for stable commits
 // and reproducible dumps).
 func SortItems(ids []ItemID) {

@@ -1,0 +1,200 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"testing"
+
+	"dmvcc/internal/sag"
+	"dmvcc/internal/types"
+)
+
+func fxItem(b byte) sag.ItemID {
+	return sag.BalanceItem(types.Address{0: 0xaa, 19: b})
+}
+
+func TestForensicsDisabledNoops(t *testing.T) {
+	var nilFx *Forensics
+	if nilFx.Enabled() {
+		t.Fatal("nil collector reports enabled")
+	}
+	// Every hook must be callable on a nil or disabled collector.
+	nilFx.RecordRead(fxItem(1))
+	nilFx.AttributeWasted(0, 0, 5)
+	nilFx.RecordAbort(AbortRecord{})
+
+	fx := NewForensics()
+	if fx.Enabled() {
+		t.Fatal("fresh collector enabled")
+	}
+	fx.BeginBlock(1, 10)
+	fx.RecordRead(fxItem(1))
+	fx.RecordWrite(fxItem(1), true)
+	fx.RecordAbort(AbortRecord{Tx: 0})
+	if got := fx.Blocks(); len(got) != 0 {
+		t.Fatalf("disabled collector accumulated blocks: %v", got)
+	}
+	if fx.PostMortem(1) != nil {
+		t.Fatal("disabled collector produced a post-mortem")
+	}
+}
+
+func TestForensicsProfilesAndHotKeyRanking(t *testing.T) {
+	fx := NewForensics()
+	fx.Enable()
+	fx.BeginBlock(3, 4)
+
+	cold, hot := fxItem(1), fxItem(2)
+	// cold: many plain accesses, no aborts. hot: fewer accesses, one abort.
+	for i := 0; i < 10; i++ {
+		fx.RecordRead(cold)
+	}
+	fx.RecordWrite(cold, false)
+	fx.RecordDelta(cold)
+	fx.RecordRead(hot)
+	fx.RecordBlockedRead(hot)
+	fx.RecordWrite(hot, true)
+	fx.RecordAbort(AbortRecord{
+		Tx: 1, Cascade: fx.NextCascade(), Parent: -1, CauseTx: 0,
+		Item: hot, ReadSrcTx: -1, Class: AbortUnpredictedWrite,
+	})
+
+	pm := fx.PostMortem(3)
+	if pm == nil {
+		t.Fatal("no post-mortem")
+	}
+	if pm.TotalItems != 2 || len(pm.HotKeys) != 2 {
+		t.Fatalf("items = %d / hot keys = %d, want 2/2", pm.TotalItems, len(pm.HotKeys))
+	}
+	// Aborts outrank raw access volume.
+	if pm.HotKeys[0].Item != hot.Label() {
+		t.Fatalf("top hot key = %s, want the aborting item %s", pm.HotKeys[0].Item, hot.Label())
+	}
+	top := pm.HotKeys[0]
+	if top.Reads != 1 || top.BlockedReads != 1 || top.Writes != 1 || top.EarlyPublishes != 1 || top.Aborts != 1 {
+		t.Fatalf("hot profile = %+v", top.ItemProfile)
+	}
+	second := pm.HotKeys[1]
+	if second.Reads != 10 || second.Writes != 1 || second.DeltaMerges != 1 || second.Aborts != 0 {
+		t.Fatalf("cold profile = %+v", second.ItemProfile)
+	}
+}
+
+// TestForensicsWastedGasOrdering pins the race contract between the aborter
+// (RecordAbort) and the dying incarnation (AttributeWasted): the wasted gas
+// lands on the record regardless of which call happens first.
+func TestForensicsWastedGasOrdering(t *testing.T) {
+	fx := NewForensics()
+	fx.Enable()
+	fx.BeginBlock(1, 4)
+
+	// Incarnation reports its wasted work before the abort record lands.
+	fx.AttributeWasted(2, 0, 100)
+	fx.RecordAbort(AbortRecord{
+		Tx: 2, Inc: 0, Cascade: fx.NextCascade(), Parent: -1, CauseTx: 1,
+		Item: fxItem(1), ReadSrcTx: -1, Class: AbortUnpredictedWrite, WastedGas: 7,
+	})
+	// And the opposite order for a different incarnation.
+	fx.RecordAbort(AbortRecord{
+		Tx: 3, Inc: 0, Cascade: fx.NextCascade(), Parent: -1, CauseTx: 1,
+		Item: fxItem(1), ReadSrcTx: -1, Class: AbortStaleVersion,
+	})
+	fx.AttributeWasted(3, 0, 50)
+
+	recs := fx.AbortRecords(1)
+	if len(recs) != 2 {
+		t.Fatalf("%d records, want 2", len(recs))
+	}
+	if recs[0].WastedGas != 107 {
+		t.Fatalf("pre-attributed wasted = %d, want 107 (pending drained into record)", recs[0].WastedGas)
+	}
+	if recs[1].WastedGas != 50 {
+		t.Fatalf("post-attributed wasted = %d, want 50", recs[1].WastedGas)
+	}
+	pm := fx.PostMortem(1)
+	if pm.WastedGas != 157 {
+		t.Fatalf("post-mortem wasted = %d, want 157", pm.WastedGas)
+	}
+}
+
+func TestForensicsCascadeTrees(t *testing.T) {
+	fx := NewForensics()
+	fx.Enable()
+	fx.BeginBlock(2, 8)
+
+	item := fxItem(4)
+	c0 := fx.NextCascade()
+	// Root victim tx3, whose dropped versions cascade into tx5, then tx6.
+	fx.RecordAbort(AbortRecord{Tx: 3, Inc: 0, Cascade: c0, Parent: -1, CauseTx: 1,
+		Item: item, ReadSrcTx: 1, Class: AbortUnpredictedWrite, WastedGas: 10})
+	fx.RecordAbort(AbortRecord{Tx: 5, Inc: 0, Cascade: c0, Parent: 3, CauseTx: 3,
+		Item: item, ReadSrcTx: 3, Class: AbortCascade, WastedGas: 20})
+	fx.RecordAbort(AbortRecord{Tx: 6, Inc: 0, Cascade: c0, Parent: 5, CauseTx: 5,
+		Item: item, ReadSrcTx: 5, Class: AbortCascade, WastedGas: 30})
+	// An unrelated single-victim cascade.
+	c1 := fx.NextCascade()
+	fx.RecordAbort(AbortRecord{Tx: 7, Inc: 1, Cascade: c1, Parent: -1, CauseTx: 2,
+		Item: fxItem(5), ReadSrcTx: -1, Class: AbortSnapshotStale, WastedGas: 5})
+
+	pm := fx.PostMortem(2)
+	if pm.Aborts != 4 || len(pm.Cascades) != 2 {
+		t.Fatalf("aborts = %d cascades = %d, want 4/2", pm.Aborts, len(pm.Cascades))
+	}
+	tree := pm.Cascades[0]
+	if tree.CauseTx != 1 || tree.Aborts != 3 || tree.Depth != 3 || tree.WastedGas != 60 {
+		t.Fatalf("cascade 0 = %+v", tree)
+	}
+	if tree.Root.Tx != 3 || len(tree.Root.Children) != 1 ||
+		tree.Root.Children[0].Tx != 5 || tree.Root.Children[0].Children[0].Tx != 6 {
+		t.Fatal("cascade 0 tree does not chain tx3 -> tx5 -> tx6")
+	}
+	if pm.Cascades[1].Aborts != 1 || pm.Cascades[1].Root.Tx != 7 {
+		t.Fatalf("cascade 1 = %+v", pm.Cascades[1])
+	}
+	if pm.AbortClasses["cascade"] != 2 || pm.AbortClasses["unpredicted_write"] != 1 ||
+		pm.AbortClasses["snapshot_stale"] != 1 {
+		t.Fatalf("class histogram = %v", pm.AbortClasses)
+	}
+
+	// The JSON form round-trips, including the text-marshalled classes.
+	data, err := json.Marshal(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back PostMortem
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Cascades[0].Root.Children[0].Class != AbortCascade {
+		t.Fatalf("class did not round-trip: %v", back.Cascades[0].Root.Children[0].Class)
+	}
+}
+
+// TestRecordAuditKeying pins that audits attach to the block they describe,
+// not the collector's current block register.
+func TestRecordAuditKeying(t *testing.T) {
+	fx := NewForensics()
+	fx.Enable()
+	fx.BeginBlock(1, 2)
+	fx.BeginBlock(2, 2) // register moved on
+	fx.RecordAudit(&BlockAudit{Block: 1, Txs: 2})
+	if a := fx.Audit(1); a == nil || a.Block != 1 {
+		t.Fatalf("audit for block 1 = %+v", a)
+	}
+	if a := fx.Audit(2); a != nil {
+		t.Fatalf("block 2 unexpectedly has an audit: %+v", a)
+	}
+}
+
+func TestForensicsReset(t *testing.T) {
+	fx := NewForensics()
+	fx.Enable()
+	fx.BeginBlock(1, 1)
+	fx.RecordRead(fxItem(1))
+	fx.Reset()
+	if got := fx.Blocks(); len(got) != 0 {
+		t.Fatalf("blocks after reset: %v", got)
+	}
+	if !fx.Enabled() {
+		t.Fatal("reset must not disable the collector")
+	}
+}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // expvar.Publish panics on duplicate names and has no replace API, so the
@@ -43,10 +45,13 @@ func PublishExpvar(name string, reg *Registry) {
 
 // Handler returns the introspection mux: net/http/pprof under
 // /debug/pprof/, expvar under /debug/vars, the metrics registry snapshot at
-// /metrics, per-block telemetry dumps at /telemetry/block/<n>, and the
-// block critical path at /telemetry/critpath/<n>. reg and tr may be nil;
-// the corresponding endpoints then report 404.
-func Handler(reg *Registry, tr *Tracer) http.Handler {
+// /metrics (JSON by default; Prometheus text exposition via ?format=prom or
+// an Accept header naming text/plain first), per-block telemetry dumps at
+// /telemetry/block/<n>, the block critical path at /telemetry/critpath/<n>,
+// and the conflict post-mortem at /telemetry/postmortem/<n> (?format=text
+// for the rendered report). reg, tr and fx may be nil; the corresponding
+// endpoints then report 404.
+func Handler(reg *Registry, tr *Tracer, fx *Forensics) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -65,6 +70,11 @@ func Handler(reg *Registry, tr *Tracer) http.Handler {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if reg == nil {
 			http.NotFound(w, r)
+			return
+		}
+		if wantsPrometheus(r) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = reg.Snapshot().WritePrometheus(w)
 			return
 		}
 		writeJSON(w, reg.Snapshot())
@@ -131,13 +141,64 @@ func Handler(reg *Registry, tr *Tracer) http.Handler {
 		writeJSON(w, cp)
 	})
 
+	mux.HandleFunc("/telemetry/postmortem/", func(w http.ResponseWriter, r *http.Request) {
+		if fx == nil {
+			http.NotFound(w, r)
+			return
+		}
+		n, err := blockArg(r, "/telemetry/postmortem/")
+		if err != nil {
+			http.Error(w, "usage: /telemetry/postmortem/<n>", http.StatusBadRequest)
+			return
+		}
+		pm := fx.PostMortem(n)
+		if pm == nil {
+			http.Error(w, fmt.Sprintf("no forensics collected for block %d", n), http.StatusNotFound)
+			return
+		}
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_, _ = w.Write([]byte(pm.Render()))
+			return
+		}
+		writeJSON(w, pm)
+	})
+
 	return mux
 }
 
+// wantsPrometheus decides the /metrics representation: an explicit
+// ?format=prom wins; otherwise an Accept header whose first preference is
+// text/plain (how stock Prometheus scrapes) selects the exposition format.
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prom", "prometheus":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	if i := strings.IndexByte(accept, ','); i >= 0 {
+		accept = accept[:i]
+	}
+	if i := strings.IndexByte(accept, ';'); i >= 0 {
+		accept = accept[:i]
+	}
+	return strings.TrimSpace(accept) == "text/plain"
+}
+
+// serveShutdownTimeout bounds how long Serve's stop function waits for
+// in-flight requests before forcing connections closed.
+const serveShutdownTimeout = 5 * time.Second
+
 // Serve starts the introspection endpoint on addr (e.g. ":6060") in a
 // background goroutine, publishes the registry under the "telemetry" expvar
-// name, and returns the bound address plus a shutdown function.
-func Serve(addr string, reg *Registry, tr *Tracer) (string, func() error, error) {
+// name, and returns the bound address plus a shutdown function. The stop
+// function shuts the server down gracefully — it stops accepting, lets
+// in-flight requests drain (bounded by serveShutdownTimeout, after which
+// connections are forced closed), and only returns once the serve goroutine
+// has exited, so callers never leak it past benchmark exit.
+func Serve(addr string, reg *Registry, tr *Tracer, fx *Forensics) (string, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
@@ -145,7 +206,23 @@ func Serve(addr string, reg *Registry, tr *Tracer) (string, func() error, error)
 	if reg != nil {
 		PublishExpvar("telemetry", reg)
 	}
-	srv := &http.Server{Handler: Handler(reg, tr)}
-	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), srv.Close, nil
+	srv := &http.Server{Handler: Handler(reg, tr, fx)}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	stop := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), serveShutdownTimeout)
+		defer cancel()
+		err := srv.Shutdown(ctx)
+		if err != nil {
+			// Drain stragglers: force-close whatever outlived the grace
+			// period so the serve goroutine still exits before we return.
+			_ = srv.Close()
+		}
+		serveErr := <-done
+		if err == nil && serveErr != http.ErrServerClosed {
+			err = serveErr
+		}
+		return err
+	}
+	return ln.Addr().String(), stop, nil
 }

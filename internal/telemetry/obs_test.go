@@ -1,12 +1,18 @@
 package telemetry
 
 import (
+	"bufio"
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
+
+	"dmvcc/internal/sag"
+	"dmvcc/internal/types"
 )
 
 func get(t *testing.T, srv *httptest.Server, path string) (int, []byte) {
@@ -27,7 +33,7 @@ func TestHandlerEndpoints(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("core.executions").Add(9)
 	tr := syntheticTrace()
-	srv := httptest.NewServer(Handler(reg, tr))
+	srv := httptest.NewServer(Handler(reg, tr, nil))
 	defer srv.Close()
 
 	code, body := get(t, srv, "/metrics")
@@ -88,9 +94,9 @@ func TestHandlerEndpoints(t *testing.T) {
 }
 
 func TestHandlerNilSources(t *testing.T) {
-	srv := httptest.NewServer(Handler(nil, nil))
+	srv := httptest.NewServer(Handler(nil, nil, nil))
 	defer srv.Close()
-	for _, path := range []string{"/metrics", "/telemetry/block/1", "/telemetry/critpath/1"} {
+	for _, path := range []string{"/metrics", "/telemetry/block/1", "/telemetry/critpath/1", "/telemetry/postmortem/1"} {
 		if code, _ := get(t, srv, path); code != http.StatusNotFound {
 			t.Fatalf("%s with nil sources: %d, want 404", path, code)
 		}
@@ -105,7 +111,7 @@ func TestPublishExpvarRebinds(t *testing.T) {
 	// Republishing the same name must rebind, not panic.
 	PublishExpvar("test.rebind", b)
 
-	srv := httptest.NewServer(Handler(nil, nil))
+	srv := httptest.NewServer(Handler(nil, nil, nil))
 	defer srv.Close()
 	code, body := get(t, srv, "/debug/vars")
 	if code != http.StatusOK {
@@ -129,7 +135,7 @@ func TestPublishExpvarRebinds(t *testing.T) {
 
 func TestServeLifecycle(t *testing.T) {
 	reg := NewRegistry()
-	addr, stop, err := Serve("127.0.0.1:0", reg, nil)
+	addr, stop, err := Serve("127.0.0.1:0", reg, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,5 +149,149 @@ func TestServeLifecycle(t *testing.T) {
 	}
 	if err := stop(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestServeGracefulShutdown pins Serve's shutdown contract: stop lets an
+// in-flight request finish (rather than killing its connection), refuses new
+// connections afterwards, and returns without error once the serve goroutine
+// has exited.
+func TestServeGracefulShutdown(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("n").Add(1)
+	addr, stop, err := Serve("127.0.0.1:0", reg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hold a request in flight across the stop call: open the connection
+	// and send the request, then stop concurrently, then read the response.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+
+	stopped := make(chan error, 1)
+	go func() { stopped <- stop() }()
+
+	reader := bufio.NewReader(conn)
+	resp, err := http.ReadResponse(reader, nil)
+	if err != nil {
+		t.Fatalf("in-flight request killed by shutdown: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("in-flight request: %d", resp.StatusCode)
+	}
+
+	select {
+	case err := <-stopped:
+		if err != nil {
+			t.Fatalf("stop: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("stop did not return")
+	}
+
+	if _, err := net.DialTimeout("tcp", addr, time.Second); err == nil {
+		t.Fatal("listener still accepting after stop")
+	}
+}
+
+// TestMetricsPrometheus checks the /metrics content negotiation and the
+// exposition-format invariants: every histogram series ends in an +Inf
+// bucket equal to its count, with matching _sum and _count samples.
+func TestMetricsPrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("core.executions").Add(9)
+	h := reg.Histogram("chain.dmvcc.block_exec_ns")
+	h.Observe(1500)
+	h.Observe(2500)
+	h.Observe(5e10) // overflow bucket
+	srv := httptest.NewServer(Handler(reg, nil, nil))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/metrics?format=prom")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics?format=prom: %d", code)
+	}
+	text := string(body)
+	for _, w := range []string{
+		"# TYPE core_executions counter",
+		"core_executions 9",
+		"# TYPE chain_dmvcc_block_exec_ns histogram",
+		`chain_dmvcc_block_exec_ns_bucket{le="+Inf"} 3`,
+		"chain_dmvcc_block_exec_ns_count 3",
+		"chain_dmvcc_block_exec_ns_sum 5.0000004e+10",
+	} {
+		if !strings.Contains(text, w) {
+			t.Errorf("exposition missing %q in:\n%s", w, text)
+		}
+	}
+
+	// Prometheus-style Accept header selects the exposition format too.
+	req, _ := http.NewRequest("GET", srv.URL+"/metrics", nil)
+	req.Header.Set("Accept", "text/plain;version=0.0.4;q=0.5,*/*;q=0.1")
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Accept: text/plain negotiated %q", ct)
+	}
+
+	// The default remains JSON (existing scrapers parse it).
+	code, body = get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: %d", code)
+	}
+	var snap RegistrySnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("default /metrics is no longer JSON: %v", err)
+	}
+}
+
+// TestPostmortemEndpoint serves a synthetic forensics bucket and checks both
+// representations.
+func TestPostmortemEndpoint(t *testing.T) {
+	fx := NewForensics()
+	fx.Enable()
+	fx.BeginBlock(7, 2)
+	fx.RecordAbort(AbortRecord{
+		Tx: 1, Inc: 0, Cascade: fx.NextCascade(), Parent: -1,
+		CauseTx: 0, Item: sag.BalanceItem(types.Address{0xaa}),
+		ReadSrcTx: -1, Class: AbortUnpredictedWrite, WastedGas: 42,
+	})
+	srv := httptest.NewServer(Handler(nil, nil, fx))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/telemetry/postmortem/7")
+	if code != http.StatusOK {
+		t.Fatalf("/telemetry/postmortem/7: %d (%s)", code, body)
+	}
+	var pm PostMortem
+	if err := json.Unmarshal(body, &pm); err != nil {
+		t.Fatal(err)
+	}
+	if pm.Schema != PostMortemSchema || pm.Block != 7 || pm.Aborts != 1 {
+		t.Fatalf("post-mortem = %+v", pm)
+	}
+
+	code, body = get(t, srv, "/telemetry/postmortem/7?format=text")
+	if code != http.StatusOK || !strings.Contains(string(body), "post-mortem of block 7") {
+		t.Fatalf("text post-mortem: %d\n%s", code, body)
+	}
+
+	if code, _ := get(t, srv, "/telemetry/postmortem/99"); code != http.StatusNotFound {
+		t.Fatalf("unknown block: %d, want 404", code)
+	}
+	if code, _ := get(t, srv, "/telemetry/postmortem/x"); code != http.StatusBadRequest {
+		t.Fatalf("bad arg: %d, want 400", code)
 	}
 }

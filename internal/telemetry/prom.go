@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// promName sanitizes a metric name for Prometheus: legal characters are
+// [a-zA-Z0-9_:], so the registry's dotted names map "." (and anything else
+// illegal) to "_". A leading digit gets an underscore prefix.
+func promName(name string) string {
+	var sb strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			sb.WriteByte('_')
+			sb.WriteRune(r)
+			continue
+		}
+		if ok {
+			sb.WriteRune(r)
+		} else {
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// promFloat renders a float the way Prometheus expects ("+Inf"/"-Inf"/"NaN"
+// for non-finite values).
+func promFloat(f float64) string {
+	switch {
+	case math.IsInf(f, 1):
+		return "+Inf"
+	case math.IsInf(f, -1):
+		return "-Inf"
+	case math.IsNaN(f):
+		return "NaN"
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples, histograms
+// as cumulative _bucket series (always terminated by the mandatory
+// le="+Inf" bucket equal to _count) plus _sum and _count. Output is sorted
+// by name, so scrapes are byte-stable for unchanged values.
+func (s RegistrySnapshot) WritePrometheus(w io.Writer) error {
+	names := func(m map[string]int64) []string {
+		out := make([]string, 0, len(m))
+		for k := range m {
+			out = append(out, k)
+		}
+		sort.Strings(out)
+		return out
+	}
+	for _, k := range names(s.Counters) {
+		n := promName(k)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[k]); err != nil {
+			return err
+		}
+	}
+	for _, k := range names(s.Gauges) {
+		n := promName(k)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, s.Gauges[k]); err != nil {
+			return err
+		}
+	}
+	hnames := make([]string, 0, len(s.Histograms))
+	for k := range s.Histograms {
+		hnames = append(hnames, k)
+	}
+	sort.Strings(hnames)
+	for _, k := range hnames {
+		h := s.Histograms[k]
+		n := promName(k)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+			return err
+		}
+		for _, b := range h.Buckets {
+			if math.IsInf(b.UpperBound, 1) {
+				continue // the mandatory +Inf bucket is emitted below
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, promFloat(b.UpperBound), b.Count); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", n, promFloat(h.Sum), n, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
