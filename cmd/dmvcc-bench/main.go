@@ -11,6 +11,7 @@
 //	dmvcc-bench -exp pipeline         # block-pipeline analysis/exec overlap
 //	dmvcc-bench -exp hotpath          # scheduler hot-path wall-clock baseline
 //	dmvcc-bench -exp conflicts        # conflict forensics + C-SAG accuracy audit
+//	dmvcc-bench -exp chaos            # fault-injection soak, serial-root oracle
 //	dmvcc-bench -exp all              # everything
 //
 // -blocks and -txs scale the workload; the defaults run in a few minutes on
@@ -24,7 +25,9 @@
 // experiment writes BENCH_conflicts.json (-conflictsjson) with per-block
 // post-mortems; -strict re-reads the written report and fails on any
 // unexplained abort or a mispredicted transaction in the deterministic
-// workload.
+// workload. The chaos experiment soaks every fault class (-chaosblocks
+// seeded blocks total) under the serial-root oracle and writes
+// BENCH_chaos.json (-chaosjson).
 package main
 
 import (
@@ -43,7 +46,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig7a|fig7b|fig8a|fig8b|rq1|aborts|ablation|pipeline|hotpath|conflicts|all")
+	exp := flag.String("exp", "all", "experiment: fig7a|fig7b|fig8a|fig8b|rq1|aborts|ablation|pipeline|hotpath|conflicts|chaos|all")
 	blocks := flag.Int("blocks", 3, "blocks per experiment")
 	txs := flag.Int("txs", 1000, "transactions per block (fig7/rq1/aborts/ablation)")
 	simTxs := flag.Int("simtxs", 10000, "transactions per block for the fig8 network simulation (the paper's RQ3 size)")
@@ -58,6 +61,10 @@ func main() {
 	conflictsTxs := flag.Int("conflicttxs", 512, "transactions per block for the conflicts experiment")
 	conflictsPerTx := flag.Bool("pertx", false, "keep per-transaction audit rows in the conflicts report")
 	strict := flag.Bool("strict", false, "conflicts: re-read the written report and fail on unexplained aborts or deterministic-workload mispredictions")
+	chaosBlocks := flag.Int("chaosblocks", 200, "total seeded blocks for the chaos soak, spread across the fault classes")
+	chaosTxs := flag.Int("chaostxs", 96, "transactions per block for the chaos soak")
+	chaosThreads := flag.Int("chaosthreads", 8, "scheduler threads for the chaos soak")
+	chaosJSON := flag.String("chaosjson", "BENCH_chaos.json", "output path for the chaos report")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	tracePath := flag.String("trace", "", "write a Chrome/Perfetto trace of a telemetry-instrumented run (hotpath and pipeline experiments) to this file")
@@ -101,6 +108,8 @@ func main() {
 		txs: *hotTxs, rounds: *hotRounds, jsonPath: *benchJSON, baseline: *baselinePath,
 	}, conflictsArgs{
 		txs: *conflictsTxs, jsonPath: *conflictsJSON, perTx: *conflictsPerTx, strict: *strict, fx: forensics,
+	}, chaosArgs{
+		blocks: *chaosBlocks, txs: *chaosTxs, threads: *chaosThreads, jsonPath: *chaosJSON,
 	}, tracer, metrics)
 
 	if err == nil && *tracePath != "" {
@@ -146,6 +155,12 @@ type conflictsArgs struct {
 	fx       *telemetry.Forensics
 }
 
+// chaosArgs bundles the chaos experiment's flags.
+type chaosArgs struct {
+	blocks, txs, threads int
+	jsonPath             string
+}
+
 // checkConflictsReport re-reads a written conflicts report from disk and
 // validates its invariants — the round-trip catches both forensic gaps and
 // serialization regressions.
@@ -174,7 +189,7 @@ func writeTrace(path string, tracer *telemetry.Tracer) error {
 	return tracer.Snapshot().ExportChrome(f)
 }
 
-func run(exp string, blocks, txs, simTxs, simBlocks, rq1Blocks int, seed int64, hot hotpathArgs, conf conflictsArgs, tracer *telemetry.Tracer, metrics *telemetry.Registry) error {
+func run(exp string, blocks, txs, simTxs, simBlocks, rq1Blocks int, seed int64, hot hotpathArgs, conf conflictsArgs, chaos chaosArgs, tracer *telemetry.Tracer, metrics *telemetry.Registry) error {
 	low := workload.DefaultConfig()
 	low.TxPerBlock = txs
 	low.Seed = seed
@@ -323,6 +338,25 @@ func run(exp string, blocks, txs, simTxs, simBlocks, rq1Blocks int, seed int64, 
 					return fmt.Errorf("strict conflicts audit: %w", err)
 				}
 				fmt.Println("strict conflicts audit passed: every abort explained, deterministic workload fully predicted")
+			}
+
+		case "chaos":
+			rep, err := bench.RunChaos(bench.ChaosConfig{
+				Blocks: chaos.blocks, Txs: chaos.txs, Threads: chaos.threads, Seed: seed,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Print(rep.Render())
+			if err := rep.Validate(); err != nil {
+				return fmt.Errorf("chaos soak validation: %w", err)
+			}
+			fmt.Println("chaos soak passed: every faulted block committed the serial root")
+			if chaos.jsonPath != "" {
+				if err := rep.WriteJSON(chaos.jsonPath); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", chaos.jsonPath)
 			}
 
 		default:

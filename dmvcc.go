@@ -67,6 +67,14 @@ type (
 	// PostMortem is the per-block conflict report assembled by a Forensics
 	// collector.
 	PostMortem = telemetry.PostMortem
+	// Hardening bundles the DMVCC failure-containment policy: the
+	// per-transaction incarnation cap and wasted-gas budget of the
+	// abort-storm circuit breaker, the stall watchdog's timeout and
+	// recovery budget, and whether a tripped breaker degrades the block to
+	// the serial baseline (the default — the committed root is unchanged,
+	// Stats.Degraded reports it) or fails with core.ErrCircuitBreaker.
+	// Attach via WithHardening; zero fields select the defaults.
+	Hardening = core.Hardening
 )
 
 // NewTracer returns a disabled telemetry tracer; call Enable on it and
@@ -160,6 +168,7 @@ type Chain struct {
 	tracer    *telemetry.Tracer
 	metrics   *telemetry.Registry
 	forensics *telemetry.Forensics
+	harden    *Hardening
 }
 
 // Option configures a Chain.
@@ -199,6 +208,15 @@ func WithForensics(fx *Forensics) Option {
 	return func(c *Chain) { c.forensics = fx }
 }
 
+// WithHardening sets the DMVCC failure-containment policy — abort-storm
+// circuit breaker thresholds, stall-watchdog timing, and whether tripped
+// blocks degrade to the serial baseline or fail. Without it the defaults
+// apply (64 incarnations per transaction, 10s stall timeout, 2 watchdog
+// recoveries, degradation enabled).
+func WithHardening(h Hardening) Option {
+	return func(c *Chain) { c.harden = &h }
+}
+
 // NewChain builds a chain, running the genesis function to set up initial
 // accounts and contracts, and commits the genesis block.
 func NewChain(genesis func(*Genesis) error, opts ...Option) (*Chain, error) {
@@ -217,9 +235,13 @@ func NewChain(genesis func(*Genesis) error, opts ...Option) (*Chain, error) {
 	if _, err := db.Commit(g.overlay.Changes()); err != nil {
 		return nil, fmt.Errorf("dmvcc: commit genesis: %w", err)
 	}
-	c.eng = chain.NewEngine(db, reg, c.threads, chain.WithChainID(c.chainID),
+	engOpts := []chain.EngineOption{chain.WithChainID(c.chainID),
 		chain.WithTracer(c.tracer), chain.WithMetrics(c.metrics),
-		chain.WithForensics(c.forensics))
+		chain.WithForensics(c.forensics)}
+	if c.harden != nil {
+		engOpts = append(engOpts, chain.WithHardening(*c.harden))
+	}
+	c.eng = chain.NewEngine(db, reg, c.threads, engOpts...)
 	c.pool = txpool.New(c.eng.Analyzer(), db, db.Root, c.blockContext)
 	c.height = 1
 	return c, nil

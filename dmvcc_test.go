@@ -349,3 +349,35 @@ func TestFacadeForensics(t *testing.T) {
 		t.Fatal("collector-less chain produced a post-mortem")
 	}
 }
+
+// TestFacadeHardening pins the WithHardening plumbing: an impossible
+// incarnation cap cannot trip on a conflict-free block, and the block still
+// commits the serial root with untouched stats.
+func TestFacadeHardening(t *testing.T) {
+	var token *dmvcc.Contract
+	c, err := dmvcc.NewChain(func(g *dmvcc.Genesis) error {
+		g.Fund(alice, 1_000_000_000)
+		var derr error
+		token, derr = g.Deploy(tAddr, tokenSrc)
+		return derr
+	}, dmvcc.WithThreads(4), dmvcc.WithHardening(dmvcc.Hardening{MaxTxIncarnations: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	txs := []*dmvcc.Transaction{
+		dmvcc.MustCall(0, alice, token, 0, "mint", alice.Word(), dmvcc.NewWord(10)),
+		dmvcc.MustCall(1, alice, token, 0, "mint", bob.Word(), dmvcc.NewWord(20)),
+	}
+	res, err := c.ExecuteBlock(dmvcc.ModeDMVCC, txs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Degraded {
+		t.Fatalf("conflict-free block degraded: %+v", res.Stats)
+	}
+	for i, r := range res.Receipts {
+		if r.Status != 1 {
+			t.Fatalf("receipt %d status %d", i, r.Status)
+		}
+	}
+}

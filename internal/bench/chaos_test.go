@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestChaosSoakSmoke runs a shortened soak — every fault class still gets at
+// least one block — and validates the report contract end to end, including
+// the JSON round trip.
+func TestChaosSoakSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak in -short mode")
+	}
+	cfg := ChaosConfig{Blocks: 16, Txs: 48, Threads: 4, Seed: 42}
+	rep, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("report validation: %v\n%s", err, rep.Render())
+	}
+	if len(rep.Classes) != len(chaosClasses()) {
+		t.Fatalf("report covers %d classes, want %d", len(rep.Classes), len(chaosClasses()))
+	}
+	if rep.RootMatches != cfg.Blocks {
+		t.Fatalf("serial-root equality on %d of %d blocks", rep.RootMatches, cfg.Blocks)
+	}
+	if rep.Degraded == 0 {
+		t.Fatal("no degraded blocks in a soak that includes the abort-storm class")
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_chaos.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ChaosReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("round-tripped report validation: %v", err)
+	}
+}
+
+// TestChaosDeterministicReports pins reproducibility: the same config yields
+// an identical report (fault plans, degradations, roots) run to run, modulo
+// nothing — the entire soak is seeded.
+func TestChaosDeterministicReports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak in -short mode")
+	}
+	cfg := ChaosConfig{Blocks: 8, Txs: 32, Threads: 4, Seed: 7}
+	a, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Classes {
+		ca, cb := a.Classes[i], b.Classes[i]
+		if ca.Name != cb.Name || ca.RootMatches != cb.RootMatches || ca.Degraded != cb.Degraded {
+			t.Errorf("class %s: run A %+v, run B %+v", ca.Name, ca, cb)
+		}
+		// Schedule-independent fault decisions (C-SAG corruption, commit
+		// failures) must fire identically; schedule-dependent counters
+		// (aborts, panics) may differ run to run.
+		for _, p := range []string{"csag_drop_read", "csag_drop_write", "csag_drop_delta", "commit_fail"} {
+			if ca.FaultsFired[p] != cb.FaultsFired[p] {
+				t.Errorf("class %s point %s: fired %d then %d", ca.Name, p, ca.FaultsFired[p], cb.FaultsFired[p])
+			}
+		}
+	}
+}

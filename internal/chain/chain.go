@@ -14,6 +14,7 @@ import (
 
 	"dmvcc/internal/core"
 	"dmvcc/internal/evm"
+	"dmvcc/internal/fault"
 	"dmvcc/internal/sag"
 	"dmvcc/internal/state"
 	"dmvcc/internal/telemetry"
@@ -69,7 +70,19 @@ type Engine struct {
 	tracer    *telemetry.Tracer
 	metrics   *telemetry.Registry
 	forensics *telemetry.Forensics
+	faults    *fault.Injector
+	harden    *core.Hardening
+
+	// Commit fault bookkeeping: the block whose write set the next Commit
+	// applies, and how many commit attempts it has seen (injected commit
+	// failures stop after maxCommitFaults so a retrying caller converges).
+	lastBlock      int64
+	commitAttempts int
 }
+
+// maxCommitFaults bounds injected commit failures per block: attempts past
+// this always succeed, so retry loops terminate deterministically.
+const maxCommitFaults = 3
 
 // EngineOption configures an Engine.
 type EngineOption func(*Engine)
@@ -98,6 +111,19 @@ func WithMetrics(m *telemetry.Registry) EngineOption {
 // C-SAG accuracy audit of every block into it (while it is enabled).
 func WithForensics(fx *telemetry.Forensics) EngineOption {
 	return func(e *Engine) { e.forensics = fx }
+}
+
+// WithFaults attaches a deterministic fault injector: DMVCC executions and
+// the engine's commit path inject the configured fault classes (chaos
+// testing). A nil or inactive injector is the production configuration.
+func WithFaults(in *fault.Injector) EngineOption {
+	return func(e *Engine) { e.faults = in }
+}
+
+// WithHardening overrides the DMVCC failure-containment thresholds — the
+// abort-storm circuit breaker and the stall watchdog (see core.Hardening).
+func WithHardening(h core.Hardening) EngineOption {
+	return func(e *Engine) { e.harden = &h }
 }
 
 // NewEngine returns an engine over db using the contract registry for
@@ -143,6 +169,15 @@ func (e *Engine) SetForensics(fx *telemetry.Forensics) { e.forensics = fx }
 // Forensics returns the attached forensics collector (nil when none).
 func (e *Engine) Forensics() *telemetry.Forensics { return e.forensics }
 
+// SetFaults attaches (or detaches, with nil) the fault injector.
+func (e *Engine) SetFaults(in *fault.Injector) { e.faults = in }
+
+// Faults returns the attached fault injector (nil when none).
+func (e *Engine) Faults() *fault.Injector { return e.faults }
+
+// SetHardening overrides the DMVCC failure-containment thresholds.
+func (e *Engine) SetHardening(h core.Hardening) { e.harden = &h }
+
 // execContext assembles the scheduler input for one block.
 func (e *Engine) execContext(blockCtx evm.BlockContext, txs []*types.Transaction, csags []*sag.CSAG) ExecContext {
 	return ExecContext{
@@ -156,6 +191,8 @@ func (e *Engine) execContext(blockCtx evm.BlockContext, txs []*types.Transaction
 		Tracer:    e.tracer,
 		Metrics:   e.metrics,
 		Forensics: e.forensics,
+		Faults:    e.faults,
+		Harden:    e.harden,
 	}
 }
 
@@ -173,6 +210,10 @@ func (e *Engine) ExecuteWith(mode Mode, blockCtx evm.BlockContext, txs []*types.
 		return nil, err
 	}
 	e.tracer.SetBlock(int64(blockCtx.Number))
+	if e.lastBlock != int64(blockCtx.Number) {
+		e.lastBlock = int64(blockCtx.Number)
+		e.commitAttempts = 0
+	}
 	start := time.Now()
 	out, err := s.Execute(e.execContext(blockCtx, txs, csags))
 	if err != nil {
@@ -216,8 +257,25 @@ func (e *Engine) observe(mode Mode, out *ExecOut) {
 func (e *Engine) Analyzer() *sag.Analyzer { return e.an }
 
 // Commit applies a block's write set and returns the new state root — the
-// RQ1 equivalence oracle.
+// RQ1 equivalence oracle. With a fault injector attached, the commit may be
+// artificially slowed (fault.CommitSlow) or failed (fault.CommitFail,
+// wrapping fault.ErrInjectedCommit); injected failures stop after
+// maxCommitFaults attempts per block, so retrying the commit always
+// converges — the write set itself is never touched.
 func (e *Engine) Commit(ws *state.WriteSet) (types.Hash, error) {
+	if in := e.faults; in.Enabled() {
+		attempt := e.commitAttempts
+		e.commitAttempts++
+		if d := in.DelayFor(fault.CommitSlow, e.lastBlock, attempt, 0); d > 0 {
+			time.Sleep(d)
+		}
+		if attempt < maxCommitFaults && in.Fire(fault.CommitFail, e.lastBlock, attempt, 0) {
+			if e.metrics != nil {
+				e.metrics.Counter("chain.commit_faults").Inc()
+			}
+			return types.Hash{}, fmt.Errorf("%w: block %d attempt %d", fault.ErrInjectedCommit, e.lastBlock, attempt)
+		}
+	}
 	start := time.Now()
 	root, err := e.db.Commit(ws)
 	if err != nil {

@@ -1,0 +1,107 @@
+package chain_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dmvcc/internal/chain"
+	"dmvcc/internal/core"
+	"dmvcc/internal/fault"
+	"dmvcc/internal/workload"
+)
+
+// TestCommitFaultInjectionConverges pins the engine-level commit faults: at
+// failure rate 1.0 the commit fails exactly maxCommitFaults times (wrapping
+// fault.ErrInjectedCommit), then succeeds with the same root an un-faulted
+// engine commits — the write set is never touched by the fault.
+func TestCommitFaultInjectionConverges(t *testing.T) {
+	cfg := smallConfig(11)
+	clean, err := workload.BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := workload.BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockCtx := clean.BlockContext()
+	txs := clean.NextBlock()
+
+	cleanEng := chain.NewEngine(clean.DB, clean.Registry, 4)
+	_, wantRoot, err := cleanEng.ExecuteAndCommit(chain.ModeSerial, blockCtx, txs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng := chain.NewEngine(faulty.DB, faulty.Registry, 4,
+		chain.WithFaults(fault.New(fault.Config{
+			Seed:  3,
+			Delay: time.Millisecond,
+			Rates: map[fault.Point]float64{fault.CommitFail: 1.0, fault.CommitSlow: 1.0},
+		})))
+	out, err := eng.Execute(chain.ModeSerial, blockCtx, txs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails := 0
+	for {
+		root, err := eng.Commit(out.WriteSet)
+		if err == nil {
+			if fails != 3 {
+				t.Errorf("commit failed %d times before succeeding, want 3", fails)
+			}
+			if root != wantRoot {
+				t.Fatalf("post-retry root %s != clean root %s", root, wantRoot)
+			}
+			return
+		}
+		if !errors.Is(err, fault.ErrInjectedCommit) {
+			t.Fatalf("commit error = %v, want an injected fault", err)
+		}
+		if fails++; fails > 10 {
+			t.Fatal("injected commit failures did not stop after the per-block cap")
+		}
+	}
+}
+
+// TestEngineDegradedBlockMatchesSerial drives an abort storm through the
+// full engine stack (scheduler registry, DMVCC scheduler, commit): the block
+// degrades mid-flight and still commits the exact root the serial engine
+// commits, with the reason surfaced in the ExecOut stats.
+func TestEngineDegradedBlockMatchesSerial(t *testing.T) {
+	cfg := smallConfig(13)
+	serialW, err := workload.BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaosW, err := workload.BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockCtx := serialW.BlockContext()
+	txs := serialW.NextBlock()
+
+	_, wantRoot, err := chain.NewEngine(serialW.DB, serialW.Registry, 4).
+		ExecuteAndCommit(chain.ModeSerial, blockCtx, txs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng := chain.NewEngine(chaosW.DB, chaosW.Registry, 4,
+		chain.WithFaults(fault.New(fault.Config{
+			Seed:  5,
+			Rates: map[fault.Point]float64{fault.SnapshotStale: 1.0},
+		})),
+		chain.WithHardening(core.Hardening{MaxTxIncarnations: 3}))
+	out, root, err := eng.ExecuteAndCommit(chain.ModeDMVCC, blockCtx, txs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Stats.Degraded || out.Stats.DegradeReason == "" {
+		t.Fatalf("stats = %+v, want a degraded block with a reason", out.Stats)
+	}
+	if root != wantRoot {
+		t.Fatalf("degraded block root %s != serial root %s", root, wantRoot)
+	}
+}

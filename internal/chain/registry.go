@@ -8,6 +8,7 @@ import (
 
 	"dmvcc/internal/core"
 	"dmvcc/internal/evm"
+	"dmvcc/internal/fault"
 	"dmvcc/internal/sag"
 	"dmvcc/internal/state"
 	"dmvcc/internal/telemetry"
@@ -64,6 +65,13 @@ type ExecContext struct {
 	// profiles, structured abort records, and the C-SAG accuracy audit.
 	// Only conflict-aware schedulers (DMVCC) feed it.
 	Forensics *telemetry.Forensics
+	// Faults, when non-nil and active, injects deterministic faults into the
+	// execution (chaos testing). Only the DMVCC scheduler consumes it; the
+	// serial baseline never injects, so degraded blocks always heal.
+	Faults *fault.Injector
+	// Harden overrides the DMVCC failure-containment thresholds (nil keeps
+	// the defaults).
+	Harden *core.Hardening
 }
 
 // Scheduler is a pluggable block-execution engine. Implementations register

@@ -35,6 +35,10 @@ func (s dmvccScheduler) Execute(ctx ExecContext) (*ExecOut, error) {
 	ex := core.NewExecutor(ctx.Registry, ctx.Threads)
 	ex.SetTracer(ctx.Tracer)
 	ex.SetForensics(ctx.Forensics)
+	ex.SetFaults(ctx.Faults)
+	if ctx.Harden != nil {
+		ex.SetHardening(*ctx.Harden)
+	}
 	start := time.Now()
 	res, err := ex.ExecuteBlock(ctx.State, ctx.Block, ctx.Txs, csags)
 	if err != nil {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"dmvcc/internal/evm"
+	"dmvcc/internal/fault"
 	"dmvcc/internal/sag"
 	"dmvcc/internal/telemetry"
 	"dmvcc/internal/types"
@@ -49,6 +50,12 @@ type accessor struct {
 	// distinguish them from early-write visibility.
 	worker   int
 	inFinish bool
+
+	// Fault-injection arming, decided once per incarnation (all zero when
+	// no injector is attached — the production path).
+	panicAfter    int  // instruction countdown to an injected panic
+	forceStale    bool // force-abort the next sequence read
+	suppressEarly bool // suppress release-point early publication
 }
 
 // touchKind mirrors the analyzer's classification states.
@@ -71,12 +78,29 @@ var (
 // of them, so eager allocation of all eight dominated the per-incarnation
 // allocation count.
 func newAccessor(r *run, rt *txRuntime, inc int) *accessor {
-	return &accessor{
+	a := &accessor{
 		r:       r,
 		rt:      rt,
 		inc:     inc,
 		intrins: evm.IntrinsicGas(rt.tx.Data),
 	}
+	if in := r.faults; in.Enabled() {
+		a.armFaults(in)
+	}
+	return a
+}
+
+// armFaults draws this incarnation's fault decisions up front (one hash per
+// armed point), so the per-instruction hot path only tests plain fields.
+func (a *accessor) armFaults(in *fault.Injector) {
+	blockN := int64(a.r.block.Number)
+	if ok, roll := in.Draw(fault.WorkerPanic, blockN, a.rt.idx, a.inc); ok {
+		// Panic mid-transaction: after a deterministic, roll-derived number
+		// of instructions (between VM steps, no scheduler locks held).
+		a.panicAfter = 1 + int((roll>>33)%24)
+	}
+	a.forceStale = in.Fire(fault.SnapshotStale, blockN, a.rt.idx, a.inc)
+	a.suppressEarly = in.Fire(fault.DelayEarlyPublish, blockN, a.rt.idx, a.inc)
 }
 
 // dead reports whether this incarnation has been aborted.
@@ -224,6 +248,15 @@ func (a *accessor) snapValue(id sag.ItemID) u256.Int {
 // the scan resumes from the entry it parked on instead of rescanning the
 // whole prefix.
 func (a *accessor) readItem(id sag.ItemID) (u256.Int, error) {
+	if a.forceStale {
+		// Injected snapshot staleness: retire this incarnation as if the
+		// read had been resolved from a stale snapshot and invalidated. The
+		// abort path relaunches it (the fresh incarnation draws its own
+		// fault decisions), so the block still converges.
+		a.forceStale = false
+		a.r.abortClassed(victim{tx: a.rt.idx, inc: a.inc, item: id, readSrc: -1}, a.rt.idx, telemetry.AbortInjected)
+		return u256.Int{}, evm.ErrAborted
+	}
 	seq := a.r.seq(id)
 	var w *seqWaiter
 	for {
@@ -510,6 +543,13 @@ func (a *accessor) hook(addr types.Address, depth int, pc uint64, op evm.Opcode,
 	if a.dead() {
 		return evm.ErrAborted
 	}
+	if a.panicAfter > 0 {
+		if a.panicAfter--; a.panicAfter == 0 {
+			// Between instructions, no scheduler locks held: the safest spot
+			// a genuine opcode-handler panic would surface from.
+			panic(&fault.InjectedPanic{Block: int64(a.r.block.Number), Tx: a.rt.idx, Inc: a.inc})
+		}
+	}
 	if depth == 1 {
 		if a.topGas == 0 {
 			a.topGas = gasLeft
@@ -531,7 +571,7 @@ func (a *accessor) hook(addr types.Address, depth int, pc uint64, op evm.Opcode,
 			}
 		}
 	}
-	if depth != 1 || a.drained || a.r.opts.DisableEarlyWrite {
+	if depth != 1 || a.drained || a.r.opts.DisableEarlyWrite || a.suppressEarly {
 		return nil
 	}
 	if info == nil {
@@ -600,6 +640,7 @@ func (a *accessor) publishAbs(id sag.ItemID, v u256.Int) error {
 		a.published = make(map[sag.ItemID]u256.Int)
 	}
 	a.published[id] = v
+	a.r.noteProgress()
 	a.events = append(a.events, TraceEvent{Kind: TraceWrite, Item: id, Offset: a.offset})
 	if fx := a.r.forensics; fx.Enabled() {
 		fx.RecordWrite(id, !a.inFinish)
@@ -629,6 +670,7 @@ func (a *accessor) publishDelta(id sag.ItemID, d u256.Int) error {
 		a.publishedDel = make(map[sag.ItemID]struct{})
 	}
 	a.publishedDel[id] = struct{}{}
+	a.r.noteProgress()
 	a.events = append(a.events, TraceEvent{Kind: TraceDelta, Item: id, Offset: a.offset})
 	a.r.stats.addDelta()
 	if fx := a.r.forensics; fx.Enabled() {

@@ -3,11 +3,13 @@ package core_test
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"dmvcc/internal/baseline"
 	"dmvcc/internal/core"
 	"dmvcc/internal/evm"
+	"dmvcc/internal/fault"
 	"dmvcc/internal/minisol"
 	"dmvcc/internal/sag"
 	"dmvcc/internal/state"
@@ -313,13 +315,21 @@ func TestRevertReleasesWaiters(t *testing.T) {
 	runBoth(t, fixture, txs, 2)
 }
 
+// TestMissingCSAGFallback drops or corrupts C-SAGs and checks the scheduler
+// falls back to dynamic handling (the paper's missing-SAG path) and stays
+// correct: a table over nil graphs, fault-injected corruption of a random
+// seeded subset of transactions, and both at once, each at 1, 4, and
+// NumCPU threads.
 func TestMissingCSAGFallback(t *testing.T) {
-	// Drop some C-SAGs entirely: the scheduler must fall back to dynamic
-	// handling (the paper's missing-SAG path) and stay correct.
 	txs := []*types.Transaction{
 		call(user(0), tokenAddr, 0, "transfer", user(1).Word(), u256.NewUint64(9_000)),
 		call(user(1), tokenAddr, 0, "transfer", user(2).Word(), u256.NewUint64(15_000)),
 		call(user(2), tokenAddr, 0, "transfer", user(3).Word(), u256.NewUint64(20_000)),
+		call(user(3), tokenAddr, 0, "transfer", user(4).Word(), u256.NewUint64(24_000)),
+		call(user(0), icoAddr, 500, "buy"),
+		call(user(2), icoAddr, 700, "buy"),
+		call(user(1), nftAddr, 0, "mintNFT"),
+		call(user(3), nftAddr, 0, "mintNFT"),
 	}
 	dbSerial, _ := fixture(t)
 	serial, err := baseline.ExecuteSerial(dbSerial, blk, txs)
@@ -330,23 +340,78 @@ func TestMissingCSAGFallback(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	db, reg := fixture(t)
-	an := sag.NewAnalyzer(reg)
-	csags, err := an.AnalyzeBlock(txs, db, blk)
-	if err != nil {
-		t.Fatal(err)
+
+	cases := []struct {
+		name    string
+		mangle  func(r *rand.Rand, csags []*sag.CSAG) []*sag.CSAG
+		corrupt bool // route the block through a fault injector too
+	}{
+		{name: "nil-middle", mangle: func(r *rand.Rand, csags []*sag.CSAG) []*sag.CSAG {
+			csags[1] = nil
+			return csags
+		}},
+		{name: "nil-random-subset", mangle: func(r *rand.Rand, csags []*sag.CSAG) []*sag.CSAG {
+			for i := range csags {
+				if r.Intn(2) == 0 {
+					csags[i] = nil
+				}
+			}
+			return csags
+		}},
+		{name: "nil-all", mangle: func(r *rand.Rand, csags []*sag.CSAG) []*sag.CSAG {
+			for i := range csags {
+				csags[i] = nil
+			}
+			return csags
+		}},
+		{name: "fault-corrupted-subset", corrupt: true,
+			mangle: func(r *rand.Rand, csags []*sag.CSAG) []*sag.CSAG { return csags }},
+		{name: "nil-plus-corrupted", corrupt: true,
+			mangle: func(r *rand.Rand, csags []*sag.CSAG) []*sag.CSAG {
+				csags[r.Intn(len(csags))] = nil
+				return csags
+			}},
 	}
-	csags[1] = nil // missing SAG for the middle transaction
-	res, err := core.NewExecutor(reg, 4).ExecuteBlock(db, blk, txs, csags)
-	if err != nil {
-		t.Fatal(err)
-	}
-	root, err := db.Commit(res.WriteSet)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if root != rootSerial {
-		t.Errorf("missing-CSAG run diverged: %s != %s", root, rootSerial)
+	threadCases := []int{1, 4, runtime.NumCPU()}
+	for _, tc := range cases {
+		for _, threads := range threadCases {
+			t.Run(fmt.Sprintf("%s/threads=%d", tc.name, threads), func(t *testing.T) {
+				db, reg := fixture(t)
+				an := sag.NewAnalyzer(reg)
+				csags, err := an.AnalyzeBlock(txs, db, blk)
+				if err != nil {
+					t.Fatal(err)
+				}
+				csags = tc.mangle(rand.New(rand.NewSource(int64(threads))), csags)
+				ex := core.NewExecutor(reg, threads)
+				if tc.corrupt {
+					// Deterministically drop predicted reads/writes/deltas for
+					// a seeded subset of transactions through the executor's
+					// own corruption hook.
+					ex.SetFaults(fault.New(fault.Config{Seed: int64(100 + threads), Rates: map[fault.Point]float64{
+						fault.CSAGDropRead:  0.5,
+						fault.CSAGDropWrite: 0.5,
+						fault.CSAGDropDelta: 0.5,
+					}}))
+				}
+				res, err := ex.ExecuteBlock(db, blk, txs, csags)
+				if err != nil {
+					t.Fatal(err)
+				}
+				root, err := db.Commit(res.WriteSet)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if root != rootSerial {
+					t.Errorf("degraded-CSAG run diverged: %s != %s (stats %+v)", root, rootSerial, res.Stats)
+				}
+				for i := range txs {
+					if serial.Receipts[i].Status != res.Receipts[i].Status {
+						t.Errorf("tx %d status: serial %s, dmvcc %s", i, serial.Receipts[i].Status, res.Receipts[i].Status)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dmvcc/internal/evm"
+	"dmvcc/internal/fault"
 	"dmvcc/internal/sag"
 	"dmvcc/internal/state"
 	"dmvcc/internal/telemetry"
@@ -47,6 +49,17 @@ type Stats struct {
 	// Requeues counts aborted transactions re-enqueued on the worker pool
 	// for a fresh incarnation.
 	Requeues int64
+	// Panics counts worker panics contained and converted into aborts.
+	Panics int64
+	// MaxIncarnation is the highest incarnation index any transaction
+	// reached (0 when nothing aborted).
+	MaxIncarnation int64
+	// StallRecoveries counts watchdog forced-recovery rounds.
+	StallRecoveries int64
+	// Degraded marks a block whose parallel attempt tripped the circuit
+	// breaker and fell back to the serial baseline; DegradeReason says why.
+	Degraded      bool
+	DegradeReason string
 }
 
 // RecordMetrics implements telemetry.Source: counters under the "core."
@@ -59,18 +72,29 @@ func (s Stats) RecordMetrics(r *telemetry.Registry) {
 	r.Counter("core.blocked_reads").Add(s.BlockedReads)
 	r.Counter("core.wake_events").Add(s.WakeEvents)
 	r.Counter("core.requeues").Add(s.Requeues)
+	r.Counter("core.panics").Add(s.Panics)
+	r.Counter("core.stall_recoveries").Add(s.StallRecoveries)
+	if s.Degraded {
+		r.Counter("core.degraded_blocks").Inc()
+	}
+	if g := r.Gauge("core.max_incarnation"); s.MaxIncarnation > g.Value() {
+		g.Set(s.MaxIncarnation)
+	}
 }
 
 var _ telemetry.Source = Stats{}
 
 type statCounters struct {
-	executions atomic.Int64
-	aborts     atomic.Int64
-	early      atomic.Int64
-	delta      atomic.Int64
-	blocked    atomic.Int64
-	wakes      atomic.Int64
-	requeues   atomic.Int64
+	executions      atomic.Int64
+	aborts          atomic.Int64
+	early           atomic.Int64
+	delta           atomic.Int64
+	blocked         atomic.Int64
+	wakes           atomic.Int64
+	requeues        atomic.Int64
+	panics          atomic.Int64
+	maxInc          atomic.Int64
+	stallRecoveries atomic.Int64
 }
 
 func (s *statCounters) addBlocked() { s.blocked.Add(1) }
@@ -78,15 +102,28 @@ func (s *statCounters) addEarly()   { s.early.Add(1) }
 func (s *statCounters) addDelta()   { s.delta.Add(1) }
 func (s *statCounters) addWake()    { s.wakes.Add(1) }
 
+// noteIncarnation tracks the highest incarnation any transaction reached.
+func (s *statCounters) noteIncarnation(inc int) {
+	for {
+		cur := s.maxInc.Load()
+		if int64(inc) <= cur || s.maxInc.CompareAndSwap(cur, int64(inc)) {
+			return
+		}
+	}
+}
+
 func (s *statCounters) snapshot() Stats {
 	return Stats{
-		Executions:     s.executions.Load(),
-		Aborts:         s.aborts.Load(),
-		EarlyPublishes: s.early.Load(),
-		DeltaPublishes: s.delta.Load(),
-		BlockedReads:   s.blocked.Load(),
-		WakeEvents:     s.wakes.Load(),
-		Requeues:       s.requeues.Load(),
+		Executions:      s.executions.Load(),
+		Aborts:          s.aborts.Load(),
+		EarlyPublishes:  s.early.Load(),
+		DeltaPublishes:  s.delta.Load(),
+		BlockedReads:    s.blocked.Load(),
+		WakeEvents:      s.wakes.Load(),
+		Requeues:        s.requeues.Load(),
+		Panics:          s.panics.Load(),
+		MaxIncarnation:  s.maxInc.Load(),
+		StallRecoveries: s.stallRecoveries.Load(),
 	}
 }
 
@@ -131,6 +168,8 @@ type Executor struct {
 	opts      Options
 	tracer    *telemetry.Tracer
 	forensics *telemetry.Forensics
+	faults    *fault.Injector
+	hard      Hardening
 }
 
 // SetTracer attaches a telemetry tracer to subsequent executions. A nil or
@@ -144,6 +183,15 @@ func (x *Executor) SetTracer(tr *telemetry.Tracer) { x.tracer = tr }
 // discipline — nil or disabled collectors cost one atomic load per
 // potential record (pinned by the forensics-disabled overhead benchmark).
 func (x *Executor) SetForensics(fx *telemetry.Forensics) { x.forensics = fx }
+
+// SetFaults attaches a fault injector to subsequent executions (chaos
+// testing). A nil injector — the production configuration — costs one
+// nil-check per injection point (pinned by BenchmarkFaultDisabled).
+func (x *Executor) SetFaults(in *fault.Injector) { x.faults = in }
+
+// SetHardening overrides the failure-containment thresholds (zero-value
+// fields keep their defaults; see Hardening).
+func (x *Executor) SetHardening(h Hardening) { x.hard = h }
 
 // NewExecutor returns a DMVCC executor running on the given number of
 // worker threads (EVM instances bound to cores, per the paper's setup).
@@ -170,6 +218,7 @@ type txRuntime struct {
 	abortCh   chan struct{}
 	published []sag.ItemID
 	readMarks []sag.ItemID
+	started   bool // current incarnation was picked up by a worker
 	finished  bool
 	receipt   *types.Receipt
 	trace     *TxTrace
@@ -279,11 +328,22 @@ type run struct {
 	opts      Options
 	tracer    *telemetry.Tracer
 	forensics *telemetry.Forensics
+	faults    *fault.Injector
+	hard      Hardening
 
 	stats  statCounters
 	wasted atomic.Uint64
 	errMu  sync.Mutex
 	err    error
+
+	// Failure containment (see harden.go): progress feeds the stall
+	// watchdog; cancelled flags a circuit-breaker drain (aborts stop
+	// re-enqueueing, fresh dispatches return at entry); reason is the trip
+	// cause.
+	progress  atomic.Int64
+	cancelled atomic.Bool
+	reasonMu  sync.Mutex
+	reason    string
 }
 
 // seq returns (creating on demand) the access sequence of id.
@@ -335,13 +395,19 @@ func (r *run) codeOf(h types.Hash) []byte {
 	return r.codes[h]
 }
 
-// fail records the first fatal scheduler error.
+// fail records the first fatal scheduler error and cancels the run: without
+// the drain, readers parked on the failed transaction's never-published
+// predicted writes would wait forever and wg.Wait would never return (the
+// pre-hardening goroutine leak).
 func (r *run) fail(err error) {
 	r.errMu.Lock()
 	if r.err == nil {
 		r.err = err
 	}
 	r.errMu.Unlock()
+	if r.cancelled.CompareAndSwap(false, true) {
+		r.drainAll(telemetry.AbortForced)
+	}
 }
 
 // abortWork is one worklist entry of a cascade: the victim incarnation, the
@@ -362,6 +428,13 @@ type abortWork struct {
 // triggered the first victim; cascading victims are attributed to the
 // victim whose dropped versions they had read.
 func (r *run) abort(first victim, cause int) {
+	r.abortClassed(first, cause, 0)
+}
+
+// abortClassed is abort with a forced root classification (forced aborts:
+// fault injection, watchdog recovery, breaker drains); rootClass 0 derives
+// the class from the stale read's provenance as usual.
+func (r *run) abortClassed(first victim, cause int, rootClass telemetry.AbortClass) {
 	work := []abortWork{{v: first, cause: cause, parent: -1}}
 	fx := r.forensics
 	cascade := -1 // forensic cascade id, allocated on the first real victim
@@ -378,6 +451,7 @@ func (r *run) abort(first victim, cause int) {
 		}
 		published := rt.published
 		readMarks := rt.readMarks
+		started := rt.started
 		finished := rt.finished
 		receipt := rt.receipt
 		oldInc := v.inc
@@ -387,18 +461,21 @@ func (r *run) abort(first victim, cause int) {
 		rt.abortCh = make(chan struct{})
 		rt.published = nil
 		rt.readMarks = nil
+		rt.started = false
 		rt.finished = false
 		rt.receipt = nil
 		rt.mu.Unlock()
 
 		r.stats.aborts.Add(1)
+		r.stats.noteIncarnation(newInc)
+		r.noteProgress()
 		var wasted uint64
 		if finished && receipt != nil {
 			// The incarnation had fully executed; all of its work is wasted.
 			// (Incarnations killed mid-flight account their partial gas
 			// themselves when they observe the abort.)
 			wasted = ExecCost(receipt.GasUsed, evm.IntrinsicGas(rt.tx.Data))
-			r.wasted.Add(wasted)
+			r.noteWasted(wasted)
 		}
 		if tr := r.tracer; tr.Enabled() {
 			tr.Emit(telemetry.EvAbort, v.tx, oldInc, -1, sag.ItemID{}, w.cause)
@@ -414,6 +491,8 @@ func (r *run) abort(first victim, cause int) {
 			class := telemetry.AbortCascade
 			if w.parent < 0 {
 				switch {
+				case rootClass != 0:
+					class = rootClass
 				case !v.predicted:
 					class = telemetry.AbortUnpredictedWrite
 				case v.readSrc < 0:
@@ -441,8 +520,22 @@ func (r *run) abort(first victim, cause int) {
 			r.seq(id).resetRead(v.tx, oldInc)
 		}
 
+		if r.cancelled.Load() {
+			continue // run is being drained; nothing relaunches
+		}
+		if limit := r.hard.MaxTxIncarnations; limit > 0 && newInc >= limit {
+			r.trip(fmt.Sprintf("tx %d reached the incarnation cap (%d)", v.tx, limit))
+			continue
+		}
 		if newInc >= maxIncarnations {
 			r.fail(fmt.Errorf("%w: tx %d", ErrTooManyAborts, v.tx))
+			continue
+		}
+		if !started {
+			// The retired incarnation was still queued: its pending pool
+			// dispatch will pick up the new incarnation. Requeueing too would
+			// double-dispatch and run the same incarnation twice concurrently
+			// (forced drains are the only aborters that hit unstarted txs).
 			continue
 		}
 		// Relaunch: re-enqueue on the worker pool (no goroutine spawn).
@@ -458,9 +551,36 @@ func (r *run) abort(first victim, cause int) {
 // stable identity of the executing pool goroutine (telemetry track id).
 func (r *run) runIncarnation(rt *txRuntime, worker int) {
 	defer r.wg.Done()
-	inc := rt.curInc()
+	if r.cancelled.Load() {
+		return // run is being drained; don't start new work
+	}
+	rt.mu.Lock()
+	inc := int(rt.inc.Load())
+	rt.started = true
+	rt.mu.Unlock()
+	var acc *accessor
+	// Panic containment: a panicking opcode handler (or an injected
+	// fault.WorkerPanic) must not kill the pool worker or hang wg.Wait; the
+	// incarnation is retired through the abort path and relaunched.
+	defer func() {
+		if p := recover(); p != nil {
+			r.containPanic(rt, inc, acc, p)
+		}
+	}()
+	if in := r.faults; in.Enabled() {
+		if d := in.DelayFor(fault.ExecDelay, int64(r.block.Number), rt.idx, inc); d > 0 {
+			// Interruptible: a forced abort (watchdog, breaker) wakes the
+			// sleeper instead of waiting the delay out.
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-rt.abortChan(inc):
+				t.Stop()
+			}
+		}
+	}
 	r.stats.executions.Add(1)
-	acc := newAccessor(r, rt, inc)
+	acc = newAccessor(r, rt, inc)
 	acc.worker = worker
 	if tr := r.tracer; tr.Enabled() {
 		tr.Emit(telemetry.EvDispatch, rt.idx, inc, worker, sag.ItemID{}, -1)
@@ -471,11 +591,8 @@ func (r *run) runIncarnation(rt *txRuntime, worker int) {
 		if errors.Is(err, evm.ErrAborted) {
 			// Work thrown away with this incarnation: the partial gas consumed
 			// up to the abort, floored at the dispatch cost.
-			w := acc.offset
-			if w < BaseCost {
-				w = BaseCost
-			}
-			r.wasted.Add(w)
+			w := wastedOf(acc)
+			r.noteWasted(w)
 			if fx := r.forensics; fx.Enabled() {
 				fx.AttributeWasted(rt.idx, inc, w)
 			}
@@ -487,16 +604,14 @@ func (r *run) runIncarnation(rt *txRuntime, worker int) {
 	if !acc.finish(receipt) {
 		// Aborted during finish; relaunch in flight. The incarnation never
 		// reached complete(), so the abort path did not account its work.
-		w := acc.offset
-		if w < BaseCost {
-			w = BaseCost
-		}
-		r.wasted.Add(w)
+		w := wastedOf(acc)
+		r.noteWasted(w)
 		if fx := r.forensics; fx.Enabled() {
 			fx.AttributeWasted(rt.idx, inc, w)
 		}
 		return
 	}
+	r.noteProgress()
 	if tr := r.tracer; tr.Enabled() {
 		tr.Emit(telemetry.EvCommit, rt.idx, inc, worker, sag.ItemID{}, -1)
 	}
@@ -516,9 +631,16 @@ func (x *Executor) ExecuteBlock(snap state.Reader, block evm.BlockContext, txs [
 		opts:      x.opts,
 		tracer:    x.tracer,
 		forensics: x.forensics,
+		faults:    x.faults,
+		hard:      x.hard.withDefaults(),
 	}
 	if fx := x.forensics; fx.Enabled() {
 		fx.BeginBlock(int64(block.Number), len(txs))
+	}
+	if in := x.faults; in.Enabled() {
+		// C-SAG corruption faults: deterministically drop predicted entries
+		// (deep copies; the caller's graphs are never touched).
+		csags = fault.CorruptCSAGs(in, int64(block.Number), csags)
 	}
 	r.rts = make([]*txRuntime, len(txs))
 	for i, tx := range txs {
@@ -573,12 +695,27 @@ func (x *Executor) ExecuteBlock(snap state.Reader, block evm.BlockContext, txs [
 	// worker pool (the paper's N EVM instances); aborts re-enqueue.
 	r.sched = newPool(x.threads, func(idx, worker int) { r.runIncarnation(r.rts[idx], worker) })
 	r.wg.Add(len(txs))
+	stopWatchdog := r.startWatchdog()
 	r.sched.enqueueAll(len(txs))
 	r.wg.Wait()
+	stopWatchdog()
 	r.sched.shutdown()
 
 	if r.err != nil {
 		return nil, r.err
+	}
+	if r.cancelled.Load() {
+		// The circuit breaker tripped mid-flight: every live incarnation was
+		// drained and its versions discarded. Degrade to the serial baseline
+		// (or surface the trip when fallback is disabled).
+		reason := r.tripReason()
+		if reason == "" {
+			reason = "cancelled"
+		}
+		if r.hard.DisableFallback {
+			return nil, fmt.Errorf("%w: %s", ErrCircuitBreaker, reason)
+		}
+		return r.degradeToSerial(reason)
 	}
 
 	// Commit phase: flush the last version of every sequence (Algorithm 1

@@ -65,6 +65,28 @@ func TestForensicsExplainsEveryAbort(t *testing.T) {
 		if recWasted != res.WastedGas {
 			t.Fatalf("record wasted gas %d != executor wasted gas %d", recWasted, res.WastedGas)
 		}
+		// Stats.MaxIncarnation is defined by the abort records: every abort
+		// of tx t advances t by exactly one incarnation, so the highest
+		// incarnation reached equals the deepest per-tx abort count — and on
+		// a healthy (non-degraded) block it stays below the breaker cap.
+		perTxAborts := make(map[int]int64)
+		var deepest int64
+		for _, r := range recs {
+			perTxAborts[r.Tx]++
+			if perTxAborts[r.Tx] > deepest {
+				deepest = perTxAborts[r.Tx]
+			}
+		}
+		if res.Stats.MaxIncarnation != deepest {
+			t.Fatalf("MaxIncarnation = %d, want deepest per-tx abort count %d",
+				res.Stats.MaxIncarnation, deepest)
+		}
+		if res.Stats.Degraded {
+			t.Fatalf("healthy workload degraded: %s", res.Stats.DegradeReason)
+		}
+		if res.Stats.MaxIncarnation >= 64 {
+			t.Fatalf("MaxIncarnation %d at the default breaker cap without degrading", res.Stats.MaxIncarnation)
+		}
 
 		pm := fx.PostMortem(int64(blk.Number))
 		if pm == nil {

@@ -199,3 +199,12 @@ func (p *pool) workersSpawned() int64 {
 	defer p.mu.Unlock()
 	return p.spawned
 }
+
+// stateSnapshot reports the pool's occupancy for stall diagnostics: slots
+// held by runnable incarnations, queued fresh tasks, parked goroutines
+// waiting to resume, and idle workers.
+func (p *pool) stateSnapshot() (running, ready, resume, idle int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.running, len(p.ready), len(p.resume), len(p.idle)
+}

@@ -394,17 +394,19 @@ func (s *sequence) scanForward(tx, writerInc int, predicted bool) []victim {
 		if e.status == statusDropped {
 			continue
 		}
+		// Any completed read after the publish position observed an older
+		// version and is stale — whatever the entry's write kind. A predicted
+		// ω entry carries a completed read when the analysis missed the read
+		// part (stale or corrupted C-SAG) and the transaction read before
+		// publishing (the versionWrite upgrade to θ hasn't happened yet); a ω̄
+		// entry carries one after degradeRead resolved the delta's true base.
+		// Skipping those on kind alone loses the invalidation and commits
+		// values computed from stale reads.
+		if e.readDone {
+			victims = append(victims, stamp(e))
+		}
 		switch e.kind {
-		case kindDelta:
-			continue
-		case kindRead:
-			if e.readDone {
-				victims = append(victims, stamp(e))
-			}
 		case kindWrite, kindReadWrite:
-			if e.kind == kindReadWrite && e.readDone {
-				victims = append(victims, stamp(e))
-			}
 			// Later readers observed (or will observe) this entry's write,
 			// not ours; cascading aborts handle them if it dies.
 			return victims

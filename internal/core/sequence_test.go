@@ -79,6 +79,41 @@ func TestSequenceLateWriteAbortsCompletedReader(t *testing.T) {
 	}
 }
 
+// TestSequenceLateWriteAbortsPredictedWriterWhoRead pins the θ-in-effect
+// case: tx3's C-SAG predicted only a write of the item (a stale or corrupted
+// analysis missed the read part), so its entry is ω — but at runtime tx3
+// read the item before publishing. A version published below it must still
+// invalidate that completed read; classifying the entry by its predicted
+// kind alone loses the abort and commits a value computed from a stale read.
+func TestSequenceLateWriteAbortsPredictedWriterWhoRead(t *testing.T) {
+	s := newSequence(testItem())
+	s.addPredicted(3, kindWrite)
+	if _, res, _ := s.tryRead(3, 2, u256.Zero, never, nil); res == readBlocked {
+		t.Fatal("setup read blocked")
+	}
+	victims := s.versionWrite(1, 0, u256.NewUint64(9), false)
+	if len(victims) != 1 || victims[0].tx != 3 || victims[0].inc != 2 {
+		t.Fatalf("victims = %v, want the read-before-publish ω entry tx3@inc2", victims)
+	}
+}
+
+// TestSequenceLateWriteAbortsDeltaEntryWhoRead is the ω̄ variant: after
+// degradeRead, tx3's predicted-delta entry carries a completed read of the
+// delta's true base. A later publish below it must invalidate that read even
+// though delta *writes* never conflict with each other.
+func TestSequenceLateWriteAbortsDeltaEntryWhoRead(t *testing.T) {
+	s := newSequence(testItem())
+	s.addPredicted(3, kindDelta)
+	s.versionWrite(3, 2, u256.NewUint64(4), true) // published delta part
+	if _, res, _ := s.tryRead(3, 2, u256.NewUint64(10), never, nil); res == readBlocked {
+		t.Fatal("setup read blocked")
+	}
+	victims := s.versionWrite(1, 0, u256.NewUint64(9), false)
+	if len(victims) != 1 || victims[0].tx != 3 || victims[0].inc != 2 {
+		t.Fatalf("victims = %v, want the degraded ω̄ entry tx3@inc2", victims)
+	}
+}
+
 func TestSequenceScanStopsAtInterveningWriter(t *testing.T) {
 	s := newSequence(testItem())
 	// tx2 writes (done), tx3 read tx2's version, tx5 read it too.

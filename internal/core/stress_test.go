@@ -101,8 +101,8 @@ func TestAbortWastedGasFinishedIncarnation(t *testing.T) {
 	// tx0 published item but never finished; tx1 read the version and
 	// finished with a receipt.
 	r.rts = []*txRuntime{
-		{idx: 0, tx: tx0, abortCh: make(chan struct{}), published: []sag.ItemID{item}},
-		{idx: 1, tx: tx1, abortCh: make(chan struct{}), readMarks: []sag.ItemID{item},
+		{idx: 0, tx: tx0, abortCh: make(chan struct{}), started: true, published: []sag.ItemID{item}},
+		{idx: 1, tx: tx1, abortCh: make(chan struct{}), started: true, readMarks: []sag.ItemID{item},
 			finished: true, receipt: &types.Receipt{GasUsed: 60_000}},
 	}
 	s := r.seq(item)
@@ -148,7 +148,7 @@ func TestAbortCascadeIterativeDepth(t *testing.T) {
 	}
 	r.rts = make([]*txRuntime, n+1)
 	for i := 0; i <= n; i++ {
-		rt := &txRuntime{idx: i, abortCh: make(chan struct{})}
+		rt := &txRuntime{idx: i, abortCh: make(chan struct{}), started: true}
 		if i < n {
 			rt.published = []sag.ItemID{item(i)}
 		}

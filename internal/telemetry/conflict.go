@@ -29,6 +29,15 @@ const (
 	// AbortCascade: the victim had read a version that was dropped when its
 	// writer aborted — collateral damage propagated by Algorithm 4.
 	AbortCascade
+	// AbortInjected: a fault-injection point forced this abort (chaos
+	// testing); spurious aborts are always safe under DMVCC.
+	AbortInjected
+	// AbortWatchdog: the stall watchdog force-aborted the incarnation to
+	// recover scheduler progress.
+	AbortWatchdog
+	// AbortForced: the run was cancelled (circuit breaker trip or block
+	// error) and live incarnations were drained.
+	AbortForced
 )
 
 // String implements fmt.Stringer.
@@ -42,6 +51,12 @@ func (c AbortClass) String() string {
 		return "stale_version"
 	case AbortCascade:
 		return "cascade"
+	case AbortInjected:
+		return "fault_injected"
+	case AbortWatchdog:
+		return "watchdog_forced"
+	case AbortForced:
+		return "forced"
 	default:
 		return "unknown"
 	}
@@ -61,6 +76,12 @@ func (c *AbortClass) UnmarshalText(b []byte) error {
 		*c = AbortStaleVersion
 	case "cascade":
 		*c = AbortCascade
+	case "fault_injected":
+		*c = AbortInjected
+	case "watchdog_forced":
+		*c = AbortWatchdog
+	case "forced":
+		*c = AbortForced
 	default:
 		return fmt.Errorf("telemetry: unknown abort class %q", b)
 	}
@@ -127,6 +148,8 @@ type blockForensics struct {
 	pending  map[[2]int]uint64 // wasted gas reported before its record landed
 	cascades int
 	audit    *BlockAudit
+	stalls   []StallReport
+	degraded string // circuit-breaker reason ("" = block completed in parallel)
 }
 
 // Forensics collects conflict forensics: per-item contention profiles,

@@ -48,8 +48,9 @@ func PublishExpvar(name string, reg *Registry) {
 // /metrics (JSON by default; Prometheus text exposition via ?format=prom or
 // an Accept header naming text/plain first), per-block telemetry dumps at
 // /telemetry/block/<n>, the block critical path at /telemetry/critpath/<n>,
-// and the conflict post-mortem at /telemetry/postmortem/<n> (?format=text
-// for the rendered report). reg, tr and fx may be nil; the corresponding
+// the conflict post-mortem at /telemetry/postmortem/<n> (?format=text for
+// the rendered report), and the watchdog's stall diagnostics at
+// /telemetry/stall/<n>. reg, tr and fx may be nil; the corresponding
 // endpoints then report 404.
 func Handler(reg *Registry, tr *Tracer, fx *Forensics) http.Handler {
 	mux := http.NewServeMux()
@@ -139,6 +140,34 @@ func Handler(reg *Registry, tr *Tracer, fx *Forensics) http.Handler {
 			return
 		}
 		writeJSON(w, cp)
+	})
+
+	mux.HandleFunc("/telemetry/stall/", func(w http.ResponseWriter, r *http.Request) {
+		if fx == nil {
+			http.NotFound(w, r)
+			return
+		}
+		n, err := blockArg(r, "/telemetry/stall/")
+		if err != nil {
+			http.Error(w, "usage: /telemetry/stall/<n>", http.StatusBadRequest)
+			return
+		}
+		reps := fx.Stalls(n)
+		if len(reps) == 0 {
+			http.Error(w, fmt.Sprintf("no stall diagnostics for block %d", n), http.StatusNotFound)
+			return
+		}
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			for i := range reps {
+				_, _ = w.Write([]byte(reps[i].Render()))
+			}
+			return
+		}
+		writeJSON(w, struct {
+			Block  int64         `json:"block"`
+			Stalls []StallReport `json:"stalls"`
+		}{n, reps})
 	})
 
 	mux.HandleFunc("/telemetry/postmortem/", func(w http.ResponseWriter, r *http.Request) {

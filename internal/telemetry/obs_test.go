@@ -96,7 +96,7 @@ func TestHandlerEndpoints(t *testing.T) {
 func TestHandlerNilSources(t *testing.T) {
 	srv := httptest.NewServer(Handler(nil, nil, nil))
 	defer srv.Close()
-	for _, path := range []string{"/metrics", "/telemetry/block/1", "/telemetry/critpath/1", "/telemetry/postmortem/1"} {
+	for _, path := range []string{"/metrics", "/telemetry/block/1", "/telemetry/critpath/1", "/telemetry/postmortem/1", "/telemetry/stall/1"} {
 		if code, _ := get(t, srv, path); code != http.StatusNotFound {
 			t.Fatalf("%s with nil sources: %d, want 404", path, code)
 		}
@@ -254,6 +254,101 @@ func TestMetricsPrometheus(t *testing.T) {
 	var snap RegistrySnapshot
 	if err := json.Unmarshal(body, &snap); err != nil {
 		t.Fatalf("default /metrics is no longer JSON: %v", err)
+	}
+}
+
+// TestStallEndpoint serves watchdog diagnostics for a block and checks both
+// representations plus the 404/400 contract.
+func TestStallEndpoint(t *testing.T) {
+	fx := NewForensics()
+	fx.Enable()
+	fx.RecordStall(StallReport{
+		Block: 3, Attempt: 1, Progress: 17, Running: 0, IdleWorkers: 4,
+		Pending: []StallTx{{Tx: 2, Inc: 1}},
+		Waiters: []StallWaiter{{Item: "bal:aa", ReaderTx: 2, BlockedOn: 1}},
+	})
+	fx.RecordStall(StallReport{Block: 3, Attempt: 2, Progress: 17})
+	srv := httptest.NewServer(Handler(nil, nil, fx))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/telemetry/stall/3")
+	if code != http.StatusOK {
+		t.Fatalf("/telemetry/stall/3: %d (%s)", code, body)
+	}
+	var dump struct {
+		Block  int64         `json:"block"`
+		Stalls []StallReport `json:"stalls"`
+	}
+	if err := json.Unmarshal(body, &dump); err != nil {
+		t.Fatal(err)
+	}
+	if dump.Block != 3 || len(dump.Stalls) != 2 {
+		t.Fatalf("stall dump: block=%d stalls=%d", dump.Block, len(dump.Stalls))
+	}
+	if dump.Stalls[0].Schema != StallSchema || dump.Stalls[0].Seq != 0 || dump.Stalls[1].Seq != 1 {
+		t.Fatalf("stall reports = %+v", dump.Stalls)
+	}
+	if len(dump.Stalls[0].Waiters) != 1 || dump.Stalls[0].Waiters[0].BlockedOn != 1 {
+		t.Fatalf("waiters = %+v", dump.Stalls[0].Waiters)
+	}
+
+	code, body = get(t, srv, "/telemetry/stall/3?format=text")
+	if code != http.StatusOK || !strings.Contains(string(body), "stall in block 3") {
+		t.Fatalf("text stall report: %d\n%s", code, body)
+	}
+	if code, _ := get(t, srv, "/telemetry/stall/99"); code != http.StatusNotFound {
+		t.Fatalf("unknown block: %d, want 404", code)
+	}
+	if code, _ := get(t, srv, "/telemetry/stall/x"); code != http.StatusBadRequest {
+		t.Fatalf("bad arg: %d, want 400", code)
+	}
+}
+
+// TestStallEndpointGracefulShutdown is the satellite regression alongside
+// TestServeGracefulShutdown: an in-flight /telemetry/stall/<n> request must
+// survive stop() (srv.Shutdown drains it) and the listener must refuse new
+// connections afterwards.
+func TestStallEndpointGracefulShutdown(t *testing.T) {
+	fx := NewForensics()
+	fx.Enable()
+	fx.RecordStall(StallReport{Block: 5, Attempt: 1})
+	addr, stop, err := Serve("127.0.0.1:0", nil, nil, fx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET /telemetry/stall/5 HTTP/1.1\r\nHost: x\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+
+	stopped := make(chan error, 1)
+	go func() { stopped <- stop() }()
+
+	resp, err := http.ReadResponse(bufio.NewReader(conn), nil)
+	if err != nil {
+		t.Fatalf("in-flight stall request killed by shutdown: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), StallSchema) {
+		t.Fatalf("in-flight stall request: %d\n%s", resp.StatusCode, body)
+	}
+
+	select {
+	case err := <-stopped:
+		if err != nil {
+			t.Fatalf("stop: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("stop did not return")
+	}
+	if _, err := net.DialTimeout("tcp", addr, time.Second); err == nil {
+		t.Fatal("listener still accepting after stop")
 	}
 }
 

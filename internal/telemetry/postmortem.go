@@ -62,6 +62,12 @@ type PostMortem struct {
 	Cascades []CascadeTree `json:"cascades,omitempty"`
 
 	Audit *BlockAudit `json:"audit,omitempty"`
+
+	// Degraded is the circuit-breaker reason when the block fell back to
+	// serial execution mid-flight ("" = completed in parallel).
+	Degraded string `json:"degraded,omitempty"`
+	// Stalls counts watchdog no-progress detections during the block.
+	Stalls int `json:"stalls,omitempty"`
 }
 
 // buildCascades groups abort records into trees. Records of one cascade
@@ -147,6 +153,8 @@ func (f *Forensics) PostMortem(block int64) *PostMortem {
 		Aborts:     len(bf.aborts),
 		TotalItems: len(bf.items),
 		Audit:      bf.audit,
+		Degraded:   bf.degraded,
+		Stalls:     len(bf.stalls),
 	}
 	records := make([]AbortRecord, len(bf.aborts))
 	copy(records, bf.aborts)
@@ -192,6 +200,12 @@ func (pm *PostMortem) Render() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "post-mortem of block %d: %d txs, %d aborts, %d wasted gas\n",
 		pm.Block, pm.Txs, pm.Aborts, pm.WastedGas)
+	if pm.Degraded != "" {
+		fmt.Fprintf(&sb, "  DEGRADED to serial baseline: %s\n", pm.Degraded)
+	}
+	if pm.Stalls > 0 {
+		fmt.Fprintf(&sb, "  watchdog stall detections: %d\n", pm.Stalls)
+	}
 	if len(pm.AbortClasses) > 0 {
 		classes := make([]string, 0, len(pm.AbortClasses))
 		for c := range pm.AbortClasses {

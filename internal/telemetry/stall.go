@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+
+	"dmvcc/internal/sag"
+)
+
+// StallSchema versions the stall-report JSON layout.
+const StallSchema = "dmvcc/stall/v1"
+
+// StallWaiter is one reader parked on a pending version at the moment the
+// watchdog fired: which item it is waiting on, who is waiting, and whose
+// unfinished write it is parked behind.
+type StallWaiter struct {
+	Item      string `json:"item"`
+	ReaderTx  int    `json:"reader_tx"`
+	BlockedOn int    `json:"blocked_on_tx"`
+}
+
+// StallTx is one transaction that had not finished when the watchdog fired.
+type StallTx struct {
+	Tx  int `json:"tx"`
+	Inc int `json:"inc"`
+}
+
+// StallReport is the diagnostic dump the per-block stall watchdog emits when
+// it detects no scheduler progress within its deadline: the worker-pool
+// state, every unfinished transaction, and every parked waiter, so a stalled
+// block can be debugged post hoc from /telemetry/stall/<n>.
+type StallReport struct {
+	Schema string `json:"schema"`
+	Block  int64  `json:"block"`
+	// Seq orders the reports of one block (the watchdog can fire several
+	// recovery rounds); stamped by RecordStall.
+	Seq int `json:"seq"`
+	// Attempt is the recovery round (1-based).
+	Attempt int `json:"attempt"`
+	// Progress is the scheduler's progress counter (publishes + completions
+	// + processed abort victims) at detection time.
+	Progress int64 `json:"progress"`
+
+	// Worker-pool occupancy at detection time.
+	Running     int `json:"running"`
+	ReadyTasks  int `json:"ready_tasks"`
+	Resumers    int `json:"resumers"`
+	IdleWorkers int `json:"idle_workers"`
+
+	Pending []StallTx     `json:"pending,omitempty"`
+	Waiters []StallWaiter `json:"waiters,omitempty"`
+}
+
+// Render formats the report for terminal output.
+func (r *StallReport) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "stall in block %d (attempt %d): progress=%d running=%d ready=%d resumers=%d idle=%d\n",
+		r.Block, r.Attempt, r.Progress, r.Running, r.ReadyTasks, r.Resumers, r.IdleWorkers)
+	if len(r.Pending) > 0 {
+		sb.WriteString("  unfinished:")
+		for _, p := range r.Pending {
+			fmt.Fprintf(&sb, " tx%d/inc%d", p.Tx, p.Inc)
+		}
+		sb.WriteString("\n")
+	}
+	for _, w := range r.Waiters {
+		fmt.Fprintf(&sb, "  tx%d parked on %s behind tx%d\n", w.ReaderTx, w.Item, w.BlockedOn)
+	}
+	return sb.String()
+}
+
+// RecordStall stores one watchdog diagnostic dump, keyed by rep.Block.
+func (f *Forensics) RecordStall(rep StallReport) {
+	if !f.Enabled() {
+		return
+	}
+	rep.Schema = StallSchema
+	f.mu.Lock()
+	bf := f.blocks[rep.Block]
+	if bf == nil {
+		bf = &blockForensics{
+			items:   make(map[sag.ItemID]*ItemProfile),
+			byInc:   make(map[[2]int]int),
+			pending: make(map[[2]int]uint64),
+		}
+		f.blocks[rep.Block] = bf
+	}
+	rep.Seq = len(bf.stalls)
+	bf.stalls = append(bf.stalls, rep)
+	f.mu.Unlock()
+}
+
+// Stalls returns a copy of the block's stall reports in detection order.
+func (f *Forensics) Stalls(block int64) []StallReport {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	bf := f.blocks[block]
+	if bf == nil || len(bf.stalls) == 0 {
+		return nil
+	}
+	out := make([]StallReport, len(bf.stalls))
+	copy(out, bf.stalls)
+	return out
+}
+
+// RecordDegrade marks a block as degraded to serial execution, with the
+// circuit-breaker reason.
+func (f *Forensics) RecordDegrade(block int64, reason string) {
+	if !f.Enabled() {
+		return
+	}
+	f.mu.Lock()
+	bf := f.blocks[block]
+	if bf == nil {
+		bf = &blockForensics{
+			items:   make(map[sag.ItemID]*ItemProfile),
+			byInc:   make(map[[2]int]int),
+			pending: make(map[[2]int]uint64),
+		}
+		f.blocks[block] = bf
+	}
+	bf.degraded = reason
+	f.mu.Unlock()
+}
+
+// Degraded returns the block's degradation reason ("" = not degraded).
+func (f *Forensics) Degraded(block int64) string {
+	if f == nil {
+		return ""
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if bf := f.blocks[block]; bf != nil {
+		return bf.degraded
+	}
+	return ""
+}
