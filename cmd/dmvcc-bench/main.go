@@ -12,6 +12,7 @@
 //	dmvcc-bench -exp hotpath          # scheduler hot-path wall-clock baseline
 //	dmvcc-bench -exp conflicts        # conflict forensics + C-SAG accuracy audit
 //	dmvcc-bench -exp chaos            # fault-injection soak, serial-root oracle
+//	dmvcc-bench -exp statescale       # flat vs trie state backends across state sizes
 //	dmvcc-bench -exp all              # everything
 //
 // -blocks and -txs scale the workload; the defaults run in a few minutes on
@@ -27,7 +28,12 @@
 // unexplained abort or a mispredicted transaction in the deterministic
 // workload. The chaos experiment soaks every fault class (-chaosblocks
 // seeded blocks total) under the serial-root oracle and writes
-// BENCH_chaos.json (-chaosjson).
+// BENCH_chaos.json (-chaosjson). The statescale experiment sweeps account
+// counts (-scaleaccounts) across the flat, disk-backed, and reference trie
+// backends and writes BENCH_statescale.json (-scalejson). -backend selects
+// the state backend the workload experiments run on (trie|flat|disk) and
+// -shards the flat account-trie fan-out (1 or 16) — roots are identical
+// across all of them by construction.
 package main
 
 import (
@@ -37,16 +43,66 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"dmvcc/internal/bench"
 	"dmvcc/internal/chainsim"
+	"dmvcc/internal/state"
 	"dmvcc/internal/telemetry"
 	"dmvcc/internal/workload"
 )
 
+// backendFactory resolves the -backend/-shards flags to a workload state
+// factory (nil = the reference trie DB) plus a cleanup hook for disk stores.
+func backendFactory(name string, shards int) (func() (state.Backend, error), func(), error) {
+	switch name {
+	case "", "trie":
+		return nil, func() {}, nil
+	case "flat":
+		return func() (state.Backend, error) {
+			return state.NewFlat(state.FlatOpts{Shards: shards})
+		}, func() {}, nil
+	case "disk":
+		root, err := os.MkdirTemp("", "dmvcc-bench-disk-*")
+		if err != nil {
+			return nil, nil, err
+		}
+		// Fresh subdirectory per world: experiments build several worlds from
+		// one factory, and a log-structured store directory is single-owner.
+		return func() (state.Backend, error) {
+				dir, err := os.MkdirTemp(root, "world-*")
+				if err != nil {
+					return nil, err
+				}
+				return state.NewFlat(state.FlatOpts{Shards: shards, Dir: dir})
+			}, func() {
+				os.RemoveAll(root)
+			}, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown backend %q (want trie, flat, or disk)", name)
+	}
+}
+
+// parseAccountTiers parses the comma-separated -scaleaccounts list.
+func parseAccountTiers(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad account tier %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig7a|fig7b|fig8a|fig8b|rq1|aborts|ablation|pipeline|hotpath|conflicts|chaos|all")
+	exp := flag.String("exp", "all", "experiment: fig7a|fig7b|fig8a|fig8b|rq1|aborts|ablation|pipeline|hotpath|conflicts|chaos|statescale|all")
 	blocks := flag.Int("blocks", 3, "blocks per experiment")
 	txs := flag.Int("txs", 1000, "transactions per block (fig7/rq1/aborts/ablation)")
 	simTxs := flag.Int("simtxs", 10000, "transactions per block for the fig8 network simulation (the paper's RQ3 size)")
@@ -65,6 +121,14 @@ func main() {
 	chaosTxs := flag.Int("chaostxs", 96, "transactions per block for the chaos soak")
 	chaosThreads := flag.Int("chaosthreads", 8, "scheduler threads for the chaos soak")
 	chaosJSON := flag.String("chaosjson", "BENCH_chaos.json", "output path for the chaos report")
+	backendName := flag.String("backend", "trie", "state backend for the workload experiments: trie|flat|disk")
+	shards := flag.Int("shards", 16, "flat-backend account-trie shard count (1 or 16)")
+	scaleAccounts := flag.String("scaleaccounts", "", "comma-separated account tiers for the statescale experiment (default 10000,100000,1000000)")
+	scaleBlocks := flag.Int("scaleblocks", 20, "churn blocks per statescale tier")
+	scaleWrites := flag.Int("scalewrites", 256, "account writes per statescale churn block")
+	scaleRefMax := flag.Int("scalerefmax", 100_000, "largest statescale tier cross-checked against the reference trie DB")
+	scaleMinSpeedup := flag.Float64("scaleminspeedup", 5, "flat-vs-trie read speedup the largest statescale tier must reach")
+	scaleJSON := flag.String("scalejson", "BENCH_statescale.json", "output path for the statescale report")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	tracePath := flag.String("trace", "", "write a Chrome/Perfetto trace of a telemetry-instrumented run (hotpath and pipeline experiments) to this file")
@@ -104,13 +168,28 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	err := run(*exp, *blocks, *txs, *simTxs, *simBlocks, *rq1Blocks, *seed, hotpathArgs{
+	tiers, err := parseAccountTiers(*scaleAccounts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmvcc-bench:", err)
+		os.Exit(1)
+	}
+	backend, backendCleanup, err := backendFactory(*backendName, *shards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmvcc-bench:", err)
+		os.Exit(1)
+	}
+	defer backendCleanup()
+
+	err = run(*exp, *blocks, *txs, *simTxs, *simBlocks, *rq1Blocks, *seed, hotpathArgs{
 		txs: *hotTxs, rounds: *hotRounds, jsonPath: *benchJSON, baseline: *baselinePath,
 	}, conflictsArgs{
 		txs: *conflictsTxs, jsonPath: *conflictsJSON, perTx: *conflictsPerTx, strict: *strict, fx: forensics,
 	}, chaosArgs{
 		blocks: *chaosBlocks, txs: *chaosTxs, threads: *chaosThreads, jsonPath: *chaosJSON,
-	}, tracer, metrics)
+	}, scaleArgs{
+		accounts: tiers, blocks: *scaleBlocks, writes: *scaleWrites,
+		refMax: *scaleRefMax, minSpeedup: *scaleMinSpeedup, jsonPath: *scaleJSON,
+	}, backend, tracer, metrics)
 
 	if err == nil && *tracePath != "" {
 		if werr := writeTrace(*tracePath, tracer); werr != nil {
@@ -161,6 +240,15 @@ type chaosArgs struct {
 	jsonPath             string
 }
 
+// scaleArgs bundles the statescale experiment's flags.
+type scaleArgs struct {
+	accounts       []int
+	blocks, writes int
+	refMax         int
+	minSpeedup     float64
+	jsonPath       string
+}
+
 // checkConflictsReport re-reads a written conflicts report from disk and
 // validates its invariants — the round-trip catches both forensic gaps and
 // serialization regressions.
@@ -189,10 +277,11 @@ func writeTrace(path string, tracer *telemetry.Tracer) error {
 	return tracer.Snapshot().ExportChrome(f)
 }
 
-func run(exp string, blocks, txs, simTxs, simBlocks, rq1Blocks int, seed int64, hot hotpathArgs, conf conflictsArgs, chaos chaosArgs, tracer *telemetry.Tracer, metrics *telemetry.Registry) error {
+func run(exp string, blocks, txs, simTxs, simBlocks, rq1Blocks int, seed int64, hot hotpathArgs, conf conflictsArgs, chaos chaosArgs, scale scaleArgs, backend func() (state.Backend, error), tracer *telemetry.Tracer, metrics *telemetry.Registry) error {
 	low := workload.DefaultConfig()
 	low.TxPerBlock = txs
 	low.Seed = seed
+	low.Backend = backend
 	high := low.HighContention()
 
 	runOne := func(name string) error {
@@ -292,6 +381,9 @@ func run(exp string, blocks, txs, simTxs, simBlocks, rq1Blocks int, seed int64, 
 			if err != nil {
 				return err
 			}
+			if err := rep.Validate(); err != nil {
+				return fmt.Errorf("hotpath validation: %w", err)
+			}
 			if hot.baseline != "" {
 				if err := bench.MergeHotpathBaseline(rep, hot.baseline); err != nil {
 					return err
@@ -357,6 +449,40 @@ func run(exp string, blocks, txs, simTxs, simBlocks, rq1Blocks int, seed int64, 
 					return err
 				}
 				fmt.Printf("wrote %s\n", chaos.jsonPath)
+			}
+
+		case "statescale":
+			cfg := bench.DefaultStateScaleConfig()
+			cfg.Seed = seed
+			if len(scale.accounts) > 0 {
+				cfg.Accounts = scale.accounts
+			}
+			if scale.blocks > 0 {
+				cfg.Blocks = scale.blocks
+			}
+			if scale.writes > 0 {
+				cfg.WritesPerBlock = scale.writes
+			}
+			if scale.refMax > 0 {
+				cfg.RefMaxAccounts = scale.refMax
+			}
+			if scale.minSpeedup > 0 {
+				cfg.MinReadSpeedup = scale.minSpeedup
+			}
+			rep, err := bench.RunStateScale(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(rep.Render())
+			if err := rep.Validate(); err != nil {
+				return fmt.Errorf("statescale validation: %w", err)
+			}
+			fmt.Println("statescale passed: byte-identical roots across backends, flat reads past the bar, commit off the critical path")
+			if scale.jsonPath != "" {
+				if err := rep.WriteJSON(scale.jsonPath); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", scale.jsonPath)
 			}
 
 		default:

@@ -5,6 +5,10 @@
 //
 //	dmvcc-chainsim -mode dmvcc -threads 32 -txs 5000 -interval 1s
 //	dmvcc-chainsim -mode serial -txs 5000 -interval 12s
+//	dmvcc-chainsim -mode dmvcc -backend flat          # validators on the flat backend
+//
+// -backend selects each validator's state backend (trie|flat|disk; roots are
+// identical by construction), -shards the flat account-trie fan-out.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 
 	"dmvcc/internal/chain"
 	"dmvcc/internal/chainsim"
+	"dmvcc/internal/state"
 	"dmvcc/internal/telemetry"
 	"dmvcc/internal/workload"
 )
@@ -29,6 +34,8 @@ func main() {
 	interval := flag.Duration("interval", time.Second, "mean mining interval")
 	hot := flag.Bool("hot", false, "use the high-contention workload")
 	seed := flag.Int64("seed", 7, "simulation seed")
+	backend := flag.String("backend", "trie", "validator state backend: trie|flat|disk")
+	shards := flag.Int("shards", 16, "flat-backend account-trie shard count (1 or 16)")
 	obsAddr := flag.String("obs", "", "serve the live introspection endpoint (pprof, expvar, /metrics, /telemetry) on this address, e.g. :6060")
 	postmortem := flag.Bool("postmortem", false, "print the conflict post-mortem of the most contended block (dmvcc only)")
 	flag.Parse()
@@ -53,9 +60,39 @@ func main() {
 		fmt.Printf("observability endpoint on http://%s (pprof, /debug/vars, /metrics, /telemetry/block/<n>, /telemetry/postmortem/<n>)\n", addr)
 	}
 
-	if err := run(*mode, *threads, *txs, *blocks, *validators, *interval, *hot, *seed, tracer, metrics, forensics, *postmortem); err != nil {
+	if err := run(*mode, *threads, *txs, *blocks, *validators, *interval, *hot, *seed, *backend, *shards, tracer, metrics, forensics, *postmortem); err != nil {
 		fmt.Fprintln(os.Stderr, "dmvcc-chainsim:", err)
 		os.Exit(1)
+	}
+}
+
+// backendFactory resolves -backend/-shards to a per-validator state factory
+// (nil = the reference trie DB) and a cleanup hook for disk stores. Each
+// factory call opens a distinct store, so every validator gets its own.
+func backendFactory(name string, shards int) (func() (state.Backend, error), func(), error) {
+	switch name {
+	case "", "trie":
+		return nil, func() {}, nil
+	case "flat":
+		return func() (state.Backend, error) {
+			return state.NewFlat(state.FlatOpts{Shards: shards})
+		}, func() {}, nil
+	case "disk":
+		root, err := os.MkdirTemp("", "dmvcc-chainsim-disk-*")
+		if err != nil {
+			return nil, nil, err
+		}
+		return func() (state.Backend, error) {
+				dir, err := os.MkdirTemp(root, "validator-*")
+				if err != nil {
+					return nil, err
+				}
+				return state.NewFlat(state.FlatOpts{Shards: shards, Dir: dir})
+			}, func() {
+				os.RemoveAll(root)
+			}, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown backend %q (want trie, flat, or disk)", name)
 	}
 }
 
@@ -75,11 +112,16 @@ func parseMode(s string) (chain.Mode, error) {
 	return chain.Mode(s), nil
 }
 
-func run(modeName string, threads, txs, blocks, validators int, interval time.Duration, hot bool, seed int64, tracer *telemetry.Tracer, metrics *telemetry.Registry, forensics *telemetry.Forensics, dump bool) error {
+func run(modeName string, threads, txs, blocks, validators int, interval time.Duration, hot bool, seed int64, backendName string, shards int, tracer *telemetry.Tracer, metrics *telemetry.Registry, forensics *telemetry.Forensics, dump bool) error {
 	mode, err := parseMode(modeName)
 	if err != nil {
 		return err
 	}
+	backend, cleanup, err := backendFactory(backendName, shards)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
 	cfg := chainsim.DefaultConfig()
 	cfg.Validators = validators
 	cfg.MeanBlockInterval = interval
@@ -90,6 +132,7 @@ func run(modeName string, threads, txs, blocks, validators int, interval time.Du
 		w = w.HighContention()
 	}
 	w.TxPerBlock = txs
+	w.Backend = backend
 	cfg.Workload = w
 	cfg.Tracer = tracer
 	cfg.Metrics = metrics

@@ -67,6 +67,18 @@ type (
 	// PostMortem is the per-block conflict report assembled by a Forensics
 	// collector.
 	PostMortem = telemetry.PostMortem
+	// StateBackend is the pluggable committed-state store behind a Chain:
+	// the reference trie DB (NewTrieBackend) or a flat-KV backend with lazy
+	// sharded trie commit (NewFlatBackend). All backends produce
+	// byte-identical state roots; they differ in read latency, commit
+	// overlap, and memory/disk footprint. Attach via WithBackend.
+	StateBackend = state.Backend
+	// FlatOpts configures a flat backend: Shards (1 or 16 account-trie
+	// shards; 0 = 16) and Dir (non-empty = disk-backed log-structured KV,
+	// bounded memory at large state sizes).
+	FlatOpts = state.FlatOpts
+	// CommitStats is the per-commit timing split a flat backend reports.
+	CommitStats = state.CommitStats
 	// Hardening bundles the DMVCC failure-containment policy: the
 	// per-transaction incarnation cap and wasted-gas budget of the
 	// abort-storm circuit breaker, the stall watchdog's timeout and
@@ -87,6 +99,17 @@ func NewMetrics() *Metrics { return telemetry.NewRegistry() }
 // NewForensics returns a disabled conflict-forensics collector; call Enable
 // on it and attach it with WithForensics.
 func NewForensics() *Forensics { return telemetry.NewForensics() }
+
+// NewTrieBackend returns the reference trie-first state database (the
+// default backend).
+func NewTrieBackend() StateBackend { return state.NewDB() }
+
+// NewFlatBackend returns a flat-KV state backend: reads served from flat
+// maps, trie nodes touched only at commit, the account trie hashed in
+// key-range shards by parallel workers, and commits running asynchronously
+// off the block pipeline's critical path. With opts.Dir set, state and trie
+// nodes live in disk-backed logs and memory stays bounded as state grows.
+func NewFlatBackend(opts FlatOpts) (StateBackend, error) { return state.NewFlat(opts) }
 
 // Execution schemes registered by the chain package. Additional schedulers
 // registered via chain.RegisterScheduler are addressed by their name.
@@ -157,7 +180,7 @@ func MappingSlot(baseSlot uint64, key Word) Hash {
 // Chain is a single-node blockchain: committed state plus every registered
 // execution engine.
 type Chain struct {
-	db        *state.DB
+	db        state.Backend
 	reg       *sag.Registry
 	eng       *chain.Engine
 	pool      *txpool.Pool
@@ -208,6 +231,14 @@ func WithForensics(fx *Forensics) Option {
 	return func(c *Chain) { c.forensics = fx }
 }
 
+// WithBackend installs a custom state backend (see NewFlatBackend and
+// NewTrieBackend). The default is the reference trie DB. The chain takes
+// ownership: a disk-backed backend is the caller's to Close after the chain
+// is done.
+func WithBackend(b StateBackend) Option {
+	return func(c *Chain) { c.db = b }
+}
+
 // WithHardening sets the DMVCC failure-containment policy — abort-storm
 // circuit breaker thresholds, stall-watchdog timing, and whether tripped
 // blocks degrade to the serial baseline or fail. Without it the defaults
@@ -220,19 +251,21 @@ func WithHardening(h Hardening) Option {
 // NewChain builds a chain, running the genesis function to set up initial
 // accounts and contracts, and commits the genesis block.
 func NewChain(genesis func(*Genesis) error, opts ...Option) (*Chain, error) {
-	db := state.NewDB()
 	reg := sag.NewRegistry()
-	c := &Chain{db: db, reg: reg, threads: 8, chainID: 1}
+	c := &Chain{reg: reg, threads: 8, chainID: 1}
 	for _, o := range opts {
 		o(c)
 	}
-	g := &Genesis{overlay: state.NewOverlay(db), reg: reg}
+	if c.db == nil {
+		c.db = state.NewDB()
+	}
+	g := &Genesis{overlay: state.NewOverlay(c.db), reg: reg}
 	if genesis != nil {
 		if err := genesis(g); err != nil {
 			return nil, fmt.Errorf("dmvcc: genesis: %w", err)
 		}
 	}
-	if _, err := db.Commit(g.overlay.Changes()); err != nil {
+	if _, err := c.db.Commit(g.overlay.Changes()); err != nil {
 		return nil, fmt.Errorf("dmvcc: commit genesis: %w", err)
 	}
 	engOpts := []chain.EngineOption{chain.WithChainID(c.chainID),
@@ -241,8 +274,8 @@ func NewChain(genesis func(*Genesis) error, opts ...Option) (*Chain, error) {
 	if c.harden != nil {
 		engOpts = append(engOpts, chain.WithHardening(*c.harden))
 	}
-	c.eng = chain.NewEngine(db, reg, c.threads, engOpts...)
-	c.pool = txpool.New(c.eng.Analyzer(), db, db.Root, c.blockContext)
+	c.eng = chain.NewEngine(c.db, reg, c.threads, engOpts...)
+	c.pool = txpool.New(c.eng.Analyzer(), c.db, c.db.Root, c.blockContext)
 	c.height = 1
 	return c, nil
 }

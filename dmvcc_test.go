@@ -109,6 +109,62 @@ func TestFacadeModesAgree(t *testing.T) {
 	}
 }
 
+// TestFacadeBackendsAgree runs the same chain on every state backend — the
+// reference trie DB, flat at 1 and 16 shards, and the disk-backed flat
+// store — under every execution mode, and requires byte-identical roots at
+// every height.
+func TestFacadeBackendsAgree(t *testing.T) {
+	newBackend := map[string]func() (dmvcc.StateBackend, error){
+		"trie":  func() (dmvcc.StateBackend, error) { return dmvcc.NewTrieBackend(), nil },
+		"flat1": func() (dmvcc.StateBackend, error) { return dmvcc.NewFlatBackend(dmvcc.FlatOpts{Shards: 1}) },
+		"flat":  func() (dmvcc.StateBackend, error) { return dmvcc.NewFlatBackend(dmvcc.FlatOpts{}) },
+		"disk": func() (dmvcc.StateBackend, error) {
+			return dmvcc.NewFlatBackend(dmvcc.FlatOpts{Dir: t.TempDir()})
+		},
+	}
+	for _, mode := range []dmvcc.Mode{dmvcc.ModeSerial, dmvcc.ModeDMVCC} {
+		roots := map[string][]dmvcc.Hash{}
+		for name, mk := range newBackend {
+			b, err := mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var token *dmvcc.Contract
+			c, err := dmvcc.NewChain(func(g *dmvcc.Genesis) error {
+				g.Fund(alice, 1_000_000_000)
+				g.Fund(bob, 1_000_000_000)
+				token, err = g.Deploy(tAddr, tokenSrc)
+				return err
+			}, dmvcc.WithThreads(4), dmvcc.WithBackend(b))
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			roots[name] = append(roots[name], c.Root())
+			for blk := 0; blk < 3; blk++ {
+				txs := []*dmvcc.Transaction{
+					dmvcc.MustCall(uint64(2*blk), alice, token, 0, "mint", alice.Word(), dmvcc.NewWord(1000)),
+					dmvcc.MustCall(uint64(2*blk+1), alice, token, 0, "transfer", bob.Word(), dmvcc.NewWord(100)),
+					dmvcc.NewTransfer(uint64(blk), bob, alice, 7),
+				}
+				res, err := c.ExecuteBlock(mode, txs)
+				if err != nil {
+					t.Fatalf("%s block %d: %v", name, blk, err)
+				}
+				roots[name] = append(roots[name], res.Root)
+			}
+			b.Close()
+		}
+		ref := roots["trie"]
+		for name, got := range roots {
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Errorf("mode %s: %s root[%d] = %s, want %s", mode, name, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
 func TestGenesisStorageAndMappingSlot(t *testing.T) {
 	var token *dmvcc.Contract
 	c, err := dmvcc.NewChain(func(g *dmvcc.Genesis) error {

@@ -11,6 +11,7 @@ import (
 	"dmvcc/internal/chain"
 	"dmvcc/internal/core"
 	"dmvcc/internal/fault"
+	"dmvcc/internal/state"
 	"dmvcc/internal/telemetry"
 	"dmvcc/internal/types"
 	"dmvcc/internal/workload"
@@ -37,8 +38,12 @@ type ChaosConfig struct {
 
 // ChaosClass aggregates one fault class's slice of the soak.
 type ChaosClass struct {
-	Name   string `json:"name"`
-	Blocks int    `json:"blocks"`
+	Name string `json:"name"`
+	// Backend names the chaos world's state backend ("trie", "flat",
+	// "disk") — the serial twin always runs on the reference trie DB, so
+	// root equality doubles as a cross-backend differential check.
+	Backend string `json:"backend"`
+	Blocks  int    `json:"blocks"`
 	// RootMatches counts blocks whose committed root equalled the serial
 	// twin's — the soak's correctness oracle; Validate requires it to equal
 	// Blocks.
@@ -88,6 +93,12 @@ type chaosClass struct {
 	// wantStalls marks recipes engineered to wedge the scheduler until the
 	// watchdog recovers it.
 	wantStalls bool
+	// backend selects the chaos world's state backend: "" or "trie" is the
+	// reference trie DB, "flat" the in-memory flat backend, "disk" the
+	// disk-backed flat backend (whose KV layer the kv_* points can fail).
+	// The serial twin always runs on the reference DB, so block-by-block
+	// root equality is also a cross-backend differential oracle.
+	backend string
 }
 
 // chaosClasses is the soak's fault matrix: every injection point the fault
@@ -119,7 +130,25 @@ func chaosClasses() []chaosClass {
 		{name: "abort-storm",
 			rates:        map[fault.Point]float64{fault.SnapshotStale: 1.0},
 			hard:         core.Hardening{MaxTxIncarnations: 4},
-			wantDegraded: true},
+			wantDegraded: true,
+			backend:      "flat"},
+		// kv-faults is the disk-backend torture recipe: transient KV read
+		// failures and slow log flushes while an engineered abort storm trips
+		// the circuit breaker every block — the serial fallback must still
+		// commit the reference root through a flaking disk layer.
+		{name: "kv-faults",
+			rates: map[fault.Point]float64{
+				// Read-fail rate low enough that the store's 8-attempt retry
+				// loop converges (0.08^8 per read), high enough to fire
+				// constantly; every flush stalls so even a 1-block CI smoke
+				// slice exercises the point.
+				fault.KVReadFail: 0.08, fault.KVFlushSlow: 1.0,
+				fault.SnapshotStale: 1.0,
+			},
+			delay:        100 * time.Microsecond,
+			hard:         core.Hardening{MaxTxIncarnations: 4},
+			wantDegraded: true,
+			backend:      "disk"},
 		{name: "mixed",
 			rates: map[fault.Point]float64{
 				fault.WorkerPanic: 0.1, fault.ExecDelay: 0.2,
@@ -127,7 +156,28 @@ func chaosClasses() []chaosClass {
 				fault.SnapshotStale: 0.1, fault.DelayEarlyPublish: 0.3,
 				fault.CommitFail: 0.4, fault.CommitSlow: 0.3,
 			},
-			delay: 100 * time.Microsecond},
+			delay:   100 * time.Microsecond,
+			backend: "flat"},
+	}
+}
+
+// chaosBackend resolves a class's backend selector to a workload factory
+// (nil = the reference trie DB) plus a cleanup for disk-backed stores.
+func chaosBackend(sel string) (name string, factory func() (state.Backend, error), cleanup func(), err error) {
+	switch sel {
+	case "", "trie":
+		return "trie", nil, func() {}, nil
+	case "flat":
+		return "flat", func() (state.Backend, error) { return state.NewFlat(state.FlatOpts{}) }, func() {}, nil
+	case "disk":
+		dir, err := os.MkdirTemp("", "dmvcc-chaos-kv-*")
+		if err != nil {
+			return "", nil, nil, err
+		}
+		return "disk", func() (state.Backend, error) { return state.NewFlat(state.FlatOpts{Dir: dir}) },
+			func() { os.RemoveAll(dir) }, nil
+	default:
+		return "", nil, nil, fmt.Errorf("unknown chaos backend %q", sel)
 	}
 }
 
@@ -220,10 +270,18 @@ func runChaosClass(cfg ChaosConfig, cl chaosClass, classIdx int64, blocks int) (
 	if err != nil {
 		return nil, err
 	}
-	chaosW, err := workload.BuildWorld(wl)
+	backendName, factory, cleanup, err := chaosBackend(cl.backend)
 	if err != nil {
 		return nil, err
 	}
+	defer cleanup()
+	chaosWl := wl
+	chaosWl.Backend = factory
+	chaosW, err := workload.BuildWorld(chaosWl)
+	if err != nil {
+		return nil, err
+	}
+	defer chaosW.DB.Close()
 	if serialW.DB.Root() != chaosW.DB.Root() {
 		return nil, fmt.Errorf("twin worlds diverge at genesis")
 	}
@@ -247,7 +305,7 @@ func runChaosClass(cfg ChaosConfig, cl chaosClass, classIdx int64, blocks int) (
 		chain.WithHardening(cl.hard),
 		chain.WithForensics(fx))
 
-	cc := &ChaosClass{Name: cl.name, Blocks: blocks, FaultsFired: map[string]int64{}}
+	cc := &ChaosClass{Name: cl.name, Backend: backendName, Blocks: blocks, FaultsFired: map[string]int64{}}
 	for b := 0; b < blocks; b++ {
 		blockCtx := serialW.BlockContext()
 		txs := serialW.NextBlock()
@@ -351,6 +409,16 @@ func (r *ChaosReport) Validate() error {
 			if c.StallRecoveries == 0 {
 				return fmt.Errorf("class stall-watchdog: watchdog never recovered a stall")
 			}
+		case "kv-faults":
+			if c.Backend != "disk" {
+				return fmt.Errorf("class kv-faults: ran on %q, want the disk backend", c.Backend)
+			}
+			if c.Degraded != c.Blocks {
+				return fmt.Errorf("class kv-faults: %d of %d blocks degraded", c.Degraded, c.Blocks)
+			}
+			if c.FaultsFired["kv_read_fail"] == 0 || c.FaultsFired["kv_flush_slow"] == 0 {
+				return fmt.Errorf("class kv-faults: kv points never fired (%v)", c.FaultsFired)
+			}
 		case "commit-failure":
 			if c.CommitRetries == 0 {
 				return fmt.Errorf("class commit-failure: no injected commit failures retried")
@@ -378,11 +446,11 @@ func (r *ChaosReport) Validate() error {
 func (r *ChaosReport) Render() string {
 	s := fmt.Sprintf("== chaos: %d seeded blocks x %d txs, %d threads (seed %d) ==\n",
 		r.Blocks, r.Txs, r.Threads, r.Seed)
-	s += fmt.Sprintf("%-16s %7s %7s %9s %8s %7s %8s %8s\n",
-		"class", "blocks", "roots=", "degraded", "aborts", "panics", "stalls", "retries")
+	s += fmt.Sprintf("%-16s %-7s %7s %7s %9s %8s %7s %8s %8s\n",
+		"class", "backend", "blocks", "roots=", "degraded", "aborts", "panics", "stalls", "retries")
 	for _, c := range r.Classes {
-		s += fmt.Sprintf("%-16s %7d %7d %9d %8d %7d %8d %8d\n",
-			c.Name, c.Blocks, c.RootMatches, c.Degraded, c.Aborts, c.Panics, c.StallRecoveries, c.CommitRetries)
+		s += fmt.Sprintf("%-16s %-7s %7d %7d %9d %8d %7d %8d %8d\n",
+			c.Name, c.Backend, c.Blocks, c.RootMatches, c.Degraded, c.Aborts, c.Panics, c.StallRecoveries, c.CommitRetries)
 	}
 	s += fmt.Sprintf("serial-root equality: %d/%d blocks (degraded: %d)\n",
 		r.RootMatches, r.Blocks, r.Degraded)

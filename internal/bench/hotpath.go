@@ -266,6 +266,40 @@ func timeRounds(rounds int, fn func() error) (int64, error) {
 	return time.Since(start).Nanoseconds(), nil
 }
 
+// Validate checks the report's measurement preconditions. The critical one:
+// a multi-threaded sweep captured at GOMAXPROCS=1 is not a parallelism
+// measurement at all — every "parallel" configuration time-slices one OS
+// thread — so a report whose sweep includes threads > 1 must have been
+// captured with GOMAXPROCS > 1 (set the GOMAXPROCS env var on constrained
+// boxes). It also requires the commit root-equivalence check to have passed.
+func (r *HotpathReport) Validate() error {
+	if r.Schema != HotpathSchema {
+		return fmt.Errorf("schema %q != %q", r.Schema, HotpathSchema)
+	}
+	if len(r.Workloads) == 0 {
+		return fmt.Errorf("no workloads in report")
+	}
+	maxThreads := 0
+	for _, w := range r.Workloads {
+		if len(w.Threads) == 0 {
+			return fmt.Errorf("workload %s: no thread measurements", w.Name)
+		}
+		for _, t := range w.Threads {
+			if t.Threads > maxThreads {
+				maxThreads = t.Threads
+			}
+		}
+		if !w.Commit.RootMatch {
+			return fmt.Errorf("workload %s: serial and parallel commit roots diverge", w.Name)
+		}
+	}
+	if r.GOMAXPROCS <= 1 && maxThreads > 1 {
+		return fmt.Errorf("captured at GOMAXPROCS=%d with a %d-thread sweep: not a parallelism measurement (re-run with GOMAXPROCS>1)",
+			r.GOMAXPROCS, maxThreads)
+	}
+	return nil
+}
+
 // MergeHotpathBaseline loads a previous report from path and installs its
 // After measurements as the Before fields of rep (matched by workload name
 // and thread count), making rep the next point on the perf trajectory.

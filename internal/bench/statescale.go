@@ -1,0 +1,419 @@
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"dmvcc/internal/state"
+	"dmvcc/internal/trie"
+	"dmvcc/internal/types"
+	"dmvcc/internal/u256"
+)
+
+// StateScaleSchema identifies the BENCH_statescale.json format. Bump on
+// breaking changes.
+const StateScaleSchema = "dmvcc-bench/statescale/v1"
+
+// StateScaleConfig parameterizes the state-backend scaling experiment: for
+// each account-count tier, seed that many accounts, churn Blocks blocks of
+// WritesPerBlock account updates through the flat backends, and measure the
+// flat-read vs trie-read gap, the commit critical path vs total commit
+// latency, memory, and disk footprint.
+type StateScaleConfig struct {
+	// Accounts are the state-size tiers (the acceptance run uses
+	// {10k, 100k, 1M}).
+	Accounts []int
+	// Blocks is the number of churn blocks per tier.
+	Blocks int
+	// WritesPerBlock is how many accounts each churn block touches.
+	WritesPerBlock int
+	// Reads is the read-benchmark sample count per tier.
+	Reads int
+	// Seed fixes the account set and churn.
+	Seed int64
+	// Dir hosts the disk-backed stores ("" = a temp dir, removed after).
+	Dir string
+	// RefMaxAccounts is the largest tier still cross-checked block-by-block
+	// against the reference trie DB. The reference commit re-encodes the
+	// whole account trie per block, so the 1M tier would take hours; flat
+	// vs disk equality (plus the differential test at small sizes) carries
+	// the oracle there. 0 selects 100k.
+	RefMaxAccounts int
+	// MinReadSpeedup is the flat-vs-trie read advantage Validate requires
+	// of the largest tier. 0 selects 5 (the acceptance bar).
+	MinReadSpeedup float64
+	// CommitWorkers is the trie-build parallelism (0 = GOMAXPROCS).
+	CommitWorkers int
+}
+
+// DefaultStateScaleConfig is the acceptance configuration.
+func DefaultStateScaleConfig() StateScaleConfig {
+	return StateScaleConfig{
+		Accounts:       []int{10_000, 100_000, 1_000_000},
+		Blocks:         20,
+		WritesPerBlock: 256,
+		Reads:          20_000,
+		Seed:           1,
+		RefMaxAccounts: 100_000,
+		MinReadSpeedup: 5,
+	}
+}
+
+// StateScaleTier is one account-count tier's measurements.
+type StateScaleTier struct {
+	Accounts       int   `json:"accounts"`
+	Blocks         int   `json:"blocks"`
+	WritesPerBlock int   `json:"writes_per_block"`
+	GenesisNs      int64 `json:"genesis_ns"`
+
+	// Read path: identical (address, root) pairs served from the flat maps
+	// vs a Historical trie walk over the same backend's own node store.
+	FlatReadNsPerOp float64 `json:"flat_read_ns_per_op"`
+	TrieReadNsPerOp float64 `json:"trie_read_ns_per_op"`
+	ReadSpeedup     float64 `json:"read_speedup"`
+
+	// Commit path on the in-memory flat backend: CriticalNs is what the
+	// pipeline pays per block (the flat apply inside CommitAsync, before
+	// the channel is returned); TotalNs is the full latency including the
+	// background trie build. Their gap is the work moved off the critical
+	// path.
+	CommitCriticalNsPerBlock float64 `json:"commit_critical_ns_per_block"`
+	CommitTotalNsPerBlock    float64 `json:"commit_total_ns_per_block"`
+	// DiskCommitNsPerBlock is the synchronous commit latency of the
+	// disk-backed backend.
+	DiskCommitNsPerBlock float64 `json:"disk_commit_ns_per_block"`
+
+	// PeakRSSKB is the process high-water RSS (VmHWM) after the tier, and
+	// DiskBytes the disk backend's on-disk footprint.
+	PeakRSSKB int64 `json:"peak_rss_kb"`
+	DiskBytes int64 `json:"disk_bytes"`
+
+	// RefChecked reports whether the reference trie DB ran this tier;
+	// RootMatch that every backend agreed on every block root.
+	RefChecked bool `json:"ref_checked"`
+	RootMatch  bool `json:"root_match"`
+}
+
+// StateScaleReport is the machine-readable report persisted as
+// BENCH_statescale.json.
+type StateScaleReport struct {
+	Schema         string           `json:"schema"`
+	GoVersion      string           `json:"go_version"`
+	GOMAXPROCS     int              `json:"gomaxprocs"`
+	Shards         int              `json:"shards"`
+	Seed           int64            `json:"seed"`
+	MinReadSpeedup float64          `json:"min_read_speedup"`
+	Tiers          []StateScaleTier `json:"tiers"`
+}
+
+// scaleAddr derives the i-th account address of the tier's deterministic
+// account set.
+func scaleAddr(seed int64, i int) types.Address {
+	var a types.Address
+	h := types.Keccak([]byte(fmt.Sprintf("statescale/%d/%d", seed, i)))
+	copy(a[:], h[:20])
+	return a
+}
+
+// RunStateScale executes the scaling sweep.
+func RunStateScale(cfg StateScaleConfig) (*StateScaleReport, error) {
+	if len(cfg.Accounts) == 0 {
+		cfg.Accounts = []int{10_000, 100_000, 1_000_000}
+	}
+	if cfg.Blocks <= 0 {
+		cfg.Blocks = 20
+	}
+	if cfg.WritesPerBlock <= 0 {
+		cfg.WritesPerBlock = 256
+	}
+	if cfg.Reads <= 0 {
+		cfg.Reads = 20_000
+	}
+	if cfg.RefMaxAccounts == 0 {
+		cfg.RefMaxAccounts = 100_000
+	}
+	if cfg.MinReadSpeedup == 0 {
+		cfg.MinReadSpeedup = 5
+	}
+	if cfg.CommitWorkers <= 0 {
+		cfg.CommitWorkers = runtime.GOMAXPROCS(0)
+	}
+
+	rep := &StateScaleReport{
+		Schema:         StateScaleSchema,
+		GoVersion:      runtime.Version(),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		Shards:         trie.ShardCount,
+		Seed:           cfg.Seed,
+		MinReadSpeedup: cfg.MinReadSpeedup,
+	}
+	for _, accounts := range cfg.Accounts {
+		tier, err := runStateScaleTier(cfg, accounts)
+		if err != nil {
+			return nil, fmt.Errorf("statescale %d accounts: %w", accounts, err)
+		}
+		rep.Tiers = append(rep.Tiers, *tier)
+	}
+	return rep, nil
+}
+
+// runStateScaleTier measures one account-count tier.
+func runStateScaleTier(cfg StateScaleConfig, accounts int) (*StateScaleTier, error) {
+	dir := cfg.Dir
+	if dir == "" {
+		d, err := os.MkdirTemp("", "dmvcc-statescale-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(d)
+		dir = d
+	}
+	diskDir, err := os.MkdirTemp(dir, fmt.Sprintf("tier-%d-*", accounts))
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(diskDir)
+
+	flat := state.NewFlatMem()
+	defer flat.Close()
+	disk, err := state.NewFlat(state.FlatOpts{Dir: diskDir})
+	if err != nil {
+		return nil, err
+	}
+	defer disk.Close()
+	var ref *state.DB
+	if accounts <= cfg.RefMaxAccounts {
+		ref = state.NewDB()
+	}
+
+	tier := &StateScaleTier{
+		Accounts:       accounts,
+		Blocks:         cfg.Blocks,
+		WritesPerBlock: cfg.WritesPerBlock,
+		RefChecked:     ref != nil,
+		RootMatch:      true,
+	}
+
+	// Genesis: seed the accounts in batches so a single write set stays
+	// bounded. The timed figure is the flat backend's.
+	const batch = 100_000
+	genesisStart := time.Now()
+	for lo := 0; lo < accounts; lo += batch {
+		hi := min(lo+batch, accounts)
+		ws := state.NewWriteSet()
+		for i := lo; i < hi; i++ {
+			addr := scaleAddr(cfg.Seed, i)
+			ws.Balances[addr] = u256.NewUint64(uint64(i + 1))
+			ws.Nonces[addr] = uint64(i % 7)
+		}
+		if _, err := flat.CommitWith(ws, cfg.CommitWorkers); err != nil {
+			return nil, err
+		}
+	}
+	tier.GenesisNs = time.Since(genesisStart).Nanoseconds()
+	for lo := 0; lo < accounts; lo += batch {
+		hi := min(lo+batch, accounts)
+		ws := state.NewWriteSet()
+		for i := lo; i < hi; i++ {
+			addr := scaleAddr(cfg.Seed, i)
+			ws.Balances[addr] = u256.NewUint64(uint64(i + 1))
+			ws.Nonces[addr] = uint64(i % 7)
+		}
+		if _, err := disk.CommitWith(ws, cfg.CommitWorkers); err != nil {
+			return nil, err
+		}
+		if ref != nil {
+			if _, err := ref.CommitWith(ws, cfg.CommitWorkers); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if disk.Root() != flat.Root() {
+		tier.RootMatch = false
+	}
+	if ref != nil && ref.Root() != flat.Root() {
+		tier.RootMatch = false
+	}
+
+	// Churn: per block, update a random subset of accounts (balances plus a
+	// few storage slots). The flat backend commits asynchronously — the
+	// enqueue latency is the pipeline's critical path — the others
+	// synchronously.
+	rng := rand.New(rand.NewSource(cfg.Seed ^ int64(accounts)))
+	var criticalNs, totalNs, diskNs int64
+	for b := 0; b < cfg.Blocks; b++ {
+		ws := state.NewWriteSet()
+		for w := 0; w < cfg.WritesPerBlock; w++ {
+			addr := scaleAddr(cfg.Seed, rng.Intn(accounts))
+			ws.Balances[addr] = u256.NewUint64(rng.Uint64() % 1_000_000_000)
+			if w%8 == 0 {
+				slot := types.HexToHash(fmt.Sprintf("0x%02x", rng.Intn(16)))
+				ws.SetStorage(addr, slot, u256.NewUint64(rng.Uint64()%1_000_000+1))
+			}
+		}
+		start := time.Now()
+		ch := flat.CommitAsync(ws, cfg.CommitWorkers)
+		criticalNs += time.Since(start).Nanoseconds()
+		res := <-ch
+		totalNs += time.Since(start).Nanoseconds()
+		if res.Err != nil {
+			return nil, res.Err
+		}
+		dstart := time.Now()
+		droot, err := disk.CommitWith(ws, cfg.CommitWorkers)
+		if err != nil {
+			return nil, err
+		}
+		diskNs += time.Since(dstart).Nanoseconds()
+		if droot != res.Root {
+			tier.RootMatch = false
+		}
+		if ref != nil {
+			rroot, err := ref.CommitWith(ws, cfg.CommitWorkers)
+			if err != nil {
+				return nil, err
+			}
+			if rroot != res.Root {
+				tier.RootMatch = false
+			}
+		}
+	}
+	blocks := float64(cfg.Blocks)
+	tier.CommitCriticalNsPerBlock = float64(criticalNs) / blocks
+	tier.CommitTotalNsPerBlock = float64(totalNs) / blocks
+	tier.DiskCommitNsPerBlock = float64(diskNs) / blocks
+
+	// Read benchmark: the same (address, root) pairs through the flat maps
+	// and through a Historical trie walk over the same backend's node store
+	// — the path a trie-first database serves every read from.
+	sample := make([]types.Address, cfg.Reads)
+	for i := range sample {
+		sample[i] = scaleAddr(cfg.Seed, rng.Intn(accounts))
+	}
+	var sink uint64
+	start := time.Now()
+	for _, addr := range sample {
+		b := flat.Balance(addr)
+		sink += b.Uint64()
+	}
+	flatNs := time.Since(start).Nanoseconds()
+	hist, err := flat.StateAt(flat.Root())
+	if err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	for _, addr := range sample {
+		b := hist.Balance(addr)
+		sink += b.Uint64()
+	}
+	trieNs := time.Since(start).Nanoseconds()
+	_ = sink
+	tier.FlatReadNsPerOp = float64(flatNs) / float64(len(sample))
+	tier.TrieReadNsPerOp = float64(trieNs) / float64(len(sample))
+	if flatNs > 0 {
+		tier.ReadSpeedup = float64(trieNs) / float64(flatNs)
+	}
+
+	tier.PeakRSSKB = peakRSSKB()
+	tier.DiskBytes = disk.SizeOnDisk()
+	return tier, nil
+}
+
+// peakRSSKB reads the process's high-water RSS from /proc/self/status
+// (VmHWM, kB). Returns 0 where procfs is unavailable.
+func peakRSSKB() int64 {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) >= 2 {
+			if v, err := strconv.ParseInt(fields[1], 10, 64); err == nil {
+				return v
+			}
+		}
+	}
+	return 0
+}
+
+// Validate checks the report's contract: every tier root-matched across
+// backends (with the reference DB present up to the configured cutoff), the
+// largest tier's flat reads beat the trie walk by the configured factor, and
+// the async commit moved work off the critical path.
+func (r *StateScaleReport) Validate() error {
+	if r.Schema != StateScaleSchema {
+		return fmt.Errorf("schema %q != %q", r.Schema, StateScaleSchema)
+	}
+	if len(r.Tiers) == 0 {
+		return fmt.Errorf("no tiers in report")
+	}
+	refChecked := false
+	for _, t := range r.Tiers {
+		if !t.RootMatch {
+			return fmt.Errorf("tier %d: backends diverged on a block root", t.Accounts)
+		}
+		if t.RefChecked {
+			refChecked = true
+		}
+		if t.CommitCriticalNsPerBlock >= t.CommitTotalNsPerBlock {
+			return fmt.Errorf("tier %d: async commit critical path (%.0fns) not below total latency (%.0fns)",
+				t.Accounts, t.CommitCriticalNsPerBlock, t.CommitTotalNsPerBlock)
+		}
+	}
+	if !refChecked {
+		return fmt.Errorf("no tier was cross-checked against the reference trie DB")
+	}
+	last := r.Tiers[len(r.Tiers)-1]
+	if last.ReadSpeedup < r.MinReadSpeedup {
+		return fmt.Errorf("tier %d: flat reads only %.2fx faster than trie reads, want >= %.1fx",
+			last.Accounts, last.ReadSpeedup, r.MinReadSpeedup)
+	}
+	return nil
+}
+
+// Render formats the report for the terminal.
+func (r *StateScaleReport) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== statescale: flat vs trie state backends (%s, GOMAXPROCS=%d, %d shards, seed %d) ==\n",
+		r.GoVersion, r.GOMAXPROCS, r.Shards, r.Seed)
+	fmt.Fprintf(&sb, "%10s %10s %10s %8s %12s %12s %12s %10s %10s %5s\n",
+		"accounts", "flat ns/rd", "trie ns/rd", "speedup", "critical/blk", "total/blk", "disk/blk", "rss MB", "disk MB", "roots")
+	for _, t := range r.Tiers {
+		match := "OK"
+		if !t.RootMatch {
+			match = "FAIL"
+		}
+		if !t.RefChecked {
+			match += "*"
+		}
+		fmt.Fprintf(&sb, "%10d %10.0f %10.0f %7.1fx %11.2fms %11.2fms %11.2fms %10.1f %10.1f %5s\n",
+			t.Accounts, t.FlatReadNsPerOp, t.TrieReadNsPerOp, t.ReadSpeedup,
+			t.CommitCriticalNsPerBlock/1e6, t.CommitTotalNsPerBlock/1e6, t.DiskCommitNsPerBlock/1e6,
+			float64(t.PeakRSSKB)/1024, float64(t.DiskBytes)/(1<<20), match)
+	}
+	sb.WriteString("roots: OK = flat(16-shard), disk, reference trie DB byte-identical every block; * = reference DB skipped at this size (flat vs disk only)\n")
+	return sb.String()
+}
+
+// WriteJSON persists the report, pretty-printed for reviewable diffs.
+func (r *StateScaleReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

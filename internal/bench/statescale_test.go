@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStateScaleSmoke runs a miniature sweep — two tiers, reference DB on
+// both — and validates the full report contract including the JSON round
+// trip. The real account counts live in the checked-in capture; this pins
+// the machinery: cross-backend root equality under churn, the flat-vs-trie
+// read gap, and the async commit's sub-total critical path.
+func TestStateScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statescale sweep in -short mode")
+	}
+	cfg := StateScaleConfig{
+		Accounts:       []int{300, 1200},
+		Blocks:         4,
+		WritesPerBlock: 64,
+		Reads:          2000,
+		Seed:           7,
+		RefMaxAccounts: 2000,
+		// The read gap grows with state size; at toy sizes require only
+		// parity-beating, the acceptance bar applies to the real capture.
+		MinReadSpeedup: 1.2,
+		Dir:            t.TempDir(),
+	}
+	rep, err := RunStateScale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("report validation: %v\n%s", err, rep.Render())
+	}
+	if len(rep.Tiers) != 2 {
+		t.Fatalf("report covers %d tiers, want 2", len(rep.Tiers))
+	}
+	for _, tier := range rep.Tiers {
+		if !tier.RefChecked {
+			t.Errorf("tier %d: reference DB skipped below the cutoff", tier.Accounts)
+		}
+		if tier.DiskBytes == 0 {
+			t.Errorf("tier %d: disk backend reports no on-disk footprint", tier.Accounts)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_statescale.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back StateScaleReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("round-tripped report validation: %v", err)
+	}
+}
+
+// TestHotpathValidate pins the GOMAXPROCS precondition: a multi-thread sweep
+// captured on one scheduler thread must be rejected.
+func TestHotpathValidate(t *testing.T) {
+	rep := &HotpathReport{
+		Schema:     HotpathSchema,
+		GOMAXPROCS: 1,
+		Workloads: []HotpathWorkload{{
+			Name:    "w",
+			Commit:  HotpathCommit{RootMatch: true},
+			Threads: []HotpathThread{{Threads: 1}, {Threads: 8}},
+		}},
+	}
+	if err := rep.Validate(); err == nil {
+		t.Fatal("GOMAXPROCS=1 report with an 8-thread sweep validated")
+	}
+	rep.GOMAXPROCS = 8
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("GOMAXPROCS=8 report rejected: %v", err)
+	}
+	rep.Workloads[0].Commit.RootMatch = false
+	if err := rep.Validate(); err == nil {
+		t.Fatal("report with diverged commit roots validated")
+	}
+}

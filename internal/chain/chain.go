@@ -62,7 +62,7 @@ func (o *ExecOut) Makespan(mode Mode, threads int) (uint64, error) {
 
 // Engine executes blocks against a state database.
 type Engine struct {
-	db        *state.DB
+	db        state.Backend
 	reg       *sag.Registry
 	an        *sag.Analyzer
 	threads   int
@@ -126,9 +126,10 @@ func WithHardening(h core.Hardening) EngineOption {
 	return func(e *Engine) { e.harden = &h }
 }
 
-// NewEngine returns an engine over db using the contract registry for
-// analysis, running parallel schemes on the given number of threads.
-func NewEngine(db *state.DB, reg *sag.Registry, threads int, opts ...EngineOption) *Engine {
+// NewEngine returns an engine over db — any state.Backend: the reference
+// trie DB or a flat backend — using the contract registry for analysis,
+// running parallel schemes on the given number of threads.
+func NewEngine(db state.Backend, reg *sag.Registry, threads int, opts ...EngineOption) *Engine {
 	e := &Engine{
 		db:      db,
 		reg:     reg,
@@ -139,11 +140,33 @@ func NewEngine(db *state.DB, reg *sag.Registry, threads int, opts ...EngineOptio
 	for _, o := range opts {
 		o(e)
 	}
+	e.attachKVFaults()
 	return e
 }
 
-// DB returns the underlying state database.
-func (e *Engine) DB() *state.DB { return e.db }
+// kvFaultable is the capability a disk-backed state backend exposes for
+// chaos testing its KV layer (state.FlatBackend implements it; in-memory
+// backends ignore the hooks).
+type kvFaultable interface {
+	SetKVFaultHooks(read func(key []byte) error, flush func() time.Duration)
+}
+
+// attachKVFaults wires the injector's KVReadFail/KVFlushSlow points into the
+// backend's KV fault hooks, or detaches them when no active injector is set.
+func (e *Engine) attachKVFaults() {
+	b, ok := e.db.(kvFaultable)
+	if !ok {
+		return
+	}
+	if e.faults.Enabled() {
+		b.SetKVFaultHooks(e.faults.KVHooks())
+	} else {
+		b.SetKVFaultHooks(nil, nil)
+	}
+}
+
+// DB returns the underlying state backend.
+func (e *Engine) DB() state.Backend { return e.db }
 
 // ChainID returns the configured chain identifier.
 func (e *Engine) ChainID() uint64 { return e.chainID }
@@ -169,8 +192,12 @@ func (e *Engine) SetForensics(fx *telemetry.Forensics) { e.forensics = fx }
 // Forensics returns the attached forensics collector (nil when none).
 func (e *Engine) Forensics() *telemetry.Forensics { return e.forensics }
 
-// SetFaults attaches (or detaches, with nil) the fault injector.
-func (e *Engine) SetFaults(in *fault.Injector) { e.faults = in }
+// SetFaults attaches (or detaches, with nil) the fault injector, rewiring
+// the backend's KV fault hooks to match.
+func (e *Engine) SetFaults(in *fault.Injector) {
+	e.faults = in
+	e.attachKVFaults()
+}
 
 // Faults returns the attached fault injector (nil when none).
 func (e *Engine) Faults() *fault.Injector { return e.faults }
@@ -283,11 +310,73 @@ func (e *Engine) Commit(ws *state.WriteSet) (types.Hash, error) {
 	}
 	if e.metrics != nil {
 		e.metrics.Histogram("chain.commit_ns").Observe(float64(time.Since(start).Nanoseconds()))
+		if sp, ok := e.db.(interface{ LastCommitStats() state.CommitStats }); ok {
+			e.observeCommitStats(sp.LastCommitStats())
+		}
 	}
 	if e.tracer.Enabled() {
 		e.tracer.RecordSpan(e.tracer.Block(), "commit", "commit", start, time.Now())
 	}
 	return root, nil
+}
+
+// CommitAsync starts committing a block's write set: the flat post-state is
+// visible as soon as it returns, and the authenticated root is delivered on
+// the channel once the backend's background committer hashes the trie. It
+// degrades to a synchronous Commit — result pre-filled on the channel — when
+// the backend lacks the AsyncCommitter capability or a fault injector is
+// attached (the injected commit-failure/retry protocol needs the caller on
+// the commit path).
+func (e *Engine) CommitAsync(ws *state.WriteSet) <-chan state.CommitResult {
+	ac, ok := e.db.(state.AsyncCommitter)
+	if !ok || e.faults.Enabled() {
+		ch := make(chan state.CommitResult, 1)
+		root, err := e.Commit(ws)
+		ch <- state.CommitResult{Root: root, Err: err}
+		return ch
+	}
+	start := time.Now()
+	block := e.tracer.Block()
+	inner := ac.CommitAsync(ws, e.threads)
+	out := make(chan state.CommitResult, 1)
+	go func() {
+		res := <-inner
+		if res.Err == nil {
+			if e.metrics != nil {
+				e.metrics.Histogram("chain.commit_ns").Observe(float64(time.Since(start).Nanoseconds()))
+				e.observeCommitStats(res.Stats)
+			}
+			if e.tracer.Enabled() {
+				e.tracer.RecordSpan(block, "commit", "commit (async)", start, time.Now())
+			}
+		}
+		out <- res
+	}()
+	return out
+}
+
+// observeCommitStats folds a commit's timing split into the metrics
+// registry (backends that do not measure the split report zeros, which are
+// skipped).
+func (e *Engine) observeCommitStats(s state.CommitStats) {
+	if e.metrics == nil {
+		return
+	}
+	if s.FlatNs > 0 {
+		e.metrics.Histogram("chain.commit_flat_ns").Observe(float64(s.FlatNs))
+	}
+	if s.StorageNs > 0 {
+		e.metrics.Histogram("chain.commit_storage_ns").Observe(float64(s.StorageNs))
+	}
+	if s.AccountNs > 0 {
+		e.metrics.Histogram("chain.commit_account_ns").Observe(float64(s.AccountNs))
+	}
+	if s.DirtyAccounts > 0 {
+		e.metrics.Counter("chain.commit_dirty_accounts").Add(int64(s.DirtyAccounts))
+	}
+	if s.DirtySlots > 0 {
+		e.metrics.Counter("chain.commit_dirty_slots").Add(int64(s.DirtySlots))
+	}
 }
 
 // ExecuteAndCommit executes under mode and commits, returning the root.

@@ -8,6 +8,7 @@ import (
 	"dmvcc/internal/chain"
 	"dmvcc/internal/core"
 	"dmvcc/internal/fault"
+	"dmvcc/internal/state"
 	"dmvcc/internal/workload"
 )
 
@@ -103,5 +104,76 @@ func TestEngineDegradedBlockMatchesSerial(t *testing.T) {
 	}
 	if root != wantRoot {
 		t.Fatalf("degraded block root %s != serial root %s", root, wantRoot)
+	}
+}
+
+// TestDiskBackendKVFaultsDegradedMatchesSerial is the disk-backend chaos
+// contract: with transient KV read failures and slow log flushes injected
+// into the flat store's disk layer while an engineered abort storm trips the
+// circuit breaker, every block still commits the exact root of a clean
+// serial engine on the reference trie DB — the serial fallback degrades
+// availability, never state.
+func TestDiskBackendKVFaultsDegradedMatchesSerial(t *testing.T) {
+	cfg := smallConfig(17)
+	serialW, err := workload.BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diskCfg := cfg
+	dir := t.TempDir()
+	diskCfg.Backend = func() (state.Backend, error) {
+		return state.NewFlat(state.FlatOpts{Dir: dir})
+	}
+	chaosW, err := workload.BuildWorld(diskCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer chaosW.DB.Close()
+	if serialW.DB.Root() != chaosW.DB.Root() {
+		t.Fatal("twin worlds diverge at genesis")
+	}
+
+	serialEng := chain.NewEngine(serialW.DB, serialW.Registry, 1)
+	in := fault.New(fault.Config{
+		Seed:  9,
+		Delay: 200 * time.Microsecond,
+		Rates: map[fault.Point]float64{
+			fault.KVReadFail:    0.1,
+			fault.KVFlushSlow:   0.5,
+			fault.SnapshotStale: 1.0,
+		},
+	})
+	eng := chain.NewEngine(chaosW.DB, chaosW.Registry, 4,
+		chain.WithFaults(in),
+		chain.WithHardening(core.Hardening{MaxTxIncarnations: 3}))
+
+	degraded := 0
+	for b := 0; b < 4; b++ {
+		blockCtx := serialW.BlockContext()
+		txs := serialW.NextBlock()
+		chaosW.NextBlock() // keep the twin streams aligned
+		_, wantRoot, err := serialEng.ExecuteAndCommit(chain.ModeSerial, blockCtx, txs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, root, err := eng.ExecuteAndCommit(chain.ModeDMVCC, blockCtx, txs)
+		if err != nil {
+			t.Fatalf("block %d: %v", b, err)
+		}
+		if out.Stats.Degraded {
+			degraded++
+		}
+		if root != wantRoot {
+			t.Fatalf("block %d: disk+faults root %s != serial root %s", b, root, wantRoot)
+		}
+	}
+	if degraded == 0 {
+		t.Fatal("abort storm never tripped the breaker")
+	}
+	if in.Fired(fault.KVReadFail) == 0 {
+		t.Fatal("no KV read faults fired against the disk store")
+	}
+	if in.Fired(fault.KVFlushSlow) == 0 {
+		t.Fatal("no KV flush stalls fired against the disk store")
 	}
 }

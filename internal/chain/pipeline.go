@@ -6,6 +6,7 @@ import (
 
 	"dmvcc/internal/evm"
 	"dmvcc/internal/sag"
+	"dmvcc/internal/state"
 	"dmvcc/internal/telemetry"
 	"dmvcc/internal/types"
 )
@@ -40,6 +41,12 @@ type PipelineStats struct {
 	// Stall is the portion that was not hidden: time execution sat waiting
 	// for the next block's analysis to finish.
 	Stall time.Duration
+	// CommitWait is the time the pipeline sat blocked on trie commits. With
+	// an async-committing backend (state.AsyncCommitter), block N's trie
+	// build overlaps block N+1's execution and this collapses toward the
+	// last block's commit; with a synchronous backend it is the full summed
+	// commit wall time.
+	CommitWait time.Duration
 	// Reused counts transactions whose caller-provided (pool-cached)
 	// analysis was reused as-is; Analyzed counts transactions the pipeline
 	// analyzed or refreshed itself.
@@ -73,6 +80,7 @@ func (s PipelineStats) RecordMetrics(r *telemetry.Registry) {
 	r.Counter("pipeline.exec_wall_ns").Add(s.ExecWall.Nanoseconds())
 	r.Counter("pipeline.overlap_ns").Add(s.Overlap.Nanoseconds())
 	r.Counter("pipeline.stall_ns").Add(s.Stall.Nanoseconds())
+	r.Counter("pipeline.commit_wait_ns").Add(s.CommitWait.Nanoseconds())
 	r.Counter("pipeline.reused").Add(int64(s.Reused))
 	r.Counter("pipeline.analyzed").Add(int64(s.Analyzed))
 }
@@ -167,6 +175,34 @@ func (e *Engine) ExecutePipelinedHooked(mode Mode, blocks []BlockInput, hooks Pi
 		analyze(0, cur)
 	}
 
+	// At most one commit is in flight: block N's trie build runs behind
+	// block N+1's analysis and execution (the flat post-state is already
+	// visible, so both read correct pre-state), and is collected before
+	// block N+1's own commit is issued. collectCommit charges the blocked
+	// time to CommitWait; the deferred drain keeps an early error return
+	// from abandoning a commit mid-flight.
+	var pendingCommit <-chan state.CommitResult
+	var pendingIdx int
+	defer func() {
+		if pendingCommit != nil {
+			<-pendingCommit
+		}
+	}()
+	collectCommit := func() error {
+		if pendingCommit == nil {
+			return nil
+		}
+		waitStart := time.Now()
+		r := <-pendingCommit
+		pendingCommit = nil
+		res.Stats.CommitWait += time.Since(waitStart)
+		if r.Err != nil {
+			return fmt.Errorf("chain: pipeline commit of block %d: %w", pendingIdx, r.Err)
+		}
+		res.Roots[pendingIdx] = r.Root
+		return nil
+	}
+
 	for i := range blocks {
 		// Kick off the next block's analysis before this block executes;
 		// it reads the committed pre-state of block i, so it must be
@@ -223,13 +259,16 @@ func (e *Engine) ExecutePipelinedHooked(mode Mode, blocks []BlockInput, hooks Pi
 			}
 		}
 
-		root, err := e.Commit(out.WriteSet)
-		if err != nil {
-			return nil, fmt.Errorf("chain: pipeline commit of block %d: %w", i, err)
+		if err := collectCommit(); err != nil {
+			return nil, err
 		}
+		pendingCommit = e.CommitAsync(out.WriteSet)
+		pendingIdx = i
 		res.Outs[i] = out
-		res.Roots[i] = root
 		cur = next
+	}
+	if err := collectCommit(); err != nil {
+		return nil, err
 	}
 	if e.metrics != nil {
 		res.Stats.RecordMetrics(e.metrics)

@@ -214,7 +214,7 @@ func TestPipelineStaleAnalysisHoles(t *testing.T) {
 	// An unrelated commit moves the root: the first half's analyses are now
 	// stale. Mirror the mutation on the sequential world so pre-states stay
 	// identical.
-	staleify := func(db *state.DB) {
+	staleify := func(db state.Backend) {
 		o := state.NewOverlay(db)
 		addr := types.HexToAddress("0xfeed000000000000000000000000000000000001")
 		o.SetBalance(addr, u256.NewUint64(1))

@@ -58,6 +58,12 @@ const (
 	CommitFail
 	// CommitSlow sleeps for Delay inside the trie commit.
 	CommitSlow
+	// KVReadFail fails a disk-backed flat store's KV read with
+	// ErrInjectedKVRead (transient; the store's bounded retry loop absorbs
+	// it).
+	KVReadFail
+	// KVFlushSlow stalls a disk-backed flat store's log flush for Delay.
+	KVFlushSlow
 
 	// NumPoints is the number of defined injection points.
 	NumPoints
@@ -84,6 +90,10 @@ func (p Point) String() string {
 		return "commit_fail"
 	case CommitSlow:
 		return "commit_slow"
+	case KVReadFail:
+		return "kv_read_fail"
+	case KVFlushSlow:
+		return "kv_flush_slow"
 	default:
 		return fmt.Sprintf("point(%d)", uint8(p))
 	}
@@ -101,6 +111,43 @@ func Points() []Point {
 // ErrInjectedCommit marks a trie-commit failure injected by CommitFail.
 // Callers distinguish it from genuine commit errors and retry.
 var ErrInjectedCommit = errors.New("fault: injected commit failure")
+
+// ErrInjectedKVRead marks a KV read failure injected by KVReadFail. It is
+// transient by contract: the disk store's retry loop must eventually see a
+// clean read (rates < 1 guarantee this for any bounded retry budget).
+var ErrInjectedKVRead = errors.New("fault: injected kv read failure")
+
+// KVHooks derives the plain-callback hook pair a disk-backed flat store
+// accepts (state.FlatBackend.SetKVFaultHooks) from the injector's
+// KVReadFail/KVFlushSlow points. Decisions are keyed by (key hash, global
+// read sequence): the sequence makes consecutive retries of one key roll
+// fresh values — a pure per-key decision would fire forever and wedge the
+// store's bounded retry loop — at the cost of reproducibility across thread
+// interleavings (read order varies with scheduling). Unlike the execution
+// sites, that is acceptable here: the chaos oracle is root equality, which
+// holds regardless of which reads transiently failed.
+func (in *Injector) KVHooks() (read func(key []byte) error, flush func() time.Duration) {
+	if !in.Enabled() {
+		return nil, nil
+	}
+	var seq atomic.Int64
+	read = func(key []byte) error {
+		h := uint64(14695981039346656037)
+		for _, b := range key {
+			h = (h ^ uint64(b)) * 1099511628211
+		}
+		// The monotonic sequence makes consecutive retries of one key roll
+		// fresh values, so a < 1 rate cannot wedge the retry loop forever.
+		if in.Fire(KVReadFail, int64(h>>32), int(uint32(h)), int(seq.Add(1))) {
+			return ErrInjectedKVRead
+		}
+		return nil
+	}
+	flush = func() time.Duration {
+		return in.DelayFor(KVFlushSlow, 0, 0, int(seq.Add(1)))
+	}
+	return read, flush
+}
 
 // InjectedPanic is the value thrown by a WorkerPanic injection, so panic
 // containment (and tests) can tell injected panics from genuine ones.

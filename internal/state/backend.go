@@ -1,0 +1,125 @@
+package state
+
+import (
+	"fmt"
+
+	"dmvcc/internal/trie"
+	"dmvcc/internal/types"
+)
+
+// Backend is the pluggable committed-state store behind the execution
+// engines: account and slot reads on the hot path, atomic write-set commits
+// producing authenticated roots, and historical/proof access through the
+// trie node store. The reference implementation is the trie-backed DB; the
+// FlatBackend (in-memory or disk-backed) serves reads from flat key-value
+// lookups and builds the Merkle trie lazily, only at commit time, from the
+// block's dirty set. Every implementation must produce byte-identical roots
+// for identical commit histories — the cross-backend differential tests
+// enforce it.
+//
+// Implementations are safe for concurrent readers; Commit is exclusive with
+// other commits (concurrent reads during commit see either the pre- or
+// post-state of individual keys, never torn values).
+type Backend interface {
+	Reader
+
+	// Commit applies a write set atomically and returns the new state root.
+	Commit(ws *WriteSet) (types.Hash, error)
+	// CommitWith is Commit with an explicit trie-hashing worker count; any
+	// worker count produces byte-identical roots.
+	CommitWith(ws *WriteSet, workers int) (types.Hash, error)
+	// Root returns the current committed state root.
+	Root() types.Hash
+	// Roots returns the history of committed roots (index = block height).
+	Roots() []types.Hash
+	// StateAt returns a read-only view of the state at a past committed
+	// root, resolved through the trie node store.
+	StateAt(root types.Hash) (Reader, error)
+	// TrieStore exposes the node store the committed tries persist into —
+	// the substrate for proofs and historical reads.
+	TrieStore() trie.Store
+	// CodeByHash returns the contract code with the given keccak hash (nil
+	// when unknown). Used by historical views and proof consumers.
+	CodeByHash(h types.Hash) []byte
+	// Close releases backend resources (files, background committers). A
+	// closed backend must not be used further.
+	Close() error
+}
+
+// AsyncCommitter is an optional Backend capability: CommitAsync applies the
+// write set's flat-state updates synchronously — reads issued after it
+// returns see the post-state — while the authenticated trie build runs on a
+// background committer, off the caller's critical path. Queued commits are
+// processed strictly in order, so roots land in block order. The chain
+// pipeline uses this to overlap block N's trie commit with block N+1's
+// execution.
+type AsyncCommitter interface {
+	CommitAsync(ws *WriteSet, workers int) <-chan CommitResult
+}
+
+// CommitResult is the outcome of an asynchronous commit.
+type CommitResult struct {
+	Root types.Hash
+	Err  error
+	// Stats carries the commit-stage timing split (zero when the backend
+	// does not measure it).
+	Stats CommitStats
+}
+
+// CommitStats is the timing split of one commit, for commit-stage telemetry.
+type CommitStats struct {
+	// StorageNs is the parallel storage-trie phase; AccountNs the account
+	// trie (shard) phase, including root assembly.
+	StorageNs int64
+	// AccountNs is the account-trie update and hash phase.
+	AccountNs int64
+	// FlatNs is the flat key-value apply phase.
+	FlatNs int64
+	// DirtyAccounts and DirtySlots size the block's dirty set.
+	DirtyAccounts int
+	DirtySlots    int
+	// Shards is the account-trie fan-out used.
+	Shards int
+}
+
+// ProveAccount builds a Merkle proof of addr's account record against the
+// backend's current root. The proof verifies with trie.VerifyProof and is
+// byte-identical across backends at the same root.
+func ProveAccount(b Backend, addr types.Address) (trie.Proof, error) {
+	t, err := trie.New(b.Root(), b.TrieStore())
+	if err != nil {
+		return nil, err
+	}
+	hk := types.Keccak(addr[:])
+	return t.Prove(hk[:])
+}
+
+// ProveStorage builds a Merkle proof of one storage slot against the
+// account's storage root at the backend's current root. It returns the
+// storage root the proof verifies against alongside the proof itself.
+func ProveStorage(b Backend, addr types.Address, key types.Hash) (types.Hash, trie.Proof, error) {
+	t, err := trie.New(b.Root(), b.TrieStore())
+	if err != nil {
+		return types.Hash{}, nil, err
+	}
+	hk := types.Keccak(addr[:])
+	enc, err := t.Get(hk[:])
+	if err != nil {
+		return types.Hash{}, nil, fmt.Errorf("state: account %s not in trie: %w", addr, err)
+	}
+	acc, err := decodeAccount(enc)
+	if err != nil {
+		return types.Hash{}, nil, err
+	}
+	sroot := acc.StorageRoot
+	if sroot.IsZero() {
+		sroot = trie.EmptyRoot
+	}
+	st, err := trie.New(sroot, b.TrieStore())
+	if err != nil {
+		return types.Hash{}, nil, err
+	}
+	hkey := types.Keccak(key[:])
+	proof, err := st.Prove(hkey[:])
+	return sroot, proof, err
+}

@@ -1,0 +1,321 @@
+package state
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dmvcc/internal/trie"
+	"dmvcc/internal/types"
+	"dmvcc/internal/u256"
+)
+
+// testAddrs returns n deterministic addresses spread across the address
+// space (and therefore across account-trie shards).
+func testAddrs(n int) []types.Address {
+	rng := rand.New(rand.NewSource(0xadd7))
+	addrs := make([]types.Address, n)
+	for i := range addrs {
+		rng.Read(addrs[i][:])
+	}
+	return addrs
+}
+
+// randWriteSet builds a random block write set over the address pool:
+// balance/nonce churn, occasional code deploys, storage writes with a
+// healthy share of zero-value deletes.
+func randWriteSet(rng *rand.Rand, addrs []types.Address) *WriteSet {
+	ws := NewWriteSet()
+	n := 1 + rng.Intn(len(addrs)/2)
+	for i := 0; i < n; i++ {
+		addr := addrs[rng.Intn(len(addrs))]
+		switch rng.Intn(4) {
+		case 0:
+			ws.Balances[addr] = u256.NewUint64(rng.Uint64() % 1_000_000)
+		case 1:
+			ws.Nonces[addr] = rng.Uint64() % 1000
+		case 2:
+			code := make([]byte, 1+rng.Intn(40))
+			rng.Read(code)
+			ws.Codes[addr] = code
+		default:
+			for s := 0; s < 1+rng.Intn(4); s++ {
+				slot := types.HexToHash(fmt.Sprintf("0x%02x", rng.Intn(12)))
+				if rng.Intn(3) == 0 {
+					ws.SetStorage(addr, slot, u256.Zero) // delete
+				} else {
+					ws.SetStorage(addr, slot, u256.NewUint64(rng.Uint64()%1_000_000+1))
+				}
+			}
+		}
+	}
+	return ws
+}
+
+// diffBackends builds the full backend matrix under test: the reference
+// trie DB, in-memory flat backends at 1 and ShardCount shards, and a
+// disk-backed flat backend.
+func diffBackends(t *testing.T) (map[string]Backend, string) {
+	t.Helper()
+	dir := t.TempDir()
+	flat1, err := NewFlat(FlatOpts{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatN := NewFlatMem()
+	disk, err := NewFlat(FlatOpts{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	backends := map[string]Backend{
+		"db":    NewDB(),
+		"flat1": flat1,
+		"flatN": flatN,
+		"diskN": disk,
+	}
+	t.Cleanup(func() {
+		for _, b := range backends {
+			b.Close()
+		}
+	})
+	return backends, dir
+}
+
+// TestBackendDifferentialRoots is the defining invariant of the pluggable
+// backend: every backend produces byte-identical roots for an identical
+// commit history — across flat/sharded/disk layouts and across worker
+// counts — and serves identical reads, historical views, and proofs.
+func TestBackendDifferentialRoots(t *testing.T) {
+	backends, _ := diffBackends(t)
+	addrs := testAddrs(40)
+	rng := rand.New(rand.NewSource(42))
+
+	const blocks = 12
+	var refRoots []types.Hash
+	for blk := 0; blk < blocks; blk++ {
+		ws := randWriteSet(rng, addrs)
+		workers := []int{1, 2, 16, 4}
+		roots := make(map[string]types.Hash, len(backends))
+		i := 0
+		for name, b := range backends {
+			root, err := b.CommitWith(ws, workers[i%len(workers)])
+			if err != nil {
+				t.Fatalf("block %d: %s commit: %v", blk, name, err)
+			}
+			roots[name] = root
+			i++
+		}
+		ref := roots["db"]
+		for name, root := range roots {
+			if root != ref {
+				t.Fatalf("block %d: %s root %s != db root %s", blk, name, root, ref)
+			}
+		}
+		refRoots = append(refRoots, ref)
+	}
+
+	// Flat reads agree with the reference across the whole address pool.
+	db := backends["db"]
+	for name, b := range backends {
+		for _, addr := range addrs {
+			if got, want := b.Balance(addr), db.Balance(addr); !got.Eq(&want) {
+				t.Errorf("%s balance(%s) = %s, want %s", name, addr, got.Hex(), want.Hex())
+			}
+			if got, want := b.Nonce(addr), db.Nonce(addr); got != want {
+				t.Errorf("%s nonce(%s) = %d, want %d", name, addr, got, want)
+			}
+			if got, want := string(b.Code(addr)), string(db.Code(addr)); got != want {
+				t.Errorf("%s code(%s) mismatch", name, addr)
+			}
+			if got, want := b.Exists(addr), db.Exists(addr); got != want {
+				t.Errorf("%s exists(%s) = %v, want %v", name, addr, got, want)
+			}
+			for s := 0; s < 12; s++ {
+				slot := types.HexToHash(fmt.Sprintf("0x%02x", s))
+				if got, want := b.Storage(addr, slot), db.Storage(addr, slot); !got.Eq(&want) {
+					t.Errorf("%s storage(%s,%s) = %s, want %s", name, addr, slot, got.Hex(), want.Hex())
+				}
+			}
+		}
+	}
+
+	// Historical views at a mid-chain root agree too.
+	mid := refRoots[len(refRoots)/2]
+	for name, b := range backends {
+		h, err := b.StateAt(mid)
+		if err != nil {
+			t.Fatalf("%s StateAt(%s): %v", name, mid, err)
+		}
+		href, err := db.StateAt(mid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, addr := range addrs[:10] {
+			if got, want := h.Balance(addr), href.Balance(addr); !got.Eq(&want) {
+				t.Errorf("%s historical balance(%s) = %s, want %s", name, addr, got.Hex(), want.Hex())
+			}
+		}
+	}
+
+	// Root history matches block for block (every backend starts at the
+	// empty root).
+	wantRoots := append([]types.Hash{trie.EmptyRoot}, refRoots...)
+	for name, b := range backends {
+		got := b.Roots()
+		if len(got) != len(wantRoots) {
+			t.Fatalf("%s roots len = %d, want %d", name, len(got), len(wantRoots))
+		}
+		for i := range got {
+			if got[i] != wantRoots[i] {
+				t.Errorf("%s roots[%d] = %s, want %s", name, i, got[i], wantRoots[i])
+			}
+		}
+	}
+}
+
+// TestDiskBackendReopen closes a disk-backed flat backend mid-history and
+// reopens it from the same directory: the root history, reads, and — the
+// hard part — subsequent commits must pick up exactly where they left off,
+// staying byte-identical to the reference DB.
+func TestDiskBackendReopen(t *testing.T) {
+	dir := t.TempDir()
+	db := NewDB()
+	disk, err := NewFlat(FlatOpts{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := testAddrs(24)
+	rng := rand.New(rand.NewSource(7))
+
+	for blk := 0; blk < 6; blk++ {
+		ws := randWriteSet(rng, addrs)
+		want, err := db.Commit(ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := disk.Commit(ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("block %d: disk root %s != db root %s", blk, got, want)
+		}
+	}
+	wantRoot := disk.Root()
+	wantRoots := disk.Roots()
+	if err := disk.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := NewFlat(FlatOpts{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if reopened.Root() != wantRoot {
+		t.Fatalf("reopened root = %s, want %s", reopened.Root(), wantRoot)
+	}
+	if got := reopened.Roots(); len(got) != len(wantRoots) {
+		t.Fatalf("reopened roots len = %d, want %d", len(got), len(wantRoots))
+	}
+	for _, addr := range addrs {
+		if got, want := reopened.Balance(addr), db.Balance(addr); !got.Eq(&want) {
+			t.Errorf("reopened balance(%s) = %s, want %s", addr, got.Hex(), want.Hex())
+		}
+	}
+
+	// Continue the chain after reopen: sharded tries must resume from the
+	// persisted root (OpenSharded) and storage tries from persisted account
+	// records.
+	for blk := 0; blk < 4; blk++ {
+		ws := randWriteSet(rng, addrs)
+		want, err := db.Commit(ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := reopened.Commit(ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("post-reopen block %d: disk root %s != db root %s", blk, got, want)
+		}
+	}
+}
+
+// TestFlatAsyncCommit exercises the AsyncCommitter capability: flat reads
+// see the post-state as soon as CommitAsync returns, results arrive in
+// submission order, and the roots match a serially committed reference.
+func TestFlatAsyncCommit(t *testing.T) {
+	fb := NewFlatMem()
+	defer fb.Close()
+	db := NewDB()
+	addrs := testAddrs(16)
+	rng := rand.New(rand.NewSource(99))
+
+	const blocks = 8
+	chans := make([]<-chan CommitResult, blocks)
+	wantRoots := make([]types.Hash, blocks)
+	wantBal := make([]u256.Int, blocks)
+	for blk := 0; blk < blocks; blk++ {
+		ws := randWriteSet(rng, addrs)
+		ws.Balances[addrs[0]] = u256.NewUint64(uint64(1000 + blk))
+		var err error
+		wantRoots[blk], err = db.Commit(ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans[blk] = fb.CommitAsync(ws, 4)
+		// Flat post-state is visible immediately, before the trie lands.
+		if got := fb.Balance(addrs[0]); got.Uint64() != uint64(1000+blk) {
+			t.Fatalf("block %d: flat read after CommitAsync = %d, want %d", blk, got.Uint64(), 1000+blk)
+		}
+		wantBal[blk] = u256.NewUint64(uint64(1000 + blk))
+	}
+	for blk, ch := range chans {
+		res := <-ch
+		if res.Err != nil {
+			t.Fatalf("block %d: async commit: %v", blk, res.Err)
+		}
+		if res.Root != wantRoots[blk] {
+			t.Fatalf("block %d: async root %s != reference %s", blk, res.Root, wantRoots[blk])
+		}
+		if res.Stats.DirtyAccounts == 0 {
+			t.Errorf("block %d: stats not populated", blk)
+		}
+	}
+	if fb.Root() != wantRoots[blocks-1] {
+		t.Errorf("final root = %s, want %s", fb.Root(), wantRoots[blocks-1])
+	}
+}
+
+func TestFlatShardsValidation(t *testing.T) {
+	if _, err := NewFlat(FlatOpts{Shards: 3}); err == nil {
+		t.Fatal("NewFlat accepted 3 shards")
+	}
+	fb, err := NewFlat(FlatOpts{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb.Close()
+	if _, err := fb.Commit(NewWriteSet()); err == nil {
+		t.Fatal("commit on closed backend succeeded")
+	}
+}
+
+func TestFlatEmptyCommit(t *testing.T) {
+	fb := NewFlatMem()
+	defer fb.Close()
+	db := NewDB()
+	wr, err := db.Commit(NewWriteSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := fb.Commit(NewWriteSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr != wr {
+		t.Fatalf("empty commit root %s != reference %s", fr, wr)
+	}
+}

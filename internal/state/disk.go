@@ -1,0 +1,209 @@
+package state
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dmvcc/internal/state/kvdisk"
+	"dmvcc/internal/types"
+	"dmvcc/internal/u256"
+)
+
+// Disk-backed flat store: account, slot, code, and root-history records in
+// one log-structured file, trie nodes in a second. Only the kvdisk indexes
+// stay resident, so state far beyond RAM-resident maps runs in bounded
+// memory (the 1M-account soak of the statescale experiment).
+//
+// Record keys are prefix-tagged:
+//
+//	'a' + address           -> RLP account record
+//	's' + address + slot    -> slot value bytes (big-endian, trimmed)
+//	'c' + code hash         -> contract code
+//	'R'                     -> concatenated committed roots (block order)
+//	'n' + node hash         -> trie node encoding (nodes log)
+
+// kvReadRetries bounds transient-read retry attempts before a read error is
+// surfaced (or, on the Reader hot path, escalated). Injected chaos faults
+// are transient by contract; real I/O errors exhaust the budget quickly.
+const kvReadRetries = 8
+
+// retryGet is Get with bounded retry and a short linear backoff.
+func retryGet(kv *kvdisk.Store, key []byte) ([]byte, bool, error) {
+	var lastErr error
+	for attempt := 0; attempt < kvReadRetries; attempt++ {
+		v, ok, err := kv.Get(key)
+		if err == nil {
+			return v, ok, nil
+		}
+		lastErr = err
+		time.Sleep(time.Duration(attempt) * 50 * time.Microsecond)
+	}
+	return nil, false, fmt.Errorf("state: kv read exhausted %d retries: %w", kvReadRetries, lastErr)
+}
+
+type diskFlatStore struct {
+	kv *kvdisk.Store
+}
+
+func openDiskStores(dir string) (*diskFlatStore, *diskNodeStore, error) {
+	flat, err := kvdisk.Open(dir, "flat")
+	if err != nil {
+		return nil, nil, err
+	}
+	nodes, err := kvdisk.Open(dir, "nodes")
+	if err != nil {
+		flat.Close()
+		return nil, nil, err
+	}
+	return &diskFlatStore{kv: flat}, &diskNodeStore{kv: nodes}, nil
+}
+
+func accountKey(addr types.Address) []byte {
+	k := make([]byte, 1+len(addr))
+	k[0] = 'a'
+	copy(k[1:], addr[:])
+	return k
+}
+
+func slotDiskKey(addr types.Address, key types.Hash) []byte {
+	k := make([]byte, 1+len(addr)+len(key))
+	k[0] = 's'
+	copy(k[1:], addr[:])
+	copy(k[1+len(addr):], key[:])
+	return k
+}
+
+func codeKey(h types.Hash) []byte {
+	k := make([]byte, 1+len(h))
+	k[0] = 'c'
+	copy(k[1:], h[:])
+	return k
+}
+
+var rootsKey = []byte{'R'}
+
+func (d *diskFlatStore) getAccount(addr types.Address) (Account, bool, error) {
+	enc, ok, err := retryGet(d.kv, accountKey(addr))
+	if err != nil || !ok {
+		return Account{}, false, err
+	}
+	acc, err := decodeAccount(enc)
+	if err != nil {
+		return Account{}, false, fmt.Errorf("state: corrupt account record %s: %w", addr, err)
+	}
+	return acc, true, nil
+}
+
+func (d *diskFlatStore) putAccount(addr types.Address, acc Account) error {
+	return d.kv.Put(accountKey(addr), encodeAccount(acc))
+}
+
+func (d *diskFlatStore) getSlot(addr types.Address, key types.Hash) (u256.Int, bool, error) {
+	enc, ok, err := retryGet(d.kv, slotDiskKey(addr, key))
+	if err != nil || !ok {
+		return u256.Int{}, false, err
+	}
+	return u256.FromBytes(enc), true, nil
+}
+
+func (d *diskFlatStore) putSlot(addr types.Address, key types.Hash, val u256.Int) error {
+	return d.kv.Put(slotDiskKey(addr, key), val.Bytes())
+}
+
+func (d *diskFlatStore) deleteSlot(addr types.Address, key types.Hash) error {
+	return d.kv.Delete(slotDiskKey(addr, key))
+}
+
+func (d *diskFlatStore) getCode(h types.Hash) ([]byte, error) {
+	code, _, err := retryGet(d.kv, codeKey(h))
+	return code, err
+}
+
+func (d *diskFlatStore) putCode(h types.Hash, code []byte) error {
+	return d.kv.Put(codeKey(h), code)
+}
+
+func (d *diskFlatStore) putRoots(roots []types.Hash) error {
+	enc := make([]byte, 0, len(roots)*len(types.Hash{}))
+	for _, r := range roots {
+		enc = append(enc, r[:]...)
+	}
+	return d.kv.Put(rootsKey, enc)
+}
+
+// loadRoots restores the committed-root history persisted by putRoots; a
+// missing record (fresh store) returns nil.
+func (d *diskFlatStore) loadRoots() ([]types.Hash, error) {
+	enc, ok, err := retryGet(d.kv, rootsKey)
+	if err != nil || !ok {
+		return nil, err
+	}
+	hl := len(types.Hash{})
+	if len(enc)%hl != 0 {
+		return nil, fmt.Errorf("state: corrupt root history (%d bytes)", len(enc))
+	}
+	roots := make([]types.Hash, len(enc)/hl)
+	for i := range roots {
+		copy(roots[i][:], enc[i*hl:])
+	}
+	return roots, nil
+}
+
+func (d *diskFlatStore) flush() error { return d.kv.Flush() }
+func (d *diskFlatStore) close() error { return d.kv.Close() }
+
+// diskNodeStore adapts a kvdisk log to trie.Store. PutNode's interface has
+// no error return (the in-memory store cannot fail), so write failures are
+// held as a sticky error the backend surfaces at the end of the commit that
+// caused them.
+type diskNodeStore struct {
+	kv *kvdisk.Store
+
+	mu  sync.Mutex
+	err error
+}
+
+func nodeKey(h types.Hash) []byte {
+	k := make([]byte, 1+len(h))
+	k[0] = 'n'
+	copy(k[1:], h[:])
+	return k
+}
+
+// GetNode implements trie.Store.
+func (d *diskNodeStore) GetNode(h types.Hash) ([]byte, error) {
+	enc, ok, err := retryGet(d.kv, nodeKey(h))
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("state: missing trie node %s", h)
+	}
+	return enc, nil
+}
+
+// PutNode implements trie.Store.
+func (d *diskNodeStore) PutNode(h types.Hash, enc []byte) {
+	if err := d.kv.Put(nodeKey(h), enc); err != nil {
+		d.recordErr(err)
+	}
+}
+
+func (d *diskNodeStore) recordErr(err error) {
+	d.mu.Lock()
+	if d.err == nil {
+		d.err = err
+	}
+	d.mu.Unlock()
+}
+
+// stickyErr returns and clears the first node-write failure since the last
+// check.
+func (d *diskNodeStore) stickyErr() error {
+	d.mu.Lock()
+	err := d.err
+	d.err = nil
+	d.mu.Unlock()
+	return err
+}

@@ -1,0 +1,115 @@
+package state
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"dmvcc/internal/trie"
+	"dmvcc/internal/u256"
+)
+
+// TestAccountEncodeRoundTripProperty: decode(encode(acc)) preserves every
+// field for random accounts, modulo the canonical zero-hash substitutions
+// (zero storage root encodes as the empty trie root, zero code hash as the
+// empty code hash). The disk backend round-trips every account record
+// through this codec, so the substitutions must be stable under repeated
+// round trips.
+func TestAccountEncodeRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xacc7))
+	for i := 0; i < 500; i++ {
+		var acc Account
+		acc.Nonce = rng.Uint64()
+		bal := make([]byte, rng.Intn(33))
+		rng.Read(bal)
+		acc.Balance = u256.FromBytes(bal)
+		if rng.Intn(3) > 0 {
+			rng.Read(acc.StorageRoot[:])
+		}
+		if rng.Intn(3) > 0 {
+			rng.Read(acc.CodeHash[:])
+		}
+
+		enc := encodeAccount(acc)
+		dec, err := decodeAccount(enc)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if dec.Nonce != acc.Nonce {
+			t.Fatalf("case %d: nonce %d != %d", i, dec.Nonce, acc.Nonce)
+		}
+		if !dec.Balance.Eq(&acc.Balance) {
+			t.Fatalf("case %d: balance %s != %s", i, dec.Balance.Hex(), acc.Balance.Hex())
+		}
+		wantSRoot := acc.StorageRoot
+		if wantSRoot.IsZero() {
+			wantSRoot = trie.EmptyRoot
+		}
+		if dec.StorageRoot != wantSRoot {
+			t.Fatalf("case %d: storage root %s != %s", i, dec.StorageRoot, wantSRoot)
+		}
+		wantCH := acc.CodeHash
+		if wantCH.IsZero() {
+			wantCH = EmptyCodeHash
+		}
+		if dec.CodeHash != wantCH {
+			t.Fatalf("case %d: code hash %s != %s", i, dec.CodeHash, wantCH)
+		}
+
+		// Idempotence: a second round trip is byte-identical — the invariant
+		// the disk-backed flat store relies on for root equivalence.
+		enc2 := encodeAccount(dec)
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("case %d: re-encode differs: %x vs %x", i, enc, enc2)
+		}
+	}
+}
+
+func TestAccountEncodeZeroValue(t *testing.T) {
+	enc := encodeAccount(Account{})
+	dec, err := decodeAccount(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Nonce != 0 || !dec.Balance.IsZero() {
+		t.Errorf("zero account decoded to nonce=%d balance=%s", dec.Nonce, dec.Balance.Hex())
+	}
+	if dec.StorageRoot != trie.EmptyRoot {
+		t.Errorf("zero storage root decoded to %s", dec.StorageRoot)
+	}
+	if dec.CodeHash != EmptyCodeHash {
+		t.Errorf("zero code hash decoded to %s", dec.CodeHash)
+	}
+}
+
+func TestAccountEncodeEdgeBalances(t *testing.T) {
+	for _, bal := range []u256.Int{
+		u256.Zero,
+		u256.NewUint64(1),
+		u256.NewUint64(1<<63 + 1),
+		u256.FromBytes(bytes.Repeat([]byte{0xff}, 32)), // max u256
+	} {
+		acc := Account{Balance: bal, Nonce: 1}
+		dec, err := decodeAccount(encodeAccount(acc))
+		if err != nil {
+			t.Fatalf("balance %s: %v", bal.Hex(), err)
+		}
+		if !dec.Balance.Eq(&bal) {
+			t.Errorf("balance %s round-tripped to %s", bal.Hex(), dec.Balance.Hex())
+		}
+	}
+}
+
+func TestDecodeAccountRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0x00},
+		{0xc0},           // empty list
+		EmptyCodeHash[:], // 32 bytes, not a list
+	}
+	for i, enc := range cases {
+		if _, err := decodeAccount(enc); err == nil {
+			t.Errorf("case %d: decodeAccount(%x) succeeded", i, enc)
+		}
+	}
+}

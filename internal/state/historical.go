@@ -10,18 +10,23 @@ import (
 	"dmvcc/internal/u256"
 )
 
-// ErrUnknownRoot reports a request for a state root the DB never committed.
+// ErrUnknownRoot reports a request for a state root the backend never
+// committed.
 var ErrUnknownRoot = errors.New("state: unknown state root")
 
 // Historical is a read-only view of the blockchain state at a past root,
 // resolved through the committed tries (the paper's snapshots S^l: "since
 // all transactions are stored persistently on the blockchain, we may easily
-// recover the states of blockchain at a certain block height"). Reads are
-// slower than the flat committed view — every access walks the trie — and
-// results are memoized. Historical is safe for concurrent use.
+// recover the states of blockchain at a certain block height"). It works
+// against any Backend's trie store — the reference DB's incrementally
+// committed tries and the flat backends' lazily built commit tries persist
+// identical node sets along any committed path. Reads are slower than the
+// flat committed view — every access walks the trie — and results are
+// memoized. Historical is safe for concurrent use.
 type Historical struct {
-	db   *DB
-	root types.Hash
+	store trie.Store
+	codes func(types.Hash) []byte
+	root  types.Hash
 
 	mu       sync.Mutex
 	accounts map[types.Address]*Account // nil entry = proven absent
@@ -30,8 +35,22 @@ type Historical struct {
 
 var _ Reader = (*Historical)(nil)
 
-// StateAt returns a reader for the state as of the given committed root.
-func (db *DB) StateAt(root types.Hash) (*Historical, error) {
+// NewHistorical returns a trie-walking reader of the state at root, resolved
+// against a backend's node store. codes resolves code hashes to bytecode
+// (Backend.CodeByHash); a nil codes never resolves code.
+func NewHistorical(root types.Hash, store trie.Store, codes func(types.Hash) []byte) *Historical {
+	return &Historical{
+		store:    store,
+		codes:    codes,
+		root:     root,
+		accounts: make(map[types.Address]*Account),
+		storage:  make(map[storageKey]u256.Int),
+	}
+}
+
+// StateAt implements Backend: a reader for the state as of the given
+// committed root.
+func (db *DB) StateAt(root types.Hash) (Reader, error) {
 	db.mu.RLock()
 	known := false
 	for _, r := range db.roots {
@@ -44,12 +63,7 @@ func (db *DB) StateAt(root types.Hash) (*Historical, error) {
 	if !known {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownRoot, root)
 	}
-	return &Historical{
-		db:       db,
-		root:     root,
-		accounts: make(map[types.Address]*Account),
-		storage:  make(map[storageKey]u256.Int),
-	}, nil
+	return NewHistorical(root, db.store, db.CodeByHash), nil
 }
 
 // account loads (and memoizes) the account record at the historical root.
@@ -65,7 +79,7 @@ func (h *Historical) account(addr types.Address) *Account {
 }
 
 func (h *Historical) loadAccount(addr types.Address) *Account {
-	t, err := trie.New(h.root, h.db.store)
+	t, err := trie.New(h.root, h.store)
 	if err != nil {
 		return nil
 	}
@@ -103,9 +117,10 @@ func (h *Historical) Code(addr types.Address) []byte {
 	if acc == nil || acc.CodeHash.IsZero() || acc.CodeHash == EmptyCodeHash {
 		return nil
 	}
-	h.db.mu.RLock()
-	defer h.db.mu.RUnlock()
-	return h.db.codes[acc.CodeHash]
+	if h.codes == nil {
+		return nil
+	}
+	return h.codes(acc.CodeHash)
 }
 
 // Storage implements Reader.
@@ -120,7 +135,7 @@ func (h *Historical) Storage(addr types.Address, key types.Hash) u256.Int {
 
 	var val u256.Int
 	if acc := h.account(addr); acc != nil && !acc.StorageRoot.IsZero() && acc.StorageRoot != trie.EmptyRoot {
-		if st, err := trie.New(acc.StorageRoot, h.db.store); err == nil {
+		if st, err := trie.New(acc.StorageRoot, h.store); err == nil {
 			hk := types.Keccak(key[:])
 			if enc, err := st.Get(hk[:]); err == nil {
 				val = u256.FromBytes(enc)

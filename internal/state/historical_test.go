@@ -115,7 +115,7 @@ func TestStateAtMatchesLatestFlatView(t *testing.T) {
 	if got, want := h.Storage(addrB, slot1), db.Storage(addrB, slot1); !got.Eq(&want) {
 		t.Errorf("historical storage %s != flat %s", got.Hex(), want.Hex())
 	}
-	if h.Root() != db.Root() {
+	if h.(*Historical).Root() != db.Root() {
 		t.Error("root mismatch")
 	}
 }

@@ -1,0 +1,265 @@
+// Package kvdisk is a minimal log-structured key-value file store: records
+// append to a single log, an in-memory index maps each key to its latest
+// record, and reopening rebuilds the index with one sequential scan. It is
+// the persistence substrate of the disk-backed state backend — account and
+// slot records plus trie nodes live here, so state far larger than RAM-
+// resident maps fits in bounded memory (only the index, ~tens of bytes per
+// live key, stays resident).
+//
+// The store favors simplicity over write-amplification tuning: there is no
+// background compaction (overwritten records leak log space until the file
+// is rebuilt), which is the right trade for soak benchmarks and reproducible
+// experiments. All operations are safe for concurrent use.
+package kvdisk
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// loc addresses one value inside the log.
+type loc struct {
+	off int64 // offset of the value bytes
+	len int   // value length
+}
+
+// Store is one append-only keyed log.
+type Store struct {
+	mu      sync.RWMutex
+	f       *os.File
+	path    string
+	fileOff int64  // bytes durably in the file
+	buf     []byte // appended records not yet flushed
+	idx     map[string]loc
+	puts    int64
+	closed  bool
+
+	// Fault hooks (chaos testing): readFault may fail a Get with a
+	// transient error; flushDelay stalls Flush. Both nil in production.
+	// They are plain callbacks — the fault.Injector wiring lives with the
+	// chaos harness — so kvdisk stays dependency-free.
+	readFault  func(key []byte) error
+	flushDelay func() time.Duration
+}
+
+// flushThreshold bounds the in-memory write buffer.
+const flushThreshold = 1 << 20
+
+// Open opens (creating if needed) the store at dir/name.log and rebuilds the
+// index from the log.
+func Open(dir, name string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("kvdisk: mkdir %s: %w", dir, err)
+	}
+	path := filepath.Join(dir, name+".log")
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("kvdisk: open %s: %w", path, err)
+	}
+	s := &Store{f: f, path: path, idx: make(map[string]loc)}
+	if err := s.rebuild(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// rebuild scans the log sequentially, reconstructing the latest-record index.
+func (s *Store) rebuild() error {
+	r := bufio.NewReaderSize(s.f, 1<<20)
+	var off int64
+	for {
+		klen, n1, err := readUvarint(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("kvdisk: corrupt log %s at %d: %w", s.path, off, err)
+		}
+		vfield, n2, err := readUvarint(r)
+		if err != nil {
+			return fmt.Errorf("kvdisk: corrupt log %s at %d: %w", s.path, off, err)
+		}
+		key := make([]byte, klen)
+		if _, err := io.ReadFull(r, key); err != nil {
+			return fmt.Errorf("kvdisk: corrupt log %s at %d: %w", s.path, off, err)
+		}
+		off += int64(n1) + int64(n2) + int64(klen)
+		if vfield == 0 { // tombstone
+			delete(s.idx, string(key))
+			continue
+		}
+		vlen := int(vfield - 1)
+		if _, err := r.Discard(vlen); err != nil {
+			return fmt.Errorf("kvdisk: corrupt log %s at %d: %w", s.path, off, err)
+		}
+		s.idx[string(key)] = loc{off: off, len: vlen}
+		off += int64(vlen)
+	}
+	s.fileOff = off
+	return nil
+}
+
+// readUvarint reads one uvarint, returning the value and its encoded width.
+func readUvarint(r io.ByteReader) (uint64, int, error) {
+	var v uint64
+	var shift, n int
+	for {
+		b, err := r.ReadByte()
+		if err != nil {
+			if n > 0 && err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, n, err
+		}
+		n++
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, n, nil
+		}
+		shift += 7
+	}
+}
+
+// SetFaultHooks installs chaos-testing hooks: read fires before every Get
+// and may return a transient error; flush returns an artificial stall for
+// every Flush. Nil disables a hook.
+func (s *Store) SetFaultHooks(read func(key []byte) error, flush func() time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.readFault = read
+	s.flushDelay = flush
+}
+
+// Get returns the latest value for key. The boolean reports presence; the
+// error is I/O (or injected) failure, on which the caller may retry.
+func (s *Store) Get(key []byte) ([]byte, bool, error) {
+	s.mu.RLock()
+	if s.readFault != nil {
+		if err := s.readFault(key); err != nil {
+			s.mu.RUnlock()
+			return nil, false, err
+		}
+	}
+	l, ok := s.idx[string(key)]
+	if !ok {
+		s.mu.RUnlock()
+		return nil, false, nil
+	}
+	val := make([]byte, l.len)
+	if l.off >= s.fileOff {
+		// Still in the write buffer.
+		copy(val, s.buf[l.off-s.fileOff:])
+		s.mu.RUnlock()
+		return val, true, nil
+	}
+	s.mu.RUnlock()
+	// ReadAt is safe for concurrent use; committed records never move.
+	if _, err := s.f.ReadAt(val, l.off); err != nil {
+		return nil, false, fmt.Errorf("kvdisk: read %s: %w", s.path, err)
+	}
+	return val, true, nil
+}
+
+// Put appends key -> val and updates the index.
+func (s *Store) Put(key, val []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("kvdisk: put on closed store %s", s.path)
+	}
+	var hdr [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(key)))
+	n += binary.PutUvarint(hdr[n:], uint64(len(val))+1)
+	s.buf = append(s.buf, hdr[:n]...)
+	s.buf = append(s.buf, key...)
+	valOff := s.fileOff + int64(len(s.buf))
+	s.buf = append(s.buf, val...)
+	s.idx[string(key)] = loc{off: valOff, len: len(val)}
+	s.puts++
+	if len(s.buf) >= flushThreshold {
+		return s.flushLocked()
+	}
+	return nil
+}
+
+// Delete appends a tombstone for key.
+func (s *Store) Delete(key []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("kvdisk: delete on closed store %s", s.path)
+	}
+	if _, ok := s.idx[string(key)]; !ok {
+		return nil
+	}
+	var hdr [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(key)))
+	n += binary.PutUvarint(hdr[n:], 0)
+	s.buf = append(s.buf, hdr[:n]...)
+	s.buf = append(s.buf, key...)
+	delete(s.idx, string(key))
+	if len(s.buf) >= flushThreshold {
+		return s.flushLocked()
+	}
+	return nil
+}
+
+// Flush writes the buffered records to the file.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushLocked()
+}
+
+func (s *Store) flushLocked() error {
+	if s.flushDelay != nil {
+		if d := s.flushDelay(); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	if len(s.buf) == 0 {
+		return nil
+	}
+	if _, err := s.f.WriteAt(s.buf, s.fileOff); err != nil {
+		return fmt.Errorf("kvdisk: flush %s: %w", s.path, err)
+	}
+	s.fileOff += int64(len(s.buf))
+	s.buf = s.buf[:0]
+	return nil
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.idx)
+}
+
+// SizeOnDisk returns the log size in bytes, including unflushed records.
+func (s *Store) SizeOnDisk() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.fileOff + int64(len(s.buf))
+}
+
+// Close flushes and closes the log file.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.flushLocked(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}

@@ -1,0 +1,182 @@
+package kvdisk
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestPutGetDelete(t *testing.T) {
+	s, err := Open(t.TempDir(), "kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if _, ok, _ := s.Get([]byte("missing")); ok {
+		t.Fatal("missing key reported present")
+	}
+	if err := s.Put([]byte("k1"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	// Read before any flush: served from the write buffer.
+	v, ok, err := s.Get([]byte("k1"))
+	if err != nil || !ok || !bytes.Equal(v, []byte("v1")) {
+		t.Fatalf("buffered get = %q ok=%v err=%v", v, ok, err)
+	}
+	if err := s.Put([]byte("k1"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Read after flush: served from the file.
+	v, ok, err = s.Get([]byte("k1"))
+	if err != nil || !ok || !bytes.Equal(v, []byte("v2")) {
+		t.Fatalf("flushed get = %q ok=%v err=%v", v, ok, err)
+	}
+	if err := s.Delete([]byte("k1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get([]byte("k1")); ok {
+		t.Fatal("deleted key reported present")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("len = %d after delete", s.Len())
+	}
+}
+
+func TestReopenRebuildsIndex(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, "kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	for i := 0; i < n; i++ {
+		key := []byte(fmt.Sprintf("key-%03d", i))
+		if err := s.Put(key, []byte(fmt.Sprintf("val-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Overwrite some, delete some — the reopened index must reflect the
+	// latest record for each key.
+	for i := 0; i < n; i += 3 {
+		if err := s.Put([]byte(fmt.Sprintf("key-%03d", i)), []byte("updated")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < n; i += 5 {
+		if err := s.Delete([]byte(fmt.Sprintf("key-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir, "kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for i := 0; i < n; i++ {
+		key := []byte(fmt.Sprintf("key-%03d", i))
+		v, ok, err := r.Get(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deleted := i%5 == 1
+		if deleted {
+			if ok {
+				t.Errorf("key %d: present after delete+reopen", i)
+			}
+			continue
+		}
+		want := fmt.Sprintf("val-%d", i)
+		if i%3 == 0 {
+			want = "updated"
+		}
+		if !ok || string(v) != want {
+			t.Errorf("key %d: got %q ok=%v, want %q", i, v, ok, want)
+		}
+	}
+}
+
+func TestLargeValuesCrossFlushThreshold(t *testing.T) {
+	s, err := Open(t.TempDir(), "kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	big := bytes.Repeat([]byte{0xab}, flushThreshold/2+1)
+	for i := 0; i < 4; i++ {
+		if err := s.Put([]byte{byte(i)}, big); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		v, ok, err := s.Get([]byte{byte(i)})
+		if err != nil || !ok || !bytes.Equal(v, big) {
+			t.Fatalf("big value %d: ok=%v err=%v len=%d", i, ok, err, len(v))
+		}
+	}
+}
+
+func TestFaultHooks(t *testing.T) {
+	s, err := Open(t.TempDir(), "kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+
+	injected := errors.New("injected read fault")
+	fails := 2
+	s.SetFaultHooks(func(key []byte) error {
+		if fails > 0 {
+			fails--
+			return injected
+		}
+		return nil
+	}, func() time.Duration { return time.Millisecond })
+
+	if _, _, err := s.Get([]byte("k")); !errors.Is(err, injected) {
+		t.Fatalf("first get err = %v, want injected", err)
+	}
+	if _, _, err := s.Get([]byte("k")); !errors.Is(err, injected) {
+		t.Fatalf("second get err = %v, want injected", err)
+	}
+	v, ok, err := s.Get([]byte("k"))
+	if err != nil || !ok || string(v) != "v" {
+		t.Fatalf("post-fault get = %q ok=%v err=%v", v, ok, err)
+	}
+
+	start := time.Now()
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Error("flush delay hook not applied")
+	}
+}
+
+func TestClosedStoreRejectsWrites(t *testing.T) {
+	s, err := Open(t.TempDir(), "kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put([]byte("k"), []byte("v")); err == nil {
+		t.Fatal("put on closed store succeeded")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("double close errored")
+	}
+}

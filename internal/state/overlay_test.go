@@ -1,0 +1,122 @@
+package state
+
+import (
+	"bytes"
+	"testing"
+
+	"dmvcc/internal/types"
+	"dmvcc/internal/u256"
+)
+
+// overlayBackends returns every Backend flavor an Overlay can sit on, each
+// pre-seeded with the same base state.
+func overlayBackends(t *testing.T) map[string]Backend {
+	t.Helper()
+	seed := func(b Backend) {
+		ws := NewWriteSet()
+		ws.Balances[addrA] = u256.NewUint64(1000)
+		ws.Nonces[addrA] = 5
+		ws.Codes[addrB] = []byte{0x60, 0x01}
+		ws.SetStorage(addrB, slot1, u256.NewUint64(77))
+		if _, err := b.Commit(ws); err != nil {
+			t.Fatal(err)
+		}
+	}
+	backends := map[string]Backend{"db": NewDB(), "flat": NewFlatMem()}
+	for _, b := range backends {
+		seed(b)
+	}
+	t.Cleanup(func() {
+		for _, b := range backends {
+			b.Close()
+		}
+	})
+	return backends
+}
+
+// TestOverlayReadThrough: unwritten keys fall through the overlay to the
+// backend, identically over the trie-backed and flat backends.
+func TestOverlayReadThroughBackends(t *testing.T) {
+	for name, b := range overlayBackends(t) {
+		o := NewOverlay(b)
+		if got := o.Balance(addrA); got.Uint64() != 1000 {
+			t.Errorf("%s: read-through balance = %d", name, got.Uint64())
+		}
+		if got := o.Nonce(addrA); got != 5 {
+			t.Errorf("%s: read-through nonce = %d", name, got)
+		}
+		if got := o.Code(addrB); !bytes.Equal(got, []byte{0x60, 0x01}) {
+			t.Errorf("%s: read-through code = %x", name, got)
+		}
+		if got := o.Storage(addrB, slot1); got.Uint64() != 77 {
+			t.Errorf("%s: read-through storage = %d", name, got.Uint64())
+		}
+		if !o.Exists(addrA) || o.Exists(types.HexToAddress("0x99")) {
+			t.Errorf("%s: read-through exists wrong", name)
+		}
+	}
+}
+
+// TestOverlayWriteBack: overlay writes shadow the base, Changes extracts
+// them, and committing the changes to the backend lands the same post-state
+// on both backend flavors (same root too, since the histories match).
+func TestOverlayWriteBackBackends(t *testing.T) {
+	backends := overlayBackends(t)
+	roots := make(map[string]types.Hash)
+	for name, b := range backends {
+		o := NewOverlay(b)
+		o.SetBalance(addrA, u256.NewUint64(900))
+		o.SetNonce(addrA, 6)
+		o.SetStorage(addrB, slot1, u256.NewUint64(88))
+		o.SetStorage(addrB, slot2, u256.NewUint64(99))
+		o.SetCode(addrA, []byte{0xfe})
+
+		// Overlay sees its own writes; backend still sees the old state.
+		if got := o.Balance(addrA); got.Uint64() != 900 {
+			t.Errorf("%s: overlay balance = %d", name, got.Uint64())
+		}
+		if got := b.Balance(addrA); got.Uint64() != 1000 {
+			t.Errorf("%s: backend balance leaked = %d", name, got.Uint64())
+		}
+
+		root, err := b.Commit(o.Changes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		roots[name] = root
+		if got := b.Balance(addrA); got.Uint64() != 900 {
+			t.Errorf("%s: committed balance = %d", name, got.Uint64())
+		}
+		if got := b.Storage(addrB, slot2); got.Uint64() != 99 {
+			t.Errorf("%s: committed slot2 = %d", name, got.Uint64())
+		}
+		if got := b.Code(addrA); !bytes.Equal(got, []byte{0xfe}) {
+			t.Errorf("%s: committed code = %x", name, got)
+		}
+	}
+	if roots["db"] != roots["flat"] {
+		t.Errorf("write-back roots diverge: db %s, flat %s", roots["db"], roots["flat"])
+	}
+}
+
+// TestOverlaySnapshotRevert: nested snapshots unwind overlay writes without
+// touching the base, over both backends.
+func TestOverlaySnapshotRevertBackends(t *testing.T) {
+	for name, b := range overlayBackends(t) {
+		o := NewOverlay(b)
+		o.SetBalance(addrA, u256.NewUint64(500))
+		snap := o.Snapshot()
+		o.SetBalance(addrA, u256.NewUint64(1))
+		o.SetStorage(addrB, slot1, u256.Zero)
+		o.RevertToSnapshot(snap)
+		if got := o.Balance(addrA); got.Uint64() != 500 {
+			t.Errorf("%s: post-revert balance = %d", name, got.Uint64())
+		}
+		if got := o.Storage(addrB, slot1); got.Uint64() != 77 {
+			t.Errorf("%s: post-revert storage = %d", name, got.Uint64())
+		}
+		if ws := o.Changes(); len(ws.Storage) != 0 {
+			t.Errorf("%s: reverted storage write leaked into Changes", name)
+		}
+	}
+}

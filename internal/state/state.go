@@ -117,7 +117,7 @@ type DB struct {
 	roots []types.Hash
 }
 
-var _ Reader = (*DB)(nil)
+var _ Backend = (*DB)(nil)
 
 // NewDB returns an empty state database at the empty root.
 func NewDB() *DB {
@@ -194,6 +194,20 @@ func (db *DB) Roots() []types.Hash {
 	copy(out, db.roots)
 	return out
 }
+
+// TrieStore implements Backend.
+func (db *DB) TrieStore() trie.Store { return db.store }
+
+// CodeByHash implements Backend.
+func (db *DB) CodeByHash(h types.Hash) []byte {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.codes[h]
+}
+
+// Close implements Backend. The in-memory reference DB holds no external
+// resources.
+func (db *DB) Close() error { return nil }
 
 // accountTrieValue encodes an account record for the account trie.
 func accountTrieValue(acc Account) []byte {

@@ -62,6 +62,12 @@ type Config struct {
 
 	// Seed makes worlds and traffic reproducible.
 	Seed int64
+
+	// Backend optionally supplies the state backend the world commits into
+	// (e.g. a flat or disk-backed backend); nil uses the reference trie DB.
+	// Backend choice never changes roots — every backend is root-equivalent
+	// — so worlds from equal configs stay byte-identical regardless.
+	Backend func() (state.Backend, error)
 }
 
 // DefaultConfig mirrors the paper's low-contention mainnet replay at a
@@ -106,7 +112,7 @@ func (c Config) HighContention() Config {
 // byte-identical (same roots), so executors can be compared on clones.
 type World struct {
 	Cfg      Config
-	DB       *state.DB
+	DB       state.Backend
 	Registry *sag.Registry
 
 	Tokens  []types.Address
@@ -164,9 +170,19 @@ func BuildWorld(cfg Config) (*World, error) {
 	if cfg.Users < 2 {
 		return nil, fmt.Errorf("workload: need at least 2 users, got %d", cfg.Users)
 	}
+	db := state.Backend(nil)
+	if cfg.Backend != nil {
+		var err error
+		db, err = cfg.Backend()
+		if err != nil {
+			return nil, fmt.Errorf("workload: backend: %w", err)
+		}
+	} else {
+		db = state.NewDB()
+	}
 	w := &World{
 		Cfg:      cfg,
-		DB:       state.NewDB(),
+		DB:       db,
 		Registry: sag.NewRegistry(),
 		nonces:   make(map[types.Address]uint64, cfg.Users),
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
