@@ -109,10 +109,14 @@ func main() {
 	simBlocks := flag.Int("simblocks", 2, "blocks for the fig8 network simulation")
 	rq1Blocks := flag.Int("rq1blocks", 10, "blocks for the rq1 sweep")
 	seed := flag.Int64("seed", 1, "workload seed")
-	hotTxs := flag.Int("hottxs", 1024, "transactions per block for the hotpath experiment")
+	hotTxs := flag.Int("hottxs", 1024, "base transactions per block for the hotpath experiment")
+	hotSizes := flag.String("hotsizes", "", "comma-separated mainnet-mix block sizes for the hotpath scaling ladder (default hottxs,4x,10x)")
 	hotRounds := flag.Int("hotrounds", 2, "timed re-executions per hotpath configuration")
 	benchJSON := flag.String("benchjson", "BENCH_hotpath.json", "output path for the hotpath report")
 	baselinePath := flag.String("baseline", "", "previous hotpath report whose numbers become the before-series")
+	hotCheck := flag.Bool("hotcheck", false, "hotpath: fail if wall-clock speedup or allocs/tx regress beyond tolerance vs the -baseline report")
+	hotSpeedupTol := flag.Float64("hotspeeduptol", 0.25, "hotcheck: allowed fractional drop in DMVCC-over-serial wall-clock speedup (machine-speed-independent ratio)")
+	hotAllocsTol := flag.Float64("hotallocstol", 0.10, "hotcheck: allowed fractional rise in allocs/tx")
 	conflictsJSON := flag.String("conflictsjson", "BENCH_conflicts.json", "output path for the conflicts report")
 	conflictsTxs := flag.Int("conflicttxs", 512, "transactions per block for the conflicts experiment")
 	conflictsPerTx := flag.Bool("pertx", false, "keep per-transaction audit rows in the conflicts report")
@@ -180,8 +184,15 @@ func main() {
 	}
 	defer backendCleanup()
 
+	hotSizeList, err := parseAccountTiers(*hotSizes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmvcc-bench: -hotsizes:", err)
+		os.Exit(1)
+	}
+
 	err = run(*exp, *blocks, *txs, *simTxs, *simBlocks, *rq1Blocks, *seed, hotpathArgs{
-		txs: *hotTxs, rounds: *hotRounds, jsonPath: *benchJSON, baseline: *baselinePath,
+		txs: *hotTxs, sizes: hotSizeList, rounds: *hotRounds, jsonPath: *benchJSON, baseline: *baselinePath,
+		check: *hotCheck, speedupTol: *hotSpeedupTol, allocsTol: *hotAllocsTol,
 	}, conflictsArgs{
 		txs: *conflictsTxs, jsonPath: *conflictsJSON, perTx: *conflictsPerTx, strict: *strict, fx: forensics,
 	}, chaosArgs{
@@ -221,8 +232,11 @@ func main() {
 
 // hotpathArgs bundles the hotpath experiment's flags.
 type hotpathArgs struct {
-	txs, rounds        int
-	jsonPath, baseline string
+	txs, rounds           int
+	sizes                 []int
+	jsonPath, baseline    string
+	check                 bool
+	speedupTol, allocsTol float64
 }
 
 // conflictsArgs bundles the conflicts experiment's flags.
@@ -375,19 +389,29 @@ func run(exp string, blocks, txs, simTxs, simBlocks, rq1Blocks int, seed int64, 
 		case "hotpath":
 			cfg := bench.DefaultHotpathConfig()
 			cfg.Txs = hot.txs
+			cfg.BlockSizes = hot.sizes
 			cfg.Rounds = hot.rounds
 			cfg.Seed = seed
 			rep, err := bench.RunHotpath(cfg)
 			if err != nil {
 				return err
 			}
-			if err := rep.Validate(); err != nil {
-				return fmt.Errorf("hotpath validation: %w", err)
-			}
+			// Merge before validating: Validate also flags makespan-speedup
+			// regressions against whatever before-series got installed.
 			if hot.baseline != "" {
 				if err := bench.MergeHotpathBaseline(rep, hot.baseline); err != nil {
 					return err
 				}
+			}
+			if err := rep.Validate(); err != nil {
+				return fmt.Errorf("hotpath validation: %w", err)
+			}
+			if hot.check {
+				if err := rep.CheckRegression(hot.speedupTol, hot.allocsTol); err != nil {
+					return fmt.Errorf("hotpath regression gate: %w", err)
+				}
+				fmt.Printf("hotpath regression gate passed (speedup tol %.0f%%, allocs tol %.0f%%)\n",
+					hot.speedupTol*100, hot.allocsTol*100)
 			}
 			fmt.Print(rep.Render())
 			if hot.jsonPath != "" {

@@ -11,6 +11,7 @@ import (
 	"dmvcc/internal/baseline"
 	"dmvcc/internal/core"
 	"dmvcc/internal/sag"
+	"dmvcc/internal/schedsim"
 	"dmvcc/internal/state"
 	"dmvcc/internal/types"
 	"dmvcc/internal/workload"
@@ -22,8 +23,14 @@ const HotpathSchema = "dmvcc-bench/hotpath/v1"
 
 // HotpathConfig parameterizes the scheduler hot-path experiment.
 type HotpathConfig struct {
-	// Txs is the block size (the acceptance workload uses 1024).
+	// Txs is the base block size (the acceptance workload uses 1024). The
+	// high-contention workload runs at this size.
 	Txs int
+	// BlockSizes are the mainnet-mix block sizes to sweep. Empty means the
+	// default scaling ladder {Txs, 4*Txs, 10*Txs} — 1024/4096/10240 at the
+	// default base size — which shows whether per-dispatch and per-alloc
+	// overheads stay flat as blocks grow.
+	BlockSizes []int
 	// Rounds is how many times each configuration re-executes the block
 	// inside one timed window (more rounds = less noise, more wall time).
 	Rounds int
@@ -46,14 +53,24 @@ func DefaultHotpathConfig() HotpathConfig {
 
 // HotpathMeasure is one measured execution configuration. All per-tx values
 // average over Rounds x Txs transactions.
+//
+// SpeedupVsSerial is wall-clock and therefore only a parallelism measurement
+// when the host actually has that many cores free; MakespanSpeedupVsSerial
+// replays the run's recorded dependency traces through the virtual-time
+// scheduling simulator (the paper's §V-B methodology, gas as the time unit),
+// so it reports the schedule's intrinsic parallelism independent of the
+// capture machine's core count.
 type HotpathMeasure struct {
-	NsPerTx         float64 `json:"ns_per_tx"`
-	AllocsPerTx     float64 `json:"allocs_per_tx"`
-	BytesPerTx      float64 `json:"bytes_per_tx"`
-	Aborts          int64   `json:"aborts"`
-	BlockedReads    int64   `json:"blocked_reads"`
-	Executions      int64   `json:"executions"`
-	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+	NsPerTx                 float64 `json:"ns_per_tx"`
+	AllocsPerTx             float64 `json:"allocs_per_tx"`
+	BytesPerTx              float64 `json:"bytes_per_tx"`
+	Aborts                  int64   `json:"aborts"`
+	BlockedReads            int64   `json:"blocked_reads"`
+	Executions              int64   `json:"executions"`
+	DispatchRuns            int64   `json:"dispatch_runs"`
+	DispatchedTxs           int64   `json:"dispatched_txs"`
+	SpeedupVsSerial         float64 `json:"speedup_vs_serial"`
+	MakespanSpeedupVsSerial float64 `json:"makespan_speedup_vs_serial"`
 }
 
 // HotpathThread is the before/after pair at one thread count. Before is the
@@ -95,22 +112,37 @@ type HotpathReport struct {
 }
 
 // hotpathWorkloads returns the named workload configs of the sweep: the
-// paper's low-contention mainnet mix and the skewed high-contention setting.
+// paper's low-contention mainnet mix at each block size on the scaling
+// ladder, plus the skewed high-contention setting at the base size.
 func hotpathWorkloads(cfg HotpathConfig) []struct {
 	name string
 	wl   workload.Config
 } {
-	low := workload.DefaultConfig()
-	low.TxPerBlock = cfg.Txs
-	low.Seed = cfg.Seed
-	high := low.HighContention()
-	return []struct {
+	sizes := cfg.BlockSizes
+	if len(sizes) == 0 {
+		sizes = []int{cfg.Txs, 4 * cfg.Txs, 10 * cfg.Txs}
+	}
+	var out []struct {
 		name string
 		wl   workload.Config
-	}{
-		{fmt.Sprintf("mainnet-mix-%d", cfg.Txs), low},
-		{fmt.Sprintf("high-contention-%d", cfg.Txs), high},
 	}
+	for _, n := range sizes {
+		low := workload.DefaultConfig()
+		low.TxPerBlock = n
+		low.Seed = cfg.Seed
+		out = append(out, struct {
+			name string
+			wl   workload.Config
+		}{fmt.Sprintf("mainnet-mix-%d", n), low})
+	}
+	base := workload.DefaultConfig()
+	base.TxPerBlock = cfg.Txs
+	base.Seed = cfg.Seed
+	out = append(out, struct {
+		name string
+		wl   workload.Config
+	}{fmt.Sprintf("high-contention-%d", cfg.Txs), base.HighContention()})
+	return out
 }
 
 // RunHotpath executes the hot-path sweep and returns the report (After
@@ -186,6 +218,7 @@ func runHotpathWorkload(name string, wl workload.Config, cfg HotpathConfig) (*Ho
 			return nil, err
 		}
 		var stats core.Stats
+		var lastRes *core.Result
 		runtime.GC()
 		var msBefore, msAfter runtime.MemStats
 		runtime.ReadMemStats(&msBefore)
@@ -198,20 +231,34 @@ func runHotpathWorkload(name string, wl workload.Config, cfg HotpathConfig) (*Ho
 			stats.Executions += res.Stats.Executions
 			stats.Aborts += res.Stats.Aborts
 			stats.BlockedReads += res.Stats.BlockedReads
+			stats.DispatchRuns += res.Stats.DispatchRuns
+			stats.DispatchedTxs += res.Stats.DispatchedTxs
+			lastRes = res
 		}
 		elapsed := time.Since(start)
 		runtime.ReadMemStats(&msAfter)
 
 		m := HotpathMeasure{
-			NsPerTx:      float64(elapsed.Nanoseconds()) / totalTx,
-			AllocsPerTx:  float64(msAfter.Mallocs-msBefore.Mallocs) / totalTx,
-			BytesPerTx:   float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / totalTx,
-			Aborts:       stats.Aborts,
-			BlockedReads: stats.BlockedReads,
-			Executions:   stats.Executions,
+			NsPerTx:       float64(elapsed.Nanoseconds()) / totalTx,
+			AllocsPerTx:   float64(msAfter.Mallocs-msBefore.Mallocs) / totalTx,
+			BytesPerTx:    float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / totalTx,
+			Aborts:        stats.Aborts,
+			BlockedReads:  stats.BlockedReads,
+			Executions:    stats.Executions,
+			DispatchRuns:  stats.DispatchRuns,
+			DispatchedTxs: stats.DispatchedTxs,
 		}
 		if m.NsPerTx > 0 {
 			m.SpeedupVsSerial = out.SerialNsPerTx / m.NsPerTx
+		}
+		// Virtual-time speedup from the last round's dependency traces:
+		// serial gas over the simulated th-thread makespan (§V-B).
+		var serialGas uint64
+		for _, tr := range lastRes.Traces {
+			serialGas += tr.Gas
+		}
+		if span := schedsim.DMVCC(lastRes.Traces, th, lastRes.WastedGas); span > 0 {
+			m.MakespanSpeedupVsSerial = float64(serialGas) / float64(span)
 		}
 		out.Threads = append(out.Threads, HotpathThread{Threads: th, After: m})
 	}
@@ -266,12 +313,27 @@ func timeRounds(rounds int, fn func() error) (int64, error) {
 	return time.Since(start).Nanoseconds(), nil
 }
 
+// hotpathSpeedupTol is the fraction the virtual-time makespan speedup may
+// drop below the merged baseline before Validate fails the report. Makespan
+// speedups are computed from recorded dependency traces, not wall clock, so
+// they are stable across machines; the tolerance only absorbs workload-seed
+// and trace-sampling jitter.
+const hotpathSpeedupTol = 0.25
+
 // Validate checks the report's measurement preconditions. The critical one:
 // a multi-threaded sweep captured at GOMAXPROCS=1 is not a parallelism
 // measurement at all — every "parallel" configuration time-slices one OS
 // thread — so a report whose sweep includes threads > 1 must have been
 // captured with GOMAXPROCS > 1 (set the GOMAXPROCS env var on constrained
 // boxes). It also requires the commit root-equivalence check to have passed.
+//
+// When the report carries merged baseline data (Before pairs installed by
+// MergeHotpathBaseline), Validate additionally flags regressions: any thread
+// count whose makespan speedup fell more than hotpathSpeedupTol below its
+// recorded Before fails the report. Workloads without any Before pair are
+// first captures (new block sizes on the ladder) and pass this section; a
+// report where no workload has a pair passes it vacuously — CI gates that
+// demand trajectory continuity call CheckRegression, which does not.
 func (r *HotpathReport) Validate() error {
 	if r.Schema != HotpathSchema {
 		return fmt.Errorf("schema %q != %q", r.Schema, HotpathSchema)
@@ -288,6 +350,14 @@ func (r *HotpathReport) Validate() error {
 			if t.Threads > maxThreads {
 				maxThreads = t.Threads
 			}
+			if t.Before == nil || t.Before.MakespanSpeedupVsSerial <= 0 {
+				continue // first capture of this workload@threads (or pre-makespan baseline)
+			}
+			floor := t.Before.MakespanSpeedupVsSerial * (1 - hotpathSpeedupTol)
+			if t.After.MakespanSpeedupVsSerial < floor {
+				return fmt.Errorf("workload %s @ %d threads: makespan speedup regressed %.2fx -> %.2fx (floor %.2fx)",
+					w.Name, t.Threads, t.Before.MakespanSpeedupVsSerial, t.After.MakespanSpeedupVsSerial, floor)
+			}
 		}
 		if !w.Commit.RootMatch {
 			return fmt.Errorf("workload %s: serial and parallel commit roots diverge", w.Name)
@@ -300,10 +370,51 @@ func (r *HotpathReport) Validate() error {
 	return nil
 }
 
+// CheckRegression is the CI perf gate: it demands the report carries at
+// least one merged before/after pair (a report with none means the
+// checked-in baseline was never merged — the trajectory is severed) and
+// that every pair stays within tolerance of its baseline. Wall-clock time
+// is compared through SpeedupVsSerial — the DMVCC-over-serial ratio from
+// the same run, so the capture machine's absolute speed cancels out —
+// which may drop at most speedupTol below Before. Allocation counts are
+// near-deterministic and may rise at most allocsTol above Before.
+func (r *HotpathReport) CheckRegression(speedupTol, allocsTol float64) error {
+	pairs := 0
+	for _, w := range r.Workloads {
+		for _, t := range w.Threads {
+			if t.Before == nil {
+				continue
+			}
+			pairs++
+			if t.Before.SpeedupVsSerial > 0 {
+				floor := t.Before.SpeedupVsSerial * (1 - speedupTol)
+				if t.After.SpeedupVsSerial < floor {
+					return fmt.Errorf("workload %s @ %d threads: wall-clock speedup vs serial regressed %.3fx -> %.3fx (floor %.3fx)",
+						w.Name, t.Threads, t.Before.SpeedupVsSerial, t.After.SpeedupVsSerial, floor)
+				}
+			}
+			if t.Before.AllocsPerTx > 0 {
+				ceil := t.Before.AllocsPerTx * (1 + allocsTol)
+				if t.After.AllocsPerTx > ceil {
+					return fmt.Errorf("workload %s @ %d threads: allocs/tx regressed %.1f -> %.1f (ceiling %.1f)",
+						w.Name, t.Threads, t.Before.AllocsPerTx, t.After.AllocsPerTx, ceil)
+				}
+			}
+		}
+	}
+	if pairs == 0 {
+		return fmt.Errorf("no before/after pairs in report: merge the checked-in baseline (-baseline BENCH_hotpath.json) before gating")
+	}
+	return nil
+}
+
 // MergeHotpathBaseline loads a previous report from path and installs its
 // After measurements as the Before fields of rep (matched by workload name
 // and thread count), making rep the next point on the perf trajectory.
 // A missing file is not an error: the report simply has no Before points.
+// A baseline that parses but shares no workload@threads key with rep is an
+// error — a rename or config drift silently severing the trajectory is
+// exactly what the before-series exists to prevent.
 func MergeHotpathBaseline(rep *HotpathReport, path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -322,14 +433,19 @@ func MergeHotpathBaseline(rep *HotpathReport, path string) error {
 			byKey[fmt.Sprintf("%s@%d", w.Name, t.Threads)] = t.After
 		}
 	}
+	matched := 0
 	for wi := range rep.Workloads {
 		w := &rep.Workloads[wi]
 		for ti := range w.Threads {
 			if m, ok := byKey[fmt.Sprintf("%s@%d", w.Name, w.Threads[ti].Threads)]; ok {
 				mm := m
 				w.Threads[ti].Before = &mm
+				matched++
 			}
 		}
+	}
+	if len(byKey) > 0 && matched == 0 {
+		return fmt.Errorf("baseline %s shares no workload@threads key with this run: trajectory severed (workload rename or config drift?)", path)
 	}
 	return nil
 }
@@ -351,16 +467,18 @@ func (r *HotpathReport) Render() string {
 	for _, w := range r.Workloads {
 		fmt.Fprintf(&sb, "-- %s: %d txs x %d rounds, serial %.0f ns/tx --\n",
 			w.Name, w.Txs, w.Rounds, w.SerialNsPerTx)
-		fmt.Fprintf(&sb, "%8s %14s %14s %12s %8s %10s %8s\n",
-			"threads", "ns/tx", "allocs/tx", "bytes/tx", "aborts", "blocked", "speedup")
+		fmt.Fprintf(&sb, "%8s %14s %14s %12s %8s %10s %9s %8s %9s\n",
+			"threads", "ns/tx", "allocs/tx", "bytes/tx", "aborts", "blocked", "runlen", "speedup", "makespan")
 		for _, t := range w.Threads {
-			fmt.Fprintf(&sb, "%8d %14.0f %14.1f %12.0f %8d %10d %8.2f\n",
+			fmt.Fprintf(&sb, "%8d %14.0f %14.1f %12.0f %8d %10d %9.1f %8.2f %9.2f\n",
 				t.Threads, t.After.NsPerTx, t.After.AllocsPerTx, t.After.BytesPerTx,
-				t.After.Aborts, t.After.BlockedReads, t.After.SpeedupVsSerial)
+				t.After.Aborts, t.After.BlockedReads, meanRunLen(t.After),
+				t.After.SpeedupVsSerial, t.After.MakespanSpeedupVsSerial)
 			if t.Before != nil {
-				fmt.Fprintf(&sb, "%8s %14.0f %14.1f %12.0f %8d %10d %8.2f\n",
+				fmt.Fprintf(&sb, "%8s %14.0f %14.1f %12.0f %8d %10d %9.1f %8.2f %9.2f\n",
 					"(before)", t.Before.NsPerTx, t.Before.AllocsPerTx, t.Before.BytesPerTx,
-					t.Before.Aborts, t.Before.BlockedReads, t.Before.SpeedupVsSerial)
+					t.Before.Aborts, t.Before.BlockedReads, meanRunLen(*t.Before),
+					t.Before.SpeedupVsSerial, t.Before.MakespanSpeedupVsSerial)
 			}
 		}
 		fmt.Fprintf(&sb, "commit: serial %.2fms, parallel(%d) %.2fms, roots match: %v\n",
@@ -368,6 +486,15 @@ func (r *HotpathReport) Render() string {
 			float64(w.Commit.ParallelNs)/1e6, w.Commit.RootMatch)
 	}
 	return sb.String()
+}
+
+// meanRunLen is the average dispatch batch size (transactions per heap/lock
+// round-trip); 0 when the measure predates dispatch telemetry.
+func meanRunLen(m HotpathMeasure) float64 {
+	if m.DispatchRuns == 0 {
+		return 0
+	}
+	return float64(m.DispatchedTxs) / float64(m.DispatchRuns)
 }
 
 // commitWith commits ws into the world's DB with the given worker count.

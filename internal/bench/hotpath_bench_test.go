@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"testing"
+
+	"dmvcc/internal/baseline"
+	"dmvcc/internal/core"
+	"dmvcc/internal/sag"
+	"dmvcc/internal/types"
+	"dmvcc/internal/workload"
+)
+
+// hotpathFixture builds the mainnet-mix world once per benchmark binary.
+type hotpathFixture struct {
+	world *workload.World
+	txs   []*types.Transaction
+	csags []*sag.CSAG
+}
+
+var hotpathFix *hotpathFixture
+
+func hotpathSetup(b *testing.B, txs int) *hotpathFixture {
+	b.Helper()
+	if hotpathFix != nil && len(hotpathFix.txs) == txs {
+		return hotpathFix
+	}
+	wl := workload.DefaultConfig()
+	wl.TxPerBlock = txs
+	world, err := workload.BuildWorld(wl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	block := world.BlockContext()
+	blockTxs := world.NextBlock()
+	an := sag.NewAnalyzer(world.Registry)
+	csags, err := an.AnalyzeBlock(blockTxs, world.DB, block)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hotpathFix = &hotpathFixture{world: world, txs: blockTxs, csags: csags}
+	return hotpathFix
+}
+
+// BenchmarkHotpathSerial is the speedup denominator: the serial reference
+// executor over one mainnet-mix block.
+func BenchmarkHotpathSerial(b *testing.B) {
+	f := hotpathSetup(b, 1024)
+	block := f.world.BlockContext()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.ExecuteSerial(f.world.DB, block, f.txs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHotpathDMVCC1 measures the DMVCC scheduler at 1 worker — the
+// pure per-transaction overhead with zero contention effects.
+func BenchmarkHotpathDMVCC1(b *testing.B) {
+	benchHotpathDMVCC(b, 1)
+}
+
+// BenchmarkHotpathDMVCC4 measures 4 workers.
+func BenchmarkHotpathDMVCC4(b *testing.B) {
+	benchHotpathDMVCC(b, 4)
+}
+
+func benchHotpathDMVCC(b *testing.B, threads int) {
+	f := hotpathSetup(b, 1024)
+	block := f.world.BlockContext()
+	ex := core.NewExecutor(f.world.Registry, threads)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.ExecuteBlock(f.world.DB, block, f.txs, f.csags); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// pairedReport builds a structurally valid report with one workload whose
+// 4-thread entry carries a before/after pair.
+func pairedReport(beforeMakespan, afterMakespan, beforeAllocs, afterAllocs, beforeSpeedup, afterSpeedup float64) *HotpathReport {
+	before := &HotpathMeasure{
+		MakespanSpeedupVsSerial: beforeMakespan,
+		AllocsPerTx:             beforeAllocs,
+		SpeedupVsSerial:         beforeSpeedup,
+	}
+	return &HotpathReport{
+		Schema:     HotpathSchema,
+		GOMAXPROCS: 8,
+		Workloads: []HotpathWorkload{{
+			Name: "mainnet-mix-1024", Txs: 1024, Rounds: 2,
+			Commit: HotpathCommit{RootMatch: true},
+			Threads: []HotpathThread{{
+				Threads: 4,
+				Before:  before,
+				After: HotpathMeasure{
+					MakespanSpeedupVsSerial: afterMakespan,
+					AllocsPerTx:             afterAllocs,
+					SpeedupVsSerial:         afterSpeedup,
+				},
+			}},
+		}},
+	}
+}
+
+func TestHotpathValidateFlagsMakespanRegression(t *testing.T) {
+	// 4.0x -> 3.5x is within the 25% tolerance band.
+	if err := pairedReport(4.0, 3.5, 70, 70, 0.5, 0.5).Validate(); err != nil {
+		t.Fatalf("in-tolerance report failed validation: %v", err)
+	}
+	// 4.0x -> 2.0x is a halving — must fail.
+	err := pairedReport(4.0, 2.0, 70, 70, 0.5, 0.5).Validate()
+	if err == nil || !strings.Contains(err.Error(), "makespan speedup regressed") {
+		t.Fatalf("regressed report passed validation (err=%v)", err)
+	}
+	// A baseline captured before the makespan column existed (zero value)
+	// cannot be regressed against.
+	if err := pairedReport(0, 2.0, 70, 70, 0.5, 0.5).Validate(); err != nil {
+		t.Fatalf("pre-makespan baseline failed validation: %v", err)
+	}
+}
+
+func TestHotpathCheckRegression(t *testing.T) {
+	// Healthy pair passes.
+	if err := pairedReport(4, 4, 70, 72, 0.50, 0.48).CheckRegression(0.25, 0.10); err != nil {
+		t.Fatalf("healthy report failed the gate: %v", err)
+	}
+	// Wall-clock speedup ratio collapsing beyond tolerance fails.
+	if err := pairedReport(4, 4, 70, 70, 0.50, 0.30).CheckRegression(0.25, 0.10); err == nil {
+		t.Fatal("speedup collapse passed the gate")
+	}
+	// Alloc growth beyond tolerance fails.
+	if err := pairedReport(4, 4, 70, 90, 0.50, 0.50).CheckRegression(0.25, 0.10); err == nil {
+		t.Fatal("alloc regression passed the gate")
+	}
+	// A report without any merged pair cannot be gated.
+	rep := pairedReport(4, 4, 70, 70, 0.5, 0.5)
+	rep.Workloads[0].Threads[0].Before = nil
+	if err := rep.CheckRegression(0.25, 0.10); err == nil || !strings.Contains(err.Error(), "no before/after pairs") {
+		t.Fatalf("pairless report passed the gate (err=%v)", err)
+	}
+}
+
+func TestMergeHotpathBaseline(t *testing.T) {
+	dir := t.TempDir()
+
+	// A matching baseline installs Before measurements.
+	prev := pairedReport(3, 3, 80, 80, 0.4, 0.4)
+	prev.Workloads[0].Threads[0].Before = nil
+	path := filepath.Join(dir, "base.json")
+	if err := prev.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	rep := pairedReport(0, 4, 0, 70, 0, 0.5)
+	rep.Workloads[0].Threads[0].Before = nil
+	if err := MergeHotpathBaseline(rep, path); err != nil {
+		t.Fatal(err)
+	}
+	got := rep.Workloads[0].Threads[0].Before
+	if got == nil || got.AllocsPerTx != 80 {
+		t.Fatalf("merge did not install the before-series: %+v", got)
+	}
+
+	// A baseline sharing no workload@threads key severs the trajectory.
+	rep2 := pairedReport(0, 4, 0, 70, 0, 0.5)
+	rep2.Workloads[0].Name = "renamed-workload-1024"
+	rep2.Workloads[0].Threads[0].Before = nil
+	err := MergeHotpathBaseline(rep2, path)
+	if err == nil || !strings.Contains(err.Error(), "trajectory severed") {
+		t.Fatalf("non-overlapping baseline merged silently (err=%v)", err)
+	}
+
+	// A missing file is a clean first capture.
+	if err := MergeHotpathBaseline(rep2, filepath.Join(dir, "nope.json")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt baselines are reported, not ignored.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := MergeHotpathBaseline(rep2, bad); err == nil {
+		t.Fatal("corrupt baseline merged silently")
+	}
+}

@@ -9,34 +9,82 @@ import (
 	"dmvcc/internal/u256"
 )
 
+// itemRec is the per-item access record of one incarnation: the buffered
+// absolute write, accumulated unpublished delta, memoized resolved read,
+// early-publish bookkeeping, and the analyzer-mirroring touch state — all in
+// one cache line run instead of eight parallel maps. A zero-valued record is
+// equivalent to the item being absent (every consumer gates on the has*
+// flags or touchNone), which is what makes journal reverts cheap: reverting
+// an item's creation just zeroes its fields in place.
+type itemRec struct {
+	id    sag.ItemID
+	touch touchKind
+
+	hasW         bool
+	hasPending   bool
+	hasCached    bool
+	hasPublished bool
+	publishedDel bool
+	hasCode      bool
+
+	writeEvts int32
+
+	w         u256.Int // buffered absolute write
+	pending   u256.Int // accumulated unpublished delta
+	cached    u256.Int // memoized resolved read
+	published u256.Int // early-published absolute value
+
+	code []byte // deployed code bytes (KindCode items)
+}
+
+// spillThreshold is the item count past which the accessor builds a map
+// index over the vector. Below it, lookups are a linear scan over contiguous
+// records — cheaper than hashing a 53-byte ItemID for the typical
+// transaction touching well under a dozen items.
+const spillThreshold = 24
+
 // accessor is the evm.State implementation backing one transaction
 // incarnation under DMVCC. Reads resolve through the access sequences
-// (blocking on pending predecessor versions); writes buffer locally in W
-// and become visible through versionWrite — either early, at a release
-// point, or at transaction finish. Its delta/degrade protocol mirrors
-// sag.recorder exactly so C-SAG predictions line up with runtime behaviour.
+// (blocking on pending predecessor versions); writes buffer locally and
+// become visible through versionWrite — either early, at a release point,
+// or at transaction finish. Its delta/degrade protocol mirrors sag.recorder
+// exactly so C-SAG predictions line up with runtime behaviour.
+//
+// Access recording is a small vector of itemRec (index map only past
+// spillThreshold), sized from the C-SAG prediction; accessors are pooled
+// across incarnations and blocks, retaining vector/journal capacity.
 type accessor struct {
 	r   *run
 	rt  *txRuntime
 	inc int
 
-	w         map[sag.ItemID]u256.Int // buffered absolute writes
-	wCode     map[sag.ItemID][]byte
-	touch     map[sag.ItemID]touchKind
-	pending   map[sag.ItemID]u256.Int // accumulated unpublished deltas
-	readCache map[sag.ItemID]u256.Int
-	writeEvts map[sag.ItemID]int
-
-	published    map[sag.ItemID]u256.Int // early-published values (abs)
-	publishedDel map[sag.ItemID]struct{} // items with published delta parts
+	items []itemRec
+	spill map[sag.ItemID]int32 // index over items, built past spillThreshold
 
 	journal []undo
 	snaps   []int
 
-	armDelta     bool
-	armStore     bool
-	deltaPending *sag.ItemID
-	drained      bool // no unpublished release-eligible writes remain
+	armDelta       bool
+	armStore       bool
+	deltaPending   sag.ItemID
+	deltaPendingOK bool
+	drained        bool // no unpublished release-eligible writes remain
+
+	// deadFn is a.dead bound once per accessor lifetime (the method value
+	// would otherwise allocate a closure on every sequence call).
+	deadFn func() bool
+
+	// Registry memo: hook performs one contract-info lookup per instruction
+	// without it (an RWMutex + map hit that dominated the hot loop); frames
+	// run many consecutive instructions in one contract, so a one-entry
+	// cache absorbs nearly all of them.
+	infoAddr types.Address
+	info     *sag.ContractInfo
+	infoOK   bool
+
+	// snapCache is the executing worker's committed-snapshot read cache
+	// (see workerCache); it follows the goroutine, not the incarnation.
+	snapCache *workerCache
 
 	// Virtual-time trace: topGas is the top frame's starting gas, offset
 	// the gas consumed so far (top-frame view), events the dependency log.
@@ -73,21 +121,66 @@ var (
 	_ evm.BalanceAdder = (*accessor)(nil)
 )
 
-// newAccessor builds the state view of one incarnation. The item maps are
-// initialized lazily on first write — a plain transfer touches two or three
-// of them, so eager allocation of all eight dominated the per-incarnation
-// allocation count.
+// newAccessor builds the state view of one incarnation on a pooled
+// accessor: the item vector, journal, and trace buffers retain their
+// capacity across incarnations, so a steady-state incarnation allocates
+// nothing here.
 func newAccessor(r *run, rt *txRuntime, inc int) *accessor {
-	a := &accessor{
-		r:       r,
-		rt:      rt,
-		inc:     inc,
-		intrins: evm.IntrinsicGas(rt.tx.Data),
+	a := r.getAccessor()
+	a.r = r
+	a.rt = rt
+	a.inc = inc
+	a.intrins = evm.IntrinsicGas(rt.tx.Data)
+	if c := rt.csag; c != nil {
+		want := len(c.Reads) + len(c.Writes) + len(c.Deltas)
+		if cap(a.items) < want {
+			a.items = make([]itemRec, 0, want+4)
+		}
+		if cap(a.events) < want {
+			a.events = make([]TraceEvent, 0, want+4)
+		}
+	}
+	if a.deadFn == nil {
+		a.deadFn = a.dead
 	}
 	if in := r.faults; in.Enabled() {
 		a.armFaults(in)
 	}
 	return a
+}
+
+// reset clears the accessor for reuse, keeping allocated capacity. The
+// events slice is NOT retained when the incarnation completed — its backing
+// array escapes into the committed TxTrace — but aborted incarnations hand
+// theirs back.
+func (a *accessor) reset() {
+	a.r = nil
+	a.rt = nil
+	a.inc = 0
+	clear(a.items) // drop code-slice references before pooling
+	a.items = a.items[:0]
+	a.spill = nil
+	clear(a.journal)
+	a.journal = a.journal[:0]
+	a.snaps = a.snaps[:0]
+	a.armDelta = false
+	a.armStore = false
+	a.deltaPending = sag.ItemID{}
+	a.deltaPendingOK = false
+	a.drained = false
+	a.infoAddr = types.Address{}
+	a.info = nil
+	a.infoOK = false
+	a.snapCache = nil
+	a.topGas = 0
+	a.offset = 0
+	a.events = a.events[:0]
+	a.intrins = 0
+	a.worker = 0
+	a.inFinish = false
+	a.panicAfter = 0
+	a.forceStale = false
+	a.suppressEarly = false
 }
 
 // armFaults draws this incarnation's fault decisions up front (one hash per
@@ -106,9 +199,57 @@ func (a *accessor) armFaults(in *fault.Injector) {
 // dead reports whether this incarnation has been aborted.
 func (a *accessor) dead() bool { return a.rt.curInc() != a.inc }
 
-// --- journaling -----------------------------------------------------------
+// lookupInfo resolves the contract info of addr through the one-entry memo.
+func (a *accessor) lookupInfo(addr types.Address) *sag.ContractInfo {
+	if a.infoOK && a.infoAddr == addr {
+		return a.info
+	}
+	info := a.r.reg.Lookup(addr)
+	a.infoAddr = addr
+	a.info = info
+	a.infoOK = true
+	return info
+}
 
-// undoKind selects which accessor map an undo record restores.
+// --- item vector ------------------------------------------------------------
+
+// find returns the index of id's record, or -1.
+func (a *accessor) find(id sag.ItemID) int {
+	if a.spill != nil {
+		if i, ok := a.spill[id]; ok {
+			return int(i)
+		}
+		return -1
+	}
+	for i := range a.items {
+		if a.items[i].id == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// rec returns the index of id's record, appending a zero record if absent.
+func (a *accessor) rec(id sag.ItemID) int {
+	if i := a.find(id); i >= 0 {
+		return i
+	}
+	i := len(a.items)
+	a.items = append(a.items, itemRec{id: id})
+	if a.spill != nil {
+		a.spill[id] = int32(i)
+	} else if len(a.items) > spillThreshold {
+		a.spill = make(map[sag.ItemID]int32, 2*len(a.items))
+		for j := range a.items {
+			a.spill[a.items[j].id] = int32(j)
+		}
+	}
+	return i
+}
+
+// --- journaling -------------------------------------------------------------
+
+// undoKind selects which itemRec field an undo record restores.
 type undoKind uint8
 
 const (
@@ -118,96 +259,73 @@ const (
 	undoPending
 )
 
-// undo is one typed entry of the revert journal. The previous closure-based
-// journal allocated a captured closure per mutation on the hottest write
-// path; typed records cost nothing beyond amortized slice growth.
+// undo is one typed entry of the revert journal, addressing an item record
+// by index (records are never removed, so indexes are stable).
 type undo struct {
 	kind undoKind
 	had  bool
 	tk   touchKind
-	id   sag.ItemID
+	item int32
 	val  u256.Int
 	code []byte
 }
 
 // revert undoes one journal record.
 func (a *accessor) revert(u *undo) {
+	rec := &a.items[u.item]
 	switch u.kind {
 	case undoTouch:
-		if u.had {
-			a.touch[u.id] = u.tk
-		} else {
-			delete(a.touch, u.id)
-		}
+		rec.touch = u.tk
 	case undoW:
-		if u.had {
-			a.w[u.id] = u.val
-		} else {
-			delete(a.w, u.id)
-		}
+		rec.hasW = u.had
+		rec.w = u.val
 	case undoWCode:
-		if u.had {
-			a.wCode[u.id] = u.code
-		} else {
-			delete(a.wCode, u.id)
-		}
+		rec.hasCode = u.had
+		rec.code = u.code
 	case undoPending:
-		if u.had {
-			a.pending[u.id] = u.val
-		} else {
-			delete(a.pending, u.id)
-		}
+		rec.hasPending = u.had
+		rec.pending = u.val
 	}
 }
 
-func (a *accessor) setTouch(id sag.ItemID, t touchKind) {
-	if a.touch == nil {
-		a.touch = make(map[sag.ItemID]touchKind)
-	}
-	prev, had := a.touch[id]
-	a.journal = append(a.journal, undo{kind: undoTouch, had: had, tk: prev, id: id})
-	a.touch[id] = t
+func (a *accessor) setTouch(i int, t touchKind) {
+	rec := &a.items[i]
+	a.journal = append(a.journal, undo{kind: undoTouch, item: int32(i), tk: rec.touch})
+	rec.touch = t
 }
 
-func (a *accessor) setW(id sag.ItemID, v u256.Int) {
-	if a.w == nil {
-		a.w = make(map[sag.ItemID]u256.Int)
-	}
-	prev, had := a.w[id]
-	a.journal = append(a.journal, undo{kind: undoW, had: had, val: prev, id: id})
-	a.w[id] = v
+func (a *accessor) setW(i int, v u256.Int) {
+	rec := &a.items[i]
+	a.journal = append(a.journal, undo{kind: undoW, item: int32(i), had: rec.hasW, val: rec.w})
+	rec.hasW = true
+	rec.w = v
 	a.drained = false
 }
 
-func (a *accessor) setWCode(id sag.ItemID, code []byte) {
-	if a.wCode == nil {
-		a.wCode = make(map[sag.ItemID][]byte)
-	}
-	prev, had := a.wCode[id]
-	a.journal = append(a.journal, undo{kind: undoWCode, had: had, code: prev, id: id})
-	a.wCode[id] = code
+func (a *accessor) setWCode(i int, code []byte) {
+	rec := &a.items[i]
+	a.journal = append(a.journal, undo{kind: undoWCode, item: int32(i), had: rec.hasCode, code: rec.code})
+	rec.hasCode = true
+	rec.code = code
 	a.drained = false
 }
 
-func (a *accessor) addPending(id sag.ItemID, v *u256.Int) {
-	if a.pending == nil {
-		a.pending = make(map[sag.ItemID]u256.Int)
-	}
-	prev, had := a.pending[id]
-	a.journal = append(a.journal, undo{kind: undoPending, had: had, val: prev, id: id})
-	var next u256.Int
-	next.Add(&prev, v)
-	a.pending[id] = next
+func (a *accessor) addPending(i int, v *u256.Int) {
+	rec := &a.items[i]
+	a.journal = append(a.journal, undo{kind: undoPending, item: int32(i), had: rec.hasPending, val: rec.pending})
+	rec.pending.Add(&rec.pending, v)
+	rec.hasPending = true
 	a.drained = false
 }
 
-func (a *accessor) dropPendingJ(id sag.ItemID) {
-	prev, had := a.pending[id]
-	if !had {
+func (a *accessor) dropPendingJ(i int) {
+	rec := &a.items[i]
+	if !rec.hasPending {
 		return
 	}
-	a.journal = append(a.journal, undo{kind: undoPending, had: true, val: prev, id: id})
-	delete(a.pending, id)
+	a.journal = append(a.journal, undo{kind: undoPending, item: int32(i), had: true, val: rec.pending})
+	rec.hasPending = false
+	rec.pending = u256.Int{}
 }
 
 // Snapshot implements evm.State.
@@ -228,18 +346,14 @@ func (a *accessor) RevertToSnapshot(rev int) {
 
 // --- read path --------------------------------------------------------------
 
-// snapValue reads the committed snapshot value of an item.
+// snapValue reads an item's committed snapshot value through the worker's
+// block-lifetime cache (committed state is immutable while the block runs,
+// so cached values never go stale; see workerCache).
 func (a *accessor) snapValue(id sag.ItemID) u256.Int {
-	switch id.Kind {
-	case sag.KindStorage:
-		return a.r.snap.Storage(id.Addr, id.Slot)
-	case sag.KindBalance:
-		return a.r.snap.Balance(id.Addr)
-	case sag.KindNonce:
-		return u256.NewUint64(a.r.snap.Nonce(id.Addr))
-	default:
-		return u256.Int{}
+	if c := a.snapCache; c != nil {
+		return c.value(a.r.snap, id)
 	}
+	return snapFor(a.r.snap, id)
 }
 
 // readItem resolves a cross-transaction read through the access sequence,
@@ -265,7 +379,7 @@ func (a *accessor) readItem(id sag.ItemID) (u256.Int, error) {
 			return u256.Int{}, evm.ErrAborted
 		}
 		snap := a.snapValue(id)
-		val, res, next := seq.tryRead(a.rt.idx, a.inc, snap, a.dead, w)
+		val, res, next := seq.tryRead(a.rt.idx, a.inc, snap, a.deadFn, w)
 		if res == readAborted {
 			return u256.Int{}, evm.ErrAborted
 		}
@@ -297,42 +411,30 @@ func (a *accessor) readItem(id sag.ItemID) (u256.Int, error) {
 	}
 }
 
-// readValue is the common read path with caching and W-buffer hits.
+// readValue is the common read path with memoization and W-buffer hits.
 func (a *accessor) readValue(id sag.ItemID) (u256.Int, error) {
-	if v, ok := a.w[id]; ok {
-		return v, nil
+	i := a.rec(id)
+	rec := &a.items[i]
+	if rec.hasW {
+		return rec.w, nil
 	}
-	if a.touch[id] == touchDelta {
-		return a.degradeRead(id)
+	if rec.touch == touchDelta {
+		return a.degradeRead(id, i)
 	}
-	if v, ok := a.readCache[id]; ok {
-		return v, nil
+	if rec.hasCached {
+		return rec.cached, nil
 	}
 	val, err := a.readItem(id)
 	if err != nil {
 		return u256.Int{}, err
 	}
-	a.cacheRead(id, val)
-	if a.touch[id] == touchNone {
-		a.setTouch(id, touchRead)
+	rec = &a.items[i] // readItem never appends, but don't rely on it
+	rec.hasCached = true
+	rec.cached = val
+	if rec.touch == touchNone {
+		a.setTouch(i, touchRead)
 	}
 	return val, nil
-}
-
-// cacheRead memoizes a resolved read (lazy map).
-func (a *accessor) cacheRead(id sag.ItemID, v u256.Int) {
-	if a.readCache == nil {
-		a.readCache = make(map[sag.ItemID]u256.Int)
-	}
-	a.readCache[id] = v
-}
-
-// bumpWriteEvt counts a write event against the C-SAG prediction (lazy map).
-func (a *accessor) bumpWriteEvt(id sag.ItemID) {
-	if a.writeEvts == nil {
-		a.writeEvts = make(map[sag.ItemID]int)
-	}
-	a.writeEvts[id]++
 }
 
 // degradeRead converts a delta-mode item to a normal read-modify-write: the
@@ -340,25 +442,28 @@ func (a *accessor) bumpWriteEvt(id sag.ItemID) {
 // applied, and the item moves into the absolute write buffer. Any part of
 // the delta already published early stays in the sequence as ω̄ — the sum
 // remains exact.
-func (a *accessor) degradeRead(id sag.ItemID) (u256.Int, error) {
+func (a *accessor) degradeRead(id sag.ItemID, i int) (u256.Int, error) {
 	base, err := a.readItem(id)
 	if err != nil {
 		return u256.Int{}, err
 	}
-	delta := a.pending[id]
+	rec := &a.items[i]
 	var val u256.Int
-	val.Add(&base, &delta)
-	a.dropPendingJ(id)
-	a.setTouch(id, touchWritten)
-	a.setW(id, val)
-	a.cacheRead(id, base)
+	val.Add(&base, &rec.pending)
+	a.dropPendingJ(i)
+	a.setTouch(i, touchWritten)
+	a.setW(i, val)
+	rec = &a.items[i]
+	rec.hasCached = true
+	rec.cached = base
 	return val, nil
 }
 
 // --- write path -------------------------------------------------------------
 
 func (a *accessor) writeAbs(id sag.ItemID, v u256.Int) error {
-	if a.r.opts.DisableWriteVersioning && a.touch[id] == touchNone {
+	i := a.rec(id)
+	if a.r.opts.DisableWriteVersioning && a.items[i].touch == touchNone {
 		// Single-version emulation: the first write to an item stalls until
 		// every earlier writer finished (ww conflicts restored). The stall
 		// is also recorded as a read-like trace dependency so the virtual
@@ -368,12 +473,12 @@ func (a *accessor) writeAbs(id sag.ItemID, v u256.Int) error {
 		}
 		a.events = append(a.events, TraceEvent{Kind: TraceRead, Item: id, Offset: a.offset})
 	}
-	if a.touch[id] == touchDelta {
-		a.dropPendingJ(id)
+	if a.items[i].touch == touchDelta {
+		a.dropPendingJ(i)
 	}
-	a.setTouch(id, touchWritten)
-	a.setW(id, v)
-	a.bumpWriteEvt(id)
+	a.setTouch(i, touchWritten)
+	a.setW(i, v)
+	a.items[i].writeEvts++
 	return nil
 }
 
@@ -386,7 +491,7 @@ func (a *accessor) waitPriorWrites(id sag.ItemID) error {
 			seq.cancelWaiter(w)
 			return evm.ErrAborted
 		}
-		pending, next := seq.priorWritesPending(a.rt.idx, a.dead, w)
+		pending, next := seq.priorWritesPending(a.rt.idx, a.deadFn, w)
 		if !pending {
 			return nil
 		}
@@ -420,11 +525,13 @@ func (a *accessor) GetState(addr types.Address, key types.Hash) (u256.Int, error
 	id := sag.StorageItem(addr, key)
 	if a.armDelta {
 		a.armDelta = false
-		if t := a.touch[id]; t == touchNone || t == touchDelta {
+		i := a.rec(id)
+		if t := a.items[i].touch; t == touchNone || t == touchDelta {
 			if t == touchNone {
-				a.setTouch(id, touchDelta)
+				a.setTouch(i, touchDelta)
 			}
-			a.deltaPending = &id
+			a.deltaPending = id
+			a.deltaPendingOK = true
 			return u256.Int{}, nil
 		}
 	}
@@ -436,10 +543,11 @@ func (a *accessor) SetState(addr types.Address, key types.Hash, v u256.Int) erro
 	id := sag.StorageItem(addr, key)
 	if a.armStore {
 		a.armStore = false
-		if a.deltaPending != nil && *a.deltaPending == id {
-			a.deltaPending = nil
-			a.addPending(id, &v)
-			a.bumpWriteEvt(id)
+		if a.deltaPendingOK && a.deltaPending == id {
+			a.deltaPendingOK = false
+			i := a.rec(id)
+			a.addPending(i, &v)
+			a.items[i].writeEvts++
 			return nil
 		}
 	}
@@ -459,12 +567,13 @@ func (a *accessor) SetBalance(addr types.Address, v u256.Int) error {
 // AddBalance implements evm.BalanceAdder: blind credits stay deltas.
 func (a *accessor) AddBalance(addr types.Address, delta u256.Int) error {
 	id := sag.BalanceItem(addr)
-	if t := a.touch[id]; !a.r.opts.DisableCommutative && (t == touchNone || t == touchDelta) {
+	i := a.rec(id)
+	if t := a.items[i].touch; !a.r.opts.DisableCommutative && (t == touchNone || t == touchDelta) {
 		if t == touchNone {
-			a.setTouch(id, touchDelta)
+			a.setTouch(i, touchDelta)
 		}
-		a.addPending(id, &delta)
-		a.bumpWriteEvt(id)
+		a.addPending(i, &delta)
+		a.items[i].writeEvts++
 		return nil
 	}
 	cur, err := a.readValue(id)
@@ -485,7 +594,6 @@ func (a *accessor) GetNonce(addr types.Address) (uint64, error) {
 	return v.Uint64(), nil
 }
 
-// setNonceInner writes the nonce value (error only from ablation stalls).
 // SetNonce implements evm.State. Protocol nonce bumps are unconditional —
 // they survive deterministic reverts and out-of-gas — so the value is final
 // the moment it is written and can be published immediately, without
@@ -509,8 +617,8 @@ func (a *accessor) SetNonce(addr types.Address, v uint64) error {
 // GetCode implements evm.State.
 func (a *accessor) GetCode(addr types.Address) ([]byte, error) {
 	id := sag.CodeItem(addr)
-	if code, ok := a.wCode[id]; ok {
-		return code, nil
+	if i := a.find(id); i >= 0 && a.items[i].hasCode {
+		return a.items[i].code, nil
 	}
 	val, err := a.readValue(id)
 	if err != nil {
@@ -518,6 +626,9 @@ func (a *accessor) GetCode(addr types.Address) ([]byte, error) {
 	}
 	if val.IsZero() {
 		// No in-block deployment: committed code.
+		if c := a.snapCache; c != nil {
+			return c.codeOf(a.r.snap, addr), nil
+		}
 		return a.r.snap.Code(addr), nil
 	}
 	return a.r.codeOf(types.HashFromWord(val)), nil
@@ -527,10 +638,11 @@ func (a *accessor) GetCode(addr types.Address) ([]byte, error) {
 func (a *accessor) SetCode(addr types.Address, code []byte) error {
 	id := sag.CodeItem(addr)
 	h := a.r.storeCode(code)
-	a.setTouch(id, touchWritten)
-	a.setWCode(id, code)
-	a.setW(id, h.Word())
-	a.bumpWriteEvt(id)
+	i := a.rec(id)
+	a.setTouch(i, touchWritten)
+	a.setWCode(i, code)
+	a.setW(i, h.Word())
+	a.items[i].writeEvts++
 	return nil
 }
 
@@ -556,17 +668,16 @@ func (a *accessor) hook(addr types.Address, depth int, pc uint64, op evm.Opcode,
 		}
 		a.offset = BaseCost + a.topGas - gasLeft
 	}
-	var info *sag.ContractInfo
 	if !a.r.opts.DisableCommutative {
 		switch op {
 		case evm.SLOAD:
-			if info = a.r.reg.Lookup(addr); info != nil {
+			if info := a.lookupInfo(addr); info != nil {
 				if _, ok := info.CommLoads[pc]; ok {
 					a.armDelta = true
 				}
 			}
 		case evm.SSTORE:
-			if info = a.r.reg.Lookup(addr); info != nil && info.CommStores[pc] {
+			if info := a.lookupInfo(addr); info != nil && info.CommStores[pc] {
 				a.armStore = true
 			}
 		}
@@ -574,9 +685,7 @@ func (a *accessor) hook(addr types.Address, depth int, pc uint64, op evm.Opcode,
 	if depth != 1 || a.drained || a.r.opts.DisableEarlyWrite || a.suppressEarly {
 		return nil
 	}
-	if info == nil {
-		info = a.r.reg.Lookup(addr)
-	}
+	info := a.lookupInfo(addr)
 	if info == nil || !info.Released(pc, gasLeft) {
 		return nil
 	}
@@ -586,7 +695,9 @@ func (a *accessor) hook(addr types.Address, depth int, pc uint64, op evm.Opcode,
 
 // earlyPublish makes buffered writes visible before commit (Algorithm 2):
 // an item is published once its predicted write events have all happened
-// (no write of it remains in the C-SAG's future).
+// (no write of it remains in the C-SAG's future). Items are visited in
+// first-touch order, so publish order is deterministic for a deterministic
+// execution (the map-backed predecessor published in random order).
 func (a *accessor) earlyPublish() {
 	csag := a.rt.csag
 	if csag == nil {
@@ -594,38 +705,38 @@ func (a *accessor) earlyPublish() {
 		return
 	}
 	remaining := false
-	for id, v := range a.w {
-		if prev, done := a.published[id]; done && prev.Eq(&v) {
-			continue
-		}
-		predicted, ok := csag.Writes[id]
-		if !ok || a.writeEvts[id] < predicted {
-			if !ok {
+	for i := 0; i < len(a.items); i++ {
+		rec := &a.items[i]
+		if rec.hasW {
+			if rec.hasPublished && rec.published.Eq(&rec.w) {
+				continue
+			}
+			predicted, ok := csag.Writes[rec.id]
+			if !ok || int(rec.writeEvts) < predicted {
+				if ok {
+					remaining = true
+				}
 				continue // unpredicted: finish-time only
 			}
-			remaining = true
-			continue
-		}
-		if err := a.publishAbs(id, v); err != nil {
-			return
-		}
-		a.r.stats.addEarly()
-	}
-	for id, d := range a.pending {
-		if d.IsZero() {
-			continue
-		}
-		predicted, ok := csag.Deltas[id]
-		if !ok || a.writeEvts[id] < predicted {
-			if ok {
-				remaining = true
+			if err := a.publishAbs(rec.id, rec.w); err != nil {
+				return
 			}
+			a.r.stats.addEarly()
 			continue
 		}
-		if err := a.publishDelta(id, d); err != nil {
-			return
+		if rec.hasPending && !rec.pending.IsZero() {
+			predicted, ok := csag.Deltas[rec.id]
+			if !ok || int(rec.writeEvts) < predicted {
+				if ok {
+					remaining = true
+				}
+				continue
+			}
+			if err := a.publishDelta(rec.id, rec.pending); err != nil {
+				return
+			}
+			a.r.stats.addEarly()
 		}
-		a.r.stats.addEarly()
 	}
 	a.drained = !remaining
 }
@@ -636,10 +747,9 @@ func (a *accessor) publishAbs(id sag.ItemID, v u256.Int) error {
 	if err != nil {
 		return err
 	}
-	if a.published == nil {
-		a.published = make(map[sag.ItemID]u256.Int)
-	}
-	a.published[id] = v
+	i := a.rec(id)
+	a.items[i].hasPublished = true
+	a.items[i].published = v
 	a.r.noteProgress()
 	a.events = append(a.events, TraceEvent{Kind: TraceWrite, Item: id, Offset: a.offset})
 	if fx := a.r.forensics; fx.Enabled() {
@@ -665,11 +775,10 @@ func (a *accessor) publishDelta(id sag.ItemID, d u256.Int) error {
 	if err != nil {
 		return err
 	}
-	delete(a.pending, id)
-	if a.publishedDel == nil {
-		a.publishedDel = make(map[sag.ItemID]struct{})
-	}
-	a.publishedDel[id] = struct{}{}
+	i := a.rec(id)
+	a.items[i].hasPending = false
+	a.items[i].pending = u256.Int{}
+	a.items[i].publishedDel = true
 	a.r.noteProgress()
 	a.events = append(a.events, TraceEvent{Kind: TraceDelta, Item: id, Offset: a.offset})
 	a.r.stats.addDelta()
@@ -691,19 +800,24 @@ func (a *accessor) publishDelta(id sag.ItemID, d u256.Int) error {
 func (a *accessor) finish(receipt *types.Receipt) bool {
 	a.inFinish = true
 	a.offset = ExecCost(receipt.GasUsed, a.intrins)
-	for id, v := range a.w {
-		if prev, done := a.published[id]; done && prev.Eq(&v) {
+	for i := 0; i < len(a.items); i++ {
+		rec := &a.items[i]
+		if !rec.hasW {
 			continue
 		}
-		if err := a.publishAbs(id, v); err != nil {
+		if rec.hasPublished && rec.published.Eq(&rec.w) {
+			continue
+		}
+		if err := a.publishAbs(rec.id, rec.w); err != nil {
 			return false
 		}
 	}
-	for id, d := range a.pending {
-		if d.IsZero() {
+	for i := 0; i < len(a.items); i++ {
+		rec := &a.items[i]
+		if !rec.hasPending || rec.pending.IsZero() {
 			continue
 		}
-		if err := a.publishDelta(id, d); err != nil {
+		if err := a.publishDelta(rec.id, rec.pending); err != nil {
 			return false
 		}
 	}
@@ -711,10 +825,7 @@ func (a *accessor) finish(receipt *types.Receipt) bool {
 	// path divergence): without this, parked readers would wait forever.
 	if csag := a.rt.csag; csag != nil {
 		drop := func(id sag.ItemID) bool {
-			if _, ok := a.published[id]; ok {
-				return true
-			}
-			if _, ok := a.publishedDel[id]; ok {
+			if i := a.find(id); i >= 0 && (a.items[i].hasPublished || a.items[i].publishedDel) {
 				return true
 			}
 			victims, err := a.rt.dropUnperformed(a.r, a.inc, id)
@@ -737,5 +848,9 @@ func (a *accessor) finish(receipt *types.Receipt) bool {
 			}
 		}
 	}
-	return a.rt.complete(a.inc, receipt, &TxTrace{Gas: ExecCost(receipt.GasUsed, a.intrins), Events: a.events})
+	// The committed trace owns the events backing array from here on; hand
+	// the accessor back without it.
+	events := a.events
+	a.events = nil
+	return a.rt.complete(a.inc, receipt, &TxTrace{Gas: ExecCost(receipt.GasUsed, a.intrins), Events: events})
 }

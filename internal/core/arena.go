@@ -1,0 +1,96 @@
+package core
+
+import (
+	"sync"
+
+	"dmvcc/internal/sag"
+	"dmvcc/internal/state"
+	"dmvcc/internal/types"
+	"dmvcc/internal/u256"
+)
+
+// accessorPool recycles accessors across incarnations and blocks. reset()
+// clears every reference before an accessor re-enters the pool, so nothing
+// from one incarnation (values, code bytes, journal records) can leak into
+// the next — the poisoned-arena test pins this.
+var accessorPool = sync.Pool{New: func() any { return new(accessor) }}
+
+// getAccessor takes a cleared accessor from the pool; its items/journal/
+// snaps/events slices keep the capacity they grew in earlier incarnations.
+func (r *run) getAccessor() *accessor {
+	return accessorPool.Get().(*accessor)
+}
+
+// putAccessor clears and returns an accessor to the pool. Safe once the
+// executing goroutine is done with it: accessors are goroutine-local (the
+// abort path works on txRuntime and the sequences, never the accessor).
+func (r *run) putAccessor(a *accessor) {
+	a.reset()
+	accessorPool.Put(a)
+}
+
+// workerCacheCap bounds a worker cache's entry count so a pathological
+// block cannot grow it without limit; past the cap, reads fall through to
+// the snapshot uncached.
+const workerCacheCap = 1 << 15
+
+// workerCache memoizes committed-snapshot reads for one pool worker across
+// a whole block. Committed state is immutable while the block executes, so
+// cached values can never go stale — no invalidation protocol, no locking
+// (each cache belongs to exactly one worker goroutine). Aborts don't touch
+// it either: re-executions re-read the same committed snapshot, and
+// in-block writes layer on top through the access sequences. On the trie
+// backend this turns repeated cold reads of hot items (token contracts,
+// AMM pools) from full trie walks into one map hit.
+type workerCache struct {
+	vals  map[sag.ItemID]u256.Int
+	codes map[types.Address][]byte
+}
+
+func newWorkerCache() *workerCache {
+	return &workerCache{
+		vals:  make(map[sag.ItemID]u256.Int, 256),
+		codes: make(map[types.Address][]byte, 16),
+	}
+}
+
+// value reads id's committed value through the cache.
+func (c *workerCache) value(snap state.Reader, id sag.ItemID) u256.Int {
+	if v, ok := c.vals[id]; ok {
+		return v
+	}
+	v := snapFor(snap, id)
+	if len(c.vals) < workerCacheCap {
+		c.vals[id] = v
+	}
+	return v
+}
+
+// codeOf reads addr's committed code through the cache.
+func (c *workerCache) codeOf(snap state.Reader, addr types.Address) []byte {
+	if code, ok := c.codes[addr]; ok {
+		return code
+	}
+	code := snap.Code(addr)
+	if len(c.codes) < workerCacheCap {
+		c.codes[addr] = code
+	}
+	return code
+}
+
+// workerCacheFor returns worker wid's snapshot cache, creating it on first
+// use. Looked up once per incarnation; the map is tiny (one entry per
+// worker goroutine).
+func (r *run) workerCacheFor(wid int) *workerCache {
+	r.cacheMu.Lock()
+	c := r.caches[wid]
+	if c == nil {
+		if r.caches == nil {
+			r.caches = make(map[int]*workerCache, 8)
+		}
+		c = newWorkerCache()
+		r.caches[wid] = c
+	}
+	r.cacheMu.Unlock()
+	return c
+}

@@ -49,6 +49,11 @@ type Stats struct {
 	// Requeues counts aborted transactions re-enqueued on the worker pool
 	// for a fresh incarnation.
 	Requeues int64
+	// DispatchRuns counts batch hand-offs from the ready heap to workers
+	// (each is one heap/lock round-trip); DispatchedTxs is the transactions
+	// they covered, so DispatchedTxs/DispatchRuns is the mean run length.
+	DispatchRuns  int64
+	DispatchedTxs int64
 	// Panics counts worker panics contained and converted into aborts.
 	Panics int64
 	// MaxIncarnation is the highest incarnation index any transaction
@@ -72,6 +77,8 @@ func (s Stats) RecordMetrics(r *telemetry.Registry) {
 	r.Counter("core.blocked_reads").Add(s.BlockedReads)
 	r.Counter("core.wake_events").Add(s.WakeEvents)
 	r.Counter("core.requeues").Add(s.Requeues)
+	r.Counter("core.dispatch_runs").Add(s.DispatchRuns)
+	r.Counter("core.dispatched_txs").Add(s.DispatchedTxs)
 	r.Counter("core.panics").Add(s.Panics)
 	r.Counter("core.stall_recoveries").Add(s.StallRecoveries)
 	if s.Degraded {
@@ -170,6 +177,7 @@ type Executor struct {
 	forensics *telemetry.Forensics
 	faults    *fault.Injector
 	hard      Hardening
+	maxBatch  int // dispatch run-length cap override (0 = default; tests)
 }
 
 // SetTracer attaches a telemetry tracer to subsequent executions. A nil or
@@ -239,11 +247,21 @@ func (rt *txRuntime) abortChan(inc int) chan struct{} {
 }
 
 // noteReadMark records that incarnation inc marked a read on id (so an
-// abort can clear the stale mark).
+// abort can clear the stale mark). The slice is sized from the C-SAG
+// prediction on first use; backing arrays are never reused across
+// incarnations — the abort path iterates the previous incarnation's slices
+// after releasing rt.mu.
 func (rt *txRuntime) noteReadMark(inc int, id sag.ItemID) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	if int(rt.inc.Load()) == inc {
+		if rt.readMarks == nil {
+			n := 4
+			if c := rt.csag; c != nil {
+				n = len(c.Reads) + 2
+			}
+			rt.readMarks = make([]sag.ItemID, 0, n)
+		}
 		rt.readMarks = append(rt.readMarks, id)
 	}
 }
@@ -256,6 +274,13 @@ func (rt *txRuntime) publish(r *run, inc int, id sag.ItemID, v u256.Int, delta b
 	defer rt.mu.Unlock()
 	if int(rt.inc.Load()) != inc {
 		return nil, evm.ErrAborted
+	}
+	if rt.published == nil {
+		n := 4
+		if c := rt.csag; c != nil {
+			n = len(c.Writes) + len(c.Deltas) + 2
+		}
+		rt.published = make([]sag.ItemID, 0, n)
 	}
 	rt.published = append(rt.published, id)
 	return r.seq(id).versionWrite(rt.idx, inc, v, delta), nil
@@ -288,10 +313,29 @@ func (rt *txRuntime) complete(inc int, receipt *types.Receipt, trace *TxTrace) b
 // unrelated items never contend on one global lock. Must be a power of two.
 const seqShardCount = 64
 
-// seqShard is one stripe of the item→sequence map.
+// seqShard is one stripe of the item→sequence map. Sequences are carved
+// from a per-shard slab (chunked value array) instead of allocated one by
+// one; slab pointers stay valid because chunks are never reallocated, only
+// replaced when exhausted.
 type seqShard struct {
-	mu sync.RWMutex
-	m  map[sag.ItemID]*sequence
+	mu   sync.RWMutex
+	m    map[sag.ItemID]*sequence
+	slab []sequence
+}
+
+// seqSlabChunk is the slab granularity (sequences per chunk).
+const seqSlabChunk = 64
+
+// newSeqLocked carves one sequence from the shard slab. Called with the
+// shard write lock held.
+func (sh *seqShard) newSeqLocked(id sag.ItemID) *sequence {
+	if len(sh.slab) == 0 {
+		sh.slab = make([]sequence, seqSlabChunk)
+	}
+	s := &sh.slab[0]
+	sh.slab = sh.slab[1:]
+	s.id = id
+	return s
 }
 
 // shardIndex hashes an ItemID onto a shard (FNV-1a over the kind, the
@@ -344,6 +388,10 @@ type run struct {
 	cancelled atomic.Bool
 	reasonMu  sync.Mutex
 	reason    string
+
+	// Per-worker committed-snapshot read caches (see workerCache).
+	cacheMu sync.Mutex
+	caches  map[int]*workerCache
 }
 
 // seq returns (creating on demand) the access sequence of id.
@@ -360,7 +408,7 @@ func (r *run) seq(id sag.ItemID) *sequence {
 	if s, ok = sh.m[id]; ok {
 		return s
 	}
-	s = newSequence(id)
+	s = sh.newSeqLocked(id)
 	s.onWake = r.noteWake
 	sh.m[id] = s
 	return s
@@ -566,6 +614,9 @@ func (r *run) runIncarnation(rt *txRuntime, worker int) {
 		if p := recover(); p != nil {
 			r.containPanic(rt, inc, acc, p)
 		}
+		if acc != nil {
+			r.putAccessor(acc)
+		}
 	}()
 	if in := r.faults; in.Enabled() {
 		if d := in.DelayFor(fault.ExecDelay, int64(r.block.Number), rt.idx, inc); d > 0 {
@@ -582,6 +633,7 @@ func (r *run) runIncarnation(rt *txRuntime, worker int) {
 	r.stats.executions.Add(1)
 	acc = newAccessor(r, rt, inc)
 	acc.worker = worker
+	acc.snapCache = r.workerCacheFor(worker)
 	if tr := r.tracer; tr.Enabled() {
 		tr.Emit(telemetry.EvDispatch, rt.idx, inc, worker, sag.ItemID{}, -1)
 	}
@@ -642,13 +694,21 @@ func (x *Executor) ExecuteBlock(snap state.Reader, block evm.BlockContext, txs [
 		// (deep copies; the caller's graphs are never touched).
 		csags = fault.CorruptCSAGs(in, int64(block.Number), csags)
 	}
+	// One contiguous slab for the runtimes: n pointer-stable records in a
+	// single allocation instead of n boxes.
+	slab := make([]txRuntime, len(txs))
 	r.rts = make([]*txRuntime, len(txs))
 	for i, tx := range txs {
 		var c *sag.CSAG
 		if i < len(csags) {
 			c = csags[i]
 		}
-		r.rts[i] = &txRuntime{idx: i, tx: tx, csag: c, abortCh: make(chan struct{})}
+		rt := &slab[i]
+		rt.idx = i
+		rt.tx = tx
+		rt.csag = c
+		rt.abortCh = make(chan struct{})
+		r.rts[i] = rt
 	}
 
 	// Pre-size the sequence shards from the C-SAG predicted access counts
@@ -694,6 +754,9 @@ func (x *Executor) ExecuteBlock(snap state.Reader, block evm.BlockContext, txs [
 	// Execution phase: transactions flow index-ordered through a bounded
 	// worker pool (the paper's N EVM instances); aborts re-enqueue.
 	r.sched = newPool(x.threads, func(idx, worker int) { r.runIncarnation(r.rts[idx], worker) })
+	if x.maxBatch > 0 {
+		r.sched.maxBatch = x.maxBatch
+	}
 	r.wg.Add(len(txs))
 	stopWatchdog := r.startWatchdog()
 	r.sched.enqueueAll(len(txs))
@@ -762,10 +825,20 @@ func (x *Executor) ExecuteBlock(snap state.Reader, block evm.BlockContext, txs [
 	return &Result{
 		Receipts:  receipts,
 		WriteSet:  ws,
-		Stats:     r.stats.snapshot(),
+		Stats:     r.statsSnapshot(),
 		Traces:    traces,
 		WastedGas: r.wasted.Load(),
 	}, nil
+}
+
+// statsSnapshot materializes the block's Stats, folding in the worker
+// pool's dispatch telemetry.
+func (r *run) statsSnapshot() Stats {
+	s := r.stats.snapshot()
+	if r.sched != nil {
+		s.DispatchRuns, s.DispatchedTxs = r.sched.runStats()
+	}
+	return s
 }
 
 // snapFor reads an item's committed value from the snapshot.

@@ -256,7 +256,7 @@ func (r *run) degradeToSerial(reason string) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: serial fallback after %s: %w", reason, err)
 	}
-	stats := r.stats.snapshot()
+	stats := r.statsSnapshot()
 	stats.Degraded = true
 	stats.DegradeReason = reason
 	return &Result{

@@ -5,19 +5,51 @@ import (
 	"sync"
 )
 
-// intHeap is a min-heap of transaction indexes (the ready queue).
+// intHeap is a min-heap of transaction indexes (the ready queue). It has
+// concrete push/pop instead of container/heap's interface{} protocol, which
+// boxes every index into a heap allocation on the dispatch path.
 type intHeap []int
 
-func (h intHeap) Len() int            { return len(h) }
-func (h intHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h intHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *intHeap) Push(x interface{}) { *h = append(*h, x.(int)) }
-func (h *intHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+// push inserts x (sift-up).
+func (h *intHeap) push(x int) {
+	s := append(*h, x)
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[p] <= s[i] {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+	*h = s
+}
+
+// pop removes and returns the minimum (sift-down). Caller checks emptiness.
+func (h *intHeap) pop() int {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && s[l] < s[m] {
+			m = l
+		}
+		if r < n && s[r] < s[m] {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	*h = s
+	return top
 }
 
 // resumer is a parked transaction goroutine waiting to re-acquire an
@@ -42,33 +74,49 @@ func (h *resumerHeap) Pop() interface{} {
 	return x
 }
 
+// defaultMaxBatch caps the number of transactions handed to a worker in one
+// dispatch. Large enough to amortize the heap/lock round-trip over a run,
+// small enough that a mispredicted run doesn't starve late-arriving
+// higher-priority work (aborted transactions requeue through the ready heap
+// and get a slot as soon as one frees).
+const defaultMaxBatch = 64
+
 // pool schedules transaction incarnations onto a bounded set of worker
 // goroutines. It replaces the per-transaction goroutine + gate semaphore:
 //
 //   - At most `threads` incarnations are runnable at once (the paper's N
 //     EVM instances).
-//   - Fresh incarnations wait in an index-ordered ready heap and are pulled
-//     by worker goroutines; aborts re-enqueue the transaction instead of
-//     spawning a new goroutine.
-//   - A transaction that must park on a pending version yields its slot;
-//     on wake-up it re-acquires one through the resumer heap. Both heaps
-//     compete on transaction index, so the lowest-indexed runnable
+//   - Fresh incarnations wait in an index-ordered ready heap. Dispatch
+//     hands a worker a *run* — an ascending batch of ready transactions —
+//     in one hand-off, so a quiet block costs one lock round-trip per run
+//     instead of one per transaction. The run length adapts: an even split
+//     of the ready set across threads, capped at maxBatch, and collapsing
+//     to single-transaction dispatch while parked readers are waiting to
+//     resume (a contended ready set needs slots back at fine granularity).
+//   - A worker executes its run in index order holding one slot for the
+//     whole run; a transaction that must park on a pending version yields
+//     the slot mid-run and re-acquires it through the resumer heap. Both
+//     heaps compete on transaction index, so the lowest-indexed runnable
 //     transaction always gets the next free slot (Q_ready ordering), and
 //     every hand-off wakes exactly one goroutine — there is no broadcast.
-//   - Workers are spawned lazily: only when a slot and a ready task exist
-//     with no idle worker. Idle workers are reused LIFO and exit at
-//     shutdown, so a block of n transactions no longer costs n goroutine
-//     spawns.
+//   - Workers are spawned lazily, at most one per dispatched run and only
+//     when no idle worker is available. Idle workers are reused LIFO and
+//     exit at shutdown. Run-granular spawning keeps a park-heavy block from
+//     ballooning the worker count: the old per-transaction dispatch could
+//     spin up a goroutine per pending transaction when every worker parked.
 type pool struct {
-	mu      sync.Mutex
-	threads int
-	running int         // slots currently held by runnable incarnations
-	ready   intHeap     // fresh incarnations needing a worker
-	resume  resumerHeap // parked goroutines needing a slot back
-	idle    []chan int  // idle workers' hand-off channels (LIFO)
-	closed  bool
-	runFn   func(idx, worker int)
-	spawned int64 // workers ever spawned (observability, tests)
+	mu       sync.Mutex
+	threads  int
+	maxBatch int          // run-length cap (tests override; default 64)
+	running  int          // slots currently held by runnable incarnations
+	ready    intHeap      // fresh incarnations needing a worker
+	resume   resumerHeap  // parked goroutines needing a slot back
+	idle     []chan []int // idle workers' hand-off channels (LIFO)
+	closed   bool
+	runFn    func(idx, worker int)
+	spawned  int64 // workers ever spawned (observability, tests)
+	runs     int64 // dispatch hand-offs (each = one lock round-trip)
+	runTxs   int64 // transactions dispatched across all runs
 }
 
 // newPool returns a pool running incarnations via runFn on up to threads
@@ -78,13 +126,13 @@ func newPool(threads int, runFn func(idx, worker int)) *pool {
 	if threads < 1 {
 		threads = 1
 	}
-	return &pool{threads: threads, runFn: runFn}
+	return &pool{threads: threads, maxBatch: defaultMaxBatch, runFn: runFn}
 }
 
 // enqueue schedules a fresh incarnation of transaction idx.
 func (p *pool) enqueue(idx int) {
 	p.mu.Lock()
-	heap.Push(&p.ready, idx)
+	p.ready.push(idx)
 	p.dispatchLocked()
 	p.mu.Unlock()
 }
@@ -126,9 +174,43 @@ func (p *pool) reacquire(idx int) {
 	<-r.ch
 }
 
+// runLenLocked picks the next run's length: single-transaction while parked
+// readers are queued for slots (contended — the run must not hold a slot
+// longer than one incarnation), otherwise an even share of the ready set per
+// thread, capped at maxBatch. Called with p.mu held.
+func (p *pool) runLenLocked() int {
+	if len(p.resume) > 0 {
+		return 1
+	}
+	n := (len(p.ready) + p.threads - 1) / p.threads
+	if n > p.maxBatch {
+		n = p.maxBatch
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// takeRunLocked pops the next run off the ready heap (ascending transaction
+// order). Called with p.mu held.
+func (p *pool) takeRunLocked() []int {
+	n := p.runLenLocked()
+	if avail := len(p.ready); n > avail {
+		n = avail
+	}
+	run := make([]int, 0, n)
+	for len(run) < n {
+		run = append(run, p.ready.pop())
+	}
+	return run
+}
+
 // dispatchLocked hands free slots to the most-preferred waiters. Called
 // with p.mu held. Each hand-off wakes exactly one goroutine: a resumer via
 // its private channel, or one idle/new worker via its hand-off channel.
+// Resumers outrank a ready run starting at a higher index — the parked
+// transaction is the lowest-indexed runnable work.
 func (p *pool) dispatchLocked() {
 	for p.running < p.threads {
 		hasTask := len(p.ready) > 0
@@ -139,16 +221,18 @@ func (p *pool) dispatchLocked() {
 			p.running++
 			close(r.ch)
 		case hasTask:
-			idx := heap.Pop(&p.ready).(int)
+			run := p.takeRunLocked()
 			p.running++
+			p.runs++
+			p.runTxs += int64(len(run))
 			if n := len(p.idle); n > 0 {
 				ch := p.idle[n-1]
 				p.idle = p.idle[:n-1]
-				ch <- idx // buffered: never blocks under p.mu
+				ch <- run // buffered: never blocks under p.mu
 			} else {
 				wid := int(p.spawned)
 				p.spawned++
-				go p.worker(idx, wid)
+				go p.worker(run, wid)
 			}
 		default:
 			return
@@ -156,20 +240,23 @@ func (p *pool) dispatchLocked() {
 	}
 }
 
-// worker runs incarnations until the pool shuts down. It starts owning a
-// slot for idx; after each incarnation it releases the slot and parks on a
-// private hand-off channel until dispatch assigns the next task. wid is the
-// worker's stable identity across reuses.
-func (p *pool) worker(idx, wid int) {
+// worker executes dispatched runs until the pool shuts down. It starts
+// owning a slot for its first run; the run's transactions execute in index
+// order under that one slot (parked stretches yield it). After each run it
+// releases the slot and parks on a private hand-off channel until dispatch
+// assigns the next run. wid is the worker's stable identity across reuses.
+func (p *pool) worker(run []int, wid int) {
 	for {
-		p.runFn(idx, wid)
+		for _, idx := range run {
+			p.runFn(idx, wid)
+		}
 		p.mu.Lock()
 		p.running--
 		if p.closed {
 			p.mu.Unlock()
 			return
 		}
-		ch := make(chan int, 1)
+		ch := make(chan []int, 1)
 		p.idle = append(p.idle, ch)
 		p.dispatchLocked()
 		p.mu.Unlock()
@@ -177,7 +264,7 @@ func (p *pool) worker(idx, wid int) {
 		if !ok {
 			return
 		}
-		idx = next
+		run = next
 	}
 }
 
@@ -198,6 +285,14 @@ func (p *pool) workersSpawned() int64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.spawned
+}
+
+// runStats reports the dispatch telemetry: hand-offs performed and
+// transactions covered (runTxs/runs = mean run length).
+func (p *pool) runStats() (runs, runTxs int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.runs, p.runTxs
 }
 
 // stateSnapshot reports the pool's occupancy for stall diagnostics: slots

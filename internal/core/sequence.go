@@ -110,7 +110,7 @@ type seqWaiter struct {
 type sequence struct {
 	mu      sync.Mutex
 	id      sag.ItemID
-	entries []*entry // sorted by tx index, at most one per tx
+	entries []entry // sorted by tx index, at most one per tx
 	waiters []*seqWaiter
 
 	// onWake, when set, observes each targeted wakeup delivered by notify:
@@ -133,16 +133,18 @@ func (s *sequence) find(tx int) (int, bool) {
 }
 
 // ensureEntry returns the entry for tx, inserting a dynamic one when absent.
+// Entries live in a value slice (no per-entry allocation); the returned
+// pointer is valid only until the next insertion, which can only happen
+// under s.mu — callers never hold it across an unlock.
 func (s *sequence) ensureEntry(tx int, kind entryKind) *entry {
 	i, ok := s.find(tx)
 	if ok {
-		return s.entries[i]
+		return &s.entries[i]
 	}
-	e := &entry{tx: tx, kind: kind, status: statusPending, dropInc: -1}
-	s.entries = append(s.entries, nil)
+	s.entries = append(s.entries, entry{})
 	copy(s.entries[i+1:], s.entries[i:])
-	s.entries[i] = e
-	return e
+	s.entries[i] = entry{tx: tx, kind: kind, status: statusPending, dropInc: -1}
+	return &s.entries[i]
 }
 
 // addPredicted installs a predicted entry from the C-SAG.
@@ -198,7 +200,7 @@ func (s *sequence) tryRead(tx, inc int, snapBase u256.Int, aborted func() bool, 
 		start = pos - 1
 	}
 	for j := start; j >= 0; j-- {
-		e := s.entries[j]
+		e := &s.entries[j]
 		if e.status == statusDropped {
 			continue
 		}
@@ -321,7 +323,7 @@ func (s *sequence) priorWritesPending(tx int, aborted func() bool, prev *seqWait
 	}
 	pos, _ := s.find(tx)
 	for j := pos - 1; j >= 0; j-- {
-		e := s.entries[j]
+		e := &s.entries[j]
 		if e.status == statusPending && e.kind != kindRead {
 			return true, s.addWaiter(tx, e.tx, u256.Int{}, false, prev)
 		}
@@ -390,7 +392,7 @@ func (s *sequence) scanForward(tx, writerInc int, predicted bool) []victim {
 	}
 	var victims []victim
 	for j := start; j < len(s.entries); j++ {
-		e := s.entries[j]
+		e := &s.entries[j]
 		if e.status == statusDropped {
 			continue
 		}
@@ -426,7 +428,7 @@ func (s *sequence) dropVersion(tx, inc int) []victim {
 	if !ok {
 		return nil
 	}
-	e := s.entries[i]
+	e := &s.entries[i]
 	e.dropInc = inc
 	if e.status == statusDone && e.writeInc != inc {
 		// A newer incarnation already republished; leave its version alone.
@@ -450,7 +452,7 @@ func (s *sequence) resetRead(tx, inc int) {
 	if !ok {
 		return
 	}
-	e := s.entries[i]
+	e := &s.entries[i]
 	if e.readDone && e.readInc == inc {
 		e.readDone = false
 	}
@@ -465,7 +467,7 @@ func (s *sequence) finalValue(snapBase u256.Int) (u256.Int, bool) {
 	var deltas u256.Int
 	wrote := false
 	for j := len(s.entries) - 1; j >= 0; j-- {
-		e := s.entries[j]
+		e := &s.entries[j]
 		if e.status != statusDone {
 			continue
 		}

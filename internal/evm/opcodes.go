@@ -177,13 +177,20 @@ func (op Opcode) String() string {
 	return fmt.Sprintf("op(0x%02x)", byte(op))
 }
 
-// Valid reports whether op is implemented by this VM.
-func (op Opcode) Valid() bool {
-	if _, ok := opNames[op]; ok {
-		return true
+// validOps is the per-opcode validity table, precomputed so the
+// per-instruction check in the interpreter is an array load instead of a
+// map lookup.
+var validOps = func() (t [256]bool) {
+	for i := 0; i < 256; i++ {
+		op := Opcode(i)
+		_, named := opNames[op]
+		t[i] = named || op.IsPush() || op.IsDup() || op.IsSwap()
 	}
-	return op.IsPush() || op.IsDup() || op.IsSwap()
-}
+	return t
+}()
+
+// Valid reports whether op is implemented by this VM.
+func (op Opcode) Valid() bool { return validOps[op] }
 
 // JumpDests scans code and returns the set of valid JUMPDEST positions,
 // skipping PUSH immediates.
