@@ -13,6 +13,7 @@
 //	dmvcc-bench -exp conflicts        # conflict forensics + C-SAG accuracy audit
 //	dmvcc-bench -exp chaos            # fault-injection soak, serial-root oracle
 //	dmvcc-bench -exp statescale       # flat vs trie state backends across state sizes
+//	dmvcc-bench -exp divergence       # flight-recorded divergence hunt + replay
 //	dmvcc-bench -exp all              # everything
 //
 // -blocks and -txs scale the workload; the defaults run in a few minutes on
@@ -30,7 +31,15 @@
 // seeded blocks total) under the serial-root oracle and writes
 // BENCH_chaos.json (-chaosjson). The statescale experiment sweeps account
 // counts (-scaleaccounts) across the flat, disk-backed, and reference trie
-// backends and writes BENCH_statescale.json (-scalejson). -backend selects
+// backends and writes BENCH_statescale.json (-scalejson). The divergence
+// experiment soaks -divblocks fault-injected blocks with the flight recorder
+// armed (-record is implied; keep it for clarity): the first block whose
+// committed state diverges from the serial twin is captured as an ordered
+// schedule, audited down to the first divergent transaction, and greedily
+// shrunk to a minimal repro; -replay <capture.json> deterministically forces
+// a previously written capture back instead. Artifacts land next to
+// -divjson. On a clean soak the last recorded block is round-tripped through
+// the forced replayer as a self-check. -backend selects
 // the state backend the workload experiments run on (trie|flat|disk) and
 // -shards the flat account-trie fan-out (1 or 16) — roots are identical
 // across all of them by construction.
@@ -41,6 +50,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -125,6 +135,12 @@ func main() {
 	chaosTxs := flag.Int("chaostxs", 96, "transactions per block for the chaos soak")
 	chaosThreads := flag.Int("chaosthreads", 8, "scheduler threads for the chaos soak")
 	chaosJSON := flag.String("chaosjson", "BENCH_chaos.json", "output path for the chaos report")
+	divBlocks := flag.Int("divblocks", 40, "fault-injected blocks for the divergence hunt, spread across the hunted classes")
+	divTxs := flag.Int("divtxs", 64, "transactions per block for the divergence hunt")
+	divThreads := flag.Int("divthreads", 8, "scheduler threads for the divergence hunt")
+	record := flag.Bool("record", false, "divergence: arm the flight recorder (implied by -exp divergence without -replay)")
+	replayPath := flag.String("replay", "", "divergence: deterministically replay this capture file instead of hunting")
+	divJSON := flag.String("divjson", "BENCH_divergence.json", "output path for the divergence run report (capture/repro artifacts land in its directory)")
 	backendName := flag.String("backend", "trie", "state backend for the workload experiments: trie|flat|disk")
 	shards := flag.Int("shards", 16, "flat-backend account-trie shard count (1 or 16)")
 	scaleAccounts := flag.String("scaleaccounts", "", "comma-separated account tiers for the statescale experiment (default 10000,100000,1000000)")
@@ -147,9 +163,10 @@ func main() {
 		tracer.Enable()
 		metrics = telemetry.NewRegistry()
 	}
+	divStore := telemetry.NewDivergenceStore()
 	if *obsAddr != "" {
 		forensics = telemetry.NewForensics()
-		addr, stop, err := telemetry.Serve(*obsAddr, metrics, tracer, forensics)
+		addr, stop, err := telemetry.Serve(*obsAddr, metrics, tracer, forensics, divStore)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dmvcc-bench:", err)
 			os.Exit(1)
@@ -197,6 +214,9 @@ func main() {
 		txs: *conflictsTxs, jsonPath: *conflictsJSON, perTx: *conflictsPerTx, strict: *strict, fx: forensics,
 	}, chaosArgs{
 		blocks: *chaosBlocks, txs: *chaosTxs, threads: *chaosThreads, jsonPath: *chaosJSON,
+	}, divergenceArgs{
+		blocks: *divBlocks, txs: *divTxs, threads: *divThreads,
+		record: *record, replayPath: *replayPath, jsonPath: *divJSON, store: divStore,
 	}, scaleArgs{
 		accounts: tiers, blocks: *scaleBlocks, writes: *scaleWrites,
 		refMax: *scaleRefMax, minSpeedup: *scaleMinSpeedup, jsonPath: *scaleJSON,
@@ -254,6 +274,15 @@ type chaosArgs struct {
 	jsonPath             string
 }
 
+// divergenceArgs bundles the divergence experiment's flags.
+type divergenceArgs struct {
+	blocks, txs, threads int
+	record               bool
+	replayPath           string
+	jsonPath             string
+	store                *telemetry.DivergenceStore
+}
+
 // scaleArgs bundles the statescale experiment's flags.
 type scaleArgs struct {
 	accounts       []int
@@ -291,7 +320,7 @@ func writeTrace(path string, tracer *telemetry.Tracer) error {
 	return tracer.Snapshot().ExportChrome(f)
 }
 
-func run(exp string, blocks, txs, simTxs, simBlocks, rq1Blocks int, seed int64, hot hotpathArgs, conf conflictsArgs, chaos chaosArgs, scale scaleArgs, backend func() (state.Backend, error), tracer *telemetry.Tracer, metrics *telemetry.Registry) error {
+func run(exp string, blocks, txs, simTxs, simBlocks, rq1Blocks int, seed int64, hot hotpathArgs, conf conflictsArgs, chaos chaosArgs, div divergenceArgs, scale scaleArgs, backend func() (state.Backend, error), tracer *telemetry.Tracer, metrics *telemetry.Registry) error {
 	low := workload.DefaultConfig()
 	low.TxPerBlock = txs
 	low.Seed = seed
@@ -473,6 +502,35 @@ func run(exp string, blocks, txs, simTxs, simBlocks, rq1Blocks int, seed int64, 
 					return err
 				}
 				fmt.Printf("wrote %s\n", chaos.jsonPath)
+			}
+
+		case "divergence":
+			cfg := bench.DivergenceConfig{
+				Blocks: div.blocks, Txs: div.txs, Threads: div.threads, Seed: seed,
+				OutDir: filepath.Dir(div.jsonPath), Metrics: metrics, Store: div.store,
+			}
+			var rep *bench.DivergenceRun
+			var err error
+			if div.replayPath != "" {
+				rep, err = bench.RunDivergenceReplay(div.replayPath, cfg)
+			} else {
+				// -record is the default for this experiment; the flag exists
+				// so invocations can state the mode explicitly.
+				_ = div.record
+				rep, err = bench.RunDivergenceRecord(cfg)
+			}
+			if err != nil {
+				return err
+			}
+			fmt.Print(rep.Render())
+			if div.jsonPath != "" {
+				if err := rep.WriteJSON(div.jsonPath); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", div.jsonPath)
+			}
+			if rt := rep.RoundTrip; rt != nil && !rep.Diverged && !rt.Passed() {
+				return fmt.Errorf("replay round-trip failed: %s", rt.Note)
 			}
 
 		case "statescale":

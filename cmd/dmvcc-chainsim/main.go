@@ -51,7 +51,7 @@ func main() {
 		tracer = telemetry.NewTracer()
 		tracer.Enable()
 		metrics = telemetry.NewRegistry()
-		addr, stop, err := telemetry.Serve(*obsAddr, metrics, tracer, forensics)
+		addr, stop, err := telemetry.Serve(*obsAddr, metrics, tracer, forensics, nil)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dmvcc-chainsim:", err)
 			os.Exit(1)

@@ -15,18 +15,20 @@ import (
 // about commutativity: every balance credit is an ordinary
 // read-modify-write, matching how the compared systems treat state.
 type setRecorder struct {
-	overlay *state.Overlay
-	reads   map[sag.ItemID]struct{}
-	writes  map[sag.ItemID]struct{}
+	overlay  *state.Overlay
+	reads    map[sag.ItemID]struct{}
+	writes   map[sag.ItemID]struct{}
+	readVals map[sag.ItemID]u256.Int
 }
 
 var _ evm.State = (*setRecorder)(nil)
 
 func newSetRecorder(base state.Reader) *setRecorder {
 	return &setRecorder{
-		overlay: state.NewOverlay(base),
-		reads:   make(map[sag.ItemID]struct{}),
-		writes:  make(map[sag.ItemID]struct{}),
+		overlay:  state.NewOverlay(base),
+		reads:    make(map[sag.ItemID]struct{}),
+		writes:   make(map[sag.ItemID]struct{}),
+		readVals: make(map[sag.ItemID]u256.Int),
 	}
 }
 
@@ -36,10 +38,26 @@ func (r *setRecorder) read(id sag.ItemID) {
 	}
 }
 
+// readVal records the first value a cross-transaction read observed (reads
+// after the transaction's own write are its own data, not a dependency).
+// The divergence auditor diffs these against the parallel schedule's
+// resolved read values.
+func (r *setRecorder) readVal(id sag.ItemID, v u256.Int) {
+	if _, wrote := r.writes[id]; wrote {
+		return
+	}
+	if _, ok := r.readVals[id]; !ok {
+		r.readVals[id] = v
+	}
+}
+
 // GetState implements evm.State.
 func (r *setRecorder) GetState(addr types.Address, key types.Hash) (u256.Int, error) {
-	r.read(sag.StorageItem(addr, key))
-	return r.overlay.Storage(addr, key), nil
+	id := sag.StorageItem(addr, key)
+	r.read(id)
+	v := r.overlay.Storage(addr, key)
+	r.readVal(id, v)
+	return v, nil
 }
 
 // SetState implements evm.State.
@@ -51,8 +69,11 @@ func (r *setRecorder) SetState(addr types.Address, key types.Hash, v u256.Int) e
 
 // GetBalance implements evm.State.
 func (r *setRecorder) GetBalance(addr types.Address) (u256.Int, error) {
-	r.read(sag.BalanceItem(addr))
-	return r.overlay.Balance(addr), nil
+	id := sag.BalanceItem(addr)
+	r.read(id)
+	v := r.overlay.Balance(addr)
+	r.readVal(id, v)
+	return v, nil
 }
 
 // SetBalance implements evm.State.
@@ -64,8 +85,11 @@ func (r *setRecorder) SetBalance(addr types.Address, v u256.Int) error {
 
 // GetNonce implements evm.State.
 func (r *setRecorder) GetNonce(addr types.Address) (uint64, error) {
-	r.read(sag.NonceItem(addr))
-	return r.overlay.Nonce(addr), nil
+	id := sag.NonceItem(addr)
+	r.read(id)
+	v := r.overlay.Nonce(addr)
+	r.readVal(id, u256.NewUint64(v))
+	return v, nil
 }
 
 // SetNonce implements evm.State.
@@ -101,6 +125,10 @@ type TxSets struct {
 	Writes  map[sag.ItemID]struct{}
 	Changes *state.WriteSet
 	Receipt *types.Receipt
+	// ReadVals is the first value each cross-transaction read observed
+	// (storage/balance/nonce items; code reads are tracked by set only).
+	// The divergence auditor compares them against the parallel schedule.
+	ReadVals map[sag.ItemID]u256.Int
 }
 
 // OracleSets executes the block serially while recording the exact
@@ -119,10 +147,11 @@ func OracleSets(snap state.Reader, block evm.BlockContext, txs []*types.Transact
 		changes := rec.overlay.Changes()
 		acc.Apply(changes)
 		out[i] = &TxSets{
-			Reads:   rec.reads,
-			Writes:  rec.writes,
-			Changes: changes,
-			Receipt: receipt,
+			Reads:    rec.reads,
+			Writes:   rec.writes,
+			Changes:  changes,
+			Receipt:  receipt,
+			ReadVals: rec.readVals,
 		}
 	}
 	return out, nil

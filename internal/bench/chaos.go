@@ -66,13 +66,18 @@ type ChaosClass struct {
 // ChaosReport is the machine-readable soak report written as
 // BENCH_chaos.json.
 type ChaosReport struct {
-	Schema    string       `json:"schema"`
-	GoVersion string       `json:"go_version"`
-	Threads   int          `json:"threads"`
-	Blocks    int          `json:"blocks"`
-	Txs       int          `json:"txs"`
-	Seed      int64        `json:"seed"`
-	Classes   []ChaosClass `json:"classes"`
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go_version"`
+	// GoMaxProcs records the parallelism the soak actually ran under — a
+	// single-core box serializes the workers and hides real races, so a
+	// clean single-core report must never be mistaken for (or silently
+	// overwritten by) a multicore one; see WriteJSON.
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Threads    int          `json:"threads"`
+	Blocks     int          `json:"blocks"`
+	Txs        int          `json:"txs"`
+	Seed       int64        `json:"seed"`
+	Classes    []ChaosClass `json:"classes"`
 
 	RootMatches int `json:"root_matches"`
 	Degraded    int `json:"degraded"`
@@ -233,12 +238,13 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 	}
 	classes := chaosClasses()
 	rep := &ChaosReport{
-		Schema:    ChaosSchema,
-		GoVersion: runtime.Version(),
-		Threads:   cfg.Threads,
-		Blocks:    cfg.Blocks,
-		Txs:       cfg.Txs,
-		Seed:      cfg.Seed,
+		Schema:     ChaosSchema,
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Threads:    cfg.Threads,
+		Blocks:     cfg.Blocks,
+		Txs:        cfg.Txs,
+		Seed:       cfg.Seed,
 	}
 	// Distribute the block budget evenly; the first classes absorb the
 	// remainder so the total is exactly cfg.Blocks.
@@ -457,8 +463,23 @@ func (r *ChaosReport) Render() string {
 	return s
 }
 
-// WriteJSON persists the report, pretty-printed for reviewable diffs.
+// WriteJSON persists the report, pretty-printed for reviewable diffs. It
+// refuses to replace an existing parseable report from the other side of
+// the single-core/multicore divide: a multicore soak exercises races a
+// single-core run physically cannot (and vice versa for baselines pinned to
+// one core), so the two are distinct artifacts — write them to distinct
+// paths instead of clobbering one with the other.
 func (r *ChaosReport) WriteJSON(path string) error {
+	if old, err := os.ReadFile(path); err == nil {
+		var prev ChaosReport
+		if json.Unmarshal(old, &prev) == nil && prev.Schema == r.Schema {
+			if (prev.GoMaxProcs <= 1) != (r.GoMaxProcs <= 1) {
+				return fmt.Errorf(
+					"chaos: refusing to overwrite %s (gomaxprocs %d) with a gomaxprocs %d report; use a separate output path",
+					path, prev.GoMaxProcs, r.GoMaxProcs)
+			}
+		}
+	}
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return err

@@ -80,3 +80,40 @@ func TestChaosDeterministicReports(t *testing.T) {
 		}
 	}
 }
+
+// TestChaosWriteJSONGuardsBaseline proves WriteJSON refuses to replace a
+// report from the other side of the single-core/multicore divide: a clean
+// single-core baseline must never be silently clobbered by a multicore
+// capture (which exercises races a single core cannot), and vice versa.
+func TestChaosWriteJSONGuardsBaseline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chaos.json")
+	single := &ChaosReport{Schema: ChaosSchema, GoMaxProcs: 1, Threads: 8}
+	if err := single.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	multi := &ChaosReport{Schema: ChaosSchema, GoMaxProcs: 8, Threads: 8}
+	if err := multi.WriteJSON(path); err == nil {
+		t.Fatal("multicore report overwrote the single-core baseline")
+	}
+	// Same side of the divide updates freely.
+	single2 := &ChaosReport{Schema: ChaosSchema, GoMaxProcs: 1, Threads: 4}
+	if err := single2.WriteJSON(path); err != nil {
+		t.Fatalf("single-core refresh refused: %v", err)
+	}
+	// The reverse direction is guarded too.
+	multiPath := filepath.Join(t.TempDir(), "chaos_multicore.json")
+	if err := multi.WriteJSON(multiPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := single.WriteJSON(multiPath); err == nil {
+		t.Fatal("single-core report overwrote the multicore capture")
+	}
+	// Unparseable or alien files are not baselines: overwrite proceeds.
+	alien := filepath.Join(t.TempDir(), "notjson.json")
+	if err := os.WriteFile(alien, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := multi.WriteJSON(alien); err != nil {
+		t.Fatalf("garbage file blocked the write: %v", err)
+	}
+}

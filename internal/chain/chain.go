@@ -72,6 +72,8 @@ type Engine struct {
 	forensics *telemetry.Forensics
 	faults    *fault.Injector
 	harden    *core.Hardening
+	recorder  *core.ScheduleRecorder
+	gate      core.Gate
 
 	// Commit fault bookkeeping: the block whose write set the next Commit
 	// applies, and how many commit attempts it has seen (injected commit
@@ -124,6 +126,18 @@ func WithFaults(in *fault.Injector) EngineOption {
 // abort-storm circuit breaker and the stall watchdog (see core.Hardening).
 func WithHardening(h core.Hardening) EngineOption {
 	return func(e *Engine) { e.harden = &h }
+}
+
+// WithRecorder attaches a schedule flight recorder: DMVCC executions log
+// their complete scheduling history into it while it is enabled.
+func WithRecorder(rc *core.ScheduleRecorder) EngineOption {
+	return func(e *Engine) { e.recorder = rc }
+}
+
+// WithGate attaches a replay gate: DMVCC executions are forced to follow
+// the interleaving the gate admits (deterministic replay).
+func WithGate(g core.Gate) EngineOption {
+	return func(e *Engine) { e.gate = g }
 }
 
 // NewEngine returns an engine over db — any state.Backend: the reference
@@ -205,6 +219,15 @@ func (e *Engine) Faults() *fault.Injector { return e.faults }
 // SetHardening overrides the DMVCC failure-containment thresholds.
 func (e *Engine) SetHardening(h core.Hardening) { e.harden = &h }
 
+// SetRecorder attaches (or detaches, with nil) the schedule flight recorder.
+func (e *Engine) SetRecorder(rc *core.ScheduleRecorder) { e.recorder = rc }
+
+// Recorder returns the attached flight recorder (nil when none).
+func (e *Engine) Recorder() *core.ScheduleRecorder { return e.recorder }
+
+// SetGate attaches (or detaches, with nil) the replay gate.
+func (e *Engine) SetGate(g core.Gate) { e.gate = g }
+
 // execContext assembles the scheduler input for one block.
 func (e *Engine) execContext(blockCtx evm.BlockContext, txs []*types.Transaction, csags []*sag.CSAG) ExecContext {
 	return ExecContext{
@@ -220,6 +243,8 @@ func (e *Engine) execContext(blockCtx evm.BlockContext, txs []*types.Transaction
 		Forensics: e.forensics,
 		Faults:    e.faults,
 		Harden:    e.harden,
+		Recorder:  e.recorder,
+		Gate:      e.gate,
 	}
 }
 
@@ -273,6 +298,7 @@ func (e *Engine) observe(mode Mode, out *ExecOut) {
 	if mode == ModeDMVCC {
 		out.Stats.RecordMetrics(e.metrics)
 		e.metrics.Counter("core.wasted_gas").Add(int64(out.WastedGas))
+		e.recorder.FlushMetrics(e.metrics)
 	}
 	if out.Aborts > 0 {
 		e.metrics.Counter("chain." + m + ".aborts").Add(out.Aborts)

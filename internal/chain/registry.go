@@ -72,6 +72,12 @@ type ExecContext struct {
 	// Harden overrides the DMVCC failure-containment thresholds (nil keeps
 	// the defaults).
 	Harden *core.Hardening
+	// Recorder, when non-nil and enabled, captures the DMVCC schedule as an
+	// ordered event log (the flight recorder; see core.ScheduleRecorder).
+	Recorder *core.ScheduleRecorder
+	// Gate, when non-nil, forces a previously recorded interleaving back
+	// onto the DMVCC execution (deterministic replay; see core.Gate).
+	Gate core.Gate
 }
 
 // Scheduler is a pluggable block-execution engine. Implementations register

@@ -39,6 +39,8 @@ func (s dmvccScheduler) Execute(ctx ExecContext) (*ExecOut, error) {
 	if ctx.Harden != nil {
 		ex.SetHardening(*ctx.Harden)
 	}
+	ex.SetRecorder(ctx.Recorder)
+	ex.SetGate(ctx.Gate)
 	start := time.Now()
 	res, err := ex.ExecuteBlock(ctx.State, ctx.Block, ctx.Txs, csags)
 	if err != nil {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"bytes"
+
 	"dmvcc/internal/evm"
 	"dmvcc/internal/fault"
 	"dmvcc/internal/sag"
@@ -60,6 +62,11 @@ type accessor struct {
 
 	items []itemRec
 	spill map[sag.ItemID]int32 // index over items, built past spillThreshold
+
+	// scratch holds the sorted predicted-write ids during finish's drop
+	// sweep (reused across incarnations; finish must visit them in a
+	// deterministic order for the replay machinery).
+	scratch []sag.ItemID
 
 	journal []undo
 	snaps   []int
@@ -160,6 +167,7 @@ func (a *accessor) reset() {
 	clear(a.items) // drop code-slice references before pooling
 	a.items = a.items[:0]
 	a.spill = nil
+	a.scratch = a.scratch[:0]
 	clear(a.journal)
 	a.journal = a.journal[:0]
 	a.snaps = a.snaps[:0]
@@ -378,14 +386,28 @@ func (a *accessor) readItem(id sag.ItemID) (u256.Int, error) {
 			seq.cancelWaiter(w)
 			return u256.Int{}, evm.ErrAborted
 		}
+		if g := a.r.gate; g != nil {
+			// Replay: wait for this read's recorded turn. On a faithful
+			// replay the claim guarantees every publish/drop stamped before
+			// the read has been performed and none after, so the resolution
+			// below cannot block; a blocked gated read means the schedule
+			// already diverged, and the claim is released before parking.
+			if !g.Await(OpRead, a.rt.idx, a.inc, id, a.deadFn) {
+				seq.cancelWaiter(w)
+				return u256.Int{}, evm.ErrAborted
+			}
+		}
 		snap := a.snapValue(id)
-		val, res, next := seq.tryRead(a.rt.idx, a.inc, snap, a.deadFn, w)
+		val, res, src, next := seq.tryRead(a.rt.idx, a.inc, snap, a.deadFn, w)
+		if g := a.r.gate; g != nil {
+			g.Done()
+		}
 		if res == readAborted {
 			return u256.Int{}, evm.ErrAborted
 		}
 		if res != readBlocked {
 			a.rt.noteReadMark(a.inc, id)
-			a.events = append(a.events, TraceEvent{Kind: TraceRead, Item: id, Offset: a.offset})
+			a.events = append(a.events, TraceEvent{Kind: TraceRead, Item: id, Offset: a.offset, Src: src, Val: val})
 			if fx := a.r.forensics; fx.Enabled() {
 				fx.RecordRead(id)
 			}
@@ -471,7 +493,7 @@ func (a *accessor) writeAbs(id sag.ItemID, v u256.Int) error {
 		if err := a.waitPriorWrites(id); err != nil {
 			return err
 		}
-		a.events = append(a.events, TraceEvent{Kind: TraceRead, Item: id, Offset: a.offset})
+		a.events = append(a.events, TraceEvent{Kind: TraceRead, Item: id, Offset: a.offset, Src: -1})
 	}
 	if a.items[i].touch == touchDelta {
 		a.dropPendingJ(i)
@@ -743,7 +765,15 @@ func (a *accessor) earlyPublish() {
 
 // publishAbs inserts/updates this transaction's absolute version of id.
 func (a *accessor) publishAbs(id sag.ItemID, v u256.Int) error {
+	if g := a.r.gate; g != nil {
+		if !g.Await(OpPublish, a.rt.idx, a.inc, id, a.deadFn) {
+			return evm.ErrAborted
+		}
+	}
 	victims, err := a.rt.publish(a.r, a.inc, id, v, false)
+	if g := a.r.gate; g != nil {
+		g.Done()
+	}
 	if err != nil {
 		return err
 	}
@@ -751,7 +781,7 @@ func (a *accessor) publishAbs(id sag.ItemID, v u256.Int) error {
 	a.items[i].hasPublished = true
 	a.items[i].published = v
 	a.r.noteProgress()
-	a.events = append(a.events, TraceEvent{Kind: TraceWrite, Item: id, Offset: a.offset})
+	a.events = append(a.events, TraceEvent{Kind: TraceWrite, Item: id, Offset: a.offset, Src: -1, Val: v})
 	if fx := a.r.forensics; fx.Enabled() {
 		fx.RecordWrite(id, !a.inFinish)
 	}
@@ -771,7 +801,15 @@ func (a *accessor) publishAbs(id sag.ItemID, v u256.Int) error {
 // publishDelta publishes an accumulated delta contribution and clears the
 // local pending amount (later increments accumulate on the same entry).
 func (a *accessor) publishDelta(id sag.ItemID, d u256.Int) error {
+	if g := a.r.gate; g != nil {
+		if !g.Await(OpDelta, a.rt.idx, a.inc, id, a.deadFn) {
+			return evm.ErrAborted
+		}
+	}
 	victims, err := a.rt.publish(a.r, a.inc, id, d, true)
+	if g := a.r.gate; g != nil {
+		g.Done()
+	}
 	if err != nil {
 		return err
 	}
@@ -780,7 +818,7 @@ func (a *accessor) publishDelta(id sag.ItemID, d u256.Int) error {
 	a.items[i].pending = u256.Int{}
 	a.items[i].publishedDel = true
 	a.r.noteProgress()
-	a.events = append(a.events, TraceEvent{Kind: TraceDelta, Item: id, Offset: a.offset})
+	a.events = append(a.events, TraceEvent{Kind: TraceDelta, Item: id, Offset: a.offset, Src: -1, Val: d})
 	a.r.stats.addDelta()
 	if fx := a.r.forensics; fx.Enabled() {
 		fx.RecordDelta(id)
@@ -823,12 +861,23 @@ func (a *accessor) finish(receipt *types.Receipt) bool {
 	}
 	// Drop predicted writes that never happened (deterministic revert or
 	// path divergence): without this, parked readers would wait forever.
+	// The drops run in sorted item order — map iteration would randomize
+	// the schedule between otherwise identical executions, which the flight
+	// recorder's deterministic replay relies on being reproducible.
 	if csag := a.rt.csag; csag != nil {
 		drop := func(id sag.ItemID) bool {
 			if i := a.find(id); i >= 0 && (a.items[i].hasPublished || a.items[i].publishedDel) {
 				return true
 			}
+			if g := a.r.gate; g != nil {
+				if !g.Await(OpDrop, a.rt.idx, a.inc, id, a.deadFn) {
+					return false
+				}
+			}
 			victims, err := a.rt.dropUnperformed(a.r, a.inc, id)
+			if g := a.r.gate; g != nil {
+				g.Done()
+			}
 			if err != nil {
 				return false
 			}
@@ -837,20 +886,58 @@ func (a *accessor) finish(receipt *types.Receipt) bool {
 			}
 			return true
 		}
+		a.scratch = a.scratch[:0]
 		for id := range csag.Writes {
+			a.scratch = append(a.scratch, id)
+		}
+		sortItems(a.scratch)
+		for _, id := range a.scratch {
 			if !drop(id) {
 				return false
 			}
 		}
+		a.scratch = a.scratch[:0]
 		for id := range csag.Deltas {
+			a.scratch = append(a.scratch, id)
+		}
+		sortItems(a.scratch)
+		for _, id := range a.scratch {
 			if !drop(id) {
 				return false
 			}
 		}
 	}
+	if g := a.r.gate; g != nil {
+		if !g.Await(OpCommit, a.rt.idx, a.inc, sag.ItemID{}, a.deadFn) {
+			return false
+		}
+		defer g.Done()
+	}
 	// The committed trace owns the events backing array from here on; hand
 	// the accessor back without it.
 	events := a.events
 	a.events = nil
-	return a.rt.complete(a.inc, receipt, &TxTrace{Gas: ExecCost(receipt.GasUsed, a.intrins), Events: events})
+	return a.rt.complete(a.r, a.inc, receipt, &TxTrace{Gas: ExecCost(receipt.GasUsed, a.intrins), Events: events})
+}
+
+// itemLess orders ItemIDs (kind, address, slot) for deterministic iteration.
+func itemLess(a, b sag.ItemID) bool {
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if c := bytes.Compare(a.Addr[:], b.Addr[:]); c != 0 {
+		return c < 0
+	}
+	return bytes.Compare(a.Slot[:], b.Slot[:]) < 0
+}
+
+// sortItems insertion-sorts ids in place: the slices here are the handful of
+// predicted-but-unperformed writes of one transaction, far below the
+// crossover where an allocation-free insertion sort loses to sort.Slice.
+func sortItems(ids []sag.ItemID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && itemLess(ids[j], ids[j-1]); j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
 }

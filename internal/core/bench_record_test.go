@@ -1,0 +1,55 @@
+package core_test
+
+import (
+	"testing"
+
+	"dmvcc/internal/core"
+	"dmvcc/internal/sag"
+)
+
+// benchExecuteRecorder runs block executions with the given recorder
+// attached (nil = no recorder).
+func benchExecuteRecorder(b *testing.B, rc *core.ScheduleRecorder, reset bool) {
+	b.Helper()
+	txs := benchTxs()
+	db, reg := fixture(b)
+	an := sag.NewAnalyzer(reg)
+	csags, err := an.AnalyzeBlock(txs, db, blk)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex := core.NewExecutor(reg, 8)
+	ex.SetRecorder(rc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if reset {
+			rc.Reset()
+		}
+		if _, err := ex.ExecuteBlock(db, blk, txs, csags); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecorderNone is the baseline: no recorder attached, every
+// emission site pays a nil check.
+func BenchmarkRecorderNone(b *testing.B) {
+	benchExecuteRecorder(b, nil, false)
+}
+
+// BenchmarkRecorderDisabled attaches a recorder but leaves it disabled:
+// every emission site pays the atomic-flag load and nothing else. The flight
+// recorder follows the telemetry cost discipline — this stays within 2% of
+// BenchmarkRecorderNone (the acceptance bar for always-compiled-in
+// recording hooks).
+func BenchmarkRecorderDisabled(b *testing.B) {
+	benchExecuteRecorder(b, core.NewScheduleRecorder(), false)
+}
+
+// BenchmarkRecorderEnabled bounds the cost of full schedule capture, for
+// comparison (not part of the <2% contract).
+func BenchmarkRecorderEnabled(b *testing.B) {
+	rc := core.NewScheduleRecorder()
+	rc.Enable()
+	benchExecuteRecorder(b, rc, true)
+}

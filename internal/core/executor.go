@@ -178,6 +178,8 @@ type Executor struct {
 	faults    *fault.Injector
 	hard      Hardening
 	maxBatch  int // dispatch run-length cap override (0 = default; tests)
+	rec       *ScheduleRecorder
+	gate      Gate
 }
 
 // SetTracer attaches a telemetry tracer to subsequent executions. A nil or
@@ -200,6 +202,17 @@ func (x *Executor) SetFaults(in *fault.Injector) { x.faults = in }
 // SetHardening overrides the failure-containment thresholds (zero-value
 // fields keep their defaults; see Hardening).
 func (x *Executor) SetHardening(h Hardening) { x.hard = h }
+
+// SetRecorder attaches a schedule flight recorder to subsequent executions.
+// A nil or disabled recorder costs one atomic load per potential event
+// (pinned by BenchmarkRecorderDisabled).
+func (x *Executor) SetRecorder(rc *ScheduleRecorder) { x.rec = rc }
+
+// SetGate attaches a replay gate: every gated scheduler action (dispatch,
+// read, publish, drop, abort, commit) waits for its recorded turn before
+// performing, forcing the captured interleaving back onto the execution.
+// Production runs leave it nil (one nil-check per gated action).
+func (x *Executor) SetGate(g Gate) { x.gate = g }
 
 // NewExecutor returns a DMVCC executor running on the given number of
 // worker threads (EVM instances bound to cores, per the paper's setup).
@@ -297,7 +310,7 @@ func (rt *txRuntime) dropUnperformed(r *run, inc int, id sag.ItemID) ([]victim, 
 }
 
 // complete records the final receipt and trace of incarnation inc.
-func (rt *txRuntime) complete(inc int, receipt *types.Receipt, trace *TxTrace) bool {
+func (rt *txRuntime) complete(r *run, inc int, receipt *types.Receipt, trace *TxTrace) bool {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	if int(rt.inc.Load()) != inc {
@@ -306,6 +319,9 @@ func (rt *txRuntime) complete(inc int, receipt *types.Receipt, trace *TxTrace) b
 	rt.finished = true
 	rt.receipt = receipt
 	rt.trace = trace
+	if r.rec.Enabled() {
+		r.rec.RecordMark(OpCommit, rt.idx, inc)
+	}
 	return true
 }
 
@@ -374,6 +390,8 @@ type run struct {
 	forensics *telemetry.Forensics
 	faults    *fault.Injector
 	hard      Hardening
+	rec       *ScheduleRecorder
+	gate      Gate
 
 	stats  statCounters
 	wasted atomic.Uint64
@@ -410,6 +428,7 @@ func (r *run) seq(id sag.ItemID) *sequence {
 	}
 	s = sh.newSeqLocked(id)
 	s.onWake = r.noteWake
+	s.rec = r.rec
 	sh.m[id] = s
 	return s
 }
@@ -492,9 +511,20 @@ func (r *run) abortClassed(first victim, cause int, rootClass telemetry.AbortCla
 		v := w.v
 
 		rt := r.rts[v.tx]
+		if g := r.gate; g != nil {
+			// Replay: claim the victim's recorded abort slot before retiring
+			// it. A false return means the incarnation is already retired
+			// (a concurrent cascade won) — same outcome as the inc check.
+			if !g.Await(OpAbort, v.tx, v.inc, sag.ItemID{}, func() bool { return rt.curInc() != v.inc }) {
+				continue
+			}
+		}
 		rt.mu.Lock()
 		if int(rt.inc.Load()) != v.inc {
 			rt.mu.Unlock()
+			if g := r.gate; g != nil {
+				g.Done()
+			}
 			continue // already re-incarnated
 		}
 		published := rt.published
@@ -512,7 +542,13 @@ func (r *run) abortClassed(first victim, cause int, rootClass telemetry.AbortCla
 		rt.started = false
 		rt.finished = false
 		rt.receipt = nil
+		if r.rec.Enabled() {
+			r.rec.Record(OpAbort, v.tx, v.inc, -1, w.cause, v.item, u256.Int{})
+		}
 		rt.mu.Unlock()
+		if g := r.gate; g != nil {
+			g.Done()
+		}
 
 		r.stats.aborts.Add(1)
 		r.stats.noteIncarnation(newInc)
@@ -559,8 +595,18 @@ func (r *run) abortClassed(first victim, cause int, rootClass telemetry.AbortCla
 		}
 
 		// Drop visible writes; push cascading victims onto the worklist.
+		// Each drop is individually gated: cleanup must interleave with
+		// other transactions' reads exactly as captured (dead is nil — the
+		// incarnation is already retired, the drops must always perform).
 		for _, id := range published {
-			for _, cv := range r.seq(id).dropVersion(v.tx, oldInc) {
+			if g := r.gate; g != nil {
+				g.Await(OpDrop, v.tx, oldInc, id, nil)
+			}
+			cvs := r.seq(id).dropVersion(v.tx, oldInc)
+			if g := r.gate; g != nil {
+				g.Done()
+			}
+			for _, cv := range cvs {
 				work = append(work, abortWork{v: cv, cause: v.tx, parent: v.tx})
 			}
 		}
@@ -605,7 +651,19 @@ func (r *run) runIncarnation(rt *txRuntime, worker int) {
 	rt.mu.Lock()
 	inc := int(rt.inc.Load())
 	rt.started = true
+	if r.rec.Enabled() {
+		r.rec.Record(OpDispatch, rt.idx, inc, worker, -1, sag.ItemID{}, u256.Int{})
+	}
 	rt.mu.Unlock()
+	if g := r.gate; g != nil {
+		// Replay: wait for this incarnation's recorded dispatch turn. A
+		// false return means it was retired while queued — the aborter
+		// already arranged the successor's dispatch, so just return.
+		if !g.Await(OpDispatch, rt.idx, inc, sag.ItemID{}, func() bool { return rt.curInc() != inc }) {
+			return
+		}
+		g.Done()
+	}
 	var acc *accessor
 	// Panic containment: a panicking opcode handler (or an injected
 	// fault.WorkerPanic) must not kill the pool worker or hang wg.Wait; the
@@ -685,6 +743,8 @@ func (x *Executor) ExecuteBlock(snap state.Reader, block evm.BlockContext, txs [
 		forensics: x.forensics,
 		faults:    x.faults,
 		hard:      x.hard.withDefaults(),
+		rec:       x.rec,
+		gate:      x.gate,
 	}
 	if fx := x.forensics; fx.Enabled() {
 		fx.BeginBlock(int64(block.Number), len(txs))

@@ -78,6 +78,12 @@ func (r *run) trip(reason string) {
 	if fx := r.forensics; fx.Enabled() {
 		fx.RecordDegrade(int64(r.block.Number), reason)
 	}
+	if r.rec.Enabled() {
+		// Breaker trips make the schedule non-replayable (the serial
+		// fallback has no parallel schedule); the marker tells the capture
+		// layer to refuse the block.
+		r.rec.RecordMark(OpBreaker, -1, 0)
+	}
 	r.drainAll(telemetry.AbortForced)
 }
 
@@ -188,6 +194,11 @@ func (r *run) watchdog(stop <-chan struct{}) {
 		}
 		attempt++
 		r.stats.stallRecoveries.Add(1)
+		if r.rec.Enabled() {
+			// Watchdog recovery rounds are wall-clock driven, not schedule
+			// driven — a capture containing one is refused for replay.
+			r.rec.RecordMark(OpWatchdog, -1, attempt)
+		}
 		rep := r.stallReport(attempt)
 		if fx := r.forensics; fx.Enabled() {
 			fx.RecordStall(rep)

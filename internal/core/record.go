@@ -1,0 +1,240 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dmvcc/internal/sag"
+	"dmvcc/internal/telemetry"
+	"dmvcc/internal/u256"
+)
+
+// SchedOp classifies one entry of the flight recorder's schedule log: the
+// scheduler actions whose relative order decides what every transaction
+// observes. The recorder stamps them from inside the same critical sections
+// that perform them (s.mu for sequence mutations, rt.mu for incarnation
+// transitions), so the log is a happens-before-consistent linearization of
+// the block's schedule — the input the deterministic replayer forces back.
+type SchedOp uint8
+
+const (
+	// OpDispatch marks an incarnation picked up by a pool worker (stamped in
+	// the started=true section under rt.mu).
+	OpDispatch SchedOp = iota + 1
+	// OpRead is a resolved sequence read: Src is the writer transaction whose
+	// version was observed (-1 = committed snapshot), Val the value read.
+	OpRead
+	// OpPublish is an absolute versionWrite; Val is the published value.
+	OpPublish
+	// OpDelta is a commutative delta publish; Val is the contribution.
+	OpDelta
+	// OpDrop invalidates a version (abort cleanup or an unperformed
+	// predicted write at finish).
+	OpDrop
+	// OpAbort retires a victim incarnation (stamped inside the rt.mu
+	// retirement section; Src is the causing transaction, Item the stale
+	// item for diagnostics).
+	OpAbort
+	// OpCommit records an incarnation's receipt as final.
+	OpCommit
+	// OpWatchdog marks a stall-recovery round (diagnostic only; captures
+	// containing one are refused for replay).
+	OpWatchdog
+	// OpBreaker marks a circuit-breaker trip (diagnostic only).
+	OpBreaker
+)
+
+// String renders the op for reports and JSON captures.
+func (o SchedOp) String() string {
+	switch o {
+	case OpDispatch:
+		return "dispatch"
+	case OpRead:
+		return "read"
+	case OpPublish:
+		return "publish"
+	case OpDelta:
+		return "delta"
+	case OpDrop:
+		return "drop"
+	case OpAbort:
+		return "abort"
+	case OpCommit:
+		return "commit"
+	case OpWatchdog:
+		return "watchdog"
+	case OpBreaker:
+		return "breaker"
+	default:
+		return "?"
+	}
+}
+
+// ParseSchedOp inverts String (capture decoding).
+func ParseSchedOp(s string) (SchedOp, bool) {
+	for o := OpDispatch; o <= OpBreaker; o++ {
+		if o.String() == s {
+			return o, true
+		}
+	}
+	return 0, false
+}
+
+// Gated reports whether events of this kind participate in forced-
+// interleaving replay (watchdog/breaker events are diagnostics only).
+func (o SchedOp) Gated() bool { return o >= OpDispatch && o <= OpCommit }
+
+// ItemKeyed reports whether the replayer matches events of this kind on the
+// item as well as (op, tx, inc). Per-incarnation actions on distinct items
+// (reads, publishes, drops) need the item to disambiguate; dispatch, abort
+// and commit happen at most once per incarnation.
+func (o SchedOp) ItemKeyed() bool {
+	switch o {
+	case OpRead, OpPublish, OpDelta, OpDrop:
+		return true
+	}
+	return false
+}
+
+// SchedEvent is one recorded scheduler action. Seq is the global stamp
+// (assigned under the recorder lock from inside the performing critical
+// section); Src is op-specific (read source / abort cause).
+type SchedEvent struct {
+	Seq    uint64
+	Op     SchedOp
+	Tx     int32
+	Inc    int32
+	Worker int32
+	Src    int32
+	Item   sag.ItemID
+	Val    u256.Int
+}
+
+// recorderSampleEvery is the append-latency sampling period: one timed
+// append per this many events keeps the clock reads off the common path.
+const recorderSampleEvery = 256
+
+// ScheduleRecorder is the flight recorder: a compact, ordered log of every
+// schedule-relevant action of one block execution. It follows the tracer's
+// cost discipline — a nil or disabled recorder costs one atomic load per
+// potential event (pinned by BenchmarkRecorderDisabled) — and is attached
+// via Executor.SetRecorder. Unlike the tracer (fixed-size ring, lossy, wall
+// clock), the recorder is lossless and logically stamped: Record is called
+// while the mutating lock is held, so the stamp order is a valid
+// linearization of the schedule.
+type ScheduleRecorder struct {
+	enabled atomic.Bool
+
+	mu      sync.Mutex
+	events  []SchedEvent
+	tick    uint32
+	samples []float64 // sampled append latency (ns/event)
+	total   uint64    // events recorded since the last FlushMetrics
+}
+
+// NewScheduleRecorder returns a recorder in the disabled state.
+func NewScheduleRecorder() *ScheduleRecorder { return &ScheduleRecorder{} }
+
+// Enabled reports whether events should be recorded (nil-safe).
+func (rc *ScheduleRecorder) Enabled() bool { return rc != nil && rc.enabled.Load() }
+
+// Enable starts recording.
+func (rc *ScheduleRecorder) Enable() { rc.enabled.Store(true) }
+
+// Disable stops recording (the log is retained until Reset).
+func (rc *ScheduleRecorder) Disable() { rc.enabled.Store(false) }
+
+// Record appends one event, stamping it under the recorder lock. Callers
+// invoke it from inside the critical section that performs the action, so
+// two causally ordered actions always stamp in order. worker and src are
+// -1 when not meaningful for the op.
+func (rc *ScheduleRecorder) Record(op SchedOp, tx, inc, worker, src int, item sag.ItemID, val u256.Int) {
+	rc.mu.Lock()
+	rc.tick++
+	sampled := rc.tick%recorderSampleEvery == 1
+	var t0 time.Time
+	if sampled {
+		t0 = time.Now()
+	}
+	rc.events = append(rc.events, SchedEvent{
+		Seq:    uint64(len(rc.events)),
+		Op:     op,
+		Tx:     int32(tx),
+		Inc:    int32(inc),
+		Worker: int32(worker),
+		Src:    int32(src),
+		Item:   item,
+		Val:    val,
+	})
+	rc.total++
+	if sampled {
+		rc.samples = append(rc.samples, float64(time.Since(t0).Nanoseconds()))
+	}
+	rc.mu.Unlock()
+}
+
+// RecordMark is Record for ops without an item or value.
+func (rc *ScheduleRecorder) RecordMark(op SchedOp, tx, inc int) {
+	rc.Record(op, tx, inc, -1, -1, sag.ItemID{}, u256.Int{})
+}
+
+// Reset clears the log for the next block (metrics accumulation survives).
+func (rc *ScheduleRecorder) Reset() {
+	rc.mu.Lock()
+	rc.events = rc.events[:0]
+	rc.mu.Unlock()
+}
+
+// Len returns the number of recorded events.
+func (rc *ScheduleRecorder) Len() int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return len(rc.events)
+}
+
+// Snapshot copies the log in stamp order.
+func (rc *ScheduleRecorder) Snapshot() []SchedEvent {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	out := make([]SchedEvent, len(rc.events))
+	copy(out, rc.events)
+	return out
+}
+
+// FlushMetrics folds the recorder's counters into the registry:
+// replay.events_recorded (events since the last flush) and
+// replay.record_ns_per_event (sampled append latency histogram).
+func (rc *ScheduleRecorder) FlushMetrics(reg *telemetry.Registry) {
+	if rc == nil || reg == nil {
+		return
+	}
+	rc.mu.Lock()
+	total := rc.total
+	rc.total = 0
+	samples := rc.samples
+	rc.samples = nil
+	rc.mu.Unlock()
+	if total > 0 {
+		reg.Counter("replay.events_recorded").Add(int64(total))
+	}
+	h := reg.Histogram("replay.record_ns_per_event")
+	for _, ns := range samples {
+		h.Observe(ns)
+	}
+}
+
+// Gate forces a recorded interleaving back onto a live execution. Every
+// gated scheduler action calls Await before performing and Done after: the
+// replayer's sequencer admits exactly the action matching the next recorded
+// event, one at a time, so the replayed block observes the same resolved
+// reads, publish order and abort cascade as the capture.
+//
+// Await returns false when the acting incarnation died while waiting (dead
+// reports it); the caller must skip the action as it would for any stale
+// incarnation. dead may be nil for actions that must always perform (abort
+// cleanup drops).
+type Gate interface {
+	Await(op SchedOp, tx, inc int, item sag.ItemID, dead func() bool) bool
+	Done()
+}

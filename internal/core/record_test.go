@@ -1,0 +1,127 @@
+package core_test
+
+import (
+	"testing"
+
+	"dmvcc/internal/core"
+	"dmvcc/internal/sag"
+	"dmvcc/internal/telemetry"
+	"dmvcc/internal/types"
+	"dmvcc/internal/u256"
+)
+
+// TestRecorderStamping proves events are stamped densely in append order and
+// survive a snapshot intact.
+func TestRecorderStamping(t *testing.T) {
+	rc := core.NewScheduleRecorder()
+	rc.Enable()
+	id := sag.BalanceItem(types.BytesToAddress([]byte{1}))
+	rc.RecordMark(core.OpDispatch, 0, 0)
+	rc.Record(core.OpRead, 0, 0, 3, -1, id, u256.NewUint64(42))
+	rc.RecordMark(core.OpCommit, 0, 0)
+	events := rc.Snapshot()
+	if len(events) != 3 || rc.Len() != 3 {
+		t.Fatalf("recorded %d events (Len %d), want 3", len(events), rc.Len())
+	}
+	for i, e := range events {
+		if e.Seq != uint64(i) {
+			t.Fatalf("event %d stamped Seq %d, want dense order", i, e.Seq)
+		}
+	}
+	want := u256.NewUint64(42)
+	if events[1].Op != core.OpRead || events[1].Worker != 3 || events[1].Item != id ||
+		!events[1].Val.Eq(&want) {
+		t.Fatalf("read event recorded as %+v", events[1])
+	}
+	if events[0].Worker != -1 || events[0].Src != -1 {
+		t.Fatalf("RecordMark must stamp worker/src -1, got %+v", events[0])
+	}
+
+	rc.Reset()
+	if rc.Len() != 0 {
+		t.Fatalf("Reset left %d events", rc.Len())
+	}
+	rc.RecordMark(core.OpDispatch, 1, 0)
+	if got := rc.Snapshot(); len(got) != 1 || got[0].Seq != 0 {
+		t.Fatalf("stamps must restart at 0 after Reset, got %+v", got)
+	}
+}
+
+// TestRecorderFlushMetrics proves the recorder's counters land in the
+// registry and reset on flush.
+func TestRecorderFlushMetrics(t *testing.T) {
+	rc := core.NewScheduleRecorder()
+	rc.Enable()
+	reg := telemetry.NewRegistry()
+	for i := 0; i < 10; i++ {
+		rc.RecordMark(core.OpDispatch, i, 0)
+	}
+	rc.FlushMetrics(reg)
+	if got := reg.Counter("replay.events_recorded").Value(); got != 10 {
+		t.Fatalf("events_recorded = %d, want 10", got)
+	}
+	rc.FlushMetrics(reg)
+	if got := reg.Counter("replay.events_recorded").Value(); got != 10 {
+		t.Fatalf("flush must reset the pending count, counter now %d", got)
+	}
+	// Nil-safety: both sides optional.
+	rc.FlushMetrics(nil)
+	(*core.ScheduleRecorder)(nil).FlushMetrics(reg)
+}
+
+// TestParseSchedOp proves every op name round-trips (capture decoding).
+func TestParseSchedOp(t *testing.T) {
+	for op := core.OpDispatch; op <= core.OpBreaker; op++ {
+		got, ok := core.ParseSchedOp(op.String())
+		if !ok || got != op {
+			t.Fatalf("ParseSchedOp(%q) = %v,%v", op.String(), got, ok)
+		}
+	}
+	if _, ok := core.ParseSchedOp("nonsense"); ok {
+		t.Fatal("ParseSchedOp accepted garbage")
+	}
+}
+
+// TestRecorderCapturesExecution proves an enabled recorder attached to a
+// real block execution captures a well-formed schedule: every committed
+// transaction has exactly one dispatch and one commit per winning
+// incarnation, and the log is HB-consistent (a commit never precedes its own
+// dispatch).
+func TestRecorderCapturesExecution(t *testing.T) {
+	txs := benchTxs()
+	db, reg := fixture(t)
+	an := sag.NewAnalyzer(reg)
+	csags, err := an.AnalyzeBlock(txs, db, blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := core.NewExecutor(reg, 4)
+	rc := core.NewScheduleRecorder()
+	rc.Enable()
+	ex.SetRecorder(rc)
+	if _, err := ex.ExecuteBlock(db, blk, txs, csags); err != nil {
+		t.Fatal(err)
+	}
+	events := rc.Snapshot()
+	if len(events) == 0 {
+		t.Fatal("enabled recorder captured nothing")
+	}
+	dispatched := map[[2]int32]bool{}
+	commits := map[int32]int{}
+	for _, e := range events {
+		switch e.Op {
+		case core.OpDispatch:
+			dispatched[[2]int32{e.Tx, e.Inc}] = true
+		case core.OpCommit:
+			if !dispatched[[2]int32{e.Tx, e.Inc}] {
+				t.Fatalf("tx %d inc %d committed before its dispatch was recorded", e.Tx, e.Inc)
+			}
+			commits[e.Tx]++
+		}
+	}
+	for i := range txs {
+		if commits[int32(i)] != 1 {
+			t.Fatalf("tx %d has %d recorded commits, want exactly 1", i, commits[int32(i)])
+		}
+	}
+}

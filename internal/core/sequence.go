@@ -117,6 +117,11 @@ type sequence struct {
 	// (readerTx, blockedTx, mutTx). Called with s.mu held — implementations
 	// must be non-blocking (atomic counter bumps only).
 	onWake func(readerTx, blockedTx, mutTx int)
+
+	// rec, when enabled, stamps every resolved read, publish and drop into
+	// the flight recorder from under s.mu, so the log order is consistent
+	// with what concurrent readers of this item actually observed.
+	rec *ScheduleRecorder
 }
 
 func newSequence(id sag.ItemID) *sequence {
@@ -173,8 +178,9 @@ const (
 // back as prev so the scan resumes from the entry it blocked on (unless a
 // mutation inside the already-scanned window marked it stale). On success
 // the reader's entry is marked done so later writers know to abort it
-// (Algorithm 3 line 4).
-func (s *sequence) tryRead(tx, inc int, snapBase u256.Int, aborted func() bool, prev *seqWaiter) (u256.Int, readResult, *seqWaiter) {
+// (Algorithm 3 line 4), and the source the read resolved from is returned
+// (writer transaction, or -1 for the committed snapshot).
+func (s *sequence) tryRead(tx, inc int, snapBase u256.Int, aborted func() bool, prev *seqWaiter) (u256.Int, readResult, int, *seqWaiter) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if prev != nil {
@@ -182,7 +188,7 @@ func (s *sequence) tryRead(tx, inc int, snapBase u256.Int, aborted func() bool, 
 	}
 	if aborted() {
 		// Do not mark entries on behalf of a dead incarnation.
-		return u256.Int{}, readAborted, nil
+		return u256.Int{}, readAborted, -1, nil
 	}
 
 	var deltas u256.Int
@@ -209,23 +215,29 @@ func (s *sequence) tryRead(tx, inc int, snapBase u256.Int, aborted func() bool, 
 			continue
 		case kindDelta:
 			if e.status == statusPending {
-				return u256.Int{}, readBlocked, s.addWaiter(tx, e.tx, deltas, true, prev)
+				return u256.Int{}, readBlocked, -1, s.addWaiter(tx, e.tx, deltas, true, prev)
 			}
 			deltas.Add(&deltas, &e.value)
 		case kindWrite, kindReadWrite:
 			if e.status == statusPending {
-				return u256.Int{}, readBlocked, s.addWaiter(tx, e.tx, deltas, true, prev)
+				return u256.Int{}, readBlocked, -1, s.addWaiter(tx, e.tx, deltas, true, prev)
 			}
 			var val u256.Int
 			val.Add(&e.value, &deltas)
 			s.markRead(tx, inc, e.tx)
-			return val, readOK, nil
+			if s.rec.Enabled() {
+				s.rec.Record(OpRead, tx, inc, -1, e.tx, s.id, val)
+			}
+			return val, readOK, e.tx, nil
 		}
 	}
 	var val u256.Int
 	val.Add(&snapBase, &deltas)
 	s.markRead(tx, inc, -1)
-	return val, readNeedSnapshot, nil
+	if s.rec.Enabled() {
+		s.rec.Record(OpRead, tx, inc, -1, -1, s.id, val)
+	}
+	return val, readNeedSnapshot, -1, nil
 }
 
 // markRead records a completed read by tx (mutating its entry in place).
@@ -364,6 +376,13 @@ func (s *sequence) versionWrite(tx, inc int, val u256.Int, delta bool) []victim 
 	e.status = statusDone
 	e.writeInc = inc
 
+	if s.rec.Enabled() {
+		op := OpPublish
+		if delta {
+			op = OpDelta
+		}
+		s.rec.Record(op, tx, inc, -1, -1, s.id, val)
+	}
 	s.notify(tx)
 	// A completed read positioned after this version observed an older one
 	// (for deltas: merged without this contribution) — abort it. Delta/delta
@@ -424,6 +443,12 @@ func (s *sequence) scanForward(tx, writerInc int, predicted bool) []victim {
 func (s *sequence) dropVersion(tx, inc int) []victim {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Recorded at the top, unconditionally: the replayer gates each
+	// dropVersion call, so the log must carry one event per call — even
+	// calls that find nothing to invalidate.
+	if s.rec.Enabled() {
+		s.rec.Record(OpDrop, tx, inc, -1, -1, s.id, u256.Int{})
+	}
 	i, ok := s.find(tx)
 	if !ok {
 		return nil

@@ -17,7 +17,7 @@ func never() bool { return false }
 func TestSequenceReadFromSnapshot(t *testing.T) {
 	s := newSequence(testItem())
 	snap := u256.NewUint64(42)
-	val, res, _ := s.tryRead(3, 0, snap, never, nil)
+	val, res, _, _ := s.tryRead(3, 0, snap, never, nil)
 	if res == readBlocked {
 		t.Fatal("read with no writers must not block")
 	}
@@ -29,7 +29,7 @@ func TestSequenceReadFromSnapshot(t *testing.T) {
 func TestSequenceReadBlocksOnPendingWrite(t *testing.T) {
 	s := newSequence(testItem())
 	s.addPredicted(1, kindWrite)
-	_, res, w := s.tryRead(3, 0, u256.Zero, never, nil)
+	_, res, _, w := s.tryRead(3, 0, u256.Zero, never, nil)
 	if res != readBlocked || w == nil {
 		t.Fatal("read after pending write must block")
 	}
@@ -46,7 +46,7 @@ func TestSequenceReadBlocksOnPendingWrite(t *testing.T) {
 	default:
 		t.Fatal("waiter not woken by publish")
 	}
-	val, res, _ := s.tryRead(3, 0, u256.Zero, never, w)
+	val, res, _, _ := s.tryRead(3, 0, u256.Zero, never, w)
 	if res == readBlocked || val.Uint64() != 7 {
 		t.Errorf("read after publish = %d (res %d)", val.Uint64(), res)
 	}
@@ -57,7 +57,7 @@ func TestSequenceReadSkipsDropped(t *testing.T) {
 	s.addPredicted(1, kindWrite)
 	s.versionWrite(1, 0, u256.NewUint64(7), false)
 	s.dropVersion(1, 0)
-	val, res, _ := s.tryRead(3, 0, u256.NewUint64(100), never, nil)
+	val, res, _, _ := s.tryRead(3, 0, u256.NewUint64(100), never, nil)
 	if res == readBlocked {
 		t.Fatal("dropped version must be transparent")
 	}
@@ -69,7 +69,7 @@ func TestSequenceReadSkipsDropped(t *testing.T) {
 func TestSequenceLateWriteAbortsCompletedReader(t *testing.T) {
 	s := newSequence(testItem())
 	// Reader tx3 completes against the snapshot.
-	if _, res, _ := s.tryRead(3, 5, u256.Zero, never, nil); res == readBlocked {
+	if _, res, _, _ := s.tryRead(3, 5, u256.Zero, never, nil); res == readBlocked {
 		t.Fatal("setup read blocked")
 	}
 	// An unpredicted write by tx1 arrives afterwards (the Fig. 5 case).
@@ -88,7 +88,7 @@ func TestSequenceLateWriteAbortsCompletedReader(t *testing.T) {
 func TestSequenceLateWriteAbortsPredictedWriterWhoRead(t *testing.T) {
 	s := newSequence(testItem())
 	s.addPredicted(3, kindWrite)
-	if _, res, _ := s.tryRead(3, 2, u256.Zero, never, nil); res == readBlocked {
+	if _, res, _, _ := s.tryRead(3, 2, u256.Zero, never, nil); res == readBlocked {
 		t.Fatal("setup read blocked")
 	}
 	victims := s.versionWrite(1, 0, u256.NewUint64(9), false)
@@ -105,7 +105,7 @@ func TestSequenceLateWriteAbortsDeltaEntryWhoRead(t *testing.T) {
 	s := newSequence(testItem())
 	s.addPredicted(3, kindDelta)
 	s.versionWrite(3, 2, u256.NewUint64(4), true) // published delta part
-	if _, res, _ := s.tryRead(3, 2, u256.NewUint64(10), never, nil); res == readBlocked {
+	if _, res, _, _ := s.tryRead(3, 2, u256.NewUint64(10), never, nil); res == readBlocked {
 		t.Fatal("setup read blocked")
 	}
 	victims := s.versionWrite(1, 0, u256.NewUint64(9), false)
@@ -139,7 +139,7 @@ func TestSequenceDeltaDoesNotAbortDeltaWriters(t *testing.T) {
 		t.Errorf("delta invalidated a delta: %v", victims)
 	}
 	// A reader after both merges them onto the snapshot base.
-	val, res, _ := s.tryRead(9, 0, u256.NewUint64(100), never, nil)
+	val, res, _, _ := s.tryRead(9, 0, u256.NewUint64(100), never, nil)
 	if res == readBlocked {
 		t.Fatal("read blocked with all deltas done")
 	}
@@ -161,7 +161,7 @@ func TestSequenceLateDeltaAbortsCompletedReader(t *testing.T) {
 func TestSequenceReadBlocksOnPendingDelta(t *testing.T) {
 	s := newSequence(testItem())
 	s.addPredicted(2, kindDelta)
-	if _, res, _ := s.tryRead(5, 0, u256.Zero, never, nil); res != readBlocked {
+	if _, res, _, _ := s.tryRead(5, 0, u256.Zero, never, nil); res != readBlocked {
 		t.Fatal("read must wait for a pending delta from an earlier tx")
 	}
 }
@@ -170,7 +170,7 @@ func TestSequenceSameIncarnationDeltaAccumulates(t *testing.T) {
 	s := newSequence(testItem())
 	s.versionWrite(1, 0, u256.NewUint64(3), true)
 	s.versionWrite(1, 0, u256.NewUint64(4), true)
-	val, _, _ := s.tryRead(5, 0, u256.Zero, never, nil)
+	val, _, _, _ := s.tryRead(5, 0, u256.Zero, never, nil)
 	if val.Uint64() != 7 {
 		t.Errorf("accumulated delta = %d, want 7", val.Uint64())
 	}
@@ -182,7 +182,7 @@ func TestSequenceDropAfterRepublishIsIgnored(t *testing.T) {
 	// Incarnation 1 republished before the aborter got to drop inc 0.
 	s.versionWrite(1, 1, u256.NewUint64(6), false)
 	s.dropVersion(1, 0)
-	val, res, _ := s.tryRead(3, 0, u256.Zero, never, nil)
+	val, res, _, _ := s.tryRead(3, 0, u256.Zero, never, nil)
 	if res == readBlocked || val.Uint64() != 6 {
 		t.Errorf("val = %d (res %d), want the republished 6", val.Uint64(), res)
 	}
@@ -194,7 +194,7 @@ func TestSequencePublishAfterDropMarkIsIgnored(t *testing.T) {
 	// Aborter drops incarnation 0 before its in-flight publish lands.
 	s.dropVersion(1, 0)
 	s.versionWrite(1, 0, u256.NewUint64(5), false)
-	val, res, _ := s.tryRead(3, 0, u256.NewUint64(77), never, nil)
+	val, res, _, _ := s.tryRead(3, 0, u256.NewUint64(77), never, nil)
 	if res == readBlocked {
 		t.Fatal("read blocked on a dead version")
 	}
@@ -241,7 +241,7 @@ func TestSequenceFinalValue(t *testing.T) {
 func TestSequenceAbortedReaderNotMarked(t *testing.T) {
 	s := newSequence(testItem())
 	dead := func() bool { return true }
-	if _, res, _ := s.tryRead(3, 0, u256.Zero, dead, nil); res != readAborted {
+	if _, res, _, _ := s.tryRead(3, 0, u256.Zero, dead, nil); res != readAborted {
 		t.Fatal("dead incarnation must not complete reads")
 	}
 	// No read mark must exist for tx3.
@@ -274,11 +274,11 @@ func TestSequenceTargetedWakeup(t *testing.T) {
 	s := newSequence(testItem())
 	s.addPredicted(2, kindWrite)
 	s.addPredicted(6, kindWrite)
-	_, res, early := s.tryRead(4, 0, u256.Zero, never, nil) // parks on tx2
+	_, res, _, early := s.tryRead(4, 0, u256.Zero, never, nil) // parks on tx2
 	if res != readBlocked {
 		t.Fatal("reader 4 must block on tx2's pending write")
 	}
-	_, res, late := s.tryRead(9, 0, u256.Zero, never, nil) // parks on tx6
+	_, res, _, late := s.tryRead(9, 0, u256.Zero, never, nil) // parks on tx6
 	if res != readBlocked {
 		t.Fatal("reader 9 must block on tx6's pending write")
 	}
@@ -315,10 +315,10 @@ func TestSequenceOnWakeCallback(t *testing.T) {
 	}
 	s.addPredicted(2, kindWrite)
 	s.addPredicted(6, kindWrite)
-	if _, res, _ := s.tryRead(4, 0, u256.Zero, never, nil); res != readBlocked {
+	if _, res, _, _ := s.tryRead(4, 0, u256.Zero, never, nil); res != readBlocked {
 		t.Fatal("reader 4 must block on tx2")
 	}
-	if _, res, _ := s.tryRead(9, 0, u256.Zero, never, nil); res != readBlocked {
+	if _, res, _, _ := s.tryRead(9, 0, u256.Zero, never, nil); res != readBlocked {
 		t.Fatal("reader 9 must block on tx6")
 	}
 	// tx6's publish wakes only reader 9 (reader 4 parked earlier at tx2).
@@ -346,7 +346,7 @@ func TestSequenceResumeCursor(t *testing.T) {
 	s := newSequence(testItem())
 	s.addPredicted(2, kindWrite)
 	s.versionWrite(5, 0, u256.NewUint64(50), true) // done delta above tx2
-	_, res, w := s.tryRead(9, 0, u256.Zero, never, nil)
+	_, res, _, w := s.tryRead(9, 0, u256.Zero, never, nil)
 	if res != readBlocked || w.blockedTx != 2 {
 		t.Fatalf("reader must park on tx2 (got blocked=%d res=%d)", w.blockedTx, res)
 	}
@@ -359,7 +359,7 @@ func TestSequenceResumeCursor(t *testing.T) {
 		t.Error("mutation inside the scanned window must mark the waiter stale")
 	}
 	s.versionWrite(2, 0, u256.NewUint64(100), false)
-	val, res, _ := s.tryRead(9, 0, u256.Zero, never, w)
+	val, res, _, _ := s.tryRead(9, 0, u256.Zero, never, w)
 	if res == readBlocked {
 		t.Fatal("read still blocked after all publishes")
 	}
@@ -375,12 +375,12 @@ func TestSequenceResumeCursorFresh(t *testing.T) {
 	s := newSequence(testItem())
 	s.addPredicted(2, kindWrite)
 	s.versionWrite(5, 0, u256.NewUint64(50), true)
-	_, _, w := s.tryRead(9, 0, u256.Zero, never, nil)
+	_, _, _, w := s.tryRead(9, 0, u256.Zero, never, nil)
 	s.versionWrite(2, 0, u256.NewUint64(100), false)
 	if w.stale {
 		t.Error("publish at the park position must not mark the cache stale")
 	}
-	val, res, _ := s.tryRead(9, 0, u256.Zero, never, w)
+	val, res, _, _ := s.tryRead(9, 0, u256.Zero, never, w)
 	if res == readBlocked || val.Uint64() != 150 {
 		t.Errorf("resumed read = %d (res %d), want 100+50", val.Uint64(), res)
 	}

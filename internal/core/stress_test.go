@@ -43,7 +43,7 @@ func TestSequenceWaiterStress(t *testing.T) {
 			readerTx := writers + r // positioned after every writer
 			var w *seqWaiter
 			for {
-				val, res, next := s.tryRead(readerTx, 0, u256.Zero, never, w)
+				val, res, _, next := s.tryRead(readerTx, 0, u256.Zero, never, w)
 				if res != readBlocked {
 					results[r] = val
 					return
@@ -107,7 +107,7 @@ func TestAbortWastedGasFinishedIncarnation(t *testing.T) {
 	}
 	s := r.seq(item)
 	s.versionWrite(0, 0, u256.NewUint64(1), false)
-	if _, res, _ := s.tryRead(1, 0, u256.Zero, never, nil); res == readBlocked {
+	if _, res, _, _ := s.tryRead(1, 0, u256.Zero, never, nil); res == readBlocked {
 		t.Fatal("setup read blocked")
 	}
 
@@ -161,7 +161,7 @@ func TestAbortCascadeIterativeDepth(t *testing.T) {
 		s := r.seq(item(i))
 		s.versionWrite(i, 0, u256.NewUint64(uint64(i)), false)
 		// Transaction i+1 completed a read of transaction i's version.
-		if _, res, _ := s.tryRead(i+1, 0, u256.Zero, never, nil); res == readBlocked {
+		if _, res, _, _ := s.tryRead(i+1, 0, u256.Zero, never, nil); res == readBlocked {
 			t.Fatal("setup read blocked")
 		}
 	}

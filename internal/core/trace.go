@@ -1,6 +1,9 @@
 package core
 
-import "dmvcc/internal/sag"
+import (
+	"dmvcc/internal/sag"
+	"dmvcc/internal/u256"
+)
 
 // TraceEventKind classifies schedule-relevant events of one execution.
 type TraceEventKind uint8
@@ -23,6 +26,14 @@ type TraceEvent struct {
 	Kind   TraceEventKind
 	Item   sag.ItemID
 	Offset uint64 // gas consumed within the transaction at the event
+	// Src is the version source of a TraceRead: the writer transaction whose
+	// version the read observed, or -1 for the committed snapshot (writes
+	// and deltas carry -1). The divergence auditor diffs it against the
+	// serial twin's resolution.
+	Src int
+	// Val is the value read (TraceRead) or published (TraceWrite: absolute
+	// value; TraceDelta: the delta contribution).
+	Val u256.Int
 }
 
 // TxTrace is the dependency trace of one committed transaction execution.

@@ -195,6 +195,11 @@ type Injector struct {
 	thresholds [NumPoints]uint64
 	limits     [NumPoints]int64
 	fires      [NumPoints]atomic.Int64
+	// txmap, when set, translates transaction indices before keying a
+	// decision: txmap[i] is the original index of the transaction now at
+	// position i. The replay shrinker uses it so a subset block draws the
+	// same per-transaction faults the full capture did.
+	txmap []int
 }
 
 // New builds an injector from cfg. A config with no positive rates yields a
@@ -227,6 +232,24 @@ func New(cfg Config) *Injector {
 // Call sites skip all fault logic when it reports false.
 func (in *Injector) Enabled() bool { return in != nil && in.active }
 
+// SetTxMap installs a position→original-index translation applied to every
+// subsequent decision key (m[i] = original index of the transaction now at
+// position i; nil removes the mapping). Set it before execution starts —
+// the injector does not synchronize the slice.
+func (in *Injector) SetTxMap(m []int) {
+	if in != nil {
+		in.txmap = m
+	}
+}
+
+// mapTx resolves a transaction index through the optional translation.
+func (in *Injector) mapTx(tx int) int {
+	if m := in.txmap; m != nil && tx >= 0 && tx < len(m) {
+		return m[tx]
+	}
+	return tx
+}
+
 // splitmix64 is the finalizer of the SplitMix64 generator: a strong 64-bit
 // mixer, good enough to turn structured keys into uniform rolls.
 func splitmix64(x uint64) uint64 {
@@ -255,7 +278,7 @@ func (in *Injector) Draw(p Point, block int64, tx, aux int) (bool, uint64) {
 	if th == 0 {
 		return false, 0
 	}
-	r := in.roll(p, block, tx, uint64(uint32(aux)))
+	r := in.roll(p, block, in.mapTx(tx), uint64(uint32(aux)))
 	if r >= th && th != math.MaxUint64 {
 		return false, r
 	}
@@ -384,5 +407,5 @@ func CorruptCSAGs(in *Injector, block int64, csags []*sag.CSAG) []*sag.CSAG {
 // dropItem decides (50%, order-independent) whether one predicted entry of
 // an armed transaction is dropped.
 func (in *Injector) dropItem(p Point, block int64, tx int, id sag.ItemID) bool {
-	return in.roll(p, block, tx, itemHash(id))&1 == 0
+	return in.roll(p, block, in.mapTx(tx), itemHash(id))&1 == 0
 }

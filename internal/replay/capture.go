@@ -1,0 +1,202 @@
+package replay
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"dmvcc/internal/core"
+	"dmvcc/internal/sag"
+	"dmvcc/internal/types"
+	"dmvcc/internal/u256"
+)
+
+// CaptureSchema versions the on-disk capture format.
+const CaptureSchema = "dmvcc/replay-capture/v1"
+
+// Recipe is everything needed to regenerate a capture's workload and fault
+// schedule from scratch: the divergence experiment's deterministic
+// generators make (Seed, Txs, Class, Block) sufficient to rebuild the exact
+// transactions, pre-state and injected faults of the recorded block. Keep
+// optionally restricts the block to a subset of its transaction indices
+// (the shrinker's output); nil means the full block.
+type Recipe struct {
+	Seed     int64  `json:"seed"`
+	Txs      int    `json:"txs"`
+	Class    string `json:"class"`     // fault class ("" = none)
+	ClassIdx int    `json:"class_idx"` // injector seed offset index
+	Block    int    `json:"block"`     // 0-based block number within the run
+	Backend  string `json:"backend"`   // state backend ("trie" / "flat")
+	Keep     []int  `json:"keep,omitempty"`
+}
+
+// EventJSON is the serialized form of one core.SchedEvent.
+type EventJSON struct {
+	Seq    uint64 `json:"seq"`
+	Op     string `json:"op"`
+	Tx     int    `json:"tx"`
+	Inc    int    `json:"inc"`
+	Worker int    `json:"worker,omitempty"`
+	Src    int    `json:"src,omitempty"`
+	Kind   string `json:"kind,omitempty"` // item kind; "" when no item
+	Addr   string `json:"addr,omitempty"`
+	Slot   string `json:"slot,omitempty"`
+	Val    string `json:"val,omitempty"`
+}
+
+// Capture is one recorded block execution: the regeneration recipe, the
+// environment that shaped the schedule, the observed outcome and the full
+// ordered event log.
+type Capture struct {
+	Schema       string      `json:"schema"`
+	Recipe       Recipe      `json:"recipe"`
+	Threads      int         `json:"threads"`
+	GoMaxProcs   int         `json:"gomaxprocs"`
+	SerialRoot   string      `json:"serial_root"`
+	ParallelRoot string      `json:"parallel_root"`
+	Stats        core.Stats  `json:"stats"`
+	Events       []EventJSON `json:"events"`
+}
+
+// EncodeEvents converts a recorder snapshot to the JSON form.
+func EncodeEvents(events []core.SchedEvent) []EventJSON {
+	out := make([]EventJSON, len(events))
+	for i, e := range events {
+		j := EventJSON{
+			Seq:    e.Seq,
+			Op:     e.Op.String(),
+			Tx:     int(e.Tx),
+			Inc:    int(e.Inc),
+			Worker: int(e.Worker),
+			Src:    int(e.Src),
+		}
+		if e.Item.Kind != 0 {
+			j.Kind = e.Item.Kind.String()
+			j.Addr = e.Item.Addr.Hex()
+			if e.Item.Kind == sag.KindStorage {
+				j.Slot = e.Item.Slot.Hex()
+			}
+		}
+		if !e.Val.IsZero() {
+			j.Val = e.Val.Hex()
+		}
+		out[i] = j
+	}
+	return out
+}
+
+// parseKind inverts ItemKind.String.
+func parseKind(s string) (sag.ItemKind, bool) {
+	switch s {
+	case "storage":
+		return sag.KindStorage, true
+	case "balance":
+		return sag.KindBalance, true
+	case "nonce":
+		return sag.KindNonce, true
+	case "code":
+		return sag.KindCode, true
+	}
+	return 0, false
+}
+
+// DecodeEvents inverts EncodeEvents.
+func DecodeEvents(events []EventJSON) ([]core.SchedEvent, error) {
+	out := make([]core.SchedEvent, len(events))
+	for i, j := range events {
+		op, ok := core.ParseSchedOp(j.Op)
+		if !ok {
+			return nil, fmt.Errorf("event %d: unknown op %q", i, j.Op)
+		}
+		e := core.SchedEvent{
+			Seq:    j.Seq,
+			Op:     op,
+			Tx:     int32(j.Tx),
+			Inc:    int32(j.Inc),
+			Worker: int32(j.Worker),
+			Src:    int32(j.Src),
+		}
+		if j.Kind != "" {
+			k, ok := parseKind(j.Kind)
+			if !ok {
+				return nil, fmt.Errorf("event %d: unknown item kind %q", i, j.Kind)
+			}
+			e.Item = sag.ItemID{Kind: k, Addr: types.HexToAddress(j.Addr), Slot: types.HexToHash(j.Slot)}
+		}
+		if j.Val != "" {
+			v, err := u256.FromHex(j.Val)
+			if err != nil {
+				return nil, fmt.Errorf("event %d: bad val %q: %v", i, j.Val, err)
+			}
+			e.Val = v
+		}
+		out[i] = e
+	}
+	return out, nil
+}
+
+// DecodedEvents returns the capture's event log as core events.
+func (c *Capture) DecodedEvents() ([]core.SchedEvent, error) {
+	return DecodeEvents(c.Events)
+}
+
+// Replayable reports whether the capture can be deterministically replayed.
+// Captures containing watchdog or breaker events are refused: those paths
+// are wall-clock driven (forced stall recovery, degradation to serial), so
+// the recorded interleaving is not a pure function of the schedule.
+func (c *Capture) Replayable() error {
+	if c.Schema != CaptureSchema {
+		return fmt.Errorf("capture schema %q, want %q", c.Schema, CaptureSchema)
+	}
+	for _, e := range c.Events {
+		if e.Op == core.OpWatchdog.String() {
+			return fmt.Errorf("capture contains a watchdog recovery event (seq %d): wall-clock driven, not replayable", e.Seq)
+		}
+		if e.Op == core.OpBreaker.String() {
+			return fmt.Errorf("capture contains a circuit-breaker event (seq %d): degraded blocks are not replayable", e.Seq)
+		}
+	}
+	return nil
+}
+
+// WriteFile writes the capture as indented JSON.
+func (c *Capture) WriteFile(path string) error {
+	b, err := json.MarshalIndent(c, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// ReadCapture loads a capture file and validates its schema.
+func ReadCapture(path string) (*Capture, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var c Capture
+	if err := json.Unmarshal(b, &c); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if c.Schema != CaptureSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, c.Schema, CaptureSchema)
+	}
+	return &c, nil
+}
+
+// DeterministicStats projects a Stats down to the fields that a faithful
+// forced replay must reproduce exactly. Timing-dependent fields —
+// BlockedReads (whether a read parked depends on wall-clock arrival, not
+// the linearized order), WakeEvents, DispatchRuns/DispatchedTxs (batch
+// boundaries), StallRecoveries — are zeroed.
+func DeterministicStats(s core.Stats) core.Stats {
+	return core.Stats{
+		Executions:     s.Executions,
+		Aborts:         s.Aborts,
+		EarlyPublishes: s.EarlyPublishes,
+		DeltaPublishes: s.DeltaPublishes,
+		Requeues:       s.Requeues,
+		Panics:         s.Panics,
+		MaxIncarnation: s.MaxIncarnation,
+	}
+}

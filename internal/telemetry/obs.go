@@ -43,16 +43,65 @@ func PublishExpvar(name string, reg *Registry) {
 	expvarRegs[name] = reg
 }
 
+// DivergenceStore keeps per-block divergence audit reports for the
+// /telemetry/divergence/<n> endpoint. Values are stored as opaque any (the
+// report type lives in internal/replay, which imports this package) and are
+// served back as JSON verbatim.
+type DivergenceStore struct {
+	mu      sync.Mutex
+	reports map[int64]any
+}
+
+// NewDivergenceStore returns an empty store.
+func NewDivergenceStore() *DivergenceStore {
+	return &DivergenceStore{reports: make(map[int64]any)}
+}
+
+// Put records block's divergence report (nil-safe).
+func (d *DivergenceStore) Put(block int64, report any) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	d.reports[block] = report
+	d.mu.Unlock()
+}
+
+// Get returns block's report, or nil.
+func (d *DivergenceStore) Get(block int64) any {
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.reports[block]
+}
+
+// Blocks lists the block numbers with stored reports (unordered).
+func (d *DivergenceStore) Blocks() []int64 {
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]int64, 0, len(d.reports))
+	for n := range d.reports {
+		out = append(out, n)
+	}
+	return out
+}
+
 // Handler returns the introspection mux: net/http/pprof under
 // /debug/pprof/, expvar under /debug/vars, the metrics registry snapshot at
 // /metrics (JSON by default; Prometheus text exposition via ?format=prom or
 // an Accept header naming text/plain first), per-block telemetry dumps at
 // /telemetry/block/<n>, the block critical path at /telemetry/critpath/<n>,
 // the conflict post-mortem at /telemetry/postmortem/<n> (?format=text for
-// the rendered report), and the watchdog's stall diagnostics at
-// /telemetry/stall/<n>. reg, tr and fx may be nil; the corresponding
-// endpoints then report 404.
-func Handler(reg *Registry, tr *Tracer, fx *Forensics) http.Handler {
+// the rendered report), the watchdog's stall diagnostics at
+// /telemetry/stall/<n>, and divergence audit reports at
+// /telemetry/divergence/<n>. reg, tr, fx and dv may be nil; the
+// corresponding endpoints then report 404.
+func Handler(reg *Registry, tr *Tracer, fx *Forensics, dv *DivergenceStore) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -193,6 +242,24 @@ func Handler(reg *Registry, tr *Tracer, fx *Forensics) http.Handler {
 		writeJSON(w, pm)
 	})
 
+	mux.HandleFunc("/telemetry/divergence/", func(w http.ResponseWriter, r *http.Request) {
+		if dv == nil {
+			http.NotFound(w, r)
+			return
+		}
+		n, err := blockArg(r, "/telemetry/divergence/")
+		if err != nil {
+			http.Error(w, "usage: /telemetry/divergence/<n>", http.StatusBadRequest)
+			return
+		}
+		rep := dv.Get(n)
+		if rep == nil {
+			http.Error(w, fmt.Sprintf("no divergence report for block %d", n), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, rep)
+	})
+
 	return mux
 }
 
@@ -227,7 +294,7 @@ const serveShutdownTimeout = 5 * time.Second
 // in-flight requests drain (bounded by serveShutdownTimeout, after which
 // connections are forced closed), and only returns once the serve goroutine
 // has exited, so callers never leak it past benchmark exit.
-func Serve(addr string, reg *Registry, tr *Tracer, fx *Forensics) (string, func() error, error) {
+func Serve(addr string, reg *Registry, tr *Tracer, fx *Forensics, dv *DivergenceStore) (string, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
@@ -235,7 +302,7 @@ func Serve(addr string, reg *Registry, tr *Tracer, fx *Forensics) (string, func(
 	if reg != nil {
 		PublishExpvar("telemetry", reg)
 	}
-	srv := &http.Server{Handler: Handler(reg, tr, fx)}
+	srv := &http.Server{Handler: Handler(reg, tr, fx, dv)}
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
 	stop := func() error {

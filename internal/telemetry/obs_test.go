@@ -33,7 +33,7 @@ func TestHandlerEndpoints(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("core.executions").Add(9)
 	tr := syntheticTrace()
-	srv := httptest.NewServer(Handler(reg, tr, nil))
+	srv := httptest.NewServer(Handler(reg, tr, nil, nil))
 	defer srv.Close()
 
 	code, body := get(t, srv, "/metrics")
@@ -94,12 +94,42 @@ func TestHandlerEndpoints(t *testing.T) {
 }
 
 func TestHandlerNilSources(t *testing.T) {
-	srv := httptest.NewServer(Handler(nil, nil, nil))
+	srv := httptest.NewServer(Handler(nil, nil, nil, nil))
 	defer srv.Close()
-	for _, path := range []string{"/metrics", "/telemetry/block/1", "/telemetry/critpath/1", "/telemetry/postmortem/1", "/telemetry/stall/1"} {
+	for _, path := range []string{"/metrics", "/telemetry/block/1", "/telemetry/critpath/1", "/telemetry/postmortem/1", "/telemetry/stall/1", "/telemetry/divergence/1"} {
 		if code, _ := get(t, srv, path); code != http.StatusNotFound {
 			t.Fatalf("%s with nil sources: %d, want 404", path, code)
 		}
+	}
+}
+
+func TestDivergenceEndpoint(t *testing.T) {
+	dv := NewDivergenceStore()
+	dv.Put(7, map[string]any{"schema": "dmvcc/divergence/v1", "first_divergent_tx": 3})
+	srv := httptest.NewServer(Handler(nil, nil, nil, dv))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/telemetry/divergence/7")
+	if code != http.StatusOK {
+		t.Fatalf("/telemetry/divergence/7: %d", code)
+	}
+	if !strings.Contains(string(body), `"first_divergent_tx": 3`) {
+		t.Fatalf("report not served back: %s", body)
+	}
+	if code, _ := get(t, srv, "/telemetry/divergence/8"); code != http.StatusNotFound {
+		t.Fatalf("missing block: %d, want 404", code)
+	}
+	if code, _ := get(t, srv, "/telemetry/divergence/x"); code != http.StatusBadRequest {
+		t.Fatalf("bad block arg: %d, want 400", code)
+	}
+	if got := dv.Blocks(); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("Blocks() = %v, want [7]", got)
+	}
+	// Nil-store methods are safe no-ops.
+	var nils *DivergenceStore
+	nils.Put(1, nil)
+	if nils.Get(1) != nil || nils.Blocks() != nil {
+		t.Fatal("nil store must behave empty")
 	}
 }
 
@@ -111,7 +141,7 @@ func TestPublishExpvarRebinds(t *testing.T) {
 	// Republishing the same name must rebind, not panic.
 	PublishExpvar("test.rebind", b)
 
-	srv := httptest.NewServer(Handler(nil, nil, nil))
+	srv := httptest.NewServer(Handler(nil, nil, nil, nil))
 	defer srv.Close()
 	code, body := get(t, srv, "/debug/vars")
 	if code != http.StatusOK {
@@ -135,7 +165,7 @@ func TestPublishExpvarRebinds(t *testing.T) {
 
 func TestServeLifecycle(t *testing.T) {
 	reg := NewRegistry()
-	addr, stop, err := Serve("127.0.0.1:0", reg, nil, nil)
+	addr, stop, err := Serve("127.0.0.1:0", reg, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +189,7 @@ func TestServeLifecycle(t *testing.T) {
 func TestServeGracefulShutdown(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("n").Add(1)
-	addr, stop, err := Serve("127.0.0.1:0", reg, nil, nil)
+	addr, stop, err := Serve("127.0.0.1:0", reg, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +243,7 @@ func TestMetricsPrometheus(t *testing.T) {
 	h.Observe(1500)
 	h.Observe(2500)
 	h.Observe(5e10) // overflow bucket
-	srv := httptest.NewServer(Handler(reg, nil, nil))
+	srv := httptest.NewServer(Handler(reg, nil, nil, nil))
 	defer srv.Close()
 
 	code, body := get(t, srv, "/metrics?format=prom")
@@ -268,7 +298,7 @@ func TestStallEndpoint(t *testing.T) {
 		Waiters: []StallWaiter{{Item: "bal:aa", ReaderTx: 2, BlockedOn: 1}},
 	})
 	fx.RecordStall(StallReport{Block: 3, Attempt: 2, Progress: 17})
-	srv := httptest.NewServer(Handler(nil, nil, fx))
+	srv := httptest.NewServer(Handler(nil, nil, fx, nil))
 	defer srv.Close()
 
 	code, body := get(t, srv, "/telemetry/stall/3")
@@ -312,7 +342,7 @@ func TestStallEndpointGracefulShutdown(t *testing.T) {
 	fx := NewForensics()
 	fx.Enable()
 	fx.RecordStall(StallReport{Block: 5, Attempt: 1})
-	addr, stop, err := Serve("127.0.0.1:0", nil, nil, fx)
+	addr, stop, err := Serve("127.0.0.1:0", nil, nil, fx, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -363,7 +393,7 @@ func TestPostmortemEndpoint(t *testing.T) {
 		CauseTx: 0, Item: sag.BalanceItem(types.Address{0xaa}),
 		ReadSrcTx: -1, Class: AbortUnpredictedWrite, WastedGas: 42,
 	})
-	srv := httptest.NewServer(Handler(nil, nil, fx))
+	srv := httptest.NewServer(Handler(nil, nil, fx, nil))
 	defer srv.Close()
 
 	code, body := get(t, srv, "/telemetry/postmortem/7")
