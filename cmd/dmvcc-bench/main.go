@@ -149,6 +149,12 @@ func main() {
 	scaleRefMax := flag.Int("scalerefmax", 100_000, "largest statescale tier cross-checked against the reference trie DB")
 	scaleMinSpeedup := flag.Float64("scaleminspeedup", 5, "flat-vs-trie read speedup the largest statescale tier must reach")
 	scaleJSON := flag.String("scalejson", "BENCH_statescale.json", "output path for the statescale report")
+	pipeBlocks := flag.Int("pipeblocks", 48, "blocks for the pipeline soak's clean leg")
+	pipeTxs := flag.Int("pipetxs", 256, "transactions per block for the pipeline soak")
+	pipeThreads := flag.Int("pipethreads", 0, "worker threads for the pipeline soak (0 = derive from GOMAXPROCS)")
+	pipeBackend := flag.String("pipebackend", "flat", "pipeline-soak state backend: flat|trie (flat commits asynchronously, so a healthy pipeline audits clean)")
+	pipeJSON := flag.String("pipejson", "BENCH_pipeline.json", "output path for the pipeline soak report")
+	pipeTimelineJSON := flag.String("pipetimeline", "BENCH_pipeline_timeline.json", "output path for the pipeline soak's timeline snapshot (dashboard-replayable)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	tracePath := flag.String("trace", "", "write a Chrome/Perfetto trace of a telemetry-instrumented run (hotpath and pipeline experiments) to this file")
@@ -164,15 +170,17 @@ func main() {
 		metrics = telemetry.NewRegistry()
 	}
 	divStore := telemetry.NewDivergenceStore()
+	var timeline *telemetry.Timeline
 	if *obsAddr != "" {
 		forensics = telemetry.NewForensics()
-		addr, stop, err := telemetry.Serve(*obsAddr, metrics, tracer, forensics, divStore)
+		timeline = telemetry.NewTimeline(0)
+		addr, stop, err := telemetry.Serve(*obsAddr, metrics, tracer, forensics, divStore, timeline)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dmvcc-bench:", err)
 			os.Exit(1)
 		}
 		defer stop()
-		fmt.Printf("observability endpoint on http://%s (pprof, /debug/vars, /metrics, /telemetry/block/<n>, /telemetry/postmortem/<n>)\n", addr)
+		fmt.Printf("observability endpoint on http://%s (pprof, /debug/vars, /metrics, /telemetry/timeline, /telemetry/dashboard)\n", addr)
 	}
 
 	if *cpuProfile != "" {
@@ -220,6 +228,9 @@ func main() {
 	}, scaleArgs{
 		accounts: tiers, blocks: *scaleBlocks, writes: *scaleWrites,
 		refMax: *scaleRefMax, minSpeedup: *scaleMinSpeedup, jsonPath: *scaleJSON,
+	}, pipelineArgs{
+		blocks: *pipeBlocks, txs: *pipeTxs, threads: *pipeThreads, backend: *pipeBackend,
+		jsonPath: *pipeJSON, timelinePath: *pipeTimelineJSON, timeline: timeline,
 	}, backend, tracer, metrics)
 
 	if err == nil && *tracePath != "" {
@@ -292,6 +303,16 @@ type scaleArgs struct {
 	jsonPath       string
 }
 
+// pipelineArgs bundles the pipeline-soak experiment's flags.
+type pipelineArgs struct {
+	blocks, txs, threads   int
+	backend                string
+	jsonPath, timelinePath string
+	// timeline is the live -obs timeline, when serving: the soak runs on it
+	// so /telemetry/dashboard shows the run as it happens.
+	timeline *telemetry.Timeline
+}
+
 // checkConflictsReport re-reads a written conflicts report from disk and
 // validates its invariants — the round-trip catches both forensic gaps and
 // serialization regressions.
@@ -320,7 +341,7 @@ func writeTrace(path string, tracer *telemetry.Tracer) error {
 	return tracer.Snapshot().ExportChrome(f)
 }
 
-func run(exp string, blocks, txs, simTxs, simBlocks, rq1Blocks int, seed int64, hot hotpathArgs, conf conflictsArgs, chaos chaosArgs, div divergenceArgs, scale scaleArgs, backend func() (state.Backend, error), tracer *telemetry.Tracer, metrics *telemetry.Registry) error {
+func run(exp string, blocks, txs, simTxs, simBlocks, rq1Blocks int, seed int64, hot hotpathArgs, conf conflictsArgs, chaos chaosArgs, div divergenceArgs, scale scaleArgs, pipe pipelineArgs, backend func() (state.Backend, error), tracer *telemetry.Tracer, metrics *telemetry.Registry) error {
 	low := workload.DefaultConfig()
 	low.TxPerBlock = txs
 	low.Seed = seed
@@ -414,6 +435,40 @@ func run(exp string, blocks, txs, simTxs, simBlocks, rq1Blocks int, seed int64, 
 			}
 			fmt.Print(rep.Render())
 			fmt.Println("pipeline: block N+1 analyzed while block N executes (Fig. 2 offline workflow)")
+
+			soak, err := bench.RunPipelineSoak(bench.PipelineSoakConfig{
+				Blocks: pipe.blocks, Txs: pipe.txs, Threads: pipe.threads,
+				Seed: seed, Backend: pipe.backend, Timeline: pipe.timeline,
+				Metrics: metrics,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Print(soak.Render())
+			if err := soak.Validate(); err != nil {
+				return fmt.Errorf("pipeline soak validation: %w", err)
+			}
+			if pipe.jsonPath != "" {
+				if err := soak.WriteJSON(pipe.jsonPath); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", pipe.jsonPath)
+			}
+			if pipe.timelinePath != "" {
+				snap := telemetry.TimelineSnapshot{
+					Schema:  telemetry.TimelineSchema,
+					Samples: soak.CleanLeg.Samples,
+					Gaps:    soak.FaultLeg.Gaps,
+				}
+				data, err := json.MarshalIndent(snap, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(pipe.timelinePath, append(data, '\n'), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", pipe.timelinePath)
+			}
 
 		case "hotpath":
 			cfg := bench.DefaultHotpathConfig()

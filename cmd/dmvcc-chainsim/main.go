@@ -47,20 +47,24 @@ func main() {
 		forensics = telemetry.NewForensics()
 		forensics.Enable()
 	}
+	var timeline *telemetry.Timeline
 	if *obsAddr != "" {
 		tracer = telemetry.NewTracer()
 		tracer.Enable()
 		metrics = telemetry.NewRegistry()
-		addr, stop, err := telemetry.Serve(*obsAddr, metrics, tracer, forensics, nil)
+		timeline = telemetry.NewTimeline(0)
+		stopSampler := timeline.Series.Start(time.Second)
+		defer stopSampler()
+		addr, stop, err := telemetry.Serve(*obsAddr, metrics, tracer, forensics, nil, timeline)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dmvcc-chainsim:", err)
 			os.Exit(1)
 		}
 		defer stop()
-		fmt.Printf("observability endpoint on http://%s (pprof, /debug/vars, /metrics, /telemetry/block/<n>, /telemetry/postmortem/<n>)\n", addr)
+		fmt.Printf("observability endpoint on http://%s (pprof, /debug/vars, /metrics, /telemetry/timeline, /telemetry/dashboard)\n", addr)
 	}
 
-	if err := run(*mode, *threads, *txs, *blocks, *validators, *interval, *hot, *seed, *backend, *shards, tracer, metrics, forensics, *postmortem); err != nil {
+	if err := run(*mode, *threads, *txs, *blocks, *validators, *interval, *hot, *seed, *backend, *shards, tracer, metrics, forensics, timeline, *postmortem); err != nil {
 		fmt.Fprintln(os.Stderr, "dmvcc-chainsim:", err)
 		os.Exit(1)
 	}
@@ -112,7 +116,7 @@ func parseMode(s string) (chain.Mode, error) {
 	return chain.Mode(s), nil
 }
 
-func run(modeName string, threads, txs, blocks, validators int, interval time.Duration, hot bool, seed int64, backendName string, shards int, tracer *telemetry.Tracer, metrics *telemetry.Registry, forensics *telemetry.Forensics, dump bool) error {
+func run(modeName string, threads, txs, blocks, validators int, interval time.Duration, hot bool, seed int64, backendName string, shards int, tracer *telemetry.Tracer, metrics *telemetry.Registry, forensics *telemetry.Forensics, timeline *telemetry.Timeline, dump bool) error {
 	mode, err := parseMode(modeName)
 	if err != nil {
 		return err
@@ -137,6 +141,9 @@ func run(modeName string, threads, txs, blocks, validators int, interval time.Du
 	cfg.Tracer = tracer
 	cfg.Metrics = metrics
 	cfg.Forensics = forensics
+	if timeline != nil {
+		cfg.Ledger = timeline.Ledger
+	}
 
 	fmt.Printf("simulating %d validators, %d blocks x %d txs, %v mean mining interval, %s on %d threads\n",
 		validators, blocks, txs, interval, mode, threads)

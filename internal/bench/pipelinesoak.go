@@ -1,0 +1,367 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"dmvcc/internal/chain"
+	"dmvcc/internal/fault"
+	"dmvcc/internal/state"
+	"dmvcc/internal/telemetry"
+	"dmvcc/internal/workload"
+)
+
+// PipelineSoakSchema versions the BENCH_pipeline.json layout.
+const PipelineSoakSchema = "dmvcc/bench-pipeline/v1"
+
+// PipelineSoakConfig drives the sustained pipeline soak: a multi-block
+// pipelined run on the flat (async-committing) backend with the stage
+// ledger, rolling time series, and gap auditor attached, followed by a
+// fault-injected leg that must trip the auditor.
+type PipelineSoakConfig struct {
+	// Blocks and Txs size the clean leg (defaults 48 blocks of 256 txs).
+	Blocks int
+	Txs    int
+	// Threads is the DMVCC worker parallelism; <= 0 derives it from
+	// GOMAXPROCS (capped at 8) so a single-core run makes single-thread
+	// claims and passes Validate's honesty guard.
+	Threads int
+	Seed    int64
+	// Backend selects the chain's state backend: "flat" (default; trie
+	// build rides the async committer, so a healthy pipeline audits clean)
+	// or "trie" (synchronous reference commit — commit sits on the
+	// critical path and the auditor is expected to flag it).
+	Backend string
+	// SampleEvery is the time-series cadence during the soak (default
+	// 100ms — soak legs last seconds, not the dashboard's minutes).
+	SampleEvery time.Duration
+	// GapTolerance is the auditor's execution-idle threshold (default
+	// 25ms: above inter-block bookkeeping jitter on a loaded CI box,
+	// well below the injected stall).
+	GapTolerance time.Duration
+	// FaultBlocks and FaultDelay size the fault leg: every block's trie
+	// commit sleeps FaultDelay (fault.CommitSlow at rate 1), plus two
+	// fault.ExecDelay stalls, and the gap auditor must detect the commit
+	// stalls (defaults 8 blocks, 4x GapTolerance).
+	FaultBlocks int
+	FaultDelay  time.Duration
+	// Metrics optionally attaches the live metrics registry (the -obs
+	// endpoint's), so the soak's ledger roll-up is scrapeable from
+	// /metrics while it runs. Nil keeps the soak self-contained.
+	Metrics *telemetry.Registry
+	// Timeline optionally reuses a live observability timeline (the -obs
+	// endpoint's), so the dashboard shows the soak as it runs. Each leg
+	// Resets it. Nil runs on a private timeline.
+	Timeline *telemetry.Timeline
+}
+
+// PipelineSoakLeg is one soaked run: its throughput, whole-leg stage
+// occupancy, pipeline stats, time series, and gap audit.
+type PipelineSoakLeg struct {
+	Name   string `json:"name"`
+	Blocks int    `json:"blocks"`
+	Txs    int    `json:"txs"`
+	WallNs int64  `json:"wall_ns"`
+
+	BlocksPerSec float64 `json:"blocks_per_sec"`
+	TxsPerSec    float64 `json:"txs_per_sec"`
+
+	// Occupancy maps stage name -> busy fraction of the leg's wall clock.
+	Occupancy map[string]float64 `json:"occupancy"`
+	// OverlapFraction/Stalls mirror chain.PipelineStats for the leg.
+	OverlapFraction float64 `json:"overlap_fraction"`
+	Stalls          int     `json:"stalls"`
+	Backpressure    int64   `json:"backpressure"`
+
+	CommitLagMaxNs  int64 `json:"commit_lag_max_ns"`
+	CommitLagMeanNs int64 `json:"commit_lag_mean_ns"`
+
+	Samples []telemetry.TimeSample `json:"samples"`
+
+	GapToleranceNs int64                `json:"gap_tolerance_ns"`
+	Gaps           []telemetry.StageGap `json:"gaps"`
+	// Clean is the auditor's verdict: no execution-idle window above
+	// tolerance while upstream/downstream stages held runnable work.
+	Clean bool `json:"clean"`
+
+	// Fault-leg fields: the injected per-commit stall and whether the
+	// auditor caught it as a commit-caused gap.
+	InjectedDelayNs int64 `json:"injected_delay_ns,omitempty"`
+	Detected        bool  `json:"detected,omitempty"`
+}
+
+// PipelineSoakReport is the BENCH_pipeline.json artifact.
+type PipelineSoakReport struct {
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go_version"`
+	// GoMaxProcs records the parallelism the soak actually ran under;
+	// Validate rejects multi-thread occupancy claims captured on one core.
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Threads    int    `json:"threads"`
+	Backend    string `json:"backend"`
+	Seed       int64  `json:"seed"`
+	WallNs     int64  `json:"wall_ns"`
+
+	CleanLeg PipelineSoakLeg `json:"clean_leg"`
+	FaultLeg PipelineSoakLeg `json:"fault_leg"`
+}
+
+// Validate is the report's self-check contract, run by the CI soak gate on
+// the freshly written artifact and by -strict-style consumers on re-read.
+func (r *PipelineSoakReport) Validate() error {
+	if r.Schema != PipelineSoakSchema {
+		return fmt.Errorf("schema %q != %q", r.Schema, PipelineSoakSchema)
+	}
+	if r.Threads > 1 && r.GoMaxProcs <= 1 {
+		return fmt.Errorf("captured at GOMAXPROCS=%d claiming %d worker threads: occupancy fractions are not a parallelism measurement (re-run with GOMAXPROCS>1 or -pipethreads 1)",
+			r.GoMaxProcs, r.Threads)
+	}
+	checkLeg := func(leg *PipelineSoakLeg) error {
+		if leg.Blocks <= 0 || leg.Txs <= 0 {
+			return fmt.Errorf("empty leg")
+		}
+		if len(leg.Samples) == 0 {
+			return fmt.Errorf("no time-series samples")
+		}
+		for _, st := range telemetry.Stages() {
+			f, ok := leg.Occupancy[st.String()]
+			if !ok {
+				return fmt.Errorf("occupancy missing stage %q", st)
+			}
+			if f < 0 || f > 1 {
+				return fmt.Errorf("occupancy[%s]=%v outside [0,1]", st, f)
+			}
+		}
+		if leg.Occupancy[telemetry.StageExecution.String()] <= 0 {
+			return fmt.Errorf("execution occupancy is zero — ledger not wired")
+		}
+		if leg.Clean != (len(leg.Gaps) == 0) {
+			return fmt.Errorf("clean=%v disagrees with %d recorded gaps", leg.Clean, len(leg.Gaps))
+		}
+		return nil
+	}
+	if err := checkLeg(&r.CleanLeg); err != nil {
+		return fmt.Errorf("clean leg: %w", err)
+	}
+	if err := checkLeg(&r.FaultLeg); err != nil {
+		return fmt.Errorf("fault leg: %w", err)
+	}
+	if r.Backend == "flat" && !r.CleanLeg.Clean {
+		return fmt.Errorf("clean leg flagged %d stage gaps on the async-committing backend: pipeline left execution idle", len(r.CleanLeg.Gaps))
+	}
+	if r.FaultLeg.InjectedDelayNs <= 0 {
+		return fmt.Errorf("fault leg carries no injected delay")
+	}
+	if !r.FaultLeg.Detected {
+		return fmt.Errorf("gap auditor missed the injected %v commit stall", time.Duration(r.FaultLeg.InjectedDelayNs))
+	}
+	return nil
+}
+
+// Render formats the report for the CLI.
+func (r *PipelineSoakReport) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== pipeline soak: occupancy ledger + gap audit (%s backend, %d threads, GOMAXPROCS=%d) ==\n",
+		r.Backend, r.Threads, r.GoMaxProcs)
+	leg := func(l *PipelineSoakLeg) {
+		fmt.Fprintf(&sb, "%s: %d blocks / %d txs in %v — %.2f blocks/s, %.0f txs/s\n",
+			l.Name, l.Blocks, l.Txs, time.Duration(l.WallNs).Round(time.Millisecond),
+			l.BlocksPerSec, l.TxsPerSec)
+		fmt.Fprintf(&sb, "  occupancy: analysis %.1f%%, execution %.1f%%, commit %.1f%% (overlap %.0f%%, %d stalls, backpressure %d)\n",
+			100*l.Occupancy["analysis"], 100*l.Occupancy["execution"], 100*l.Occupancy["commit"],
+			100*l.OverlapFraction, l.Stalls, l.Backpressure)
+		fmt.Fprintf(&sb, "  commit lag: max %v, mean %v; samples: %d\n",
+			time.Duration(l.CommitLagMaxNs).Round(time.Microsecond),
+			time.Duration(l.CommitLagMeanNs).Round(time.Microsecond), len(l.Samples))
+		if l.InjectedDelayNs > 0 {
+			verdict := "MISSED"
+			if l.Detected {
+				verdict = "detected"
+			}
+			fmt.Fprintf(&sb, "  injected %v commit stall per block: %s (%d gaps flagged)\n",
+				time.Duration(l.InjectedDelayNs), verdict, len(l.Gaps))
+		} else if l.Clean {
+			fmt.Fprintf(&sb, "  gap audit: clean (tolerance %v)\n", time.Duration(l.GapToleranceNs))
+		} else {
+			fmt.Fprintf(&sb, "  gap audit: %d execution-idle windows above %v\n",
+				len(l.Gaps), time.Duration(l.GapToleranceNs))
+		}
+	}
+	leg(&r.CleanLeg)
+	leg(&r.FaultLeg)
+	return sb.String()
+}
+
+// WriteJSON writes the report artifact.
+func (r *PipelineSoakReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// pipelineSoakBackend resolves the backend name to a workload factory (nil =
+// reference trie DB).
+func pipelineSoakBackend(name string) (string, func() (state.Backend, error), error) {
+	switch name {
+	case "", "flat":
+		return "flat", func() (state.Backend, error) {
+			return state.NewFlat(state.FlatOpts{Shards: 16})
+		}, nil
+	case "trie":
+		return "trie", nil, nil
+	default:
+		return "", nil, fmt.Errorf("pipeline soak: unknown backend %q (flat|trie)", name)
+	}
+}
+
+// RunPipelineSoak drives the sustained soak: a clean pipelined leg whose gap
+// audit must come back empty, then a fault-injected leg (CommitSlow on every
+// block, a couple of ExecDelay stalls) whose audit must flag the stalls.
+func RunPipelineSoak(cfg PipelineSoakConfig) (*PipelineSoakReport, error) {
+	if cfg.Blocks <= 0 {
+		cfg.Blocks = 48
+	}
+	if cfg.Txs <= 0 {
+		cfg.Txs = 256
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 100 * time.Millisecond
+	}
+	if cfg.GapTolerance <= 0 {
+		cfg.GapTolerance = 25 * time.Millisecond
+	}
+	if cfg.FaultBlocks <= 0 {
+		cfg.FaultBlocks = 8
+	}
+	if cfg.FaultDelay <= 0 {
+		cfg.FaultDelay = 4 * cfg.GapTolerance
+	}
+	gmp := runtime.GOMAXPROCS(0)
+	if cfg.Threads <= 0 {
+		cfg.Threads = gmp
+		if cfg.Threads > 8 {
+			cfg.Threads = 8
+		}
+	}
+	backendName, factory, err := pipelineSoakBackend(cfg.Backend)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &PipelineSoakReport{
+		Schema:     PipelineSoakSchema,
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: gmp,
+		Threads:    cfg.Threads,
+		Backend:    backendName,
+		Seed:       cfg.Seed,
+	}
+
+	start := time.Now()
+	clean, err := runPipelineSoakLeg(cfg, factory, "clean", cfg.Blocks, nil)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline soak clean leg: %w", err)
+	}
+	rep.CleanLeg = *clean
+
+	injector := fault.New(fault.Config{
+		Seed:   cfg.Seed,
+		Rates:  map[fault.Point]float64{fault.CommitSlow: 1, fault.ExecDelay: 1},
+		Delay:  cfg.FaultDelay,
+		Limits: map[fault.Point]int{fault.ExecDelay: 2},
+	})
+	faultLeg, err := runPipelineSoakLeg(cfg, factory, "fault", cfg.FaultBlocks, injector)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline soak fault leg: %w", err)
+	}
+	faultLeg.InjectedDelayNs = int64(cfg.FaultDelay)
+	for _, g := range faultLeg.Gaps {
+		if g.Cause == "commit" {
+			faultLeg.Detected = true
+			break
+		}
+	}
+	rep.FaultLeg = *faultLeg
+	rep.WallNs = int64(time.Since(start))
+	return rep, nil
+}
+
+// runPipelineSoakLeg runs one pipelined multi-block leg with the ledger and
+// sampler attached and rolls it up.
+func runPipelineSoakLeg(cfg PipelineSoakConfig, factory func() (state.Backend, error), name string, blocks int, injector *fault.Injector) (*PipelineSoakLeg, error) {
+	wl := workload.DefaultConfig()
+	wl.TxPerBlock = cfg.Txs
+	wl.Seed = cfg.Seed
+	wl.Backend = factory
+	world, err := workload.BuildWorld(wl)
+	if err != nil {
+		return nil, err
+	}
+	defer world.DB.Close()
+
+	inputs := make([]chain.BlockInput, 0, blocks)
+	leg := &PipelineSoakLeg{Name: name, Blocks: blocks, GapToleranceNs: int64(cfg.GapTolerance)}
+	for b := 0; b < blocks; b++ {
+		blockCtx := world.BlockContext()
+		txs := world.NextBlock()
+		leg.Txs += len(txs)
+		inputs = append(inputs, chain.BlockInput{Block: blockCtx, Txs: txs})
+	}
+
+	tl := cfg.Timeline
+	if tl == nil {
+		tl = telemetry.NewTimeline(0)
+	}
+	tl.Reset()
+	tl.Ledger.Enable()
+
+	opts := []chain.EngineOption{chain.WithLedger(tl.Ledger)}
+	if cfg.Metrics != nil {
+		opts = append(opts, chain.WithMetrics(cfg.Metrics))
+	}
+	if injector != nil {
+		opts = append(opts, chain.WithFaults(injector))
+	}
+	eng := chain.NewEngine(world.DB, world.Registry, cfg.Threads, opts...)
+
+	stopSampler := tl.Series.Start(cfg.SampleEvery)
+	start := time.Now()
+	res, err := eng.ExecutePipelined(chain.ModeDMVCC, inputs)
+	wall := time.Since(start)
+	stopSampler()
+	if err != nil {
+		return nil, err
+	}
+	if tl.Series.Len() == 0 {
+		// An externally driven sampler (a shared -obs timeline) may not have
+		// ticked during a short leg; take the one sample the report needs.
+		tl.Series.SampleNow()
+	}
+
+	leg.WallNs = int64(wall)
+	sec := wall.Seconds()
+	if sec > 0 {
+		leg.BlocksPerSec = float64(blocks) / sec
+		leg.TxsPerSec = float64(leg.Txs) / sec
+	}
+	sum := tl.Ledger.Summary()
+	leg.Occupancy = sum.Occupancy
+	leg.CommitLagMaxNs = sum.CommitMaxNs
+	leg.CommitLagMeanNs = sum.CommitMeanNs
+	leg.Backpressure = sum.Backpressure
+	leg.OverlapFraction = res.Stats.OverlapFraction()
+	leg.Stalls = res.Stats.Stalls
+	leg.Samples = tl.Series.Snapshot()
+	leg.Gaps = telemetry.AuditStageGaps(tl.Ledger, cfg.GapTolerance)
+	leg.Clean = len(leg.Gaps) == 0
+	return leg, nil
+}

@@ -1,0 +1,143 @@
+package bench_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dmvcc/internal/bench"
+	"dmvcc/internal/telemetry"
+)
+
+// soakConfig keeps the soak CI-sized: a handful of small blocks per leg.
+func soakConfig() bench.PipelineSoakConfig {
+	return bench.PipelineSoakConfig{
+		Blocks: 4, Txs: 24, Threads: 1, Seed: 3,
+		SampleEvery: 5 * time.Millisecond,
+		FaultBlocks: 3, FaultDelay: 120 * time.Millisecond,
+	}
+}
+
+func TestPipelineSoak(t *testing.T) {
+	rep, err := bench.RunPipelineSoak(soakConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("fresh report fails its own contract: %v", err)
+	}
+	if rep.Backend != "flat" {
+		t.Fatalf("default backend = %q", rep.Backend)
+	}
+	if !rep.CleanLeg.Clean {
+		t.Fatalf("clean leg flagged gaps: %+v", rep.CleanLeg.Gaps)
+	}
+	if !rep.FaultLeg.Detected || len(rep.FaultLeg.Gaps) == 0 {
+		t.Fatalf("injected commit stall not detected: %+v", rep.FaultLeg)
+	}
+	for _, g := range rep.FaultLeg.Gaps {
+		if g.Cause != "commit" {
+			t.Fatalf("fault-leg gap misattributed: %+v", g)
+		}
+		if g.IdleNs < rep.FaultLeg.GapToleranceNs {
+			t.Fatalf("flagged gap under tolerance: %+v", g)
+		}
+	}
+	if rep.CleanLeg.Occupancy["execution"] <= 0 || len(rep.CleanLeg.Samples) == 0 {
+		t.Fatalf("clean leg not instrumented: %+v", rep.CleanLeg)
+	}
+	if rep.Render() == "" {
+		t.Fatal("empty rendering")
+	}
+
+	// JSON round-trip through the artifact the CI gate re-reads.
+	path := filepath.Join(t.TempDir(), "BENCH_pipeline.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back bench.PipelineSoakReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("re-read report fails validation: %v", err)
+	}
+	if back.FaultLeg.InjectedDelayNs != int64(120*time.Millisecond) {
+		t.Fatalf("injected delay round-trip = %d", back.FaultLeg.InjectedDelayNs)
+	}
+}
+
+func TestPipelineSoakSharedTimeline(t *testing.T) {
+	tl := telemetry.NewTimeline(32)
+	cfg := soakConfig()
+	cfg.Timeline = tl
+	rep, err := bench.RunPipelineSoak(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The live timeline now holds the last (fault) leg's run.
+	snap := tl.Snapshot()
+	if snap.Summary.Blocks == 0 || len(snap.Gaps) == 0 {
+		t.Fatalf("shared timeline not fed: %+v", snap.Summary)
+	}
+}
+
+func TestPipelineSoakValidateRejects(t *testing.T) {
+	rep, err := bench.RunPipelineSoak(soakConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := *rep
+	bad.Schema = "nope"
+	if bad.Validate() == nil {
+		t.Fatal("wrong schema accepted")
+	}
+
+	// Multi-thread occupancy claims captured on one core are not a
+	// parallelism measurement (the HotpathReport guard, applied here).
+	bad = *rep
+	bad.Threads, bad.GoMaxProcs = 8, 1
+	if bad.Validate() == nil {
+		t.Fatal("GOMAXPROCS=1 multi-thread claim accepted")
+	}
+
+	bad = *rep
+	bad.FaultLeg.Detected = false
+	if bad.Validate() == nil {
+		t.Fatal("undetected injected stall accepted")
+	}
+
+	bad = *rep
+	bad.CleanLeg.Gaps = append([]telemetry.StageGap(nil), telemetry.StageGap{IdleNs: 1, Cause: "commit"})
+	bad.CleanLeg.Clean = false
+	if bad.Validate() == nil {
+		t.Fatal("dirty clean leg on the flat backend accepted")
+	}
+
+	bad = *rep
+	occ := map[string]float64{}
+	for k, v := range rep.CleanLeg.Occupancy {
+		occ[k] = v
+	}
+	delete(occ, "commit")
+	bad.CleanLeg.Occupancy = occ
+	if bad.Validate() == nil {
+		t.Fatal("missing occupancy stage accepted")
+	}
+
+	bad = *rep
+	bad.CleanLeg.Samples = nil
+	if bad.Validate() == nil {
+		t.Fatal("sample-less leg accepted")
+	}
+}

@@ -70,6 +70,7 @@ type Engine struct {
 	tracer    *telemetry.Tracer
 	metrics   *telemetry.Registry
 	forensics *telemetry.Forensics
+	ledger    *telemetry.StageLedger
 	faults    *fault.Injector
 	harden    *core.Hardening
 	recorder  *core.ScheduleRecorder
@@ -113,6 +114,15 @@ func WithMetrics(m *telemetry.Registry) EngineOption {
 // C-SAG accuracy audit of every block into it (while it is enabled).
 func WithForensics(fx *telemetry.Forensics) EngineOption {
 	return func(e *Engine) { e.forensics = fx }
+}
+
+// WithLedger attaches a stage-occupancy ledger: every execution, offline
+// analysis, and commit reports its enter/exit interval into it (while it is
+// enabled), feeding the rolling node-level time series and the stage-gap
+// auditor. Events fire once per stage per block, never on the transaction
+// hot path.
+func WithLedger(l *telemetry.StageLedger) EngineOption {
+	return func(e *Engine) { e.ledger = l }
 }
 
 // WithFaults attaches a deterministic fault injector: DMVCC executions and
@@ -203,6 +213,12 @@ func (e *Engine) Metrics() *telemetry.Registry { return e.metrics }
 // SetForensics attaches (or detaches, with nil) the forensics collector.
 func (e *Engine) SetForensics(fx *telemetry.Forensics) { e.forensics = fx }
 
+// SetLedger attaches (or detaches, with nil) the stage-occupancy ledger.
+func (e *Engine) SetLedger(l *telemetry.StageLedger) { e.ledger = l }
+
+// Ledger returns the attached stage-occupancy ledger (nil when none).
+func (e *Engine) Ledger() *telemetry.StageLedger { return e.ledger }
+
 // Forensics returns the attached forensics collector (nil when none).
 func (e *Engine) Forensics() *telemetry.Forensics { return e.forensics }
 
@@ -267,7 +283,9 @@ func (e *Engine) ExecuteWith(mode Mode, blockCtx evm.BlockContext, txs []*types.
 		e.commitAttempts = 0
 	}
 	start := time.Now()
+	e.ledger.Enter(telemetry.StageExecution, int64(blockCtx.Number))
 	out, err := s.Execute(e.execContext(blockCtx, txs, csags))
+	e.ledger.Exit(telemetry.StageExecution, int64(blockCtx.Number))
 	if err != nil {
 		return nil, err
 	}
@@ -282,7 +300,12 @@ func (e *Engine) ExecuteWith(mode Mode, blockCtx evm.BlockContext, txs []*types.
 // observe records one execution outcome into the metrics registry: per-mode
 // block execution and analysis latency histograms, the per-transaction
 // virtual service-time distribution, and (for DMVCC) the scheduler counters.
+// The occupancy ledger's throughput counters (blocks, txs, aborts) bump here
+// too, independent of whether a metrics registry is attached.
 func (e *Engine) observe(mode Mode, out *ExecOut) {
+	if out != nil && e.ledger.Enabled() {
+		e.ledger.NoteBlock(int64(len(out.Receipts)), out.Stats.Aborts+out.Aborts)
+	}
 	if e.metrics == nil || out == nil {
 		return
 	}
@@ -303,6 +326,9 @@ func (e *Engine) observe(mode Mode, out *ExecOut) {
 	if out.Aborts > 0 {
 		e.metrics.Counter("chain." + m + ".aborts").Add(out.Aborts)
 	}
+	if e.ledger.Enabled() {
+		e.ledger.RecordMetrics(e.metrics)
+	}
 }
 
 // Analyzer exposes the engine's SAG analyzer (shared with transaction
@@ -316,6 +342,18 @@ func (e *Engine) Analyzer() *sag.Analyzer { return e.an }
 // maxCommitFaults attempts per block, so retrying the commit always
 // converges — the write set itself is never touched.
 func (e *Engine) Commit(ws *state.WriteSet) (types.Hash, error) {
+	if e.ledger.Enabled() {
+		// The injected CommitSlow sleep counts as commit-stage busy time: it
+		// models a slow commit, which is exactly what the occupancy ledger
+		// and gap auditor are meant to surface.
+		e.ledger.Enter(telemetry.StageCommit, e.lastBlock)
+		e.ledger.NoteCommitIssued()
+		issued := time.Now()
+		defer func() {
+			e.ledger.Exit(telemetry.StageCommit, e.lastBlock)
+			e.ledger.NoteCommitDone(time.Since(issued))
+		}()
+	}
 	if in := e.faults; in.Enabled() {
 		attempt := e.commitAttempts
 		e.commitAttempts++
@@ -363,10 +401,19 @@ func (e *Engine) CommitAsync(ws *state.WriteSet) <-chan state.CommitResult {
 	}
 	start := time.Now()
 	block := e.tracer.Block()
+	if e.ledger.Enabled() {
+		e.ledger.Enter(telemetry.StageCommit, e.lastBlock)
+		e.ledger.NoteCommitIssued()
+	}
+	ledgerBlock := e.lastBlock
 	inner := ac.CommitAsync(ws, e.threads)
 	out := make(chan state.CommitResult, 1)
 	go func() {
 		res := <-inner
+		if e.ledger.Enabled() {
+			e.ledger.Exit(telemetry.StageCommit, ledgerBlock)
+			e.ledger.NoteCommitDone(time.Since(start))
+		}
 		if res.Err == nil {
 			if e.metrics != nil {
 				e.metrics.Histogram("chain.commit_ns").Observe(float64(time.Since(start).Nanoseconds()))

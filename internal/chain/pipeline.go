@@ -49,9 +49,13 @@ type PipelineStats struct {
 	CommitWait time.Duration
 	// Reused counts transactions whose caller-provided (pool-cached)
 	// analysis was reused as-is; Analyzed counts transactions the pipeline
-	// analyzed or refreshed itself.
+	// analyzed or refreshed itself — the pool's holes (nil or stale slots).
 	Reused   int
 	Analyzed int
+	// Stalls counts block hand-offs where execution finished before the next
+	// block's overlapped analysis had — each is one pipeline bubble (the
+	// per-occurrence count behind the summed Stall duration).
+	Stalls int
 }
 
 // OverlapFraction returns the share of analysis wall time hidden behind
@@ -73,7 +77,11 @@ func (s PipelineStats) OverlapFraction() float64 {
 }
 
 // RecordMetrics implements telemetry.Source: pipeline wall-time splits and
-// analysis reuse counters accumulate under the "pipeline." prefix.
+// analysis reuse counters accumulate under the "pipeline." prefix, with the
+// derived overlap fraction as a parts-per-million gauge (the registry is
+// integer-valued) and the stall/hole counts as first-class counters, so the
+// pipeline's health is readable straight off /metrics — JSON or Prometheus —
+// without fetching a per-run snapshot.
 func (s PipelineStats) RecordMetrics(r *telemetry.Registry) {
 	r.Counter("pipeline.blocks").Add(int64(s.Blocks))
 	r.Counter("pipeline.analysis_wall_ns").Add(s.AnalysisWall.Nanoseconds())
@@ -83,6 +91,9 @@ func (s PipelineStats) RecordMetrics(r *telemetry.Registry) {
 	r.Counter("pipeline.commit_wait_ns").Add(s.CommitWait.Nanoseconds())
 	r.Counter("pipeline.reused").Add(int64(s.Reused))
 	r.Counter("pipeline.analyzed").Add(int64(s.Analyzed))
+	r.Counter("pipeline.holes").Add(int64(s.Analyzed))
+	r.Counter("pipeline.stall_blocks").Add(int64(s.Stalls))
+	r.Gauge("pipeline.overlap_fraction_ppm").Set(int64(s.OverlapFraction() * 1e6))
 }
 
 var _ telemetry.Source = PipelineStats{}
@@ -144,7 +155,9 @@ func (e *Engine) ExecutePipelinedHooked(mode Mode, blocks []BlockInput, hooks Pi
 	analyze := func(i int, a *blockAnalysis) {
 		defer close(a.done)
 		start := time.Now()
+		e.ledger.Enter(telemetry.StageAnalysis, int64(blocks[i].Block.Number))
 		a.csags, a.err = offline.AnalyzeOffline(e.execContext(blocks[i].Block, blocks[i].Txs, blocks[i].CSAGs))
+		e.ledger.Exit(telemetry.StageAnalysis, int64(blocks[i].Block.Number))
 		a.dur = time.Since(start)
 		if e.tracer.Enabled() {
 			e.tracer.RecordSpan(int64(blocks[i].Block.Number), "analysis",
@@ -193,6 +206,21 @@ func (e *Engine) ExecutePipelinedHooked(mode Mode, blocks []BlockInput, hooks Pi
 			return nil
 		}
 		waitStart := time.Now()
+		select {
+		case r := <-pendingCommit:
+			// Commit already done — drained without blocking.
+			pendingCommit = nil
+			res.Stats.CommitWait += time.Since(waitStart)
+			if r.Err != nil {
+				return fmt.Errorf("chain: pipeline commit of block %d: %w", pendingIdx, r.Err)
+			}
+			res.Roots[pendingIdx] = r.Root
+			return nil
+		default:
+			// The previous block's commit is still in flight and the pipeline
+			// now needs its slot: the committer is backpressuring the chain.
+			e.ledger.NoteBackpressure()
+		}
 		r := <-pendingCommit
 		pendingCommit = nil
 		res.Stats.CommitWait += time.Since(waitStart)
@@ -226,9 +254,15 @@ func (e *Engine) ExecutePipelinedHooked(mode Mode, blocks []BlockInput, hooks Pi
 		if hooks.ExecStart != nil {
 			hooks.ExecStart(i)
 		}
+		// Key fault injection and the occupancy ledger to the block actually
+		// running, not whatever the last sequential call left behind.
+		e.lastBlock = int64(blocks[i].Block.Number)
+		e.commitAttempts = 0
 		e.tracer.SetBlock(int64(blocks[i].Block.Number))
 		execStart := time.Now()
+		e.ledger.Enter(telemetry.StageExecution, int64(blocks[i].Block.Number))
 		out, err := sched.Execute(e.execContext(blocks[i].Block, blocks[i].Txs, csags))
+		e.ledger.Exit(telemetry.StageExecution, int64(blocks[i].Block.Number))
 		if err != nil {
 			return nil, fmt.Errorf("chain: pipeline block %d: %w", i, err)
 		}
@@ -250,6 +284,13 @@ func (e *Engine) ExecutePipelinedHooked(mode Mode, blocks []BlockInput, hooks Pi
 		// its duration we do not spend waiting here ran hidden behind this
 		// block's execution.
 		if next != nil {
+			select {
+			case <-next.done:
+				// Analysis finished under cover of this block's execution —
+				// the hand-off is bubble-free.
+			default:
+				res.Stats.Stalls++
+			}
 			waitStart := time.Now()
 			<-next.done
 			stall := time.Since(waitStart)

@@ -46,6 +46,10 @@ type Config struct {
 	// Forensics, when non-nil and enabled, collects conflict forensics and
 	// the C-SAG accuracy audit of the really-executed blocks (DMVCC only).
 	Forensics *telemetry.Forensics
+	// Ledger, when non-nil and enabled, records per-stage occupancy
+	// intervals of the really-executed blocks (feeding a live
+	// /telemetry/timeline endpoint).
+	Ledger *telemetry.StageLedger
 }
 
 // DefaultConfig mirrors the paper's RQ3 setup with execution as the
@@ -104,7 +108,7 @@ func NewSession(cfg Config, mode chain.Mode) (*Session, error) {
 	}
 	eng := chain.NewEngine(world.DB, world.Registry, 8,
 		chain.WithTracer(cfg.Tracer), chain.WithMetrics(cfg.Metrics),
-		chain.WithForensics(cfg.Forensics))
+		chain.WithForensics(cfg.Forensics), chain.WithLedger(cfg.Ledger))
 	s := &Session{cfg: cfg, mode: mode}
 	for b := 0; b < cfg.Blocks; b++ {
 		blockCtx := world.BlockContext()

@@ -1,0 +1,209 @@
+package telemetry
+
+// dashboardHTML is the self-contained live timeline dashboard served at
+// /telemetry/dashboard: it polls /telemetry/timeline once a second and
+// renders stat tiles, sparkline time series, stage occupancy bars, and the
+// stage-gap list with inline SVG — no external dependencies, works offline.
+//
+// Colors follow the repo's chart conventions: a fixed-order categorical trio
+// (blue = analysis, orange = commit, aqua = execution — the three-slot
+// palette validated for colorblind-safe adjacency in light and dark), status
+// red reserved for flagged gaps, and text always in ink tokens rather than
+// series colors. Dark mode is its own stepped palette, not an automatic
+// inversion.
+const dashboardHTML = `<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>dmvcc timeline</title>
+<style>
+  :root {
+    color-scheme: light;
+    --surface: #fcfcfb; --panel: #f4f3f1; --grid: #e4e3df;
+    --ink: #0b0b0b; --ink-2: #52514e;
+    --analysis: #2a78d6; --commit: #eb6834; --execution: #1baf7a;
+    --bad: #e34948; --good: #008300;
+  }
+  @media (prefers-color-scheme: dark) {
+    :root {
+      color-scheme: dark;
+      --surface: #1a1a19; --panel: #242422; --grid: #383835;
+      --ink: #ffffff; --ink-2: #c3c2b7;
+      --analysis: #3987e5; --commit: #d95926; --execution: #199e70;
+      --bad: #e66767; --good: #1baf7a;
+    }
+  }
+  body { margin: 0; padding: 16px 20px; background: var(--surface); color: var(--ink);
+         font: 13px/1.45 ui-sans-serif, system-ui, sans-serif; }
+  h1 { font-size: 16px; font-weight: 600; margin: 0 0 2px; }
+  .sub { color: var(--ink-2); margin-bottom: 14px; }
+  .tiles { display: flex; flex-wrap: wrap; gap: 10px; margin-bottom: 14px; }
+  .tile { background: var(--panel); border-radius: 8px; padding: 10px 14px; min-width: 120px; }
+  .tile .v { font-size: 22px; font-weight: 600; font-variant-numeric: tabular-nums; }
+  .tile .k { color: var(--ink-2); font-size: 11px; text-transform: uppercase; letter-spacing: .04em; }
+  .row { display: flex; flex-wrap: wrap; gap: 14px; }
+  .card { background: var(--panel); border-radius: 8px; padding: 10px 14px 12px; flex: 1 1 320px; }
+  .card h2 { font-size: 12px; font-weight: 600; margin: 0 0 6px; color: var(--ink-2);
+             text-transform: uppercase; letter-spacing: .04em; }
+  svg text { fill: var(--ink-2); font: 10px ui-sans-serif, system-ui, sans-serif; }
+  .legend { display: flex; gap: 14px; margin: 4px 0 2px; color: var(--ink-2); font-size: 11px; }
+  .legend i { display: inline-block; width: 9px; height: 9px; border-radius: 2px; margin-right: 4px; vertical-align: -1px; }
+  table { border-collapse: collapse; width: 100%; font-variant-numeric: tabular-nums; }
+  th { text-align: left; color: var(--ink-2); font-weight: 500; font-size: 11px; }
+  th, td { padding: 3px 10px 3px 0; border-bottom: 1px solid var(--grid); }
+  .gap-flag { color: var(--bad); font-weight: 600; }
+  .clean { color: var(--good); font-weight: 600; }
+  #tip { position: fixed; pointer-events: none; background: var(--panel); color: var(--ink);
+         border: 1px solid var(--grid); border-radius: 6px; padding: 4px 8px; font-size: 11px;
+         display: none; white-space: nowrap; box-shadow: 0 2px 8px rgba(0,0,0,.15); }
+  .err { color: var(--bad); }
+</style>
+</head>
+<body>
+<h1>dmvcc node timeline</h1>
+<div class="sub">pipeline occupancy ledger &amp; rolling time-series store — polls <code>/telemetry/timeline</code> every second</div>
+<div class="tiles" id="tiles"></div>
+<div class="row">
+  <div class="card" style="flex:2 1 460px">
+    <h2>Stage occupancy</h2>
+    <div class="legend">
+      <span><i style="background:var(--analysis)"></i>analysis</span>
+      <span><i style="background:var(--execution)"></i>execution</span>
+      <span><i style="background:var(--commit)"></i>commit</span>
+    </div>
+    <svg id="occ" width="100%" height="120" preserveAspectRatio="none"></svg>
+    <svg id="occbars" width="100%" height="64"></svg>
+  </div>
+  <div class="card"><h2>Blocks / sec</h2><svg id="bps" width="100%" height="90"></svg></div>
+  <div class="card"><h2>Txs / sec</h2><svg id="tps" width="100%" height="90"></svg></div>
+</div>
+<div class="row" style="margin-top:14px">
+  <div class="card"><h2>Commit lag (ms)</h2><svg id="lag" width="100%" height="90"></svg></div>
+  <div class="card"><h2>Heap (MiB)</h2><svg id="heap" width="100%" height="90"></svg></div>
+  <div class="card" style="flex:2 1 420px">
+    <h2>Stage gaps (execution idle with runnable work)</h2>
+    <div id="gaps"></div>
+  </div>
+</div>
+<div id="tip"></div>
+<script>
+"use strict";
+const css = n => getComputedStyle(document.documentElement).getPropertyValue(n).trim();
+const fmt = (v, d) => v == null || !isFinite(v) ? "–" : v.toFixed(d == null ? 1 : d);
+const tip = document.getElementById("tip");
+
+function tile(k, v) { return '<div class="tile"><div class="v">' + v + '</div><div class="k">' + k + '</div></div>'; }
+
+// sparkline: 2px line of one series, recessive baseline, nearest-sample
+// hover tooltip. ys in data units; fmtY renders tooltip values.
+function spark(el, xs, series, fmtY) {
+  const w = el.clientWidth || 300, h = el.clientHeight || 90, pad = 4;
+  el.setAttribute("viewBox", "0 0 " + w + " " + h);
+  let max = 0;
+  for (const s of series) for (const v of s.ys) if (isFinite(v) && v > max) max = v;
+  if (max <= 0) max = 1;
+  const X = i => xs.length < 2 ? w / 2 : pad + (w - 2 * pad) * i / (xs.length - 1);
+  const Y = v => h - pad - (h - 2 * pad) * Math.min(v, max) / max;
+  let svg = '<line x1="0" y1="' + (h - pad) + '" x2="' + w + '" y2="' + (h - pad) +
+            '" stroke="' + css("--grid") + '" stroke-width="1"/>';
+  svg += '<text x="' + (w - 4) + '" y="10" text-anchor="end">' + fmtY(max) + '</text>';
+  for (const s of series) {
+    let d = "";
+    s.ys.forEach((v, i) => { d += (i ? "L" : "M") + X(i).toFixed(1) + " " + Y(v).toFixed(1); });
+    if (s.ys.length === 1) d += "h0.01";
+    svg += '<path d="' + d + '" fill="none" stroke="' + s.color + '" stroke-width="2" stroke-linejoin="round"/>';
+  }
+  el.innerHTML = svg;
+  el.onmousemove = ev => {
+    if (!xs.length) return;
+    const r = el.getBoundingClientRect();
+    const i = Math.max(0, Math.min(xs.length - 1,
+      Math.round((ev.clientX - r.left - pad) / Math.max(1, r.width - 2 * pad) * (xs.length - 1))));
+    tip.style.display = "block";
+    tip.style.left = (ev.clientX + 12) + "px";
+    tip.style.top = (ev.clientY + 12) + "px";
+    tip.innerHTML = "t+" + fmt(xs[i], 1) + "s — " +
+      series.map(s => s.name + ": " + fmtY(s.ys[i])).join(", ");
+  };
+  el.onmouseleave = () => { tip.style.display = "none"; };
+}
+
+// occupancy bars: whole-run busy fraction per stage, 4px rounded data end,
+// value labelled in ink.
+function occBars(el, sum) {
+  const w = el.clientWidth || 400, h = 64, lab = 64, bh = 12;
+  el.setAttribute("viewBox", "0 0 " + w + " " + h);
+  const stages = [["analysis", "--analysis"], ["execution", "--execution"], ["commit", "--commit"]];
+  let svg = "";
+  stages.forEach((s, i) => {
+    const f = (sum.occupancy && sum.occupancy[s[0]]) || 0;
+    const y = 4 + i * (bh + 8);
+    const bw = Math.max(0, (w - lab - 52) * f);
+    svg += '<text x="0" y="' + (y + bh - 2) + '">' + s[0] + '</text>' +
+      '<rect x="' + lab + '" y="' + y + '" width="' + (w - lab - 52) + '" height="' + bh +
+      '" rx="4" fill="' + css("--grid") + '" opacity="0.5"/>' +
+      '<rect x="' + lab + '" y="' + y + '" width="' + Math.max(bw, 0.01) + '" height="' + bh +
+      '" rx="4" fill="' + css(s[1]) + '"/>' +
+      '<text x="' + (lab + (w - lab - 52) + 6) + '" y="' + (y + bh - 2) + '">' +
+      (100 * f).toFixed(1) + '%</text>';
+  });
+  el.innerHTML = svg;
+}
+
+function gapTable(el, gaps) {
+  if (!gaps || !gaps.length) {
+    el.innerHTML = '<span class="clean">no stage gaps — pipeline stayed full</span>';
+    return;
+  }
+  let html = '<table><tr><th>after block</th><th>next</th><th>idle</th><th>analysis wait</th><th>cause</th></tr>';
+  for (const g of gaps.slice(-20)) {
+    html += '<tr><td>' + g.after_block + '</td><td>' + g.next_block +
+      '</td><td class="gap-flag">' + fmt(g.idle_ns / 1e6, 2) + ' ms</td><td>' +
+      fmt((g.wait_analysis_ns || 0) / 1e6, 2) + ' ms</td><td>' + g.cause + '</td></tr>';
+  }
+  html += '</table>';
+  if (gaps.length > 20) html += '<div class="sub">… showing last 20 of ' + gaps.length + '</div>';
+  el.innerHTML = html;
+}
+
+async function refresh() {
+  let snap;
+  try {
+    snap = await (await fetch("/telemetry/timeline", { cache: "no-store" })).json();
+  } catch (e) {
+    document.getElementById("tiles").innerHTML = '<div class="tile err">timeline endpoint unreachable</div>';
+    return;
+  }
+  const S = snap.samples || [], sum = snap.summary || {};
+  const last = S[S.length - 1] || {};
+  const xs = S.map(s => s.ts_ns / 1e9);
+  document.getElementById("tiles").innerHTML =
+    tile("blocks/sec", fmt(last.blocks_per_sec, 2)) +
+    tile("txs/sec", fmt(last.txs_per_sec, 0)) +
+    tile("aborts/sec", fmt(last.aborts_per_sec, 1)) +
+    tile("commit lag", fmt((last.commit_lag_ns || 0) / 1e6, 2) + " ms") +
+    tile("commit queue", sum.commit_queue == null ? "–" : sum.commit_queue) +
+    tile("blocks total", sum.blocks == null ? "–" : sum.blocks) +
+    tile("gaps", (snap.gaps || []).length);
+  spark(document.getElementById("occ"), xs, [
+    { name: "analysis", color: css("--analysis"), ys: S.map(s => s.occ_analysis) },
+    { name: "execution", color: css("--execution"), ys: S.map(s => s.occ_execution) },
+    { name: "commit", color: css("--commit"), ys: S.map(s => s.occ_commit) },
+  ], v => (100 * v).toFixed(0) + "%");
+  spark(document.getElementById("bps"), xs,
+    [{ name: "blocks/s", color: css("--analysis"), ys: S.map(s => s.blocks_per_sec) }], v => fmt(v, 2));
+  spark(document.getElementById("tps"), xs,
+    [{ name: "txs/s", color: css("--analysis"), ys: S.map(s => s.txs_per_sec) }], v => fmt(v, 0));
+  spark(document.getElementById("lag"), xs,
+    [{ name: "lag", color: css("--commit"), ys: S.map(s => s.commit_lag_ns / 1e6) }], v => fmt(v, 2) + " ms");
+  spark(document.getElementById("heap"), xs,
+    [{ name: "heap", color: css("--execution"), ys: S.map(s => s.heap_bytes / 1048576) }], v => fmt(v, 1) + " MiB");
+  occBars(document.getElementById("occbars"), sum);
+  gapTable(document.getElementById("gaps"), snap.gaps);
+}
+refresh();
+setInterval(refresh, 1000);
+</script>
+</body>
+</html>
+`

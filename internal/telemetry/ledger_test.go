@@ -1,0 +1,225 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// putInterval appends a synthetic closed interval, bypassing the wall clock
+// so auditor tests are deterministic.
+func putInterval(l *StageLedger, st Stage, block, start, end int64) {
+	s := &l.stages[st]
+	s.mu.Lock()
+	s.intervals = append(s.intervals, StageInterval{Stage: st, Block: block, Start: start, End: end})
+	s.mu.Unlock()
+	s.busyNs.Add(end - start)
+	s.entries.Add(1)
+}
+
+func TestLedgerNilAndDisabledSafe(t *testing.T) {
+	var l *StageLedger
+	l.Enter(StageExecution, 1)
+	l.Exit(StageExecution, 1)
+	l.NoteBlock(10, 1)
+	l.NoteCommitIssued()
+	l.NoteCommitDone(time.Millisecond)
+	l.NoteBackpressure()
+	l.Reset()
+	if l.Enabled() {
+		t.Fatal("nil ledger reports enabled")
+	}
+	if got := l.BusyNs(StageExecution); got != 0 {
+		t.Fatalf("nil BusyNs = %d", got)
+	}
+	if sum := l.Summary(); sum.Blocks != 0 || len(sum.Occupancy) != 0 {
+		t.Fatalf("nil Summary = %+v", sum)
+	}
+	if gaps := AuditStageGaps(nil, 0); gaps != nil {
+		t.Fatalf("nil audit = %v", gaps)
+	}
+
+	d := NewStageLedger() // disabled: every hook must be a no-op
+	d.Enter(StageExecution, 1)
+	d.Exit(StageExecution, 1)
+	d.NoteBlock(10, 1)
+	d.NoteCommitIssued()
+	if d.BusyNs(StageExecution) != 0 || d.CommitQueueDepth() != 0 {
+		t.Fatal("disabled ledger accumulated state")
+	}
+	if b, _, _ := d.Counts(); b != 0 {
+		t.Fatal("disabled ledger counted blocks")
+	}
+}
+
+func TestLedgerBusyAndCounts(t *testing.T) {
+	l := NewStageLedger()
+	l.Enable()
+
+	l.Enter(StageExecution, 1)
+	time.Sleep(2 * time.Millisecond)
+	l.Exit(StageExecution, 1)
+	if busy := l.BusyNs(StageExecution); busy < int64(time.Millisecond) {
+		t.Fatalf("execution busy = %v, want >= 1ms", time.Duration(busy))
+	}
+	ivs := l.Intervals(StageExecution)
+	if len(ivs) != 1 || ivs[0].Block != 1 || ivs[0].End <= ivs[0].Start {
+		t.Fatalf("intervals = %+v", ivs)
+	}
+
+	// An open interval counts toward BusyNs before Exit.
+	l.Enter(StageAnalysis, 2)
+	time.Sleep(time.Millisecond)
+	if busy := l.BusyNs(StageAnalysis); busy <= 0 {
+		t.Fatal("open interval not counted in BusyNs")
+	}
+	l.Exit(StageAnalysis, 2)
+
+	l.NoteBlock(100, 3)
+	l.NoteBlock(50, 0)
+	if b, txs, aborts := l.Counts(); b != 2 || txs != 150 || aborts != 3 {
+		t.Fatalf("counts = %d/%d/%d", b, txs, aborts)
+	}
+
+	l.NoteCommitIssued()
+	if l.CommitQueueDepth() != 1 {
+		t.Fatal("commit queue not bumped")
+	}
+	l.NoteCommitDone(4 * time.Millisecond)
+	l.NoteCommitIssued()
+	l.NoteCommitDone(2 * time.Millisecond)
+	if l.CommitQueueDepth() != 0 {
+		t.Fatal("commit queue not drained")
+	}
+	last, max, mean := l.CommitLag()
+	if last != 2*time.Millisecond || max != 4*time.Millisecond || mean != 3*time.Millisecond {
+		t.Fatalf("commit lag = %v/%v/%v", last, max, mean)
+	}
+
+	l.NoteBackpressure()
+	if l.Backpressure() != 1 {
+		t.Fatal("backpressure not counted")
+	}
+
+	sum := l.Summary()
+	if sum.Blocks != 2 || sum.Txs != 150 || sum.Occupancy["execution"] <= 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	for _, st := range Stages() {
+		f := sum.Occupancy[st.String()]
+		if f < 0 || f > 1 {
+			t.Fatalf("occupancy[%s] = %v outside [0,1]", st, f)
+		}
+	}
+
+	l.Reset()
+	if b, _, _ := l.Counts(); b != 0 || l.BusyNs(StageExecution) != 0 || len(l.Intervals(StageExecution)) != 0 {
+		t.Fatal("Reset left state behind")
+	}
+	if !l.Enabled() {
+		t.Fatal("Reset flipped the enabled state")
+	}
+}
+
+func TestLedgerDoubleEnterAndUnmatchedExit(t *testing.T) {
+	l := NewStageLedger()
+	l.Enable()
+	l.Enter(StageExecution, 1)
+	l.Enter(StageExecution, 2) // closes block 1's interval defensively
+	l.Exit(StageExecution, 2)
+	l.Exit(StageExecution, 7) // no open interval: ignored
+	ivs := l.Intervals(StageExecution)
+	if len(ivs) != 2 || ivs[0].Block != 1 || ivs[1].Block != 2 {
+		t.Fatalf("intervals = %+v", ivs)
+	}
+}
+
+func TestLedgerRecordMetrics(t *testing.T) {
+	l := NewStageLedger()
+	l.Enable()
+	l.Enter(StageCommit, 1)
+	time.Sleep(time.Millisecond)
+	l.Exit(StageCommit, 1)
+	l.NoteBlock(10, 0)
+
+	r := NewRegistry()
+	l.RecordMetrics(r)
+	snap := r.Snapshot()
+	if snap.Gauges["ledger.occupancy_ppm.commit"] <= 0 {
+		t.Fatalf("commit occupancy gauge = %d", snap.Gauges["ledger.occupancy_ppm.commit"])
+	}
+	if snap.Gauges["ledger.blocks"] != 1 || snap.Gauges["ledger.txs"] != 10 {
+		t.Fatalf("gauges = %+v", snap.Gauges)
+	}
+}
+
+func TestAuditStageGaps(t *testing.T) {
+	ms := int64(time.Millisecond)
+	l := NewStageLedger()
+	l.Enable()
+
+	// Block 1 executes 0-10ms. Its successor's analysis finished at 5ms, but
+	// execution does not resume until 40ms: 30ms unjustified idle. A commit
+	// interval covers the window, so the cause is the commit.
+	putInterval(l, StageAnalysis, 2, 0, 5*ms)
+	putInterval(l, StageExecution, 1, 0, 10*ms)
+	putInterval(l, StageCommit, 1, 10*ms, 38*ms)
+	putInterval(l, StageExecution, 2, 40*ms, 50*ms)
+
+	// Block 3's analysis only finished at 58ms: the 8ms wait is justified,
+	// the 2ms remainder is under tolerance — no gap.
+	putInterval(l, StageAnalysis, 3, 45*ms, 58*ms)
+	putInterval(l, StageExecution, 3, 60*ms, 70*ms)
+
+	// Block 4 had no analysis interval (cached C-SAGs): runnable immediately,
+	// 20ms idle with no commit overlap — a scheduler-caused gap.
+	putInterval(l, StageExecution, 4, 90*ms, 95*ms)
+
+	gaps := AuditStageGaps(l, 10*time.Millisecond)
+	if len(gaps) != 2 {
+		t.Fatalf("gaps = %+v, want 2", gaps)
+	}
+	g := gaps[0]
+	if g.AfterBlock != 1 || g.NextBlock != 2 || g.Cause != "commit" {
+		t.Fatalf("gap[0] = %+v", g)
+	}
+	if g.IdleNs != 30*ms || g.WaitAnalysisNs != 0 {
+		t.Fatalf("gap[0] idle/wait = %d/%d", g.IdleNs, g.WaitAnalysisNs)
+	}
+	g = gaps[1]
+	if g.AfterBlock != 3 || g.NextBlock != 4 || g.Cause != "scheduler" || g.IdleNs != 20*ms {
+		t.Fatalf("gap[1] = %+v", g)
+	}
+	if g.String() == "" {
+		t.Fatal("empty gap rendering")
+	}
+
+	// Widening the tolerance past the largest idle silences the auditor.
+	if gaps := AuditStageGaps(l, 40*time.Millisecond); len(gaps) != 0 {
+		t.Fatalf("tolerant audit = %+v", gaps)
+	}
+}
+
+func TestAuditStageGapsJustifiedAnalysisWait(t *testing.T) {
+	ms := int64(time.Millisecond)
+	l := NewStageLedger()
+	l.Enable()
+	// The whole 40ms inter-exec window is spent waiting on analysis that
+	// finishes 2ms before execution resumes: justified, no gap.
+	putInterval(l, StageExecution, 1, 0, 10*ms)
+	putInterval(l, StageAnalysis, 2, 0, 48*ms)
+	putInterval(l, StageExecution, 2, 50*ms, 60*ms)
+	if gaps := AuditStageGaps(l, 10*time.Millisecond); len(gaps) != 0 {
+		t.Fatalf("justified wait flagged: %+v", gaps)
+	}
+	// But a subsequent long idle after the analysis completed is not.
+	putInterval(l, StageAnalysis, 3, 50*ms, 55*ms)
+	putInterval(l, StageExecution, 3, 100*ms, 110*ms)
+	gaps := AuditStageGaps(l, 10*time.Millisecond)
+	if len(gaps) != 1 || gaps[0].NextBlock != 3 || gaps[0].IdleNs != 40*ms {
+		t.Fatalf("gaps = %+v", gaps)
+	}
+	if gaps[0].WaitAnalysisNs != 0 {
+		// Analysis ended before the window opened (55 < 60): no justified head.
+		t.Fatalf("wait = %d", gaps[0].WaitAnalysisNs)
+	}
+}

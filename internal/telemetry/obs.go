@@ -91,6 +91,13 @@ func (d *DivergenceStore) Blocks() []int64 {
 	return out
 }
 
+// endpointInfo describes one introspection endpoint for the /telemetry/
+// index page.
+type endpointInfo struct {
+	Path, Desc string
+	Available  bool
+}
+
 // Handler returns the introspection mux: net/http/pprof under
 // /debug/pprof/, expvar under /debug/vars, the metrics registry snapshot at
 // /metrics (JSON by default; Prometheus text exposition via ?format=prom or
@@ -98,10 +105,13 @@ func (d *DivergenceStore) Blocks() []int64 {
 // /telemetry/block/<n>, the block critical path at /telemetry/critpath/<n>,
 // the conflict post-mortem at /telemetry/postmortem/<n> (?format=text for
 // the rendered report), the watchdog's stall diagnostics at
-// /telemetry/stall/<n>, and divergence audit reports at
-// /telemetry/divergence/<n>. reg, tr, fx and dv may be nil; the
-// corresponding endpoints then report 404.
-func Handler(reg *Registry, tr *Tracer, fx *Forensics, dv *DivergenceStore) http.Handler {
+// /telemetry/stall/<n>, divergence audit reports at
+// /telemetry/divergence/<n>, the rolling node timeline at
+// /telemetry/timeline (JSON ring-buffer snapshot + ledger summary + live
+// gap audit) with its live dashboard at /telemetry/dashboard, and an index
+// of all of the above at /telemetry/. reg, tr, fx, dv and tl may be nil;
+// the corresponding endpoints then report 404.
+func Handler(reg *Registry, tr *Tracer, fx *Forensics, dv *DivergenceStore, tl *Timeline) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -260,6 +270,78 @@ func Handler(reg *Registry, tr *Tracer, fx *Forensics, dv *DivergenceStore) http
 		writeJSON(w, rep)
 	})
 
+	mux.HandleFunc("/telemetry/timeline", func(w http.ResponseWriter, r *http.Request) {
+		if tl == nil {
+			http.NotFound(w, r)
+			return
+		}
+		writeJSON(w, tl.Snapshot())
+	})
+
+	mux.HandleFunc("/telemetry/dashboard", func(w http.ResponseWriter, r *http.Request) {
+		if tl == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_, _ = w.Write([]byte(dashboardHTML))
+	})
+
+	// Index: every registered endpoint in one place, so the surface is
+	// discoverable without the README. Exact-path only — unknown
+	// /telemetry/* subpaths keep 404ing.
+	endpoints := []endpointInfo{
+		{"/metrics", "metrics registry (JSON; ?format=prom for Prometheus exposition)", reg != nil},
+		{"/debug/pprof/", "net/http/pprof profiles", true},
+		{"/debug/vars", "expvar (registry published under \"telemetry\")", true},
+		{"/telemetry/timeline", "rolling node time series + occupancy ledger summary + live gap audit (JSON)", tl != nil},
+		{"/telemetry/dashboard", "live timeline dashboard (self-contained HTML)", tl != nil},
+		{"/telemetry/block/<n>", "per-block scheduler event trace", tr != nil},
+		{"/telemetry/critpath/<n>", "per-block critical path", tr != nil},
+		{"/telemetry/postmortem/<n>", "conflict post-mortem (?format=text to render)", fx != nil},
+		{"/telemetry/stall/<n>", "stall-watchdog diagnostics (?format=text to render)", fx != nil},
+		{"/telemetry/divergence/<n>", "divergence audit report", dv != nil},
+	}
+	mux.HandleFunc("/telemetry/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/telemetry/" && r.URL.Path != "/telemetry" {
+			http.NotFound(w, r)
+			return
+		}
+		if r.URL.Query().Get("format") == "json" {
+			type jsonEndpoint struct {
+				Path      string `json:"path"`
+				Desc      string `json:"desc"`
+				Available bool   `json:"available"`
+			}
+			out := make([]jsonEndpoint, 0, len(endpoints))
+			for _, e := range endpoints {
+				out = append(out, jsonEndpoint{e.Path, e.Desc, e.Available})
+			}
+			writeJSON(w, out)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		var sb strings.Builder
+		sb.WriteString("<!doctype html><html><head><meta charset=\"utf-8\"><title>dmvcc telemetry</title>" +
+			"<style>body{font:14px/1.6 ui-sans-serif,system-ui,sans-serif;margin:24px;max-width:720px}" +
+			"code{background:rgba(127,127,127,.12);padding:1px 5px;border-radius:4px}" +
+			".off{opacity:.45}</style></head><body><h1>dmvcc telemetry endpoints</h1><ul>")
+		for _, e := range endpoints {
+			cls, note := "", ""
+			if !e.Available {
+				cls, note = " class=\"off\"", " (not attached on this run)"
+			}
+			link := e.Path
+			if i := strings.IndexByte(link, '<'); i >= 0 {
+				link = link[:i]
+			}
+			fmt.Fprintf(&sb, "<li%s><a href=%q><code>%s</code></a> — %s%s</li>",
+				cls, link, e.Path, e.Desc, note)
+		}
+		sb.WriteString("</ul></body></html>")
+		_, _ = w.Write([]byte(sb.String()))
+	})
+
 	return mux
 }
 
@@ -294,7 +376,7 @@ const serveShutdownTimeout = 5 * time.Second
 // in-flight requests drain (bounded by serveShutdownTimeout, after which
 // connections are forced closed), and only returns once the serve goroutine
 // has exited, so callers never leak it past benchmark exit.
-func Serve(addr string, reg *Registry, tr *Tracer, fx *Forensics, dv *DivergenceStore) (string, func() error, error) {
+func Serve(addr string, reg *Registry, tr *Tracer, fx *Forensics, dv *DivergenceStore, tl *Timeline) (string, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
@@ -302,7 +384,7 @@ func Serve(addr string, reg *Registry, tr *Tracer, fx *Forensics, dv *Divergence
 	if reg != nil {
 		PublishExpvar("telemetry", reg)
 	}
-	srv := &http.Server{Handler: Handler(reg, tr, fx, dv)}
+	srv := &http.Server{Handler: Handler(reg, tr, fx, dv, tl)}
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
 	stop := func() error {

@@ -33,7 +33,7 @@ func TestHandlerEndpoints(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("core.executions").Add(9)
 	tr := syntheticTrace()
-	srv := httptest.NewServer(Handler(reg, tr, nil, nil))
+	srv := httptest.NewServer(Handler(reg, tr, nil, nil, nil))
 	defer srv.Close()
 
 	code, body := get(t, srv, "/metrics")
@@ -94,7 +94,7 @@ func TestHandlerEndpoints(t *testing.T) {
 }
 
 func TestHandlerNilSources(t *testing.T) {
-	srv := httptest.NewServer(Handler(nil, nil, nil, nil))
+	srv := httptest.NewServer(Handler(nil, nil, nil, nil, nil))
 	defer srv.Close()
 	for _, path := range []string{"/metrics", "/telemetry/block/1", "/telemetry/critpath/1", "/telemetry/postmortem/1", "/telemetry/stall/1", "/telemetry/divergence/1"} {
 		if code, _ := get(t, srv, path); code != http.StatusNotFound {
@@ -106,7 +106,7 @@ func TestHandlerNilSources(t *testing.T) {
 func TestDivergenceEndpoint(t *testing.T) {
 	dv := NewDivergenceStore()
 	dv.Put(7, map[string]any{"schema": "dmvcc/divergence/v1", "first_divergent_tx": 3})
-	srv := httptest.NewServer(Handler(nil, nil, nil, dv))
+	srv := httptest.NewServer(Handler(nil, nil, nil, dv, nil))
 	defer srv.Close()
 
 	code, body := get(t, srv, "/telemetry/divergence/7")
@@ -141,7 +141,7 @@ func TestPublishExpvarRebinds(t *testing.T) {
 	// Republishing the same name must rebind, not panic.
 	PublishExpvar("test.rebind", b)
 
-	srv := httptest.NewServer(Handler(nil, nil, nil, nil))
+	srv := httptest.NewServer(Handler(nil, nil, nil, nil, nil))
 	defer srv.Close()
 	code, body := get(t, srv, "/debug/vars")
 	if code != http.StatusOK {
@@ -165,7 +165,7 @@ func TestPublishExpvarRebinds(t *testing.T) {
 
 func TestServeLifecycle(t *testing.T) {
 	reg := NewRegistry()
-	addr, stop, err := Serve("127.0.0.1:0", reg, nil, nil, nil)
+	addr, stop, err := Serve("127.0.0.1:0", reg, nil, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +189,7 @@ func TestServeLifecycle(t *testing.T) {
 func TestServeGracefulShutdown(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("n").Add(1)
-	addr, stop, err := Serve("127.0.0.1:0", reg, nil, nil, nil)
+	addr, stop, err := Serve("127.0.0.1:0", reg, nil, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +243,7 @@ func TestMetricsPrometheus(t *testing.T) {
 	h.Observe(1500)
 	h.Observe(2500)
 	h.Observe(5e10) // overflow bucket
-	srv := httptest.NewServer(Handler(reg, nil, nil, nil))
+	srv := httptest.NewServer(Handler(reg, nil, nil, nil, nil))
 	defer srv.Close()
 
 	code, body := get(t, srv, "/metrics?format=prom")
@@ -298,7 +298,7 @@ func TestStallEndpoint(t *testing.T) {
 		Waiters: []StallWaiter{{Item: "bal:aa", ReaderTx: 2, BlockedOn: 1}},
 	})
 	fx.RecordStall(StallReport{Block: 3, Attempt: 2, Progress: 17})
-	srv := httptest.NewServer(Handler(nil, nil, fx, nil))
+	srv := httptest.NewServer(Handler(nil, nil, fx, nil, nil))
 	defer srv.Close()
 
 	code, body := get(t, srv, "/telemetry/stall/3")
@@ -342,7 +342,7 @@ func TestStallEndpointGracefulShutdown(t *testing.T) {
 	fx := NewForensics()
 	fx.Enable()
 	fx.RecordStall(StallReport{Block: 5, Attempt: 1})
-	addr, stop, err := Serve("127.0.0.1:0", nil, nil, fx, nil)
+	addr, stop, err := Serve("127.0.0.1:0", nil, nil, fx, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -393,7 +393,7 @@ func TestPostmortemEndpoint(t *testing.T) {
 		CauseTx: 0, Item: sag.BalanceItem(types.Address{0xaa}),
 		ReadSrcTx: -1, Class: AbortUnpredictedWrite, WastedGas: 42,
 	})
-	srv := httptest.NewServer(Handler(nil, nil, fx, nil))
+	srv := httptest.NewServer(Handler(nil, nil, fx, nil, nil))
 	defer srv.Close()
 
 	code, body := get(t, srv, "/telemetry/postmortem/7")

@@ -1,0 +1,70 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrometheusEmptyHistogram: a histogram that was created but never
+// observed must still expose a well-formed series — the mandatory le="+Inf"
+// bucket at zero plus zero _sum/_count — not vanish or emit partial output.
+func TestPrometheusEmptyHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("chain.commit_ns") // registered, zero observations
+	var sb strings.Builder
+	if err := r.Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE chain_commit_ns histogram",
+		`chain_commit_ns_bucket{le="+Inf"} 0`,
+		"chain_commit_ns_sum 0",
+		"chain_commit_ns_count 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "chain_commit_ns_bucket") != 1 {
+		t.Fatalf("empty histogram exposed finite buckets:\n%s", out)
+	}
+}
+
+// TestPrometheusSingleInfBucket: when every observation overflows the
+// largest bound, the snapshot's only bucket is +Inf — the exposition must
+// not duplicate it (it is always emitted from _count) and the quantile
+// approximations must fall back to the observed max.
+func TestPrometheusSingleInfBucket(t *testing.T) {
+	h := newHistogram([]float64{10, 100})
+	h.Observe(1e6)
+	h.Observe(2e6)
+	s := h.Snapshot()
+	if len(s.Buckets) != 1 {
+		t.Fatalf("buckets = %+v, want only +Inf", s.Buckets)
+	}
+	if s.P50 != 2e6 || s.P99 != 2e6 {
+		t.Fatalf("overflow-only quantiles = %v/%v, want max", s.P50, s.P99)
+	}
+
+	r := NewRegistry()
+	hist := r.Histogram("sched.wait_ns")
+	hist.Observe(1e12) // beyond the largest default nanosecond bucket (~2e10)
+	var sb strings.Builder
+	if err := r.Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if n := strings.Count(out, "sched_wait_ns_bucket"); n != 1 {
+		t.Fatalf("want exactly one bucket line (the +Inf), got %d:\n%s", n, out)
+	}
+	for _, want := range []string{
+		`sched_wait_ns_bucket{le="+Inf"} 1`,
+		"sched_wait_ns_sum 1e+12",
+		"sched_wait_ns_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

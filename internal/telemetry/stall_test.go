@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStallReportRender(t *testing.T) {
+	rep := StallReport{
+		Block: 7, Attempt: 2, Progress: 41,
+		Running: 3, ReadyTasks: 1, Resumers: 2, IdleWorkers: 5,
+		Pending: []StallTx{{Tx: 4, Inc: 1}, {Tx: 9, Inc: 0}},
+		Waiters: []StallWaiter{{Item: "acct:0xab/bal", ReaderTx: 4, BlockedOn: 2}},
+	}
+	out := rep.Render()
+	for _, want := range []string{
+		"stall in block 7 (attempt 2)",
+		"progress=41 running=3 ready=1 resumers=2 idle=5",
+		"unfinished: tx4/inc1 tx9/inc0",
+		"tx4 parked on acct:0xab/bal behind tx2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStallReportRenderEmpty(t *testing.T) {
+	// No pending/waiters: the header renders alone, with no stray sections.
+	out := (&StallReport{Block: 1, Attempt: 1}).Render()
+	if strings.Contains(out, "unfinished") || strings.Contains(out, "parked") {
+		t.Fatalf("empty report grew sections:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 1 {
+		t.Fatalf("want single line, got %d:\n%s", lines, out)
+	}
+}
+
+func TestRecordStallSequencing(t *testing.T) {
+	f := NewForensics()
+	// Disabled: dropped.
+	f.RecordStall(StallReport{Block: 3})
+	if got := f.Stalls(3); got != nil {
+		t.Fatalf("disabled collector stored %+v", got)
+	}
+
+	f.Enable()
+	f.RecordStall(StallReport{Block: 3, Attempt: 1})
+	f.RecordStall(StallReport{Block: 3, Attempt: 2})
+	got := f.Stalls(3)
+	if len(got) != 2 {
+		t.Fatalf("stalls = %+v", got)
+	}
+	for i, rep := range got {
+		if rep.Seq != i {
+			t.Fatalf("stall %d has seq %d", i, rep.Seq)
+		}
+		if rep.Schema != StallSchema {
+			t.Fatalf("stall %d schema %q", i, rep.Schema)
+		}
+	}
+	if f.Stalls(99) != nil {
+		t.Fatal("unknown block returned stalls")
+	}
+	var nilF *Forensics
+	if nilF.Stalls(3) != nil {
+		t.Fatal("nil collector returned stalls")
+	}
+}

@@ -1,0 +1,299 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TimeSample is one fixed-cadence observation of the node: throughput rates
+// over the sample window, per-stage occupancy fractions, commit lag and
+// queue depth, and process-level runtime stats (heap, GC, goroutines).
+type TimeSample struct {
+	// TSNs is the sample time in nanoseconds since the series epoch.
+	TSNs int64 `json:"ts_ns"`
+	// WindowNs is the length of the window this sample covers.
+	WindowNs int64 `json:"window_ns"`
+
+	BlocksPerSec float64 `json:"blocks_per_sec"`
+	TxsPerSec    float64 `json:"txs_per_sec"`
+	AbortsPerSec float64 `json:"aborts_per_sec"`
+
+	// OccAnalysis/OccExecution/OccCommit are each stage's busy fraction of
+	// the sample window. OccExecution is also the node-level worker-pool
+	// utilization bound: the pool only runs while the execution stage is
+	// occupied (within-stage thread utilization is the hotpath experiment's
+	// domain).
+	OccAnalysis  float64 `json:"occ_analysis"`
+	OccExecution float64 `json:"occ_execution"`
+	OccCommit    float64 `json:"occ_commit"`
+
+	CommitLagNs int64 `json:"commit_lag_ns"`
+	CommitQueue int64 `json:"commit_queue"`
+
+	HeapBytes  uint64 `json:"heap_bytes"`
+	GCPauseNs  uint64 `json:"gc_pause_ns"`
+	GCCount    uint32 `json:"gc_count"`
+	Goroutines int    `json:"goroutines"`
+}
+
+// tsCursor is the sampler's view of the cumulative counters at the previous
+// sample, from which window deltas derive.
+type tsCursor struct {
+	atNs       int64
+	busyNs     [NumStages]int64
+	blocks     int64
+	txs        int64
+	aborts     int64
+	gcPauseNs  uint64
+	gcCount    uint32
+	prevMemGot bool
+}
+
+// TimeSeries is a fixed-size ring buffer of TimeSamples over a StageLedger:
+// the rolling node-level view (sustained blocks/sec, occupancy, lag, heap)
+// that block-scoped telemetry cannot give. Samples are taken by an explicit
+// SampleNow call or a background sampler goroutine (Start); both are pull
+// model, so the execution hot path carries no time-series hooks at all —
+// only the ledger's per-block-stage events feed it. All methods are
+// nil-safe.
+type TimeSeries struct {
+	ledger *StageLedger
+
+	mu     sync.Mutex
+	buf    []TimeSample
+	head   int // next write position
+	n      int // filled entries
+	cursor tsCursor
+	epoch  time.Time
+
+	running atomic.Bool
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// DefaultTimeSeriesCapacity holds 10 minutes of 1-second samples.
+const DefaultTimeSeriesCapacity = 600
+
+// NewTimeSeries returns an empty ring of the given capacity (0 selects
+// DefaultTimeSeriesCapacity) reading from ledger.
+func NewTimeSeries(capacity int, ledger *StageLedger) *TimeSeries {
+	if capacity <= 0 {
+		capacity = DefaultTimeSeriesCapacity
+	}
+	return &TimeSeries{
+		ledger: ledger,
+		buf:    make([]TimeSample, capacity),
+		epoch:  time.Now(),
+	}
+}
+
+// Ledger returns the ledger the series samples from.
+func (ts *TimeSeries) Ledger() *StageLedger {
+	if ts == nil {
+		return nil
+	}
+	return ts.ledger
+}
+
+// SampleNow takes one sample covering the window since the previous sample
+// (or since the epoch, for the first). Zero-length windows are skipped.
+func (ts *TimeSeries) SampleNow() {
+	if ts == nil {
+		return
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+
+	now := int64(time.Since(ts.epoch))
+	prevAt := ts.cursor.atNs // 0 for the first sample: window starts at epoch
+	window := now - prevAt
+	if window <= 0 {
+		return
+	}
+	sec := float64(window) / 1e9
+
+	s := TimeSample{TSNs: now, WindowNs: window}
+
+	l := ts.ledger
+	var busy [NumStages]int64
+	for _, st := range Stages() {
+		busy[st] = l.BusyNs(st)
+	}
+	blocks, txs, aborts := l.Counts()
+	s.BlocksPerSec = float64(blocks-ts.cursor.blocks) / sec
+	s.TxsPerSec = float64(txs-ts.cursor.txs) / sec
+	s.AbortsPerSec = float64(aborts-ts.cursor.aborts) / sec
+	occ := func(st Stage) float64 {
+		f := float64(busy[st]-ts.cursor.busyNs[st]) / float64(window)
+		if f < 0 {
+			return 0
+		}
+		if f > 1 {
+			return 1
+		}
+		return f
+	}
+	s.OccAnalysis = occ(StageAnalysis)
+	s.OccExecution = occ(StageExecution)
+	s.OccCommit = occ(StageCommit)
+	last, _, _ := l.CommitLag()
+	s.CommitLagNs = int64(last)
+	s.CommitQueue = l.CommitQueueDepth()
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.HeapBytes = ms.HeapAlloc
+	s.GCCount = ms.NumGC - ts.cursor.gcCount
+	s.GCPauseNs = ms.PauseTotalNs - ts.cursor.gcPauseNs
+	if !ts.cursor.prevMemGot {
+		// First sample: report absolute GC state as a delta of zero rather
+		// than the process's whole history.
+		s.GCCount, s.GCPauseNs = 0, 0
+	}
+	s.Goroutines = runtime.NumGoroutine()
+
+	ts.cursor = tsCursor{
+		atNs: now, busyNs: busy,
+		blocks: blocks, txs: txs, aborts: aborts,
+		gcPauseNs: ms.PauseTotalNs, gcCount: ms.NumGC,
+		prevMemGot: true,
+	}
+
+	ts.buf[ts.head] = s
+	ts.head = (ts.head + 1) % len(ts.buf)
+	if ts.n < len(ts.buf) {
+		ts.n++
+	}
+}
+
+// Start launches the background sampler at the given cadence (0 selects one
+// second) and returns a stop function that takes a final sample and joins
+// the goroutine. Starting an already-running series returns a no-op stop.
+func (ts *TimeSeries) Start(every time.Duration) (stop func()) {
+	if ts == nil || !ts.running.CompareAndSwap(false, true) {
+		return func() {}
+	}
+	if every <= 0 {
+		every = time.Second
+	}
+	ts.stop = make(chan struct{})
+	ts.done = make(chan struct{})
+	stopCh, doneCh := ts.stop, ts.done
+	go func() {
+		defer close(doneCh)
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				ts.SampleNow()
+			case <-stopCh:
+				return
+			}
+		}
+	}()
+	return func() {
+		close(stopCh)
+		<-doneCh
+		ts.SampleNow()
+		ts.running.Store(false)
+	}
+}
+
+// Reset clears the ring and the sampler's cursor and restarts the epoch.
+// Call it together with the ledger's Reset — the cursor caches the ledger's
+// cumulative counters, so resetting one without the other would produce
+// nonsense deltas for one window.
+func (ts *TimeSeries) Reset() {
+	if ts == nil {
+		return
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	ts.head, ts.n = 0, 0
+	ts.cursor = tsCursor{}
+	ts.epoch = time.Now()
+}
+
+// Snapshot returns the collected samples in chronological order.
+func (ts *TimeSeries) Snapshot() []TimeSample {
+	if ts == nil {
+		return nil
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	out := make([]TimeSample, 0, ts.n)
+	start := ts.head - ts.n
+	if start < 0 {
+		start += len(ts.buf)
+	}
+	for i := 0; i < ts.n; i++ {
+		out = append(out, ts.buf[(start+i)%len(ts.buf)])
+	}
+	return out
+}
+
+// Len returns the number of samples currently held.
+func (ts *TimeSeries) Len() int {
+	if ts == nil {
+		return 0
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.n
+}
+
+// Timeline bundles the node-level observability surfaces — the stage ledger
+// and the rolling time-series ring — for handing to the HTTP endpoint and
+// the CLIs as one value. Either field may be nil.
+type Timeline struct {
+	Ledger *StageLedger
+	Series *TimeSeries
+}
+
+// NewTimeline builds an enabled ledger plus a ring of the given capacity.
+func NewTimeline(capacity int) *Timeline {
+	l := NewStageLedger()
+	l.Enable()
+	return &Timeline{Ledger: l, Series: NewTimeSeries(capacity, l)}
+}
+
+// Reset blanks both surfaces so a new run starts from a clean timeline.
+func (tl *Timeline) Reset() {
+	if tl == nil {
+		return
+	}
+	tl.Ledger.Reset()
+	tl.Series.Reset()
+}
+
+// TimelineSnapshot is the /telemetry/timeline JSON payload.
+type TimelineSnapshot struct {
+	Schema  string        `json:"schema"`
+	Summary LedgerSummary `json:"summary"`
+	Samples []TimeSample  `json:"samples"`
+	Gaps    []StageGap    `json:"gaps,omitempty"`
+}
+
+// TimelineSchema versions the timeline JSON layout.
+const TimelineSchema = "dmvcc/timeline/v1"
+
+// DefaultGapTolerance is the execution-idle threshold below which the gap
+// auditor stays quiet: inter-block bookkeeping (collecting the overlapped
+// analysis, issuing the async commit) legitimately costs a few milliseconds.
+const DefaultGapTolerance = 10 * time.Millisecond
+
+// Snapshot rolls the timeline up for serving: ledger summary, ring samples,
+// and a live gap audit at the default tolerance.
+func (tl *Timeline) Snapshot() TimelineSnapshot {
+	snap := TimelineSnapshot{Schema: TimelineSchema}
+	if tl == nil {
+		return snap
+	}
+	snap.Summary = tl.Ledger.Summary()
+	snap.Samples = tl.Series.Snapshot()
+	snap.Gaps = AuditStageGaps(tl.Ledger, DefaultGapTolerance)
+	return snap
+}

@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTimeSeriesNilSafe(t *testing.T) {
+	var ts *TimeSeries
+	ts.SampleNow()
+	ts.Reset()
+	if ts.Len() != 0 || ts.Snapshot() != nil || ts.Ledger() != nil {
+		t.Fatal("nil series leaked state")
+	}
+	stop := ts.Start(time.Millisecond)
+	stop()
+}
+
+func TestTimeSeriesSampleDeltas(t *testing.T) {
+	l := NewStageLedger()
+	l.Enable()
+	ts := NewTimeSeries(8, l)
+
+	l.NoteBlock(100, 5)
+	l.NoteBlock(100, 5)
+	time.Sleep(2 * time.Millisecond)
+	ts.SampleNow()
+	if ts.Len() != 1 {
+		t.Fatalf("len = %d", ts.Len())
+	}
+	s := ts.Snapshot()[0]
+	if s.WindowNs <= 0 || s.BlocksPerSec <= 0 || s.TxsPerSec <= 0 {
+		t.Fatalf("first sample = %+v", s)
+	}
+	// Rates are per-window deltas, not cumulative: a quiet second window
+	// reports zero throughput even though the ledger's totals are nonzero.
+	time.Sleep(2 * time.Millisecond)
+	ts.SampleNow()
+	s = ts.Snapshot()[1]
+	if s.BlocksPerSec != 0 || s.TxsPerSec != 0 || s.AbortsPerSec != 0 {
+		t.Fatalf("quiet window reported throughput: %+v", s)
+	}
+	if s.TSNs <= ts.Snapshot()[0].TSNs {
+		t.Fatal("samples out of order")
+	}
+
+	// Occupancy fraction of a window fully inside a busy interval ~ 1.
+	l.Enter(StageExecution, 9)
+	time.Sleep(3 * time.Millisecond)
+	ts.SampleNow()
+	l.Exit(StageExecution, 9)
+	s = ts.Snapshot()[2]
+	if s.OccExecution < 0.5 || s.OccExecution > 1 {
+		t.Fatalf("occ_execution = %v", s.OccExecution)
+	}
+	if s.Goroutines <= 0 || s.HeapBytes == 0 {
+		t.Fatalf("runtime stats missing: %+v", s)
+	}
+}
+
+func TestTimeSeriesRingWrapAndReset(t *testing.T) {
+	l := NewStageLedger()
+	l.Enable()
+	ts := NewTimeSeries(3, l)
+	for i := 0; i < 5; i++ {
+		time.Sleep(200 * time.Microsecond)
+		ts.SampleNow()
+	}
+	if ts.Len() != 3 {
+		t.Fatalf("len = %d, want capacity 3", ts.Len())
+	}
+	snap := ts.Snapshot()
+	for i := 1; i < len(snap); i++ {
+		if snap[i].TSNs <= snap[i-1].TSNs {
+			t.Fatalf("wrapped snapshot out of order: %+v", snap)
+		}
+	}
+	ts.Reset()
+	if ts.Len() != 0 {
+		t.Fatal("Reset kept samples")
+	}
+	ts.SampleNow()
+	if got := ts.Snapshot()[0]; got.BlocksPerSec != 0 {
+		t.Fatalf("post-Reset sample carries stale deltas: %+v", got)
+	}
+}
+
+func TestTimeSeriesStartStop(t *testing.T) {
+	l := NewStageLedger()
+	l.Enable()
+	ts := NewTimeSeries(0, l)
+	stop := ts.Start(time.Millisecond)
+	if stop2 := ts.Start(time.Millisecond); stop2 == nil {
+		t.Fatal("second Start returned nil stop")
+	} else {
+		stop2() // no-op: the first sampler still owns the series
+	}
+	time.Sleep(5 * time.Millisecond)
+	stop()
+	n := ts.Len()
+	if n == 0 {
+		t.Fatal("background sampler produced nothing")
+	}
+	time.Sleep(3 * time.Millisecond)
+	if ts.Len() != n {
+		t.Fatal("sampler kept running after stop")
+	}
+	// Restartable after a stop.
+	stop = ts.Start(time.Millisecond)
+	stop()
+}
+
+func TestTimelineSnapshot(t *testing.T) {
+	var tl *Timeline
+	snap := tl.Snapshot()
+	if snap.Schema != TimelineSchema || snap.Samples != nil || snap.Gaps != nil {
+		t.Fatalf("nil timeline snapshot = %+v", snap)
+	}
+	tl.Reset() // nil-safe
+
+	tl = NewTimeline(4)
+	if !tl.Ledger.Enabled() {
+		t.Fatal("NewTimeline ledger not enabled")
+	}
+	ms := int64(time.Millisecond)
+	putInterval(tl.Ledger, StageExecution, 1, 0, 10*ms)
+	putInterval(tl.Ledger, StageExecution, 2, 100*ms, 110*ms)
+	tl.Series.SampleNow()
+	snap = tl.Snapshot()
+	if snap.Schema != TimelineSchema || len(snap.Samples) != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if len(snap.Gaps) != 1 || snap.Gaps[0].Cause != "scheduler" {
+		t.Fatalf("gaps = %+v", snap.Gaps)
+	}
+	if snap.Summary.Entries["execution"] != 2 {
+		t.Fatalf("summary = %+v", snap.Summary)
+	}
+}
