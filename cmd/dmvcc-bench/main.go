@@ -14,6 +14,7 @@
 //	dmvcc-bench -exp chaos            # fault-injection soak, serial-root oracle
 //	dmvcc-bench -exp statescale       # flat vs trie state backends across state sizes
 //	dmvcc-bench -exp divergence       # flight-recorded divergence hunt + replay
+//	dmvcc-bench -exp crashtorture     # kill-point crash/recover soak, twin-root oracle
 //	dmvcc-bench -exp all              # everything
 //
 // -blocks and -txs scale the workload; the defaults run in a few minutes on
@@ -39,8 +40,12 @@
 // shrunk to a minimal repro; -replay <capture.json> deterministically forces
 // a previously written capture back instead. Artifacts land next to
 // -divjson. On a clean soak the last recorded block is round-tripped through
-// the forced replayer as a self-check. -backend selects
-// the state backend the workload experiments run on (trie|flat|disk) and
+// the forced replayer as a self-check. The crashtorture experiment runs
+// -crashcycles seeded crash/recover rounds over a disk-backed world, rotating
+// through the three kill points (fsync-starved commit, durable commit, torn
+// tail), and requires every reopen + Engine.Recover to land byte-identical to
+// an always-alive in-memory twin; the report goes to -crashjson. -backend
+// selects the state backend the workload experiments run on (trie|flat|disk) and
 // -shards the flat account-trie fan-out (1 or 16) — roots are identical
 // across all of them by construction.
 package main
@@ -112,7 +117,7 @@ func parseAccountTiers(s string) ([]int, error) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig7a|fig7b|fig8a|fig8b|rq1|aborts|ablation|pipeline|hotpath|conflicts|chaos|statescale|all")
+	exp := flag.String("exp", "all", "experiment: fig7a|fig7b|fig8a|fig8b|rq1|aborts|ablation|pipeline|hotpath|conflicts|chaos|statescale|crashtorture|all")
 	blocks := flag.Int("blocks", 3, "blocks per experiment")
 	txs := flag.Int("txs", 1000, "transactions per block (fig7/rq1/aborts/ablation)")
 	simTxs := flag.Int("simtxs", 10000, "transactions per block for the fig8 network simulation (the paper's RQ3 size)")
@@ -135,6 +140,11 @@ func main() {
 	chaosTxs := flag.Int("chaostxs", 96, "transactions per block for the chaos soak")
 	chaosThreads := flag.Int("chaosthreads", 8, "scheduler threads for the chaos soak")
 	chaosJSON := flag.String("chaosjson", "BENCH_chaos.json", "output path for the chaos report")
+	crashCycles := flag.Int("crashcycles", 21, "crash/recover rounds for the crashtorture soak (>= 3 covers every kill point)")
+	crashBlocks := flag.Int("crashblocks", 3, "blocks committed per crashtorture cycle before the kill")
+	crashTxs := flag.Int("crashtxs", 48, "transactions per block for the crashtorture soak")
+	crashThreads := flag.Int("crashthreads", 4, "scheduler threads for the crashtorture soak")
+	crashJSON := flag.String("crashjson", "BENCH_crash.json", "output path for the crashtorture report")
 	divBlocks := flag.Int("divblocks", 40, "fault-injected blocks for the divergence hunt, spread across the hunted classes")
 	divTxs := flag.Int("divtxs", 64, "transactions per block for the divergence hunt")
 	divThreads := flag.Int("divthreads", 8, "scheduler threads for the divergence hunt")
@@ -222,6 +232,8 @@ func main() {
 		txs: *conflictsTxs, jsonPath: *conflictsJSON, perTx: *conflictsPerTx, strict: *strict, fx: forensics,
 	}, chaosArgs{
 		blocks: *chaosBlocks, txs: *chaosTxs, threads: *chaosThreads, jsonPath: *chaosJSON,
+	}, crashArgs{
+		cycles: *crashCycles, blocks: *crashBlocks, txs: *crashTxs, threads: *crashThreads, jsonPath: *crashJSON,
 	}, divergenceArgs{
 		blocks: *divBlocks, txs: *divTxs, threads: *divThreads,
 		record: *record, replayPath: *replayPath, jsonPath: *divJSON, store: divStore,
@@ -285,6 +297,12 @@ type chaosArgs struct {
 	jsonPath             string
 }
 
+// crashArgs bundles the crashtorture experiment's flags.
+type crashArgs struct {
+	cycles, blocks, txs, threads int
+	jsonPath                     string
+}
+
 // divergenceArgs bundles the divergence experiment's flags.
 type divergenceArgs struct {
 	blocks, txs, threads int
@@ -341,7 +359,7 @@ func writeTrace(path string, tracer *telemetry.Tracer) error {
 	return tracer.Snapshot().ExportChrome(f)
 }
 
-func run(exp string, blocks, txs, simTxs, simBlocks, rq1Blocks int, seed int64, hot hotpathArgs, conf conflictsArgs, chaos chaosArgs, div divergenceArgs, scale scaleArgs, pipe pipelineArgs, backend func() (state.Backend, error), tracer *telemetry.Tracer, metrics *telemetry.Registry) error {
+func run(exp string, blocks, txs, simTxs, simBlocks, rq1Blocks int, seed int64, hot hotpathArgs, conf conflictsArgs, chaos chaosArgs, crash crashArgs, div divergenceArgs, scale scaleArgs, pipe pipelineArgs, backend func() (state.Backend, error), tracer *telemetry.Tracer, metrics *telemetry.Registry) error {
 	low := workload.DefaultConfig()
 	low.TxPerBlock = txs
 	low.Seed = seed
@@ -557,6 +575,26 @@ func run(exp string, blocks, txs, simTxs, simBlocks, rq1Blocks int, seed int64, 
 					return err
 				}
 				fmt.Printf("wrote %s\n", chaos.jsonPath)
+			}
+
+		case "crashtorture":
+			rep, err := bench.RunCrashTorture(bench.CrashTortureConfig{
+				Cycles: crash.cycles, BlocksPerCycle: crash.blocks,
+				Txs: crash.txs, Threads: crash.threads, Seed: seed,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Print(rep.Render())
+			if err := rep.Validate(); err != nil {
+				return fmt.Errorf("crashtorture validation: %w", err)
+			}
+			fmt.Println("crashtorture passed: every crash recovered to the twin's exact root")
+			if crash.jsonPath != "" {
+				if err := rep.WriteJSON(crash.jsonPath); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", crash.jsonPath)
 			}
 
 		case "divergence":

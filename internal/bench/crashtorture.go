@@ -1,0 +1,419 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"dmvcc/internal/chain"
+	"dmvcc/internal/core"
+	"dmvcc/internal/evm"
+	"dmvcc/internal/fault"
+	"dmvcc/internal/state"
+	"dmvcc/internal/types"
+	"dmvcc/internal/workload"
+)
+
+// CrashSchema identifies the BENCH_crash.json format. Bump on breaking
+// changes.
+const CrashSchema = "dmvcc-bench/crash/v1"
+
+// CrashTortureConfig parameterizes the crash torture experiment: seeded
+// cycles of run-k-blocks → simulated process death → reopen → recover,
+// byte-checked against an in-memory twin that never dies.
+type CrashTortureConfig struct {
+	// Cycles is the number of crash/recover rounds (the checked-in report
+	// runs >= 20 so all three crash points repeat).
+	Cycles int
+	// BlocksPerCycle is how many blocks each cycle commits before the crash.
+	BlocksPerCycle int
+	// Txs is the block size.
+	Txs int
+	// Threads is the DMVCC worker parallelism.
+	Threads int
+	// Seed derives the workload stream, the per-cycle fault decisions, and
+	// every torn-tail truncation offset.
+	Seed int64
+}
+
+// crashPoints is the kill-point rotation: cycle i crashes at point i mod 3,
+// so any run of >= 3 cycles covers all of them deterministically.
+var crashPoints = []fault.Point{fault.CrashBeforeSync, fault.CrashAfterWrite, fault.TornTail}
+
+// CrashCycle is one crash/recover round of the torture report.
+type CrashCycle struct {
+	Cycle      int    `json:"cycle"`
+	FaultPoint string `json:"fault_point"`
+	// CrashHeight is the chain height at the moment of the crash (the last
+	// block whose commit returned); DurableHeight is what survived on disk.
+	CrashHeight   uint64 `json:"crash_height"`
+	DurableHeight uint64 `json:"durable_height"`
+	// RecoveredRootOK reports the reopened backend's root was byte-identical
+	// to the twin's root at DurableHeight (and that the flat records
+	// re-derive it).
+	RecoveredRootOK bool `json:"recovered_root_ok"`
+	// TornTail/RolledBackBytes/RolledBackRecords/HeightRollback echo the
+	// storage recovery (see state.RecoveryInfo).
+	TornTail          bool  `json:"torn_tail"`
+	RolledBackBytes   int64 `json:"rolled_back_bytes"`
+	RolledBackRecords int   `json:"rolled_back_records"`
+	HeightRollback    int   `json:"height_rollback"`
+	// Reexecuted counts blocks replayed to rejoin the twin's tip.
+	Reexecuted int `json:"reexecuted"`
+	// FinalRootOK reports the post-recovery tip root matched the twin's.
+	FinalRootOK bool `json:"final_root_ok"`
+}
+
+// CrashReport is the machine-readable torture report written as
+// BENCH_crash.json.
+type CrashReport struct {
+	Schema         string       `json:"schema"`
+	GoVersion      string       `json:"go_version"`
+	GoMaxProcs     int          `json:"gomaxprocs"`
+	Cycles         int          `json:"cycles_run"`
+	BlocksPerCycle int          `json:"blocks_per_cycle"`
+	Txs            int          `json:"txs"`
+	Threads        int          `json:"threads"`
+	Seed           int64        `json:"seed"`
+	CycleReports   []CrashCycle `json:"cycles"`
+
+	// Recovered counts cycles that fully recovered (both root checks green);
+	// the contract is Recovered == len(CycleReports).
+	Recovered int `json:"recovered"`
+	// RolledBackBytes totals the bytes recovery truncated across the run.
+	RolledBackBytes int64 `json:"rolled_back_bytes"`
+	// FaultsFired is the per-crash-point fire count.
+	FaultsFired map[string]int64 `json:"faults_fired"`
+}
+
+// crashWorkload is the torture traffic: the chaos mix at a smaller scale, so
+// every contract family churns state while the store crash-loops.
+func crashWorkload(cfg CrashTortureConfig) workload.Config {
+	wl := chaosWorkload(ChaosConfig{Txs: cfg.Txs, Seed: cfg.Seed})
+	wl.Users = 200
+	wl.ERC20s = 8
+	wl.AMMs = 4
+	wl.NFTs = 2
+	wl.ICOs = 1
+	return wl
+}
+
+// RunCrashTorture drives the experiment. One disk-backed world lives in a
+// temp directory across all cycles; an in-memory trie twin executes the same
+// seeded block stream serially and never crashes. Every cycle runs
+// BlocksPerCycle blocks through a DMVCC engine over the disk backend
+// (asserting per-block root equality), kills the backend at the cycle's
+// crash point, reopens the directory, checks the recovered root
+// byte-identical to the twin at the durable height, re-derives the root from
+// the flat records, and re-executes forward to the twin's tip through
+// chain.Engine.Recover with hardening active.
+func RunCrashTorture(cfg CrashTortureConfig) (*CrashReport, error) {
+	if cfg.Cycles <= 0 {
+		cfg.Cycles = 21
+	}
+	if cfg.BlocksPerCycle <= 0 {
+		cfg.BlocksPerCycle = 3
+	}
+	if cfg.Txs <= 0 {
+		cfg.Txs = 48
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 4
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	rep := &CrashReport{
+		Schema:         CrashSchema,
+		GoVersion:      runtime.Version(),
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		Cycles:         cfg.Cycles,
+		BlocksPerCycle: cfg.BlocksPerCycle,
+		Txs:            cfg.Txs,
+		Threads:        cfg.Threads,
+		Seed:           cfg.Seed,
+		FaultsFired:    map[string]int64{},
+	}
+
+	wl := crashWorkload(cfg)
+	twin, err := workload.BuildWorld(wl)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "dmvcc-crash-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	diskWl := wl
+	diskWl.Backend = func() (state.Backend, error) { return state.NewFlat(state.FlatOpts{Dir: dir}) }
+	diskW, err := workload.BuildWorld(diskWl)
+	if err != nil {
+		return nil, err
+	}
+	fb := diskW.DB.(*state.FlatBackend)
+	if twin.DB.Root() != fb.Root() {
+		return nil, fmt.Errorf("twin worlds diverge at genesis")
+	}
+	twinEng := chain.NewEngine(twin.DB, twin.Registry, 1)
+	diskEng := chain.NewEngine(fb, diskW.Registry, cfg.Threads, chain.WithHardening(core.Hardening{}))
+
+	// The injector decides nothing at runtime (rates 1.0, rotation picks the
+	// point) but draws the seeded roll every torn-tail offset derives from,
+	// and counts fires per point for the report.
+	injector := fault.New(fault.Config{
+		Seed: cfg.Seed,
+		Rates: map[fault.Point]float64{
+			fault.CrashBeforeSync: 1.0, fault.CrashAfterWrite: 1.0, fault.TornTail: 1.0,
+		},
+	})
+
+	// Torn tails never cut into the genesis region: genesis is a write set,
+	// not transactions, so recovery below height 1 could not replay it.
+	flatPath := filepath.Join(dir, "flat.log")
+	nodesPath := filepath.Join(dir, "nodes.log")
+	genesisFlatSize, err := fileSize(flatPath)
+	if err != nil {
+		return nil, err
+	}
+	genesisNodesSize, err := fileSize(nodesPath)
+	if err != nil {
+		return nil, err
+	}
+
+	// Every block is archived so any rolled-back height can be re-executed:
+	// the commit of block Number=n lands at backend height n+1.
+	type archived struct {
+		ctx evm.BlockContext
+		txs []*types.Transaction
+	}
+	archive := make(map[uint64]archived)
+	src := func(h uint64) (evm.BlockContext, []*types.Transaction, error) {
+		a, ok := archive[h]
+		if !ok {
+			return evm.BlockContext{}, nil, fmt.Errorf("no archived block for height %d", h)
+		}
+		return a.ctx, a.txs, nil
+	}
+
+	for cycle := 0; cycle < cfg.Cycles; cycle++ {
+		point := crashPoints[cycle%len(crashPoints)]
+		_, roll := injector.Draw(point, int64(cycle), 0, 0)
+		cc := CrashCycle{Cycle: cycle, FaultPoint: point.String()}
+
+		for b := 0; b < cfg.BlocksPerCycle; b++ {
+			ctx := twin.BlockContext()
+			txs := twin.NextBlock()
+			diskW.NextBlock() // keep the twin's traffic stream aligned
+			archive[ctx.Number+1] = archived{ctx: ctx, txs: txs}
+			if point == fault.CrashBeforeSync && b == cfg.BlocksPerCycle-1 {
+				// The final block's commit stays in the write buffers: the
+				// simulated death lands before its fsync.
+				fb.SetNoSync(true)
+			}
+			_, twinRoot, err := twinEng.ExecuteAndCommit(chain.ModeSerial, ctx, txs)
+			if err != nil {
+				return nil, fmt.Errorf("cycle %d block %d serial: %w", cycle, b, err)
+			}
+			_, diskRoot, err := diskEng.ExecuteAndCommit(chain.ModeDMVCC, ctx, txs)
+			if err != nil {
+				return nil, fmt.Errorf("cycle %d block %d dmvcc: %w", cycle, b, err)
+			}
+			if diskRoot != twinRoot {
+				return nil, fmt.Errorf("cycle %d block %d: disk root %s != twin %s", cycle, b, diskRoot, twinRoot)
+			}
+		}
+		tipHeight := uint64(len(twin.DB.Roots()) - 1)
+		cc.CrashHeight = tipHeight
+
+		if err := fb.Crash(); err != nil {
+			return nil, fmt.Errorf("cycle %d crash: %w", cycle, err)
+		}
+		if point == fault.TornTail {
+			// Tear the flat log at a seeded offset past the genesis region;
+			// on odd rolls tear the nodes log too, forcing the reopen to
+			// reconcile the flat log down to the nodes log's last marker.
+			if err := tornTruncate(flatPath, genesisFlatSize, roll); err != nil {
+				return nil, fmt.Errorf("cycle %d torn tail: %w", cycle, err)
+			}
+			if roll&1 == 1 {
+				if err := tornTruncate(nodesPath, genesisNodesSize, roll>>1); err != nil {
+					return nil, fmt.Errorf("cycle %d torn nodes: %w", cycle, err)
+				}
+			}
+		}
+
+		reopened, err := state.NewFlat(state.FlatOpts{Dir: dir})
+		if err != nil {
+			return nil, fmt.Errorf("cycle %d reopen: %w", cycle, err)
+		}
+		info := reopened.RecoveryInfo()
+		if info == nil {
+			return nil, fmt.Errorf("cycle %d: no recovery info from disk backend", cycle)
+		}
+		cc.DurableHeight = info.Height
+		cc.TornTail = info.TornTail
+		cc.RolledBackBytes = info.RolledBackBytes
+		cc.RolledBackRecords = info.RolledBackRecords
+		cc.HeightRollback = info.HeightRollback
+
+		// Oracle 1: the recovered root is byte-identical to the twin's root
+		// at the durable height (Engine.Recover re-derives it from the flat
+		// records as well, via verify=true below).
+		cc.RecoveredRootOK = info.Height <= tipHeight &&
+			reopened.Root() == twin.DB.Roots()[info.Height]
+		if !cc.RecoveredRootOK {
+			return nil, fmt.Errorf("cycle %d (%s): recovered root %s at height %d != twin %s",
+				cycle, cc.FaultPoint, reopened.Root(), info.Height, twin.DB.Roots()[info.Height])
+		}
+
+		// Oracle 2: chain-level recovery re-executes to the twin's tip and
+		// lands on its exact root, with hardening active.
+		fb = reopened
+		diskEng = chain.NewEngine(fb, diskW.Registry, cfg.Threads, chain.WithHardening(core.Hardening{}))
+		rrep, err := diskEng.Recover(chain.ModeDMVCC, src, tipHeight, true)
+		if err != nil {
+			return nil, fmt.Errorf("cycle %d (%s) recover: %w", cycle, cc.FaultPoint, err)
+		}
+		cc.Reexecuted = rrep.Reexecuted
+		cc.FinalRootOK = rrep.FinalRoot == twin.DB.Root() && rrep.FinalHeight == tipHeight
+		if !cc.FinalRootOK {
+			return nil, fmt.Errorf("cycle %d (%s): post-recovery root %s at height %d != twin %s at %d",
+				cycle, cc.FaultPoint, rrep.FinalRoot, rrep.FinalHeight, twin.DB.Root(), tipHeight)
+		}
+
+		rep.CycleReports = append(rep.CycleReports, cc)
+		rep.Recovered++
+		rep.RolledBackBytes += cc.RolledBackBytes
+	}
+	if err := fb.Close(); err != nil {
+		return nil, err
+	}
+	for p, n := range injector.Counts() {
+		rep.FaultsFired[p] = n
+	}
+	return rep, nil
+}
+
+func fileSize(path string) (int64, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// tornTruncate cuts the log at a seeded offset in (floor, size), modeling a
+// partial write at the tail. No-op when the log has not grown past floor.
+func tornTruncate(path string, floor int64, roll uint64) error {
+	size, err := fileSize(path)
+	if err != nil {
+		return err
+	}
+	if size <= floor+1 {
+		return nil
+	}
+	off := floor + 1 + int64(roll%uint64(size-floor-1))
+	return os.Truncate(path, off)
+}
+
+// Validate checks the report's torture contract: every cycle recovered to a
+// byte-identical root and rejoined the twin's tip, every crash point ran and
+// behaved per its semantics (buffered commits lost, durable commits kept,
+// torn tails detected and rolled back), and the totals reconcile.
+func (r *CrashReport) Validate() error {
+	if r.Schema != CrashSchema {
+		return fmt.Errorf("schema %q != %q", r.Schema, CrashSchema)
+	}
+	if len(r.CycleReports) == 0 {
+		return fmt.Errorf("no cycles in report")
+	}
+	if len(r.CycleReports) != r.Cycles {
+		return fmt.Errorf("%d cycle reports for %d cycles", len(r.CycleReports), r.Cycles)
+	}
+	if r.Recovered != r.Cycles {
+		return fmt.Errorf("%d of %d cycles recovered", r.Recovered, r.Cycles)
+	}
+	points := map[string]int{}
+	tornWithRollback := 0
+	var rolled int64
+	for _, c := range r.CycleReports {
+		if !c.RecoveredRootOK || !c.FinalRootOK {
+			return fmt.Errorf("cycle %d (%s): root checks failed (recovered=%v final=%v)",
+				c.Cycle, c.FaultPoint, c.RecoveredRootOK, c.FinalRootOK)
+		}
+		points[c.FaultPoint]++
+		rolled += c.RolledBackBytes
+		switch c.FaultPoint {
+		case "crash_before_sync":
+			if c.DurableHeight != c.CrashHeight-1 {
+				return fmt.Errorf("cycle %d: buffered commit survived (durable %d, crash %d)",
+					c.Cycle, c.DurableHeight, c.CrashHeight)
+			}
+			if c.Reexecuted == 0 {
+				return fmt.Errorf("cycle %d: lost block was not re-executed", c.Cycle)
+			}
+		case "crash_after_write":
+			if c.DurableHeight != c.CrashHeight {
+				return fmt.Errorf("cycle %d: durable commit lost (durable %d, crash %d)",
+					c.Cycle, c.DurableHeight, c.CrashHeight)
+			}
+			if c.RolledBackBytes != 0 || c.TornTail {
+				return fmt.Errorf("cycle %d: clean crash rolled back %d bytes (torn=%v)",
+					c.Cycle, c.RolledBackBytes, c.TornTail)
+			}
+		case "torn_tail":
+			if c.DurableHeight > c.CrashHeight {
+				return fmt.Errorf("cycle %d: durable height %d beyond crash height %d",
+					c.Cycle, c.DurableHeight, c.CrashHeight)
+			}
+			if c.TornTail || c.RolledBackBytes > 0 {
+				tornWithRollback++
+			}
+		default:
+			return fmt.Errorf("cycle %d: unknown fault point %q", c.Cycle, c.FaultPoint)
+		}
+	}
+	for _, p := range crashPoints {
+		if r.Cycles >= len(crashPoints) && points[p.String()] == 0 {
+			return fmt.Errorf("crash point %s never ran", p)
+		}
+	}
+	if points["torn_tail"] > 0 && tornWithRollback == 0 {
+		return fmt.Errorf("no torn-tail cycle detected a tear or rolled anything back")
+	}
+	if rolled != r.RolledBackBytes {
+		return fmt.Errorf("rolled-back bytes out of sync: cycles total %d, report %d", rolled, r.RolledBackBytes)
+	}
+	return nil
+}
+
+// Render summarizes the torture run for the terminal.
+func (r *CrashReport) Render() string {
+	s := fmt.Sprintf("== crashtorture: %d cycles x %d blocks x %d txs, %d threads (seed %d) ==\n",
+		r.Cycles, r.BlocksPerCycle, r.Txs, r.Threads, r.Seed)
+	s += fmt.Sprintf("%-6s %-18s %7s %8s %6s %10s %7s %6s\n",
+		"cycle", "point", "crash@", "durable@", "torn", "rolledback", "reexec", "roots")
+	for _, c := range r.CycleReports {
+		ok := "OK"
+		if !c.RecoveredRootOK || !c.FinalRootOK {
+			ok = "FAIL"
+		}
+		s += fmt.Sprintf("%-6d %-18s %7d %8d %6v %10d %7d %6s\n",
+			c.Cycle, c.FaultPoint, c.CrashHeight, c.DurableHeight, c.TornTail, c.RolledBackBytes, c.Reexecuted, ok)
+	}
+	s += fmt.Sprintf("recovered: %d/%d cycles, %d bytes rolled back in total\n",
+		r.Recovered, r.Cycles, r.RolledBackBytes)
+	return s
+}
+
+// WriteJSON persists the report, pretty-printed for reviewable diffs.
+func (r *CrashReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

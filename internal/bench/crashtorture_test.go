@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func mustRead(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestCrashTortureSmoke runs one full rotation of the three crash points and
+// checks the report against its own Validate contract plus a JSON round-trip
+// (the same re-validation CI applies to the checked-in BENCH_crash.json).
+func TestCrashTortureSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash torture is slow")
+	}
+	rep, err := RunCrashTorture(CrashTortureConfig{
+		Cycles:         3,
+		BlocksPerCycle: 2,
+		Txs:            24,
+		Threads:        2,
+		Seed:           9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.FaultsFired["torn_tail"] == 0 {
+		t.Error("torn_tail never fired")
+	}
+
+	path := filepath.Join(t.TempDir(), "crash.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	var back CrashReport
+	if err := json.Unmarshal(mustRead(t, path), &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("round-tripped report failed validation: %v", err)
+	}
+	if back.Recovered != rep.Recovered || len(back.CycleReports) != len(rep.CycleReports) {
+		t.Fatal("round trip lost cycles")
+	}
+}

@@ -377,6 +377,7 @@ func (e *Engine) Commit(ws *state.WriteSet) (types.Hash, error) {
 		if sp, ok := e.db.(interface{ LastCommitStats() state.CommitStats }); ok {
 			e.observeCommitStats(sp.LastCommitStats())
 		}
+		e.observeDurability()
 	}
 	if e.tracer.Enabled() {
 		e.tracer.RecordSpan(e.tracer.Block(), "commit", "commit", start, time.Now())
@@ -418,6 +419,7 @@ func (e *Engine) CommitAsync(ws *state.WriteSet) <-chan state.CommitResult {
 			if e.metrics != nil {
 				e.metrics.Histogram("chain.commit_ns").Observe(float64(time.Since(start).Nanoseconds()))
 				e.observeCommitStats(res.Stats)
+				e.observeDurability()
 			}
 			if e.tracer.Enabled() {
 				e.tracer.RecordSpan(block, "commit", "commit (async)", start, time.Now())
@@ -450,6 +452,34 @@ func (e *Engine) observeCommitStats(s state.CommitStats) {
 	if s.DirtySlots > 0 {
 		e.metrics.Counter("chain.commit_dirty_slots").Add(int64(s.DirtySlots))
 	}
+	if s.SyncNs > 0 {
+		e.metrics.Histogram("chain.commit_sync_ns").Observe(float64(s.SyncNs))
+	}
+}
+
+// observeDurability publishes the backend's durability counters as gauges
+// (fsync count, cumulative sync latency, log size, recovery accounting), so
+// disk-backed runs expose their WAL discipline on /metrics and the -obs
+// dashboard. No-op for in-memory backends or without a registry.
+func (e *Engine) observeDurability() {
+	if e.metrics == nil {
+		return
+	}
+	dp, ok := e.db.(interface{ DurabilityStats() state.DurabilityStats })
+	if !ok {
+		return
+	}
+	d := dp.DurabilityStats()
+	if !d.Persistent {
+		return
+	}
+	e.metrics.Gauge("kvdisk.fsyncs").Set(d.Fsyncs)
+	e.metrics.Gauge("kvdisk.sync_ns_total").Set(d.SyncNs)
+	e.metrics.Gauge("kvdisk.log_bytes").Set(d.LogBytes)
+	e.metrics.Gauge("kvdisk.flushed_bytes").Set(d.FlushedBytes)
+	e.metrics.Gauge("kvdisk.commit_markers").Set(d.Commits)
+	e.metrics.Gauge("kvdisk.recovered_height").Set(int64(d.RecoveredHeight))
+	e.metrics.Gauge("kvdisk.rolled_back_bytes").Set(d.RolledBackBytes)
 }
 
 // ExecuteAndCommit executes under mode and commits, returning the root.

@@ -1,0 +1,193 @@
+package chain_test
+
+import (
+	"testing"
+
+	"dmvcc/internal/chain"
+	"dmvcc/internal/evm"
+	"dmvcc/internal/state"
+	"dmvcc/internal/telemetry"
+	"dmvcc/internal/types"
+	"dmvcc/internal/workload"
+)
+
+// TestCrashRecoverMatchesTrieBackend is the cross-backend differential check
+// for restart recovery: a disk-backed world crashes with its last block not
+// yet durable, reopens, recovers through Engine.Recover, and must land on
+// the exact root the reference trie backend computed for the same block
+// stream.
+func TestCrashRecoverMatchesTrieBackend(t *testing.T) {
+	cfg := smallConfig(77)
+	cfg.TxPerBlock = 80
+
+	twin, err := workload.BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	diskCfg := cfg
+	diskCfg.Backend = func() (state.Backend, error) {
+		return state.NewFlat(state.FlatOpts{Dir: dir})
+	}
+	dw, err := workload.BuildWorld(diskCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := dw.DB.(*state.FlatBackend)
+
+	twinEng := chain.NewEngine(twin.DB, twin.Registry, 4)
+	diskEng := chain.NewEngine(dw.DB, dw.Registry, 4)
+
+	// Capture the block stream as a recovery source: the commit of block
+	// Number=n lands at backend height n+1 (genesis occupies height 1).
+	const blocks = 4
+	type archived struct {
+		ctx evm.BlockContext
+		txs []*types.Transaction
+	}
+	archive := make(map[uint64]archived)
+	for i := 0; i < blocks; i++ {
+		ctx := twin.BlockContext()
+		txs := twin.NextBlock()
+		dw.NextBlock() // keep the disk world's stream aligned (unused)
+		archive[ctx.Number+1] = archived{ctx: ctx, txs: txs}
+
+		if i == blocks-1 {
+			// The final block's commit never reaches disk: everything stays
+			// in the write buffers, as if the process dies before fsync.
+			fb.SetNoSync(true)
+		}
+		_, twinRoot, err := twinEng.ExecuteAndCommit(chain.ModeDMVCC, ctx, txs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, diskRoot, err := diskEng.ExecuteAndCommit(chain.ModeDMVCC, ctx, txs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diskRoot != twinRoot {
+			t.Fatalf("block %d: disk root %s != trie root %s", i, diskRoot, twinRoot)
+		}
+	}
+	tipHeight := uint64(len(twin.DB.Roots()) - 1)
+	if err := fb.Crash(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := state.NewFlat(state.FlatOpts{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	defer reopened.Close()
+	info := reopened.RecoveryInfo()
+	if info == nil {
+		t.Fatal("no recovery info from disk backend")
+	}
+	if info.Height != tipHeight-1 {
+		t.Fatalf("durable height = %d, want %d (crashed block must not be durable)", info.Height, tipHeight-1)
+	}
+	if want := twin.DB.Roots()[info.Height]; info.Root != want {
+		t.Fatalf("durable root %s != trie root %s at height %d", info.Root, want, info.Height)
+	}
+
+	reg := telemetry.NewRegistry()
+	recEng := chain.NewEngine(reopened, dw.Registry, 4, chain.WithMetrics(reg))
+	src := func(h uint64) (evm.BlockContext, []*types.Transaction, error) {
+		a, ok := archive[h]
+		if !ok {
+			t.Fatalf("no archived block for height %d", h)
+		}
+		return a.ctx, a.txs, nil
+	}
+	rep, err := recEng.Recover(chain.ModeDMVCC, src, tipHeight, true)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if !rep.Verified {
+		t.Error("durable root not verified")
+	}
+	if rep.Reexecuted != 1 {
+		t.Errorf("reexecuted = %d, want 1", rep.Reexecuted)
+	}
+	if rep.FinalHeight != tipHeight {
+		t.Errorf("final height = %d, want %d", rep.FinalHeight, tipHeight)
+	}
+	if want := twin.DB.Root(); rep.FinalRoot != want {
+		t.Errorf("recovered tip root %s != trie root %s", rep.FinalRoot, want)
+	}
+	snap := reg.Snapshot()
+	if snap.Gauges["chain.recovered_height"] != int64(tipHeight-1) {
+		t.Errorf("chain.recovered_height = %d", snap.Gauges["chain.recovered_height"])
+	}
+	if snap.Counters["chain.recovery_reexecuted"] != 1 {
+		t.Errorf("chain.recovery_reexecuted = %d", snap.Counters["chain.recovery_reexecuted"])
+	}
+	if snap.Gauges["kvdisk.fsyncs"] == 0 {
+		t.Error("kvdisk.fsyncs gauge not exported")
+	}
+}
+
+// TestRecoverRejectsStaleTarget pins the guard against recovering to a
+// height behind the durable point.
+func TestRecoverRejectsStaleTarget(t *testing.T) {
+	cfg := smallConfig(78)
+	cfg.TxPerBlock = 20
+	w, err := workload.BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := chain.NewEngine(w.DB, w.Registry, 2)
+	ctx := w.BlockContext()
+	if _, _, err := eng.ExecuteAndCommit(chain.ModeDMVCC, ctx, w.NextBlock()); err != nil {
+		t.Fatal(err)
+	}
+	src := func(uint64) (evm.BlockContext, []*types.Transaction, error) {
+		return evm.BlockContext{}, nil, nil
+	}
+	if _, err := eng.Recover(chain.ModeDMVCC, src, 0, false); err == nil {
+		t.Fatal("recovery to a stale target succeeded")
+	}
+}
+
+// benchDurabilityCommit drives the execute+commit path with or without a
+// metrics registry attached, pinning the cost of the durability-stats export
+// hooks on the commit path.
+func benchDurabilityCommit(b *testing.B, reg *telemetry.Registry) {
+	b.Helper()
+	cfg := smallConfig(32)
+	cfg.TxPerBlock = 96
+	// An in-memory FlatBackend implements DurabilityStats (Persistent=false),
+	// so the export hook runs right up to its early-out.
+	cfg.Backend = func() (state.Backend, error) { return state.NewFlatMem(), nil }
+	w, err := workload.BuildWorld(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var opts []chain.EngineOption
+	if reg != nil {
+		opts = append(opts, chain.WithMetrics(reg))
+	}
+	eng := chain.NewEngine(w.DB, w.Registry, 4, opts...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := w.BlockContext()
+		if _, _, err := eng.ExecuteAndCommit(chain.ModeDMVCC, ctx, w.NextBlock()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDurabilityNone is the baseline: no metrics registry attached, the
+// durability export hook is a nil check.
+func BenchmarkDurabilityNone(b *testing.B) {
+	benchDurabilityCommit(b, nil)
+}
+
+// BenchmarkDurabilityDisabled attaches a registry over a non-persistent
+// backend: the durability hook runs its capability assertion and bails on
+// Persistent=false. The contract is that this stays within 2% of
+// BenchmarkDurabilityNone — pinned in CI next to the telemetry-overhead
+// gate.
+func BenchmarkDurabilityDisabled(b *testing.B) {
+	benchDurabilityCommit(b, telemetry.NewRegistry())
+}

@@ -64,6 +64,18 @@ const (
 	KVReadFail
 	// KVFlushSlow stalls a disk-backed flat store's log flush for Delay.
 	KVFlushSlow
+	// CrashBeforeSync kills the process (simulated) with the commit still in
+	// the write buffers: nothing of the crashed-in block reaches disk, so
+	// recovery resumes one height back. Driven by the crash torture harness,
+	// not threaded through the execution path.
+	CrashBeforeSync
+	// CrashAfterWrite kills the process after the commit is fully durable:
+	// recovery resumes at the crash height with nothing rolled back.
+	CrashAfterWrite
+	// TornTail kills the process and truncates the log at a seeded random
+	// byte offset, modeling a partial sector write: recovery must detect the
+	// torn record and roll back to the last valid commit marker.
+	TornTail
 
 	// NumPoints is the number of defined injection points.
 	NumPoints
@@ -94,6 +106,12 @@ func (p Point) String() string {
 		return "kv_read_fail"
 	case KVFlushSlow:
 		return "kv_flush_slow"
+	case CrashBeforeSync:
+		return "crash_before_sync"
+	case CrashAfterWrite:
+		return "crash_after_write"
+	case TornTail:
+		return "torn_tail"
 	default:
 		return fmt.Sprintf("point(%d)", uint8(p))
 	}

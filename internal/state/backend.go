@@ -80,6 +80,45 @@ type CommitStats struct {
 	DirtySlots    int
 	// Shards is the account-trie fan-out used.
 	Shards int
+	// SyncNs is the durability phase: commit markers plus fsync on the
+	// backing logs (zero for in-memory backends).
+	SyncNs int64
+}
+
+// RecoveryInfo describes what a disk-backed backend's opening recovery did.
+type RecoveryInfo struct {
+	// Height and Root are the durable point the backend resumed from.
+	Height uint64
+	Root   types.Hash
+	// TornTail reports that either log ended in a torn or corrupt record.
+	TornTail bool
+	// RolledBackBytes/RolledBackRecords total what recovery truncated across
+	// both logs, including any cross-log reconciliation.
+	RolledBackBytes   int64
+	RolledBackRecords int
+	// HeightRollback counts commits rolled off the flat log to reconcile it
+	// with a nodes log that did not survive as far.
+	HeightRollback int
+}
+
+// DurabilityStats snapshots a backend's durability counters for telemetry.
+type DurabilityStats struct {
+	// Persistent reports whether the backend writes to disk at all; the
+	// remaining fields are zero when it does not.
+	Persistent bool
+	// Fsyncs counts file syncs across the backing logs; SyncNs their
+	// cumulative latency.
+	Fsyncs int64
+	SyncNs int64
+	// FlushedBytes is the total bytes written down to the logs.
+	FlushedBytes int64
+	// Commits counts durable commit markers (one per committed block).
+	Commits int64
+	// LogBytes is the current combined log size.
+	LogBytes int64
+	// RecoveredHeight and RolledBackBytes echo the opening recovery.
+	RecoveredHeight uint64
+	RolledBackBytes int64
 }
 
 // ProveAccount builds a Merkle proof of addr's account record against the

@@ -1,6 +1,7 @@
 package state
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync"
 	"time"
@@ -46,17 +47,38 @@ type diskFlatStore struct {
 	kv *kvdisk.Store
 }
 
-func openDiskStores(dir string) (*diskFlatStore, *diskNodeStore, error) {
-	flat, err := kvdisk.Open(dir, "flat")
+func openDiskStores(dir string) (*diskFlatStore, *diskNodeStore, *kvdisk.Recovery, *kvdisk.Recovery, error) {
+	flat, flatRec, err := kvdisk.OpenRecover(dir, "flat")
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, nil, err
 	}
-	nodes, err := kvdisk.Open(dir, "nodes")
+	nodes, nodesRec, err := kvdisk.OpenRecover(dir, "nodes")
 	if err != nil {
 		flat.Close()
-		return nil, nil, err
+		return nil, nil, nil, nil, err
 	}
-	return &diskFlatStore{kv: flat}, &diskNodeStore{kv: nodes}, nil
+	return &diskFlatStore{kv: flat}, &diskNodeStore{kv: nodes}, flatRec, nodesRec, nil
+}
+
+// Commit-marker meta layout: 8-byte big-endian height followed by the
+// 32-byte state root at that height. Both logs carry the same meta for each
+// committed block, so recovery can reconcile them by height.
+const commitMetaLen = 8 + len(types.Hash{})
+
+func encodeCommitMeta(height uint64, root types.Hash) []byte {
+	meta := make([]byte, commitMetaLen)
+	binary.BigEndian.PutUint64(meta, height)
+	copy(meta[8:], root[:])
+	return meta
+}
+
+func decodeCommitMeta(meta []byte) (uint64, types.Hash, error) {
+	if len(meta) != commitMetaLen {
+		return 0, types.Hash{}, fmt.Errorf("state: commit marker meta is %d bytes, want %d", len(meta), commitMetaLen)
+	}
+	var root types.Hash
+	copy(root[:], meta[8:])
+	return binary.BigEndian.Uint64(meta), root, nil
 }
 
 func accountKey(addr types.Address) []byte {

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dmvcc/internal/state/kvdisk"
 	"dmvcc/internal/trie"
 	"dmvcc/internal/types"
 	"dmvcc/internal/u256"
@@ -88,6 +89,9 @@ type FlatBackend struct {
 	// Close.
 	disk *diskFlatStore
 	dns  *diskNodeStore
+
+	// recInfo records what the opening recovery did (disk backends only).
+	recInfo *RecoveryInfo
 }
 
 var (
@@ -127,7 +131,7 @@ func NewFlat(opts FlatOpts) (*FlatBackend, error) {
 		fb.fs = newMemFlatStore()
 		fb.nodes = trie.NewMemStore()
 	} else {
-		dfs, dns, err := openDiskStores(opts.Dir)
+		dfs, dns, flatRec, nodesRec, err := openDiskStores(opts.Dir)
 		if err != nil {
 			return nil, err
 		}
@@ -135,16 +139,10 @@ func NewFlat(opts FlatOpts) (*FlatBackend, error) {
 		fb.nodes = dns
 		fb.disk = dfs
 		fb.dns = dns
-		// Resume the committed-root history from disk. The tries themselves
-		// need no replay: every committed node is in the node log, and the
-		// lazy tries reopen from the latest root as hash references.
-		roots, err := dfs.loadRoots()
-		if err != nil {
+		if err := fb.recoverDisk(flatRec, nodesRec); err != nil {
+			dfs.kv.Close()
+			dns.kv.Close()
 			return nil, err
-		}
-		if len(roots) > 0 {
-			fb.roots = roots
-			fb.root = roots[len(roots)-1]
 		}
 	}
 	if shards == trie.ShardCount {
@@ -200,6 +198,243 @@ func (fb *FlatBackend) SizeOnDisk() int64 {
 
 // Shards returns the account-trie fan-out.
 func (fb *FlatBackend) Shards() int { return fb.shards }
+
+// recoverDisk restores a disk-backed backend to its last durable (height,
+// root) after the kvdisk-level recovery of both logs. The two logs can
+// legitimately disagree by one commit — persistCommit marks the nodes log
+// before the flat log, so a crash in the window leaves nodes one height
+// ahead (harmless: content-addressed orphans) — but the flat log must never
+// be ahead of the nodes log, or its root would reference trie nodes that did
+// not survive. When it is (a torn nodes tail), the flat log rolls back to
+// the newest marker whose height the nodes log still covers.
+func (fb *FlatBackend) recoverDisk(flatRec, nodesRec *kvdisk.Recovery) error {
+	info := &RecoveryInfo{
+		TornTail:          flatRec.TornTail || nodesRec.TornTail,
+		RolledBackBytes:   flatRec.RolledBackBytes + nodesRec.RolledBackBytes,
+		RolledBackRecords: flatRec.RolledBackRecords + nodesRec.RolledBackRecords,
+	}
+	markerHeight := func(meta []byte) (int64, types.Hash, error) {
+		if len(meta) == 0 {
+			return -1, types.Hash{}, nil
+		}
+		h, r, err := decodeCommitMeta(meta)
+		return int64(h), r, err
+	}
+	nodesH, _, err := markerHeight(nodesRec.LastMeta)
+	if err != nil {
+		return fmt.Errorf("state: nodes log marker: %w", err)
+	}
+	flatH, flatRoot, err := markerHeight(flatRec.LastMeta)
+	if err != nil {
+		return fmt.Errorf("state: flat log marker: %w", err)
+	}
+	if flatH > nodesH {
+		metas := fb.disk.kv.MarkerMetas()
+		target := -1
+		newH, newRoot := int64(-1), types.Hash{}
+		for i := len(metas) - 1; i >= 0; i-- {
+			h, r, err := decodeCommitMeta(metas[i])
+			if err != nil {
+				return fmt.Errorf("state: flat log marker %d: %w", i, err)
+			}
+			if int64(h) <= nodesH {
+				target, newH, newRoot = i, int64(h), r
+				break
+			}
+		}
+		rb, err := fb.disk.kv.RollbackToMarker(target)
+		if err != nil {
+			return fmt.Errorf("state: reconcile flat log to height %d: %w", nodesH, err)
+		}
+		info.HeightRollback = int(flatH - newH)
+		info.RolledBackBytes += rb.RolledBackBytes
+		info.RolledBackRecords += rb.RolledBackRecords
+		flatH, flatRoot = newH, newRoot
+	}
+	if flatH >= 0 {
+		roots, err := fb.disk.loadRoots()
+		if err != nil {
+			return err
+		}
+		if int64(len(roots)) != flatH+1 {
+			return fmt.Errorf("state: recovered root history has %d entries, marker height %d wants %d", len(roots), flatH, flatH+1)
+		}
+		if roots[flatH] != flatRoot {
+			return fmt.Errorf("state: recovered root %s at height %d disagrees with commit marker %s", roots[flatH], flatH, flatRoot)
+		}
+		fb.roots = roots
+		fb.root = flatRoot
+		info.Height = uint64(flatH)
+		info.Root = flatRoot
+	} else {
+		// No durable commit marker: a fresh store (or one rolled back to
+		// empty). Fall back to the root history for marker-less legacy logs.
+		roots, err := fb.disk.loadRoots()
+		if err != nil {
+			return err
+		}
+		if len(roots) > 0 {
+			fb.roots = roots
+			fb.root = roots[len(roots)-1]
+			info.Height = uint64(len(roots) - 1)
+		}
+		info.Root = fb.root
+	}
+	fb.recInfo = info
+	return nil
+}
+
+// RecoveryInfo reports what the opening recovery did: the durable height and
+// root the backend resumed from, whether either log had a torn tail, and how
+// much was rolled back. Nil for in-memory backends.
+func (fb *FlatBackend) RecoveryInfo() *RecoveryInfo {
+	if fb.recInfo == nil {
+		return nil
+	}
+	cp := *fb.recInfo
+	return &cp
+}
+
+// Height returns the number of committed blocks (committed-root history
+// length minus the empty genesis root).
+func (fb *FlatBackend) Height() uint64 {
+	fb.mu.RLock()
+	defer fb.mu.RUnlock()
+	return uint64(len(fb.roots) - 1)
+}
+
+// VerifyRecovered recomputes the state root from the flat records alone — a
+// fresh in-memory trie fold of every live account, slot, and code record —
+// and checks it equals the recovered root. It proves the flat store and the
+// authenticated commitment agree after a crash, at full-state-walk cost.
+func (fb *FlatBackend) VerifyRecovered() error {
+	fb.mu.RLock()
+	want := fb.root
+	fb.mu.RUnlock()
+	if fb.disk == nil {
+		return nil
+	}
+	ws := &WriteSet{
+		Balances: make(map[types.Address]u256.Int),
+		Nonces:   make(map[types.Address]uint64),
+		Codes:    make(map[types.Address][]byte),
+		Storage:  make(map[types.Address]map[types.Hash]u256.Int),
+	}
+	addrLen := len(types.Address{})
+	hashLen := len(types.Hash{})
+	err := fb.disk.kv.Range([]byte{'a'}, func(k, v []byte) error {
+		if len(k) != 1+addrLen {
+			return fmt.Errorf("state: malformed account key (%d bytes)", len(k))
+		}
+		var addr types.Address
+		copy(addr[:], k[1:])
+		acc, err := decodeAccount(v)
+		if err != nil {
+			return fmt.Errorf("state: corrupt account record %s: %w", addr, err)
+		}
+		ws.Balances[addr] = acc.Balance
+		ws.Nonces[addr] = acc.Nonce
+		if !acc.CodeHash.IsZero() && acc.CodeHash != EmptyCodeHash {
+			code, err := fb.fs.getCode(acc.CodeHash)
+			if err != nil {
+				return err
+			}
+			if len(code) == 0 {
+				return fmt.Errorf("state: account %s references missing code %s", addr, acc.CodeHash)
+			}
+			ws.Codes[addr] = code
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	err = fb.disk.kv.Range([]byte{'s'}, func(k, v []byte) error {
+		if len(k) != 1+addrLen+hashLen {
+			return fmt.Errorf("state: malformed slot key (%d bytes)", len(k))
+		}
+		var addr types.Address
+		var slot types.Hash
+		copy(addr[:], k[1:])
+		copy(slot[:], k[1+addrLen:])
+		m, ok := ws.Storage[addr]
+		if !ok {
+			m = make(map[types.Hash]u256.Int)
+			ws.Storage[addr] = m
+		}
+		m[slot] = u256.FromBytes(v)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	twin := NewFlatMem()
+	defer twin.Close()
+	got, err := twin.Commit(ws)
+	if err != nil {
+		return fmt.Errorf("state: recovery verification commit: %w", err)
+	}
+	if got != want {
+		return fmt.Errorf("state: recovered root %s does not match flat records (recomputed %s)", want, got)
+	}
+	return nil
+}
+
+// SetNoSync toggles crash simulation on the underlying logs (no-op for
+// in-memory backends): while set, appended records stay in the write buffers
+// and commit markers never reach disk, so a Crash drops them. Torture-
+// harness use only.
+func (fb *FlatBackend) SetNoSync(v bool) {
+	if fb.disk == nil {
+		return
+	}
+	fb.disk.kv.SetNoSync(v)
+	fb.dns.kv.SetNoSync(v)
+}
+
+// Crash simulates process death: the committer drains (anything already
+// enqueued was submitted before the "crash"), then the logs close without
+// flushing their buffers. Reopening the directory recovers to the last
+// durable commit marker. Torture-harness use only.
+func (fb *FlatBackend) Crash() error {
+	fb.enqMu.Lock()
+	if fb.closed {
+		fb.enqMu.Unlock()
+		return nil
+	}
+	fb.closed = true
+	close(fb.jobs)
+	fb.enqMu.Unlock()
+	<-fb.done
+	if fb.disk == nil {
+		return nil
+	}
+	fb.disk.kv.CrashClose()
+	return fb.dns.kv.CrashClose()
+}
+
+// DurabilityStats snapshots the backend's durability counters across both
+// logs (zero value with Persistent=false for in-memory backends).
+func (fb *FlatBackend) DurabilityStats() DurabilityStats {
+	if fb.disk == nil {
+		return DurabilityStats{}
+	}
+	fs := fb.disk.kv.Stats()
+	ns := fb.dns.kv.Stats()
+	d := DurabilityStats{
+		Persistent:   true,
+		Fsyncs:       fs.Fsyncs + ns.Fsyncs,
+		SyncNs:       fs.SyncNs + ns.SyncNs,
+		FlushedBytes: fs.FlushedBytes + ns.FlushedBytes,
+		Commits:      fs.Commits,
+		LogBytes:     fb.SizeOnDisk(),
+	}
+	if fb.recInfo != nil {
+		d.RecoveredHeight = fb.recInfo.Height
+		d.RolledBackBytes = fb.recInfo.RolledBackBytes
+	}
+	return d
+}
 
 // --- Reader (flat lookups; no trie nodes touched) ---
 
@@ -630,12 +865,35 @@ func (fb *FlatBackend) runTrieJob(job *trieJob) CommitResult {
 		fb.mu.Unlock()
 		return CommitResult{Err: err}
 	}
-	fb.lastStats = stats
+	height := uint64(len(fb.roots) - 1)
 	fb.mu.Unlock()
-	if err := fb.fs.flush(); err != nil {
+	syncStart := time.Now()
+	if err := fb.persistCommit(height, root); err != nil {
 		return CommitResult{Err: err}
 	}
+	stats.SyncNs = time.Since(syncStart).Nanoseconds()
+	fb.mu.Lock()
+	fb.lastStats = stats
+	fb.mu.Unlock()
 	return CommitResult{Root: root, Stats: stats}
+}
+
+// persistCommit makes the commit at height durable. Ordering is the crash-
+// consistency invariant: the nodes log commits (marker + fsync) strictly
+// before the flat log, so the flat log's marker — the recovery point — never
+// names a root whose trie nodes did not survive. A crash between the two
+// fsyncs leaves the nodes log one height ahead; reopen reconciles the flat
+// log down to it, and the extra nodes are harmless content-addressed
+// orphans. In-memory backends just flush (a no-op).
+func (fb *FlatBackend) persistCommit(height uint64, root types.Hash) error {
+	if fb.disk == nil {
+		return fb.fs.flush()
+	}
+	meta := encodeCommitMeta(height, root)
+	if err := fb.dns.kv.Commit(meta); err != nil {
+		return err
+	}
+	return fb.disk.kv.Commit(meta)
 }
 
 // Close implements Backend: drains pending commits, stops the committer,

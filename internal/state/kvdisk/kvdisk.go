@@ -6,6 +6,16 @@
 // resident maps fits in bounded memory (only the index, ~tens of bytes per
 // live key, stays resident).
 //
+// The store is crash-consistent. Every record carries a CRC32C trailer, so a
+// torn or corrupted tail is detected rather than decoded as garbage. Callers
+// delimit atomic batches with Commit, which appends a checksummed commit
+// marker, flushes, and fsyncs the log — the marker is the durability point.
+// Reopening recovers to the last valid commit marker: trailing records past
+// it (whether a cleanly-written partial batch or a torn tail) are truncated
+// away and reported as rolled-back bytes/records, never silently swallowed.
+// Logs that carry no markers (plain Put/Close usage) recover to the end of
+// the valid record prefix instead.
+//
 // The store favors simplicity over write-amplification tuning: there is no
 // background compaction (overwritten records leak log space until the file
 // is rebuilt), which is the right trade for soak benchmarks and reproducible
@@ -16,18 +26,43 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 )
+
+// Record framing: uvarint(kfield) uvarint(vfield) key val crc32c(4B LE).
+// kfield = klen+1 for keyed records, 0 for commit markers (whose payload
+// rides in val). vfield = vlen+1 for values, 0 for tombstones. The CRC
+// covers every preceding byte of the record.
 
 // loc addresses one value inside the log.
 type loc struct {
 	off int64 // offset of the value bytes
 	len int   // value length
 }
+
+// markerLoc is one commit marker found in (or appended to) the log.
+type markerLoc struct {
+	end  int64 // offset just past the marker record
+	meta []byte
+	recs int // records in the log up to and including this marker
+}
+
+// crcTable is the Castagnoli polynomial — hardware-accelerated on amd64 and
+// arm64, and the conventional choice for storage checksums.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Sanity bounds on decoded lengths: a corrupted header must not drive a
+// multi-gigabyte allocation before the CRC check can reject the record.
+const (
+	maxKeyLen = 1 << 20
+	maxValLen = 1 << 30
+)
 
 // Store is one append-only keyed log.
 type Store struct {
@@ -37,8 +72,24 @@ type Store struct {
 	fileOff int64  // bytes durably in the file
 	buf     []byte // appended records not yet flushed
 	idx     map[string]loc
-	puts    int64
+	markers []markerLoc
+	records int // total records in the log (including buffered)
 	closed  bool
+
+	// noSync simulates a crash window: while set, flushes and fsyncs are
+	// suppressed so appended records exist only in the write buffer, exactly
+	// the state a process death before Sync would leave behind. Torture
+	// harness use only.
+	noSync bool
+
+	// Durability counters (see Stats).
+	puts, deletes   int64
+	flushes, fsyncs int64
+	commits         int64
+	flushedBytes    int64
+	syncNs          int64
+
+	recovery Recovery
 
 	// Fault hooks (chaos testing): readFault may fail a Get with a
 	// transient error; flushDelay stalls Flush. Both nil in production.
@@ -48,66 +99,248 @@ type Store struct {
 	flushDelay func() time.Duration
 }
 
+// Recovery reports what a reopen (or explicit rollback) did to the log.
+type Recovery struct {
+	// TornTail reports that the scan hit a torn or corrupt record — a
+	// partial append or flipped bytes — rather than a clean end-of-file.
+	TornTail bool
+	// TornAt is the offset of the first invalid record when TornTail is set.
+	TornAt int64
+	// RolledBackBytes is how many trailing bytes were truncated away to
+	// restore the log to its last durable point.
+	RolledBackBytes int64
+	// RolledBackRecords counts the fully-valid records among the truncated
+	// bytes (a torn partial record contributes bytes but no record).
+	RolledBackRecords int
+	// Markers is the number of valid commit markers in the recovered log.
+	Markers int
+	// LastMeta is the payload of the commit marker the log recovered to
+	// (nil when the log carries no markers).
+	LastMeta []byte
+}
+
+// Stats is a point-in-time snapshot of the store's durability counters.
+type Stats struct {
+	Puts, Deletes int64
+	// Flushes counts buffer write-downs; FlushedBytes the bytes written.
+	Flushes      int64
+	FlushedBytes int64
+	// Fsyncs counts file syncs; SyncNs their cumulative latency.
+	Fsyncs int64
+	SyncNs int64
+	// Commits counts commit markers appended.
+	Commits int64
+}
+
 // flushThreshold bounds the in-memory write buffer.
 const flushThreshold = 1 << 20
 
-// Open opens (creating if needed) the store at dir/name.log and rebuilds the
-// index from the log.
+// Open opens (creating if needed) the store at dir/name.log, recovering to
+// the last durable point and rebuilding the index. Recovery details are
+// available via Recovery(); use OpenRecover to get them directly.
 func Open(dir, name string) (*Store, error) {
+	s, _, err := OpenRecover(dir, name)
+	return s, err
+}
+
+// OpenRecover is Open returning what recovery had to do: whether the tail
+// was torn, and how many bytes/records were rolled back to reach the last
+// valid commit marker (or the end of the valid prefix for marker-less logs).
+func OpenRecover(dir, name string) (*Store, *Recovery, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("kvdisk: mkdir %s: %w", dir, err)
+		return nil, nil, fmt.Errorf("kvdisk: mkdir %s: %w", dir, err)
 	}
 	path := filepath.Join(dir, name+".log")
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
-		return nil, fmt.Errorf("kvdisk: open %s: %w", path, err)
+		return nil, nil, fmt.Errorf("kvdisk: open %s: %w", path, err)
 	}
 	s := &Store{f: f, path: path, idx: make(map[string]loc)}
-	if err := s.rebuild(); err != nil {
+	rec, err := s.recoverLog()
+	if err != nil {
 		f.Close()
-		return nil, err
+		return nil, nil, err
 	}
-	return s, nil
+	s.recovery = *rec
+	return s, rec, nil
 }
 
-// rebuild scans the log sequentially, reconstructing the latest-record index.
-func (s *Store) rebuild() error {
-	r := bufio.NewReaderSize(s.f, 1<<20)
+// Path returns the log file's path.
+func (s *Store) Path() string { return s.path }
+
+// Recovery returns what the opening recovery did (zero value for a clean
+// open of a fresh or marker-aligned log).
+func (s *Store) Recovery() Recovery {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.recovery
+}
+
+// scanResult is one sequential validation pass over the log file.
+type scanResult struct {
+	validEnd       int64 // offset just past the last fully-valid record
+	torn           bool  // scan ended on a torn/corrupt record, not clean EOF
+	tornAt         int64
+	records        int
+	recsPastMarker int // valid records after the last marker
+	markers        []markerLoc
+	idx            map[string]loc
+}
+
+// scanLog validates the file record by record from the start: every record's
+// CRC must check out. The scan stops at the first invalid record (torn) or
+// at a clean EOF, returning the index and markers as of the stop point.
+func (s *Store) scanLog() (*scanResult, error) {
+	r := bufio.NewReaderSize(io.NewSectionReader(s.f, 0, 1<<62), 1<<20)
+	res := &scanResult{idx: make(map[string]loc)}
 	var off int64
+	var scratch [binary.MaxVarintLen64]byte
+	chunk := make([]byte, 32<<10)
+	torn := func(at int64) { res.torn = true; res.tornAt = at }
 	for {
-		klen, n1, err := readUvarint(r)
+		recStart := off
+		kfield, n1, err := readUvarintRaw(r, &scratch)
 		if err == io.EOF {
+			break // clean record boundary
+		}
+		if err != nil {
+			torn(recStart)
 			break
 		}
+		crc := crc32.Update(0, crcTable, scratch[:n1])
+		vfield, n2, err := readUvarintRaw(r, &scratch)
 		if err != nil {
-			return fmt.Errorf("kvdisk: corrupt log %s at %d: %w", s.path, off, err)
+			torn(recStart)
+			break
 		}
-		vfield, n2, err := readUvarint(r)
-		if err != nil {
-			return fmt.Errorf("kvdisk: corrupt log %s at %d: %w", s.path, off, err)
+		crc = crc32.Update(crc, crcTable, scratch[:n2])
+
+		marker := kfield == 0
+		klen := 0
+		if !marker {
+			klen = int(kfield - 1)
+		}
+		vlen := 0
+		if vfield != 0 {
+			vlen = int(vfield - 1)
+		}
+		if klen > maxKeyLen || vlen > maxValLen || klen < 0 || vlen < 0 {
+			torn(recStart) // implausible header: corrupt bytes
+			break
 		}
 		key := make([]byte, klen)
 		if _, err := io.ReadFull(r, key); err != nil {
-			return fmt.Errorf("kvdisk: corrupt log %s at %d: %w", s.path, off, err)
+			torn(recStart)
+			break
 		}
-		off += int64(n1) + int64(n2) + int64(klen)
-		if vfield == 0 { // tombstone
-			delete(s.idx, string(key))
-			continue
+		crc = crc32.Update(crc, crcTable, key)
+		valOff := recStart + int64(n1+n2+klen)
+
+		// Stream the value through the CRC; only marker payloads (small) are
+		// retained.
+		var meta []byte
+		if marker {
+			meta = make([]byte, vlen)
+			if _, err := io.ReadFull(r, meta); err != nil {
+				torn(recStart)
+				break
+			}
+			crc = crc32.Update(crc, crcTable, meta)
+		} else {
+			remaining := vlen
+			bad := false
+			for remaining > 0 {
+				n := remaining
+				if n > len(chunk) {
+					n = len(chunk)
+				}
+				if _, err := io.ReadFull(r, chunk[:n]); err != nil {
+					bad = true
+					break
+				}
+				crc = crc32.Update(crc, crcTable, chunk[:n])
+				remaining -= n
+			}
+			if bad {
+				torn(recStart)
+				break
+			}
 		}
-		vlen := int(vfield - 1)
-		if _, err := r.Discard(vlen); err != nil {
-			return fmt.Errorf("kvdisk: corrupt log %s at %d: %w", s.path, off, err)
+		var stored [4]byte
+		if _, err := io.ReadFull(r, stored[:]); err != nil {
+			torn(recStart)
+			break
 		}
-		s.idx[string(key)] = loc{off: off, len: vlen}
-		off += int64(vlen)
+		if binary.LittleEndian.Uint32(stored[:]) != crc {
+			torn(recStart)
+			break
+		}
+
+		off = valOff + int64(vlen) + 4
+		res.records++
+		res.recsPastMarker++
+		switch {
+		case marker:
+			res.markers = append(res.markers, markerLoc{end: off, meta: meta, recs: res.records})
+			res.recsPastMarker = 0
+		case vfield == 0: // tombstone
+			delete(res.idx, string(key))
+		default:
+			res.idx[string(key)] = loc{off: valOff, len: vlen}
+		}
+		res.validEnd = off
 	}
-	s.fileOff = off
-	return nil
+	return res, nil
 }
 
-// readUvarint reads one uvarint, returning the value and its encoded width.
-func readUvarint(r io.ByteReader) (uint64, int, error) {
+// recoverLog restores the log to its last durable point: the last valid
+// commit marker when the log carries markers, otherwise the end of the valid
+// record prefix. Trailing bytes past that point are truncated and accounted.
+func (s *Store) recoverLog() (*Recovery, error) {
+	fi, err := s.f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("kvdisk: stat %s: %w", s.path, err)
+	}
+	size := fi.Size()
+	res, err := s.scanLog()
+	if err != nil {
+		return nil, err
+	}
+	target := res.validEnd
+	rolledRecords := 0
+	if len(res.markers) > 0 {
+		target = res.markers[len(res.markers)-1].end
+		rolledRecords = res.recsPastMarker
+	}
+	rec := &Recovery{TornTail: res.torn, TornAt: res.tornAt, Markers: len(res.markers)}
+	if len(res.markers) > 0 {
+		rec.LastMeta = res.markers[len(res.markers)-1].meta
+	}
+	if target < size {
+		if err := s.f.Truncate(target); err != nil {
+			return nil, fmt.Errorf("kvdisk: truncate %s to %d: %w", s.path, target, err)
+		}
+		if err := s.f.Sync(); err != nil {
+			return nil, fmt.Errorf("kvdisk: sync %s after truncate: %w", s.path, err)
+		}
+		rec.RolledBackBytes = size - target
+		rec.RolledBackRecords = rolledRecords
+		// Rebuild index and markers against the now-consistent file.
+		res, err = s.scanLog()
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.idx = res.idx
+	s.markers = res.markers
+	s.records = res.records
+	s.fileOff = target
+	return rec, nil
+}
+
+// readUvarintRaw reads one uvarint, returning the value, its encoded width,
+// and the raw bytes in scratch[:n] (for CRC accumulation).
+func readUvarintRaw(r io.ByteReader, scratch *[binary.MaxVarintLen64]byte) (uint64, int, error) {
 	var v uint64
 	var shift, n int
 	for {
@@ -118,6 +351,10 @@ func readUvarint(r io.ByteReader) (uint64, int, error) {
 			}
 			return 0, n, err
 		}
+		if n >= binary.MaxVarintLen64 {
+			return 0, n, fmt.Errorf("kvdisk: uvarint overflow")
+		}
+		scratch[n] = b
 		n++
 		v |= uint64(b&0x7f) << shift
 		if b < 0x80 {
@@ -135,6 +372,16 @@ func (s *Store) SetFaultHooks(read func(key []byte) error, flush func() time.Dur
 	defer s.mu.Unlock()
 	s.readFault = read
 	s.flushDelay = flush
+}
+
+// SetNoSync toggles crash simulation: while set, Flush/Sync/Commit keep
+// every appended record in the write buffer and never touch the file, so a
+// subsequent CrashClose drops them — the on-disk state a real process death
+// before fsync would leave. Torture-harness use only.
+func (s *Store) SetNoSync(v bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.noSync = v
 }
 
 // Get returns the latest value for key. The boolean reports presence; the
@@ -167,6 +414,24 @@ func (s *Store) Get(key []byte) ([]byte, bool, error) {
 	return val, true, nil
 }
 
+// appendRecord frames and checksums one record into the write buffer,
+// returning the offset of its value bytes. Callers hold s.mu.
+func (s *Store) appendRecord(kfield, vfield uint64, key, val []byte) int64 {
+	start := len(s.buf)
+	var hdr [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], kfield)
+	n += binary.PutUvarint(hdr[n:], vfield)
+	s.buf = append(s.buf, hdr[:n]...)
+	s.buf = append(s.buf, key...)
+	valOff := s.fileOff + int64(len(s.buf))
+	s.buf = append(s.buf, val...)
+	crc := crc32.Checksum(s.buf[start:], crcTable)
+	var cb [4]byte
+	binary.LittleEndian.PutUint32(cb[:], crc)
+	s.buf = append(s.buf, cb[:]...)
+	return valOff
+}
+
 // Put appends key -> val and updates the index.
 func (s *Store) Put(key, val []byte) error {
 	s.mu.Lock()
@@ -174,15 +439,10 @@ func (s *Store) Put(key, val []byte) error {
 	if s.closed {
 		return fmt.Errorf("kvdisk: put on closed store %s", s.path)
 	}
-	var hdr [2 * binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(hdr[:], uint64(len(key)))
-	n += binary.PutUvarint(hdr[n:], uint64(len(val))+1)
-	s.buf = append(s.buf, hdr[:n]...)
-	s.buf = append(s.buf, key...)
-	valOff := s.fileOff + int64(len(s.buf))
-	s.buf = append(s.buf, val...)
+	valOff := s.appendRecord(uint64(len(key))+1, uint64(len(val))+1, key, val)
 	s.idx[string(key)] = loc{off: valOff, len: len(val)}
 	s.puts++
+	s.records++
 	if len(s.buf) >= flushThreshold {
 		return s.flushLocked()
 	}
@@ -199,14 +459,145 @@ func (s *Store) Delete(key []byte) error {
 	if _, ok := s.idx[string(key)]; !ok {
 		return nil
 	}
-	var hdr [2 * binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(hdr[:], uint64(len(key)))
-	n += binary.PutUvarint(hdr[n:], 0)
-	s.buf = append(s.buf, hdr[:n]...)
-	s.buf = append(s.buf, key...)
+	s.appendRecord(uint64(len(key))+1, 0, key, nil)
 	delete(s.idx, string(key))
+	s.deletes++
+	s.records++
 	if len(s.buf) >= flushThreshold {
 		return s.flushLocked()
+	}
+	return nil
+}
+
+// Commit appends a checksummed commit marker carrying meta, flushes, and
+// fsyncs: when it returns, every record appended before it is durable, and a
+// reopen recovers to exactly this point. Meta is the caller's batch
+// identity (the state backend stores height and root).
+func (s *Store) Commit(meta []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("kvdisk: commit on closed store %s", s.path)
+	}
+	s.appendRecord(0, uint64(len(meta))+1, nil, meta)
+	end := s.fileOff + int64(len(s.buf))
+	cp := make([]byte, len(meta))
+	copy(cp, meta)
+	s.records++
+	s.markers = append(s.markers, markerLoc{end: end, meta: cp, recs: s.records})
+	s.commits++
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	return s.syncLocked()
+}
+
+// Sync flushes buffered records and fsyncs the log: everything appended so
+// far is durable on return (but not marker-delimited — a reopen of a
+// marker-carrying log still rolls back to the last Commit).
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	return s.syncLocked()
+}
+
+// MarkerMetas returns the payloads of the log's valid commit markers in log
+// order (as of the last recovery plus any markers committed since).
+func (s *Store) MarkerMetas() [][]byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([][]byte, len(s.markers))
+	for i, m := range s.markers {
+		out[i] = m.meta
+	}
+	return out
+}
+
+// RollbackToMarker truncates the log to just past marker i (as indexed by
+// MarkerMetas; -1 empties the log) and rebuilds the index. The state
+// backend uses it to reconcile twin logs recovered to different heights.
+func (s *Store) RollbackToMarker(i int) (*Recovery, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("kvdisk: rollback on closed store %s", s.path)
+	}
+	if i >= len(s.markers) {
+		return nil, fmt.Errorf("kvdisk: rollback to marker %d of %d", i, len(s.markers))
+	}
+	var target int64
+	keepRecs := 0
+	if i >= 0 {
+		target = s.markers[i].end
+		keepRecs = s.markers[i].recs
+	}
+	prevSize := s.fileOff + int64(len(s.buf))
+	s.buf = s.buf[:0] // anything buffered is past the rollback point
+	rec := &Recovery{}
+	if target < prevSize {
+		if err := s.f.Truncate(target); err != nil {
+			return nil, fmt.Errorf("kvdisk: truncate %s to %d: %w", s.path, target, err)
+		}
+		if err := s.f.Sync(); err != nil {
+			return nil, fmt.Errorf("kvdisk: sync %s after truncate: %w", s.path, err)
+		}
+		res, err := s.scanLog()
+		if err != nil {
+			return nil, err
+		}
+		rec.RolledBackBytes = prevSize - target
+		rec.RolledBackRecords = s.records - keepRecs
+		s.idx = res.idx
+		s.markers = res.markers
+		s.records = res.records
+		s.fileOff = target
+	}
+	rec.Markers = len(s.markers)
+	if len(s.markers) > 0 {
+		rec.LastMeta = s.markers[len(s.markers)-1].meta
+	}
+	s.recovery.RolledBackBytes += rec.RolledBackBytes
+	s.recovery.RolledBackRecords += rec.RolledBackRecords
+	return rec, nil
+}
+
+// Range calls fn for every live key with the given prefix, in sorted key
+// order. The key/value slices are fn's to keep.
+func (s *Store) Range(prefix []byte, fn func(key, val []byte) error) error {
+	s.mu.RLock()
+	type ent struct {
+		key string
+		l   loc
+		buf []byte // non-nil when the value was still buffered
+	}
+	ents := make([]ent, 0, len(s.idx))
+	for k, l := range s.idx {
+		if len(k) < len(prefix) || k[:len(prefix)] != string(prefix) {
+			continue
+		}
+		e := ent{key: k, l: l}
+		if l.off >= s.fileOff {
+			e.buf = make([]byte, l.len)
+			copy(e.buf, s.buf[l.off-s.fileOff:])
+		}
+		ents = append(ents, e)
+	}
+	s.mu.RUnlock()
+	sort.Slice(ents, func(i, j int) bool { return ents[i].key < ents[j].key })
+	for _, e := range ents {
+		val := e.buf
+		if val == nil {
+			val = make([]byte, e.l.len)
+			if _, err := s.f.ReadAt(val, e.l.off); err != nil {
+				return fmt.Errorf("kvdisk: range read %s: %w", s.path, err)
+			}
+		}
+		if err := fn([]byte(e.key), val); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -224,15 +615,43 @@ func (s *Store) flushLocked() error {
 			time.Sleep(d)
 		}
 	}
-	if len(s.buf) == 0 {
+	if len(s.buf) == 0 || s.noSync {
 		return nil
 	}
 	if _, err := s.f.WriteAt(s.buf, s.fileOff); err != nil {
 		return fmt.Errorf("kvdisk: flush %s: %w", s.path, err)
 	}
+	s.flushes++
+	s.flushedBytes += int64(len(s.buf))
 	s.fileOff += int64(len(s.buf))
 	s.buf = s.buf[:0]
 	return nil
+}
+
+// syncLocked fsyncs the log file, timing the call. Callers hold s.mu.
+func (s *Store) syncLocked() error {
+	if s.noSync {
+		return nil
+	}
+	start := time.Now()
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("kvdisk: fsync %s: %w", s.path, err)
+	}
+	s.fsyncs++
+	s.syncNs += time.Since(start).Nanoseconds()
+	return nil
+}
+
+// Stats snapshots the durability counters.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{
+		Puts: s.puts, Deletes: s.deletes,
+		Flushes: s.flushes, FlushedBytes: s.flushedBytes,
+		Fsyncs: s.fsyncs, SyncNs: s.syncNs,
+		Commits: s.commits,
+	}
 }
 
 // Len returns the number of live keys.
@@ -249,7 +668,8 @@ func (s *Store) SizeOnDisk() int64 {
 	return s.fileOff + int64(len(s.buf))
 }
 
-// Close flushes and closes the log file.
+// Close flushes buffered records, fsyncs, and closes the log file. A second
+// Close is a no-op.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -261,5 +681,23 @@ func (s *Store) Close() error {
 		s.f.Close()
 		return err
 	}
+	if err := s.syncLocked(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}
+
+// CrashClose simulates process death: buffered records are dropped on the
+// floor and the file is closed without flush or fsync, leaving on disk
+// exactly what prior flushes put there. Torture-harness use only.
+func (s *Store) CrashClose() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.buf = nil
 	return s.f.Close()
 }
